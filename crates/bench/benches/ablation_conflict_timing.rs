@@ -1,0 +1,41 @@
+//! Ablation bench: cost of the write path with the two conflict-check
+//! timings of §4.2 (eager on every write vs. only at commit time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use tsp_core::prelude::*;
+use tsp_core::MvccTableOptions;
+
+fn bench_conflict_timing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_conflict_timing");
+    for (label, check) in [("at_commit", ConflictCheck::AtCommit), ("eager", ConflictCheck::Eager)] {
+        let ctx = Arc::new(StateContext::new());
+        let mgr = TransactionManager::new(Arc::clone(&ctx));
+        let table = MvccTable::<u32, u64>::with_options(
+            &ctx,
+            "t",
+            None,
+            MvccTableOptions {
+                conflict_check: check,
+                ..Default::default()
+            },
+        );
+        mgr.register(table.clone());
+        mgr.register_group(&[table.id()]).unwrap();
+        group.bench_function(format!("write_commit_{label}"), |b| {
+            let mut key = 0u32;
+            b.iter(|| {
+                let tx = mgr.begin().unwrap();
+                for _ in 0..10 {
+                    key = key.wrapping_add(1) % 4096;
+                    table.write(&tx, key, 1).unwrap();
+                }
+                mgr.commit(&tx).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conflict_timing);
+criterion_main!(benches);

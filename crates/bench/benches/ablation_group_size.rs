@@ -1,0 +1,39 @@
+//! Ablation bench: overhead of the §4.3 consistency protocol as the number
+//! of states written together atomically grows (the paper claims it "adds
+//! almost no overhead" for its two-state scenario).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use tsp_core::prelude::*;
+
+fn bench_group_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_group_size");
+    for states in [1usize, 2, 4, 8] {
+        let ctx = Arc::new(StateContext::new());
+        let mgr = TransactionManager::new(Arc::clone(&ctx));
+        let tables: Vec<_> = (0..states)
+            .map(|i| {
+                let t = MvccTable::<u32, u64>::volatile(&ctx, format!("s{i}"));
+                mgr.register(t.clone());
+                t
+            })
+            .collect();
+        let ids: Vec<_> = tables.iter().map(|t| t.id()).collect();
+        mgr.register_group(&ids).unwrap();
+        group.bench_function(format!("group_commit_{states}_states"), |b| {
+            let mut key = 0u32;
+            b.iter(|| {
+                let tx = mgr.begin().unwrap();
+                for t in &tables {
+                    key = key.wrapping_add(1) % 1024;
+                    t.write(&tx, key, 7).unwrap();
+                }
+                mgr.commit(&tx).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_group_size);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Ablation bench: commit cost against the three base-table storage options
+//! (in-memory, LSM without fsync, LSM with synchronous writes — the paper's
+//! §5.1 configuration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tsp_workload::prelude::*;
+
+fn bench_storage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_storage_commit");
+    group.sample_size(20);
+    for storage in [StorageKind::InMemory, StorageKind::LsmNoSync, StorageKind::LsmSync] {
+        let config = WorkloadConfig {
+            protocol: Protocol::Mvcc,
+            table_size: 10_000,
+            storage,
+            ..Default::default()
+        };
+        let env = BenchEnv::build(&config).expect("build env");
+        group.bench_function(format!("writer_tx_{}", storage.name()), |b| {
+            let mut key = 0u32;
+            b.iter(|| {
+                let tx = env.mgr.begin().unwrap();
+                for op in 0..10usize {
+                    key = key.wrapping_add(1) % 10_000;
+                    env.states[op % 2].write(&tx, key, vec![0xEE; 20]).unwrap();
+                }
+                env.mgr.commit(&tx).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_storage);
+criterion_main!(benches);

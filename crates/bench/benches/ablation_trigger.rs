@@ -1,0 +1,54 @@
+//! Ablation bench: end-to-end pipeline cost of the two `TO_STREAM` trigger
+//! policies (§3): emitting after every committed transaction vs. after every
+//! tuple.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use tsp_core::prelude::*;
+use tsp_stream::prelude::*;
+
+fn run_pipeline(policy: TriggerPolicy, tuples: u64) -> usize {
+    let ctx = Arc::new(StateContext::new());
+    let mgr = TransactionManager::new(Arc::clone(&ctx));
+    let table = MvccTable::<u64, u64>::volatile(&ctx, "agg");
+    mgr.register(table.clone());
+    mgr.register_group(&[table.id()]).unwrap();
+    let coord = TxCoordinator::new(Arc::clone(&ctx));
+
+    let topo = Topology::new();
+    let writer_table = Arc::clone(&table);
+    let query_table = Arc::clone(&table);
+    let out = topo
+        .source_generate(tuples, |i| (i % 32, i))
+        .punctuate_every(50, Arc::clone(&coord))
+        .to_table(ToTable::new(
+            Arc::clone(&mgr),
+            Arc::clone(&coord),
+            table.id(),
+            Boundaries::Punctuations,
+            move |tx: &Tx, (k, v): &(u64, u64)| writer_table.write(tx, *k, *v),
+        ))
+        .to_stream(Arc::clone(&mgr), policy, move |tx| {
+            Ok(vec![query_table.scan(tx)?.len() as u64])
+        })
+        .collect();
+    topo.run();
+    out.take().len()
+}
+
+fn bench_trigger(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_to_stream_trigger");
+    group.sample_size(10);
+    for (label, policy) in [
+        ("on_commit", TriggerPolicy::OnCommit),
+        ("every_tuple", TriggerPolicy::EveryTuple),
+    ] {
+        group.bench_function(format!("pipeline_2000_tuples_{label}"), |b| {
+            b.iter(|| run_pipeline(policy, 2_000));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trigger);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Ablation bench: version-array capacity vs. update cost (§4.1 on-demand
+//! garbage collection).  Small arrays GC on almost every update of a hot key;
+//! large arrays amortise GC but hold more memory.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use tsp_core::prelude::*;
+use tsp_core::MvccTableOptions;
+
+fn bench_version_slots(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_version_slots");
+    for slots in [2usize, 8, 32] {
+        let ctx = Arc::new(StateContext::new());
+        let mgr = TransactionManager::new(Arc::clone(&ctx));
+        let table = MvccTable::<u32, u64>::with_options(
+            &ctx,
+            "t",
+            None,
+            MvccTableOptions {
+                version_slots: slots,
+                ..Default::default()
+            },
+        );
+        mgr.register(table.clone());
+        mgr.register_group(&[table.id()]).unwrap();
+        group.bench_function(format!("hot_key_update_slots_{slots}"), |b| {
+            let mut v = 0u64;
+            b.iter(|| {
+                let tx = mgr.begin().unwrap();
+                table.write(&tx, 1, v).unwrap();
+                mgr.commit(&tx).unwrap();
+                v += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_version_slots);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Criterion view of the Figure 4 scenario: per-transaction cost of the
+//! benchmark's reader and writer transactions for every protocol at a low
+//! and a high contention point.
+//!
+//! The full throughput sweep that regenerates the figure (concurrent readers,
+//! persistent synchronous writes, wall-clock measurement) is the `figure4`
+//! binary; these benches isolate the per-transaction CPU cost so regressions
+//! in the protocol hot paths show up in `cargo bench` directly.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use tsp_workload::prelude::*;
+
+const TABLE_SIZE: u64 = 50_000;
+const TX_OPS: usize = 10;
+
+fn build_env(protocol: Protocol) -> BenchEnv {
+    let config = WorkloadConfig {
+        protocol,
+        table_size: TABLE_SIZE,
+        storage: StorageKind::InMemory,
+        ..Default::default()
+    };
+    BenchEnv::build(&config).expect("build benchmark environment")
+}
+
+fn bench_reader_tx(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_reader_tx_10_ops");
+    for protocol in Protocol::ALL {
+        let env = build_env(protocol);
+        for theta in [0.0f64, 2.9] {
+            let zipf = ZipfTable::new(TABLE_SIZE, theta, true);
+            let mut sampler = ZipfSampler::new(Arc::clone(&zipf), 7);
+            group.bench_with_input(
+                BenchmarkId::new(protocol.name(), format!("theta={theta}")),
+                &theta,
+                |b, _| {
+                    b.iter(|| {
+                        let tx = env.mgr.begin_read_only().unwrap();
+                        for op in 0..TX_OPS {
+                            let key = sampler.next_key_u32();
+                            black_box(env.states[op % 2].read(&tx, &key).unwrap());
+                        }
+                        env.mgr.commit(&tx).unwrap();
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_writer_tx(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_writer_tx_10_ops");
+    for protocol in Protocol::ALL {
+        let env = build_env(protocol);
+        for theta in [0.0f64, 2.9] {
+            let zipf = ZipfTable::new(TABLE_SIZE, theta, true);
+            let mut sampler = ZipfSampler::new(Arc::clone(&zipf), 11);
+            group.bench_with_input(
+                BenchmarkId::new(protocol.name(), format!("theta={theta}")),
+                &theta,
+                |b, _| {
+                    b.iter(|| {
+                        let tx = env.mgr.begin().unwrap();
+                        for op in 0..TX_OPS {
+                            let key = sampler.next_key_u32();
+                            env.states[op % 2].write(&tx, key, vec![0xCD; 20]).unwrap();
+                        }
+                        // A single writer never conflicts; commit must succeed.
+                        env.mgr.commit(&tx).unwrap();
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_zipf_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_zipf_sampling");
+    for theta in [0.0f64, 0.99, 2.9] {
+        let zipf = ZipfTable::new(1_000_000, theta, true);
+        let mut sampler = ZipfSampler::new(zipf, 3);
+        group.bench_function(format!("theta={theta}"), |b| {
+            b.iter(|| black_box(sampler.next_key()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reader_tx, bench_writer_tx, bench_zipf_sampling);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Storage micro-bench: effect of the per-SSTable Bloom filters and the
+//! read-through LRU cache on point lookups.
+//!
+//! The paper's readers "mostly only access memory" (§5.2) because RocksDB
+//! serves them from its filter and block caches; this bench verifies that the
+//! reproduction's storage stand-in has the same shape: negative lookups are
+//! answered by the Bloom filter without touching the run, and repeated hot
+//! reads are served by the cache.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tsp_storage::prelude::*;
+
+fn build_store(dir: &std::path::Path) -> LsmStore {
+    let store = LsmStore::open(
+        dir,
+        LsmOptions::no_sync().with_memtable_budget(256 * 1024),
+    )
+    .unwrap();
+    for i in 0..50_000u32 {
+        store.put(&i.to_be_bytes(), &[7u8; 20]).unwrap();
+    }
+    store.flush().unwrap();
+    store
+}
+
+fn bench_bloom_and_cache(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("tsp-bench-bloom-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = build_store(&dir);
+    let mut group = c.benchmark_group("storage_bloom_cache");
+
+    group.bench_function("lsm_get_present", |b| {
+        let mut key = 0u32;
+        b.iter(|| {
+            key = key.wrapping_add(9973) % 50_000;
+            criterion::black_box(store.get(&key.to_be_bytes()).unwrap())
+        });
+    });
+
+    group.bench_function("lsm_get_absent_bloom_filtered", |b| {
+        let mut key = 1_000_000u32;
+        b.iter(|| {
+            key = key.wrapping_add(1);
+            criterion::black_box(store.get(&key.to_be_bytes()).unwrap())
+        });
+    });
+
+    let cached = CachedBackend::new(
+        LsmStore::open(dir.join("cached"), LsmOptions::no_sync()).unwrap(),
+        32 * 1024 * 1024,
+    );
+    for i in 0..10_000u32 {
+        cached.put(&i.to_be_bytes(), &[7u8; 20]).unwrap();
+    }
+    group.bench_function("cached_get_hot_key", |b| {
+        b.iter(|| criterion::black_box(cached.get(&42u32.to_be_bytes()).unwrap()));
+    });
+
+    group.finish();
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_bloom_and_cache);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Extension bench: YCSB core mixes across the three concurrency-control
+//! protocols (documented as an extension experiment in DESIGN.md).
+//!
+//! Each measurement runs a small, fixed batch of transactions (2 clients ×
+//! 200 transactions × 10 ops) on a fresh volatile state, so Criterion timings
+//! are comparable across protocols and mixes.  Absolute numbers are far below
+//! the paper's scale by design; the point of the bench is the *relative*
+//! ordering (MVCC ≥ BOCC ≥ S2PL for contended, write-heavy mixes; parity for
+//! read-only mixes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tsp_workload::prelude::*;
+use tsp_workload::ycsb::{run_ycsb, YcsbConfig, YcsbMix};
+
+fn config(protocol: Protocol, mix: YcsbMix) -> YcsbConfig {
+    YcsbConfig {
+        protocol,
+        mix,
+        clients: 2,
+        transactions_per_client: 200,
+        ops_per_tx: 10,
+        table_size: 10_000,
+        theta: 0.99,
+        value_size: 20,
+        scan_length: 10,
+        seed: 42,
+    }
+}
+
+fn bench_ycsb_mixes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ycsb_mixes");
+    group.sample_size(10);
+    for mix in [YcsbMix::A, YcsbMix::B, YcsbMix::C, YcsbMix::F] {
+        for protocol in Protocol::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(format!("mix_{}", mix.name), protocol.name()),
+                &(protocol, mix),
+                |b, (protocol, mix)| {
+                    b.iter(|| {
+                        let result = run_ycsb(&config(*protocol, *mix)).unwrap();
+                        criterion::black_box(result.committed)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ycsb_mixes);
+criterion_main!(benches);

@@ -1,0 +1,160 @@
+//! Regenerates **Figure 4** of the paper: "Contention and scalability check
+//! with persistent synchronous writes and medium-sized transactions" —
+//! throughput (K tps) over the contention level θ, one panel per number of
+//! concurrent ad-hoc queries (4 and 24), comparing MVCC, S2PL and BOCC.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p tsp-bench --bin figure4 [--full | --smoke]
+//!     [--readers 4,24] [--thetas 0,0.5,...] [--protocols mvcc,s2pl,bocc]
+//!     [--table-size N] [--duration-secs S] [--storage lsm-sync|lsm-nosync|mem]
+//!     [--csv PATH] [--calibrate]
+//! ```
+//!
+//! The default run uses 100 000 rows per state and 2 s per cell so the whole
+//! sweep finishes in a few minutes; `--full` switches to the paper's 1 M rows
+//! and 3 s per cell.  `--calibrate` only prints the Zipf calibration table
+//! (θ → share of accesses hitting the hottest key) and exits.
+
+use std::time::Duration;
+use tsp_bench::{evaluate_claims, run_figure4_sweep, Figure4Options};
+use tsp_workload::prelude::*;
+
+fn parse_args() -> Result<(Figure4Options, bool), String> {
+    let mut opts = Figure4Options::default();
+    let mut calibrate = false;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value for {flag}"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => opts = Figure4Options { csv: opts.csv.clone(), ..Figure4Options::full() },
+            "--smoke" => opts = Figure4Options { csv: opts.csv.clone(), ..Figure4Options::smoke() },
+            "--calibrate" => calibrate = true,
+            "--readers" => {
+                opts.readers = value(&args, &mut i, "--readers")?
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|e| format!("bad reader count: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--thetas" => {
+                opts.thetas = value(&args, &mut i, "--thetas")?
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|e| format!("bad theta: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--protocols" => {
+                opts.protocols = value(&args, &mut i, "--protocols")?
+                    .split(',')
+                    .map(|s| match s.trim().to_ascii_lowercase().as_str() {
+                        "mvcc" => Ok(Protocol::Mvcc),
+                        "s2pl" => Ok(Protocol::S2pl),
+                        "bocc" => Ok(Protocol::Bocc),
+                        other => Err(format!("unknown protocol '{other}'")),
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--table-size" => {
+                opts.table_size = value(&args, &mut i, "--table-size")?
+                    .parse()
+                    .map_err(|e| format!("bad table size: {e}"))?;
+            }
+            "--duration-secs" => {
+                let secs: f64 = value(&args, &mut i, "--duration-secs")?
+                    .parse()
+                    .map_err(|e| format!("bad duration: {e}"))?;
+                opts.duration = Duration::from_secs_f64(secs);
+            }
+            "--storage" => {
+                opts.storage = match value(&args, &mut i, "--storage")?.as_str() {
+                    "lsm-sync" => StorageKind::LsmSync,
+                    "lsm-nosync" => StorageKind::LsmNoSync,
+                    "mem" => StorageKind::InMemory,
+                    other => return Err(format!("unknown storage kind '{other}'")),
+                };
+            }
+            "--csv" => {
+                opts.csv = Some(value(&args, &mut i, "--csv")?.into());
+            }
+            "--help" | "-h" => {
+                println!("see the module documentation at the top of figure4.rs for usage");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+        i += 1;
+    }
+    Ok((opts, calibrate))
+}
+
+fn print_calibration() {
+    println!("Zipf calibration (hottest-key probability, key space = 1 000 000):");
+    println!("{:>6} {:>12}", "theta", "hot-key %");
+    for theta in [0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 2.9, 3.0] {
+        let table = ZipfTable::new(1_000_000, theta, false);
+        println!(
+            "{:>6.2} {:>11.1}%",
+            theta,
+            table.hottest_key_probability() * 100.0
+        );
+    }
+    println!("\n(the paper's setting: θ = 2.9 ≙ 82 % the same key)");
+}
+
+fn main() {
+    let (opts, calibrate) = match parse_args() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if calibrate {
+        print_calibration();
+        return;
+    }
+
+    println!(
+        "Figure 4 reproduction — {} cells ({} protocols × {} θ values × {} reader counts)",
+        opts.cell_count(),
+        opts.protocols.len(),
+        opts.thetas.len(),
+        opts.readers.len()
+    );
+    println!(
+        "table size = {} rows/state, duration = {:.1} s/cell, storage = {}\n",
+        opts.table_size,
+        opts.duration.as_secs_f64(),
+        opts.storage.name()
+    );
+
+    let results = match run_figure4_sweep(&opts, |r| println!("{}", summary_line(r))) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("benchmark failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!("\n=== Figure 4 (reproduced) ===");
+    println!("{}", figure4_table(&results));
+
+    println!("=== Paper claims (§5.2) vs. this run ===");
+    for line in evaluate_claims(&results) {
+        println!("{line}");
+    }
+
+    if let Some(path) = &opts.csv {
+        if let Err(e) = write_csv(path, &results) {
+            eprintln!("failed to write CSV {}: {e}", path.display());
+        } else {
+            println!("\nresults written to {}", path.display());
+        }
+    }
+}

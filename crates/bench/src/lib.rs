@@ -1,0 +1,232 @@
+//! # tsp-bench — benchmark harness drivers
+//!
+//! This crate hosts the executables and Criterion benches that regenerate the
+//! paper's evaluation:
+//!
+//! * `figure4` (binary) — the full sweep behind both panels of Figure 4:
+//!   throughput vs. contention θ for 4 and 24 concurrent ad-hoc queries,
+//!   comparing MVCC, S2PL and BOCC over a persistent, synchronously written
+//!   base table.
+//! * `ablations` (binary) — the design-choice ablations called out in
+//!   DESIGN.md (conflict-check timing, version-array capacity, storage
+//!   backend, group size, TO_STREAM trigger policy).
+//! * `benches/*` — Criterion micro-benchmarks of the building blocks
+//!   (MVCC object operations, table read/write/commit paths, WAL/LSM/SSTable
+//!   operations, Zipf sampling) plus scaled-down per-cell timings of the
+//!   Figure 4 scenario and the ablations.
+//!
+//! The shared sweep logic lives here so the binary and the benches stay thin.
+
+use std::time::Duration;
+use tsp_workload::prelude::*;
+
+/// Command-line options of the `figure4` binary (also reused by the quick
+/// smoke path in tests).
+#[derive(Clone, Debug)]
+pub struct Figure4Options {
+    /// Contention levels (θ values) to sweep.
+    pub thetas: Vec<f64>,
+    /// Reader counts to sweep (the paper's two panels use 4 and 24).
+    pub readers: Vec<usize>,
+    /// Protocols to compare.
+    pub protocols: Vec<Protocol>,
+    /// Keys preloaded per state.
+    pub table_size: u64,
+    /// Measurement duration per cell.
+    pub duration: Duration,
+    /// Base-table storage.
+    pub storage: StorageKind,
+    /// Optional CSV output path.
+    pub csv: Option<std::path::PathBuf>,
+}
+
+impl Default for Figure4Options {
+    fn default() -> Self {
+        Figure4Options {
+            thetas: vec![0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0],
+            readers: vec![4, 24],
+            protocols: Protocol::ALL.to_vec(),
+            // Scaled-down default so the whole sweep finishes in minutes on a
+            // laptop/container; `--full` restores the paper's 1 M rows.
+            table_size: 100_000,
+            duration: Duration::from_secs(2),
+            storage: StorageKind::LsmSync,
+            csv: None,
+        }
+    }
+}
+
+impl Figure4Options {
+    /// The paper's full-scale setup (1 M rows per state, 3 s per cell).
+    pub fn full() -> Self {
+        Figure4Options {
+            table_size: 1_000_000,
+            duration: Duration::from_secs(3),
+            ..Default::default()
+        }
+    }
+
+    /// A tiny smoke configuration used by tests and `--smoke`.
+    pub fn smoke() -> Self {
+        Figure4Options {
+            thetas: vec![0.0, 2.9],
+            readers: vec![2],
+            protocols: Protocol::ALL.to_vec(),
+            table_size: 2_000,
+            duration: Duration::from_millis(150),
+            storage: StorageKind::InMemory,
+            csv: None,
+        }
+    }
+
+    /// Number of cells the sweep will run.
+    pub fn cell_count(&self) -> usize {
+        self.thetas.len() * self.readers.len() * self.protocols.len()
+    }
+}
+
+/// Runs the Figure 4 sweep, printing one summary line per cell via
+/// `progress` and returning all results.
+pub fn run_figure4_sweep(
+    opts: &Figure4Options,
+    mut progress: impl FnMut(&RunResult),
+) -> tsp_common::Result<Vec<RunResult>> {
+    let mut results = Vec::with_capacity(opts.cell_count());
+    for &readers in &opts.readers {
+        for &theta in &opts.thetas {
+            for &protocol in &opts.protocols {
+                let config = WorkloadConfig {
+                    protocol,
+                    readers,
+                    theta,
+                    table_size: opts.table_size,
+                    duration: opts.duration,
+                    storage: opts.storage,
+                    ..Default::default()
+                };
+                let result = run(&config)?;
+                progress(&result);
+                results.push(result);
+            }
+        }
+    }
+    Ok(results)
+}
+
+/// Qualitative checks of the paper's §5.2 claims against a sweep's results.
+/// Returns human-readable verdict lines (claim, observed, pass/fail).
+pub fn evaluate_claims(results: &[RunResult]) -> Vec<String> {
+    let mut lines = Vec::new();
+    let find = |protocol: Protocol, readers: usize, theta: f64| -> Option<&RunResult> {
+        results.iter().find(|r| {
+            r.protocol == protocol && r.readers == readers && (r.theta - theta).abs() < 1e-6
+        })
+    };
+    let max_theta = results
+        .iter()
+        .map(|r| r.theta)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let max_readers = results.iter().map(|r| r.readers).max().unwrap_or(0);
+    let min_theta = results
+        .iter()
+        .map(|r| r.theta)
+        .fold(f64::INFINITY, f64::min);
+
+    // Claim 1: under high contention and many readers, MVCC clearly beats the
+    // locking baseline (and is at least competitive with BOCC).
+    if let (Some(mvcc), Some(s2pl), Some(bocc)) = (
+        find(Protocol::Mvcc, max_readers, max_theta),
+        find(Protocol::S2pl, max_readers, max_theta),
+        find(Protocol::Bocc, max_readers, max_theta),
+    ) {
+        let pass = mvcc.throughput_ktps > 1.2 * s2pl.throughput_ktps
+            && mvcc.throughput_ktps > 0.8 * bocc.throughput_ktps;
+        lines.push(format!(
+            "[{}] high contention (θ={max_theta:.1}, {max_readers} readers): MVCC {:.1} K tps vs S2PL {:.1} / BOCC {:.1} — paper: S2PL and BOCC 'brought to their knees', MVCC stays flat",
+            if pass { "PASS" } else { "FAIL" },
+            mvcc.throughput_ktps,
+            s2pl.throughput_ktps,
+            bocc.throughput_ktps
+        ));
+    }
+
+    // Claim 2: MVCC does not degrade as contention grows (the paper even
+    // observes a slight *increase* at high θ due to caching effects).
+    if let (Some(low), Some(high)) = (
+        find(Protocol::Mvcc, max_readers, min_theta),
+        find(Protocol::Mvcc, max_readers, max_theta),
+    ) {
+        let pass = high.throughput_ktps >= 0.6 * low.throughput_ktps;
+        lines.push(format!(
+            "[{}] MVCC resilience: {:.1} K tps at θ={min_theta:.1} → {:.1} K tps at θ={max_theta:.1} (paper: 'consistently a good performance'; caching effects at high contention)",
+            if pass { "PASS" } else { "FAIL" },
+            low.throughput_ktps,
+            high.throughput_ktps
+        ));
+    }
+
+    // Claim 3: at low contention with many readers BOCC is competitive with
+    // (paper: ~5 % faster than) MVCC.
+    if let (Some(mvcc), Some(bocc)) = (
+        find(Protocol::Mvcc, max_readers, min_theta),
+        find(Protocol::Bocc, max_readers, min_theta),
+    ) {
+        let ratio = bocc.throughput_ktps / mvcc.throughput_ktps.max(f64::EPSILON);
+        let pass = ratio > 0.85;
+        lines.push(format!(
+            "[{}] low contention (θ={min_theta:.1}, {max_readers} readers): BOCC/MVCC throughput ratio {:.2} (paper: BOCC ≈ 1.05× MVCC)",
+            if pass { "PASS" } else { "FAIL" },
+            ratio
+        ));
+    }
+
+    // Claim 4: S2PL falls increasingly behind MVCC as contention grows (readers
+    // block behind the writer's locks held across the synchronous commit).
+    if let (Some(s_low), Some(s_high), Some(m_low), Some(m_high)) = (
+        find(Protocol::S2pl, max_readers, min_theta),
+        find(Protocol::S2pl, max_readers, max_theta),
+        find(Protocol::Mvcc, max_readers, min_theta),
+        find(Protocol::Mvcc, max_readers, max_theta),
+    ) {
+        let ratio_low = s_low.throughput_ktps / m_low.throughput_ktps.max(f64::EPSILON);
+        let ratio_high = s_high.throughput_ktps / m_high.throughput_ktps.max(f64::EPSILON);
+        let pass = ratio_high < ratio_low;
+        lines.push(format!(
+            "[{}] S2PL falls behind MVCC with contention: S2PL/MVCC throughput ratio {:.2} at θ={min_theta:.1} → {:.2} at θ={max_theta:.1} (readers block behind the writer's locks held across the synchronous commit)",
+            if pass { "PASS" } else { "FAIL" },
+            ratio_low,
+            ratio_high
+        ));
+    }
+
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_produces_all_cells_and_claims() {
+        let opts = Figure4Options::smoke();
+        assert_eq!(opts.cell_count(), 6);
+        let mut seen = 0;
+        let results = run_figure4_sweep(&opts, |_| seen += 1).unwrap();
+        assert_eq!(results.len(), 6);
+        assert_eq!(seen, 6);
+        let claims = evaluate_claims(&results);
+        assert!(!claims.is_empty());
+        for line in &claims {
+            assert!(line.starts_with("[PASS]") || line.starts_with("[FAIL]"));
+        }
+        let table = figure4_table(&results);
+        assert!(table.contains("concurrent ad-hoc queries = 2"));
+    }
+
+    #[test]
+    fn option_presets() {
+        assert_eq!(Figure4Options::default().table_size, 100_000);
+        assert_eq!(Figure4Options::full().table_size, 1_000_000);
+        assert!(Figure4Options::smoke().cell_count() < Figure4Options::default().cell_count());
+    }
+}

@@ -1,0 +1,241 @@
+//! The error hierarchy shared by all layers of the workspace.
+//!
+//! Transaction-control outcomes (`WriteConflict`, `TxnAborted`, `Deadlock`,
+//! `ValidationFailed`) are modelled as *errors* so that protocol code can use
+//! `?` freely; callers that implement retry loops (e.g. the benchmark harness
+//! and the `TO_TABLE` operator) match on [`TspError::is_retryable`].
+
+use std::fmt;
+use std::io;
+
+/// Convenience result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, TspError>;
+
+/// Errors produced by the storage, transaction and stream layers.
+#[derive(Debug)]
+pub enum TspError {
+    /// Snapshot-isolation write-write conflict: a concurrent transaction
+    /// committed a newer version of a key in this transaction's write set
+    /// (First-Committer-Wins rule, §4.2).
+    WriteConflict {
+        /// The transaction that lost the conflict.
+        txn: u64,
+        /// Human-readable description of the conflicting access.
+        detail: String,
+    },
+    /// Backward-oriented optimistic validation failed: the read set overlaps
+    /// the write set of a transaction that committed during this
+    /// transaction's lifetime.
+    ValidationFailed {
+        /// The transaction that failed validation.
+        txn: u64,
+    },
+    /// Deadlock avoidance (wait-die) or detection aborted the transaction.
+    Deadlock {
+        /// The transaction chosen as the victim.
+        txn: u64,
+    },
+    /// The transaction was aborted — either explicitly (ROLLBACK punctuation,
+    /// user abort) or as part of a global abort of its group.
+    TxnAborted {
+        /// The aborted transaction.
+        txn: u64,
+        /// Why the abort happened.
+        reason: String,
+    },
+    /// The transaction id is not (or no longer) registered in the state
+    /// context — e.g. operations after commit/abort.
+    UnknownTxn {
+        /// The offending transaction id.
+        txn: u64,
+    },
+    /// A state id was used that has not been registered in the context.
+    UnknownState {
+        /// The offending state id.
+        state: u32,
+    },
+    /// A group id was used that has not been registered in the context.
+    UnknownGroup {
+        /// The offending group id.
+        group: u32,
+    },
+    /// The active-transaction table (or another fixed-capacity structure) is
+    /// full; the caller should retry after in-flight transactions finish.
+    CapacityExhausted {
+        /// Which structure ran out of slots.
+        what: &'static str,
+    },
+    /// The requested key does not exist (storage layer lookups that require
+    /// presence).
+    KeyNotFound,
+    /// Corruption detected while decoding persistent data (WAL, SSTable,
+    /// manifest): checksum mismatch, truncated record, bad magic, ...
+    Corruption {
+        /// Description of what failed to decode.
+        detail: String,
+    },
+    /// Underlying I/O error from the persistent storage backend.
+    Io(io::Error),
+    /// A stream operator was used outside a transaction where one is
+    /// required, or punctuations arrived in an invalid order.
+    ProtocolViolation {
+        /// Description of the violation.
+        detail: String,
+    },
+    /// Configuration error (invalid parameter combination).
+    Config {
+        /// Description of the invalid configuration.
+        detail: String,
+    },
+}
+
+impl TspError {
+    /// True if the error represents a transient transaction failure that the
+    /// caller may retry with a fresh transaction (conflicts, validation
+    /// failures, deadlock victims, capacity pressure).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            TspError::WriteConflict { .. }
+                | TspError::ValidationFailed { .. }
+                | TspError::Deadlock { .. }
+                | TspError::CapacityExhausted { .. }
+        )
+    }
+
+    /// True if the error is a concurrency-control abort (any of the three
+    /// protocols deciding the transaction must not commit).
+    pub fn is_cc_abort(&self) -> bool {
+        matches!(
+            self,
+            TspError::WriteConflict { .. }
+                | TspError::ValidationFailed { .. }
+                | TspError::Deadlock { .. }
+                | TspError::TxnAborted { .. }
+        )
+    }
+
+    /// Shorthand constructor for [`TspError::Corruption`].
+    pub fn corruption(detail: impl Into<String>) -> Self {
+        TspError::Corruption {
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand constructor for [`TspError::ProtocolViolation`].
+    pub fn protocol(detail: impl Into<String>) -> Self {
+        TspError::ProtocolViolation {
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand constructor for [`TspError::Config`].
+    pub fn config(detail: impl Into<String>) -> Self {
+        TspError::Config {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for TspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TspError::WriteConflict { txn, detail } => {
+                write!(f, "write-write conflict in txn {txn}: {detail}")
+            }
+            TspError::ValidationFailed { txn } => {
+                write!(f, "optimistic validation failed for txn {txn}")
+            }
+            TspError::Deadlock { txn } => write!(f, "txn {txn} aborted to avoid deadlock"),
+            TspError::TxnAborted { txn, reason } => write!(f, "txn {txn} aborted: {reason}"),
+            TspError::UnknownTxn { txn } => write!(f, "unknown transaction id {txn}"),
+            TspError::UnknownState { state } => write!(f, "unknown state id {state}"),
+            TspError::UnknownGroup { group } => write!(f, "unknown group id {group}"),
+            TspError::CapacityExhausted { what } => write!(f, "capacity exhausted: {what}"),
+            TspError::KeyNotFound => write!(f, "key not found"),
+            TspError::Corruption { detail } => write!(f, "corruption detected: {detail}"),
+            TspError::Io(e) => write!(f, "I/O error: {e}"),
+            TspError::ProtocolViolation { detail } => write!(f, "protocol violation: {detail}"),
+            TspError::Config { detail } => write!(f, "configuration error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for TspError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TspError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TspError {
+    fn from(e: io::Error) -> Self {
+        TspError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryable_classification() {
+        assert!(TspError::WriteConflict {
+            txn: 1,
+            detail: "k".into()
+        }
+        .is_retryable());
+        assert!(TspError::ValidationFailed { txn: 1 }.is_retryable());
+        assert!(TspError::Deadlock { txn: 1 }.is_retryable());
+        assert!(TspError::CapacityExhausted { what: "slots" }.is_retryable());
+        assert!(!TspError::KeyNotFound.is_retryable());
+        assert!(!TspError::corruption("bad crc").is_retryable());
+        assert!(!TspError::TxnAborted {
+            txn: 1,
+            reason: "user".into()
+        }
+        .is_retryable());
+    }
+
+    #[test]
+    fn cc_abort_classification() {
+        assert!(TspError::WriteConflict {
+            txn: 1,
+            detail: String::new()
+        }
+        .is_cc_abort());
+        assert!(TspError::TxnAborted {
+            txn: 1,
+            reason: String::new()
+        }
+        .is_cc_abort());
+        assert!(!TspError::KeyNotFound.is_cc_abort());
+        assert!(!TspError::Io(io::Error::new(io::ErrorKind::Other, "x")).is_cc_abort());
+    }
+
+    #[test]
+    fn display_messages_mention_key_facts() {
+        let e = TspError::WriteConflict {
+            txn: 9,
+            detail: "key 5".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('9'));
+        assert!(msg.contains("key 5"));
+
+        assert!(TspError::UnknownState { state: 3 }.to_string().contains('3'));
+        assert!(TspError::config("bad").to_string().contains("bad"));
+        assert!(TspError::protocol("oops").to_string().contains("oops"));
+    }
+
+    #[test]
+    fn io_error_conversion_and_source() {
+        let ioe = io::Error::new(io::ErrorKind::NotFound, "gone");
+        let e: TspError = ioe.into();
+        assert!(matches!(e, TspError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&TspError::KeyNotFound).is_none());
+    }
+}

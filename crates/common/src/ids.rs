@@ -1,0 +1,208 @@
+//! Identifier newtypes.
+//!
+//! All identifiers are small `Copy` newtypes over unsigned integers.  Using
+//! newtypes (rather than bare `u64`/`u32`) prevents the classic
+//! swapped-argument bugs between transaction ids, state ids and group ids,
+//! which all flow through the same protocol code paths.
+
+use std::fmt;
+
+/// Identifier of a transaction.
+///
+/// Transaction ids are issued by the global logical clock
+/// (`tsp_core::clock::GlobalClock`); the id of a transaction doubles as its
+/// *begin timestamp* in the paper's protocol ("At the beginning of each
+/// transaction, it is assigned a unique timestamp (TxnID)").
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct TxnId(pub u64);
+
+impl TxnId {
+    /// Sentinel id meaning "no transaction".
+    pub const NONE: TxnId = TxnId(0);
+
+    /// Returns the raw numeric value.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// True if this is the [`TxnId::NONE`] sentinel.
+    #[inline]
+    pub const fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Debug for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Txn({})", self.0)
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for TxnId {
+    fn from(v: u64) -> Self {
+        TxnId(v)
+    }
+}
+
+/// Identifier of a transactional state (a queryable table).
+///
+/// States are registered in the global state context; stream queries name the
+/// states they write so that the consistency protocol knows which states form
+/// an atomic group.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct StateId(pub u32);
+
+impl StateId {
+    /// Returns the raw numeric value.
+    #[inline]
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the id as a usize, convenient for indexing registries.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "State({})", self.0)
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for StateId {
+    fn from(v: u32) -> Self {
+        StateId(v)
+    }
+}
+
+/// Identifier of a topology group — the set of states written atomically by
+/// one continuous query.
+///
+/// The paper (Fig. 3, "Topologies") tracks `GroupID → List<StateID>, LastCTS`;
+/// [`GroupId`] is the key of that map.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct GroupId(pub u32);
+
+impl GroupId {
+    /// Returns the raw numeric value.
+    #[inline]
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the id as a usize, convenient for indexing registries.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Group({})", self.0)
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for GroupId {
+    fn from(v: u32) -> Self {
+        GroupId(v)
+    }
+}
+
+/// Identifier of an operator instance inside a topology.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct OperatorId(pub u32);
+
+impl OperatorId {
+    /// Returns the raw numeric value.
+    #[inline]
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for OperatorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Op({})", self.0)
+    }
+}
+
+impl fmt::Display for OperatorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for OperatorId {
+    fn from(v: u32) -> Self {
+        OperatorId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn txn_id_none_sentinel() {
+        assert!(TxnId::NONE.is_none());
+        assert!(!TxnId(1).is_none());
+        assert_eq!(TxnId::NONE.as_u64(), 0);
+    }
+
+    #[test]
+    fn txn_id_ordering_follows_numeric_order() {
+        assert!(TxnId(1) < TxnId(2));
+        assert!(TxnId(100) > TxnId(99));
+        assert_eq!(TxnId(7), TxnId::from(7));
+    }
+
+    #[test]
+    fn state_and_group_ids_index() {
+        assert_eq!(StateId(3).index(), 3);
+        assert_eq!(GroupId(9).index(), 9);
+        assert_eq!(StateId::from(5).as_u32(), 5);
+        assert_eq!(GroupId::from(5).as_u32(), 5);
+    }
+
+    #[test]
+    fn ids_are_hashable_and_distinct() {
+        let mut set = HashSet::new();
+        for i in 0..100u64 {
+            assert!(set.insert(TxnId(i)));
+        }
+        assert_eq!(set.len(), 100);
+    }
+
+    #[test]
+    fn debug_formats_are_tagged() {
+        assert_eq!(format!("{:?}", TxnId(4)), "Txn(4)");
+        assert_eq!(format!("{:?}", StateId(4)), "State(4)");
+        assert_eq!(format!("{:?}", GroupId(4)), "Group(4)");
+        assert_eq!(format!("{:?}", OperatorId(4)), "Op(4)");
+        assert_eq!(format!("{}", OperatorId(4)), "4");
+    }
+}

@@ -1,0 +1,179 @@
+//! Punctuations — data-centric transaction boundaries.
+//!
+//! In the data-centric approach of §3 of the paper, transaction boundaries
+//! (`BOT`, `COMMIT`, `ROLLBACK`) are marked by dedicated stream elements
+//! while ordinary elements are interpreted as insert/update operations.  A
+//! [`Punctuation`] is such a dedicated element; it flows in-band with the
+//! data through the topology so every stateful operator observes the same
+//! boundaries in the same order.
+
+use crate::ids::TxnId;
+use crate::time::Timestamp;
+use std::fmt;
+
+/// The kind of control information a punctuation carries.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum PunctuationKind {
+    /// Begin-of-transaction: all subsequent data elements up to the matching
+    /// [`PunctuationKind::Commit`] / [`PunctuationKind::Rollback`] belong to
+    /// the transaction identified by the punctuation's [`TxnId`].
+    Bot,
+    /// Commit the current transaction.
+    Commit,
+    /// Roll back (abort) the current transaction.
+    Rollback,
+    /// A window boundary: downstream operators may close and emit the current
+    /// window.  Carries no transactional meaning by itself.
+    WindowClose,
+    /// End of stream: no further elements will arrive on this edge.
+    EndOfStream,
+}
+
+impl fmt::Display for PunctuationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PunctuationKind::Bot => "BOT",
+            PunctuationKind::Commit => "COMMIT",
+            PunctuationKind::Rollback => "ROLLBACK",
+            PunctuationKind::WindowClose => "WINDOW_CLOSE",
+            PunctuationKind::EndOfStream => "EOS",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A punctuation element: a transaction-boundary (or control) marker embedded
+/// in a stream.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Punctuation {
+    /// What this punctuation signals.
+    pub kind: PunctuationKind,
+    /// The transaction the punctuation refers to (meaningful for
+    /// `Bot`/`Commit`/`Rollback`; [`TxnId::NONE`] otherwise).
+    pub txn: TxnId,
+    /// Event-time timestamp at which the punctuation was generated.
+    pub timestamp: Timestamp,
+}
+
+impl Punctuation {
+    /// Begin-of-transaction punctuation for `txn`.
+    pub const fn bot(txn: TxnId, timestamp: Timestamp) -> Self {
+        Punctuation {
+            kind: PunctuationKind::Bot,
+            txn,
+            timestamp,
+        }
+    }
+
+    /// Commit punctuation for `txn`.
+    pub const fn commit(txn: TxnId, timestamp: Timestamp) -> Self {
+        Punctuation {
+            kind: PunctuationKind::Commit,
+            txn,
+            timestamp,
+        }
+    }
+
+    /// Rollback punctuation for `txn`.
+    pub const fn rollback(txn: TxnId, timestamp: Timestamp) -> Self {
+        Punctuation {
+            kind: PunctuationKind::Rollback,
+            txn,
+            timestamp,
+        }
+    }
+
+    /// Window-close punctuation (no transaction attached).
+    pub const fn window_close(timestamp: Timestamp) -> Self {
+        Punctuation {
+            kind: PunctuationKind::WindowClose,
+            txn: TxnId::NONE,
+            timestamp,
+        }
+    }
+
+    /// End-of-stream punctuation (no transaction attached).
+    pub const fn end_of_stream(timestamp: Timestamp) -> Self {
+        Punctuation {
+            kind: PunctuationKind::EndOfStream,
+            txn: TxnId::NONE,
+            timestamp,
+        }
+    }
+
+    /// True if this punctuation delimits a transaction (BOT/COMMIT/ROLLBACK).
+    pub const fn is_transactional(&self) -> bool {
+        matches!(
+            self.kind,
+            PunctuationKind::Bot | PunctuationKind::Commit | PunctuationKind::Rollback
+        )
+    }
+
+    /// True if this punctuation terminates a transaction (COMMIT/ROLLBACK).
+    pub const fn ends_transaction(&self) -> bool {
+        matches!(
+            self.kind,
+            PunctuationKind::Commit | PunctuationKind::Rollback
+        )
+    }
+}
+
+impl fmt::Display for Punctuation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.txn.is_none() {
+            write!(f, "<{} @{}>", self.kind, self.timestamp)
+        } else {
+            write!(f, "<{} {} @{}>", self.kind, self.txn, self.timestamp)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind_and_txn() {
+        let bot = Punctuation::bot(TxnId(7), 100);
+        assert_eq!(bot.kind, PunctuationKind::Bot);
+        assert_eq!(bot.txn, TxnId(7));
+        assert_eq!(bot.timestamp, 100);
+
+        let c = Punctuation::commit(TxnId(7), 101);
+        assert_eq!(c.kind, PunctuationKind::Commit);
+
+        let r = Punctuation::rollback(TxnId(7), 102);
+        assert_eq!(r.kind, PunctuationKind::Rollback);
+
+        let w = Punctuation::window_close(103);
+        assert_eq!(w.kind, PunctuationKind::WindowClose);
+        assert!(w.txn.is_none());
+
+        let e = Punctuation::end_of_stream(104);
+        assert_eq!(e.kind, PunctuationKind::EndOfStream);
+        assert!(e.txn.is_none());
+    }
+
+    #[test]
+    fn transactional_classification() {
+        assert!(Punctuation::bot(TxnId(1), 0).is_transactional());
+        assert!(Punctuation::commit(TxnId(1), 0).is_transactional());
+        assert!(Punctuation::rollback(TxnId(1), 0).is_transactional());
+        assert!(!Punctuation::window_close(0).is_transactional());
+        assert!(!Punctuation::end_of_stream(0).is_transactional());
+    }
+
+    #[test]
+    fn transaction_ending_classification() {
+        assert!(!Punctuation::bot(TxnId(1), 0).ends_transaction());
+        assert!(Punctuation::commit(TxnId(1), 0).ends_transaction());
+        assert!(Punctuation::rollback(TxnId(1), 0).ends_transaction());
+        assert!(!Punctuation::window_close(0).ends_transaction());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Punctuation::bot(TxnId(3), 5)), "<BOT 3 @5>");
+        assert_eq!(format!("{}", Punctuation::window_close(9)), "<WINDOW_CLOSE @9>");
+    }
+}

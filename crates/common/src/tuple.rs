@@ -1,0 +1,192 @@
+//! Stream tuples and stream elements.
+//!
+//! A stream is "a potentially infinite sequence of tuples of data, where
+//! tuples carry an implicit or explicit ordering" (§3).  We make the ordering
+//! explicit: every [`Tuple`] carries an event-time [`Timestamp`] and a
+//! monotonically increasing sequence number assigned by its source.
+//!
+//! A [`StreamElement`] is what actually travels on a topology edge: either a
+//! data tuple or a [`Punctuation`] marking a transaction or window boundary.
+
+use crate::punctuation::Punctuation;
+use crate::time::Timestamp;
+use std::fmt;
+
+/// A data tuple flowing through a stream.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Tuple<T> {
+    /// Event-time timestamp (logical; assigned by the source).
+    pub timestamp: Timestamp,
+    /// Sequence number within the producing stream, for implicit ordering.
+    pub seq: u64,
+    /// The payload.
+    pub payload: T,
+}
+
+impl<T> Tuple<T> {
+    /// Creates a tuple with the given timestamp, sequence number and payload.
+    pub const fn new(timestamp: Timestamp, seq: u64, payload: T) -> Self {
+        Tuple {
+            timestamp,
+            seq,
+            payload,
+        }
+    }
+
+    /// Maps the payload, keeping timestamp and sequence number.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Tuple<U> {
+        Tuple {
+            timestamp: self.timestamp,
+            seq: self.seq,
+            payload: f(self.payload),
+        }
+    }
+
+    /// Borrowed view of the payload together with its metadata.
+    pub fn as_ref(&self) -> Tuple<&T> {
+        Tuple {
+            timestamp: self.timestamp,
+            seq: self.seq,
+            payload: &self.payload,
+        }
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Tuple<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} @{} #{})", self.payload, self.timestamp, self.seq)
+    }
+}
+
+/// One element on a stream edge: data or punctuation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StreamElement<T> {
+    /// A data tuple.
+    Data(Tuple<T>),
+    /// A control/punctuation marker.
+    Punctuation(Punctuation),
+}
+
+impl<T> StreamElement<T> {
+    /// Convenience constructor for a data element.
+    pub fn data(timestamp: Timestamp, seq: u64, payload: T) -> Self {
+        StreamElement::Data(Tuple::new(timestamp, seq, payload))
+    }
+
+    /// True if this element is a data tuple.
+    pub const fn is_data(&self) -> bool {
+        matches!(self, StreamElement::Data(_))
+    }
+
+    /// True if this element is a punctuation.
+    pub const fn is_punctuation(&self) -> bool {
+        matches!(self, StreamElement::Punctuation(_))
+    }
+
+    /// Returns the data tuple, if any.
+    pub fn as_data(&self) -> Option<&Tuple<T>> {
+        match self {
+            StreamElement::Data(t) => Some(t),
+            StreamElement::Punctuation(_) => None,
+        }
+    }
+
+    /// Returns the punctuation, if any.
+    pub fn as_punctuation(&self) -> Option<&Punctuation> {
+        match self {
+            StreamElement::Data(_) => None,
+            StreamElement::Punctuation(p) => Some(p),
+        }
+    }
+
+    /// Consumes the element and returns the data tuple, if any.
+    pub fn into_data(self) -> Option<Tuple<T>> {
+        match self {
+            StreamElement::Data(t) => Some(t),
+            StreamElement::Punctuation(_) => None,
+        }
+    }
+
+    /// The event-time timestamp of the element (data or punctuation).
+    pub fn timestamp(&self) -> Timestamp {
+        match self {
+            StreamElement::Data(t) => t.timestamp,
+            StreamElement::Punctuation(p) => p.timestamp,
+        }
+    }
+
+    /// Maps the payload of a data element; punctuations pass through
+    /// untouched.  This is the core of every stateless operator.
+    pub fn map_data<U>(self, f: impl FnOnce(T) -> U) -> StreamElement<U> {
+        match self {
+            StreamElement::Data(t) => StreamElement::Data(t.map(f)),
+            StreamElement::Punctuation(p) => StreamElement::Punctuation(p),
+        }
+    }
+}
+
+impl<T> From<Punctuation> for StreamElement<T> {
+    fn from(p: Punctuation) -> Self {
+        StreamElement::Punctuation(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::TxnId;
+    use crate::punctuation::PunctuationKind;
+
+    #[test]
+    fn tuple_map_preserves_metadata() {
+        let t = Tuple::new(10, 3, 21u32);
+        let u = t.map(|v| v * 2);
+        assert_eq!(u.timestamp, 10);
+        assert_eq!(u.seq, 3);
+        assert_eq!(u.payload, 42);
+    }
+
+    #[test]
+    fn tuple_as_ref_borrows() {
+        let t = Tuple::new(1, 2, String::from("abc"));
+        let r = t.as_ref();
+        assert_eq!(r.payload, "abc");
+        assert_eq!(r.timestamp, 1);
+        // original still usable
+        assert_eq!(t.payload.len(), 3);
+    }
+
+    #[test]
+    fn element_classification() {
+        let d: StreamElement<u32> = StreamElement::data(5, 0, 7);
+        assert!(d.is_data());
+        assert!(!d.is_punctuation());
+        assert_eq!(d.as_data().unwrap().payload, 7);
+        assert!(d.as_punctuation().is_none());
+        assert_eq!(d.timestamp(), 5);
+
+        let p: StreamElement<u32> = Punctuation::commit(TxnId(1), 9).into();
+        assert!(p.is_punctuation());
+        assert_eq!(p.as_punctuation().unwrap().kind, PunctuationKind::Commit);
+        assert_eq!(p.timestamp(), 9);
+        assert!(p.as_data().is_none());
+        assert!(p.clone().into_data().is_none());
+    }
+
+    #[test]
+    fn map_data_passes_punctuation_through() {
+        let p: StreamElement<u32> = Punctuation::bot(TxnId(2), 4).into();
+        let mapped = p.map_data(|v| v + 1);
+        assert!(mapped.is_punctuation());
+
+        let d: StreamElement<u32> = StreamElement::data(0, 0, 10);
+        let mapped = d.map_data(|v| v + 1);
+        assert_eq!(mapped.into_data().unwrap().payload, 11);
+    }
+
+    #[test]
+    fn display_tuple() {
+        let t = Tuple::new(2, 7, 99u32);
+        assert_eq!(format!("{t}"), "(99 @2 #7)");
+    }
+}

@@ -1,0 +1,795 @@
+//! The global state context (§4.1, Fig. 3).
+//!
+//! The context is the shared runtime metadata of the transaction layer:
+//!
+//! * **States** — every registered transactional state (queryable table) with
+//!   its name and optional physical location,
+//! * **Topologies/Groups** — which states are written together atomically by
+//!   one continuous query (`GroupID → List<StateID>, LastCTS`),
+//! * **Active transactions** — a fixed array of transaction slots whose
+//!   occupancy is managed by a CAS-updated 64-bit bitmap (the paper's bit
+//!   vector); each slot tracks the accessed states with their status
+//!   (`Active` / `Commit` / `Abort`) and the pinned `ReadCTS` per group,
+//! * the **global atomic clock** issuing all timestamps, and
+//! * `OldestActiveVersion` — the oldest snapshot any in-flight transaction
+//!   may still read, used by on-demand garbage collection.
+//!
+//! Hot-path operations (slot allocation, snapshot-floor maintenance, LastCTS
+//! publication) use atomics only.  Per-slot detail lists (accessed states,
+//! pinned groups) sit behind a short-critical-section mutex per slot; the
+//! registries of states and groups are read-mostly and behind an `RwLock`
+//! because they are only written during topology setup.
+
+use crate::clock::{GlobalClock, EPOCH_TS};
+use crate::stats::TxStats;
+use parking_lot::{Mutex, RwLock};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use tsp_common::{GroupId, Result, StateId, Timestamp, TspError, TxnId};
+
+/// Maximum number of concurrently active transactions (slot-bitmap width).
+pub const MAX_ACTIVE_TXNS: usize = 64;
+
+/// Commit status of one state within one transaction (the paper's
+/// `List<StateID, Status>`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StateStatus {
+    /// The state has been accessed; no commit/abort decision yet.
+    Active,
+    /// The operator responsible for this state voted commit.
+    Commit,
+    /// The operator responsible for this state voted abort.
+    Abort,
+}
+
+/// Outcome of flagging a state as committed within a transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommitVote {
+    /// Other states of the transaction still have to vote.
+    Pending,
+    /// This caller set the *last* missing commit flag and therefore becomes
+    /// the coordinator responsible for the global commit (§4.3).
+    Coordinator,
+    /// At least one state has voted abort — the transaction must be rolled
+    /// back globally.
+    Aborted,
+}
+
+/// Metadata describing a registered state.
+#[derive(Clone, Debug)]
+pub struct StateInfo {
+    /// The state's identifier.
+    pub id: StateId,
+    /// Human-readable name.
+    pub name: String,
+    /// Optional physical location (e.g. the directory of a persistent base
+    /// table), mirroring the "Location/Pointer" column of Fig. 3.
+    pub location: Option<PathBuf>,
+}
+
+struct GroupInfo {
+    states: Vec<StateId>,
+    /// LastCTS — the commit timestamp of the last *globally completed*
+    /// transaction of this group.  Readers pin their snapshot to this value.
+    last_cts: AtomicU64,
+}
+
+/// Per-transaction bookkeeping stored in a slot.
+#[derive(Clone, Debug, Default)]
+struct TxDetail {
+    /// Accessed states and their commit status.
+    states: Vec<(StateId, StateStatus)>,
+    /// Pinned read snapshot per group (`List<GroupID, ReadCTS>`).
+    read_cts: Vec<(GroupId, Timestamp)>,
+}
+
+struct TxSlot {
+    /// Transaction id occupying the slot (0 = free).
+    txn: AtomicU64,
+    /// Lower bound of the snapshots this transaction may read; feeds the
+    /// OldestActiveVersion computation.
+    snapshot_floor: AtomicU64,
+    detail: Mutex<TxDetail>,
+}
+
+impl TxSlot {
+    fn new() -> Self {
+        TxSlot {
+            txn: AtomicU64::new(0),
+            snapshot_floor: AtomicU64::new(u64::MAX),
+            detail: Mutex::new(TxDetail::default()),
+        }
+    }
+}
+
+/// A handle to a running transaction.
+///
+/// The handle is cheap to clone and carries its slot index so table
+/// operations never need a lookup to find the transaction's bookkeeping.
+#[derive(Clone, Debug)]
+pub struct Tx {
+    id: TxnId,
+    slot: usize,
+    begin_ts: Timestamp,
+    read_only: bool,
+}
+
+impl Tx {
+    /// The transaction id (== begin timestamp).
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// The begin timestamp.
+    pub fn begin_ts(&self) -> Timestamp {
+        self.begin_ts
+    }
+
+    /// Slot index inside the active-transaction table.
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+
+    /// True if the transaction was opened read-only.
+    pub fn is_read_only(&self) -> bool {
+        self.read_only
+    }
+}
+
+/// The global state context shared by all tables, protocols and operators.
+pub struct StateContext {
+    clock: GlobalClock,
+    states: RwLock<Vec<StateInfo>>,
+    groups: RwLock<Vec<GroupInfo>>,
+    slots: Vec<TxSlot>,
+    /// Occupancy bitmap of the active-transaction slots (CAS-updated).
+    slot_bitmap: AtomicU64,
+    stats: TxStats,
+}
+
+impl Default for StateContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StateContext {
+    /// Creates an empty context with a fresh clock.
+    pub fn new() -> Self {
+        Self::with_clock(GlobalClock::new())
+    }
+
+    /// Creates a context around an existing clock (used by recovery).
+    pub fn with_clock(clock: GlobalClock) -> Self {
+        StateContext {
+            clock,
+            states: RwLock::new(Vec::new()),
+            groups: RwLock::new(Vec::new()),
+            slots: (0..MAX_ACTIVE_TXNS).map(|_| TxSlot::new()).collect(),
+            slot_bitmap: AtomicU64::new(0),
+            stats: TxStats::new(),
+        }
+    }
+
+    /// The global clock.
+    pub fn clock(&self) -> &GlobalClock {
+        &self.clock
+    }
+
+    /// Shared transaction statistics.
+    pub fn stats(&self) -> &TxStats {
+        &self.stats
+    }
+
+    // ------------------------------------------------------------------
+    // Registries
+    // ------------------------------------------------------------------
+
+    /// Registers a new state and returns its id.
+    pub fn register_state(&self, name: impl Into<String>) -> StateId {
+        self.register_state_at(name, None)
+    }
+
+    /// Registers a new state with a physical location.
+    pub fn register_state_at(
+        &self,
+        name: impl Into<String>,
+        location: Option<PathBuf>,
+    ) -> StateId {
+        let mut states = self.states.write();
+        let id = StateId(states.len() as u32);
+        states.push(StateInfo {
+            id,
+            name: name.into(),
+            location,
+        });
+        id
+    }
+
+    /// Returns the metadata of a registered state.
+    pub fn state_info(&self, state: StateId) -> Result<StateInfo> {
+        self.states
+            .read()
+            .get(state.index())
+            .cloned()
+            .ok_or(TspError::UnknownState { state: state.0 })
+    }
+
+    /// Number of registered states.
+    pub fn state_count(&self) -> usize {
+        self.states.read().len()
+    }
+
+    /// Registers a topology group: the set of states one continuous query
+    /// updates atomically.  The group's `LastCTS` starts at the epoch, i.e.
+    /// preloaded/recovered base-table data is visible to every reader.
+    pub fn register_group(&self, states: &[StateId]) -> Result<GroupId> {
+        {
+            let registered = self.states.read();
+            for s in states {
+                if s.index() >= registered.len() {
+                    return Err(TspError::UnknownState { state: s.0 });
+                }
+            }
+        }
+        let mut groups = self.groups.write();
+        let id = GroupId(groups.len() as u32);
+        groups.push(GroupInfo {
+            states: states.to_vec(),
+            last_cts: AtomicU64::new(EPOCH_TS),
+        });
+        Ok(id)
+    }
+
+    /// Number of registered groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.read().len()
+    }
+
+    /// States belonging to a group.
+    pub fn group_states(&self, group: GroupId) -> Result<Vec<StateId>> {
+        self.groups
+            .read()
+            .get(group.index())
+            .map(|g| g.states.clone())
+            .ok_or(TspError::UnknownGroup { group: group.0 })
+    }
+
+    /// Groups a state belongs to (usually exactly one).
+    pub fn groups_of_state(&self, state: StateId) -> Vec<GroupId> {
+        self.groups
+            .read()
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.states.contains(&state))
+            .map(|(i, _)| GroupId(i as u32))
+            .collect()
+    }
+
+    /// The commit timestamp of the last globally completed transaction of
+    /// `group` (the paper's `LastCTS`).
+    pub fn last_cts(&self, group: GroupId) -> Result<Timestamp> {
+        self.groups
+            .read()
+            .get(group.index())
+            .map(|g| g.last_cts.load(Ordering::Acquire))
+            .ok_or(TspError::UnknownGroup { group: group.0 })
+    }
+
+    /// Publishes a group commit: atomically advances `LastCTS` to `cts`.
+    /// This is the single atomic store that makes a (possibly multi-state)
+    /// transaction visible to readers "completely or not at all" (§4.2/4.3).
+    pub fn publish_group_commit(&self, group: GroupId, cts: Timestamp) -> Result<()> {
+        let groups = self.groups.read();
+        let g = groups
+            .get(group.index())
+            .ok_or(TspError::UnknownGroup { group: group.0 })?;
+        g.last_cts.fetch_max(cts, Ordering::AcqRel);
+        Ok(())
+    }
+
+    /// Restores a group's `LastCTS` (recovery).
+    pub fn restore_group_cts(&self, group: GroupId, cts: Timestamp) -> Result<()> {
+        let groups = self.groups.read();
+        let g = groups
+            .get(group.index())
+            .ok_or(TspError::UnknownGroup { group: group.0 })?;
+        g.last_cts.store(cts.max(EPOCH_TS), Ordering::Release);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Active transactions
+    // ------------------------------------------------------------------
+
+    /// Begins a new transaction: draws a TxnId from the clock and claims a
+    /// slot in the active-transaction table via CAS on the occupancy bitmap.
+    pub fn begin(&self, read_only: bool) -> Result<Tx> {
+        let slot = self.claim_slot()?;
+        let id = self.clock.next_txn();
+        let begin_ts = id.as_u64();
+        let s = &self.slots[slot];
+        s.txn.store(begin_ts, Ordering::Release);
+        s.snapshot_floor.store(begin_ts, Ordering::Release);
+        {
+            let mut detail = s.detail.lock();
+            detail.states.clear();
+            detail.read_cts.clear();
+        }
+        TxStats::bump(&self.stats.begun);
+        Ok(Tx {
+            id,
+            slot,
+            begin_ts,
+            read_only,
+        })
+    }
+
+    fn claim_slot(&self) -> Result<usize> {
+        loop {
+            let bitmap = self.slot_bitmap.load(Ordering::Acquire);
+            if bitmap == u64::MAX {
+                return Err(TspError::CapacityExhausted {
+                    what: "active transaction slots",
+                });
+            }
+            let free = (!bitmap).trailing_zeros() as usize;
+            let new = bitmap | (1u64 << free);
+            if self
+                .slot_bitmap
+                .compare_exchange(bitmap, new, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Ok(free);
+            }
+        }
+    }
+
+    /// Releases a transaction's slot.  Idempotent: releasing an already
+    /// finished transaction is a no-op.
+    pub fn finish(&self, tx: &Tx) {
+        let s = &self.slots[tx.slot];
+        if s
+            .txn
+            .compare_exchange(
+                tx.id.as_u64(),
+                0,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_err()
+        {
+            return; // slot already reused or released
+        }
+        s.snapshot_floor.store(u64::MAX, Ordering::Release);
+        self.slot_bitmap
+            .fetch_and(!(1u64 << tx.slot), Ordering::AcqRel);
+    }
+
+    /// Number of transactions currently holding a slot.
+    pub fn active_count(&self) -> usize {
+        self.slot_bitmap.load(Ordering::Acquire).count_ones() as usize
+    }
+
+    /// The oldest snapshot any in-flight transaction may still read
+    /// (`OldestActiveVersion`).  When no transaction is active, the current
+    /// clock value is returned — everything older than "now" is reclaimable.
+    pub fn oldest_active(&self) -> Timestamp {
+        let bitmap = self.slot_bitmap.load(Ordering::Acquire);
+        let mut min = u64::MAX;
+        let mut bits = bitmap;
+        while bits != 0 {
+            let i = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let floor = self.slots[i].snapshot_floor.load(Ordering::Acquire);
+            min = min.min(floor);
+        }
+        if min == u64::MAX {
+            self.clock.now()
+        } else {
+            min
+        }
+    }
+
+    /// Diagnostic snapshot of the active-transaction table: one entry per
+    /// occupied slot with the transaction id and its snapshot floor (the
+    /// value that feeds `OldestActiveVersion`).
+    pub fn active_transactions(&self) -> Vec<(TxnId, Timestamp)> {
+        let bitmap = self.slot_bitmap.load(Ordering::Acquire);
+        let mut out = Vec::new();
+        let mut bits = bitmap;
+        while bits != 0 {
+            let i = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let txn = self.slots[i].txn.load(Ordering::Acquire);
+            let floor = self.slots[i].snapshot_floor.load(Ordering::Acquire);
+            if txn != 0 {
+                out.push((TxnId(txn), floor));
+            }
+        }
+        out
+    }
+
+    /// Extended diagnostic snapshot including each active transaction's
+    /// pinned (group, ReadCTS) list and accessed states.
+    pub fn active_transaction_details(
+        &self,
+    ) -> Vec<(TxnId, Timestamp, Vec<(GroupId, Timestamp)>, Vec<(StateId, StateStatus)>)> {
+        let bitmap = self.slot_bitmap.load(Ordering::Acquire);
+        let mut out = Vec::new();
+        let mut bits = bitmap;
+        while bits != 0 {
+            let i = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let txn = self.slots[i].txn.load(Ordering::Acquire);
+            let floor = self.slots[i].snapshot_floor.load(Ordering::Acquire);
+            let detail = self.slots[i].detail.lock();
+            if txn != 0 {
+                out.push((TxnId(txn), floor, detail.read_cts.clone(), detail.states.clone()));
+            }
+        }
+        out
+    }
+
+    fn check_owner(&self, tx: &Tx) -> Result<()> {
+        if self.slots[tx.slot].txn.load(Ordering::Acquire) != tx.id.as_u64() {
+            return Err(TspError::UnknownTxn { txn: tx.id.as_u64() });
+        }
+        Ok(())
+    }
+
+    /// Records that `tx` accessed `state` (status `Active` if not yet seen).
+    pub fn record_access(&self, tx: &Tx, state: StateId) -> Result<()> {
+        self.check_owner(tx)?;
+        let mut detail = self.slots[tx.slot].detail.lock();
+        if !detail.states.iter().any(|(s, _)| *s == state) {
+            detail.states.push((state, StateStatus::Active));
+        }
+        Ok(())
+    }
+
+    /// The states accessed by `tx` so far.
+    pub fn accessed_states(&self, tx: &Tx) -> Result<Vec<(StateId, StateStatus)>> {
+        self.check_owner(tx)?;
+        Ok(self.slots[tx.slot].detail.lock().states.clone())
+    }
+
+    /// Returns (pinning it on first use) the snapshot timestamp `tx` must use
+    /// when reading `state`.
+    ///
+    /// The first read of a group pins `ReadCTS = LastCTS(group)`.  If the
+    /// state belongs to several groups, or the transaction has already pinned
+    /// other groups whose snapshot is older, the *older* timestamp wins — the
+    /// paper's overlap rule ("the older version must be read to guarantee
+    /// consistency").
+    pub fn read_snapshot(&self, tx: &Tx, state: StateId) -> Result<Timestamp> {
+        self.check_owner(tx)?;
+        let groups = self.groups_of_state(state);
+        let mut detail = self.slots[tx.slot].detail.lock();
+        let mut result = u64::MAX;
+        if groups.is_empty() {
+            // A state outside any group reads the freshest committed data but
+            // still pins a per-transaction snapshot so repeated reads agree.
+            if let Some((_, ts)) = detail.read_cts.iter().find(|(g, _)| g.0 == u32::MAX) {
+                return Ok(*ts);
+            }
+            let ts = self.clock.now();
+            detail.read_cts.push((GroupId(u32::MAX), ts));
+            self.lower_snapshot_floor(tx.slot, ts);
+            return Ok(ts);
+        }
+        for g in &groups {
+            if let Some((_, ts)) = detail.read_cts.iter().find(|(pg, _)| pg == g) {
+                result = result.min(*ts);
+            } else {
+                let ts = self.last_cts(*g)?;
+                detail.read_cts.push((*g, ts));
+                self.lower_snapshot_floor(tx.slot, ts);
+                result = result.min(ts);
+            }
+        }
+        // Overlap rule: never read newer than a snapshot already pinned by
+        // this transaction for another group sharing a state.
+        Ok(result)
+    }
+
+    /// The pinned read snapshots of `tx` (group, ReadCTS).
+    pub fn pinned_snapshots(&self, tx: &Tx) -> Result<Vec<(GroupId, Timestamp)>> {
+        self.check_owner(tx)?;
+        Ok(self.slots[tx.slot].detail.lock().read_cts.clone())
+    }
+
+    fn lower_snapshot_floor(&self, slot: usize, ts: Timestamp) {
+        self.slots[slot].snapshot_floor.fetch_min(ts, Ordering::AcqRel);
+    }
+
+    // ------------------------------------------------------------------
+    // Consistency-protocol flags (§4.3)
+    // ------------------------------------------------------------------
+
+    /// Flags `state` as ready to commit within `tx`.
+    ///
+    /// Returns [`CommitVote::Coordinator`] when this call set the *last*
+    /// missing flag — the caller then performs the global commit.  Returns
+    /// [`CommitVote::Aborted`] if any state has flagged abort.
+    pub fn flag_commit(&self, tx: &Tx, state: StateId) -> Result<CommitVote> {
+        self.check_owner(tx)?;
+        let mut detail = self.slots[tx.slot].detail.lock();
+        if !detail.states.iter().any(|(s, _)| *s == state) {
+            detail.states.push((state, StateStatus::Active));
+        }
+        // Record this state's vote first so that "all states have decided"
+        // can be observed even when the overall outcome is an abort.
+        for (s, st) in detail.states.iter_mut() {
+            if *s == state && *st != StateStatus::Abort {
+                *st = StateStatus::Commit;
+            }
+        }
+        if detail.states.iter().any(|(_, st)| *st == StateStatus::Abort) {
+            return Ok(CommitVote::Aborted);
+        }
+        if detail.states.iter().all(|(_, st)| *st == StateStatus::Commit) {
+            Ok(CommitVote::Coordinator)
+        } else {
+            Ok(CommitVote::Pending)
+        }
+    }
+
+    /// Number of accessed states that have not yet voted commit or abort.
+    pub fn undecided_count(&self, tx: &Tx) -> Result<usize> {
+        self.check_owner(tx)?;
+        Ok(self.slots[tx.slot]
+            .detail
+            .lock()
+            .states
+            .iter()
+            .filter(|(_, st)| *st == StateStatus::Active)
+            .count())
+    }
+
+    /// Flags `state` as aborted within `tx`; the whole transaction must then
+    /// be rolled back globally.
+    pub fn flag_abort(&self, tx: &Tx, state: StateId) -> Result<()> {
+        self.check_owner(tx)?;
+        let mut detail = self.slots[tx.slot].detail.lock();
+        if let Some((_, st)) = detail.states.iter_mut().find(|(s, _)| *s == state) {
+            *st = StateStatus::Abort;
+        } else {
+            detail.states.push((state, StateStatus::Abort));
+        }
+        Ok(())
+    }
+
+    /// True if any state of `tx` has voted abort.
+    pub fn is_abort_flagged(&self, tx: &Tx) -> Result<bool> {
+        self.check_owner(tx)?;
+        Ok(self.slots[tx.slot]
+            .detail
+            .lock()
+            .states
+            .iter()
+            .any(|(_, st)| *st == StateStatus::Abort))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn ctx_with_two_states() -> (StateContext, StateId, StateId, GroupId) {
+        let ctx = StateContext::new();
+        let a = ctx.register_state("a");
+        let b = ctx.register_state("b");
+        let g = ctx.register_group(&[a, b]).unwrap();
+        (ctx, a, b, g)
+    }
+
+    #[test]
+    fn state_and_group_registration() {
+        let (ctx, a, b, g) = ctx_with_two_states();
+        assert_eq!(ctx.state_count(), 2);
+        assert_eq!(ctx.group_count(), 1);
+        assert_eq!(ctx.state_info(a).unwrap().name, "a");
+        assert_eq!(ctx.group_states(g).unwrap(), vec![a, b]);
+        assert_eq!(ctx.groups_of_state(b), vec![g]);
+        assert!(ctx.state_info(StateId(99)).is_err());
+        assert!(ctx.group_states(GroupId(99)).is_err());
+        assert!(ctx.register_group(&[StateId(77)]).is_err());
+        assert_eq!(ctx.last_cts(g).unwrap(), EPOCH_TS);
+    }
+
+    #[test]
+    fn begin_finish_and_slot_reuse() {
+        let (ctx, ..) = ctx_with_two_states();
+        let t1 = ctx.begin(false).unwrap();
+        let t2 = ctx.begin(false).unwrap();
+        assert_ne!(t1.id(), t2.id());
+        assert_ne!(t1.slot(), t2.slot());
+        assert_eq!(ctx.active_count(), 2);
+        ctx.finish(&t1);
+        assert_eq!(ctx.active_count(), 1);
+        // The slot can be reused by a new transaction.
+        let t3 = ctx.begin(true).unwrap();
+        assert!(t3.is_read_only());
+        assert_eq!(ctx.active_count(), 2);
+        // Finishing an already-finished transaction is harmless, even after
+        // the slot has been reused.
+        ctx.finish(&t1);
+        assert_eq!(ctx.active_count(), 2);
+        ctx.finish(&t2);
+        ctx.finish(&t3);
+        assert_eq!(ctx.active_count(), 0);
+    }
+
+    #[test]
+    fn slot_capacity_is_bounded() {
+        let ctx = StateContext::new();
+        let txs: Vec<Tx> = (0..MAX_ACTIVE_TXNS).map(|_| ctx.begin(false).unwrap()).collect();
+        assert_eq!(ctx.active_count(), MAX_ACTIVE_TXNS);
+        let err = ctx.begin(false).unwrap_err();
+        assert!(matches!(err, TspError::CapacityExhausted { .. }));
+        for t in &txs {
+            ctx.finish(t);
+        }
+        assert_eq!(ctx.active_count(), 0);
+    }
+
+    #[test]
+    fn operations_on_finished_txn_are_rejected() {
+        let (ctx, a, ..) = ctx_with_two_states();
+        let t = ctx.begin(false).unwrap();
+        ctx.finish(&t);
+        assert!(ctx.record_access(&t, a).is_err());
+        assert!(ctx.read_snapshot(&t, a).is_err());
+        assert!(ctx.flag_commit(&t, a).is_err());
+        assert!(ctx.flag_abort(&t, a).is_err());
+        assert!(ctx.accessed_states(&t).is_err());
+    }
+
+    #[test]
+    fn read_snapshot_pins_group_last_cts() {
+        let (ctx, a, b, g) = ctx_with_two_states();
+        let t = ctx.begin(true).unwrap();
+        let s1 = ctx.read_snapshot(&t, a).unwrap();
+        assert_eq!(s1, EPOCH_TS);
+        // A commit published *after* the pin must not change the snapshot.
+        ctx.publish_group_commit(g, 100).unwrap();
+        assert_eq!(ctx.read_snapshot(&t, a).unwrap(), s1);
+        assert_eq!(ctx.read_snapshot(&t, b).unwrap(), s1, "same group → same pin");
+        ctx.finish(&t);
+        // A new transaction sees the new LastCTS.
+        let t2 = ctx.begin(true).unwrap();
+        assert_eq!(ctx.read_snapshot(&t2, a).unwrap(), 100);
+        ctx.finish(&t2);
+    }
+
+    #[test]
+    fn overlap_rule_uses_older_snapshot() {
+        let ctx = StateContext::new();
+        let a = ctx.register_state("a");
+        let b = ctx.register_state("b");
+        let c = ctx.register_state("c");
+        let g1 = ctx.register_group(&[a, b]).unwrap();
+        let g2 = ctx.register_group(&[b, c]).unwrap();
+        ctx.publish_group_commit(g1, 50).unwrap();
+        ctx.publish_group_commit(g2, 80).unwrap();
+        let t = ctx.begin(true).unwrap();
+        // First read touches only g1.
+        assert_eq!(ctx.read_snapshot(&t, a).unwrap(), 50);
+        // b belongs to both groups: the older pinned snapshot (50) wins even
+        // though g2's LastCTS is 80.
+        assert_eq!(ctx.read_snapshot(&t, b).unwrap(), 50);
+        // c belongs only to g2, which has now been pinned at 80 by the read
+        // of b; reading c alone reports g2's pin.
+        assert_eq!(ctx.read_snapshot(&t, c).unwrap(), 80);
+        let pins = ctx.pinned_snapshots(&t).unwrap();
+        assert_eq!(pins.len(), 2);
+        ctx.finish(&t);
+    }
+
+    #[test]
+    fn ungrouped_state_pins_current_time() {
+        let ctx = StateContext::new();
+        let lone = ctx.register_state("lone");
+        let t = ctx.begin(true).unwrap();
+        let s1 = ctx.read_snapshot(&t, lone).unwrap();
+        // Snapshot is stable across repeated reads even as the clock advances.
+        ctx.clock().tick();
+        assert_eq!(ctx.read_snapshot(&t, lone).unwrap(), s1);
+        ctx.finish(&t);
+    }
+
+    #[test]
+    fn oldest_active_tracks_pinned_snapshots() {
+        let (ctx, a, _, g) = ctx_with_two_states();
+        ctx.publish_group_commit(g, 10).unwrap();
+        // No active transactions: oldest == now.
+        assert_eq!(ctx.oldest_active(), ctx.clock().now());
+        // Advance the clock well past the published LastCTS so that a pinned
+        // snapshot (10) is genuinely older than any begin timestamp.
+        while ctx.clock().now() < 50 {
+            ctx.clock().tick();
+        }
+        let t1 = ctx.begin(true).unwrap();
+        assert_eq!(ctx.oldest_active(), t1.begin_ts());
+        ctx.read_snapshot(&t1, a).unwrap(); // pins 10
+        let t2 = ctx.begin(false).unwrap();
+        let oldest = ctx.oldest_active();
+        assert_eq!(oldest, 10, "pinned snapshot (10) is older than t2's begin");
+        ctx.finish(&t1);
+        assert_eq!(ctx.oldest_active(), t2.begin_ts());
+        ctx.finish(&t2);
+    }
+
+    #[test]
+    fn publish_group_commit_is_monotonic() {
+        let (ctx, _, _, g) = ctx_with_two_states();
+        ctx.publish_group_commit(g, 42).unwrap();
+        ctx.publish_group_commit(g, 17).unwrap(); // stale publish must not regress
+        assert_eq!(ctx.last_cts(g).unwrap(), 42);
+        ctx.restore_group_cts(g, 5).unwrap(); // explicit restore may regress
+        assert_eq!(ctx.last_cts(g).unwrap(), 5);
+        assert!(ctx.publish_group_commit(GroupId(9), 1).is_err());
+    }
+
+    #[test]
+    fn commit_votes_and_coordinator_election() {
+        let (ctx, a, b, _) = ctx_with_two_states();
+        let t = ctx.begin(false).unwrap();
+        ctx.record_access(&t, a).unwrap();
+        ctx.record_access(&t, b).unwrap();
+        // First state votes commit → still pending.
+        assert_eq!(ctx.flag_commit(&t, a).unwrap(), CommitVote::Pending);
+        // Second (last) state votes commit → caller becomes coordinator.
+        assert_eq!(ctx.flag_commit(&t, b).unwrap(), CommitVote::Coordinator);
+        ctx.finish(&t);
+    }
+
+    #[test]
+    fn abort_flag_wins_over_commit_flags() {
+        let (ctx, a, b, _) = ctx_with_two_states();
+        let t = ctx.begin(false).unwrap();
+        ctx.record_access(&t, a).unwrap();
+        ctx.record_access(&t, b).unwrap();
+        ctx.flag_abort(&t, b).unwrap();
+        assert!(ctx.is_abort_flagged(&t).unwrap());
+        assert_eq!(ctx.flag_commit(&t, a).unwrap(), CommitVote::Aborted);
+        ctx.finish(&t);
+    }
+
+    #[test]
+    fn flag_commit_on_unaccessed_state_records_it() {
+        let (ctx, a, ..) = ctx_with_two_states();
+        let t = ctx.begin(false).unwrap();
+        // Flagging commit on a state never explicitly recorded still works
+        // (single-state auto-commit path) and elects the coordinator.
+        assert_eq!(ctx.flag_commit(&t, a).unwrap(), CommitVote::Coordinator);
+        let states = ctx.accessed_states(&t).unwrap();
+        assert_eq!(states, vec![(a, StateStatus::Commit)]);
+        ctx.finish(&t);
+    }
+
+    #[test]
+    fn concurrent_begin_finish_has_no_duplicate_slots() {
+        let ctx = Arc::new(StateContext::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let ctx = Arc::clone(&ctx);
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        let t = ctx.begin(false).unwrap();
+                        // Slot must be exclusively ours while active.
+                        ctx.record_access(&t, StateId(0)).ok();
+                        ctx.finish(&t);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(ctx.active_count(), 0);
+        assert_eq!(ctx.stats().snapshot().begun, 4000);
+    }
+}

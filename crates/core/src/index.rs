@@ -1,0 +1,514 @@
+//! Transactional secondary indexes over queryable states.
+//!
+//! Wu et al.'s MVCC design study — the paper's stated blueprint for its own
+//! protocol design (§2) — names *index management* as one of the four key
+//! design decisions of an in-memory MVCC system.  The reproduction follows
+//! the same recipe the paper uses for operator states: the index is just
+//! another queryable state.  [`IndexedTable`] pairs a primary
+//! [`MvccTable<K, V>`] with an index [`MvccTable<I, PostingList<K>>`] and
+//! keeps both in the *same topology group*, so the multi-state consistency
+//! protocol of §4.3 makes data and index visible atomically — an ad-hoc
+//! query can never observe an index entry pointing at a row version it
+//! cannot see, or vice versa.
+//!
+//! Index maintenance happens inside the caller's transaction: a write
+//! extracts the index key from the new value, removes the primary key from
+//! the old posting list (if the indexed attribute changed) and adds it to
+//! the new one.  Aborts therefore roll back data and index together for
+//! free, via the ordinary write-set mechanism.
+
+use crate::context::Tx;
+use crate::manager::TransactionManager;
+use crate::table::{KeyType, MvccTable, MvccTableOptions, ValueType};
+use std::sync::Arc;
+use tsp_common::{GroupId, Result, StateId};
+use tsp_storage::{Codec, StorageBackend};
+
+/// An ordered list of primary keys sharing one index-key value.
+///
+/// Stored as the value type of the index table, so it needs its own
+/// order-independent, length-prefixed [`Codec`] encoding.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PostingList<K>(Vec<K>);
+
+impl<K: Clone + Ord> PostingList<K> {
+    /// An empty posting list.
+    pub fn new() -> Self {
+        PostingList(Vec::new())
+    }
+
+    /// The primary keys in ascending order.
+    pub fn keys(&self) -> &[K] {
+        &self.0
+    }
+
+    /// Number of primary keys in the list.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if the list holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Adds `key`, keeping the list sorted and duplicate-free.  Returns true
+    /// if the key was not present before.
+    pub fn insert(&mut self, key: K) -> bool {
+        match self.0.binary_search(&key) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.0.insert(pos, key);
+                true
+            }
+        }
+    }
+
+    /// Removes `key`.  Returns true if it was present.
+    pub fn remove(&mut self, key: &K) -> bool {
+        match self.0.binary_search(key) {
+            Ok(pos) => {
+                self.0.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// True if `key` is in the list.
+    pub fn contains(&self, key: &K) -> bool {
+        self.0.binary_search(key).is_ok()
+    }
+}
+
+impl<K: Codec> Codec for PostingList<K> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.0.len() as u32).to_be_bytes());
+        for k in &self.0 {
+            let enc = k.encode();
+            out.extend_from_slice(&(enc.len() as u32).to_be_bytes());
+            out.extend_from_slice(&enc);
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self> {
+        use tsp_common::TspError;
+        let need = |ok: bool| -> Result<()> {
+            if ok {
+                Ok(())
+            } else {
+                Err(TspError::corruption("truncated posting list"))
+            }
+        };
+        need(bytes.len() >= 4)?;
+        let n = u32::from_be_bytes(bytes[0..4].try_into().unwrap()) as usize;
+        let mut pos = 4usize;
+        let mut keys = Vec::with_capacity(n);
+        for _ in 0..n {
+            need(pos + 4 <= bytes.len())?;
+            let len = u32::from_be_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += 4;
+            need(pos + len <= bytes.len())?;
+            keys.push(K::decode(&bytes[pos..pos + len])?);
+            pos += len;
+        }
+        Ok(PostingList(keys))
+    }
+}
+
+/// A primary table plus one secondary index, committed atomically as a group.
+pub struct IndexedTable<K, V, I> {
+    data: Arc<MvccTable<K, V>>,
+    index: Arc<MvccTable<I, PostingList<K>>>,
+    extract: Box<dyn Fn(&V) -> I + Send + Sync>,
+    group: GroupId,
+}
+
+impl<K, V, I> IndexedTable<K, V, I>
+where
+    K: KeyType + Codec,
+    V: ValueType,
+    I: KeyType,
+{
+    /// Creates the data table, the index table (`"<name>__idx"`), registers
+    /// both with `mgr` and puts them in one topology group.
+    ///
+    /// `extract` derives the indexed attribute from a row value.
+    pub fn create(
+        mgr: &Arc<TransactionManager>,
+        name: &str,
+        backend: Option<Arc<dyn StorageBackend>>,
+        opts: MvccTableOptions,
+        extract: impl Fn(&V) -> I + Send + Sync + 'static,
+    ) -> Result<Arc<Self>> {
+        let ctx = mgr.context();
+        let data = MvccTable::<K, V>::with_options(ctx, name, backend, opts.clone());
+        let index = MvccTable::<I, PostingList<K>>::with_options(
+            ctx,
+            format!("{name}__idx"),
+            None,
+            opts,
+        );
+        mgr.register(data.clone());
+        mgr.register(index.clone());
+        let group = mgr.register_group(&[data.id(), index.id()])?;
+        Ok(Arc::new(IndexedTable {
+            data,
+            index,
+            extract: Box::new(extract),
+            group,
+        }))
+    }
+
+    /// The primary table's state id.
+    pub fn data_state(&self) -> StateId {
+        self.data.id()
+    }
+
+    /// The index table's state id.
+    pub fn index_state(&self) -> StateId {
+        self.index.id()
+    }
+
+    /// The topology group holding data and index.
+    pub fn group(&self) -> GroupId {
+        self.group
+    }
+
+    /// The underlying primary table.
+    pub fn data(&self) -> &Arc<MvccTable<K, V>> {
+        &self.data
+    }
+
+    /// The underlying index table.
+    pub fn index(&self) -> &Arc<MvccTable<I, PostingList<K>>> {
+        &self.index
+    }
+
+    /// Reads the row stored under `key` (snapshot-isolated).
+    pub fn get(&self, tx: &Tx, key: &K) -> Result<Option<V>> {
+        self.data.read(tx, key)
+    }
+
+    /// Inserts or updates `key → value`, maintaining the index in the same
+    /// transaction.
+    pub fn put(&self, tx: &Tx, key: K, value: V) -> Result<()> {
+        let new_ik = (self.extract)(&value);
+        // Remove the key from the old posting list if the indexed attribute
+        // changed (or the row is new — then there is nothing to remove).
+        if let Some(old) = self.data.read(tx, &key)? {
+            let old_ik = (self.extract)(&old);
+            if old_ik != new_ik {
+                self.remove_from_posting(tx, &old_ik, &key)?;
+                self.add_to_posting(tx, &new_ik, key.clone())?;
+            }
+        } else {
+            self.add_to_posting(tx, &new_ik, key.clone())?;
+        }
+        self.data.write(tx, key, value)
+    }
+
+    /// Deletes `key`, maintaining the index in the same transaction.
+    pub fn delete(&self, tx: &Tx, key: &K) -> Result<()> {
+        if let Some(old) = self.data.read(tx, key)? {
+            let old_ik = (self.extract)(&old);
+            self.remove_from_posting(tx, &old_ik, key)?;
+            self.data.delete(tx, key.clone())?;
+        }
+        Ok(())
+    }
+
+    /// All primary keys whose indexed attribute equals `index_key`, at the
+    /// transaction's snapshot.
+    pub fn lookup_keys(&self, tx: &Tx, index_key: &I) -> Result<Vec<K>> {
+        Ok(self
+            .index
+            .read(tx, index_key)?
+            .map(|p| p.keys().to_vec())
+            .unwrap_or_default())
+    }
+
+    /// All `(key, value)` rows whose indexed attribute equals `index_key`.
+    pub fn lookup(&self, tx: &Tx, index_key: &I) -> Result<Vec<(K, V)>> {
+        let mut rows = Vec::new();
+        for k in self.lookup_keys(tx, index_key)? {
+            if let Some(v) = self.data.read(tx, &k)? {
+                rows.push((k, v));
+            }
+        }
+        Ok(rows)
+    }
+
+    /// Verifies that index and data agree at the transaction's snapshot:
+    /// every posting-list entry resolves to a row whose extracted attribute
+    /// matches, and every row is listed under its attribute.  Returns the
+    /// number of rows checked.  Used by tests and the consistency example.
+    pub fn check_consistency(&self, tx: &Tx) -> Result<usize> {
+        use tsp_common::TspError;
+        let rows = self.data.scan(tx)?;
+        let postings = self.index.scan(tx)?;
+        for (ik, list) in &postings {
+            for k in list.keys() {
+                match rows.get(k) {
+                    Some(v) if (self.extract)(v) == *ik => {}
+                    Some(_) => {
+                        return Err(TspError::protocol(format!(
+                            "index entry for key points at a row with a different attribute ({})",
+                            self.index.name()
+                        )))
+                    }
+                    None => {
+                        return Err(TspError::protocol(format!(
+                            "dangling index entry in '{}'",
+                            self.index.name()
+                        )))
+                    }
+                }
+            }
+        }
+        for (k, v) in &rows {
+            let ik = (self.extract)(v);
+            let listed = postings.get(&ik).map(|p| p.contains(k)).unwrap_or(false);
+            if !listed {
+                return Err(TspError::protocol(format!(
+                    "row missing from index '{}'",
+                    self.index.name()
+                )));
+            }
+        }
+        Ok(rows.len())
+    }
+
+    fn add_to_posting(&self, tx: &Tx, ik: &I, key: K) -> Result<()> {
+        let mut list = self.index.read(tx, ik)?.unwrap_or_else(PostingList::new);
+        if list.insert(key) {
+            self.index.write(tx, ik.clone(), list)?;
+        }
+        Ok(())
+    }
+
+    fn remove_from_posting(&self, tx: &Tx, ik: &I, key: &K) -> Result<()> {
+        if let Some(mut list) = self.index.read(tx, ik)? {
+            if list.remove(key) {
+                if list.is_empty() {
+                    self.index.delete(tx, ik.clone())?;
+                } else {
+                    self.index.write(tx, ik.clone(), list)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::StateContext;
+    use crate::manager::TransactionManager;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Reading {
+        meter: u32,
+        zone: String,
+        kwh: u64,
+    }
+
+    impl Codec for Reading {
+        fn encode_into(&self, out: &mut Vec<u8>) {
+            self.meter.encode_into(out);
+            let zone = self.zone.encode();
+            out.extend_from_slice(&(zone.len() as u32).to_be_bytes());
+            out.extend_from_slice(&zone);
+            self.kwh.encode_into(out);
+        }
+        fn decode(bytes: &[u8]) -> Result<Self> {
+            let meter = u32::decode(&bytes[0..4])?;
+            let zlen = u32::from_be_bytes(bytes[4..8].try_into().unwrap()) as usize;
+            let zone = String::decode(&bytes[8..8 + zlen])?;
+            let kwh = u64::decode(&bytes[8 + zlen..])?;
+            Ok(Reading { meter, zone, kwh })
+        }
+    }
+
+    fn setup() -> (Arc<TransactionManager>, Arc<IndexedTable<u32, Reading, String>>) {
+        let ctx = Arc::new(StateContext::new());
+        let mgr = TransactionManager::new(Arc::clone(&ctx));
+        let table = IndexedTable::<u32, Reading, String>::create(
+            &mgr,
+            "readings",
+            None,
+            MvccTableOptions::default(),
+            |r: &Reading| r.zone.clone(),
+        )
+        .unwrap();
+        (mgr, table)
+    }
+
+    fn reading(meter: u32, zone: &str, kwh: u64) -> Reading {
+        Reading {
+            meter,
+            zone: zone.to_string(),
+            kwh,
+        }
+    }
+
+    #[test]
+    fn posting_list_codec_round_trip_and_set_semantics() {
+        let mut p: PostingList<u32> = PostingList::new();
+        assert!(p.is_empty());
+        assert!(p.insert(5));
+        assert!(p.insert(1));
+        assert!(!p.insert(5), "duplicate insert rejected");
+        assert_eq!(p.keys(), &[1, 5]);
+        assert!(p.contains(&1));
+        assert!(!p.contains(&2));
+        assert!(p.remove(&1));
+        assert!(!p.remove(&1));
+        assert_eq!(p.len(), 1);
+        p.insert(9);
+        let bytes = p.encode();
+        let decoded = PostingList::<u32>::decode(&bytes).unwrap();
+        assert_eq!(decoded, p);
+        assert!(PostingList::<u32>::decode(&bytes[..3]).is_err());
+        assert!(PostingList::<u32>::decode(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn insert_lookup_and_atomic_visibility() {
+        let (mgr, table) = setup();
+        let tx = mgr.begin().unwrap();
+        table.put(&tx, 1, reading(1, "north", 10)).unwrap();
+        table.put(&tx, 2, reading(2, "north", 20)).unwrap();
+        table.put(&tx, 3, reading(3, "south", 30)).unwrap();
+        // Uncommitted: an independent reader sees neither data nor index.
+        let q = mgr.begin_read_only().unwrap();
+        assert!(table.lookup(&q, &"north".to_string()).unwrap().is_empty());
+        assert_eq!(table.get(&q, &1).unwrap(), None);
+        mgr.commit(&q).unwrap();
+        mgr.commit(&tx).unwrap();
+
+        let q = mgr.begin_read_only().unwrap();
+        let north = table.lookup(&q, &"north".to_string()).unwrap();
+        assert_eq!(north.len(), 2);
+        assert_eq!(table.lookup_keys(&q, &"south".to_string()).unwrap(), vec![3]);
+        assert_eq!(table.lookup_keys(&q, &"west".to_string()).unwrap(), Vec::<u32>::new());
+        assert_eq!(table.check_consistency(&q).unwrap(), 3);
+        mgr.commit(&q).unwrap();
+    }
+
+    #[test]
+    fn update_moves_key_between_postings() {
+        let (mgr, table) = setup();
+        let tx = mgr.begin().unwrap();
+        table.put(&tx, 1, reading(1, "north", 10)).unwrap();
+        mgr.commit(&tx).unwrap();
+
+        // Move meter 1 to the south zone.
+        let tx = mgr.begin().unwrap();
+        table.put(&tx, 1, reading(1, "south", 11)).unwrap();
+        mgr.commit(&tx).unwrap();
+
+        let q = mgr.begin_read_only().unwrap();
+        assert!(table.lookup_keys(&q, &"north".to_string()).unwrap().is_empty());
+        assert_eq!(table.lookup_keys(&q, &"south".to_string()).unwrap(), vec![1]);
+        table.check_consistency(&q).unwrap();
+        mgr.commit(&q).unwrap();
+
+        // Update that does not change the indexed attribute keeps the index.
+        let tx = mgr.begin().unwrap();
+        table.put(&tx, 1, reading(1, "south", 99)).unwrap();
+        mgr.commit(&tx).unwrap();
+        let q = mgr.begin_read_only().unwrap();
+        assert_eq!(table.lookup_keys(&q, &"south".to_string()).unwrap(), vec![1]);
+        assert_eq!(table.get(&q, &1).unwrap().unwrap().kwh, 99);
+        mgr.commit(&q).unwrap();
+    }
+
+    #[test]
+    fn delete_removes_index_entry_and_empty_postings() {
+        let (mgr, table) = setup();
+        let tx = mgr.begin().unwrap();
+        table.put(&tx, 1, reading(1, "north", 10)).unwrap();
+        table.put(&tx, 2, reading(2, "north", 20)).unwrap();
+        mgr.commit(&tx).unwrap();
+
+        let tx = mgr.begin().unwrap();
+        table.delete(&tx, &1).unwrap();
+        // Deleting an absent key is a no-op.
+        table.delete(&tx, &99).unwrap();
+        mgr.commit(&tx).unwrap();
+
+        let q = mgr.begin_read_only().unwrap();
+        assert_eq!(table.lookup_keys(&q, &"north".to_string()).unwrap(), vec![2]);
+        assert_eq!(table.get(&q, &1).unwrap(), None);
+        table.check_consistency(&q).unwrap();
+        mgr.commit(&q).unwrap();
+
+        // Deleting the last key of a posting removes the posting entirely.
+        let tx = mgr.begin().unwrap();
+        table.delete(&tx, &2).unwrap();
+        mgr.commit(&tx).unwrap();
+        let q = mgr.begin_read_only().unwrap();
+        assert!(table.index().read(&q, &"north".to_string()).unwrap().is_none());
+        mgr.commit(&q).unwrap();
+    }
+
+    #[test]
+    fn abort_rolls_back_data_and_index_together() {
+        let (mgr, table) = setup();
+        let tx = mgr.begin().unwrap();
+        table.put(&tx, 1, reading(1, "north", 10)).unwrap();
+        mgr.commit(&tx).unwrap();
+
+        let tx = mgr.begin().unwrap();
+        table.put(&tx, 1, reading(1, "south", 20)).unwrap();
+        table.put(&tx, 2, reading(2, "south", 30)).unwrap();
+        mgr.abort(&tx).unwrap();
+
+        let q = mgr.begin_read_only().unwrap();
+        assert_eq!(table.lookup_keys(&q, &"north".to_string()).unwrap(), vec![1]);
+        assert!(table.lookup_keys(&q, &"south".to_string()).unwrap().is_empty());
+        assert_eq!(table.get(&q, &2).unwrap(), None);
+        table.check_consistency(&q).unwrap();
+        mgr.commit(&q).unwrap();
+    }
+
+    #[test]
+    fn snapshot_readers_see_consistent_data_and_index_across_updates() {
+        let (mgr, table) = setup();
+        let tx = mgr.begin().unwrap();
+        table.put(&tx, 1, reading(1, "north", 10)).unwrap();
+        mgr.commit(&tx).unwrap();
+
+        // Pin a snapshot, then move the row to another zone.
+        let q = mgr.begin_read_only().unwrap();
+        assert_eq!(table.lookup_keys(&q, &"north".to_string()).unwrap(), vec![1]);
+
+        let tx = mgr.begin().unwrap();
+        table.put(&tx, 1, reading(1, "south", 20)).unwrap();
+        mgr.commit(&tx).unwrap();
+
+        // The pinned snapshot still sees the old, mutually consistent pair.
+        assert_eq!(table.lookup_keys(&q, &"north".to_string()).unwrap(), vec![1]);
+        assert_eq!(table.get(&q, &1).unwrap().unwrap().zone, "north");
+        table.check_consistency(&q).unwrap();
+        mgr.commit(&q).unwrap();
+
+        let fresh = mgr.begin_read_only().unwrap();
+        assert_eq!(table.lookup_keys(&fresh, &"south".to_string()).unwrap(), vec![1]);
+        table.check_consistency(&fresh).unwrap();
+        mgr.commit(&fresh).unwrap();
+    }
+
+    #[test]
+    fn ids_and_group_are_exposed() {
+        let (mgr, table) = setup();
+        assert_ne!(table.data_state(), table.index_state());
+        let states = mgr.context().group_states(table.group()).unwrap();
+        assert!(states.contains(&table.data_state()));
+        assert!(states.contains(&table.index_state()));
+        assert_eq!(table.data().name(), "readings");
+        assert_eq!(table.index().name(), "readings__idx");
+    }
+}

@@ -1,0 +1,479 @@
+//! The transaction manager: the consistency protocol of §4.3 driving the
+//! per-table concurrency protocols.
+//!
+//! A continuous query that updates several states must make those updates
+//! visible together.  The manager implements the paper's "modified version of
+//! the 2-Phase-Commit protocol":
+//!
+//! 1. every operator (or the caller of [`TransactionManager::commit`]) flags
+//!    its state as ready to commit,
+//! 2. the participant that sets the *last* flag becomes the coordinator,
+//! 3. the coordinator validates every participant (`precommit`), draws one
+//!    commit timestamp, applies all write sets, and finally publishes the
+//!    group's `LastCTS` — the single atomic store that makes the whole
+//!    multi-state transaction visible,
+//! 4. if any state flags abort, the transaction is rolled back globally.
+//!
+//! Readers coordinate purely through `LastCTS`/`ReadCTS` in the
+//! [`StateContext`]; they never take part in the 2PC and never block.
+
+use crate::context::{CommitVote, StateContext, Tx};
+use crate::stats::TxStats;
+use crate::table::common::TxParticipant;
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+use tsp_common::{GroupId, Result, StateId, Timestamp, TspError};
+
+/// Outcome reported to an operator that flagged its state (operator-style
+/// commit protocol, §4.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlagOutcome {
+    /// Other states still have to report; nothing was decided yet.
+    Pending,
+    /// This caller was elected coordinator and the global commit succeeded.
+    /// Carries the commit timestamp (`None` for read-only transactions).
+    Committed(Option<Timestamp>),
+    /// The transaction was rolled back globally.
+    RolledBack,
+}
+
+/// Coordinates transactions across all registered transactional states.
+pub struct TransactionManager {
+    ctx: Arc<StateContext>,
+    participants: RwLock<HashMap<StateId, Arc<dyn TxParticipant>>>,
+    group_locks: RwLock<HashMap<GroupId, Arc<Mutex<()>>>>,
+}
+
+impl TransactionManager {
+    /// Creates a manager over `ctx`.
+    pub fn new(ctx: Arc<StateContext>) -> Arc<Self> {
+        Arc::new(TransactionManager {
+            ctx,
+            participants: RwLock::new(HashMap::new()),
+            group_locks: RwLock::new(HashMap::new()),
+        })
+    }
+
+    /// The shared state context.
+    pub fn context(&self) -> &Arc<StateContext> {
+        &self.ctx
+    }
+
+    /// Registers a transactional state so commits can reach it.
+    pub fn register(&self, participant: Arc<dyn TxParticipant>) {
+        self.participants
+            .write()
+            .insert(participant.state_id(), participant);
+    }
+
+    /// Registers a topology group of states written together atomically and
+    /// returns its id.
+    pub fn register_group(&self, states: &[StateId]) -> Result<GroupId> {
+        let group = self.ctx.register_group(states)?;
+        self.group_locks
+            .write()
+            .insert(group, Arc::new(Mutex::new(())));
+        Ok(group)
+    }
+
+    /// Begins a read-write transaction.
+    pub fn begin(&self) -> Result<Tx> {
+        self.ctx.begin(false)
+    }
+
+    /// Begins a read-only transaction (ad-hoc snapshot query).
+    pub fn begin_read_only(&self) -> Result<Tx> {
+        self.ctx.begin(true)
+    }
+
+    fn participant(&self, state: StateId) -> Option<Arc<dyn TxParticipant>> {
+        self.participants.read().get(&state).cloned()
+    }
+
+    fn accessed_participants(&self, tx: &Tx) -> Result<Vec<Arc<dyn TxParticipant>>> {
+        let mut states: Vec<StateId> = self
+            .ctx
+            .accessed_states(tx)?
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
+        states.sort();
+        Ok(states
+            .into_iter()
+            .filter_map(|s| self.participant(s))
+            .collect())
+    }
+
+    // ------------------------------------------------------------------
+    // Whole-transaction API (query-centric boundaries)
+    // ------------------------------------------------------------------
+
+    /// Commits `tx` across every state it accessed.
+    ///
+    /// Returns the commit timestamp, or `None` for transactions that wrote
+    /// nothing (pure ad-hoc readers).  On a concurrency-control conflict the
+    /// transaction is rolled back and the error returned; retryable errors
+    /// ([`TspError::is_retryable`]) may be retried with a *new* transaction.
+    pub fn commit(&self, tx: &Tx) -> Result<Option<Timestamp>> {
+        if self.ctx.is_abort_flagged(tx)? {
+            self.rollback_internal(tx)?;
+            return Err(TspError::TxnAborted {
+                txn: tx.id().as_u64(),
+                reason: "a participating state flagged abort".into(),
+            });
+        }
+        self.commit_internal(tx)
+    }
+
+    /// Aborts `tx`, discarding all buffered effects in every accessed state.
+    pub fn abort(&self, tx: &Tx) -> Result<()> {
+        self.rollback_internal(tx)
+    }
+
+    fn commit_internal(&self, tx: &Tx) -> Result<Option<Timestamp>> {
+        let participants = self.accessed_participants(tx)?;
+        let writers: Vec<&Arc<dyn TxParticipant>> =
+            participants.iter().filter(|p| p.has_writes(tx)).collect();
+
+        // Read-only fast path: nothing to validate, nothing to publish.
+        if writers.is_empty() {
+            // BOCC still validates its read set here.
+            for p in &participants {
+                if let Err(e) = p.precommit(tx) {
+                    self.finish_aborted(tx, &participants);
+                    return Err(e);
+                }
+            }
+            self.finish_committed(tx, &participants);
+            return Ok(None);
+        }
+
+        // Groups whose LastCTS will move; their commit locks serialise
+        // concurrent committers of the same group ("only during the commit
+        // time, a short synchronization is required", §4.2).
+        let groups: BTreeSet<GroupId> = writers
+            .iter()
+            .flat_map(|p| self.ctx.groups_of_state(p.state_id()))
+            .collect();
+        let locks: Vec<Arc<Mutex<()>>> = {
+            let registry = self.group_locks.read();
+            groups
+                .iter()
+                .filter_map(|g| registry.get(g).cloned())
+                .collect()
+        };
+        let _guards: Vec<_> = locks.iter().map(|l| l.lock()).collect();
+
+        // Phase 1: validation (First-Committer-Wins / BOCC validation).
+        for p in &participants {
+            if let Err(e) = p.precommit(tx) {
+                drop(_guards);
+                self.finish_aborted(tx, &participants);
+                return Err(e);
+            }
+        }
+
+        // Phase 2: apply with a single commit timestamp, then publish.
+        let cts = self.ctx.clock().next_commit_ts();
+        for p in &writers {
+            if let Err(e) = p.apply(tx, cts) {
+                // Apply failures (e.g. version-array capacity pressure) abort
+                // the transaction.  Versions already installed by earlier
+                // participants never become visible because the group's
+                // LastCTS is not published.
+                drop(_guards);
+                self.finish_aborted(tx, &participants);
+                return Err(e);
+            }
+        }
+        for g in &groups {
+            self.ctx.publish_group_commit(*g, cts)?;
+        }
+        drop(_guards);
+        self.finish_committed(tx, &participants);
+        Ok(Some(cts))
+    }
+
+    fn rollback_internal(&self, tx: &Tx) -> Result<()> {
+        let participants = self.accessed_participants(tx)?;
+        self.finish_aborted(tx, &participants);
+        Ok(())
+    }
+
+    fn finish_committed(&self, tx: &Tx, participants: &[Arc<dyn TxParticipant>]) {
+        for p in participants {
+            p.finalize(tx);
+        }
+        self.ctx.finish(tx);
+        TxStats::bump(&self.ctx.stats().committed);
+    }
+
+    fn finish_aborted(&self, tx: &Tx, participants: &[Arc<dyn TxParticipant>]) {
+        for p in participants {
+            p.rollback(tx);
+            p.finalize(tx);
+        }
+        self.ctx.finish(tx);
+        TxStats::bump(&self.ctx.stats().aborted);
+    }
+
+    // ------------------------------------------------------------------
+    // Operator-style API (data-centric boundaries, §4.3)
+    // ------------------------------------------------------------------
+
+    /// Reports that the operator maintaining `state` received the COMMIT
+    /// punctuation for `tx`.
+    ///
+    /// The caller that sets the last missing flag is elected coordinator and
+    /// performs the global commit inline; everyone else sees
+    /// [`FlagOutcome::Pending`].
+    pub fn flag_commit(&self, tx: &Tx, state: StateId) -> Result<FlagOutcome> {
+        match self.ctx.flag_commit(tx, state)? {
+            CommitVote::Pending => Ok(FlagOutcome::Pending),
+            CommitVote::Coordinator => {
+                let cts = self.commit_internal(tx)?;
+                Ok(FlagOutcome::Committed(cts))
+            }
+            CommitVote::Aborted => {
+                if self.ctx.undecided_count(tx)? == 0 {
+                    self.rollback_internal(tx)?;
+                    Ok(FlagOutcome::RolledBack)
+                } else {
+                    Ok(FlagOutcome::Pending)
+                }
+            }
+        }
+    }
+
+    /// Reports that the operator maintaining `state` received the ROLLBACK
+    /// punctuation (or hit an error) for `tx`.  The transaction will be
+    /// rolled back globally; the caller that reports the last outstanding
+    /// state performs the rollback.
+    pub fn flag_abort(&self, tx: &Tx, state: StateId) -> Result<FlagOutcome> {
+        self.ctx.flag_abort(tx, state)?;
+        if self.ctx.undecided_count(tx)? == 0 {
+            self.rollback_internal(tx)?;
+            Ok(FlagOutcome::RolledBack)
+        } else {
+            Ok(FlagOutcome::Pending)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{BoccTable, MvccTable, S2plTable};
+    use tsp_common::TspError;
+
+    fn mvcc_pair() -> (
+        Arc<TransactionManager>,
+        Arc<MvccTable<u32, u64>>,
+        Arc<MvccTable<u32, u64>>,
+    ) {
+        let ctx = Arc::new(StateContext::new());
+        let mgr = TransactionManager::new(Arc::clone(&ctx));
+        let a = MvccTable::volatile(&ctx, "a");
+        let b = MvccTable::volatile(&ctx, "b");
+        mgr.register(a.clone());
+        mgr.register(b.clone());
+        mgr.register_group(&[a.id(), b.id()]).unwrap();
+        (mgr, a, b)
+    }
+
+    #[test]
+    fn multi_state_commit_is_atomic_for_readers() {
+        let (mgr, a, b) = mvcc_pair();
+        let w = mgr.begin().unwrap();
+        a.write(&w, 1, 100).unwrap();
+        b.write(&w, 1, 200).unwrap();
+
+        // Before the commit, a reader sees neither state's update.
+        let r = mgr.begin_read_only().unwrap();
+        assert_eq!(a.read(&r, &1).unwrap(), None);
+        assert_eq!(b.read(&r, &1).unwrap(), None);
+        mgr.commit(&r).unwrap();
+
+        let cts = mgr.commit(&w).unwrap();
+        assert!(cts.is_some());
+
+        // After the commit, a reader sees both.
+        let r = mgr.begin_read_only().unwrap();
+        assert_eq!(a.read(&r, &1).unwrap(), Some(100));
+        assert_eq!(b.read(&r, &1).unwrap(), Some(200));
+        mgr.commit(&r).unwrap();
+        assert_eq!(mgr.context().stats().snapshot().committed, 3);
+    }
+
+    #[test]
+    fn read_only_commit_returns_no_timestamp() {
+        let (mgr, a, _) = mvcc_pair();
+        let r = mgr.begin_read_only().unwrap();
+        assert_eq!(a.read(&r, &5).unwrap(), None);
+        assert_eq!(mgr.commit(&r).unwrap(), None);
+    }
+
+    #[test]
+    fn abort_discards_all_states() {
+        let (mgr, a, b) = mvcc_pair();
+        let w = mgr.begin().unwrap();
+        a.write(&w, 2, 1).unwrap();
+        b.write(&w, 2, 2).unwrap();
+        mgr.abort(&w).unwrap();
+        let r = mgr.begin_read_only().unwrap();
+        assert_eq!(a.read(&r, &2).unwrap(), None);
+        assert_eq!(b.read(&r, &2).unwrap(), None);
+        mgr.commit(&r).unwrap();
+        assert_eq!(mgr.context().stats().snapshot().aborted, 1);
+    }
+
+    #[test]
+    fn commit_after_abort_flag_fails() {
+        let (mgr, a, b) = mvcc_pair();
+        let w = mgr.begin().unwrap();
+        a.write(&w, 3, 1).unwrap();
+        b.write(&w, 3, 2).unwrap();
+        mgr.context().flag_abort(&w, a.id()).unwrap();
+        let err = mgr.commit(&w).unwrap_err();
+        assert!(matches!(err, TspError::TxnAborted { .. }));
+        let r = mgr.begin_read_only().unwrap();
+        assert_eq!(b.read(&r, &3).unwrap(), None);
+        mgr.commit(&r).unwrap();
+    }
+
+    #[test]
+    fn fcw_conflict_rolls_back_both_states() {
+        let (mgr, a, b) = mvcc_pair();
+        let t1 = mgr.begin().unwrap();
+        let t2 = mgr.begin().unwrap();
+        a.write(&t1, 7, 1).unwrap();
+        b.write(&t1, 7, 1).unwrap();
+        a.write(&t2, 7, 2).unwrap();
+        b.write(&t2, 8, 2).unwrap();
+        mgr.commit(&t1).unwrap();
+        // t2 conflicts on state a (key 7); nothing of t2 may survive, not
+        // even the non-conflicting write to state b.
+        let err = mgr.commit(&t2).unwrap_err();
+        assert!(matches!(err, TspError::WriteConflict { .. }));
+        let r = mgr.begin_read_only().unwrap();
+        assert_eq!(a.read(&r, &7).unwrap(), Some(1));
+        assert_eq!(b.read(&r, &8).unwrap(), None);
+        mgr.commit(&r).unwrap();
+    }
+
+    #[test]
+    fn operator_style_flags_elect_coordinator() {
+        let (mgr, a, b) = mvcc_pair();
+        let w = mgr.begin().unwrap();
+        a.write(&w, 4, 40).unwrap();
+        b.write(&w, 4, 44).unwrap();
+        // Operator of state a reports first: pending.
+        assert_eq!(mgr.flag_commit(&w, a.id()).unwrap(), FlagOutcome::Pending);
+        // Operator of state b reports last: becomes coordinator and commits.
+        match mgr.flag_commit(&w, b.id()).unwrap() {
+            FlagOutcome::Committed(Some(_)) => {}
+            other => panic!("expected commit, got {other:?}"),
+        }
+        let r = mgr.begin_read_only().unwrap();
+        assert_eq!(a.read(&r, &4).unwrap(), Some(40));
+        assert_eq!(b.read(&r, &4).unwrap(), Some(44));
+        mgr.commit(&r).unwrap();
+    }
+
+    #[test]
+    fn operator_style_abort_wins_globally() {
+        let (mgr, a, b) = mvcc_pair();
+        let w = mgr.begin().unwrap();
+        a.write(&w, 5, 50).unwrap();
+        b.write(&w, 5, 55).unwrap();
+        assert_eq!(mgr.flag_abort(&w, a.id()).unwrap(), FlagOutcome::Pending);
+        // The second operator votes commit, but the abort flag forces a
+        // global rollback performed by this (last) caller.
+        assert_eq!(
+            mgr.flag_commit(&w, b.id()).unwrap(),
+            FlagOutcome::RolledBack
+        );
+        let r = mgr.begin_read_only().unwrap();
+        assert_eq!(a.read(&r, &5).unwrap(), None);
+        assert_eq!(b.read(&r, &5).unwrap(), None);
+        mgr.commit(&r).unwrap();
+    }
+
+    #[test]
+    fn single_state_flag_commits_immediately() {
+        let ctx = Arc::new(StateContext::new());
+        let mgr = TransactionManager::new(Arc::clone(&ctx));
+        let a = MvccTable::<u32, u64>::volatile(&ctx, "solo");
+        mgr.register(a.clone());
+        mgr.register_group(&[a.id()]).unwrap();
+        let w = mgr.begin().unwrap();
+        a.write(&w, 1, 10).unwrap();
+        match mgr.flag_commit(&w, a.id()).unwrap() {
+            FlagOutcome::Committed(Some(_)) => {}
+            other => panic!("expected commit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn s2pl_tables_work_under_the_same_consistency_protocol() {
+        let ctx = Arc::new(StateContext::new());
+        let mgr = TransactionManager::new(Arc::clone(&ctx));
+        let a = S2plTable::<u32, u64>::volatile(&ctx, "a");
+        let b = S2plTable::<u32, u64>::volatile(&ctx, "b");
+        mgr.register(a.clone());
+        mgr.register(b.clone());
+        mgr.register_group(&[a.id(), b.id()]).unwrap();
+        let w = mgr.begin().unwrap();
+        a.write(&w, 1, 11).unwrap();
+        b.write(&w, 1, 12).unwrap();
+        mgr.commit(&w).unwrap();
+        let r = mgr.begin_read_only().unwrap();
+        assert_eq!(a.read(&r, &1).unwrap(), Some(11));
+        assert_eq!(b.read(&r, &1).unwrap(), Some(12));
+        mgr.commit(&r).unwrap();
+    }
+
+    #[test]
+    fn bocc_reader_conflict_is_reported_at_commit() {
+        let ctx = Arc::new(StateContext::new());
+        let mgr = TransactionManager::new(Arc::clone(&ctx));
+        let a = BoccTable::<u32, u64>::volatile(&ctx, "a");
+        mgr.register(a.clone());
+        mgr.register_group(&[a.id()]).unwrap();
+        // Seed a value.
+        let w = mgr.begin().unwrap();
+        a.write(&w, 1, 1).unwrap();
+        mgr.commit(&w).unwrap();
+        // Reader reads, then the writer overwrites before the reader commits.
+        let r = mgr.begin_read_only().unwrap();
+        assert_eq!(a.read(&r, &1).unwrap(), Some(1));
+        let w2 = mgr.begin().unwrap();
+        a.write(&w2, 1, 2).unwrap();
+        mgr.commit(&w2).unwrap();
+        let err = mgr.commit(&r).unwrap_err();
+        assert!(matches!(err, TspError::ValidationFailed { .. }));
+        assert!(err.is_retryable());
+    }
+
+    #[test]
+    fn unregistered_state_is_skipped_gracefully() {
+        let ctx = Arc::new(StateContext::new());
+        let mgr = TransactionManager::new(Arc::clone(&ctx));
+        let a = MvccTable::<u32, u64>::volatile(&ctx, "a");
+        // Intentionally not registered with the manager.
+        ctx.register_group(&[a.id()]).unwrap();
+        let w = mgr.begin().unwrap();
+        a.write(&w, 1, 1).unwrap();
+        // The commit cannot reach the unregistered participant; it still
+        // finishes the transaction without panicking.
+        mgr.commit(&w).unwrap();
+    }
+
+    #[test]
+    fn register_group_with_unknown_state_fails() {
+        let ctx = Arc::new(StateContext::new());
+        let mgr = TransactionManager::new(ctx);
+        assert!(mgr.register_group(&[StateId(42)]).is_err());
+    }
+}

@@ -1,0 +1,485 @@
+//! Multi-versioned value objects — the heart of the snapshot-isolation
+//! design (§4.1, Fig. 3).
+//!
+//! Each key of a transactional table maps to one [`MvccObject`].  The object
+//! holds a small, fixed-capacity array of version slots; every slot carries
+//! the classic MVCC header `< [cts, dts], value >` — the commit and deletion
+//! timestamps delimiting the version's lifetime.  Slot occupancy is mirrored
+//! in a 64-bit [`used_slots`](MvccObject::used_slots) bitmap, as in the
+//! paper's `UsedSlots` bit vector (footnote 2: "a 64-bit integer, which is
+//! updated by CAS operations").
+//!
+//! Version visibility follows snapshot isolation: a reader with snapshot
+//! timestamp `read_ts` sees the version whose half-open lifetime
+//! `[cts, dts)` contains `read_ts`.  Garbage collection is performed *on
+//! demand* — when a new version must be installed and no slot is free — and
+//! only reclaims versions whose deletion timestamp is not newer than the
+//! oldest active snapshot (`OldestActiveVersion` in the paper).
+//!
+//! Synchronisation uses a lightweight read-write latch per object, exactly
+//! the "lightweight locking strategy with read-write locks (latches)"
+//! described in §4.2; readers never block readers, and writers only hold the
+//! latch for the few instructions needed to stamp headers.
+
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use tsp_common::{Result, Timestamp, TspError, INFINITY_TS, NO_TS};
+
+/// Default number of version slots per object.
+pub const DEFAULT_VERSION_SLOTS: usize = 8;
+
+/// Hard upper bound on version slots (occupancy must fit the 64-bit bitmap).
+pub const MAX_VERSION_SLOTS: usize = 64;
+
+/// One version of a value: the MVCC entry `< [cts, dts], value >`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Version<V> {
+    /// Commit timestamp — the logical time from which the version is visible.
+    pub cts: Timestamp,
+    /// Deletion timestamp — the logical time from which it is no longer
+    /// visible ([`INFINITY_TS`] while it is the live version).
+    pub dts: Timestamp,
+    /// The value payload.
+    pub value: V,
+}
+
+impl<V> Version<V> {
+    /// True if `read_ts` falls inside this version's lifetime.
+    #[inline]
+    pub fn visible_at(&self, read_ts: Timestamp) -> bool {
+        self.cts != NO_TS && self.cts <= read_ts && read_ts < self.dts
+    }
+
+    /// True if this is the live (not yet superseded or deleted) version.
+    #[inline]
+    pub fn is_live(&self) -> bool {
+        self.dts == INFINITY_TS
+    }
+}
+
+struct Slots<V> {
+    versions: Vec<Option<Version<V>>>,
+}
+
+/// A multi-versioned object holding all versions of one key.
+pub struct MvccObject<V> {
+    slots: RwLock<Slots<V>>,
+    used: AtomicU64,
+    capacity: usize,
+}
+
+impl<V: Clone> Default for MvccObject<V> {
+    fn default() -> Self {
+        Self::new(DEFAULT_VERSION_SLOTS)
+    }
+}
+
+impl<V: Clone> MvccObject<V> {
+    /// Creates an object with `capacity` version slots (clamped to
+    /// `1..=`[`MAX_VERSION_SLOTS`]).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.clamp(1, MAX_VERSION_SLOTS);
+        MvccObject {
+            slots: RwLock::new(Slots {
+                versions: (0..capacity).map(|_| None).collect(),
+            }),
+            used: AtomicU64::new(0),
+            capacity,
+        }
+    }
+
+    /// The configured *initial* slot capacity (the array may grow on demand
+    /// up to [`MAX_VERSION_SLOTS`]).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The current size of the version array (initial capacity plus any
+    /// on-demand growth).
+    pub fn allocated_slots(&self) -> usize {
+        self.slots.read().versions.len()
+    }
+
+    /// The occupancy bitmap (bit *i* set ⇔ slot *i* holds a version).
+    pub fn used_slots(&self) -> u64 {
+        self.used.load(Ordering::Acquire)
+    }
+
+    /// Number of stored versions.
+    pub fn version_count(&self) -> usize {
+        self.used_slots().count_ones() as usize
+    }
+
+    /// True if no versions are stored.
+    pub fn is_empty(&self) -> bool {
+        self.used_slots() == 0
+    }
+
+    /// Returns the value visible at `read_ts`, if any.
+    pub fn read_visible(&self, read_ts: Timestamp) -> Option<V> {
+        let guard = self.slots.read();
+        guard
+            .versions
+            .iter()
+            .flatten()
+            .find(|v| v.visible_at(read_ts))
+            .map(|v| v.value.clone())
+    }
+
+    /// Commit timestamp of the newest version (committed or deleted), or
+    /// [`NO_TS`] if the object is empty.  Used by the First-Committer-Wins
+    /// check.
+    pub fn latest_cts(&self) -> Timestamp {
+        let guard = self.slots.read();
+        guard
+            .versions
+            .iter()
+            .flatten()
+            .map(|v| v.cts)
+            .max()
+            .unwrap_or(NO_TS)
+    }
+
+    /// The most recent deletion timestamp stamped on any version, or
+    /// [`NO_TS`].  Together with [`latest_cts`](Self::latest_cts) this lets
+    /// the FCW check detect deletes as conflicting writes.
+    pub fn latest_dts(&self) -> Timestamp {
+        let guard = self.slots.read();
+        guard
+            .versions
+            .iter()
+            .flatten()
+            .map(|v| if v.dts == INFINITY_TS { NO_TS } else { v.dts })
+            .max()
+            .unwrap_or(NO_TS)
+    }
+
+    /// Smallest commit timestamp stored, or [`NO_TS`] if empty.
+    pub fn min_cts(&self) -> Timestamp {
+        let guard = self.slots.read();
+        guard
+            .versions
+            .iter()
+            .flatten()
+            .map(|v| v.cts)
+            .min()
+            .unwrap_or(NO_TS)
+    }
+
+    /// True if a live (not superseded, not deleted) version exists.
+    pub fn has_live_version(&self) -> bool {
+        let guard = self.slots.read();
+        guard.versions.iter().flatten().any(|v| v.is_live())
+    }
+
+    /// Snapshot of all versions, newest first (diagnostics and tests).
+    pub fn versions(&self) -> Vec<Version<V>> {
+        let guard = self.slots.read();
+        let mut out: Vec<Version<V>> = guard.versions.iter().flatten().cloned().collect();
+        out.sort_by(|a, b| b.cts.cmp(&a.cts));
+        out
+    }
+
+    /// Installs a new version committed at `cts`, terminating the lifetime of
+    /// the previously live version (if any).  When no slot is free the
+    /// object's garbage collection runs first, reclaiming versions no longer
+    /// visible to any snapshot at or after `oldest_active`; if nothing can be
+    /// reclaimed (e.g. a long-running ad-hoc query pins an old snapshot) the
+    /// version array grows, up to the 64-slot width of the `UsedSlots`
+    /// bitmap.  Only when all 64 slots hold versions that are still needed
+    /// does the install fail with a retryable [`TspError::CapacityExhausted`].
+    ///
+    /// Returns the number of versions reclaimed by the on-demand GC pass (0
+    /// if none was needed).
+    pub fn install(&self, value: V, cts: Timestamp, oldest_active: Timestamp) -> Result<usize> {
+        debug_assert!(cts != NO_TS);
+        let mut guard = self.slots.write();
+        // Secure a free slot first (running the on-demand GC if needed) so a
+        // failed install leaves the object completely untouched.
+        let mut reclaimed = 0;
+        let mut free = Self::find_free(&guard);
+        if free.is_none() {
+            reclaimed = Self::gc_locked(&mut guard, oldest_active);
+            free = Self::find_free(&guard);
+        }
+        if free.is_none() && guard.versions.len() < MAX_VERSION_SLOTS {
+            // Grow geometrically, never beyond the bitmap width.
+            let new_len = (guard.versions.len() * 2).min(MAX_VERSION_SLOTS);
+            free = Some(guard.versions.len());
+            guard.versions.resize_with(new_len, || None);
+        }
+        let slot = match free {
+            Some(i) => i,
+            None => {
+                self.rebuild_bitmap(&guard);
+                return Err(TspError::CapacityExhausted {
+                    what: "MVCC version slots",
+                });
+            }
+        };
+        // Terminate the currently live version, then publish the new one.
+        if let Some(live) = guard
+            .versions
+            .iter_mut()
+            .flatten()
+            .find(|v| v.is_live())
+        {
+            live.dts = cts;
+        }
+        guard.versions[slot] = Some(Version {
+            cts,
+            dts: INFINITY_TS,
+            value,
+        });
+        self.rebuild_bitmap(&guard);
+        Ok(reclaimed)
+    }
+
+    /// Marks the live version as deleted at `cts` (a committed delete).
+    /// Returns `true` if a live version existed.
+    pub fn mark_deleted(&self, cts: Timestamp) -> bool {
+        let mut guard = self.slots.write();
+        let deleted = if let Some(live) = guard
+            .versions
+            .iter_mut()
+            .flatten()
+            .find(|v| v.is_live())
+        {
+            live.dts = cts;
+            true
+        } else {
+            false
+        };
+        self.rebuild_bitmap(&guard);
+        deleted
+    }
+
+    /// Runs garbage collection explicitly, reclaiming versions whose deletion
+    /// timestamp is `<= oldest_active`.  Returns the number reclaimed.
+    pub fn gc(&self, oldest_active: Timestamp) -> usize {
+        let mut guard = self.slots.write();
+        let reclaimed = Self::gc_locked(&mut guard, oldest_active);
+        self.rebuild_bitmap(&guard);
+        reclaimed
+    }
+
+    fn find_free(slots: &Slots<V>) -> Option<usize> {
+        slots.versions.iter().position(|s| s.is_none())
+    }
+
+    fn gc_locked(slots: &mut Slots<V>, oldest_active: Timestamp) -> usize {
+        let mut reclaimed = 0;
+        for slot in slots.versions.iter_mut() {
+            if let Some(v) = slot {
+                // A version is dead once its lifetime ended at or before the
+                // oldest snapshot any active or future transaction can hold.
+                if v.dts != INFINITY_TS && v.dts <= oldest_active {
+                    *slot = None;
+                    reclaimed += 1;
+                }
+            }
+        }
+        reclaimed
+    }
+
+    fn rebuild_bitmap(&self, slots: &Slots<V>) {
+        let mut bits = 0u64;
+        for (i, s) in slots.versions.iter().enumerate() {
+            if s.is_some() {
+                bits |= 1 << i;
+            }
+        }
+        self.used.store(bits, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_object_has_no_visible_versions() {
+        let obj: MvccObject<u64> = MvccObject::new(4);
+        assert!(obj.is_empty());
+        assert_eq!(obj.read_visible(100), None);
+        assert_eq!(obj.latest_cts(), NO_TS);
+        assert_eq!(obj.min_cts(), NO_TS);
+        assert!(!obj.has_live_version());
+        assert_eq!(obj.version_count(), 0);
+    }
+
+    #[test]
+    fn install_and_read_visibility_windows() {
+        let obj = MvccObject::new(4);
+        obj.install(10u64, 5, NO_TS).unwrap();
+        obj.install(20u64, 9, NO_TS).unwrap();
+        // Reader before the first commit sees nothing.
+        assert_eq!(obj.read_visible(4), None);
+        // Reader between commits sees the first version.
+        assert_eq!(obj.read_visible(5), Some(10));
+        assert_eq!(obj.read_visible(8), Some(10));
+        // Reader at/after the second commit sees the second version.
+        assert_eq!(obj.read_visible(9), Some(20));
+        assert_eq!(obj.read_visible(1000), Some(20));
+        assert_eq!(obj.latest_cts(), 9);
+        assert_eq!(obj.min_cts(), 5);
+        assert!(obj.has_live_version());
+        assert_eq!(obj.version_count(), 2);
+    }
+
+    #[test]
+    fn delete_ends_visibility() {
+        let obj = MvccObject::new(4);
+        obj.install(7u64, 3, NO_TS).unwrap();
+        assert!(obj.mark_deleted(6));
+        assert_eq!(obj.read_visible(5), Some(7));
+        assert_eq!(obj.read_visible(6), None);
+        assert!(!obj.has_live_version());
+        assert_eq!(obj.latest_dts(), 6);
+        // Deleting again reports no live version.
+        assert!(!obj.mark_deleted(8));
+    }
+
+    #[test]
+    fn bitmap_tracks_occupancy() {
+        let obj = MvccObject::new(8);
+        assert_eq!(obj.used_slots(), 0);
+        obj.install(1u64, 2, NO_TS).unwrap();
+        assert_eq!(obj.used_slots().count_ones(), 1);
+        obj.install(2u64, 4, NO_TS).unwrap();
+        obj.install(3u64, 6, NO_TS).unwrap();
+        assert_eq!(obj.used_slots().count_ones(), 3);
+        // GC with an oldest-active past all dts values reclaims superseded ones.
+        let reclaimed = obj.gc(100);
+        assert_eq!(reclaimed, 2);
+        assert_eq!(obj.used_slots().count_ones(), 1);
+        assert_eq!(obj.read_visible(100), Some(3));
+    }
+
+    #[test]
+    fn gc_respects_oldest_active_snapshot() {
+        let obj = MvccObject::new(8);
+        obj.install(1u64, 2, NO_TS).unwrap();
+        obj.install(2u64, 5, NO_TS).unwrap();
+        obj.install(3u64, 9, NO_TS).unwrap();
+        // An active reader at ts=4 still needs the version [2,5).
+        assert_eq!(obj.gc(4), 0);
+        assert_eq!(obj.read_visible(4), Some(1));
+        // Once the oldest snapshot moves to 5, [2,5) can go but [5,9) stays.
+        assert_eq!(obj.gc(5), 1);
+        assert_eq!(obj.read_visible(5), Some(2));
+        assert_eq!(obj.read_visible(9), Some(3));
+    }
+
+    #[test]
+    fn on_demand_gc_when_slots_full() {
+        let obj = MvccObject::new(2);
+        obj.install(1u64, 2, NO_TS).unwrap();
+        obj.install(2u64, 4, NO_TS).unwrap();
+        // Slots full; oldest active snapshot is 10 so the [2,4) version can go.
+        let reclaimed = obj.install(3u64, 11, 10).unwrap();
+        assert_eq!(reclaimed, 1);
+        assert_eq!(obj.read_visible(11), Some(3));
+        // The [4,11) version must survive because it is still the snapshot of 10.
+        assert_eq!(obj.read_visible(10), Some(2));
+    }
+
+    #[test]
+    fn array_grows_when_gc_cannot_reclaim() {
+        let obj = MvccObject::new(2);
+        obj.install(1u64, 2, NO_TS).unwrap();
+        obj.install(2u64, 4, NO_TS).unwrap();
+        assert_eq!(obj.allocated_slots(), 2);
+        // Oldest active snapshot is 1: nothing can be reclaimed, so the
+        // array grows instead of failing.
+        obj.install(3u64, 6, 1).unwrap();
+        assert_eq!(obj.allocated_slots(), 4);
+        assert_eq!(obj.version_count(), 3);
+        // Every snapshot still sees its version.
+        assert_eq!(obj.read_visible(3), Some(1));
+        assert_eq!(obj.read_visible(5), Some(2));
+        assert_eq!(obj.read_visible(10), Some(3));
+    }
+
+    #[test]
+    fn capacity_exhausted_only_at_bitmap_width() {
+        let obj = MvccObject::new(2);
+        // Install 64 versions while an ancient snapshot (ts=1) pins them all.
+        for i in 0..MAX_VERSION_SLOTS as u64 {
+            obj.install(i, 2 + i, 1).unwrap();
+        }
+        assert_eq!(obj.allocated_slots(), MAX_VERSION_SLOTS);
+        assert_eq!(obj.version_count(), MAX_VERSION_SLOTS);
+        // The 65th needed version cannot be stored.
+        let err = obj.install(999u64, 1000, 1).unwrap_err();
+        assert!(matches!(err, TspError::CapacityExhausted { .. }));
+        // The failed install must not have corrupted visibility: the latest
+        // surviving version is still visible to new readers.
+        assert_eq!(obj.read_visible(u64::MAX - 1), Some(MAX_VERSION_SLOTS as u64 - 1));
+        // Once the old snapshot moves on, GC frees the array again.
+        assert!(obj.gc(2 + MAX_VERSION_SLOTS as u64) >= MAX_VERSION_SLOTS - 1);
+        obj.install(1000u64, 2000, 2000).unwrap();
+        assert_eq!(obj.read_visible(u64::MAX - 1), Some(1000));
+    }
+
+    #[test]
+    fn versions_are_reported_newest_first() {
+        let obj = MvccObject::new(4);
+        obj.install(10u64, 2, NO_TS).unwrap();
+        obj.install(20u64, 7, NO_TS).unwrap();
+        let vs = obj.versions();
+        assert_eq!(vs.len(), 2);
+        assert_eq!(vs[0].cts, 7);
+        assert_eq!(vs[1].cts, 2);
+        assert!(vs[0].is_live());
+        assert!(!vs[1].is_live());
+        assert_eq!(vs[1].dts, 7);
+    }
+
+    #[test]
+    fn capacity_is_clamped() {
+        let obj: MvccObject<u8> = MvccObject::new(0);
+        assert_eq!(obj.capacity(), 1);
+        let obj: MvccObject<u8> = MvccObject::new(1000);
+        assert_eq!(obj.capacity(), MAX_VERSION_SLOTS);
+        let obj: MvccObject<u8> = MvccObject::default();
+        assert_eq!(obj.capacity(), DEFAULT_VERSION_SLOTS);
+    }
+
+    #[test]
+    fn concurrent_readers_and_installer() {
+        use std::sync::Arc;
+        let obj = Arc::new(MvccObject::new(16));
+        obj.install(0u64, 2, NO_TS).unwrap();
+        let writer = {
+            let obj = Arc::clone(&obj);
+            std::thread::spawn(move || {
+                for i in 1..500u64 {
+                    // Monotonically increasing cts; the oldest active snapshot
+                    // trails just behind the previous commit, so on-demand GC
+                    // always finds reclaimable versions.
+                    let cts = 2 + i * 2;
+                    obj.install(i, cts, cts - 1).unwrap();
+                }
+            })
+        };
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let obj = Arc::clone(&obj);
+                std::thread::spawn(move || {
+                    for _ in 0..2000 {
+                        // A very fresh snapshot must always see *some* version,
+                        // and the value must be consistent with its timestamp.
+                        let v = obj.read_visible(u64::MAX - 1);
+                        assert!(v.is_some());
+                    }
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(obj.read_visible(u64::MAX - 1), Some(499));
+    }
+}

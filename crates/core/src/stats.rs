@@ -1,0 +1,173 @@
+//! Lightweight transaction statistics.
+//!
+//! Every table and the transaction manager update these counters with relaxed
+//! atomics; the benchmark harness and the examples read them to report
+//! throughput, abort rates and conflict breakdowns.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared counters describing transaction outcomes.
+#[derive(Debug, Default)]
+pub struct TxStats {
+    /// Transactions begun.
+    pub begun: AtomicU64,
+    /// Transactions committed successfully.
+    pub committed: AtomicU64,
+    /// Transactions aborted for any reason.
+    pub aborted: AtomicU64,
+    /// Aborts caused by write-write conflicts (First-Committer-Wins).
+    pub write_conflicts: AtomicU64,
+    /// Aborts caused by optimistic (BOCC) validation failures.
+    pub validation_failures: AtomicU64,
+    /// Aborts caused by deadlock avoidance (wait-die victims).
+    pub deadlocks: AtomicU64,
+    /// Read operations served.
+    pub reads: AtomicU64,
+    /// Write operations buffered.
+    pub writes: AtomicU64,
+    /// Garbage-collection passes over version arrays.
+    pub gc_runs: AtomicU64,
+    /// Versions reclaimed by garbage collection.
+    pub gc_reclaimed: AtomicU64,
+}
+
+impl TxStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments a counter by one.
+    #[inline]
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` to a counter.
+    #[inline]
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshot of all counters as plain numbers.
+    pub fn snapshot(&self) -> TxStatsSnapshot {
+        TxStatsSnapshot {
+            begun: self.begun.load(Ordering::Relaxed),
+            committed: self.committed.load(Ordering::Relaxed),
+            aborted: self.aborted.load(Ordering::Relaxed),
+            write_conflicts: self.write_conflicts.load(Ordering::Relaxed),
+            validation_failures: self.validation_failures.load(Ordering::Relaxed),
+            deadlocks: self.deadlocks.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            gc_runs: self.gc_runs.load(Ordering::Relaxed),
+            gc_reclaimed: self.gc_reclaimed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero (between benchmark phases).
+    pub fn reset(&self) {
+        for c in [
+            &self.begun,
+            &self.committed,
+            &self.aborted,
+            &self.write_conflicts,
+            &self.validation_failures,
+            &self.deadlocks,
+            &self.reads,
+            &self.writes,
+            &self.gc_runs,
+            &self.gc_reclaimed,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A point-in-time copy of [`TxStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TxStatsSnapshot {
+    /// Transactions begun.
+    pub begun: u64,
+    /// Transactions committed.
+    pub committed: u64,
+    /// Transactions aborted.
+    pub aborted: u64,
+    /// First-Committer-Wins conflicts.
+    pub write_conflicts: u64,
+    /// BOCC validation failures.
+    pub validation_failures: u64,
+    /// Wait-die deadlock victims.
+    pub deadlocks: u64,
+    /// Read operations.
+    pub reads: u64,
+    /// Write operations.
+    pub writes: u64,
+    /// GC passes.
+    pub gc_runs: u64,
+    /// Versions reclaimed.
+    pub gc_reclaimed: u64,
+}
+
+impl TxStatsSnapshot {
+    /// Abort ratio over all finished transactions (0 when none finished).
+    pub fn abort_ratio(&self) -> f64 {
+        let finished = self.committed + self.aborted;
+        if finished == 0 {
+            0.0
+        } else {
+            self.aborted as f64 / finished as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_add_snapshot_reset() {
+        let s = TxStats::new();
+        TxStats::bump(&s.begun);
+        TxStats::bump(&s.begun);
+        TxStats::add(&s.reads, 10);
+        TxStats::bump(&s.committed);
+        let snap = s.snapshot();
+        assert_eq!(snap.begun, 2);
+        assert_eq!(snap.reads, 10);
+        assert_eq!(snap.committed, 1);
+        s.reset();
+        assert_eq!(s.snapshot(), TxStatsSnapshot::default());
+    }
+
+    #[test]
+    fn abort_ratio() {
+        let snap = TxStatsSnapshot {
+            committed: 75,
+            aborted: 25,
+            ..Default::default()
+        };
+        assert!((snap.abort_ratio() - 0.25).abs() < 1e-9);
+        assert_eq!(TxStatsSnapshot::default().abort_ratio(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_bumps_are_counted() {
+        use std::sync::Arc;
+        let s = Arc::new(TxStats::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        TxStats::bump(&s.committed);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.snapshot().committed, 4000);
+    }
+}

@@ -1,0 +1,427 @@
+//! Building blocks shared by all transactional table implementations:
+//! uncommitted write sets ("dirty arrays"), the typed view onto a byte-level
+//! storage backend, and the trait bounds for keys and values.
+
+use crate::context::Tx;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
+use tsp_common::{Result, StateId, Timestamp, TxnId};
+use tsp_storage::{Codec, StorageBackend, WriteBatch};
+
+/// Bound for table keys: hashable, ordered, encodable.
+pub trait KeyType: Clone + Eq + Hash + Ord + Codec + Send + Sync + 'static {}
+impl<T: Clone + Eq + Hash + Ord + Codec + Send + Sync + 'static> KeyType for T {}
+
+/// Bound for table values: cloneable and encodable.
+pub trait ValueType: Clone + Codec + Send + Sync + 'static {}
+impl<T: Clone + Codec + Send + Sync + 'static> ValueType for T {}
+
+/// One buffered, uncommitted modification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WriteOp<V> {
+    /// Insert or update to `V`.
+    Put(V),
+    /// Delete the key.
+    Delete,
+}
+
+/// The uncommitted write set of one transaction against one table — the
+/// paper's "Dirty Array" inside the "Uncommitted Write Set" (§4.1).
+///
+/// Writes are buffered here until commit; aborting a transaction therefore
+/// only needs to drop this structure ("it is enough for the abort operation
+/// to simply clear the corresponding write set").
+#[derive(Clone, Debug)]
+pub struct WriteSet<K, V> {
+    /// Modifications in arrival order (last write to a key wins).
+    ops: Vec<(K, WriteOp<V>)>,
+    /// Index from key to the position of its most recent op.
+    index: HashMap<K, usize>,
+}
+
+impl<K: KeyType, V: ValueType> Default for WriteSet<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: KeyType, V: ValueType> WriteSet<K, V> {
+    /// Creates an empty write set.
+    pub fn new() -> Self {
+        WriteSet {
+            ops: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// Buffers a put.
+    pub fn put(&mut self, key: K, value: V) {
+        self.record(key, WriteOp::Put(value));
+    }
+
+    /// Buffers a delete.
+    pub fn delete(&mut self, key: K) {
+        self.record(key, WriteOp::Delete);
+    }
+
+    fn record(&mut self, key: K, op: WriteOp<V>) {
+        self.ops.push((key.clone(), op));
+        self.index.insert(key, self.ops.len() - 1);
+    }
+
+    /// The most recent buffered op for `key`, if any (read-your-own-writes).
+    pub fn get(&self, key: &K) -> Option<&WriteOp<V>> {
+        self.index.get(key).map(|&i| &self.ops[i].1)
+    }
+
+    /// Number of distinct keys written.
+    pub fn key_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Iterates the *effective* modifications: one entry per key, the most
+    /// recent op winning, in first-write order.
+    pub fn effective(&self) -> Vec<(K, WriteOp<V>)> {
+        let mut seen = HashMap::new();
+        let mut order = Vec::new();
+        for (key, _) in &self.ops {
+            if !seen.contains_key(key) {
+                seen.insert(key.clone(), ());
+                order.push(key.clone());
+            }
+        }
+        order
+            .into_iter()
+            .map(|k| {
+                let op = self.get(&k).expect("indexed key present").clone();
+                (k, op)
+            })
+            .collect()
+    }
+
+    /// The distinct keys written.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.index.keys()
+    }
+}
+
+/// All uncommitted write sets of one table, keyed by transaction id — the
+/// "Uncommitted Write Set" box of Fig. 3.
+pub struct TxWriteSets<K, V> {
+    shards: Vec<Mutex<HashMap<TxnId, WriteSet<K, V>>>>,
+}
+
+const WS_SHARDS: usize = 16;
+
+impl<K: KeyType, V: ValueType> Default for TxWriteSets<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: KeyType, V: ValueType> TxWriteSets<K, V> {
+    /// Creates an empty write-set registry.
+    pub fn new() -> Self {
+        TxWriteSets {
+            shards: (0..WS_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, txn: TxnId) -> &Mutex<HashMap<TxnId, WriteSet<K, V>>> {
+        &self.shards[(txn.as_u64() as usize) & (WS_SHARDS - 1)]
+    }
+
+    /// Runs `f` with the (created on demand) write set of `txn`.
+    pub fn with_mut<R>(&self, txn: TxnId, f: impl FnOnce(&mut WriteSet<K, V>) -> R) -> R {
+        let mut guard = self.shard(txn).lock();
+        f(guard.entry(txn).or_default())
+    }
+
+    /// Runs `f` with the write set of `txn` if one exists.
+    pub fn with<R>(&self, txn: TxnId, f: impl FnOnce(&WriteSet<K, V>) -> R) -> Option<R> {
+        let guard = self.shard(txn).lock();
+        guard.get(&txn).map(f)
+    }
+
+    /// Removes and returns the write set of `txn`.
+    pub fn take(&self, txn: TxnId) -> Option<WriteSet<K, V>> {
+        self.shard(txn).lock().remove(&txn)
+    }
+
+    /// Drops the write set of `txn` (abort path).
+    pub fn clear(&self, txn: TxnId) {
+        self.shard(txn).lock().remove(&txn);
+    }
+
+    /// True if `txn` has buffered at least one modification.
+    pub fn has_writes(&self, txn: TxnId) -> bool {
+        self.with(txn, |ws| !ws.is_empty()).unwrap_or(false)
+    }
+
+    /// Number of transactions with live write sets (diagnostics).
+    pub fn active_count(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+/// A typed view of an optional byte-level [`StorageBackend`] — the "Base
+/// Table" of Fig. 3.
+///
+/// Tables without a backend are purely volatile (e.g. window operator
+/// states); tables with a backend persist every committed transaction as one
+/// atomic [`WriteBatch`].
+pub struct TypedBackend<K, V> {
+    backend: Option<Arc<dyn StorageBackend>>,
+    _marker: std::marker::PhantomData<fn() -> (K, V)>,
+}
+
+impl<K: KeyType, V: ValueType> TypedBackend<K, V> {
+    /// A view with no persistence.
+    pub fn volatile() -> Self {
+        TypedBackend {
+            backend: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// A view over `backend`.
+    pub fn persistent(backend: Arc<dyn StorageBackend>) -> Self {
+        TypedBackend {
+            backend: Some(backend),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// True if a backend is attached.
+    pub fn is_persistent(&self) -> bool {
+        self.backend.is_some()
+    }
+
+    /// The raw backend, if any.
+    pub fn raw(&self) -> Option<&Arc<dyn StorageBackend>> {
+        self.backend.as_ref()
+    }
+
+    /// Reads and decodes the committed value of `key`.
+    pub fn get(&self, key: &K) -> Result<Option<V>> {
+        match &self.backend {
+            None => Ok(None),
+            Some(b) => match b.get(&key.encode())? {
+                None => Ok(None),
+                Some(bytes) => Ok(Some(V::decode(&bytes)?)),
+            },
+        }
+    }
+
+    /// Writes a committed value directly (used for preloading data outside
+    /// any transaction, e.g. benchmark table initialisation).
+    pub fn put_direct(&self, key: &K, value: &V) -> Result<()> {
+        if let Some(b) = &self.backend {
+            b.put(&key.encode(), &value.encode())?;
+        }
+        Ok(())
+    }
+
+    /// Applies the effective modifications of a write set (plus optional
+    /// metadata entries) as one atomic batch.
+    pub fn apply(
+        &self,
+        ops: &[(K, WriteOp<V>)],
+        meta: &[(Vec<u8>, Vec<u8>)],
+    ) -> Result<()> {
+        let Some(b) = &self.backend else {
+            return Ok(());
+        };
+        if ops.is_empty() && meta.is_empty() {
+            return Ok(());
+        }
+        let mut batch = WriteBatch::with_capacity(ops.len() + meta.len());
+        for (k, op) in ops {
+            match op {
+                WriteOp::Put(v) => {
+                    batch.put(k.encode(), v.encode());
+                }
+                WriteOp::Delete => {
+                    batch.delete(k.encode());
+                }
+            }
+        }
+        for (k, v) in meta {
+            batch.put(k.clone(), v.clone());
+        }
+        b.write_batch(&batch)
+    }
+
+    /// Scans all committed entries, decoding keys and values.  Entries whose
+    /// key starts with the reserved metadata prefix are skipped.
+    pub fn scan(&self, visit: &mut dyn FnMut(K, V) -> bool) -> Result<()> {
+        let Some(b) = &self.backend else {
+            return Ok(());
+        };
+        let mut decode_err = None;
+        b.scan(&mut |k, v| {
+            if k.starts_with(META_PREFIX) {
+                return true;
+            }
+            match (K::decode(k), V::decode(v)) {
+                (Ok(key), Ok(value)) => visit(key, value),
+                (Err(e), _) | (_, Err(e)) => {
+                    decode_err = Some(e);
+                    false
+                }
+            }
+        })?;
+        match decode_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Reserved key prefix for table metadata stored inside the base table
+/// (e.g. the durably persisted group commit timestamp).
+pub const META_PREFIX: &[u8] = b"__tsp__/";
+
+/// Reserved key under which a persistent table stores the commit timestamp
+/// of the last transaction applied to it (used by recovery to restore the
+/// group's `LastCTS`).
+pub fn last_cts_key() -> Vec<u8> {
+    let mut k = META_PREFIX.to_vec();
+    k.extend_from_slice(b"last_cts");
+    k
+}
+
+/// A participant in the consistency protocol (§4.3): one transactional state
+/// whose buffered effects are validated, applied or rolled back by the
+/// commit coordinator.
+pub trait TxParticipant: Send + Sync {
+    /// The participant's state id.
+    fn state_id(&self) -> StateId;
+
+    /// Human-readable state name (for diagnostics).
+    fn state_name(&self) -> &str;
+
+    /// Concurrency-control validation before commit.  Returning an error
+    /// votes abort for the whole transaction (First-Committer-Wins check for
+    /// MVCC, read-set validation for BOCC, nothing for S2PL).
+    fn precommit(&self, tx: &Tx) -> Result<()>;
+
+    /// Applies the transaction's buffered effects with commit timestamp
+    /// `cts`, including persisting them to the base table.
+    fn apply(&self, tx: &Tx, cts: Timestamp) -> Result<()>;
+
+    /// Discards the transaction's buffered effects.
+    fn rollback(&self, tx: &Tx);
+
+    /// Releases any per-transaction resources (locks, read sets).  Called
+    /// exactly once after commit or rollback.
+    fn finalize(&self, tx: &Tx);
+
+    /// True if the transaction buffered modifications against this state.
+    fn has_writes(&self, tx: &Tx) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsp_storage::BTreeBackend;
+
+    #[test]
+    fn write_set_last_write_wins() {
+        let mut ws: WriteSet<u32, String> = WriteSet::new();
+        assert!(ws.is_empty());
+        ws.put(1, "a".into());
+        ws.put(2, "b".into());
+        ws.put(1, "c".into());
+        ws.delete(2);
+        assert_eq!(ws.key_count(), 2);
+        assert_eq!(ws.get(&1), Some(&WriteOp::Put("c".into())));
+        assert_eq!(ws.get(&2), Some(&WriteOp::Delete));
+        assert_eq!(ws.get(&3), None);
+        let eff = ws.effective();
+        assert_eq!(eff.len(), 2);
+        assert_eq!(eff[0], (1, WriteOp::Put("c".into())));
+        assert_eq!(eff[1], (2, WriteOp::Delete));
+        assert_eq!(ws.keys().count(), 2);
+    }
+
+    #[test]
+    fn tx_write_sets_lifecycle() {
+        let sets: TxWriteSets<u32, u64> = TxWriteSets::new();
+        let t1 = TxnId(10);
+        let t2 = TxnId(11);
+        assert!(!sets.has_writes(t1));
+        sets.with_mut(t1, |ws| ws.put(1, 100));
+        sets.with_mut(t2, |ws| ws.put(2, 200));
+        assert!(sets.has_writes(t1));
+        assert_eq!(sets.active_count(), 2);
+        assert_eq!(sets.with(t1, |ws| ws.key_count()), Some(1));
+        let taken = sets.take(t1).unwrap();
+        assert_eq!(taken.key_count(), 1);
+        assert!(!sets.has_writes(t1));
+        sets.clear(t2);
+        assert_eq!(sets.active_count(), 0);
+        assert!(sets.with(TxnId(99), |ws| ws.key_count()).is_none());
+    }
+
+    #[test]
+    fn typed_backend_volatile_is_a_noop() {
+        let tb: TypedBackend<u32, u64> = TypedBackend::volatile();
+        assert!(!tb.is_persistent());
+        assert_eq!(tb.get(&1).unwrap(), None);
+        tb.put_direct(&1, &5).unwrap();
+        assert_eq!(tb.get(&1).unwrap(), None);
+        tb.apply(&[(1, WriteOp::Put(5))], &[]).unwrap();
+        let mut visited = 0;
+        tb.scan(&mut |_, _| {
+            visited += 1;
+            true
+        })
+        .unwrap();
+        assert_eq!(visited, 0);
+    }
+
+    #[test]
+    fn typed_backend_round_trips_through_storage() {
+        let backend = Arc::new(BTreeBackend::new());
+        let tb: TypedBackend<u32, String> = TypedBackend::persistent(backend.clone());
+        assert!(tb.is_persistent());
+        tb.put_direct(&7, &"seven".to_string()).unwrap();
+        assert_eq!(tb.get(&7).unwrap(), Some("seven".to_string()));
+        tb.apply(
+            &[
+                (8, WriteOp::Put("eight".into())),
+                (7, WriteOp::Delete),
+            ],
+            &[(last_cts_key(), 42u64.encode())],
+        )
+        .unwrap();
+        assert_eq!(tb.get(&7).unwrap(), None);
+        assert_eq!(tb.get(&8).unwrap(), Some("eight".to_string()));
+        // Metadata keys are visible at the byte level …
+        assert_eq!(backend.get(&last_cts_key()).unwrap(), Some(42u64.encode()));
+        // … but skipped by the typed scan.
+        let mut seen = Vec::new();
+        tb.scan(&mut |k, v| {
+            seen.push((k, v));
+            true
+        })
+        .unwrap();
+        assert_eq!(seen, vec![(8, "eight".to_string())]);
+    }
+
+    #[test]
+    fn typed_backend_empty_apply_is_noop() {
+        let backend = Arc::new(BTreeBackend::new());
+        let tb: TypedBackend<u32, u64> = TypedBackend::persistent(backend.clone());
+        tb.apply(&[], &[]).unwrap();
+        assert_eq!(backend.len(), 0);
+    }
+}

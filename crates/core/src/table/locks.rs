@@ -1,0 +1,295 @@
+//! Key-granular lock manager for the strict two-phase-locking baseline.
+//!
+//! Locks are shared (read) or exclusive (write) per key, held until the end
+//! of the transaction (strict 2PL).  Deadlocks are avoided with the classic
+//! *wait-die* rule: an older transaction (smaller begin timestamp) is allowed
+//! to wait for a younger lock holder, a younger requester "dies" immediately
+//! (returns [`TspError::Deadlock`]) and is expected to be retried by its
+//! caller.  A bounded wait (default 1 s) additionally guards against lost
+//! wake-ups so the benchmark can never hang.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::time::{Duration, Instant};
+use tsp_common::{Result, TspError, TxnId};
+
+const SHARDS: usize = 32;
+
+/// Lock mode requested for a key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockMode {
+    /// Shared (read) access.
+    Shared,
+    /// Exclusive (write) access.
+    Exclusive,
+}
+
+#[derive(Default)]
+struct LockEntry {
+    readers: HashSet<u64>,
+    writer: Option<u64>,
+}
+
+impl LockEntry {
+    fn is_free(&self) -> bool {
+        self.readers.is_empty() && self.writer.is_none()
+    }
+
+    /// Transactions currently blocking `txn` from acquiring `mode`.
+    fn conflicts_for(&self, txn: u64, mode: LockMode) -> Vec<u64> {
+        match mode {
+            LockMode::Shared => match self.writer {
+                Some(w) if w != txn => vec![w],
+                _ => Vec::new(),
+            },
+            LockMode::Exclusive => {
+                let mut out: Vec<u64> = self.readers.iter().copied().filter(|r| *r != txn).collect();
+                if let Some(w) = self.writer {
+                    if w != txn {
+                        out.push(w);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    fn grant(&mut self, txn: u64, mode: LockMode) {
+        match mode {
+            LockMode::Shared => {
+                if self.writer != Some(txn) {
+                    self.readers.insert(txn);
+                }
+            }
+            LockMode::Exclusive => {
+                self.readers.remove(&txn);
+                self.writer = Some(txn);
+            }
+        }
+    }
+}
+
+struct LockShard<K> {
+    entries: Mutex<HashMap<K, LockEntry>>,
+    released: Condvar,
+}
+
+/// Sharded lock table with wait-die deadlock avoidance.
+pub struct LockManager<K> {
+    shards: Vec<LockShard<K>>,
+    holdings: Mutex<HashMap<u64, HashSet<K>>>,
+    max_wait: Duration,
+}
+
+impl<K: Clone + Eq + Hash> Default for LockManager<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Clone + Eq + Hash> LockManager<K> {
+    /// Creates a lock manager with the default 1-second wait bound.
+    pub fn new() -> Self {
+        Self::with_max_wait(Duration::from_secs(1))
+    }
+
+    /// Creates a lock manager with an explicit wait bound.
+    pub fn with_max_wait(max_wait: Duration) -> Self {
+        LockManager {
+            shards: (0..SHARDS)
+                .map(|_| LockShard {
+                    entries: Mutex::new(HashMap::new()),
+                    released: Condvar::new(),
+                })
+                .collect(),
+            holdings: Mutex::new(HashMap::new()),
+            max_wait,
+        }
+    }
+
+    fn shard(&self, key: &K) -> &LockShard<K> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Acquires `mode` on `key` for `txn`, applying wait-die.
+    ///
+    /// Lock upgrades (shared → exclusive by the same transaction) succeed as
+    /// soon as no *other* reader remains.
+    pub fn lock(&self, txn: TxnId, key: &K, mode: LockMode) -> Result<()> {
+        let id = txn.as_u64();
+        let shard = self.shard(key);
+        let deadline = Instant::now() + self.max_wait;
+        let mut entries = shard.entries.lock();
+        loop {
+            let entry = entries.entry(key.clone()).or_default();
+            let conflicts = entry.conflicts_for(id, mode);
+            if conflicts.is_empty() {
+                entry.grant(id, mode);
+                drop(entries);
+                self.holdings.lock().entry(id).or_default().insert(key.clone());
+                return Ok(());
+            }
+            // Wait-die: only wait if this transaction is older (smaller
+            // timestamp) than every conflicting holder; otherwise die.
+            if conflicts.iter().any(|holder| id > *holder) {
+                return Err(TspError::Deadlock { txn: id });
+            }
+            if Instant::now() >= deadline {
+                return Err(TspError::Deadlock { txn: id });
+            }
+            shard
+                .released
+                .wait_for(&mut entries, Duration::from_millis(5));
+        }
+    }
+
+    /// Releases every lock held by `txn` (end of transaction — strict 2PL).
+    pub fn release_all(&self, txn: TxnId) {
+        let id = txn.as_u64();
+        let keys = match self.holdings.lock().remove(&id) {
+            Some(keys) => keys,
+            None => return,
+        };
+        for key in keys {
+            let shard = self.shard(&key);
+            let mut entries = shard.entries.lock();
+            if let Some(entry) = entries.get_mut(&key) {
+                entry.readers.remove(&id);
+                if entry.writer == Some(id) {
+                    entry.writer = None;
+                }
+                if entry.is_free() {
+                    entries.remove(&key);
+                }
+            }
+            shard.released.notify_all();
+        }
+    }
+
+    /// Number of transactions currently holding at least one lock.
+    pub fn holder_count(&self) -> usize {
+        self.holdings.lock().len()
+    }
+
+    /// Number of keys with at least one lock (diagnostics).
+    pub fn locked_key_count(&self) -> usize {
+        self.shards.iter().map(|s| s.entries.lock().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn shared_locks_are_compatible() {
+        let lm: LockManager<u32> = LockManager::new();
+        lm.lock(TxnId(1), &5, LockMode::Shared).unwrap();
+        lm.lock(TxnId(2), &5, LockMode::Shared).unwrap();
+        assert_eq!(lm.holder_count(), 2);
+        lm.release_all(TxnId(1));
+        lm.release_all(TxnId(2));
+        assert_eq!(lm.holder_count(), 0);
+        assert_eq!(lm.locked_key_count(), 0);
+    }
+
+    #[test]
+    fn exclusive_conflicts_with_shared_younger_dies() {
+        let lm: LockManager<u32> = LockManager::new();
+        // Older transaction (1) holds an exclusive lock.
+        lm.lock(TxnId(1), &9, LockMode::Exclusive).unwrap();
+        // Younger transaction (5) must die instead of waiting.
+        let err = lm.lock(TxnId(5), &9, LockMode::Shared).unwrap_err();
+        assert!(matches!(err, TspError::Deadlock { txn: 5 }));
+        lm.release_all(TxnId(1));
+    }
+
+    #[test]
+    fn reacquiring_own_lock_is_idempotent() {
+        let lm: LockManager<u32> = LockManager::new();
+        lm.lock(TxnId(3), &1, LockMode::Shared).unwrap();
+        lm.lock(TxnId(3), &1, LockMode::Shared).unwrap();
+        lm.lock(TxnId(3), &1, LockMode::Exclusive).unwrap(); // upgrade, sole reader
+        lm.lock(TxnId(3), &1, LockMode::Exclusive).unwrap();
+        lm.lock(TxnId(3), &1, LockMode::Shared).unwrap(); // already writer
+        lm.release_all(TxnId(3));
+        assert_eq!(lm.locked_key_count(), 0);
+    }
+
+    #[test]
+    fn upgrade_blocked_by_other_reader_dies_for_younger() {
+        let lm: LockManager<u32> = LockManager::new();
+        lm.lock(TxnId(2), &7, LockMode::Shared).unwrap();
+        lm.lock(TxnId(8), &7, LockMode::Shared).unwrap();
+        // Younger writer (8) cannot upgrade while 2 holds a shared lock.
+        let err = lm.lock(TxnId(8), &7, LockMode::Exclusive).unwrap_err();
+        assert!(matches!(err, TspError::Deadlock { .. }));
+        lm.release_all(TxnId(2));
+        lm.release_all(TxnId(8));
+    }
+
+    #[test]
+    fn older_transaction_waits_for_younger_release() {
+        let lm: Arc<LockManager<u32>> = Arc::new(LockManager::new());
+        // Younger transaction (10) holds the lock.
+        lm.lock(TxnId(10), &1, LockMode::Exclusive).unwrap();
+        let waiter = {
+            let lm = Arc::clone(&lm);
+            std::thread::spawn(move || {
+                // Older transaction (2) is allowed to wait and must succeed
+                // once the younger holder releases.
+                lm.lock(TxnId(2), &1, LockMode::Exclusive)
+            })
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        lm.release_all(TxnId(10));
+        waiter.join().unwrap().unwrap();
+        lm.release_all(TxnId(2));
+    }
+
+    #[test]
+    fn bounded_wait_prevents_hangs() {
+        let lm: LockManager<u32> = LockManager::with_max_wait(Duration::from_millis(50));
+        lm.lock(TxnId(10), &1, LockMode::Exclusive).unwrap();
+        // Older transaction may wait, but the bounded wait turns the stall
+        // into a deadlock error instead of hanging forever.
+        let start = Instant::now();
+        let err = lm.lock(TxnId(2), &1, LockMode::Exclusive).unwrap_err();
+        assert!(matches!(err, TspError::Deadlock { .. }));
+        assert!(start.elapsed() < Duration::from_secs(2));
+        lm.release_all(TxnId(10));
+    }
+
+    #[test]
+    fn release_all_without_locks_is_noop() {
+        let lm: LockManager<u32> = LockManager::new();
+        lm.release_all(TxnId(99));
+        assert_eq!(lm.holder_count(), 0);
+    }
+
+    #[test]
+    fn concurrent_disjoint_lockers() {
+        let lm: Arc<LockManager<u64>> = Arc::new(LockManager::new());
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let lm = Arc::clone(&lm);
+                std::thread::spawn(move || {
+                    let txn = TxnId(t + 1);
+                    for k in 0..200u64 {
+                        lm.lock(txn, &(t * 1000 + k), LockMode::Exclusive).unwrap();
+                    }
+                    lm.release_all(txn);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(lm.locked_key_count(), 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Transactional table implementations — one per concurrency-control
+//! protocol evaluated in the paper — plus the building blocks they share.
+//!
+//! * [`MvccTable`] — the paper's contribution: multi-versioned snapshot
+//!   isolation (§4.1/§4.2).
+//! * [`S2plTable`] — strict two-phase locking baseline.
+//! * [`BoccTable`] — backward-oriented optimistic concurrency control
+//!   baseline.
+//!
+//! All three implement [`TxParticipant`] and are driven by the same
+//! consistency protocol in [`crate::manager::TransactionManager`] (§4.3),
+//! mirroring the paper's evaluation setup ("All concurrency control
+//! protocols use fundamentally the same consistency protocol for multiple
+//! states").
+
+pub mod bocc_table;
+pub mod common;
+pub mod locks;
+pub mod mvcc_table;
+pub mod s2pl_table;
+
+pub use bocc_table::BoccTable;
+pub use common::{
+    last_cts_key, KeyType, TxParticipant, TxWriteSets, TypedBackend, ValueType, WriteOp, WriteSet,
+};
+pub use locks::{LockManager, LockMode};
+pub use mvcc_table::{ConflictCheck, MvccTable, MvccTableOptions};
+pub use s2pl_table::S2plTable;

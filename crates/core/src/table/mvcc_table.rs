@@ -1,0 +1,777 @@
+//! The multi-versioned transactional table — the paper's "table wrapper"
+//! (§4.1) combined with the snapshot-isolation concurrency protocol (§4.2).
+//!
+//! A [`MvccTable`] wraps a (possibly persistent) base table.  Every key maps
+//! to an [`MvccObject`] holding its version history; uncommitted changes are
+//! buffered in per-transaction write sets and only become visible when the
+//! commit installs them and the group's `LastCTS` is published.
+//!
+//! The concurrency protocol implemented here:
+//!
+//! * **read** — serve from the transaction's own write set if present,
+//!   otherwise look up the version visible at the transaction's pinned
+//!   snapshot (`ReadCTS`), falling back to the base table for data that
+//!   predates all in-memory versions (preloaded or recovered rows).
+//! * **write/delete** — append to the transaction's write set ("Dirty
+//!   Array"); writers never block readers and vice versa.  With
+//!   [`ConflictCheck::Eager`] an overlap with a newer committed version
+//!   aborts the writer immediately; the default checks at commit time.
+//! * **commit** — validate First-Committer-Wins, install the new versions,
+//!   persist the batch to the base table, and let the coordinator publish
+//!   the group commit timestamp.
+//! * **abort** — drop the write set; nothing else ever became visible.
+
+use crate::context::{StateContext, Tx};
+use crate::mvcc::{MvccObject, DEFAULT_VERSION_SLOTS};
+use crate::stats::TxStats;
+use crate::table::common::{
+    last_cts_key, KeyType, TxParticipant, TxWriteSets, TypedBackend, ValueType, WriteOp,
+};
+use parking_lot::RwLock;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hasher;
+use std::sync::Arc;
+use tsp_common::{Result, StateId, Timestamp, TspError};
+use tsp_storage::{Codec, StorageBackend};
+
+/// When the write-write conflict check runs (§4.2 discusses both choices;
+/// the ablation bench compares them).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ConflictCheck {
+    /// Check at commit time only (First-Committer-Wins) — the default, so
+    /// writes never block or fail early.
+    #[default]
+    AtCommit,
+    /// Additionally check on every buffered write, aborting the later writer
+    /// as soon as the overlap is detected.
+    Eager,
+}
+
+/// Tuning options for an [`MvccTable`].
+#[derive(Clone, Debug)]
+pub struct MvccTableOptions {
+    /// Version slots per MVCC object.
+    pub version_slots: usize,
+    /// Conflict-check timing.
+    pub conflict_check: ConflictCheck,
+}
+
+impl Default for MvccTableOptions {
+    fn default() -> Self {
+        MvccTableOptions {
+            version_slots: DEFAULT_VERSION_SLOTS,
+            conflict_check: ConflictCheck::AtCommit,
+        }
+    }
+}
+
+const SHARDS: usize = 64;
+
+/// A snapshot-isolated, multi-versioned transactional table.
+pub struct MvccTable<K, V> {
+    state_id: StateId,
+    name: String,
+    ctx: Arc<StateContext>,
+    shards: Vec<RwLock<HashMap<K, Arc<MvccObject<V>>>>>,
+    write_sets: TxWriteSets<K, V>,
+    backend: TypedBackend<K, V>,
+    opts: MvccTableOptions,
+}
+
+impl<K: KeyType, V: ValueType> MvccTable<K, V> {
+    /// Creates a volatile (in-memory only) table registered as `name`.
+    pub fn volatile(ctx: &Arc<StateContext>, name: impl Into<String>) -> Arc<Self> {
+        Self::build(ctx, name, TypedBackend::volatile(), MvccTableOptions::default())
+    }
+
+    /// Creates a table persisting committed data to `backend`.
+    pub fn persistent(
+        ctx: &Arc<StateContext>,
+        name: impl Into<String>,
+        backend: Arc<dyn StorageBackend>,
+    ) -> Arc<Self> {
+        Self::build(
+            ctx,
+            name,
+            TypedBackend::persistent(backend),
+            MvccTableOptions::default(),
+        )
+    }
+
+    /// Creates a table with explicit options.
+    pub fn with_options(
+        ctx: &Arc<StateContext>,
+        name: impl Into<String>,
+        backend: Option<Arc<dyn StorageBackend>>,
+        opts: MvccTableOptions,
+    ) -> Arc<Self> {
+        let typed = match backend {
+            Some(b) => TypedBackend::persistent(b),
+            None => TypedBackend::volatile(),
+        };
+        Self::build(ctx, name, typed, opts)
+    }
+
+    fn build(
+        ctx: &Arc<StateContext>,
+        name: impl Into<String>,
+        backend: TypedBackend<K, V>,
+        opts: MvccTableOptions,
+    ) -> Arc<Self> {
+        let name = name.into();
+        let state_id = ctx.register_state(&name);
+        Arc::new(MvccTable {
+            state_id,
+            name,
+            ctx: Arc::clone(ctx),
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            write_sets: TxWriteSets::new(),
+            backend,
+            opts,
+        })
+    }
+
+    /// The table's registered state id.
+    pub fn id(&self) -> StateId {
+        self.state_id
+    }
+
+    /// The table's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// True if a persistent base table is attached.
+    pub fn is_persistent(&self) -> bool {
+        self.backend.is_persistent()
+    }
+
+    fn shard(&self, key: &K) -> &RwLock<HashMap<K, Arc<MvccObject<V>>>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    fn object(&self, key: &K) -> Option<Arc<MvccObject<V>>> {
+        self.shard(key).read().get(key).cloned()
+    }
+
+    fn object_or_create(&self, key: &K) -> Arc<MvccObject<V>> {
+        if let Some(obj) = self.object(key) {
+            return obj;
+        }
+        let mut guard = self.shard(key).write();
+        guard
+            .entry(key.clone())
+            .or_insert_with(|| Arc::new(MvccObject::new(self.opts.version_slots)))
+            .clone()
+    }
+
+    // ------------------------------------------------------------------
+    // Data access within a transaction
+    // ------------------------------------------------------------------
+
+    /// Reads `key` as of the transaction's snapshot, honouring its own
+    /// uncommitted writes.
+    pub fn read(&self, tx: &Tx, key: &K) -> Result<Option<V>> {
+        self.ctx.record_access(tx, self.state_id)?;
+        TxStats::bump(&self.ctx.stats().reads);
+        if let Some(op) = self
+            .write_sets
+            .with(tx.id(), |ws| ws.get(key).cloned())
+            .flatten()
+        {
+            return Ok(match op {
+                WriteOp::Put(v) => Some(v),
+                WriteOp::Delete => None,
+            });
+        }
+        let snapshot = self.ctx.read_snapshot(tx, self.state_id)?;
+        if let Some(obj) = self.object(key) {
+            if !obj.is_empty() {
+                return Ok(obj.read_visible(snapshot));
+            }
+        }
+        // No in-memory versions: the only committed value (if any) predates
+        // every running transaction (preloaded or recovered base-table data).
+        self.backend.get(key)
+    }
+
+    /// Buffers an insert/update of `key` in the transaction's write set.
+    pub fn write(&self, tx: &Tx, key: K, value: V) -> Result<()> {
+        self.write_op(tx, key, WriteOp::Put(value))
+    }
+
+    /// Buffers a delete of `key` in the transaction's write set.
+    pub fn delete(&self, tx: &Tx, key: K) -> Result<()> {
+        self.write_op(tx, key, WriteOp::Delete)
+    }
+
+    fn write_op(&self, tx: &Tx, key: K, op: WriteOp<V>) -> Result<()> {
+        if tx.is_read_only() {
+            return Err(TspError::protocol(
+                "write attempted in a read-only transaction",
+            ));
+        }
+        self.ctx.record_access(tx, self.state_id)?;
+        TxStats::bump(&self.ctx.stats().writes);
+        if self.opts.conflict_check == ConflictCheck::Eager {
+            if let Some(obj) = self.object(&key) {
+                if obj.latest_cts() > tx.begin_ts() || obj.latest_dts() > tx.begin_ts() {
+                    TxStats::bump(&self.ctx.stats().write_conflicts);
+                    return Err(TspError::WriteConflict {
+                        txn: tx.id().as_u64(),
+                        detail: format!("eager check on state '{}'", self.name),
+                    });
+                }
+            }
+        }
+        self.write_sets.with_mut(tx.id(), |ws| match op {
+            WriteOp::Put(v) => ws.put(key, v),
+            WriteOp::Delete => ws.delete(key),
+        });
+        Ok(())
+    }
+
+    /// A consistent snapshot of the whole table as of the transaction's
+    /// pinned `ReadCTS` (the paper's queryable-state requirement ①).
+    pub fn scan(&self, tx: &Tx) -> Result<BTreeMap<K, V>> {
+        self.ctx.record_access(tx, self.state_id)?;
+        let snapshot = self.ctx.read_snapshot(tx, self.state_id)?;
+        let mut out = BTreeMap::new();
+        self.backend.scan(&mut |k, v| {
+            out.insert(k, v);
+            true
+        })?;
+        for shard in &self.shards {
+            for (k, obj) in shard.read().iter() {
+                if obj.is_empty() {
+                    continue;
+                }
+                match obj.read_visible(snapshot) {
+                    Some(v) => {
+                        out.insert(k.clone(), v);
+                    }
+                    None => {
+                        out.remove(k);
+                    }
+                }
+            }
+        }
+        // Overlay the transaction's own writes (read-your-own-writes).
+        if let Some(ops) = self.write_sets.with(tx.id(), |ws| ws.effective()) {
+            for (k, op) in ops {
+                match op {
+                    WriteOp::Put(v) => {
+                        out.insert(k, v);
+                    }
+                    WriteOp::Delete => {
+                        out.remove(&k);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Maintenance & inspection
+    // ------------------------------------------------------------------
+
+    /// Loads initial data directly as committed-at-epoch rows, outside any
+    /// transaction (benchmark preloading, recovery restore).  Persistent rows
+    /// are written in large batches so the base table pays one durable write
+    /// per few thousand rows instead of one per row.
+    pub fn preload(&self, rows: impl IntoIterator<Item = (K, V)>) -> Result<()> {
+        use crate::clock::EPOCH_TS;
+        const BATCH: usize = 4096;
+        let mut chunk: Vec<(K, WriteOp<V>)> = Vec::with_capacity(BATCH);
+        for (k, v) in rows {
+            if self.backend.is_persistent() {
+                chunk.push((k, WriteOp::Put(v)));
+                if chunk.len() >= BATCH {
+                    self.backend.apply(&chunk, &[])?;
+                    chunk.clear();
+                }
+            } else {
+                let obj = self.object_or_create(&k);
+                obj.install(v, EPOCH_TS, 0)?;
+            }
+        }
+        if !chunk.is_empty() {
+            self.backend.apply(&chunk, &[])?;
+        }
+        Ok(())
+    }
+
+    /// Number of keys with in-memory version objects.
+    pub fn versioned_key_count(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Number of versions currently stored for `key` (0 if no object).
+    pub fn version_count(&self, key: &K) -> usize {
+        self.object(key).map(|o| o.version_count()).unwrap_or(0)
+    }
+
+    /// Runs a garbage-collection sweep over every version object, reclaiming
+    /// versions no longer visible to any active snapshot.  Returns the total
+    /// number of versions reclaimed.
+    pub fn gc(&self) -> usize {
+        let oldest = self.ctx.oldest_active();
+        let mut reclaimed = 0;
+        for shard in &self.shards {
+            for obj in shard.read().values() {
+                reclaimed += obj.gc(oldest);
+            }
+        }
+        if reclaimed > 0 {
+            TxStats::bump(&self.ctx.stats().gc_runs);
+            TxStats::add(&self.ctx.stats().gc_reclaimed, reclaimed as u64);
+        }
+        reclaimed
+    }
+
+    /// Reads the version of `key` visible at an explicit snapshot timestamp,
+    /// outside any transaction.
+    ///
+    /// This is the building block for the relaxed isolation levels of
+    /// [`crate::isolation`]: a *read-committed* reader passes the group's
+    /// current `LastCTS` on every access instead of pinning one snapshot.
+    pub fn read_at(&self, snapshot: Timestamp, key: &K) -> Result<Option<V>> {
+        if let Some(obj) = self.object(key) {
+            if !obj.is_empty() {
+                return Ok(obj.read_visible(snapshot));
+            }
+        }
+        self.backend.get(key)
+    }
+
+    /// The latest committed value of `key` regardless of any snapshot
+    /// (diagnostics / non-transactional peeks).
+    pub fn latest_committed(&self, key: &K) -> Result<Option<V>> {
+        if let Some(obj) = self.object(key) {
+            if !obj.is_empty() {
+                return Ok(obj.read_visible(u64::MAX - 1));
+            }
+        }
+        self.backend.get(key)
+    }
+}
+
+impl<K: KeyType, V: ValueType> TxParticipant for MvccTable<K, V> {
+    fn state_id(&self) -> StateId {
+        self.state_id
+    }
+
+    fn state_name(&self) -> &str {
+        &self.name
+    }
+
+    /// First-Committer-Wins: if any key in the write set has a committed
+    /// version newer than this transaction's begin timestamp, a concurrent
+    /// transaction won the race and this one must abort (§4.2).
+    fn precommit(&self, tx: &Tx) -> Result<()> {
+        let conflict = self
+            .write_sets
+            .with(tx.id(), |ws| {
+                ws.keys().any(|k| {
+                    self.object(k)
+                        .map(|obj| {
+                            obj.latest_cts() > tx.begin_ts() || obj.latest_dts() > tx.begin_ts()
+                        })
+                        .unwrap_or(false)
+                })
+            })
+            .unwrap_or(false);
+        if conflict {
+            TxStats::bump(&self.ctx.stats().write_conflicts);
+            return Err(TspError::WriteConflict {
+                txn: tx.id().as_u64(),
+                detail: format!("first-committer-wins on state '{}'", self.name),
+            });
+        }
+        Ok(())
+    }
+
+    fn apply(&self, tx: &Tx, cts: Timestamp) -> Result<()> {
+        let Some(ops) = self.write_sets.with(tx.id(), |ws| ws.effective()) else {
+            return Ok(());
+        };
+        if ops.is_empty() {
+            return Ok(());
+        }
+        let oldest = self.ctx.oldest_active();
+        for (key, op) in &ops {
+            let existing = self.object(key);
+            let needs_promotion = existing.as_ref().map(|o| o.is_empty()).unwrap_or(true);
+            let obj = match existing {
+                Some(o) => o,
+                None => self.object_or_create(key),
+            };
+            // Promote a base-table row (committed before any in-memory
+            // version existed) so that older snapshots keep seeing it.
+            if needs_promotion && self.backend.is_persistent() {
+                if let Some(old) = self.backend.get(key)? {
+                    if obj.is_empty() {
+                        obj.install(old, crate::clock::EPOCH_TS, 0)?;
+                    }
+                }
+            }
+            match op {
+                WriteOp::Put(v) => {
+                    let reclaimed = obj.install(v.clone(), cts, oldest)?;
+                    if reclaimed > 0 {
+                        TxStats::bump(&self.ctx.stats().gc_runs);
+                        TxStats::add(&self.ctx.stats().gc_reclaimed, reclaimed as u64);
+                    }
+                }
+                WriteOp::Delete => {
+                    obj.mark_deleted(cts);
+                }
+            }
+        }
+        // Persist the batch (plus the durable commit-timestamp marker) to the
+        // base table — failure atomicity comes from the backend's WAL.
+        let meta = if self.backend.is_persistent() {
+            vec![(last_cts_key(), cts.encode())]
+        } else {
+            Vec::new()
+        };
+        self.backend.apply(&ops, &meta)
+    }
+
+    fn rollback(&self, tx: &Tx) {
+        self.write_sets.clear(tx.id());
+    }
+
+    fn finalize(&self, tx: &Tx) {
+        self.write_sets.clear(tx.id());
+    }
+
+    fn has_writes(&self, tx: &Tx) -> bool {
+        self.write_sets.has_writes(tx.id())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsp_storage::BTreeBackend;
+
+    fn setup() -> (Arc<StateContext>, Arc<MvccTable<u32, String>>) {
+        let ctx = Arc::new(StateContext::new());
+        let table = MvccTable::volatile(&ctx, "t");
+        let _g = ctx.register_group(&[table.id()]).unwrap();
+        (ctx, table)
+    }
+
+    /// Commits a transaction against a single table the low-level way (the
+    /// `TransactionManager` does this in production code).
+    fn commit(ctx: &StateContext, table: &MvccTable<u32, String>, tx: &Tx) -> Timestamp {
+        table.precommit(tx).unwrap();
+        let cts = ctx.clock().next_commit_ts();
+        table.apply(tx, cts).unwrap();
+        for g in ctx.groups_of_state(table.id()) {
+            ctx.publish_group_commit(g, cts).unwrap();
+        }
+        table.finalize(tx);
+        ctx.finish(tx);
+        cts
+    }
+
+    #[test]
+    fn read_your_own_writes_and_isolation_from_others() {
+        let (ctx, table) = setup();
+        let writer = ctx.begin(false).unwrap();
+        table.write(&writer, 1, "w1".into()).unwrap();
+        assert_eq!(table.read(&writer, &1).unwrap(), Some("w1".into()));
+        assert!(table.has_writes(&writer));
+
+        // A concurrent reader must not see the uncommitted write.
+        let reader = ctx.begin(true).unwrap();
+        assert_eq!(table.read(&reader, &1).unwrap(), None);
+        ctx.finish(&reader);
+
+        commit(&ctx, &table, &writer);
+
+        // A new reader sees the committed value.
+        let reader2 = ctx.begin(true).unwrap();
+        assert_eq!(table.read(&reader2, &1).unwrap(), Some("w1".into()));
+        ctx.finish(&reader2);
+    }
+
+    #[test]
+    fn snapshot_is_stable_across_later_commits() {
+        let (ctx, table) = setup();
+        let w1 = ctx.begin(false).unwrap();
+        table.write(&w1, 1, "old".into()).unwrap();
+        commit(&ctx, &table, &w1);
+
+        // Reader pins its snapshot before the second commit.
+        let reader = ctx.begin(true).unwrap();
+        assert_eq!(table.read(&reader, &1).unwrap(), Some("old".into()));
+
+        let w2 = ctx.begin(false).unwrap();
+        table.write(&w2, 1, "new".into()).unwrap();
+        commit(&ctx, &table, &w2);
+
+        // The old snapshot still sees the old value; a fresh one sees the new.
+        assert_eq!(table.read(&reader, &1).unwrap(), Some("old".into()));
+        ctx.finish(&reader);
+        let fresh = ctx.begin(true).unwrap();
+        assert_eq!(table.read(&fresh, &1).unwrap(), Some("new".into()));
+        ctx.finish(&fresh);
+    }
+
+    #[test]
+    fn delete_respects_snapshots() {
+        let (ctx, table) = setup();
+        let w1 = ctx.begin(false).unwrap();
+        table.write(&w1, 5, "v".into()).unwrap();
+        commit(&ctx, &table, &w1);
+
+        let old_reader = ctx.begin(true).unwrap();
+        assert_eq!(table.read(&old_reader, &5).unwrap(), Some("v".into()));
+
+        let deleter = ctx.begin(false).unwrap();
+        table.delete(&deleter, 5).unwrap();
+        assert_eq!(table.read(&deleter, &5).unwrap(), None, "own delete visible");
+        commit(&ctx, &table, &deleter);
+
+        assert_eq!(table.read(&old_reader, &5).unwrap(), Some("v".into()));
+        ctx.finish(&old_reader);
+        let fresh = ctx.begin(true).unwrap();
+        assert_eq!(table.read(&fresh, &5).unwrap(), None);
+        ctx.finish(&fresh);
+    }
+
+    #[test]
+    fn first_committer_wins_conflict() {
+        let (ctx, table) = setup();
+        let t1 = ctx.begin(false).unwrap();
+        let t2 = ctx.begin(false).unwrap();
+        table.write(&t1, 9, "t1".into()).unwrap();
+        table.write(&t2, 9, "t2".into()).unwrap();
+        // t1 commits first.
+        commit(&ctx, &table, &t1);
+        // t2 must fail the FCW check.
+        let err = table.precommit(&t2).unwrap_err();
+        assert!(matches!(err, TspError::WriteConflict { .. }));
+        table.rollback(&t2);
+        table.finalize(&t2);
+        ctx.finish(&t2);
+        assert_eq!(ctx.stats().snapshot().write_conflicts, 1);
+        // The winner's value survives.
+        let r = ctx.begin(true).unwrap();
+        assert_eq!(table.read(&r, &9).unwrap(), Some("t1".into()));
+        ctx.finish(&r);
+    }
+
+    #[test]
+    fn disjoint_writers_do_not_conflict() {
+        let (ctx, table) = setup();
+        let t1 = ctx.begin(false).unwrap();
+        let t2 = ctx.begin(false).unwrap();
+        table.write(&t1, 1, "a".into()).unwrap();
+        table.write(&t2, 2, "b".into()).unwrap();
+        commit(&ctx, &table, &t1);
+        assert!(table.precommit(&t2).is_ok());
+        commit(&ctx, &table, &t2);
+        let r = ctx.begin(true).unwrap();
+        assert_eq!(table.read(&r, &1).unwrap(), Some("a".into()));
+        assert_eq!(table.read(&r, &2).unwrap(), Some("b".into()));
+        ctx.finish(&r);
+    }
+
+    #[test]
+    fn eager_conflict_check_aborts_on_write() {
+        let ctx = Arc::new(StateContext::new());
+        let table = MvccTable::<u32, String>::with_options(
+            &ctx,
+            "eager",
+            None,
+            MvccTableOptions {
+                conflict_check: ConflictCheck::Eager,
+                ..Default::default()
+            },
+        );
+        ctx.register_group(&[table.id()]).unwrap();
+        let t1 = ctx.begin(false).unwrap();
+        table.write(&t1, 1, "x".into()).unwrap();
+        table.precommit(&t1).unwrap();
+        let cts = ctx.clock().next_commit_ts();
+        table.apply(&t1, cts).unwrap();
+        table.finalize(&t1);
+        ctx.finish(&t1);
+        // A transaction that began before that commit now tries to write the
+        // same key: the eager check rejects it at write() time already.
+        let t2 = ctx.begin(false).unwrap();
+        // t2 began after the commit, so no conflict for it …
+        table.write(&t2, 1, "y".into()).unwrap();
+        table.rollback(&t2);
+        ctx.finish(&t2);
+        // … but a transaction whose begin predates the commit is rejected.
+        let t3 = ctx.begin(false).unwrap();
+        let t4 = ctx.begin(false).unwrap();
+        table.write(&t3, 2, "a".into()).unwrap();
+        table.precommit(&t3).unwrap();
+        let cts = ctx.clock().next_commit_ts();
+        table.apply(&t3, cts).unwrap();
+        table.finalize(&t3);
+        ctx.finish(&t3);
+        let err = table.write(&t4, 2, "b".into()).unwrap_err();
+        assert!(matches!(err, TspError::WriteConflict { .. }));
+        ctx.finish(&t4);
+    }
+
+    #[test]
+    fn rollback_discards_writes() {
+        let (ctx, table) = setup();
+        let t = ctx.begin(false).unwrap();
+        table.write(&t, 3, "temp".into()).unwrap();
+        table.rollback(&t);
+        table.finalize(&t);
+        ctx.finish(&t);
+        let r = ctx.begin(true).unwrap();
+        assert_eq!(table.read(&r, &3).unwrap(), None);
+        ctx.finish(&r);
+        assert!(!table.has_writes(&t));
+    }
+
+    #[test]
+    fn read_only_transactions_cannot_write() {
+        let (ctx, table) = setup();
+        let t = ctx.begin(true).unwrap();
+        assert!(table.write(&t, 1, "x".into()).is_err());
+        assert!(table.delete(&t, 1).is_err());
+        ctx.finish(&t);
+    }
+
+    #[test]
+    fn persistent_table_reads_fall_through_to_base_table() {
+        let ctx = Arc::new(StateContext::new());
+        let backend = Arc::new(BTreeBackend::new());
+        let table = MvccTable::<u32, String>::persistent(&ctx, "p", backend.clone());
+        ctx.register_group(&[table.id()]).unwrap();
+        table
+            .preload((0..100u32).map(|i| (i, format!("pre{i}"))))
+            .unwrap();
+        assert!(table.is_persistent());
+        assert_eq!(table.versioned_key_count(), 0, "preload goes to the base table");
+        let r = ctx.begin(true).unwrap();
+        assert_eq!(table.read(&r, &7).unwrap(), Some("pre7".into()));
+        assert_eq!(table.read(&r, &1000).unwrap(), None);
+        ctx.finish(&r);
+    }
+
+    #[test]
+    fn promotion_keeps_old_snapshot_of_preloaded_row() {
+        let ctx = Arc::new(StateContext::new());
+        let backend = Arc::new(BTreeBackend::new());
+        let table = MvccTable::<u32, String>::persistent(&ctx, "p", backend);
+        ctx.register_group(&[table.id()]).unwrap();
+        table.preload([(1u32, "preloaded".to_string())]).unwrap();
+
+        // Reader pins its snapshot before the update commits.
+        let old_reader = ctx.begin(true).unwrap();
+        assert_eq!(table.read(&old_reader, &1).unwrap(), Some("preloaded".into()));
+
+        let w = ctx.begin(false).unwrap();
+        table.write(&w, 1, "updated".into()).unwrap();
+        table.precommit(&w).unwrap();
+        let cts = ctx.clock().next_commit_ts();
+        table.apply(&w, cts).unwrap();
+        for g in ctx.groups_of_state(table.id()) {
+            ctx.publish_group_commit(g, cts).unwrap();
+        }
+        table.finalize(&w);
+        ctx.finish(&w);
+
+        // The old reader still sees the preloaded row (promoted to an
+        // epoch-timestamped version during the update's apply).
+        assert_eq!(table.read(&old_reader, &1).unwrap(), Some("preloaded".into()));
+        ctx.finish(&old_reader);
+        let fresh = ctx.begin(true).unwrap();
+        assert_eq!(table.read(&fresh, &1).unwrap(), Some("updated".into()));
+        ctx.finish(&fresh);
+    }
+
+    #[test]
+    fn persistent_commit_writes_base_table_and_marker() {
+        let ctx = Arc::new(StateContext::new());
+        let backend = Arc::new(BTreeBackend::new());
+        let table = MvccTable::<u32, String>::persistent(&ctx, "p", backend.clone());
+        ctx.register_group(&[table.id()]).unwrap();
+        let t = ctx.begin(false).unwrap();
+        table.write(&t, 11, "durable".into()).unwrap();
+        table.precommit(&t).unwrap();
+        let cts = ctx.clock().next_commit_ts();
+        table.apply(&t, cts).unwrap();
+        table.finalize(&t);
+        ctx.finish(&t);
+        assert_eq!(
+            backend.get(&11u32.encode()).unwrap(),
+            Some("durable".to_string().encode())
+        );
+        assert_eq!(backend.get(&last_cts_key()).unwrap(), Some(cts.encode()));
+    }
+
+    #[test]
+    fn scan_reflects_snapshot_and_own_writes() {
+        let (ctx, table) = setup();
+        let w = ctx.begin(false).unwrap();
+        table.write(&w, 1, "one".into()).unwrap();
+        table.write(&w, 2, "two".into()).unwrap();
+        commit(&ctx, &table, &w);
+
+        let t = ctx.begin(false).unwrap();
+        table.write(&t, 3, "three".into()).unwrap();
+        table.delete(&t, 1).unwrap();
+        let snap = table.scan(&t).unwrap();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap.get(&2), Some(&"two".to_string()));
+        assert_eq!(snap.get(&3), Some(&"three".to_string()));
+        table.rollback(&t);
+        ctx.finish(&t);
+
+        // Another transaction never saw t's uncommitted changes.
+        let r = ctx.begin(true).unwrap();
+        let snap = table.scan(&r).unwrap();
+        assert_eq!(snap.len(), 2);
+        assert!(snap.contains_key(&1));
+        ctx.finish(&r);
+    }
+
+    #[test]
+    fn gc_reclaims_superseded_versions() {
+        let (ctx, table) = setup();
+        for i in 0..5 {
+            let w = ctx.begin(false).unwrap();
+            table.write(&w, 1, format!("v{i}")).unwrap();
+            commit(&ctx, &table, &w);
+        }
+        assert_eq!(table.version_count(&1), 5);
+        let reclaimed = table.gc();
+        assert_eq!(reclaimed, 4, "only the live version must remain");
+        assert_eq!(table.version_count(&1), 1);
+        assert_eq!(table.latest_committed(&1).unwrap(), Some("v4".into()));
+        assert!(ctx.stats().snapshot().gc_reclaimed >= 4);
+    }
+
+    #[test]
+    fn version_count_and_key_count_reporting() {
+        let (ctx, table) = setup();
+        assert_eq!(table.versioned_key_count(), 0);
+        assert_eq!(table.version_count(&1), 0);
+        let w = ctx.begin(false).unwrap();
+        table.write(&w, 1, "x".into()).unwrap();
+        table.write(&w, 2, "y".into()).unwrap();
+        commit(&ctx, &table, &w);
+        assert_eq!(table.versioned_key_count(), 2);
+        assert_eq!(table.version_count(&1), 1);
+        assert_eq!(table.name(), "t");
+        assert_eq!(table.state_name(), "t");
+    }
+}

@@ -1,0 +1,428 @@
+//! Strict two-phase-locking (S2PL) baseline table.
+//!
+//! This is the first comparison protocol of the paper's evaluation (§5,
+//! Eswaran et al. [6]).  Reads take shared locks, writes take exclusive
+//! locks, all locks are held until the transaction finishes (strict 2PL), and
+//! deadlocks are avoided with wait-die.  Because readers block behind the
+//! single stream writer — which holds its write locks across the synchronous
+//! persistence of its commit — throughput collapses as contention rises,
+//! which is exactly the behaviour Figure 4 shows for S2PL.
+//!
+//! Writes are buffered in a per-transaction write set and applied at commit
+//! while the exclusive locks are still held, so no undo logging is needed;
+//! the semantics are identical to in-place update with undo because no other
+//! transaction can observe the key between the write and the commit.
+
+use crate::context::{StateContext, Tx};
+use crate::stats::TxStats;
+use crate::table::common::{
+    last_cts_key, KeyType, TxParticipant, TxWriteSets, TypedBackend, ValueType, WriteOp,
+};
+use crate::table::locks::{LockManager, LockMode};
+use parking_lot::RwLock;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hasher;
+use std::sync::Arc;
+use tsp_common::{Result, StateId, Timestamp, TspError};
+use tsp_storage::{Codec, StorageBackend};
+
+const SHARDS: usize = 64;
+
+/// A single-version transactional table protected by strict two-phase
+/// locking.
+pub struct S2plTable<K, V> {
+    state_id: StateId,
+    name: String,
+    ctx: Arc<StateContext>,
+    locks: LockManager<K>,
+    /// Committed values overriding the base table (`None` = deleted).
+    committed: Vec<RwLock<HashMap<K, Option<V>>>>,
+    write_sets: TxWriteSets<K, V>,
+    backend: TypedBackend<K, V>,
+}
+
+impl<K: KeyType, V: ValueType> S2plTable<K, V> {
+    /// Creates a volatile (in-memory only) table registered as `name`.
+    pub fn volatile(ctx: &Arc<StateContext>, name: impl Into<String>) -> Arc<Self> {
+        Self::build(ctx, name, TypedBackend::volatile())
+    }
+
+    /// Creates a table persisting committed data to `backend`.
+    pub fn persistent(
+        ctx: &Arc<StateContext>,
+        name: impl Into<String>,
+        backend: Arc<dyn StorageBackend>,
+    ) -> Arc<Self> {
+        Self::build(ctx, name, TypedBackend::persistent(backend))
+    }
+
+    fn build(
+        ctx: &Arc<StateContext>,
+        name: impl Into<String>,
+        backend: TypedBackend<K, V>,
+    ) -> Arc<Self> {
+        let name = name.into();
+        let state_id = ctx.register_state(&name);
+        Arc::new(S2plTable {
+            state_id,
+            name,
+            ctx: Arc::clone(ctx),
+            locks: LockManager::new(),
+            committed: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            write_sets: TxWriteSets::new(),
+            backend,
+        })
+    }
+
+    /// The table's registered state id.
+    pub fn id(&self) -> StateId {
+        self.state_id
+    }
+
+    /// The table's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn shard(&self, key: &K) -> &RwLock<HashMap<K, Option<V>>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.committed[(h.finish() as usize) % SHARDS]
+    }
+
+    fn committed_value(&self, key: &K) -> Result<Option<V>> {
+        if let Some(entry) = self.shard(key).read().get(key) {
+            return Ok(entry.clone());
+        }
+        self.backend.get(key)
+    }
+
+    // ------------------------------------------------------------------
+    // Data access within a transaction
+    // ------------------------------------------------------------------
+
+    /// Reads `key` under a shared lock (blocking behind concurrent writers;
+    /// wait-die may abort the younger transaction).
+    pub fn read(&self, tx: &Tx, key: &K) -> Result<Option<V>> {
+        self.ctx.record_access(tx, self.state_id)?;
+        TxStats::bump(&self.ctx.stats().reads);
+        if let Some(op) = self
+            .write_sets
+            .with(tx.id(), |ws| ws.get(key).cloned())
+            .flatten()
+        {
+            return Ok(match op {
+                WriteOp::Put(v) => Some(v),
+                WriteOp::Delete => None,
+            });
+        }
+        self.acquire(tx, key, LockMode::Shared)?;
+        self.committed_value(key)
+    }
+
+    /// Buffers an insert/update under an exclusive lock.
+    pub fn write(&self, tx: &Tx, key: K, value: V) -> Result<()> {
+        self.write_op(tx, key, WriteOp::Put(value))
+    }
+
+    /// Buffers a delete under an exclusive lock.
+    pub fn delete(&self, tx: &Tx, key: K) -> Result<()> {
+        self.write_op(tx, key, WriteOp::Delete)
+    }
+
+    fn write_op(&self, tx: &Tx, key: K, op: WriteOp<V>) -> Result<()> {
+        if tx.is_read_only() {
+            return Err(TspError::protocol(
+                "write attempted in a read-only transaction",
+            ));
+        }
+        self.ctx.record_access(tx, self.state_id)?;
+        TxStats::bump(&self.ctx.stats().writes);
+        self.acquire(tx, &key, LockMode::Exclusive)?;
+        self.write_sets.with_mut(tx.id(), |ws| match op {
+            WriteOp::Put(v) => ws.put(key, v),
+            WriteOp::Delete => ws.delete(key),
+        });
+        Ok(())
+    }
+
+    fn acquire(&self, tx: &Tx, key: &K, mode: LockMode) -> Result<()> {
+        self.locks.lock(tx.id(), key, mode).map_err(|e| {
+            if matches!(e, TspError::Deadlock { .. }) {
+                TxStats::bump(&self.ctx.stats().deadlocks);
+            }
+            e
+        })
+    }
+
+    /// Full-table read under shared locks is not offered; ad-hoc scans read
+    /// the committed image without locking individual keys (callers that
+    /// need strict consistency should use the MVCC table).  Exposed mainly
+    /// for the FROM operator and tests.
+    pub fn scan_committed(&self) -> Result<BTreeMap<K, V>> {
+        let mut out = BTreeMap::new();
+        self.backend.scan(&mut |k, v| {
+            out.insert(k, v);
+            true
+        })?;
+        for shard in &self.committed {
+            for (k, v) in shard.read().iter() {
+                match v {
+                    Some(v) => {
+                        out.insert(k.clone(), v.clone());
+                    }
+                    None => {
+                        out.remove(k);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Loads initial data directly as committed rows, outside any
+    /// transaction.  Persistent rows are written in large batches.
+    pub fn preload(&self, rows: impl IntoIterator<Item = (K, V)>) -> Result<()> {
+        const BATCH: usize = 4096;
+        let mut chunk: Vec<(K, WriteOp<V>)> = Vec::with_capacity(BATCH);
+        for (k, v) in rows {
+            if self.backend.is_persistent() {
+                chunk.push((k, WriteOp::Put(v)));
+                if chunk.len() >= BATCH {
+                    self.backend.apply(&chunk, &[])?;
+                    chunk.clear();
+                }
+            } else {
+                self.shard(&k).write().insert(k, Some(v));
+            }
+        }
+        if !chunk.is_empty() {
+            self.backend.apply(&chunk, &[])?;
+        }
+        Ok(())
+    }
+
+    /// Number of transactions currently holding locks on this table.
+    pub fn lock_holder_count(&self) -> usize {
+        self.locks.holder_count()
+    }
+}
+
+impl<K: KeyType, V: ValueType> TxParticipant for S2plTable<K, V> {
+    fn state_id(&self) -> StateId {
+        self.state_id
+    }
+
+    fn state_name(&self) -> &str {
+        &self.name
+    }
+
+    /// All conflicts were already resolved by lock acquisition; there is
+    /// nothing to validate.
+    fn precommit(&self, _tx: &Tx) -> Result<()> {
+        Ok(())
+    }
+
+    fn apply(&self, tx: &Tx, cts: Timestamp) -> Result<()> {
+        let Some(ops) = self.write_sets.with(tx.id(), |ws| ws.effective()) else {
+            return Ok(());
+        };
+        if ops.is_empty() {
+            return Ok(());
+        }
+        for (key, op) in &ops {
+            let value = match op {
+                WriteOp::Put(v) => Some(v.clone()),
+                WriteOp::Delete => None,
+            };
+            self.shard(key).write().insert(key.clone(), value);
+        }
+        let meta = if self.backend.is_persistent() {
+            vec![(last_cts_key(), cts.encode())]
+        } else {
+            Vec::new()
+        };
+        self.backend.apply(&ops, &meta)
+    }
+
+    fn rollback(&self, tx: &Tx) {
+        self.write_sets.clear(tx.id());
+    }
+
+    fn finalize(&self, tx: &Tx) {
+        self.write_sets.clear(tx.id());
+        self.locks.release_all(tx.id());
+    }
+
+    fn has_writes(&self, tx: &Tx) -> bool {
+        self.write_sets.has_writes(tx.id())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsp_storage::BTreeBackend;
+
+    fn setup() -> (Arc<StateContext>, Arc<S2plTable<u32, String>>) {
+        let ctx = Arc::new(StateContext::new());
+        let table = S2plTable::volatile(&ctx, "s2pl");
+        ctx.register_group(&[table.id()]).unwrap();
+        (ctx, table)
+    }
+
+    fn commit(ctx: &StateContext, table: &S2plTable<u32, String>, tx: &Tx) {
+        table.precommit(tx).unwrap();
+        let cts = ctx.clock().next_commit_ts();
+        table.apply(tx, cts).unwrap();
+        for g in ctx.groups_of_state(table.id()) {
+            ctx.publish_group_commit(g, cts).unwrap();
+        }
+        table.finalize(tx);
+        ctx.finish(tx);
+    }
+
+    #[test]
+    fn committed_writes_become_visible() {
+        let (ctx, table) = setup();
+        let w = ctx.begin(false).unwrap();
+        table.write(&w, 1, "hello".into()).unwrap();
+        assert_eq!(table.read(&w, &1).unwrap(), Some("hello".into()));
+        commit(&ctx, &table, &w);
+        let r = ctx.begin(true).unwrap();
+        assert_eq!(table.read(&r, &1).unwrap(), Some("hello".into()));
+        table.finalize(&r);
+        ctx.finish(&r);
+        assert_eq!(table.lock_holder_count(), 0);
+    }
+
+    #[test]
+    fn younger_reader_dies_on_locked_key() {
+        let (ctx, table) = setup();
+        let writer = ctx.begin(false).unwrap();
+        table.write(&writer, 42, "locked".into()).unwrap();
+        // A younger reader conflicts with the exclusive lock and dies.
+        let reader = ctx.begin(true).unwrap();
+        let err = table.read(&reader, &42).unwrap_err();
+        assert!(matches!(err, TspError::Deadlock { .. }));
+        table.finalize(&reader);
+        ctx.finish(&reader);
+        commit(&ctx, &table, &writer);
+        assert!(ctx.stats().snapshot().deadlocks >= 1);
+    }
+
+    #[test]
+    fn locks_are_released_after_finalize() {
+        let (ctx, table) = setup();
+        let writer = ctx.begin(false).unwrap();
+        table.write(&writer, 7, "v".into()).unwrap();
+        commit(&ctx, &table, &writer);
+        // After the writer finished, a younger reader acquires the lock fine.
+        let reader = ctx.begin(true).unwrap();
+        assert_eq!(table.read(&reader, &7).unwrap(), Some("v".into()));
+        table.finalize(&reader);
+        ctx.finish(&reader);
+    }
+
+    #[test]
+    fn rollback_discards_buffered_writes() {
+        let (ctx, table) = setup();
+        let w1 = ctx.begin(false).unwrap();
+        table.write(&w1, 3, "keep".into()).unwrap();
+        commit(&ctx, &table, &w1);
+
+        let w2 = ctx.begin(false).unwrap();
+        table.write(&w2, 3, "discard".into()).unwrap();
+        table.delete(&w2, 3).unwrap();
+        table.rollback(&w2);
+        table.finalize(&w2);
+        ctx.finish(&w2);
+
+        let r = ctx.begin(true).unwrap();
+        assert_eq!(table.read(&r, &3).unwrap(), Some("keep".into()));
+        table.finalize(&r);
+        ctx.finish(&r);
+    }
+
+    #[test]
+    fn delete_removes_committed_value() {
+        let (ctx, table) = setup();
+        let w = ctx.begin(false).unwrap();
+        table.write(&w, 8, "x".into()).unwrap();
+        commit(&ctx, &table, &w);
+        let d = ctx.begin(false).unwrap();
+        table.delete(&d, 8).unwrap();
+        commit(&ctx, &table, &d);
+        let r = ctx.begin(true).unwrap();
+        assert_eq!(table.read(&r, &8).unwrap(), None);
+        table.finalize(&r);
+        ctx.finish(&r);
+    }
+
+    #[test]
+    fn preload_and_backend_fallthrough() {
+        let ctx = Arc::new(StateContext::new());
+        let backend = Arc::new(BTreeBackend::new());
+        let table = S2plTable::<u32, String>::persistent(&ctx, "p", backend.clone());
+        ctx.register_group(&[table.id()]).unwrap();
+        table.preload((0..10u32).map(|i| (i, format!("v{i}")))).unwrap();
+        let r = ctx.begin(true).unwrap();
+        assert_eq!(table.read(&r, &4).unwrap(), Some("v4".into()));
+        table.finalize(&r);
+        ctx.finish(&r);
+        // Committed updates shadow the base table and are persisted.
+        let w = ctx.begin(false).unwrap();
+        table.write(&w, 4, "updated".into()).unwrap();
+        table.precommit(&w).unwrap();
+        let cts = ctx.clock().next_commit_ts();
+        table.apply(&w, cts).unwrap();
+        table.finalize(&w);
+        ctx.finish(&w);
+        assert_eq!(
+            backend.get(&4u32.encode()).unwrap(),
+            Some("updated".to_string().encode())
+        );
+        let scan = table.scan_committed().unwrap();
+        assert_eq!(scan.len(), 10);
+        assert_eq!(scan.get(&4), Some(&"updated".to_string()));
+    }
+
+    #[test]
+    fn read_only_transactions_cannot_write() {
+        let (ctx, table) = setup();
+        let t = ctx.begin(true).unwrap();
+        assert!(table.write(&t, 1, "x".into()).is_err());
+        assert!(table.delete(&t, 1).is_err());
+        table.finalize(&t);
+        ctx.finish(&t);
+    }
+
+    #[test]
+    fn older_writer_waits_for_younger_reader() {
+        use std::time::Duration;
+        let (ctx, table) = setup();
+        // Begin the (older) writer first, then the younger reader.
+        let writer = ctx.begin(false).unwrap();
+        let reader = ctx.begin(true).unwrap();
+        assert_eq!(table.read(&reader, &1).unwrap(), None);
+        let t = {
+            let table = Arc::clone(&table);
+            let ctx = Arc::clone(&ctx);
+            let writer_tx = writer.clone();
+            std::thread::spawn(move || {
+                // The older writer is allowed to wait for the shared lock.
+                table.write(&writer_tx, 1, "w".into()).unwrap();
+                commit(&ctx, &table, &writer_tx);
+            })
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        table.finalize(&reader);
+        ctx.finish(&reader);
+        t.join().unwrap();
+        let r = ctx.begin(true).unwrap();
+        assert_eq!(table.read(&r, &1).unwrap(), Some("w".into()));
+        table.finalize(&r);
+        ctx.finish(&r);
+    }
+}

@@ -1,0 +1,214 @@
+//! The [`StorageBackend`] trait — the abstraction the paper's "table wrapper"
+//! sits on top of.
+//!
+//! > "For the base table, any existing backend structure with a key-value
+//! > mapping can be used.  Therefore, every state type can use a suitable
+//! > underlying structure making our design extremely versatile." (§4.1)
+//!
+//! Backends operate on raw byte strings; typed access is layered on top via
+//! [`crate::codec::Codec`].  Three backends ship with the workspace:
+//!
+//! * [`crate::memtable::BTreeBackend`] — sharded, ordered, purely in memory,
+//! * [`crate::hash::HashBackend`] — sharded hash map, fastest point access,
+//! * [`crate::lsm::LsmStore`] — persistent WAL + LSM store, the stand-in for
+//!   the RocksDB base table used in the paper's evaluation.
+
+use std::sync::Arc;
+use tsp_common::Result;
+
+/// A single operation inside a [`WriteBatch`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchOp {
+    /// Insert or overwrite `key` with `value`.
+    Put {
+        /// Encoded key.
+        key: Vec<u8>,
+        /// Encoded value.
+        value: Vec<u8>,
+    },
+    /// Remove `key` (a no-op if absent).
+    Delete {
+        /// Encoded key.
+        key: Vec<u8>,
+    },
+}
+
+impl BatchOp {
+    /// The key this operation touches.
+    pub fn key(&self) -> &[u8] {
+        match self {
+            BatchOp::Put { key, .. } | BatchOp::Delete { key } => key,
+        }
+    }
+}
+
+/// An ordered group of operations applied together.
+///
+/// Backends apply a batch as a unit: the persistent [`crate::lsm::LsmStore`]
+/// writes the whole batch as one WAL record, so after a crash either all or
+/// none of the batch is recovered — the failure-atomicity the transactional
+/// layer relies on when it propagates a commit to the base table.
+#[derive(Clone, Debug, Default)]
+pub struct WriteBatch {
+    ops: Vec<BatchOp>,
+}
+
+impl WriteBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty batch with room for `cap` operations.
+    pub fn with_capacity(cap: usize) -> Self {
+        WriteBatch {
+            ops: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends a put operation.
+    pub fn put(&mut self, key: impl Into<Vec<u8>>, value: impl Into<Vec<u8>>) -> &mut Self {
+        self.ops.push(BatchOp::Put {
+            key: key.into(),
+            value: value.into(),
+        });
+        self
+    }
+
+    /// Appends a delete operation.
+    pub fn delete(&mut self, key: impl Into<Vec<u8>>) -> &mut Self {
+        self.ops.push(BatchOp::Delete { key: key.into() });
+        self
+    }
+
+    /// Number of operations in the batch.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if the batch holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Iterates over the operations in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &BatchOp> {
+        self.ops.iter()
+    }
+
+    /// Consumes the batch, yielding its operations.
+    pub fn into_ops(self) -> Vec<BatchOp> {
+        self.ops
+    }
+}
+
+/// Durability behaviour of a persistent backend.
+///
+/// Mirrors the paper's evaluation setting: "We kept the default configuration
+/// and only set the sync option to true to guarantee failure atomicity."
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// fsync after every committed batch — the paper's configuration.
+    #[default]
+    Always,
+    /// Leave flushing to the OS page cache (fast, loses the tail on crash).
+    Never,
+}
+
+/// A key-value storage backend usable as the base table of a transactional
+/// state.
+///
+/// All methods take `&self`; backends are internally synchronised and shared
+/// across operator threads behind an `Arc`.
+pub trait StorageBackend: Send + Sync + 'static {
+    /// Returns the value stored under `key`, if any.
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>>;
+
+    /// Inserts or overwrites `key`.
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<()>;
+
+    /// Removes `key`; removing an absent key is not an error.
+    fn delete(&self, key: &[u8]) -> Result<()>;
+
+    /// Applies all operations of `batch` as a unit.
+    fn write_batch(&self, batch: &WriteBatch) -> Result<()>;
+
+    /// Calls `visit(key, value)` for every live entry.  Ordered backends
+    /// visit keys in ascending byte order; hash backends in arbitrary order.
+    /// Returning `false` from the visitor stops the scan early.
+    fn scan(&self, visit: &mut dyn FnMut(&[u8], &[u8]) -> bool) -> Result<()>;
+
+    /// Number of live entries.
+    fn len(&self) -> usize;
+
+    /// True if the backend holds no live entries.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Forces buffered writes to durable storage (no-op for in-memory
+    /// backends).
+    fn sync(&self) -> Result<()>;
+
+    /// Short human-readable backend name for reports and logs.
+    fn name(&self) -> &'static str;
+}
+
+/// Blanket implementation so `Arc<B>` can be used wherever a backend is
+/// expected (states share their base table with the recovery machinery).
+impl<B: StorageBackend + ?Sized> StorageBackend for Arc<B> {
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        (**self).get(key)
+    }
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        (**self).put(key, value)
+    }
+    fn delete(&self, key: &[u8]) -> Result<()> {
+        (**self).delete(key)
+    }
+    fn write_batch(&self, batch: &WriteBatch) -> Result<()> {
+        (**self).write_batch(batch)
+    }
+    fn scan(&self, visit: &mut dyn FnMut(&[u8], &[u8]) -> bool) -> Result<()> {
+        (**self).scan(visit)
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn sync(&self) -> Result<()> {
+        (**self).sync()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_batch_builder() {
+        let mut b = WriteBatch::with_capacity(2);
+        assert!(b.is_empty());
+        b.put(vec![1], vec![10]).delete(vec![2]);
+        assert_eq!(b.len(), 2);
+        let ops = b.clone().into_ops();
+        assert_eq!(
+            ops[0],
+            BatchOp::Put {
+                key: vec![1],
+                value: vec![10]
+            }
+        );
+        assert_eq!(ops[1], BatchOp::Delete { key: vec![2] });
+        assert_eq!(b.iter().count(), 2);
+        assert_eq!(ops[0].key(), &[1]);
+        assert_eq!(ops[1].key(), &[2]);
+    }
+
+    #[test]
+    fn sync_policy_default_is_always() {
+        assert_eq!(SyncPolicy::default(), SyncPolicy::Always);
+    }
+}

@@ -1,0 +1,426 @@
+//! A sharded read-through LRU cache and the [`CachedBackend`] wrapper.
+//!
+//! RocksDB serves hot reads from its block cache; the paper's evaluation
+//! relies on exactly that ("readers (mostly only accessing memory)", §5.2).
+//! The reproduction's [`crate::lsm::LsmStore`] already keeps SSTable data
+//! resident, so a cache is not required for correctness — but the
+//! `ablation_storage` bench and deployments with colder backends can wrap any
+//! [`StorageBackend`] in a [`CachedBackend`] to get the same behaviour
+//! explicitly, with hit/miss statistics.
+//!
+//! The cache is sharded by key hash to keep lock contention low when many
+//! ad-hoc readers probe it concurrently, and each shard runs an exact LRU
+//! eviction policy over a capped byte budget.
+
+use crate::backend::{BatchOp, StorageBackend, WriteBatch};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tsp_common::Result;
+
+/// Number of independent LRU shards (power of two).
+const SHARDS: usize = 16;
+
+/// Cache hit/miss/eviction counters, shared by all shards.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl CacheStats {
+    /// Number of lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+    /// Number of lookups that had to fall through to the backend.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+    /// Number of values inserted (after a miss or a write).
+    pub fn insertions(&self) -> u64 {
+        self.insertions.load(Ordering::Relaxed)
+    }
+    /// Number of entries evicted to stay within the byte budget.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+    /// Number of entries dropped because the underlying key was written or
+    /// deleted.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
+    }
+    /// Hit ratio in `[0, 1]`; `0` when nothing has been looked up yet.
+    pub fn hit_ratio(&self) -> f64 {
+        let h = self.hits() as f64;
+        let total = h + self.misses() as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            h / total
+        }
+    }
+}
+
+/// One LRU shard: a hash map to entry nodes plus an access counter that
+/// provides the recency order.  With the small per-shard populations seen in
+/// practice an exact "evict the minimum stamp" scan is simpler and not
+/// measurably slower than an intrusive list.
+struct Shard {
+    map: HashMap<Vec<u8>, (Vec<u8>, u64)>,
+    bytes: usize,
+    tick: u64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            map: HashMap::new(),
+            bytes: 0,
+            tick: 0,
+        }
+    }
+
+    fn entry_cost(key: &[u8], value: &[u8]) -> usize {
+        key.len() + value.len() + 48
+    }
+
+    fn get(&mut self, key: &[u8]) -> Option<Vec<u8>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|(v, stamp)| {
+            *stamp = tick;
+            v.clone()
+        })
+    }
+
+    fn insert(&mut self, key: &[u8], value: &[u8], budget: usize, stats: &CacheStats) {
+        self.tick += 1;
+        let cost = Self::entry_cost(key, value);
+        if cost > budget {
+            return; // value alone exceeds the shard budget — not cacheable
+        }
+        if let Some((old, _)) = self.map.insert(key.to_vec(), (value.to_vec(), self.tick)) {
+            self.bytes -= Self::entry_cost(key, &old);
+        }
+        self.bytes += cost;
+        stats.insertions.fetch_add(1, Ordering::Relaxed);
+        while self.bytes > budget {
+            // Evict the least recently used entry.
+            let victim = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    if let Some((v, _)) = self.map.remove(&k) {
+                        self.bytes -= Self::entry_cost(&k, &v);
+                        stats.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn invalidate(&mut self, key: &[u8], stats: &CacheStats) {
+        if let Some((v, _)) = self.map.remove(key) {
+            self.bytes -= Self::entry_cost(key, &v);
+            stats.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.bytes = 0;
+    }
+}
+
+/// A sharded, byte-bounded LRU cache over raw key/value byte strings.
+pub struct LruCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_budget: usize,
+    stats: Arc<CacheStats>,
+}
+
+impl LruCache {
+    /// Creates a cache with a total byte budget split evenly across shards.
+    pub fn new(total_budget_bytes: usize) -> Self {
+        let per_shard_budget = (total_budget_bytes / SHARDS).max(1024);
+        LruCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::new())).collect(),
+            per_shard_budget,
+            stats: Arc::new(CacheStats::default()),
+        }
+    }
+
+    fn shard_for(&self, key: &[u8]) -> &Mutex<Shard> {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in key {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        &self.shards[(h as usize) & (SHARDS - 1)]
+    }
+
+    /// Looks up `key`, updating recency and hit/miss counters.
+    pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        let hit = self.shard_for(key).lock().get(key);
+        if hit.is_some() {
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Inserts `key → value`, evicting LRU entries if over budget.
+    pub fn insert(&self, key: &[u8], value: &[u8]) {
+        self.shard_for(key)
+            .lock()
+            .insert(key, value, self.per_shard_budget, &self.stats);
+    }
+
+    /// Removes `key` from the cache (after a write or delete).
+    pub fn invalidate(&self, key: &[u8]) {
+        self.shard_for(key).lock().invalidate(key, &self.stats);
+    }
+
+    /// Drops every cached entry.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().clear();
+        }
+    }
+
+    /// Total bytes currently cached across all shards.
+    pub fn bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().bytes).sum()
+    }
+
+    /// Number of entries currently cached.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// True if the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Shared statistics handle.
+    pub fn stats(&self) -> Arc<CacheStats> {
+        Arc::clone(&self.stats)
+    }
+}
+
+/// A [`StorageBackend`] decorator adding a read-through LRU cache.
+///
+/// Reads consult the cache first; misses fall through to the inner backend
+/// and populate the cache.  Writes and deletes go straight to the inner
+/// backend and invalidate the cached entry, so readers never observe stale
+/// values.
+pub struct CachedBackend<B: StorageBackend> {
+    inner: B,
+    cache: LruCache,
+}
+
+impl<B: StorageBackend> CachedBackend<B> {
+    /// Wraps `inner` with a cache of `budget_bytes` total capacity.
+    pub fn new(inner: B, budget_bytes: usize) -> Self {
+        CachedBackend {
+            inner,
+            cache: LruCache::new(budget_bytes),
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// Cache statistics (hits, misses, evictions).
+    pub fn cache_stats(&self) -> Arc<CacheStats> {
+        self.cache.stats()
+    }
+
+    /// The cache itself (for tests and maintenance).
+    pub fn cache(&self) -> &LruCache {
+        &self.cache
+    }
+}
+
+impl<B: StorageBackend> StorageBackend for CachedBackend<B> {
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        if let Some(v) = self.cache.get(key) {
+            return Ok(Some(v));
+        }
+        let found = self.inner.get(key)?;
+        if let Some(v) = &found {
+            self.cache.insert(key, v);
+        }
+        Ok(found)
+    }
+
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.inner.put(key, value)?;
+        self.cache.invalidate(key);
+        Ok(())
+    }
+
+    fn delete(&self, key: &[u8]) -> Result<()> {
+        self.inner.delete(key)?;
+        self.cache.invalidate(key);
+        Ok(())
+    }
+
+    fn write_batch(&self, batch: &WriteBatch) -> Result<()> {
+        self.inner.write_batch(batch)?;
+        for op in batch.iter() {
+            match op {
+                BatchOp::Put { key, .. } | BatchOp::Delete { key } => self.cache.invalidate(key),
+            }
+        }
+        Ok(())
+    }
+
+    fn scan(&self, visit: &mut dyn FnMut(&[u8], &[u8]) -> bool) -> Result<()> {
+        self.inner.scan(visit)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.inner.sync()
+    }
+
+    fn name(&self) -> &'static str {
+        "cached"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memtable::BTreeBackend;
+
+    #[test]
+    fn lru_get_insert_and_hit_ratio() {
+        let cache = LruCache::new(1 << 20);
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(b"a"), None);
+        cache.insert(b"a", b"1");
+        assert_eq!(cache.get(b"a").as_deref(), Some(&b"1"[..]));
+        let stats = cache.stats();
+        assert_eq!(stats.hits(), 1);
+        assert_eq!(stats.misses(), 1);
+        assert!((stats.hit_ratio() - 0.5).abs() < 1e-9);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.bytes() > 0);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // Budget small enough that the shard holding our keys overflows.
+        let cache = LruCache::new(SHARDS * 1100);
+        // All keys are distinct but may land in different shards; use enough
+        // entries that evictions must happen somewhere.
+        for i in 0u32..200 {
+            cache.insert(&i.to_be_bytes(), &[0u8; 64]);
+        }
+        assert!(cache.stats().evictions() > 0);
+        assert!(cache.bytes() <= SHARDS * 1100 + SHARDS * 128);
+    }
+
+    #[test]
+    fn recently_used_entries_survive_eviction_pressure() {
+        let cache = LruCache::new(SHARDS * 4096);
+        cache.insert(b"hot", b"value");
+        for i in 0u32..2000 {
+            // Touch the hot key between insertions so it stays most recent.
+            let _ = cache.get(b"hot");
+            cache.insert(&i.to_be_bytes(), &[0u8; 32]);
+        }
+        assert_eq!(cache.get(b"hot").as_deref(), Some(&b"value"[..]));
+    }
+
+    #[test]
+    fn oversized_values_are_not_cached() {
+        let cache = LruCache::new(SHARDS * 2048);
+        cache.insert(b"huge", &vec![0u8; 1 << 20]);
+        assert_eq!(cache.get(b"huge"), None);
+    }
+
+    #[test]
+    fn invalidate_and_clear() {
+        let cache = LruCache::new(1 << 20);
+        cache.insert(b"a", b"1");
+        cache.insert(b"b", b"2");
+        cache.invalidate(b"a");
+        assert_eq!(cache.get(b"a"), None);
+        assert_eq!(cache.get(b"b").as_deref(), Some(&b"2"[..]));
+        assert_eq!(cache.stats().invalidations(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn cached_backend_reads_through_and_invalidates_on_write() {
+        let backend = CachedBackend::new(BTreeBackend::new(), 1 << 20);
+        backend.put(b"k", b"v1").unwrap();
+        // First read misses, second hits.
+        assert_eq!(backend.get(b"k").unwrap().as_deref(), Some(&b"v1"[..]));
+        assert_eq!(backend.get(b"k").unwrap().as_deref(), Some(&b"v1"[..]));
+        let stats = backend.cache_stats();
+        assert_eq!(stats.misses(), 1);
+        assert_eq!(stats.hits(), 1);
+        // A write must not leave the stale value visible.
+        backend.put(b"k", b"v2").unwrap();
+        assert_eq!(backend.get(b"k").unwrap().as_deref(), Some(&b"v2"[..]));
+        backend.delete(b"k").unwrap();
+        assert_eq!(backend.get(b"k").unwrap(), None);
+        assert_eq!(backend.name(), "cached");
+    }
+
+    #[test]
+    fn cached_backend_batch_invalidation() {
+        let backend = CachedBackend::new(BTreeBackend::new(), 1 << 20);
+        backend.put(b"a", b"1").unwrap();
+        backend.put(b"b", b"2").unwrap();
+        let _ = backend.get(b"a").unwrap();
+        let _ = backend.get(b"b").unwrap();
+        let mut batch = WriteBatch::new();
+        batch.put(b"a".to_vec(), b"10".to_vec());
+        batch.delete(b"b".to_vec());
+        backend.write_batch(&batch).unwrap();
+        assert_eq!(backend.get(b"a").unwrap().as_deref(), Some(&b"10"[..]));
+        assert_eq!(backend.get(b"b").unwrap(), None);
+        assert_eq!(backend.len(), 1);
+        // Scan and sync pass through to the inner backend.
+        let mut n = 0;
+        backend.scan(&mut |_, _| {
+            n += 1;
+            true
+        })
+        .unwrap();
+        assert_eq!(n, 1);
+        backend.sync().unwrap();
+    }
+
+    #[test]
+    fn misses_on_absent_keys_do_not_cache_anything() {
+        let backend = CachedBackend::new(BTreeBackend::new(), 1 << 20);
+        assert_eq!(backend.get(b"ghost").unwrap(), None);
+        assert_eq!(backend.get(b"ghost").unwrap(), None);
+        assert_eq!(backend.cache_stats().misses(), 2);
+        assert_eq!(backend.cache().len(), 0);
+    }
+}

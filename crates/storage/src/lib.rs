@@ -1,0 +1,61 @@
+//! # tsp-storage — key-value storage backends for queryable states
+//!
+//! The paper's transactional table wrapper sits on top of "any existing
+//! backend structure with a key-value mapping" (§4.1).  This crate provides
+//! that layer:
+//!
+//! * [`backend::StorageBackend`] — the backend trait (get/put/delete/batch/
+//!   scan/sync over raw bytes),
+//! * [`memtable::BTreeBackend`] — sharded ordered in-memory backend,
+//! * [`hash::HashBackend`] — sharded hash backend for keyed point access,
+//! * [`lsm::LsmStore`] — a persistent, crash-recoverable WAL + LSM store.
+//!   This is the stand-in for the RocksDB base table used in the paper's
+//!   evaluation; its [`backend::SyncPolicy::Always`] mode reproduces the
+//!   "sync option = true" configuration of §5.1.
+//! * [`codec::Codec`] — order-preserving key/value encodings bridging typed
+//!   states and byte-oriented backends.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod backend;
+pub mod bloom;
+pub mod cache;
+pub mod checkpoint;
+pub mod checksum;
+pub mod codec;
+pub mod hash;
+pub mod lsm;
+pub mod manifest;
+pub mod memtable;
+pub mod range;
+pub mod sstable;
+pub mod stats;
+pub mod wal;
+
+pub use backend::{BatchOp, StorageBackend, SyncPolicy, WriteBatch};
+pub use bloom::Bloom;
+pub use cache::{CacheStats, CachedBackend, LruCache};
+pub use checkpoint::{create_checkpoint, read_checkpoint_info, restore_checkpoint, CheckpointInfo};
+pub use codec::Codec;
+pub use hash::HashBackend;
+pub use lsm::{LsmOptions, LsmStore};
+pub use memtable::BTreeBackend;
+pub use range::{collect_range, count_range, scan_prefix, scan_range, KeyRange};
+pub use stats::{InstrumentedBackend, StorageStats, StorageStatsSnapshot};
+
+/// Frequently used items, re-exported for `use tsp_storage::prelude::*`.
+pub mod prelude {
+    pub use crate::backend::{BatchOp, StorageBackend, SyncPolicy, WriteBatch};
+    pub use crate::bloom::Bloom;
+    pub use crate::cache::{CacheStats, CachedBackend, LruCache};
+    pub use crate::checkpoint::{
+        create_checkpoint, read_checkpoint_info, restore_checkpoint, CheckpointInfo,
+    };
+    pub use crate::codec::Codec;
+    pub use crate::hash::HashBackend;
+    pub use crate::lsm::{LsmOptions, LsmStore};
+    pub use crate::memtable::BTreeBackend;
+    pub use crate::range::{collect_range, count_range, scan_prefix, scan_range, KeyRange};
+    pub use crate::stats::{InstrumentedBackend, StorageStats, StorageStatsSnapshot};
+}

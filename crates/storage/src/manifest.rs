@@ -1,0 +1,233 @@
+//! The manifest — the LSM store's durable source of truth.
+//!
+//! The manifest records which SSTable files are live (newest last) and the
+//! next file number to allocate.  It is rewritten atomically (write to a
+//! temporary file, fsync, rename) on every flush/compaction, so a crash
+//! between steps leaves either the old or the new manifest, never a torn one.
+//!
+//! ## Format
+//!
+//! ```text
+//! manifest := magic:u64  next_file_no:u64  count:u32  file_no:u64*  crc:u32
+//! ```
+
+use crate::checksum::crc32;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use tsp_common::{Result, TspError};
+
+const MAGIC: u64 = 0x5453_504D_414E_4631; // "TSPMANF1"
+
+/// In-memory copy of the manifest contents.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ManifestData {
+    /// Next SSTable file number to allocate.
+    pub next_file_no: u64,
+    /// Live SSTable file numbers, oldest first.
+    pub tables: Vec<u64>,
+}
+
+/// Durable manifest handle bound to a directory.
+pub struct Manifest {
+    path: PathBuf,
+    tmp_path: PathBuf,
+    data: ManifestData,
+}
+
+impl Manifest {
+    /// File name of the manifest inside an LSM directory.
+    pub const FILE_NAME: &'static str = "MANIFEST";
+
+    /// Opens the manifest in `dir`, creating an empty one if none exists.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
+        let dir = dir.as_ref();
+        let path = dir.join(Self::FILE_NAME);
+        let tmp_path = dir.join(format!("{}.tmp", Self::FILE_NAME));
+        let data = if path.exists() {
+            Self::read(&path)?
+        } else {
+            ManifestData::default()
+        };
+        let mut m = Manifest {
+            path,
+            tmp_path,
+            data,
+        };
+        if !m.path.exists() {
+            m.persist()?;
+        }
+        Ok(m)
+    }
+
+    /// Current manifest contents.
+    pub fn data(&self) -> &ManifestData {
+        &self.data
+    }
+
+    /// Allocates and persists the next file number.
+    pub fn allocate_file_no(&mut self) -> Result<u64> {
+        let no = self.data.next_file_no;
+        self.data.next_file_no += 1;
+        self.persist()?;
+        Ok(no)
+    }
+
+    /// Records `file_no` as the newest live SSTable.
+    pub fn add_table(&mut self, file_no: u64) -> Result<()> {
+        self.data.tables.push(file_no);
+        self.persist()
+    }
+
+    /// Replaces the whole live-table list (after compaction).
+    pub fn replace_tables(&mut self, tables: Vec<u64>) -> Result<()> {
+        self.data.tables = tables;
+        self.persist()
+    }
+
+    fn encode(data: &ManifestData) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(24 + data.tables.len() * 8 + 4);
+        buf.extend_from_slice(&MAGIC.to_be_bytes());
+        buf.extend_from_slice(&data.next_file_no.to_be_bytes());
+        buf.extend_from_slice(&(data.tables.len() as u32).to_be_bytes());
+        for t in &data.tables {
+            buf.extend_from_slice(&t.to_be_bytes());
+        }
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_be_bytes());
+        buf
+    }
+
+    fn read(path: &Path) -> Result<ManifestData> {
+        let mut buf = Vec::new();
+        File::open(path)?.read_to_end(&mut buf)?;
+        // Minimum size: magic (8) + next_file_no (8) + count (4) + crc (4).
+        if buf.len() < 24 {
+            return Err(TspError::corruption("manifest too short"));
+        }
+        let (body, crc_bytes) = buf.split_at(buf.len() - 4);
+        let crc_expected = u32::from_be_bytes(crc_bytes.try_into().unwrap());
+        if crc32(body) != crc_expected {
+            return Err(TspError::corruption("manifest checksum mismatch"));
+        }
+        let magic = u64::from_be_bytes(body[0..8].try_into().unwrap());
+        if magic != MAGIC {
+            return Err(TspError::corruption("manifest bad magic"));
+        }
+        let next_file_no = u64::from_be_bytes(body[8..16].try_into().unwrap());
+        let count = u32::from_be_bytes(body[16..20].try_into().unwrap()) as usize;
+        if body.len() != 20 + count * 8 {
+            return Err(TspError::corruption("manifest length mismatch"));
+        }
+        let mut tables = Vec::with_capacity(count);
+        for i in 0..count {
+            let start = 20 + i * 8;
+            tables.push(u64::from_be_bytes(body[start..start + 8].try_into().unwrap()));
+        }
+        Ok(ManifestData {
+            next_file_no,
+            tables,
+        })
+    }
+
+    /// Writes the manifest atomically: temp file → fsync → rename → dir sync.
+    fn persist(&mut self) -> Result<()> {
+        let buf = Self::encode(&self.data);
+        {
+            let mut f = OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .open(&self.tmp_path)?;
+            f.write_all(&buf)?;
+            f.sync_all()?;
+        }
+        fs::rename(&self.tmp_path, &self.path)?;
+        if let Some(dir) = self.path.parent() {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("tsp-manifest-test-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn fresh_manifest_is_empty_and_persisted() {
+        let dir = tmpdir("fresh");
+        let m = Manifest::open(&dir).unwrap();
+        assert_eq!(m.data().next_file_no, 0);
+        assert!(m.data().tables.is_empty());
+        assert!(dir.join(Manifest::FILE_NAME).exists());
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn state_survives_reopen() {
+        let dir = tmpdir("reopen");
+        {
+            let mut m = Manifest::open(&dir).unwrap();
+            let a = m.allocate_file_no().unwrap();
+            let b = m.allocate_file_no().unwrap();
+            assert_eq!((a, b), (0, 1));
+            m.add_table(a).unwrap();
+            m.add_table(b).unwrap();
+        }
+        let m = Manifest::open(&dir).unwrap();
+        assert_eq!(m.data().next_file_no, 2);
+        assert_eq!(m.data().tables, vec![0, 1]);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn replace_tables_after_compaction() {
+        let dir = tmpdir("replace");
+        {
+            let mut m = Manifest::open(&dir).unwrap();
+            for _ in 0..3 {
+                let n = m.allocate_file_no().unwrap();
+                m.add_table(n).unwrap();
+            }
+            m.replace_tables(vec![7]).unwrap();
+        }
+        let m = Manifest::open(&dir).unwrap();
+        assert_eq!(m.data().tables, vec![7]);
+        assert_eq!(m.data().next_file_no, 3);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let dir = tmpdir("corrupt");
+        {
+            let mut m = Manifest::open(&dir).unwrap();
+            m.add_table(1).unwrap();
+        }
+        let path = dir.join(Manifest::FILE_NAME);
+        let mut data = fs::read(&path).unwrap();
+        data[9] ^= 0x55;
+        fs::write(&path, &data).unwrap();
+        assert!(Manifest::open(&dir).is_err());
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_manifest_is_rejected() {
+        let dir = tmpdir("trunc");
+        fs::write(dir.join(Manifest::FILE_NAME), b"short").unwrap();
+        assert!(Manifest::open(&dir).is_err());
+        fs::remove_dir_all(dir).unwrap();
+    }
+}

@@ -1,0 +1,513 @@
+//! The [`Stream`] handle and the stateless / windowing operators built on it.
+//!
+//! A `Stream<T>` represents one edge of the dataflow graph: a bounded channel
+//! of [`StreamElement<T>`]s produced by the operator upstream.  Each
+//! transformation (`map`, `filter`, windows, …) spawns the downstream
+//! operator on its own thread and returns the new edge, so building a
+//! pipeline is just method chaining:
+//!
+//! ```
+//! use tsp_stream::prelude::*;
+//!
+//! let topo = Topology::new();
+//! let sink = topo
+//!     .source_vec(vec![1u64, 2, 3, 4, 5])
+//!     .map(|x| x * 10)
+//!     .filter(|x| *x >= 30)
+//!     .collect();
+//! topo.run();
+//! assert_eq!(sink.take(), vec![30, 40, 50]);
+//! ```
+//!
+//! Punctuations flow through every operator unchanged (stateless operators
+//! forward them, windows may react to them), which is what lets the
+//! data-centric transaction boundaries of §3 reach the `TO_TABLE` operators
+//! at the end of the pipeline.
+
+use crate::topology::{Topology, TopologyCore};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use tsp_common::{Punctuation, PunctuationKind, StreamElement, Timestamp, Tuple};
+
+/// A typed edge of the dataflow graph.
+pub struct Stream<T> {
+    pub(crate) rx: Receiver<StreamElement<T>>,
+    pub(crate) core: Arc<TopologyCore>,
+}
+
+/// Payload type bound for stream elements.
+pub trait Data: Send + 'static {}
+impl<T: Send + 'static> Data for T {}
+
+impl Topology {
+    fn new_edge<T: Data>(&self) -> (Sender<StreamElement<T>>, Stream<T>) {
+        let (tx, rx) = bounded(self.core().channel_capacity());
+        (
+            tx,
+            Stream {
+                rx,
+                core: Arc::clone(self.core()),
+            },
+        )
+    }
+
+    /// A finite source emitting the given payloads (sequence numbers and
+    /// timestamps are assigned in order), followed by `EndOfStream`.
+    pub fn source_vec<T: Data>(&self, items: Vec<T>) -> Stream<T> {
+        self.source_with_timestamps(items.into_iter().enumerate().map(|(i, x)| (i as u64, x)))
+    }
+
+    /// A finite source with explicit event-time timestamps.
+    pub fn source_with_timestamps<T: Data>(
+        &self,
+        items: impl IntoIterator<Item = (Timestamp, T)> + Send + 'static,
+    ) -> Stream<T> {
+        let (tx, stream) = self.new_edge();
+        let core = Arc::clone(self.core());
+        let handle = std::thread::spawn(move || {
+            core.wait_for_start();
+            let mut seq = 0u64;
+            let mut last_ts = 0;
+            for (ts, payload) in items {
+                last_ts = ts;
+                if tx.send(StreamElement::Data(Tuple::new(ts, seq, payload))).is_err() {
+                    return;
+                }
+                seq += 1;
+            }
+            let _ = tx.send(Punctuation::end_of_stream(last_ts).into());
+        });
+        self.core().register(handle);
+        stream
+    }
+
+    /// A source emitting pre-built stream elements verbatim (used to inject
+    /// explicit transaction punctuations); an `EndOfStream` is appended if the
+    /// caller did not provide one.
+    pub fn source_elements<T: Data>(&self, elements: Vec<StreamElement<T>>) -> Stream<T> {
+        let (tx, stream) = self.new_edge();
+        let core = Arc::clone(self.core());
+        let handle = std::thread::spawn(move || {
+            core.wait_for_start();
+            let mut saw_eos = false;
+            let mut last_ts = 0;
+            for el in elements {
+                last_ts = el.timestamp();
+                if let StreamElement::Punctuation(p) = &el {
+                    saw_eos |= p.kind == PunctuationKind::EndOfStream;
+                }
+                if tx.send(el).is_err() {
+                    return;
+                }
+            }
+            if !saw_eos {
+                let _ = tx.send(Punctuation::end_of_stream(last_ts).into());
+            }
+        });
+        self.core().register(handle);
+        stream
+    }
+
+    /// A generator source: calls `next(i)` for `i in 0..count`, emitting the
+    /// produced payloads with `i` as both sequence number and timestamp.
+    pub fn source_generate<T: Data>(
+        &self,
+        count: u64,
+        mut next: impl FnMut(u64) -> T + Send + 'static,
+    ) -> Stream<T> {
+        let (tx, stream) = self.new_edge();
+        let core = Arc::clone(self.core());
+        let handle = std::thread::spawn(move || {
+            core.wait_for_start();
+            for i in 0..count {
+                if tx.send(StreamElement::Data(Tuple::new(i, i, next(i)))).is_err() {
+                    return;
+                }
+            }
+            let _ = tx.send(Punctuation::end_of_stream(count).into());
+        });
+        self.core().register(handle);
+        stream
+    }
+}
+
+impl<T: Data> Stream<T> {
+    fn new_edge<U: Data>(&self) -> (Sender<StreamElement<U>>, Stream<U>) {
+        let (tx, rx) = bounded(self.core.channel_capacity());
+        (
+            tx,
+            Stream {
+                rx,
+                core: Arc::clone(&self.core),
+            },
+        )
+    }
+
+    /// Spawns a downstream operator thread running `body(input, output)`.
+    pub(crate) fn spawn_operator<U: Data>(
+        self,
+        body: impl FnOnce(Receiver<StreamElement<T>>, Sender<StreamElement<U>>) + Send + 'static,
+    ) -> Stream<U> {
+        let (tx, stream) = self.new_edge();
+        let rx = self.rx;
+        let core = Arc::clone(&self.core);
+        let handle = std::thread::spawn(move || body(rx, tx));
+        core.register(handle);
+        stream
+    }
+
+    /// Spawns a terminal operator thread consuming the stream.
+    pub(crate) fn spawn_sink(self, body: impl FnOnce(Receiver<StreamElement<T>>) + Send + 'static) {
+        let rx = self.rx;
+        let core = Arc::clone(&self.core);
+        let handle = std::thread::spawn(move || body(rx));
+        core.register(handle);
+    }
+
+    /// Applies `f` to every data tuple; punctuations pass through.
+    pub fn map<U: Data>(self, mut f: impl FnMut(T) -> U + Send + 'static) -> Stream<U> {
+        self.spawn_operator(move |rx, tx| {
+            for el in rx.iter() {
+                let out = el.map_data(&mut f);
+                if tx.send(out).is_err() {
+                    return;
+                }
+            }
+        })
+    }
+
+    /// Keeps only data tuples for which `pred` returns true; punctuations
+    /// pass through.
+    pub fn filter(self, mut pred: impl FnMut(&T) -> bool + Send + 'static) -> Stream<T> {
+        self.spawn_operator(move |rx, tx| {
+            for el in rx.iter() {
+                let keep = match &el {
+                    StreamElement::Data(t) => pred(&t.payload),
+                    StreamElement::Punctuation(_) => true,
+                };
+                if keep && tx.send(el).is_err() {
+                    return;
+                }
+            }
+        })
+    }
+
+    /// Applies `f` to every data tuple, emitting zero or more outputs per
+    /// input; punctuations pass through.
+    pub fn flat_map<U: Data>(
+        self,
+        mut f: impl FnMut(T) -> Vec<U> + Send + 'static,
+    ) -> Stream<U> {
+        self.spawn_operator(move |rx, tx| {
+            for el in rx.iter() {
+                match el {
+                    StreamElement::Data(t) => {
+                        let ts = t.timestamp;
+                        let seq = t.seq;
+                        for (i, out) in f(t.payload).into_iter().enumerate() {
+                            if tx
+                                .send(StreamElement::Data(Tuple::new(ts, seq + i as u64, out)))
+                                .is_err()
+                            {
+                                return;
+                            }
+                        }
+                    }
+                    StreamElement::Punctuation(p) => {
+                        if tx.send(StreamElement::Punctuation(p)).is_err() {
+                            return;
+                        }
+                    }
+                }
+            }
+        })
+    }
+
+    /// Calls `f` for every data tuple as a side effect, forwarding all
+    /// elements unchanged (useful for instrumentation).
+    pub fn inspect(self, mut f: impl FnMut(&T) + Send + 'static) -> Stream<T> {
+        self.spawn_operator(move |rx, tx| {
+            for el in rx.iter() {
+                if let StreamElement::Data(t) = &el {
+                    f(&t.payload);
+                }
+                if tx.send(el).is_err() {
+                    return;
+                }
+            }
+        })
+    }
+
+    /// Duplicates the stream into `n` identical output streams.
+    pub fn broadcast(self, n: usize) -> Vec<Stream<T>>
+    where
+        T: Clone,
+    {
+        assert!(n >= 1, "broadcast requires at least one output");
+        let mut senders = Vec::with_capacity(n);
+        let mut streams = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, s) = self.new_edge();
+            senders.push(tx);
+            streams.push(s);
+        }
+        let rx = self.rx;
+        let core = Arc::clone(&self.core);
+        let handle = std::thread::spawn(move || {
+            for el in rx.iter() {
+                for tx in &senders {
+                    if tx.send(el.clone()).is_err() {
+                        return;
+                    }
+                }
+            }
+        });
+        core.register(handle);
+        streams
+    }
+
+    /// Merges this stream with `other` (arbitrary interleaving).  A single
+    /// `EndOfStream` is emitted once both inputs have ended; the individual
+    /// inputs' `EndOfStream` punctuations are swallowed.
+    pub fn merge(self, other: Stream<T>) -> Stream<T> {
+        let (tx, out) = self.new_edge();
+        let core = Arc::clone(&self.core);
+        let remaining = Arc::new(std::sync::atomic::AtomicUsize::new(2));
+        for rx in [self.rx, other.rx] {
+            let tx = tx.clone();
+            let remaining = Arc::clone(&remaining);
+            let handle = std::thread::spawn(move || {
+                let mut last_ts = 0;
+                for el in rx.iter() {
+                    last_ts = el.timestamp();
+                    if let StreamElement::Punctuation(p) = &el {
+                        if p.kind == PunctuationKind::EndOfStream {
+                            break;
+                        }
+                    }
+                    if tx.send(el).is_err() {
+                        return;
+                    }
+                }
+                if remaining.fetch_sub(1, std::sync::atomic::Ordering::AcqRel) == 1 {
+                    let _ = tx.send(Punctuation::end_of_stream(last_ts).into());
+                }
+            });
+            core.register(handle);
+        }
+        out
+    }
+
+    /// Terminal operator collecting every data payload (punctuations are
+    /// dropped).  The result is available after the topology has been joined.
+    pub fn collect(self) -> Collected<T> {
+        let out = Collected::new();
+        let inner = Arc::clone(&out.items);
+        self.spawn_sink(move |rx| {
+            for el in rx.iter() {
+                if let StreamElement::Data(t) = el {
+                    inner.lock().push(t.payload);
+                }
+            }
+        });
+        out
+    }
+
+    /// Terminal operator collecting every element including punctuations.
+    pub fn collect_elements(self) -> Collected<StreamElement<T>> {
+        let out = Collected::new();
+        let inner = Arc::clone(&out.items);
+        self.spawn_sink(move |rx| {
+            for el in rx.iter() {
+                inner.lock().push(el);
+            }
+        });
+        out
+    }
+
+    /// Terminal operator invoking `f` for every data payload.
+    pub fn for_each(self, mut f: impl FnMut(T) + Send + 'static) {
+        self.spawn_sink(move |rx| {
+            for el in rx.iter() {
+                if let StreamElement::Data(t) = el {
+                    f(t.payload);
+                }
+            }
+        });
+    }
+
+    /// Terminal operator that simply discards everything (keeps upstream
+    /// operators draining).
+    pub fn drain(self) {
+        self.spawn_sink(move |rx| for _ in rx.iter() {});
+    }
+}
+
+/// Handle to the results of a [`Stream::collect`] sink.
+pub struct Collected<T> {
+    items: Arc<Mutex<Vec<T>>>,
+}
+
+impl<T> Clone for Collected<T> {
+    fn clone(&self) -> Self {
+        Collected {
+            items: Arc::clone(&self.items),
+        }
+    }
+}
+
+impl<T> Collected<T> {
+    fn new() -> Self {
+        Collected {
+            items: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Takes the collected items (call after `Topology::join`).
+    pub fn take(&self) -> Vec<T> {
+        std::mem::take(&mut *self.items.lock())
+    }
+
+    /// Number of items collected so far.
+    pub fn len(&self) -> usize {
+        self.items.lock().len()
+    }
+
+    /// True if nothing has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsp_common::TxnId;
+
+    #[test]
+    fn map_filter_collect_pipeline() {
+        let topo = Topology::new();
+        let sink = topo
+            .source_vec((1..=10u32).collect())
+            .map(|x| x * 2)
+            .filter(|x| x % 4 == 0)
+            .collect();
+        topo.run();
+        assert_eq!(sink.take(), vec![4, 8, 12, 16, 20]);
+    }
+
+    #[test]
+    fn flat_map_and_inspect() {
+        let topo = Topology::new();
+        let seen = Arc::new(Mutex::new(0u32));
+        let seen2 = Arc::clone(&seen);
+        let sink = topo
+            .source_vec(vec![1u32, 2, 3])
+            .inspect(move |_| *seen2.lock() += 1)
+            .flat_map(|x| vec![x; x as usize])
+            .collect();
+        topo.run();
+        assert_eq!(sink.take(), vec![1, 2, 2, 3, 3, 3]);
+        assert_eq!(*seen.lock(), 3);
+    }
+
+    #[test]
+    fn punctuations_pass_through_stateless_operators() {
+        let topo = Topology::new();
+        let elements = vec![
+            StreamElement::Punctuation(Punctuation::bot(TxnId(1), 0)),
+            StreamElement::data(0, 0, 5u32),
+            StreamElement::Punctuation(Punctuation::commit(TxnId(1), 1)),
+        ];
+        let sink = topo
+            .source_elements(elements)
+            .map(|x| x + 1)
+            .filter(|_| true)
+            .collect_elements();
+        topo.run();
+        let out = sink.take();
+        // BOT, data, COMMIT, EOS
+        assert_eq!(out.len(), 4);
+        assert!(matches!(
+            out[0],
+            StreamElement::Punctuation(Punctuation {
+                kind: PunctuationKind::Bot,
+                ..
+            })
+        ));
+        assert_eq!(out[1].as_data().unwrap().payload, 6);
+        assert!(matches!(
+            out[3],
+            StreamElement::Punctuation(Punctuation {
+                kind: PunctuationKind::EndOfStream,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn broadcast_duplicates_every_element() {
+        let topo = Topology::new();
+        let branches = topo.source_vec(vec![1u8, 2, 3]).broadcast(3);
+        let sinks: Vec<_> = branches.into_iter().map(|b| b.collect()).collect();
+        topo.run();
+        for s in sinks {
+            assert_eq!(s.take(), vec![1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn merge_combines_two_sources() {
+        let topo = Topology::new();
+        let a = topo.source_vec(vec![1u32, 2, 3]);
+        let b = topo.source_vec(vec![10u32, 20]);
+        let sink = a.merge(b).collect();
+        topo.run();
+        let mut out = sink.take();
+        out.sort();
+        assert_eq!(out, vec![1, 2, 3, 10, 20]);
+    }
+
+    #[test]
+    fn generator_source_and_for_each() {
+        let topo = Topology::new();
+        let sum = Arc::new(Mutex::new(0u64));
+        let sum2 = Arc::clone(&sum);
+        topo.source_generate(100, |i| i).for_each(move |x| *sum2.lock() += x);
+        topo.run();
+        assert_eq!(*sum.lock(), 4950);
+    }
+
+    #[test]
+    fn source_with_timestamps_preserves_event_time() {
+        let topo = Topology::new();
+        let sink = topo
+            .source_with_timestamps(vec![(100u64, "a"), (200, "b")])
+            .collect_elements();
+        topo.run();
+        let out = sink.take();
+        assert_eq!(out[0].timestamp(), 100);
+        assert_eq!(out[1].timestamp(), 200);
+        // EOS carries the last timestamp.
+        assert_eq!(out[2].timestamp(), 200);
+    }
+
+    #[test]
+    fn drain_completes() {
+        let topo = Topology::new();
+        topo.source_vec((0..1000u32).collect()).map(|x| x).drain();
+        topo.run();
+    }
+
+    #[test]
+    fn collected_len_and_empty() {
+        let c: Collected<u32> = Collected::new();
+        assert!(c.is_empty());
+        c.items.lock().push(1);
+        assert_eq!(c.len(), 1);
+        let c2 = c.clone();
+        assert_eq!(c2.take(), vec![1]);
+        assert!(c.is_empty());
+    }
+}

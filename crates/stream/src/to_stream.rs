@@ -1,0 +1,205 @@
+//! The `TO_STREAM` linking operator (§3, Fig. 2).
+//!
+//! `TO_STREAM` "produces a stream of tuples from a table … Whenever a certain
+//! condition on a table is fulfilled, TO_STREAM is executed and emits a new
+//! (set of) tuple(s) to a stream."  The *trigger policy* decides when that
+//! condition is evaluated: "possible policies are to consider each tuple
+//! modification or to rely on transaction commits" (§3, transactional
+//! semantics).
+//!
+//! The operator is placed downstream of the `TO_TABLE` operator(s) of the
+//! same query, so by the time it observes a `COMMIT` punctuation the commit
+//! has already been performed; the query closure then runs as a fresh
+//! read-only snapshot transaction and its results are emitted as data tuples.
+
+use crate::stream::{Data, Stream};
+use std::sync::Arc;
+use tsp_common::{PunctuationKind, Result, StreamElement, Tuple};
+use tsp_core::{TransactionManager, Tx};
+
+/// When `TO_STREAM` evaluates its query and emits tuples.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum TriggerPolicy {
+    /// After every committed transaction (the default, consistent view).
+    #[default]
+    OnCommit,
+    /// After every data tuple (fine-grained, higher overhead; reads may
+    /// observe the still-uncommitted state of the surrounding transaction
+    /// only through the query's own snapshot, never dirty data).
+    EveryTuple,
+    /// Only once, when the stream ends.
+    OnEndOfStream,
+}
+
+impl<T: Data> Stream<T> {
+    /// Attaches a `TO_STREAM` operator that evaluates `query` against a fresh
+    /// read-only snapshot according to `trigger` and emits the returned rows.
+    pub fn to_stream<U: Data>(
+        self,
+        mgr: Arc<TransactionManager>,
+        trigger: TriggerPolicy,
+        query: impl Fn(&Tx) -> Result<Vec<U>> + Send + 'static,
+    ) -> Stream<U> {
+        self.spawn_operator(move |rx, tx_out| {
+            let mut seq = 0u64;
+            let emit = |ts: u64, seq: &mut u64| -> bool {
+                let Ok(tx) = mgr.begin_read_only() else {
+                    return true;
+                };
+                let rows = query(&tx);
+                let _ = mgr.commit(&tx);
+                if let Ok(rows) = rows {
+                    for row in rows {
+                        if tx_out
+                            .send(StreamElement::Data(Tuple::new(ts, *seq, row)))
+                            .is_err()
+                        {
+                            return false;
+                        }
+                        *seq += 1;
+                    }
+                }
+                true
+            };
+            for el in rx.iter() {
+                match &el {
+                    StreamElement::Data(t) => {
+                        if trigger == TriggerPolicy::EveryTuple && !emit(t.timestamp, &mut seq) {
+                            return;
+                        }
+                    }
+                    StreamElement::Punctuation(p) => match p.kind {
+                        PunctuationKind::Commit if trigger == TriggerPolicy::OnCommit => {
+                            if !emit(p.timestamp, &mut seq) {
+                                return;
+                            }
+                        }
+                        PunctuationKind::EndOfStream => {
+                            if trigger == TriggerPolicy::OnEndOfStream && !emit(p.timestamp, &mut seq)
+                            {
+                                return;
+                            }
+                            let _ = tx_out.send(StreamElement::Punctuation(*p));
+                            return;
+                        }
+                        _ => {}
+                    },
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::to_table::ToTable;
+    use crate::topology::Topology;
+    use crate::txn::{Boundaries, TxCoordinator};
+    use tsp_core::{MvccTable, StateContext};
+
+    fn setup() -> (
+        Arc<TransactionManager>,
+        Arc<MvccTable<u32, u64>>,
+        Arc<TxCoordinator>,
+    ) {
+        let ctx = Arc::new(StateContext::new());
+        let mgr = TransactionManager::new(Arc::clone(&ctx));
+        let table = MvccTable::<u32, u64>::volatile(&ctx, "t");
+        mgr.register(table.clone());
+        mgr.register_group(&[table.id()]).unwrap();
+        let coord = TxCoordinator::new(ctx);
+        (mgr, table, coord)
+    }
+
+    #[test]
+    fn on_commit_trigger_sees_each_committed_batch() {
+        let (mgr, table, coord) = setup();
+        let topo = Topology::new();
+        let data: Vec<(u32, u64)> = (0..6).map(|i| (i, (i + 1) as u64)).collect();
+        let table_for_writer = Arc::clone(&table);
+        let table_for_query = Arc::clone(&table);
+        let sums = topo
+            .source_vec(data)
+            .punctuate_every(3, Arc::clone(&coord))
+            .to_table(ToTable::new(
+                Arc::clone(&mgr),
+                Arc::clone(&coord),
+                table.id(),
+                Boundaries::Punctuations,
+                move |tx: &Tx, (k, v): &(u32, u64)| table_for_writer.write(tx, *k, *v),
+            ))
+            .to_stream(Arc::clone(&mgr), TriggerPolicy::OnCommit, move |tx| {
+                let snapshot = table_for_query.scan(tx)?;
+                Ok(vec![snapshot.values().sum::<u64>()])
+            })
+            .collect();
+        topo.run();
+        // One emission per committed transaction.  The query downstream runs
+        // in its own snapshot: it sees *at least* the transaction whose commit
+        // triggered it, and — because the pipeline stages run in parallel —
+        // possibly already the next one; it can never observe a torn or
+        // uncommitted state.  So the first value is 6 or 21, the second 21.
+        let sums = sums.take();
+        assert_eq!(sums.len(), 2);
+        assert!(sums[0] == 6 || sums[0] == 21, "got {}", sums[0]);
+        assert_eq!(sums[1], 21);
+        assert!(sums[0] <= sums[1], "snapshots never go backwards");
+    }
+
+    #[test]
+    fn end_of_stream_trigger_emits_once() {
+        let (mgr, table, coord) = setup();
+        let topo = Topology::new();
+        let data: Vec<(u32, u64)> = (0..4).map(|i| (i, 10)).collect();
+        let table_w = Arc::clone(&table);
+        let table_q = Arc::clone(&table);
+        let counts = topo
+            .source_vec(data)
+            .punctuate_every(2, Arc::clone(&coord))
+            .to_table(ToTable::new(
+                Arc::clone(&mgr),
+                Arc::clone(&coord),
+                table.id(),
+                Boundaries::Punctuations,
+                move |tx: &Tx, (k, v): &(u32, u64)| table_w.write(tx, *k, *v),
+            ))
+            .to_stream(Arc::clone(&mgr), TriggerPolicy::OnEndOfStream, move |tx| {
+                Ok(vec![table_q.scan(tx)?.len() as u64])
+            })
+            .collect();
+        topo.run();
+        assert_eq!(counts.take(), vec![4]);
+    }
+
+    #[test]
+    fn every_tuple_trigger_emits_per_data_element() {
+        let (mgr, _table, _coord) = setup();
+        let topo = Topology::new();
+        let out = topo
+            .source_vec(vec![1u32, 2, 3])
+            .to_stream(Arc::clone(&mgr), TriggerPolicy::EveryTuple, |_tx| Ok(vec![1u8]))
+            .collect();
+        topo.run();
+        assert_eq!(out.take(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn eos_punctuation_is_forwarded() {
+        let (mgr, _table, _coord) = setup();
+        let topo = Topology::new();
+        let out = topo
+            .source_vec(vec![1u32])
+            .to_stream(Arc::clone(&mgr), TriggerPolicy::OnCommit, |_tx| {
+                Ok(Vec::<u8>::new())
+            })
+            .collect_elements();
+        topo.run();
+        let elements = out.take();
+        assert_eq!(elements.len(), 1);
+        assert!(matches!(
+            elements[0],
+            StreamElement::Punctuation(p) if p.kind == PunctuationKind::EndOfStream
+        ));
+    }
+}

@@ -1,0 +1,437 @@
+//! The `TO_TABLE` linking operator (§3, Fig. 2).
+//!
+//! `TO_TABLE` "inserts, deletes, or updates tuples from a stream in a table"
+//! and is "the only way to modify a table in our model"; it "has to guarantee
+//! atomicity based on the transaction boundaries".  The operator therefore:
+//!
+//! * materialises the transaction announced by a `BOT` punctuation (through
+//!   the shared [`TxCoordinator`], so several `TO_TABLE` operators of the
+//!   same query share one transaction),
+//! * applies every data tuple to its table through the caller-supplied
+//!   [`TableWriter`] within that transaction,
+//! * on `COMMIT` flags its state as ready — the operator that flags last
+//!   becomes the coordinator of the global commit (§4.3),
+//! * on `ROLLBACK` (or a write error) flags abort, forcing a global rollback.
+//!
+//! All elements are forwarded downstream unchanged, so `TO_STREAM` operators
+//! placed after a `TO_TABLE` observe the same boundaries *after* the commit
+//! has been performed.
+
+use crate::stream::{Data, Stream};
+use crate::txn::{Boundaries, TxCoordinator};
+use std::sync::Arc;
+use tsp_common::{PunctuationKind, Result, StateId, StreamElement, TxnId};
+use tsp_core::{FlagOutcome, TransactionManager, Tx};
+
+/// Applies one stream payload to a transactional table within a transaction.
+///
+/// Implementations decide whether the payload is an insert/update or a
+/// delete (e.g. by inspecting a flag in the payload), mirroring the paper's
+/// "whether a stream tuple is inserted or updated in a table depends on the
+/// presence of a table tuple with the same key".
+pub trait TableWriter<T>: Send + 'static {
+    /// Applies `payload` to the table within `tx`.
+    fn apply(&mut self, tx: &Tx, payload: &T) -> Result<()>;
+}
+
+impl<T, F> TableWriter<T> for F
+where
+    F: FnMut(&Tx, &T) -> Result<()> + Send + 'static,
+{
+    fn apply(&mut self, tx: &Tx, payload: &T) -> Result<()> {
+        self(tx, payload)
+    }
+}
+
+/// Configuration of a `TO_TABLE` operator.
+pub struct ToTable<T> {
+    mgr: Arc<TransactionManager>,
+    coordinator: Arc<TxCoordinator>,
+    state: StateId,
+    boundaries: Boundaries,
+    writer: Box<dyn TableWriter<T>>,
+}
+
+impl<T: Data> ToTable<T> {
+    /// Creates a `TO_TABLE` configuration for `state`.
+    pub fn new(
+        mgr: Arc<TransactionManager>,
+        coordinator: Arc<TxCoordinator>,
+        state: StateId,
+        boundaries: Boundaries,
+        writer: impl TableWriter<T>,
+    ) -> Self {
+        ToTable {
+            mgr,
+            coordinator,
+            state,
+            boundaries,
+            writer: Box::new(writer),
+        }
+    }
+}
+
+struct PunctuatedState {
+    marker: TxnId,
+    tx: Tx,
+    failed: bool,
+}
+
+impl<T: Data> Stream<T> {
+    /// Attaches a `TO_TABLE` operator; elements are forwarded unchanged.
+    pub fn to_table(self, config: ToTable<T>) -> Stream<T> {
+        let ToTable {
+            mgr,
+            coordinator,
+            state,
+            boundaries,
+            mut writer,
+        } = config;
+        // Announce this operator's state to the coordinator so that shared
+        // transactions wait for it before electing a commit coordinator.
+        if boundaries == Boundaries::Punctuations {
+            coordinator.register_participant(state);
+        }
+        self.spawn_operator(move |rx, tx_out| {
+            match boundaries {
+                Boundaries::Punctuations => {
+                    let mut current: Option<PunctuatedState> = None;
+                    for el in rx.iter() {
+                        match &el {
+                            StreamElement::Punctuation(p) if p.kind == PunctuationKind::Bot => {
+                                if let Ok(tx) = coordinator.tx_for(p.txn) {
+                                    current = Some(PunctuatedState {
+                                        marker: p.txn,
+                                        tx,
+                                        failed: false,
+                                    });
+                                }
+                            }
+                            StreamElement::Punctuation(p)
+                                if p.kind == PunctuationKind::Commit
+                                    || p.kind == PunctuationKind::Rollback =>
+                            {
+                                if let Some(st) = current.take() {
+                                    let abort =
+                                        st.failed || p.kind == PunctuationKind::Rollback;
+                                    let outcome = if abort {
+                                        mgr.flag_abort(&st.tx, state)
+                                    } else {
+                                        mgr.flag_commit(&st.tx, state)
+                                    };
+                                    match outcome {
+                                        Ok(FlagOutcome::Pending) => {}
+                                        // Committed, rolled back, or a
+                                        // concurrency-control error that
+                                        // already rolled the transaction
+                                        // back: the marker is finished.
+                                        _ => coordinator.remove(st.marker),
+                                    }
+                                }
+                            }
+                            StreamElement::Data(t) => {
+                                if current.is_none() {
+                                    // Data outside any announced transaction:
+                                    // open an implicit one so nothing is lost.
+                                    let marker = coordinator.next_marker();
+                                    if let Ok(tx) = coordinator.tx_for(marker) {
+                                        current = Some(PunctuatedState {
+                                            marker,
+                                            tx,
+                                            failed: false,
+                                        });
+                                    }
+                                }
+                                if let Some(st) = current.as_mut() {
+                                    if !st.failed && writer.apply(&st.tx, &t.payload).is_err() {
+                                        st.failed = true;
+                                    }
+                                }
+                            }
+                            StreamElement::Punctuation(p)
+                                if p.kind == PunctuationKind::EndOfStream =>
+                            {
+                                // Commit an implicit transaction that never
+                                // saw an explicit boundary.
+                                if let Some(st) = current.take() {
+                                    let outcome = if st.failed {
+                                        mgr.flag_abort(&st.tx, state)
+                                    } else {
+                                        mgr.flag_commit(&st.tx, state)
+                                    };
+                                    if !matches!(outcome, Ok(FlagOutcome::Pending)) {
+                                        coordinator.remove(st.marker);
+                                    }
+                                }
+                            }
+                            _ => {}
+                        }
+                        if tx_out.send(el).is_err() {
+                            return;
+                        }
+                    }
+                }
+                Boundaries::EveryN(_) | Boundaries::PerTuple => {
+                    let batch = match boundaries {
+                        Boundaries::EveryN(n) => n.max(1),
+                        _ => 1,
+                    };
+                    let mut current: Option<Tx> = None;
+                    let mut pending = 0usize;
+                    let mut failed = false;
+                    let finish =
+                        |current: &mut Option<Tx>, pending: &mut usize, failed: &mut bool| {
+                            if let Some(tx) = current.take() {
+                                if *failed {
+                                    let _ = mgr.abort(&tx);
+                                } else {
+                                    let _ = mgr.commit(&tx);
+                                }
+                            }
+                            *pending = 0;
+                            *failed = false;
+                        };
+                    for el in rx.iter() {
+                        match &el {
+                            StreamElement::Data(t) => {
+                                if current.is_none() {
+                                    current = mgr.begin().ok();
+                                }
+                                if let Some(tx) = current.as_ref() {
+                                    if !failed && writer.apply(tx, &t.payload).is_err() {
+                                        failed = true;
+                                    }
+                                }
+                                pending += 1;
+                                if pending >= batch {
+                                    finish(&mut current, &mut pending, &mut failed);
+                                }
+                            }
+                            StreamElement::Punctuation(p)
+                                if p.kind == PunctuationKind::EndOfStream =>
+                            {
+                                finish(&mut current, &mut pending, &mut failed);
+                            }
+                            _ => {}
+                        }
+                        if tx_out.send(el).is_err() {
+                            return;
+                        }
+                    }
+                    finish(&mut current, &mut pending, &mut failed);
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+    use tsp_core::{MvccTable, StateContext};
+
+    fn setup() -> (
+        Arc<StateContext>,
+        Arc<TransactionManager>,
+        Arc<MvccTable<u32, u64>>,
+        Arc<TxCoordinator>,
+    ) {
+        let ctx = Arc::new(StateContext::new());
+        let mgr = TransactionManager::new(Arc::clone(&ctx));
+        let table = MvccTable::<u32, u64>::volatile(&ctx, "t");
+        mgr.register(table.clone());
+        mgr.register_group(&[table.id()]).unwrap();
+        let coord = TxCoordinator::new(Arc::clone(&ctx));
+        (ctx, mgr, table, coord)
+    }
+
+    fn writer_for(
+        table: &Arc<MvccTable<u32, u64>>,
+    ) -> impl FnMut(&Tx, &(u32, u64)) -> Result<()> + Send + 'static {
+        let table = Arc::clone(table);
+        move |tx, (k, v)| table.write(tx, *k, *v)
+    }
+
+    #[test]
+    fn punctuated_transactions_commit_batches_atomically() {
+        let (_ctx, mgr, table, coord) = setup();
+        let topo = Topology::new();
+        let data: Vec<(u32, u64)> = (0..10).map(|i| (i, i as u64 * 100)).collect();
+        topo.source_vec(data)
+            .punctuate_every(5, Arc::clone(&coord))
+            .to_table(ToTable::new(
+                Arc::clone(&mgr),
+                Arc::clone(&coord),
+                table.id(),
+                Boundaries::Punctuations,
+                writer_for(&table),
+            ))
+            .drain();
+        topo.run();
+        assert_eq!(coord.live_count(), 0, "all stream transactions finished");
+        let r = mgr.begin_read_only().unwrap();
+        for i in 0..10u32 {
+            assert_eq!(table.read(&r, &i).unwrap(), Some(i as u64 * 100));
+        }
+        mgr.commit(&r).unwrap();
+        // Two committed stream transactions plus the reader.
+        assert_eq!(mgr.context().stats().snapshot().committed, 3);
+    }
+
+    #[test]
+    fn rollback_punctuation_discards_the_batch() {
+        use tsp_common::Punctuation;
+        let (_ctx, mgr, table, coord) = setup();
+        let m1 = coord.next_marker();
+        let m2 = coord.next_marker();
+        let elements = vec![
+            StreamElement::Punctuation(Punctuation::bot(m1, 0)),
+            StreamElement::data(0, 0, (1u32, 11u64)),
+            StreamElement::Punctuation(Punctuation::rollback(m1, 1)),
+            StreamElement::Punctuation(Punctuation::bot(m2, 2)),
+            StreamElement::data(2, 1, (2u32, 22u64)),
+            StreamElement::Punctuation(Punctuation::commit(m2, 3)),
+        ];
+        let topo = Topology::new();
+        topo.source_elements(elements)
+            .to_table(ToTable::new(
+                Arc::clone(&mgr),
+                Arc::clone(&coord),
+                table.id(),
+                Boundaries::Punctuations,
+                writer_for(&table),
+            ))
+            .drain();
+        topo.run();
+        let r = mgr.begin_read_only().unwrap();
+        assert_eq!(table.read(&r, &1).unwrap(), None, "rolled-back write gone");
+        assert_eq!(table.read(&r, &2).unwrap(), Some(22));
+        mgr.commit(&r).unwrap();
+        assert_eq!(mgr.context().stats().snapshot().aborted, 1);
+    }
+
+    #[test]
+    fn two_to_table_operators_share_one_transaction() {
+        let ctx = Arc::new(StateContext::new());
+        let mgr = TransactionManager::new(Arc::clone(&ctx));
+        let a = MvccTable::<u32, u64>::volatile(&ctx, "a");
+        let b = MvccTable::<u32, u64>::volatile(&ctx, "b");
+        mgr.register(a.clone());
+        mgr.register(b.clone());
+        mgr.register_group(&[a.id(), b.id()]).unwrap();
+        let coord = TxCoordinator::new(Arc::clone(&ctx));
+
+        let topo = Topology::new();
+        let data: Vec<(u32, u64)> = (0..6).map(|i| (i, i as u64)).collect();
+        let branches = topo
+            .source_vec(data)
+            .punctuate_every(3, Arc::clone(&coord))
+            .broadcast(2);
+        let mut branches = branches.into_iter();
+        branches
+            .next()
+            .unwrap()
+            .to_table(ToTable::new(
+                Arc::clone(&mgr),
+                Arc::clone(&coord),
+                a.id(),
+                Boundaries::Punctuations,
+                writer_for(&a),
+            ))
+            .drain();
+        branches
+            .next()
+            .unwrap()
+            .to_table(ToTable::new(
+                Arc::clone(&mgr),
+                Arc::clone(&coord),
+                b.id(),
+                Boundaries::Punctuations,
+                writer_for(&b),
+            ))
+            .drain();
+        topo.run();
+
+        // Both states contain all six keys, written by the *same* two
+        // transactions (2 stream transactions, not 4).
+        let r = mgr.begin_read_only().unwrap();
+        for i in 0..6u32 {
+            assert_eq!(a.read(&r, &i).unwrap(), Some(i as u64));
+            assert_eq!(b.read(&r, &i).unwrap(), Some(i as u64));
+        }
+        mgr.commit(&r).unwrap();
+        let stats = ctx.stats().snapshot();
+        assert_eq!(stats.begun, 2 + 1, "two stream txs + one reader");
+        assert_eq!(stats.committed, 2 + 1);
+        assert_eq!(coord.live_count(), 0);
+    }
+
+    #[test]
+    fn every_n_boundaries_auto_commit() {
+        let (_ctx, mgr, table, coord) = setup();
+        let topo = Topology::new();
+        let data: Vec<(u32, u64)> = (0..7).map(|i| (i, 1)).collect();
+        topo.source_vec(data)
+            .to_table(ToTable::new(
+                Arc::clone(&mgr),
+                coord,
+                table.id(),
+                Boundaries::EveryN(3),
+                writer_for(&table),
+            ))
+            .drain();
+        topo.run();
+        let r = mgr.begin_read_only().unwrap();
+        assert_eq!(table.read(&r, &6).unwrap(), Some(1));
+        mgr.commit(&r).unwrap();
+        // ceil(7/3) = 3 stream transactions + 1 reader.
+        assert_eq!(mgr.context().stats().snapshot().committed, 4);
+    }
+
+    #[test]
+    fn per_tuple_boundaries_auto_commit() {
+        let (_ctx, mgr, table, coord) = setup();
+        let topo = Topology::new();
+        let data: Vec<(u32, u64)> = (0..4).map(|i| (i, 9)).collect();
+        topo.source_vec(data)
+            .to_table(ToTable::new(
+                Arc::clone(&mgr),
+                coord,
+                table.id(),
+                Boundaries::PerTuple,
+                writer_for(&table),
+            ))
+            .drain();
+        topo.run();
+        let r = mgr.begin_read_only().unwrap();
+        for i in 0..4u32 {
+            assert_eq!(table.read(&r, &i).unwrap(), Some(9));
+        }
+        mgr.commit(&r).unwrap();
+        assert_eq!(mgr.context().stats().snapshot().committed, 5);
+    }
+
+    #[test]
+    fn data_without_bot_gets_an_implicit_transaction() {
+        let (_ctx, mgr, table, coord) = setup();
+        let topo = Topology::new();
+        // Raw data stream, no punctuations at all.
+        let data: Vec<(u32, u64)> = vec![(1, 10), (2, 20)];
+        topo.source_vec(data)
+            .to_table(ToTable::new(
+                Arc::clone(&mgr),
+                Arc::clone(&coord),
+                table.id(),
+                Boundaries::Punctuations,
+                writer_for(&table),
+            ))
+            .drain();
+        topo.run();
+        let r = mgr.begin_read_only().unwrap();
+        assert_eq!(table.read(&r, &1).unwrap(), Some(10));
+        assert_eq!(table.read(&r, &2).unwrap(), Some(20));
+        mgr.commit(&r).unwrap();
+        assert_eq!(coord.live_count(), 0);
+    }
+}

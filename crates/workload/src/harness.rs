@@ -1,0 +1,592 @@
+//! The micro-benchmark harness reproducing the paper's evaluation (§5).
+//!
+//! Setup (§5.1): "a scenario having one stream continuously writing to two
+//! states and multiple ad-hoc queries reading from these states.  Both are
+//! initialized with a table size of one million key-value pairs (4 Byte key,
+//! 20 Byte value).  During the experiments, we vary the number of parallel
+//! ad-hoc queries and the contention rate using a Zipfian distribution."
+//! Transactions are of medium length (10 operations each, §5.2) and the base
+//! table persists writes synchronously.
+//!
+//! The harness builds the two states under the selected concurrency-control
+//! protocol, preloads them, then runs one writer thread (the continuous
+//! stream query, writing both states under the consistency protocol) and `N`
+//! ad-hoc reader threads for a fixed wall-clock duration, reporting
+//! throughput in K transactions per second — the quantity plotted in
+//! Figure 4.
+
+use crate::metrics::{throughput_ktps, LatencyRecorder};
+use crate::zipf::{ZipfSampler, ZipfTable};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+use tsp_common::{Result, StateId, TspError};
+use tsp_core::{
+    BoccTable, MvccTable, S2plTable, StateContext, TransactionManager, Tx, TxParticipant,
+    TxStatsSnapshot,
+};
+use tsp_storage::{LsmOptions, LsmStore, StorageBackend, SyncPolicy};
+
+/// Concurrency-control protocol under test (§5 compares all three).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Protocol {
+    /// Multi-version concurrency control with snapshot isolation (the
+    /// paper's contribution).
+    Mvcc,
+    /// Strict two-phase locking baseline.
+    S2pl,
+    /// Backward-oriented optimistic concurrency control baseline.
+    Bocc,
+}
+
+impl Protocol {
+    /// All protocols, in the order the paper lists them.
+    pub const ALL: [Protocol; 3] = [Protocol::Mvcc, Protocol::S2pl, Protocol::Bocc];
+
+    /// Short display name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Protocol::Mvcc => "MVCC",
+            Protocol::S2pl => "S2PL",
+            Protocol::Bocc => "BOCC",
+        }
+    }
+}
+
+/// Base-table storage configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StorageKind {
+    /// Purely in-memory base tables (no durability; ablation only).
+    InMemory,
+    /// Persistent LSM base table with synchronous WAL writes — the paper's
+    /// configuration ("sync option to true").
+    LsmSync,
+    /// Persistent LSM base table without fsync (ablation).
+    LsmNoSync,
+}
+
+impl StorageKind {
+    /// Short display name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StorageKind::InMemory => "mem",
+            StorageKind::LsmSync => "lsm-sync",
+            StorageKind::LsmNoSync => "lsm-nosync",
+        }
+    }
+}
+
+/// Configuration of one benchmark cell.
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    /// Concurrency-control protocol.
+    pub protocol: Protocol,
+    /// Number of concurrent ad-hoc reader queries (4 and 24 in Figure 4).
+    pub readers: usize,
+    /// Zipfian contention parameter θ (0 … 3 in Figure 4).
+    pub theta: f64,
+    /// Keys preloaded per state (paper: 1 000 000).
+    pub table_size: u64,
+    /// Value payload size in bytes (paper: 20).
+    pub value_size: usize,
+    /// Operations per transaction (paper: 10, "medium length").
+    pub tx_ops: usize,
+    /// Measurement duration.
+    pub duration: Duration,
+    /// Base-table storage.
+    pub storage: StorageKind,
+    /// Number of continuous stream writers (paper: 1).
+    pub writers: usize,
+    /// RNG seed (deterministic key sequences per thread).
+    pub seed: u64,
+    /// Directory for persistent base tables (a per-run subdirectory is
+    /// created and removed); defaults to the system temp directory.
+    pub data_dir: Option<PathBuf>,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            protocol: Protocol::Mvcc,
+            readers: 4,
+            theta: 0.0,
+            table_size: 1_000_000,
+            value_size: 20,
+            tx_ops: 10,
+            duration: Duration::from_secs(3),
+            storage: StorageKind::LsmSync,
+            writers: 1,
+            seed: 42,
+            data_dir: None,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// The paper's Figure 4 cell for a given protocol, reader count and θ.
+    pub fn figure4(protocol: Protocol, readers: usize, theta: f64) -> Self {
+        WorkloadConfig {
+            protocol,
+            readers,
+            theta,
+            ..Default::default()
+        }
+    }
+
+    /// A scaled-down configuration for fast smoke runs and unit tests.
+    pub fn quick(protocol: Protocol) -> Self {
+        WorkloadConfig {
+            protocol,
+            readers: 2,
+            theta: 1.0,
+            table_size: 2_000,
+            value_size: 20,
+            tx_ops: 10,
+            duration: Duration::from_millis(200),
+            storage: StorageKind::InMemory,
+            writers: 1,
+            seed: 7,
+            data_dir: None,
+        }
+    }
+}
+
+/// Result of one benchmark cell.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// The configuration that produced this result.
+    pub protocol: Protocol,
+    /// Reader count.
+    pub readers: usize,
+    /// Contention parameter.
+    pub theta: f64,
+    /// Storage backend used.
+    pub storage: StorageKind,
+    /// Wall-clock measurement time.
+    pub elapsed: Duration,
+    /// Committed reader transactions.
+    pub reader_committed: u64,
+    /// Aborted (and retried) reader transactions.
+    pub reader_aborted: u64,
+    /// Committed writer transactions.
+    pub writer_committed: u64,
+    /// Aborted (and retried) writer transactions.
+    pub writer_aborted: u64,
+    /// Total throughput in K transactions/s (the Figure 4 y-axis).
+    pub throughput_ktps: f64,
+    /// Reader-only throughput in K transactions/s.
+    pub reader_ktps: f64,
+    /// Writer-only throughput in transactions/s.
+    pub writer_tps: f64,
+    /// Median reader-transaction latency.
+    pub reader_p50: Option<Duration>,
+    /// 99th-percentile reader-transaction latency.
+    pub reader_p99: Option<Duration>,
+    /// Snapshot of the context-wide counters at the end of the run.
+    pub stats: TxStatsSnapshot,
+}
+
+impl RunResult {
+    /// Abort ratio over all finished transactions.
+    pub fn abort_ratio(&self) -> f64 {
+        let committed = self.reader_committed + self.writer_committed;
+        let aborted = self.reader_aborted + self.writer_aborted;
+        if committed + aborted == 0 {
+            0.0
+        } else {
+            aborted as f64 / (committed + aborted) as f64
+        }
+    }
+}
+
+/// A protocol-erased handle to one of the two benchmark states.
+///
+/// The harness (and the examples / benches built on it) need to drive all
+/// three table flavours through one interface; this enum is that interface
+/// for the benchmark's `u32 → Vec<u8>` schema.
+pub enum AnyTable {
+    /// Snapshot-isolation table.
+    Mvcc(Arc<MvccTable<u32, Vec<u8>>>),
+    /// Strict two-phase-locking table.
+    S2pl(Arc<S2plTable<u32, Vec<u8>>>),
+    /// Backward-oriented optimistic table.
+    Bocc(Arc<BoccTable<u32, Vec<u8>>>),
+}
+
+impl AnyTable {
+    /// Creates a table of the given protocol flavour.
+    pub fn create(
+        protocol: Protocol,
+        ctx: &Arc<StateContext>,
+        name: &str,
+        backend: Option<Arc<dyn StorageBackend>>,
+    ) -> Self {
+        match (protocol, backend) {
+            (Protocol::Mvcc, Some(b)) => AnyTable::Mvcc(MvccTable::persistent(ctx, name, b)),
+            (Protocol::Mvcc, None) => AnyTable::Mvcc(MvccTable::volatile(ctx, name)),
+            (Protocol::S2pl, Some(b)) => AnyTable::S2pl(S2plTable::persistent(ctx, name, b)),
+            (Protocol::S2pl, None) => AnyTable::S2pl(S2plTable::volatile(ctx, name)),
+            (Protocol::Bocc, Some(b)) => AnyTable::Bocc(BoccTable::persistent(ctx, name, b)),
+            (Protocol::Bocc, None) => AnyTable::Bocc(BoccTable::volatile(ctx, name)),
+        }
+    }
+
+    /// The table's state id.
+    pub fn id(&self) -> StateId {
+        match self {
+            AnyTable::Mvcc(t) => t.id(),
+            AnyTable::S2pl(t) => t.id(),
+            AnyTable::Bocc(t) => t.id(),
+        }
+    }
+
+    /// The table as a consistency-protocol participant (for registration).
+    pub fn participant(&self) -> Arc<dyn TxParticipant> {
+        match self {
+            AnyTable::Mvcc(t) => Arc::clone(t) as Arc<dyn TxParticipant>,
+            AnyTable::S2pl(t) => Arc::clone(t) as Arc<dyn TxParticipant>,
+            AnyTable::Bocc(t) => Arc::clone(t) as Arc<dyn TxParticipant>,
+        }
+    }
+
+    /// Transactional read.
+    pub fn read(&self, tx: &Tx, key: &u32) -> Result<Option<Vec<u8>>> {
+        match self {
+            AnyTable::Mvcc(t) => t.read(tx, key),
+            AnyTable::S2pl(t) => t.read(tx, key),
+            AnyTable::Bocc(t) => t.read(tx, key),
+        }
+    }
+
+    /// Transactional write.
+    pub fn write(&self, tx: &Tx, key: u32, value: Vec<u8>) -> Result<()> {
+        match self {
+            AnyTable::Mvcc(t) => t.write(tx, key, value),
+            AnyTable::S2pl(t) => t.write(tx, key, value),
+            AnyTable::Bocc(t) => t.write(tx, key, value),
+        }
+    }
+
+    /// Non-transactional preload of initial rows.
+    pub fn preload(&self, rows: impl IntoIterator<Item = (u32, Vec<u8>)>) -> Result<()> {
+        match self {
+            AnyTable::Mvcc(t) => t.preload(rows),
+            AnyTable::S2pl(t) => t.preload(rows),
+            AnyTable::Bocc(t) => t.preload(rows),
+        }
+    }
+}
+
+/// One fully wired benchmark environment (context, manager, the two states).
+pub struct BenchEnv {
+    /// The transaction manager.
+    pub mgr: Arc<TransactionManager>,
+    /// The two states written by the stream and read by ad-hoc queries.
+    pub states: [Arc<AnyTable>; 2],
+    /// Directory holding the persistent base tables, if any (removed on drop).
+    data_dir: Option<PathBuf>,
+}
+
+impl Drop for BenchEnv {
+    fn drop(&mut self) {
+        if let Some(dir) = &self.data_dir {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+}
+
+static RUN_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl BenchEnv {
+    /// Builds and preloads the benchmark environment described by `config`.
+    pub fn build(config: &WorkloadConfig) -> Result<Self> {
+        let ctx = Arc::new(StateContext::new());
+        let mgr = TransactionManager::new(Arc::clone(&ctx));
+
+        let (backends, data_dir): (Vec<Option<Arc<dyn StorageBackend>>>, Option<PathBuf>) =
+            match config.storage {
+                StorageKind::InMemory => (vec![None, None], None),
+                StorageKind::LsmSync | StorageKind::LsmNoSync => {
+                    let base = config
+                        .data_dir
+                        .clone()
+                        .unwrap_or_else(std::env::temp_dir)
+                        .join(format!(
+                            "tsp-bench-{}-{}",
+                            std::process::id(),
+                            RUN_COUNTER.fetch_add(1, Ordering::Relaxed)
+                        ));
+                    let opts = match config.storage {
+                        StorageKind::LsmSync => LsmOptions {
+                            sync: SyncPolicy::Always,
+                            ..LsmOptions::default()
+                        },
+                        _ => LsmOptions::no_sync(),
+                    };
+                    let mut backends: Vec<Option<Arc<dyn StorageBackend>>> = Vec::new();
+                    for i in 0..2 {
+                        let store = LsmStore::open(base.join(format!("state{i}")), opts.clone())?;
+                        backends.push(Some(Arc::new(store) as Arc<dyn StorageBackend>));
+                    }
+                    (backends, Some(base))
+                }
+            };
+
+        let mut states = Vec::with_capacity(2);
+        for (i, backend) in backends.into_iter().enumerate() {
+            let table = Arc::new(AnyTable::create(
+                config.protocol,
+                &ctx,
+                &format!("measurements{}", i + 1),
+                backend,
+            ));
+            mgr.register(table.participant());
+            states.push(table);
+        }
+        let states: [Arc<AnyTable>; 2] = [Arc::clone(&states[0]), Arc::clone(&states[1])];
+        mgr.register_group(&[states[0].id(), states[1].id()])?;
+
+        // Preload both states: 4-byte keys, `value_size`-byte values.
+        let value = vec![0xABu8; config.value_size];
+        for table in &states {
+            table.preload((0..config.table_size).map(|k| (k as u32, value.clone())))?;
+        }
+
+        Ok(BenchEnv {
+            mgr,
+            states,
+            data_dir,
+        })
+    }
+}
+
+/// Runs one benchmark cell and reports its [`RunResult`].
+pub fn run(config: &WorkloadConfig) -> Result<RunResult> {
+    let env = BenchEnv::build(config)?;
+    run_in(config, &env)
+}
+
+/// Runs one benchmark cell against an already-built environment (lets the
+/// ablation benches reuse an expensive preload across sweeps).
+pub fn run_in(config: &WorkloadConfig, env: &BenchEnv) -> Result<RunResult> {
+    if config.readers + config.writers + 1 > tsp_core::MAX_ACTIVE_TXNS {
+        return Err(TspError::config(format!(
+            "readers + writers must stay below {} concurrent transactions",
+            tsp_core::MAX_ACTIVE_TXNS
+        )));
+    }
+    let zipf = ZipfTable::new(config.table_size.max(1), config.theta, true);
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(config.readers + config.writers + 1));
+    env.mgr.context().stats().reset();
+
+    let mut writer_handles = Vec::new();
+    for w in 0..config.writers {
+        let mgr = Arc::clone(&env.mgr);
+        let states = [Arc::clone(&env.states[0]), Arc::clone(&env.states[1])];
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&barrier);
+        let mut sampler = ZipfSampler::new(Arc::clone(&zipf), config.seed ^ (w as u64 + 1));
+        let tx_ops = config.tx_ops;
+        let value = vec![0xCDu8; config.value_size];
+        writer_handles.push(std::thread::spawn(move || -> (u64, u64) {
+            let mut committed = 0u64;
+            let mut aborted = 0u64;
+            barrier.wait();
+            while !stop.load(Ordering::Relaxed) {
+                let Ok(tx) = mgr.begin() else {
+                    aborted += 1;
+                    continue;
+                };
+                let mut failed = false;
+                for op in 0..tx_ops {
+                    let key = sampler.next_key_u32();
+                    let state = &states[op % 2];
+                    if state.write(&tx, key, value.clone()).is_err() {
+                        failed = true;
+                        break;
+                    }
+                }
+                let outcome = if failed { Err(()) } else { mgr.commit(&tx).map_err(|_| ()) };
+                match outcome {
+                    Ok(_) => committed += 1,
+                    Err(()) => {
+                        let _ = mgr.abort(&tx);
+                        aborted += 1;
+                    }
+                }
+            }
+            (committed, aborted)
+        }));
+    }
+
+    let mut reader_handles = Vec::new();
+    for r in 0..config.readers {
+        let mgr = Arc::clone(&env.mgr);
+        let states = [Arc::clone(&env.states[0]), Arc::clone(&env.states[1])];
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&barrier);
+        let mut sampler =
+            ZipfSampler::new(Arc::clone(&zipf), config.seed ^ 0xDEAD_BEEF ^ (r as u64 * 31 + 7));
+        let tx_ops = config.tx_ops;
+        reader_handles.push(std::thread::spawn(
+            move || -> (u64, u64, LatencyRecorder) {
+                let mut committed = 0u64;
+                let mut aborted = 0u64;
+                let mut latencies = LatencyRecorder::new(64 * 1024);
+                barrier.wait();
+                while !stop.load(Ordering::Relaxed) {
+                    let started = Instant::now();
+                    let Ok(tx) = mgr.begin_read_only() else {
+                        aborted += 1;
+                        continue;
+                    };
+                    let mut failed = false;
+                    for op in 0..tx_ops {
+                        let key = sampler.next_key_u32();
+                        let state = &states[op % 2];
+                        if state.read(&tx, &key).is_err() {
+                            failed = true;
+                            break;
+                        }
+                    }
+                    let outcome = if failed {
+                        Err(())
+                    } else {
+                        mgr.commit(&tx).map_err(|_| ())
+                    };
+                    match outcome {
+                        Ok(_) => {
+                            committed += 1;
+                            latencies.record(started.elapsed());
+                        }
+                        Err(()) => {
+                            let _ = mgr.abort(&tx);
+                            aborted += 1;
+                        }
+                    }
+                }
+                (committed, aborted, latencies)
+            },
+        ));
+    }
+
+    // Release all threads together, measure for the configured duration.
+    barrier.wait();
+    let started = Instant::now();
+    std::thread::sleep(config.duration);
+    stop.store(true, Ordering::Relaxed);
+    let elapsed = started.elapsed();
+
+    let mut writer_committed = 0;
+    let mut writer_aborted = 0;
+    for h in writer_handles {
+        let (c, a) = h.join().expect("writer thread panicked");
+        writer_committed += c;
+        writer_aborted += a;
+    }
+    let mut reader_committed = 0;
+    let mut reader_aborted = 0;
+    let mut latencies = LatencyRecorder::new(1 << 20);
+    for h in reader_handles {
+        let (c, a, l) = h.join().expect("reader thread panicked");
+        reader_committed += c;
+        reader_aborted += a;
+        latencies.merge(&l);
+    }
+
+    let total = reader_committed + writer_committed;
+    Ok(RunResult {
+        protocol: config.protocol,
+        readers: config.readers,
+        theta: config.theta,
+        storage: config.storage,
+        elapsed,
+        reader_committed,
+        reader_aborted,
+        writer_committed,
+        writer_aborted,
+        throughput_ktps: throughput_ktps(total, elapsed),
+        reader_ktps: throughput_ktps(reader_committed, elapsed),
+        writer_tps: writer_committed as f64 / elapsed.as_secs_f64(),
+        reader_p50: latencies.quantile(0.5),
+        reader_p99: latencies.quantile(0.99),
+        stats: env.mgr.context().stats().snapshot(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_all_protocols_make_progress() {
+        for protocol in Protocol::ALL {
+            let config = WorkloadConfig::quick(protocol);
+            let result = run(&config).unwrap();
+            assert!(
+                result.reader_committed > 0,
+                "{} readers made no progress",
+                protocol.name()
+            );
+            assert!(
+                result.writer_committed > 0,
+                "{} writer made no progress",
+                protocol.name()
+            );
+            assert!(result.throughput_ktps > 0.0);
+            assert!(result.reader_p50.is_some());
+            assert!(result.abort_ratio() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn lsm_sync_storage_works_end_to_end() {
+        let config = WorkloadConfig {
+            storage: StorageKind::LsmSync,
+            table_size: 500,
+            duration: Duration::from_millis(150),
+            readers: 2,
+            ..WorkloadConfig::quick(Protocol::Mvcc)
+        };
+        let result = run(&config).unwrap();
+        assert!(result.reader_committed > 0);
+        assert!(result.writer_committed > 0);
+    }
+
+    #[test]
+    fn high_contention_aborts_appear_for_optimistic_protocols() {
+        let config = WorkloadConfig {
+            theta: 2.9,
+            duration: Duration::from_millis(300),
+            ..WorkloadConfig::quick(Protocol::Bocc)
+        };
+        let result = run(&config).unwrap();
+        // Under θ=2.9 almost every reader touches the hottest key, so BOCC
+        // must observe validation failures.
+        assert!(
+            result.reader_aborted > 0 || result.stats.validation_failures > 0,
+            "expected validation conflicts under extreme contention"
+        );
+    }
+
+    #[test]
+    fn config_rejects_too_many_threads() {
+        let config = WorkloadConfig {
+            readers: 200,
+            ..WorkloadConfig::quick(Protocol::Mvcc)
+        };
+        assert!(run(&config).is_err());
+    }
+
+    #[test]
+    fn protocol_and_storage_names() {
+        assert_eq!(Protocol::Mvcc.name(), "MVCC");
+        assert_eq!(Protocol::S2pl.name(), "S2PL");
+        assert_eq!(Protocol::Bocc.name(), "BOCC");
+        assert_eq!(StorageKind::InMemory.name(), "mem");
+        assert_eq!(StorageKind::LsmSync.name(), "lsm-sync");
+        assert_eq!(StorageKind::LsmNoSync.name(), "lsm-nosync");
+    }
+}

@@ -1,0 +1,240 @@
+//! Zipfian key-distribution generator (Gray et al., "Quickly Generating
+//! Billion-Record Synthetic Databases", SIGMOD 1994 — reference [7] of the
+//! paper).
+//!
+//! The paper controls contention with "a Zipfian distribution
+//! (θ = 2.9 ≙ 82 % the same key)": the probability of drawing the key of
+//! rank *i* out of *n* is `P(i) ∝ 1 / i^θ`.  For θ = 0 the distribution is
+//! uniform; for θ = 2.9 and large *n* the most popular key indeed absorbs
+//! `1 / ζ(2.9) ≈ 82 %` of all accesses (verified by a unit test).
+//!
+//! Because the evaluation sweeps θ from 0 to 3 — beyond the `0 ≤ θ < 1`
+//! range the usual YCSB closed-form approximation covers — the sampler uses
+//! an exact inverse-CDF table (one `f64` per key, shared across threads via
+//! `Arc`) and a binary search per draw.  Ranks are optionally scrambled over
+//! the key space with a multiplicative permutation so the hottest keys are
+//! not simply `0, 1, 2, …`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Shared, immutable description of a Zipfian distribution over `n` keys.
+#[derive(Debug)]
+pub struct ZipfTable {
+    /// Cumulative probabilities, `cdf[i]` = P(rank ≤ i+1).
+    cdf: Vec<f64>,
+    theta: f64,
+    n: u64,
+    scramble: bool,
+}
+
+impl ZipfTable {
+    /// Builds the distribution table for `n` keys with skew `theta ≥ 0`.
+    ///
+    /// `scramble = true` maps ranks onto the key space with a fixed
+    /// multiplicative permutation, so the popular keys are spread across the
+    /// whole key range (as a hash-partitioned system would see them).
+    pub fn new(n: u64, theta: f64, scramble: bool) -> Arc<Self> {
+        assert!(n >= 1, "key space must not be empty");
+        assert!(theta >= 0.0, "theta must be non-negative");
+        let mut cdf = Vec::with_capacity(n as usize);
+        if theta == 0.0 {
+            // Uniform: the CDF is implicit; keep the vector empty to save
+            // memory and branch on it in `sample_rank`.
+        } else {
+            let mut total = 0.0f64;
+            for i in 1..=n {
+                total += 1.0 / (i as f64).powf(theta);
+                cdf.push(total);
+            }
+            let norm = total;
+            for c in cdf.iter_mut() {
+                *c /= norm;
+            }
+        }
+        Arc::new(ZipfTable {
+            cdf,
+            theta,
+            n,
+            scramble,
+        })
+    }
+
+    /// The skew parameter θ.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// The key-space size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Probability mass of the single most popular key.
+    pub fn hottest_key_probability(&self) -> f64 {
+        if self.theta == 0.0 {
+            1.0 / self.n as f64
+        } else {
+            self.cdf[0]
+        }
+    }
+
+    fn sample_rank(&self, u: f64) -> u64 {
+        if self.theta == 0.0 {
+            return (u * self.n as f64) as u64 % self.n;
+        }
+        // Smallest index whose cumulative probability is >= u.
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("finite probabilities"))
+        {
+            Ok(i) => i as u64,
+            Err(i) => (i as u64).min(self.n - 1),
+        }
+    }
+
+    fn rank_to_key(&self, rank: u64) -> u64 {
+        if !self.scramble || self.n <= 2 {
+            return rank;
+        }
+        // Multiplicative permutation with a prime that does not divide n.
+        const PRIME: u64 = 2_654_435_761; // Knuth's multiplicative hash prime
+        (rank.wrapping_mul(PRIME)) % self.n
+    }
+}
+
+/// A per-thread sampler drawing keys from a shared [`ZipfTable`].
+#[derive(Debug)]
+pub struct ZipfSampler {
+    table: Arc<ZipfTable>,
+    rng: StdRng,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler with its own deterministic RNG stream.
+    pub fn new(table: Arc<ZipfTable>, seed: u64) -> Self {
+        ZipfSampler {
+            table,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws the next key (in `0..n`).
+    pub fn next_key(&mut self) -> u64 {
+        let u: f64 = self.rng.gen();
+        let rank = self.table.sample_rank(u);
+        self.table.rank_to_key(rank)
+    }
+
+    /// Draws the next key as `u32` (the paper's 4-byte keys).
+    pub fn next_key_u32(&mut self) -> u32 {
+        (self.next_key() & 0xFFFF_FFFF) as u32
+    }
+
+    /// The underlying distribution.
+    pub fn table(&self) -> &Arc<ZipfTable> {
+        &self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn frequency(theta: f64, n: u64, draws: usize) -> HashMap<u64, usize> {
+        let table = ZipfTable::new(n, theta, false);
+        let mut sampler = ZipfSampler::new(table, 42);
+        let mut freq = HashMap::new();
+        for _ in 0..draws {
+            *freq.entry(sampler.next_key()).or_insert(0) += 1;
+        }
+        freq
+    }
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let freq = frequency(0.0, 100, 100_000);
+        // Every key should appear, roughly uniformly.
+        assert!(freq.len() > 95);
+        let max = *freq.values().max().unwrap();
+        let min = *freq.values().min().unwrap();
+        assert!(max < 3 * min, "uniform draw too skewed: min={min} max={max}");
+    }
+
+    #[test]
+    fn theta_2_9_hits_82_percent() {
+        // The paper's calibration point: θ = 2.9 ⇒ ≈ 82 % of accesses go to
+        // the single hottest key (1/ζ(2.9) ≈ 0.816 for a large key space).
+        let table = ZipfTable::new(1_000_000, 2.9, false);
+        let p = table.hottest_key_probability();
+        assert!((0.80..=0.84).contains(&p), "hottest-key probability {p}");
+        // Empirically as well.
+        let freq = frequency(2.9, 10_000, 50_000);
+        let hottest = *freq.get(&0).unwrap_or(&0) as f64 / 50_000.0;
+        assert!((0.79..=0.85).contains(&hottest), "empirical share {hottest}");
+    }
+
+    #[test]
+    fn moderate_skew_orders_ranks() {
+        let freq = frequency(0.99, 1000, 200_000);
+        let f0 = *freq.get(&0).unwrap_or(&0);
+        let f10 = *freq.get(&10).unwrap_or(&0);
+        let f500 = *freq.get(&500).unwrap_or(&0);
+        assert!(f0 > f10, "rank 0 ({f0}) should beat rank 10 ({f10})");
+        assert!(f10 > f500, "rank 10 ({f10}) should beat rank 500 ({f500})");
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_normalised() {
+        let table = ZipfTable::new(10_000, 1.5, false);
+        let cdf = &table.cdf;
+        assert!(cdf.windows(2).all(|w| w[0] <= w[1]));
+        assert!((cdf.last().unwrap() - 1.0).abs() < 1e-9);
+        assert_eq!(table.n(), 10_000);
+        assert_eq!(table.theta(), 1.5);
+    }
+
+    #[test]
+    fn keys_stay_in_range_with_and_without_scrambling() {
+        for scramble in [false, true] {
+            let table = ZipfTable::new(1_000, 2.0, scramble);
+            let mut sampler = ZipfSampler::new(table, 7);
+            for _ in 0..10_000 {
+                assert!(sampler.next_key() < 1_000);
+                assert!((sampler.next_key_u32() as u64) < 1_000);
+            }
+        }
+    }
+
+    #[test]
+    fn scrambling_is_a_permutation() {
+        let table = ZipfTable::new(10_000, 1.0, true);
+        let mut seen = std::collections::HashSet::new();
+        for rank in 0..10_000u64 {
+            assert!(seen.insert(table.rank_to_key(rank)), "collision at rank {rank}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let table = ZipfTable::new(1_000, 1.2, true);
+        let a: Vec<u64> = {
+            let mut s = ZipfSampler::new(Arc::clone(&table), 99);
+            (0..100).map(|_| s.next_key()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut s = ZipfSampler::new(table, 99);
+            (0..100).map(|_| s.next_key()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_key_space() {
+        let table = ZipfTable::new(1, 2.0, true);
+        let mut s = ZipfSampler::new(table, 1);
+        assert_eq!(s.next_key(), 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Protocol comparison in one minute: runs a scaled-down version of the
+//! paper's micro-benchmark (§5) for all three concurrency-control protocols
+//! at a low and a high contention level and prints the resulting throughput
+//! table — a qualitative preview of Figure 4.
+//!
+//! Run with: `cargo run --release --example protocol_comparison`
+//! (the full reproduction is `cargo run --release -p tsp-bench --bin figure4`)
+
+use std::time::Duration;
+use tsp::workload::prelude::*;
+
+fn main() -> tsp::common::Result<()> {
+    let thetas = [0.0, 2.9];
+    let readers = 4;
+    let mut results = Vec::new();
+
+    println!("running {} cells (scaled down: 20k rows, 1 s per cell, in-memory base tables)\n", thetas.len() * Protocol::ALL.len());
+    for theta in thetas {
+        for protocol in Protocol::ALL {
+            let config = WorkloadConfig {
+                protocol,
+                readers,
+                theta,
+                table_size: 20_000,
+                duration: Duration::from_secs(1),
+                storage: StorageKind::InMemory,
+                ..Default::default()
+            };
+            let result = run(&config)?;
+            println!("{}", summary_line(&result));
+            results.push(result);
+        }
+    }
+
+    println!("\n{}", figure4_table(&results));
+    println!(
+        "Expected shape (paper §5.2): all protocols are comparable at θ = 0; at θ = 2.9 the\n\
+         S2PL readers block behind the writer's locks and BOCC readers abort in validation,\n\
+         while MVCC throughput stays flat — snapshot isolation never blocks readers."
+    );
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! YCSB-style protocol comparison (extension experiment).
+//!
+//! The paper's evaluation fixes one workload shape (a writing stream plus
+//! read-only ad-hoc queries).  This example explores the neighbourhood of
+//! that design point with the standard YCSB core mixes: for each mix (A, B,
+//! C, F) it runs the MVCC, S2PL and BOCC protocols on the same Zipfian key
+//! distribution and prints throughput, abort ratio and commit latency.
+//!
+//! The qualitative expectation mirrors §5.2: under write-heavy, contended
+//! mixes the MVCC protocol keeps readers unaffected and degrades gracefully,
+//! while the locking and optimistic baselines lose throughput to blocking and
+//! validation aborts respectively.
+//!
+//! Run with: `cargo run --release --example ycsb_comparison`
+
+use tsp::workload::prelude::*;
+use tsp::workload::ycsb::{run_ycsb, YcsbConfig, YcsbMix};
+
+fn main() -> tsp::common::Result<()> {
+    // Keep the run short enough for a laptop; bump these for stabler numbers.
+    let base = YcsbConfig {
+        clients: 4,
+        transactions_per_client: 2_000,
+        ops_per_tx: 10,
+        table_size: 100_000,
+        theta: 0.99,
+        value_size: 20,
+        ..Default::default()
+    };
+
+    println!(
+        "YCSB extension experiment — {} clients × {} transactions, {} ops/tx, θ = {}",
+        base.clients, base.transactions_per_client, base.ops_per_tx, base.theta
+    );
+    println!(
+        "\n{:<4} {:<6} {:>12} {:>10} {:>12} {:>12}",
+        "mix", "proto", "ktps", "abort %", "p50 commit", "p99 commit"
+    );
+
+    for mix in [YcsbMix::A, YcsbMix::B, YcsbMix::C, YcsbMix::F] {
+        for protocol in Protocol::ALL {
+            let config = YcsbConfig {
+                protocol,
+                mix,
+                ..base.clone()
+            };
+            let result = run_ycsb(&config)?;
+            let p50 = result
+                .latency
+                .quantile(0.5)
+                .map(|d| format!("{:.1} µs", d.as_secs_f64() * 1e6))
+                .unwrap_or_else(|| "-".into());
+            let p99 = result
+                .latency
+                .quantile(0.99)
+                .map(|d| format!("{:.1} µs", d.as_secs_f64() * 1e6))
+                .unwrap_or_else(|| "-".into());
+            println!(
+                "{:<4} {:<6} {:>12.1} {:>9.1}% {:>12} {:>12}",
+                result.mix,
+                protocol.name(),
+                result.throughput_ktps,
+                result.abort_ratio() * 100.0,
+                p50,
+                p99
+            );
+        }
+        println!();
+    }
+
+    println!("ycsb_comparison finished successfully");
+    Ok(())
+}

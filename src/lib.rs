@@ -1,0 +1,33 @@
+//! # tsp — Transactional Stream Processing with Snapshot Isolation
+//!
+//! Umbrella crate re-exporting the workspace crates that together reproduce
+//! *"Snapshot Isolation for Transactional Stream Processing"* (Götze &
+//! Sattler, EDBT 2019).
+//!
+//! * [`common`] — identifiers, timestamps, stream elements and punctuations.
+//! * [`storage`] — key-value storage backends (in-memory and persistent
+//!   WAL/LSM store standing in for RocksDB).
+//! * [`core`] — multi-versioned transactional tables, the snapshot-isolation
+//!   (MVCC), S2PL and BOCC concurrency protocols, and the multi-state
+//!   consistency protocol.
+//! * [`stream`] — the dataflow framework: topologies, operators and the
+//!   linking operators `TO_TABLE`, `TO_STREAM` and `FROM`.
+//! * [`workload`] — Zipfian workload generation and the micro-benchmark
+//!   harness that regenerates the paper's Figure 4.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use tsp_common as common;
+pub use tsp_core as core;
+pub use tsp_storage as storage;
+pub use tsp_stream as stream;
+pub use tsp_workload as workload;
+
+/// Convenience prelude bringing the most frequently used types into scope.
+pub mod prelude {
+    pub use tsp_common::prelude::*;
+    pub use tsp_core::prelude::*;
+    pub use tsp_storage::prelude::*;
+    pub use tsp_stream::prelude::*;
+    pub use tsp_workload::prelude::*;
+}

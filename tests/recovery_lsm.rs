@@ -1,0 +1,195 @@
+//! Crash-recovery integration tests on the persistent LSM base tables.
+//!
+//! `tests/end_to_end.rs` covers the happy-path restart; these tests exercise
+//! the harder corners: recovery from the WAL alone (no SSTable flush ever
+//! happened), recovery after many flush/compaction cycles, and the torn
+//! multi-state group commit that the recovery protocol can only detect and
+//! fence, not repair (§4.1 "LastCTS … needs to be persistent"; DESIGN.md
+//! records the deliberate deviation).
+
+use std::sync::Arc;
+use tsp::core::prelude::*;
+use tsp::core::table::TxParticipant;
+use tsp::storage::{lsm, LsmOptions, LsmStore};
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tsp-reclsm-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+struct Pair {
+    mgr: Arc<TransactionManager>,
+    ctx: Arc<StateContext>,
+    a: Arc<MvccTable<u32, u64>>,
+    b: Arc<MvccTable<u32, u64>>,
+    backend_a: Arc<LsmStore>,
+    backend_b: Arc<LsmStore>,
+    group: tsp::common::GroupId,
+}
+
+/// Opens (or re-opens) a two-state group backed by two LSM stores in `dir`.
+fn open_pair(dir: &std::path::Path, opts: &LsmOptions, recover: bool) -> Pair {
+    let backend_a = Arc::new(LsmStore::open(dir.join("state_a"), opts.clone()).unwrap());
+    let backend_b = Arc::new(LsmStore::open(dir.join("state_b"), opts.clone()).unwrap());
+    let ctx = if recover {
+        let clock = resume_clock(&[&*backend_a, &*backend_b]).unwrap();
+        Arc::new(StateContext::with_clock(clock))
+    } else {
+        Arc::new(StateContext::new())
+    };
+    let mgr = TransactionManager::new(Arc::clone(&ctx));
+    let a = MvccTable::<u32, u64>::persistent(&ctx, "a", backend_a.clone());
+    let b = MvccTable::<u32, u64>::persistent(&ctx, "b", backend_b.clone());
+    mgr.register(a.clone());
+    mgr.register(b.clone());
+    let group = mgr.register_group(&[a.id(), b.id()]).unwrap();
+    Pair {
+        mgr,
+        ctx,
+        a,
+        b,
+        backend_a,
+        backend_b,
+        group,
+    }
+}
+
+#[test]
+fn wal_only_commits_survive_restart() {
+    let dir = temp_dir("walonly");
+    // Large memtable budget: nothing is ever flushed to an SSTable, so the
+    // committed data lives exclusively in the WAL when the "crash" happens.
+    let opts = LsmOptions::no_sync().with_memtable_budget(64 * 1024 * 1024);
+    {
+        let p = open_pair(&dir, &opts, false);
+        for i in 0..50u32 {
+            let tx = p.mgr.begin().unwrap();
+            p.a.write(&tx, i, i as u64).unwrap();
+            p.b.write(&tx, i, (i as u64) * 2).unwrap();
+            p.mgr.commit(&tx).unwrap();
+        }
+        assert_eq!(p.backend_a.sstable_count(), 0, "nothing may have been flushed");
+    }
+    let p = open_pair(&dir, &opts, true);
+    let report = restore_group(&p.ctx, p.group, &[&*p.backend_a, &*p.backend_b]).unwrap();
+    assert!(!report.torn_group_commit);
+    assert!(report.last_cts > 0);
+    let q = p.mgr.begin_read_only().unwrap();
+    for i in 0..50u32 {
+        assert_eq!(p.a.read(&q, &i).unwrap(), Some(i as u64));
+        assert_eq!(p.b.read(&q, &i).unwrap(), Some((i as u64) * 2));
+    }
+    p.mgr.commit(&q).unwrap();
+    lsm::destroy(dir.join("state_a")).unwrap();
+    lsm::destroy(dir.join("state_b")).unwrap();
+}
+
+#[test]
+fn recovery_after_flushes_and_compactions() {
+    let dir = temp_dir("compacted");
+    // Tiny memtable and low compaction threshold force many flushes and at
+    // least one compaction during the write phase.
+    let opts = LsmOptions::no_sync()
+        .with_memtable_budget(2 * 1024)
+        .with_compaction_threshold(3);
+    let rounds = 20u64;
+    {
+        let p = open_pair(&dir, &opts, false);
+        for round in 0..rounds {
+            let tx = p.mgr.begin().unwrap();
+            // 20 fresh keys per round (grows the store past several memtable
+            // budgets) plus a repeated overwrite of key 0 (newest must win
+            // across flushes and compactions).
+            for i in 0..20u32 {
+                let key = round as u32 * 20 + i;
+                p.a.write(&tx, key, round).unwrap();
+                p.b.write(&tx, key, round + 1000).unwrap();
+            }
+            p.a.write(&tx, 0, round).unwrap();
+            p.b.write(&tx, 0, round + 1000).unwrap();
+            p.mgr.commit(&tx).unwrap();
+        }
+        assert!(
+            p.backend_a.sstable_count() >= 1,
+            "the write volume must have forced at least one flush"
+        );
+    }
+    let p = open_pair(&dir, &opts, true);
+    let report = restore_group(&p.ctx, p.group, &[&*p.backend_a, &*p.backend_b]).unwrap();
+    assert!(!report.torn_group_commit);
+    let q = p.mgr.begin_read_only().unwrap();
+    for round in 0..rounds {
+        let probe = round as u32 * 20 + 7;
+        assert_eq!(p.a.read(&q, &probe).unwrap(), Some(round));
+        assert_eq!(p.b.read(&q, &probe).unwrap(), Some(round + 1000));
+    }
+    assert_eq!(p.a.read(&q, &0).unwrap(), Some(rounds - 1), "newest overwrite wins");
+    p.mgr.commit(&q).unwrap();
+
+    // The resumed clock hands out strictly newer commit timestamps.
+    let w = p.mgr.begin().unwrap();
+    p.a.write(&w, 0, 7777).unwrap();
+    p.b.write(&w, 0, 8888).unwrap();
+    let cts = p.mgr.commit(&w).unwrap().unwrap();
+    assert!(cts > report.last_cts);
+    lsm::destroy(dir.join("state_a")).unwrap();
+    lsm::destroy(dir.join("state_b")).unwrap();
+}
+
+#[test]
+fn torn_group_commit_is_detected_and_fenced_to_the_minimum() {
+    let dir = temp_dir("torn");
+    let opts = LsmOptions::no_sync();
+    let interrupted_cts;
+    {
+        let p = open_pair(&dir, &opts, false);
+        // A clean group commit first.
+        let tx = p.mgr.begin().unwrap();
+        p.a.write(&tx, 1, 10).unwrap();
+        p.b.write(&tx, 1, 20).unwrap();
+        p.mgr.commit(&tx).unwrap();
+
+        // Now drive a group commit half-way: validate and apply state A, then
+        // "crash" before state B applies and before the group publishes.
+        let w = p.ctx.begin(false).unwrap();
+        p.a.write(&w, 2, 200).unwrap();
+        p.b.write(&w, 2, 400).unwrap();
+        p.a.precommit(&w).unwrap();
+        p.b.precommit(&w).unwrap();
+        interrupted_cts = p.ctx.clock().next_commit_ts();
+        p.a.apply(&w, interrupted_cts).unwrap();
+        // state B never applies; the process dies here.
+    }
+    let p = open_pair(&dir, &opts, true);
+    let report = restore_group(&p.ctx, p.group, &[&*p.backend_a, &*p.backend_b]).unwrap();
+    assert!(
+        report.torn_group_commit,
+        "the interrupted group commit must be detected"
+    );
+    // The group horizon is fenced to the minimum: the timestamp both states
+    // agree on (the first, complete commit), not the interrupted one.
+    assert!(report.last_cts < interrupted_cts);
+    assert_eq!(report.per_state.len(), 2);
+    assert_eq!(
+        report.per_state[0].unwrap(),
+        interrupted_cts,
+        "state A persisted the interrupted transaction"
+    );
+    assert!(report.per_state[1].unwrap() < interrupted_cts);
+
+    // The complete commit is fully visible; state B never saw key 2.
+    let q = p.mgr.begin_read_only().unwrap();
+    assert_eq!(p.a.read(&q, &1).unwrap(), Some(10));
+    assert_eq!(p.b.read(&q, &1).unwrap(), Some(20));
+    assert_eq!(p.b.read(&q, &2).unwrap(), None);
+    p.mgr.commit(&q).unwrap();
+
+    // The system keeps accepting new group commits after recovery.
+    let w = p.mgr.begin().unwrap();
+    p.a.write(&w, 3, 1).unwrap();
+    p.b.write(&w, 3, 2).unwrap();
+    assert!(p.mgr.commit(&w).unwrap().unwrap() > interrupted_cts);
+    lsm::destroy(dir.join("state_a")).unwrap();
+    lsm::destroy(dir.join("state_b")).unwrap();
+}
