@@ -8,7 +8,10 @@ use tsp_core::MvccTableOptions;
 
 fn bench_conflict_timing(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_conflict_timing");
-    for (label, check) in [("at_commit", ConflictCheck::AtCommit), ("eager", ConflictCheck::Eager)] {
+    for (label, check) in [
+        ("at_commit", ConflictCheck::AtCommit),
+        ("eager", ConflictCheck::Eager),
+    ] {
         let ctx = Arc::new(StateContext::new());
         let mgr = TransactionManager::new(Arc::clone(&ctx));
         let table = MvccTable::<u32, u64>::with_options(

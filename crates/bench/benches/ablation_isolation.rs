@@ -33,6 +33,33 @@ fn setup() -> (
     (ctx, mgr, table)
 }
 
+/// The same 10-read ad-hoc query shape driven through the protocol-agnostic
+/// `TransactionalTable` handle for every protocol — the read-path cost the
+/// `FROM` operator pays per concurrency-control choice.
+fn bench_protocol_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_protocol_reads");
+    for protocol in Protocol::ALL {
+        let ctx = Arc::new(StateContext::new());
+        let mgr = TransactionManager::new(Arc::clone(&ctx));
+        let table: TableHandle<u32, u64> = protocol.create_table(&ctx, "readings", None);
+        mgr.register(Arc::clone(&table).as_participant());
+        mgr.register_group(&[table.id()]).unwrap();
+        table.preload((0..4096u32).map(|k| (k, k as u64))).unwrap();
+        group.bench_function(format!("adhoc_10_reads_{}", protocol.name()), |b| {
+            let mut key = 0u32;
+            b.iter(|| {
+                let q = mgr.begin_read_only().unwrap();
+                for _ in 0..10 {
+                    key = key.wrapping_add(61) % 4096;
+                    criterion::black_box(table.read(&q, &key).unwrap());
+                }
+                mgr.commit(&q).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_isolation_levels(c: &mut Criterion) {
     let (ctx, mgr, table) = setup();
     let mut group = c.benchmark_group("ablation_isolation");
@@ -57,5 +84,5 @@ fn bench_isolation_levels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_isolation_levels);
+criterion_group!(benches, bench_protocol_reads, bench_isolation_levels);
 criterion_main!(benches);

@@ -8,7 +8,11 @@ use tsp_workload::prelude::*;
 fn bench_storage(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_storage_commit");
     group.sample_size(20);
-    for storage in [StorageKind::InMemory, StorageKind::LsmNoSync, StorageKind::LsmSync] {
+    for storage in [
+        StorageKind::InMemory,
+        StorageKind::LsmNoSync,
+        StorageKind::LsmSync,
+    ] {
         let config = WorkloadConfig {
             protocol: Protocol::Mvcc,
             table_size: 10_000,

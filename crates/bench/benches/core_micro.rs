@@ -11,7 +11,8 @@ fn bench_mvcc_object(c: &mut Criterion) {
         let obj = MvccObject::<u64>::new(8);
         let mut cts = 2u64;
         b.iter(|| {
-            obj.install(black_box(cts), cts, cts.saturating_sub(1)).unwrap();
+            obj.install(black_box(cts), cts, cts.saturating_sub(1))
+                .unwrap();
             cts += 1;
         });
     });

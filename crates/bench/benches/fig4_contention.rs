@@ -89,5 +89,10 @@ fn bench_zipf_sampling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_reader_tx, bench_writer_tx, bench_zipf_sampling);
+criterion_group!(
+    benches,
+    bench_reader_tx,
+    bench_writer_tx,
+    bench_zipf_sampling
+);
 criterion_main!(benches);

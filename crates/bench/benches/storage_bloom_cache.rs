@@ -11,11 +11,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use tsp_storage::prelude::*;
 
 fn build_store(dir: &std::path::Path) -> LsmStore {
-    let store = LsmStore::open(
-        dir,
-        LsmOptions::no_sync().with_memtable_budget(256 * 1024),
-    )
-    .unwrap();
+    let store =
+        LsmStore::open(dir, LsmOptions::no_sync().with_memtable_budget(256 * 1024)).unwrap();
     for i in 0..50_000u32 {
         store.put(&i.to_be_bytes(), &[7u8; 20]).unwrap();
     }

@@ -24,8 +24,10 @@ fn bench_wal(c: &mut Criterion) {
     for i in 0..10u32 {
         batch.put(i.to_be_bytes().to_vec(), vec![0xAB; 20]);
     }
-    for (label, sync) in [("append_nosync", SyncPolicy::Never), ("append_fsync", SyncPolicy::Always)]
-    {
+    for (label, sync) in [
+        ("append_nosync", SyncPolicy::Never),
+        ("append_fsync", SyncPolicy::Always),
+    ] {
         let dir = tmp(label);
         let mut wal = Wal::open(dir.join("wal.log"), sync).unwrap();
         group.bench_function(label, |b| {

@@ -51,11 +51,13 @@ fn ablation_conflict_timing(budget: &Budget) {
         "{:>10} {:>14} {:>14} {:>12}",
         "check", "commits/s", "conflicts/s", "abort ratio"
     );
-    for (label, check) in [("at-commit", ConflictCheck::AtCommit), ("eager", ConflictCheck::Eager)]
-    {
+    for (label, check) in [
+        ("at-commit", ConflictCheck::AtCommit),
+        ("eager", ConflictCheck::Eager),
+    ] {
         let ctx = Arc::new(StateContext::new());
         let mgr = TransactionManager::new(Arc::clone(&ctx));
-        let table = MvccTable::<u32, u64>::with_options(
+        let table: TableHandle<u32, u64> = Protocol::Mvcc.create_table_with_options(
             &ctx,
             "hot",
             None,
@@ -64,7 +66,7 @@ fn ablation_conflict_timing(budget: &Budget) {
                 ..Default::default()
             },
         );
-        mgr.register(table.clone());
+        mgr.register(Arc::clone(&table).as_participant());
         mgr.register_group(&[table.id()]).unwrap();
 
         let stop = Arc::new(AtomicBool::new(false));
@@ -88,7 +90,11 @@ fn ablation_conflict_timing(budget: &Budget) {
                                 break;
                             }
                         }
-                        let res = if ok { mgr.commit(&tx).map(|_| ()) } else { Err(tsp_common::TspError::KeyNotFound) };
+                        let res = if ok {
+                            mgr.commit(&tx).map(|_| ())
+                        } else {
+                            Err(tsp_common::TspError::KeyNotFound)
+                        };
                         match res {
                             Ok(()) => committed += 1,
                             Err(_) => {
@@ -132,7 +138,7 @@ fn ablation_version_slots(budget: &Budget) {
     for slots in [2usize, 4, 8, 16, 32] {
         let ctx = Arc::new(StateContext::new());
         let mgr = TransactionManager::new(Arc::clone(&ctx));
-        let table = MvccTable::<u32, u64>::with_options(
+        let table: TableHandle<u32, u64> = Protocol::Mvcc.create_table_with_options(
             &ctx,
             "versions",
             None,
@@ -141,7 +147,7 @@ fn ablation_version_slots(budget: &Budget) {
                 ..Default::default()
             },
         );
-        mgr.register(table.clone());
+        mgr.register(Arc::clone(&table).as_participant());
         mgr.register_group(&[table.id()]).unwrap();
         // A straggler ad-hoc reader holds an old snapshot for the whole run,
         // so only `slots`-bounded GC can reclaim at all.
@@ -180,7 +186,11 @@ fn ablation_storage(budget: &Budget) {
         "{:>10} {:>14} {:>14} {:>12}",
         "storage", "total K tps", "writer tps", "reader K tps"
     );
-    for storage in [StorageKind::InMemory, StorageKind::LsmNoSync, StorageKind::LsmSync] {
+    for storage in [
+        StorageKind::InMemory,
+        StorageKind::LsmNoSync,
+        StorageKind::LsmSync,
+    ] {
         let config = WorkloadConfig {
             protocol: Protocol::Mvcc,
             readers: 4,
@@ -206,14 +216,18 @@ fn ablation_storage(budget: &Budget) {
 /// Ablation 4: consistency-protocol overhead vs. number of states per group.
 fn ablation_group_size(budget: &Budget) {
     println!("\n--- Ablation 4: multi-state consistency protocol overhead (§4.3) ---");
-    println!("{:>8} {:>16} {:>18}", "states", "commits/s", "writes/commit");
+    println!(
+        "{:>8} {:>16} {:>18}",
+        "states", "commits/s", "writes/commit"
+    );
     for group_size in [1usize, 2, 4, 8] {
         let ctx = Arc::new(StateContext::new());
         let mgr = TransactionManager::new(Arc::clone(&ctx));
-        let tables: Vec<_> = (0..group_size)
+        let tables: Vec<TableHandle<u32, u64>> = (0..group_size)
             .map(|i| {
-                let t = MvccTable::<u32, u64>::volatile(&ctx, format!("s{i}"));
-                mgr.register(t.clone());
+                let t: TableHandle<u32, u64> =
+                    Protocol::Mvcc.create_table(&ctx, format!("s{i}"), None);
+                mgr.register(Arc::clone(&t).as_participant());
                 t
             })
             .collect();
@@ -256,24 +270,22 @@ fn ablation_trigger(budget: &Budget) {
     ] {
         let ctx = Arc::new(StateContext::new());
         let mgr = TransactionManager::new(Arc::clone(&ctx));
-        let table = MvccTable::<u64, u64>::volatile(&ctx, "agg");
-        mgr.register(table.clone());
+        let table: TableHandle<u64, u64> = Protocol::Mvcc.create_table(&ctx, "agg", None);
+        mgr.register(Arc::clone(&table).as_participant());
         mgr.register_group(&[table.id()]).unwrap();
         let coord = TxCoordinator::new(Arc::clone(&ctx));
 
         let topo = Topology::new();
-        let writer_table = Arc::clone(&table);
         let query_table = Arc::clone(&table);
         let started = Instant::now();
         let out = topo
             .source_generate(tuples, |i| (i % 64, i))
             .punctuate_every(100, Arc::clone(&coord))
-            .to_table(ToTable::new(
+            .to_table(ToTable::for_table(
                 Arc::clone(&mgr),
                 Arc::clone(&coord),
-                table.id(),
+                Arc::clone(&table),
                 Boundaries::Punctuations,
-                move |tx: &Tx, (k, v): &(u64, u64)| writer_table.write(tx, *k, *v),
             ))
             .to_stream(Arc::clone(&mgr), policy, move |tx| {
                 Ok(vec![query_table.scan(tx)?.len() as u64])

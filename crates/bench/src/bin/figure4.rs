@@ -34,13 +34,27 @@ fn parse_args() -> Result<(Figure4Options, bool), String> {
     };
     while i < args.len() {
         match args[i].as_str() {
-            "--full" => opts = Figure4Options { csv: opts.csv.clone(), ..Figure4Options::full() },
-            "--smoke" => opts = Figure4Options { csv: opts.csv.clone(), ..Figure4Options::smoke() },
+            "--full" => {
+                opts = Figure4Options {
+                    csv: opts.csv.clone(),
+                    ..Figure4Options::full()
+                }
+            }
+            "--smoke" => {
+                opts = Figure4Options {
+                    csv: opts.csv.clone(),
+                    ..Figure4Options::smoke()
+                }
+            }
             "--calibrate" => calibrate = true,
             "--readers" => {
                 opts.readers = value(&args, &mut i, "--readers")?
                     .split(',')
-                    .map(|s| s.trim().parse().map_err(|e| format!("bad reader count: {e}")))
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .map_err(|e| format!("bad reader count: {e}"))
+                    })
                     .collect::<Result<_, _>>()?;
             }
             "--thetas" => {
@@ -52,11 +66,9 @@ fn parse_args() -> Result<(Figure4Options, bool), String> {
             "--protocols" => {
                 opts.protocols = value(&args, &mut i, "--protocols")?
                     .split(',')
-                    .map(|s| match s.trim().to_ascii_lowercase().as_str() {
-                        "mvcc" => Ok(Protocol::Mvcc),
-                        "s2pl" => Ok(Protocol::S2pl),
-                        "bocc" => Ok(Protocol::Bocc),
-                        other => Err(format!("unknown protocol '{other}'")),
+                    .map(|s| {
+                        Protocol::parse(s.trim())
+                            .ok_or_else(|| format!("unknown protocol '{}'", s.trim()))
                     })
                     .collect::<Result<_, _>>()?;
             }

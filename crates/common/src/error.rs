@@ -212,7 +212,7 @@ mod tests {
         }
         .is_cc_abort());
         assert!(!TspError::KeyNotFound.is_cc_abort());
-        assert!(!TspError::Io(io::Error::new(io::ErrorKind::Other, "x")).is_cc_abort());
+        assert!(!TspError::Io(io::Error::other("x")).is_cc_abort());
     }
 
     #[test]
@@ -225,7 +225,9 @@ mod tests {
         assert!(msg.contains('9'));
         assert!(msg.contains("key 5"));
 
-        assert!(TspError::UnknownState { state: 3 }.to_string().contains('3'));
+        assert!(TspError::UnknownState { state: 3 }
+            .to_string()
+            .contains('3'));
         assert!(TspError::config("bad").to_string().contains("bad"));
         assert!(TspError::protocol("oops").to_string().contains("oops"));
     }

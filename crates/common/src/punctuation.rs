@@ -174,6 +174,9 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(format!("{}", Punctuation::bot(TxnId(3), 5)), "<BOT 3 @5>");
-        assert_eq!(format!("{}", Punctuation::window_close(9)), "<WINDOW_CLOSE @9>");
+        assert_eq!(
+            format!("{}", Punctuation::window_close(9)),
+            "<WINDOW_CLOSE @9>"
+        );
     }
 }

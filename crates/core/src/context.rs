@@ -27,7 +27,12 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use tsp_common::{GroupId, Result, StateId, Timestamp, TspError, TxnId};
 
-/// Maximum number of concurrently active transactions (slot-bitmap width).
+/// Default maximum number of concurrently active transactions.
+///
+/// This is only the default of [`StateContext::new`]; contexts serving more
+/// concurrent clients can be sized explicitly with
+/// [`StateContext::with_capacity`] (the slot table uses one bitmap word per
+/// 64 slots, so any capacity is supported).
 pub const MAX_ACTIVE_TXNS: usize = 64;
 
 /// Commit status of one state within one transaction (the paper's
@@ -73,6 +78,15 @@ struct GroupInfo {
     /// transaction of this group.  Readers pin their snapshot to this value.
     last_cts: AtomicU64,
 }
+
+/// One row of [`StateContext::active_transaction_details`]: transaction id,
+/// snapshot floor, pinned (group, ReadCTS) list and accessed states.
+pub type TxDetailSnapshot = (
+    TxnId,
+    Timestamp,
+    Vec<(GroupId, Timestamp)>,
+    Vec<(StateId, StateStatus)>,
+);
 
 /// Per-transaction bookkeeping stored in a slot.
 #[derive(Clone, Debug, Default)]
@@ -142,8 +156,10 @@ pub struct StateContext {
     states: RwLock<Vec<StateInfo>>,
     groups: RwLock<Vec<GroupInfo>>,
     slots: Vec<TxSlot>,
-    /// Occupancy bitmap of the active-transaction slots (CAS-updated).
-    slot_bitmap: AtomicU64,
+    /// Occupancy bitmap of the active-transaction slots (CAS-updated), one
+    /// word per 64 slots.  Bits beyond `slots.len()` in the last word are
+    /// permanently set so `claim_slot` never hands them out.
+    slot_bitmap: Vec<AtomicU64>,
     stats: TxStats,
 }
 
@@ -154,21 +170,56 @@ impl Default for StateContext {
 }
 
 impl StateContext {
-    /// Creates an empty context with a fresh clock.
+    /// Creates an empty context with a fresh clock and the default
+    /// transaction-slot capacity ([`MAX_ACTIVE_TXNS`]).
     pub fn new() -> Self {
-        Self::with_clock(GlobalClock::new())
+        Self::with_clock_and_capacity(GlobalClock::new(), MAX_ACTIVE_TXNS)
     }
 
-    /// Creates a context around an existing clock (used by recovery).
+    /// Creates an empty context sized for up to `capacity` concurrently
+    /// active transactions (high-concurrency workloads should size this to
+    /// their worker count so `begin` never fails with `CapacityExhausted`).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_clock_and_capacity(GlobalClock::new(), capacity)
+    }
+
+    /// Creates a context around an existing clock (used by recovery), with
+    /// the default transaction-slot capacity.
     pub fn with_clock(clock: GlobalClock) -> Self {
+        Self::with_clock_and_capacity(clock, MAX_ACTIVE_TXNS)
+    }
+
+    /// Creates a context around an existing clock with an explicit
+    /// transaction-slot capacity.
+    pub fn with_clock_and_capacity(clock: GlobalClock, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let words = capacity.div_ceil(64);
+        let slot_bitmap: Vec<AtomicU64> = (0..words)
+            .map(|w| {
+                // Mark the out-of-range tail of the last word as occupied.
+                let first_slot = w * 64;
+                let usable = capacity.saturating_sub(first_slot).min(64);
+                if usable == 64 {
+                    AtomicU64::new(0)
+                } else {
+                    AtomicU64::new(!0u64 << usable)
+                }
+            })
+            .collect();
         StateContext {
             clock,
             states: RwLock::new(Vec::new()),
             groups: RwLock::new(Vec::new()),
-            slots: (0..MAX_ACTIVE_TXNS).map(|_| TxSlot::new()).collect(),
-            slot_bitmap: AtomicU64::new(0),
+            slots: (0..capacity).map(|_| TxSlot::new()).collect(),
+            slot_bitmap,
             stats: TxStats::new(),
         }
+    }
+
+    /// The maximum number of concurrently active transactions this context
+    /// can host.
+    pub fn max_active_txns(&self) -> usize {
+        self.slots.len()
     }
 
     /// The global clock.
@@ -191,11 +242,7 @@ impl StateContext {
     }
 
     /// Registers a new state with a physical location.
-    pub fn register_state_at(
-        &self,
-        name: impl Into<String>,
-        location: Option<PathBuf>,
-    ) -> StateId {
+    pub fn register_state_at(&self, name: impl Into<String>, location: Option<PathBuf>) -> StateId {
         let mut states = self.states.write();
         let id = StateId(states.len() as u32);
         states.push(StateInfo {
@@ -327,20 +374,28 @@ impl StateContext {
 
     fn claim_slot(&self) -> Result<usize> {
         loop {
-            let bitmap = self.slot_bitmap.load(Ordering::Acquire);
-            if bitmap == u64::MAX {
+            let mut all_full = true;
+            for (w, word) in self.slot_bitmap.iter().enumerate() {
+                let bitmap = word.load(Ordering::Acquire);
+                if bitmap == u64::MAX {
+                    continue;
+                }
+                all_full = false;
+                let free = (!bitmap).trailing_zeros() as usize;
+                let new = bitmap | (1u64 << free);
+                if word
+                    .compare_exchange(bitmap, new, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    return Ok(w * 64 + free);
+                }
+                // CAS raced; rescan from the start.
+                break;
+            }
+            if all_full {
                 return Err(TspError::CapacityExhausted {
                     what: "active transaction slots",
                 });
-            }
-            let free = (!bitmap).trailing_zeros() as usize;
-            let new = bitmap | (1u64 << free);
-            if self
-                .slot_bitmap
-                .compare_exchange(bitmap, new, Ordering::AcqRel, Ordering::Acquire)
-                .is_ok()
-            {
-                return Ok(free);
             }
         }
     }
@@ -349,41 +404,58 @@ impl StateContext {
     /// finished transaction is a no-op.
     pub fn finish(&self, tx: &Tx) {
         let s = &self.slots[tx.slot];
-        if s
-            .txn
-            .compare_exchange(
-                tx.id.as_u64(),
-                0,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            )
+        if s.txn
+            .compare_exchange(tx.id.as_u64(), 0, Ordering::AcqRel, Ordering::Acquire)
             .is_err()
         {
             return; // slot already reused or released
         }
         s.snapshot_floor.store(u64::MAX, Ordering::Release);
-        self.slot_bitmap
-            .fetch_and(!(1u64 << tx.slot), Ordering::AcqRel);
+        self.slot_bitmap[tx.slot / 64].fetch_and(!(1u64 << (tx.slot % 64)), Ordering::AcqRel);
+    }
+
+    /// The occupancy bits of word `w` with the permanently set out-of-range
+    /// tail of the last word masked off.
+    fn masked_word(&self, w: usize) -> u64 {
+        let bits = self.slot_bitmap[w].load(Ordering::Acquire);
+        let first_slot = w * 64;
+        let usable = self.slots.len().saturating_sub(first_slot).min(64);
+        if usable < 64 {
+            bits & ((1u64 << usable) - 1)
+        } else {
+            bits
+        }
     }
 
     /// Number of transactions currently holding a slot.
     pub fn active_count(&self) -> usize {
-        self.slot_bitmap.load(Ordering::Acquire).count_ones() as usize
+        (0..self.slot_bitmap.len())
+            .map(|w| self.masked_word(w).count_ones() as usize)
+            .sum()
+    }
+
+    /// Calls `visit` with every occupied, in-range slot index (allocation-free
+    /// — this runs on hot paths like `oldest_active`).
+    fn for_each_occupied_slot(&self, mut visit: impl FnMut(usize)) {
+        for w in 0..self.slot_bitmap.len() {
+            let mut bits = self.masked_word(w);
+            while bits != 0 {
+                let i = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                visit(w * 64 + i);
+            }
+        }
     }
 
     /// The oldest snapshot any in-flight transaction may still read
     /// (`OldestActiveVersion`).  When no transaction is active, the current
     /// clock value is returned — everything older than "now" is reclaimable.
     pub fn oldest_active(&self) -> Timestamp {
-        let bitmap = self.slot_bitmap.load(Ordering::Acquire);
         let mut min = u64::MAX;
-        let mut bits = bitmap;
-        while bits != 0 {
-            let i = bits.trailing_zeros() as usize;
-            bits &= bits - 1;
+        self.for_each_occupied_slot(|i| {
             let floor = self.slots[i].snapshot_floor.load(Ordering::Acquire);
             min = min.min(floor);
-        }
+        });
         if min == u64::MAX {
             self.clock.now()
         } else {
@@ -395,45 +467,42 @@ impl StateContext {
     /// occupied slot with the transaction id and its snapshot floor (the
     /// value that feeds `OldestActiveVersion`).
     pub fn active_transactions(&self) -> Vec<(TxnId, Timestamp)> {
-        let bitmap = self.slot_bitmap.load(Ordering::Acquire);
         let mut out = Vec::new();
-        let mut bits = bitmap;
-        while bits != 0 {
-            let i = bits.trailing_zeros() as usize;
-            bits &= bits - 1;
+        self.for_each_occupied_slot(|i| {
             let txn = self.slots[i].txn.load(Ordering::Acquire);
             let floor = self.slots[i].snapshot_floor.load(Ordering::Acquire);
             if txn != 0 {
                 out.push((TxnId(txn), floor));
             }
-        }
+        });
         out
     }
 
     /// Extended diagnostic snapshot including each active transaction's
     /// pinned (group, ReadCTS) list and accessed states.
-    pub fn active_transaction_details(
-        &self,
-    ) -> Vec<(TxnId, Timestamp, Vec<(GroupId, Timestamp)>, Vec<(StateId, StateStatus)>)> {
-        let bitmap = self.slot_bitmap.load(Ordering::Acquire);
+    pub fn active_transaction_details(&self) -> Vec<TxDetailSnapshot> {
         let mut out = Vec::new();
-        let mut bits = bitmap;
-        while bits != 0 {
-            let i = bits.trailing_zeros() as usize;
-            bits &= bits - 1;
+        self.for_each_occupied_slot(|i| {
             let txn = self.slots[i].txn.load(Ordering::Acquire);
             let floor = self.slots[i].snapshot_floor.load(Ordering::Acquire);
             let detail = self.slots[i].detail.lock();
             if txn != 0 {
-                out.push((TxnId(txn), floor, detail.read_cts.clone(), detail.states.clone()));
+                out.push((
+                    TxnId(txn),
+                    floor,
+                    detail.read_cts.clone(),
+                    detail.states.clone(),
+                ));
             }
-        }
+        });
         out
     }
 
     fn check_owner(&self, tx: &Tx) -> Result<()> {
         if self.slots[tx.slot].txn.load(Ordering::Acquire) != tx.id.as_u64() {
-            return Err(TspError::UnknownTxn { txn: tx.id.as_u64() });
+            return Err(TspError::UnknownTxn {
+                txn: tx.id.as_u64(),
+            });
         }
         Ok(())
     }
@@ -499,8 +568,55 @@ impl StateContext {
         Ok(self.slots[tx.slot].detail.lock().read_cts.clone())
     }
 
+    /// The oldest timestamp `tx` may have observed: the minimum of its begin
+    /// timestamp and every snapshot it has pinned.
+    ///
+    /// Optimistic validation (MVCC First-Committer-Wins, BOCC backward
+    /// validation) must compare committed versions against this floor rather
+    /// than the begin timestamp alone — a transaction can begin *after* a
+    /// concurrent commit drew its timestamp yet still pin the pre-commit
+    /// snapshot, and validating against the begin timestamp would then let a
+    /// stale read-modify-write commit (a lost update).
+    pub fn snapshot_floor(&self, tx: &Tx) -> Result<Timestamp> {
+        self.check_owner(tx)?;
+        Ok(self.slots[tx.slot]
+            .snapshot_floor
+            .load(Ordering::Acquire)
+            .min(tx.begin_ts()))
+    }
+
+    /// The oldest timestamp `tx` may have observed *through `state`*: the
+    /// minimum of its begin timestamp and the snapshots it pinned for the
+    /// groups `state` belongs to.
+    ///
+    /// This is the validation floor a per-state concurrency check must use.
+    /// The transaction-global [`snapshot_floor`](Self::snapshot_floor) would
+    /// be overly conservative for cross-group transactions: a stale pin on a
+    /// quiescent group would make every update in a busy, unrelated group
+    /// look conflicting, and retries would spuriously abort forever.
+    pub fn state_snapshot_floor(&self, tx: &Tx, state: StateId) -> Result<Timestamp> {
+        self.check_owner(tx)?;
+        let groups = self.groups_of_state(state);
+        let detail = self.slots[tx.slot].detail.lock();
+        let mut floor = tx.begin_ts();
+        for (g, ts) in &detail.read_cts {
+            let relevant = if groups.is_empty() {
+                // Ungrouped states pin under the sentinel group id.
+                g.0 == u32::MAX
+            } else {
+                groups.contains(g)
+            };
+            if relevant {
+                floor = floor.min(*ts);
+            }
+        }
+        Ok(floor)
+    }
+
     fn lower_snapshot_floor(&self, slot: usize, ts: Timestamp) {
-        self.slots[slot].snapshot_floor.fetch_min(ts, Ordering::AcqRel);
+        self.slots[slot]
+            .snapshot_floor
+            .fetch_min(ts, Ordering::AcqRel);
     }
 
     // ------------------------------------------------------------------
@@ -525,10 +641,18 @@ impl StateContext {
                 *st = StateStatus::Commit;
             }
         }
-        if detail.states.iter().any(|(_, st)| *st == StateStatus::Abort) {
+        if detail
+            .states
+            .iter()
+            .any(|(_, st)| *st == StateStatus::Abort)
+        {
             return Ok(CommitVote::Aborted);
         }
-        if detail.states.iter().all(|(_, st)| *st == StateStatus::Commit) {
+        if detail
+            .states
+            .iter()
+            .all(|(_, st)| *st == StateStatus::Commit)
+        {
             Ok(CommitVote::Coordinator)
         } else {
             Ok(CommitVote::Pending)
@@ -625,7 +749,9 @@ mod tests {
     #[test]
     fn slot_capacity_is_bounded() {
         let ctx = StateContext::new();
-        let txs: Vec<Tx> = (0..MAX_ACTIVE_TXNS).map(|_| ctx.begin(false).unwrap()).collect();
+        let txs: Vec<Tx> = (0..MAX_ACTIVE_TXNS)
+            .map(|_| ctx.begin(false).unwrap())
+            .collect();
         assert_eq!(ctx.active_count(), MAX_ACTIVE_TXNS);
         let err = ctx.begin(false).unwrap_err();
         assert!(matches!(err, TspError::CapacityExhausted { .. }));
@@ -633,6 +759,50 @@ mod tests {
             ctx.finish(t);
         }
         assert_eq!(ctx.active_count(), 0);
+    }
+
+    #[test]
+    fn with_capacity_supports_more_than_one_bitmap_word() {
+        let ctx = StateContext::with_capacity(130);
+        assert_eq!(ctx.max_active_txns(), 130);
+        let txs: Vec<Tx> = (0..130).map(|_| ctx.begin(false).unwrap()).collect();
+        assert_eq!(ctx.active_count(), 130);
+        // Slots are unique even across bitmap words.
+        let mut slots: Vec<usize> = txs.iter().map(|t| t.slot()).collect();
+        slots.sort_unstable();
+        slots.dedup();
+        assert_eq!(slots.len(), 130);
+        let err = ctx.begin(false).unwrap_err();
+        assert!(matches!(err, TspError::CapacityExhausted { .. }));
+        // Free one high slot and claim it again.
+        ctx.finish(&txs[129]);
+        assert_eq!(ctx.active_count(), 129);
+        let t = ctx.begin(true).unwrap();
+        assert_eq!(ctx.active_count(), 130);
+        ctx.finish(&t);
+        for t in &txs[..129] {
+            ctx.finish(t);
+        }
+        assert_eq!(ctx.active_count(), 0);
+        assert!(!ctx
+            .active_transactions()
+            .iter()
+            .any(|(id, _)| id.as_u64() == 0));
+    }
+
+    #[test]
+    fn snapshot_floor_tracks_pins_and_begin() {
+        let (ctx, a, _, g) = ctx_with_two_states();
+        ctx.publish_group_commit(g, 10).unwrap();
+        while ctx.clock().now() < 50 {
+            ctx.clock().tick();
+        }
+        let t = ctx.begin(true).unwrap();
+        assert_eq!(ctx.snapshot_floor(&t).unwrap(), t.begin_ts());
+        ctx.read_snapshot(&t, a).unwrap(); // pins 10
+        assert_eq!(ctx.snapshot_floor(&t).unwrap(), 10);
+        ctx.finish(&t);
+        assert!(ctx.snapshot_floor(&t).is_err(), "finished txn rejected");
     }
 
     #[test]
@@ -656,7 +826,11 @@ mod tests {
         // A commit published *after* the pin must not change the snapshot.
         ctx.publish_group_commit(g, 100).unwrap();
         assert_eq!(ctx.read_snapshot(&t, a).unwrap(), s1);
-        assert_eq!(ctx.read_snapshot(&t, b).unwrap(), s1, "same group → same pin");
+        assert_eq!(
+            ctx.read_snapshot(&t, b).unwrap(),
+            s1,
+            "same group → same pin"
+        );
         ctx.finish(&t);
         // A new transaction sees the new LastCTS.
         let t2 = ctx.begin(true).unwrap();

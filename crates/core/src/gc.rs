@@ -280,7 +280,10 @@ mod tests {
 
         driver.set_commit_interval(3);
         churn(&mgr, &table, 2);
-        assert!(driver.maybe_run().is_none(), "only 2 commits since last sweep");
+        assert!(
+            driver.maybe_run().is_none(),
+            "only 2 commits since last sweep"
+        );
         churn(&mgr, &table, 1);
         let report = driver.maybe_run().expect("3 commits reached");
         assert!(report.reclaimed >= 2);
@@ -327,7 +330,11 @@ mod tests {
         handle.stop();
         let sweeps_after_stop = driver.sweep_count();
         std::thread::sleep(Duration::from_millis(30));
-        assert_eq!(driver.sweep_count(), sweeps_after_stop, "thread kept running");
+        assert_eq!(
+            driver.sweep_count(),
+            sweeps_after_stop,
+            "thread kept running"
+        );
         assert_eq!(table.version_count(&1), 1);
     }
 

@@ -143,12 +143,8 @@ where
     ) -> Result<Arc<Self>> {
         let ctx = mgr.context();
         let data = MvccTable::<K, V>::with_options(ctx, name, backend, opts.clone());
-        let index = MvccTable::<I, PostingList<K>>::with_options(
-            ctx,
-            format!("{name}__idx"),
-            None,
-            opts,
-        );
+        let index =
+            MvccTable::<I, PostingList<K>>::with_options(ctx, format!("{name}__idx"), None, opts);
         mgr.register(data.clone());
         mgr.register(index.clone());
         let group = mgr.register_group(&[data.id(), index.id()])?;
@@ -331,7 +327,10 @@ mod tests {
         }
     }
 
-    fn setup() -> (Arc<TransactionManager>, Arc<IndexedTable<u32, Reading, String>>) {
+    fn setup() -> (
+        Arc<TransactionManager>,
+        Arc<IndexedTable<u32, Reading, String>>,
+    ) {
         let ctx = Arc::new(StateContext::new());
         let mgr = TransactionManager::new(Arc::clone(&ctx));
         let table = IndexedTable::<u32, Reading, String>::create(
@@ -391,8 +390,14 @@ mod tests {
         let q = mgr.begin_read_only().unwrap();
         let north = table.lookup(&q, &"north".to_string()).unwrap();
         assert_eq!(north.len(), 2);
-        assert_eq!(table.lookup_keys(&q, &"south".to_string()).unwrap(), vec![3]);
-        assert_eq!(table.lookup_keys(&q, &"west".to_string()).unwrap(), Vec::<u32>::new());
+        assert_eq!(
+            table.lookup_keys(&q, &"south".to_string()).unwrap(),
+            vec![3]
+        );
+        assert_eq!(
+            table.lookup_keys(&q, &"west".to_string()).unwrap(),
+            Vec::<u32>::new()
+        );
         assert_eq!(table.check_consistency(&q).unwrap(), 3);
         mgr.commit(&q).unwrap();
     }
@@ -410,8 +415,14 @@ mod tests {
         mgr.commit(&tx).unwrap();
 
         let q = mgr.begin_read_only().unwrap();
-        assert!(table.lookup_keys(&q, &"north".to_string()).unwrap().is_empty());
-        assert_eq!(table.lookup_keys(&q, &"south".to_string()).unwrap(), vec![1]);
+        assert!(table
+            .lookup_keys(&q, &"north".to_string())
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            table.lookup_keys(&q, &"south".to_string()).unwrap(),
+            vec![1]
+        );
         table.check_consistency(&q).unwrap();
         mgr.commit(&q).unwrap();
 
@@ -420,7 +431,10 @@ mod tests {
         table.put(&tx, 1, reading(1, "south", 99)).unwrap();
         mgr.commit(&tx).unwrap();
         let q = mgr.begin_read_only().unwrap();
-        assert_eq!(table.lookup_keys(&q, &"south".to_string()).unwrap(), vec![1]);
+        assert_eq!(
+            table.lookup_keys(&q, &"south".to_string()).unwrap(),
+            vec![1]
+        );
         assert_eq!(table.get(&q, &1).unwrap().unwrap().kwh, 99);
         mgr.commit(&q).unwrap();
     }
@@ -440,7 +454,10 @@ mod tests {
         mgr.commit(&tx).unwrap();
 
         let q = mgr.begin_read_only().unwrap();
-        assert_eq!(table.lookup_keys(&q, &"north".to_string()).unwrap(), vec![2]);
+        assert_eq!(
+            table.lookup_keys(&q, &"north".to_string()).unwrap(),
+            vec![2]
+        );
         assert_eq!(table.get(&q, &1).unwrap(), None);
         table.check_consistency(&q).unwrap();
         mgr.commit(&q).unwrap();
@@ -450,7 +467,11 @@ mod tests {
         table.delete(&tx, &2).unwrap();
         mgr.commit(&tx).unwrap();
         let q = mgr.begin_read_only().unwrap();
-        assert!(table.index().read(&q, &"north".to_string()).unwrap().is_none());
+        assert!(table
+            .index()
+            .read(&q, &"north".to_string())
+            .unwrap()
+            .is_none());
         mgr.commit(&q).unwrap();
     }
 
@@ -467,8 +488,14 @@ mod tests {
         mgr.abort(&tx).unwrap();
 
         let q = mgr.begin_read_only().unwrap();
-        assert_eq!(table.lookup_keys(&q, &"north".to_string()).unwrap(), vec![1]);
-        assert!(table.lookup_keys(&q, &"south".to_string()).unwrap().is_empty());
+        assert_eq!(
+            table.lookup_keys(&q, &"north".to_string()).unwrap(),
+            vec![1]
+        );
+        assert!(table
+            .lookup_keys(&q, &"south".to_string())
+            .unwrap()
+            .is_empty());
         assert_eq!(table.get(&q, &2).unwrap(), None);
         table.check_consistency(&q).unwrap();
         mgr.commit(&q).unwrap();
@@ -483,20 +510,29 @@ mod tests {
 
         // Pin a snapshot, then move the row to another zone.
         let q = mgr.begin_read_only().unwrap();
-        assert_eq!(table.lookup_keys(&q, &"north".to_string()).unwrap(), vec![1]);
+        assert_eq!(
+            table.lookup_keys(&q, &"north".to_string()).unwrap(),
+            vec![1]
+        );
 
         let tx = mgr.begin().unwrap();
         table.put(&tx, 1, reading(1, "south", 20)).unwrap();
         mgr.commit(&tx).unwrap();
 
         // The pinned snapshot still sees the old, mutually consistent pair.
-        assert_eq!(table.lookup_keys(&q, &"north".to_string()).unwrap(), vec![1]);
+        assert_eq!(
+            table.lookup_keys(&q, &"north".to_string()).unwrap(),
+            vec![1]
+        );
         assert_eq!(table.get(&q, &1).unwrap().unwrap().zone, "north");
         table.check_consistency(&q).unwrap();
         mgr.commit(&q).unwrap();
 
         let fresh = mgr.begin_read_only().unwrap();
-        assert_eq!(table.lookup_keys(&fresh, &"south".to_string()).unwrap(), vec![1]);
+        assert_eq!(
+            table.lookup_keys(&fresh, &"south".to_string()).unwrap(),
+            vec![1]
+        );
         table.check_consistency(&fresh).unwrap();
         mgr.commit(&fresh).unwrap();
     }

@@ -243,7 +243,9 @@ mod tests {
         // Manually drive a commit up to (but not including) the group
         // publication — the window the consistency protocol closes.
         let w = ctx.begin(false).unwrap();
-        table.write(&w, 1, "installed-not-published".into()).unwrap();
+        table
+            .write(&w, 1, "installed-not-published".into())
+            .unwrap();
         table.precommit(&w).unwrap();
         let cts = ctx.clock().next_commit_ts();
         table.apply(&w, cts).unwrap();

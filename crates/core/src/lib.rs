@@ -10,14 +10,18 @@
 //! * [`mvcc`] — multi-versioned data structures: per-key version arrays with
 //!   `[cts, dts]` headers, a `UsedSlots` occupancy bitmap and on-demand
 //!   garbage collection.
-//! * [`table`] — the transactional table wrapper over any key-value storage
-//!   backend, in three flavours: [`table::MvccTable`] (snapshot isolation,
-//!   the paper's protocol), [`table::S2plTable`] and [`table::BoccTable`]
-//!   (the two baselines of the evaluation).
+//! * [`table`] — the transactional table layer.  All three concurrency
+//!   protocols ([`table::MvccTable`] with snapshot isolation — the paper's
+//!   contribution — plus the [`table::S2plTable`] and [`table::BoccTable`]
+//!   baselines) implement one protocol-agnostic trait,
+//!   [`table::TransactionalTable`]; the [`table::Protocol`] factory turns
+//!   protocol choice into a runtime value
+//!   (`protocol.create_table(...) -> Arc<dyn TransactionalTable<K, V>>`).
 //! * [`context`] — the global state context: registered states, topology
-//!   groups with their `LastCTS`, the active-transaction table (slot bitmap,
-//!   per-state status flags, per-group `ReadCTS`) and the
-//!   `OldestActiveVersion` bound for garbage collection.
+//!   groups with their `LastCTS`, the active-transaction table (a multi-word
+//!   slot bitmap sized by [`StateContext::with_capacity`], per-state status
+//!   flags, per-group `ReadCTS`) and the `OldestActiveVersion` bound for
+//!   garbage collection.
 //! * [`manager`] — the consistency protocol (§4.3): a lightweight
 //!   2-phase-commit across all states of one stream query, with coordinator
 //!   election by "whoever flags last".
@@ -72,8 +76,8 @@ pub use manager::{FlagOutcome, TransactionManager};
 pub use mvcc::{MvccObject, Version, DEFAULT_VERSION_SLOTS, MAX_VERSION_SLOTS};
 pub use stats::{TxStats, TxStatsSnapshot};
 pub use table::{
-    BoccTable, ConflictCheck, KeyType, MvccTable, MvccTableOptions, S2plTable, TxParticipant,
-    ValueType, WriteOp,
+    BoccTable, ConflictCheck, KeyType, MvccTable, MvccTableOptions, Protocol, S2plTable,
+    TableHandle, TransactionalTable, TransactionalTableExt, TxParticipant, ValueType, WriteOp,
 };
 
 /// Frequently used items, re-exported for `use tsp_core::prelude::*`.
@@ -88,7 +92,7 @@ pub mod prelude {
     pub use crate::recovery::{restore_group, resume_clock, RecoveryReport};
     pub use crate::stats::{TxStats, TxStatsSnapshot};
     pub use crate::table::{
-        BoccTable, ConflictCheck, KeyType, MvccTable, MvccTableOptions, S2plTable, TxParticipant,
-        ValueType,
+        BoccTable, ConflictCheck, KeyType, MvccTable, MvccTableOptions, Protocol, S2plTable,
+        TableHandle, TransactionalTable, TransactionalTableExt, TxParticipant, ValueType,
     };
 }

@@ -267,6 +267,7 @@ mod tests {
     use crate::table::{BoccTable, MvccTable, S2plTable};
     use tsp_common::TspError;
 
+    #[allow(clippy::type_complexity)]
     fn mvcc_pair() -> (
         Arc<TransactionManager>,
         Arc<MvccTable<u32, u64>>,

@@ -176,7 +176,7 @@ impl<V: Clone> MvccObject<V> {
     pub fn versions(&self) -> Vec<Version<V>> {
         let guard = self.slots.read();
         let mut out: Vec<Version<V>> = guard.versions.iter().flatten().cloned().collect();
-        out.sort_by(|a, b| b.cts.cmp(&a.cts));
+        out.sort_by_key(|v| std::cmp::Reverse(v.cts));
         out
     }
 
@@ -218,12 +218,7 @@ impl<V: Clone> MvccObject<V> {
             }
         };
         // Terminate the currently live version, then publish the new one.
-        if let Some(live) = guard
-            .versions
-            .iter_mut()
-            .flatten()
-            .find(|v| v.is_live())
-        {
+        if let Some(live) = guard.versions.iter_mut().flatten().find(|v| v.is_live()) {
             live.dts = cts;
         }
         guard.versions[slot] = Some(Version {
@@ -239,11 +234,7 @@ impl<V: Clone> MvccObject<V> {
     /// Returns `true` if a live version existed.
     pub fn mark_deleted(&self, cts: Timestamp) -> bool {
         let mut guard = self.slots.write();
-        let deleted = if let Some(live) = guard
-            .versions
-            .iter_mut()
-            .flatten()
-            .find(|v| v.is_live())
+        let deleted = if let Some(live) = guard.versions.iter_mut().flatten().find(|v| v.is_live())
         {
             live.dts = cts;
             true
@@ -415,7 +406,10 @@ mod tests {
         assert!(matches!(err, TspError::CapacityExhausted { .. }));
         // The failed install must not have corrupted visibility: the latest
         // surviving version is still visible to new readers.
-        assert_eq!(obj.read_visible(u64::MAX - 1), Some(MAX_VERSION_SLOTS as u64 - 1));
+        assert_eq!(
+            obj.read_visible(u64::MAX - 1),
+            Some(MAX_VERSION_SLOTS as u64 - 1)
+        );
         // Once the old snapshot moves on, GC frees the array again.
         assert!(obj.gc(2 + MAX_VERSION_SLOTS as u64) >= MAX_VERSION_SLOTS - 1);
         obj.install(1000u64, 2000, 2000).unwrap();

@@ -186,7 +186,11 @@ mod tests {
         assert!(!report.torn_group_commit);
 
         let r = mgr.begin_read_only().unwrap();
-        assert_eq!(a.read(&r, &1).unwrap(), Some(111), "committed data survives");
+        assert_eq!(
+            a.read(&r, &1).unwrap(),
+            Some(111),
+            "committed data survives"
+        );
         assert_eq!(b.read(&r, &1).unwrap(), Some(222));
         assert_eq!(a.read(&r, &2).unwrap(), None, "uncommitted data is gone");
         mgr.commit(&r).unwrap();

@@ -15,7 +15,8 @@
 use crate::context::{StateContext, Tx};
 use crate::stats::TxStats;
 use crate::table::common::{
-    last_cts_key, KeyType, TxParticipant, TxWriteSets, TypedBackend, ValueType, WriteOp,
+    buffer_write, commit_meta, overlay_write_set, preload_rows, read_own_write, reject_read_only,
+    KeyType, TransactionalTable, TxParticipant, TxWriteSets, TypedBackend, ValueType, WriteOp,
 };
 use parking_lot::{Mutex, RwLock};
 use std::collections::hash_map::DefaultHasher;
@@ -23,7 +24,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::hash::Hasher;
 use std::sync::Arc;
 use tsp_common::{Result, StateId, Timestamp, TspError, TxnId};
-use tsp_storage::{Codec, StorageBackend};
+use tsp_storage::StorageBackend;
 
 const SHARDS: usize = 64;
 /// Prune the commit log once it exceeds this many entries.
@@ -44,9 +45,29 @@ pub struct BoccTable<K, V> {
     /// Committed values overriding the base table (`None` = deleted).
     committed: Vec<RwLock<HashMap<K, Option<V>>>>,
     write_sets: TxWriteSets<K, V>,
-    read_sets: Mutex<HashMap<TxnId, HashSet<K>>>,
+    read_sets: Mutex<HashMap<TxnId, ReadSet<K>>>,
     commit_log: RwLock<Vec<CommitRecord<K>>>,
     backend: TypedBackend<K, V>,
+}
+
+/// What one transaction has read from a [`BoccTable`], for backward
+/// validation.
+struct ReadSet<K> {
+    /// Point-read keys.
+    keys: HashSet<K>,
+    /// True if the transaction scanned the whole table; validation then
+    /// treats *every* later commit as conflicting (phantom protection —
+    /// a key-based read set cannot see concurrently inserted keys).
+    whole_table: bool,
+}
+
+impl<K> Default for ReadSet<K> {
+    fn default() -> Self {
+        ReadSet {
+            keys: HashSet::new(),
+            whole_table: false,
+        }
+    }
 }
 
 impl<K: KeyType, V: ValueType> BoccTable<K, V> {
@@ -114,22 +135,29 @@ impl<K: KeyType, V: ValueType> BoccTable<K, V> {
     pub fn read(&self, tx: &Tx, key: &K) -> Result<Option<V>> {
         self.ctx.record_access(tx, self.state_id)?;
         TxStats::bump(&self.ctx.stats().reads);
-        if let Some(op) = self
-            .write_sets
-            .with(tx.id(), |ws| ws.get(key).cloned())
-            .flatten()
-        {
-            return Ok(match op {
-                WriteOp::Put(v) => Some(v),
-                WriteOp::Delete => None,
-            });
+        if let Some(own) = read_own_write(&self.write_sets, tx, key) {
+            return Ok(own);
         }
-        self.read_sets
-            .lock()
-            .entry(tx.id())
-            .or_default()
-            .insert(key.clone());
+        self.record_read(tx, |rs| {
+            rs.keys.insert(key.clone());
+        })?;
         self.committed_value(key)
+    }
+
+    /// Registers a read with the transaction's read set, pinning the group's
+    /// `LastCTS` as the transaction's start marker on the *first* read.
+    ///
+    /// The pin makes backward validation compare commit-log entries against
+    /// the snapshot floor, which closes the window where a commit draws its
+    /// timestamp before this transaction begins but applies after this read.
+    /// Pinning only once keeps the per-read cost at one mutex acquisition.
+    fn record_read(&self, tx: &Tx, update: impl FnOnce(&mut ReadSet<K>)) -> Result<()> {
+        let mut read_sets = self.read_sets.lock();
+        if !read_sets.contains_key(&tx.id()) {
+            let _ = self.ctx.read_snapshot(tx, self.state_id)?;
+        }
+        update(read_sets.entry(tx.id()).or_default());
+        Ok(())
     }
 
     /// Buffers an insert/update (no checks until validation).
@@ -143,23 +171,15 @@ impl<K: KeyType, V: ValueType> BoccTable<K, V> {
     }
 
     fn write_op(&self, tx: &Tx, key: K, op: WriteOp<V>) -> Result<()> {
-        if tx.is_read_only() {
-            return Err(TspError::protocol(
-                "write attempted in a read-only transaction",
-            ));
-        }
+        reject_read_only(tx)?;
         self.ctx.record_access(tx, self.state_id)?;
-        TxStats::bump(&self.ctx.stats().writes);
-        self.write_sets.with_mut(tx.id(), |ws| match op {
-            WriteOp::Put(v) => ws.put(key, v),
-            WriteOp::Delete => ws.delete(key),
-        });
+        buffer_write(&self.ctx, &self.write_sets, tx, key, op);
         Ok(())
     }
 
-    /// Non-transactional snapshot of the committed image (FROM operator,
-    /// diagnostics).
-    pub fn scan_committed(&self) -> Result<BTreeMap<K, V>> {
+    /// The committed image of the whole table (base table overlaid with the
+    /// in-memory committed map).
+    fn committed_image(&self) -> Result<BTreeMap<K, V>> {
         let mut out = BTreeMap::new();
         self.backend.scan(&mut |k, v| {
             out.insert(k, v);
@@ -180,26 +200,37 @@ impl<K: KeyType, V: ValueType> BoccTable<K, V> {
         Ok(out)
     }
 
+    /// A whole-table read within `tx`: the current committed image overlaid
+    /// with the transaction's own uncommitted writes.
+    ///
+    /// The scan marks the whole table as read, so backward validation
+    /// rejects the transaction if *any* commit lands before it commits —
+    /// including inserts of keys that did not exist at scan time (phantom
+    /// protection).  The scan is therefore optimistically consistent, at the
+    /// cost of aborting whole-table readers under write traffic.
+    pub fn scan(&self, tx: &Tx) -> Result<BTreeMap<K, V>> {
+        self.ctx.record_access(tx, self.state_id)?;
+        self.record_read(tx, |rs| {
+            rs.whole_table = true;
+        })?;
+        let mut out = self.committed_image()?;
+        if let Some(ops) = self.write_sets.with(tx.id(), |ws| ws.effective()) {
+            overlay_write_set(&mut out, ops);
+        }
+        Ok(out)
+    }
+
     /// Loads initial data directly as committed rows, outside any
     /// transaction.  Persistent rows are written in large batches.
     pub fn preload(&self, rows: impl IntoIterator<Item = (K, V)>) -> Result<()> {
-        const BATCH: usize = 4096;
-        let mut chunk: Vec<(K, WriteOp<V>)> = Vec::with_capacity(BATCH);
-        for (k, v) in rows {
-            if self.backend.is_persistent() {
-                chunk.push((k, WriteOp::Put(v)));
-                if chunk.len() >= BATCH {
-                    self.backend.apply(&chunk, &[])?;
-                    chunk.clear();
-                }
-            } else {
-                self.shard(&k).write().insert(k, Some(v));
-            }
-        }
-        if !chunk.is_empty() {
-            self.backend.apply(&chunk, &[])?;
-        }
-        Ok(())
+        self.preload_impl(&mut rows.into_iter())
+    }
+
+    fn preload_impl(&self, rows: &mut dyn Iterator<Item = (K, V)>) -> Result<()> {
+        preload_rows(&self.backend, rows, |k, v| {
+            self.shard(&k).write().insert(k, Some(v));
+            Ok(())
+        })
     }
 
     /// Number of entries currently in the validation commit log.
@@ -208,6 +239,11 @@ impl<K: KeyType, V: ValueType> BoccTable<K, V> {
     }
 
     fn prune_commit_log(&self) {
+        // Cheap length probe first: the oldest-active sweep only runs when
+        // there is actually something to prune.
+        if self.commit_log.read().len() <= COMMIT_LOG_PRUNE_THRESHOLD {
+            return;
+        }
         let oldest = self.ctx.oldest_active();
         let mut log = self.commit_log.write();
         if log.len() > COMMIT_LOG_PRUNE_THRESHOLD {
@@ -228,31 +264,37 @@ impl<K: KeyType, V: ValueType> TxParticipant for BoccTable<K, V> {
     }
 
     /// Backward validation: the transaction fails if any transaction that
-    /// committed after this one began wrote a key this one read or writes.
+    /// committed after this one's snapshot floor for this state (its begin
+    /// timestamp, or the older `LastCTS` pinned by its first read) wrote a
+    /// key this one read or writes — or wrote *anything*, if this one
+    /// scanned the whole table.
     fn precommit(&self, tx: &Tx) -> Result<()> {
-        let read_keys = self
-            .read_sets
-            .lock()
-            .get(&tx.id())
-            .cloned()
-            .unwrap_or_default();
+        let (read_keys, whole_table) = {
+            let read_sets = self.read_sets.lock();
+            match read_sets.get(&tx.id()) {
+                Some(rs) => (rs.keys.clone(), rs.whole_table),
+                None => (HashSet::new(), false),
+            }
+        };
         let write_keys: HashSet<K> = self
             .write_sets
             .with(tx.id(), |ws| ws.keys().cloned().collect())
             .unwrap_or_default();
-        if read_keys.is_empty() && write_keys.is_empty() {
+        if read_keys.is_empty() && write_keys.is_empty() && !whole_table {
             return Ok(());
         }
+        let floor = self.ctx.state_snapshot_floor(tx, self.state_id)?;
         let log = self.commit_log.read();
         for rec in log.iter().rev() {
-            if rec.cts <= tx.begin_ts() {
+            if rec.cts <= floor {
                 // Log is append-only in cts order: nothing older can conflict.
                 break;
             }
-            if rec
-                .write_keys
-                .iter()
-                .any(|k| read_keys.contains(k) || write_keys.contains(k))
+            if whole_table
+                || rec
+                    .write_keys
+                    .iter()
+                    .any(|k| read_keys.contains(k) || write_keys.contains(k))
             {
                 TxStats::bump(&self.ctx.stats().validation_failures);
                 return Err(TspError::ValidationFailed {
@@ -274,10 +316,9 @@ impl<K: KeyType, V: ValueType> TxParticipant for BoccTable<K, V> {
         // become visible, so a concurrent validator can never read a new
         // value without also seeing the log entry (conservative ordering).
         let write_keys: Arc<HashSet<K>> = Arc::new(ops.iter().map(|(k, _)| k.clone()).collect());
-        self.commit_log.write().push(CommitRecord {
-            cts,
-            write_keys,
-        });
+        self.commit_log
+            .write()
+            .push(CommitRecord { cts, write_keys });
         for (key, op) in &ops {
             let value = match op {
                 WriteOp::Put(v) => Some(v.clone()),
@@ -285,12 +326,7 @@ impl<K: KeyType, V: ValueType> TxParticipant for BoccTable<K, V> {
             };
             self.shard(key).write().insert(key.clone(), value);
         }
-        let meta = if self.backend.is_persistent() {
-            vec![(last_cts_key(), cts.encode())]
-        } else {
-            Vec::new()
-        };
-        self.backend.apply(&ops, &meta)?;
+        self.backend.apply(&ops, &commit_meta(&self.backend, cts))?;
         self.prune_commit_log();
         Ok(())
     }
@@ -307,6 +343,36 @@ impl<K: KeyType, V: ValueType> TxParticipant for BoccTable<K, V> {
 
     fn has_writes(&self, tx: &Tx) -> bool {
         self.write_sets.has_writes(tx.id())
+    }
+}
+
+impl<K: KeyType, V: ValueType> TransactionalTable<K, V> for BoccTable<K, V> {
+    fn read(&self, tx: &Tx, key: &K) -> Result<Option<V>> {
+        BoccTable::read(self, tx, key)
+    }
+
+    fn write(&self, tx: &Tx, key: K, value: V) -> Result<()> {
+        BoccTable::write(self, tx, key, value)
+    }
+
+    fn delete(&self, tx: &Tx, key: K) -> Result<()> {
+        BoccTable::delete(self, tx, key)
+    }
+
+    fn scan(&self, tx: &Tx) -> Result<BTreeMap<K, V>> {
+        BoccTable::scan(self, tx)
+    }
+
+    fn preload_iter(&self, rows: &mut dyn Iterator<Item = (K, V)>) -> Result<()> {
+        self.preload_impl(rows)
+    }
+
+    fn is_persistent(&self) -> bool {
+        self.backend.is_persistent()
+    }
+
+    fn as_participant(self: Arc<Self>) -> Arc<dyn TxParticipant> {
+        self
     }
 }
 
@@ -451,17 +517,51 @@ mod tests {
         assert_eq!(table.read(&r2, &10).unwrap(), None);
         table.finalize(&r2);
         ctx.finish(&r2);
-        let scan = table.scan_committed().unwrap();
+        let scanner = ctx.begin(true).unwrap();
+        let scan = table.scan(&scanner).unwrap();
         assert!(scan.is_empty());
+        table.finalize(&scanner);
+        ctx.finish(&scanner);
     }
 
     #[test]
-    fn read_only_transactions_cannot_write() {
+    fn scan_detects_phantom_inserts() {
         let (ctx, table) = setup();
-        let t = ctx.begin(true).unwrap();
-        assert!(table.write(&t, 1, "x".into()).is_err());
-        assert!(table.delete(&t, 1).is_err());
-        table.finalize(&t);
-        ctx.finish(&t);
+        let init = ctx.begin(false).unwrap();
+        table.write(&init, 1, "a".into()).unwrap();
+        commit(&ctx, &table, &init).unwrap();
+
+        // The scanner reads the whole table, then a writer INSERTS a key that
+        // did not exist at scan time: the scanner must fail validation (a
+        // key-based read set alone would miss this phantom).
+        let scanner = ctx.begin(true).unwrap();
+        assert_eq!(table.scan(&scanner).unwrap().len(), 1);
+        let w = ctx.begin(false).unwrap();
+        table.write(&w, 2, "phantom".into()).unwrap();
+        commit(&ctx, &table, &w).unwrap();
+        let err = table.precommit(&scanner).unwrap_err();
+        assert!(matches!(err, TspError::ValidationFailed { .. }));
+        table.finalize(&scanner);
+        ctx.finish(&scanner);
+    }
+
+    #[test]
+    fn scan_joins_the_read_set_for_validation() {
+        let (ctx, table) = setup();
+        let init = ctx.begin(false).unwrap();
+        table.write(&init, 1, "a".into()).unwrap();
+        commit(&ctx, &table, &init).unwrap();
+
+        // The scanner reads the whole table, then a writer overwrites one of
+        // the scanned keys: the scanner must fail backward validation.
+        let scanner = ctx.begin(true).unwrap();
+        assert_eq!(table.scan(&scanner).unwrap().len(), 1);
+        let w = ctx.begin(false).unwrap();
+        table.write(&w, 1, "b".into()).unwrap();
+        commit(&ctx, &table, &w).unwrap();
+        let err = table.precommit(&scanner).unwrap_err();
+        assert!(matches!(err, TspError::ValidationFailed { .. }));
+        table.finalize(&scanner);
+        ctx.finish(&scanner);
     }
 }

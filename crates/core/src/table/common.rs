@@ -1,13 +1,16 @@
 //! Building blocks shared by all transactional table implementations:
-//! uncommitted write sets ("dirty arrays"), the typed view onto a byte-level
-//! storage backend, and the trait bounds for keys and values.
+//! the protocol-agnostic [`TransactionalTable`] interface, uncommitted write
+//! sets ("dirty arrays"), the typed view onto a byte-level storage backend,
+//! the helpers hoisted out of the per-protocol tables, and the trait bounds
+//! for keys and values.
 
-use crate::context::Tx;
+use crate::context::{StateContext, Tx};
+use crate::stats::TxStats;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::hash::Hash;
 use std::sync::Arc;
-use tsp_common::{Result, StateId, Timestamp, TxnId};
+use tsp_common::{Result, StateId, Timestamp, TspError, TxnId};
 use tsp_storage::{Codec, StorageBackend, WriteBatch};
 
 /// Bound for table keys: hashable, ordered, encodable.
@@ -231,11 +234,7 @@ impl<K: KeyType, V: ValueType> TypedBackend<K, V> {
 
     /// Applies the effective modifications of a write set (plus optional
     /// metadata entries) as one atomic batch.
-    pub fn apply(
-        &self,
-        ops: &[(K, WriteOp<V>)],
-        meta: &[(Vec<u8>, Vec<u8>)],
-    ) -> Result<()> {
+    pub fn apply(&self, ops: &[(K, WriteOp<V>)], meta: &[(Vec<u8>, Vec<u8>)]) -> Result<()> {
         let Some(b) = &self.backend else {
             return Ok(());
         };
@@ -328,6 +327,201 @@ pub trait TxParticipant: Send + Sync {
     fn has_writes(&self, tx: &Tx) -> bool;
 }
 
+// ---------------------------------------------------------------------
+// The protocol-agnostic table interface
+// ---------------------------------------------------------------------
+
+/// The protocol-agnostic transactional table interface.
+///
+/// All three concurrency-control implementations — [`crate::table::MvccTable`]
+/// (snapshot isolation, the paper's contribution), [`crate::table::S2plTable`]
+/// and [`crate::table::BoccTable`] (the evaluation baselines) — expose exactly
+/// this surface, mirroring the paper's observation that "all concurrency
+/// control protocols use fundamentally the same consistency protocol for
+/// multiple states" (§5.1).  Code written against
+/// `Arc<dyn TransactionalTable<K, V>>` is therefore protocol-independent; the
+/// concrete protocol is selected at runtime through
+/// [`Protocol::create_table`](crate::table::Protocol::create_table).
+///
+/// The supertrait [`TxParticipant`] carries the commit-protocol half
+/// (validate / apply / rollback / finalize); `dyn TransactionalTable<K, V>`
+/// upcasts to `dyn TxParticipant` for registration with the
+/// [`crate::manager::TransactionManager`].
+pub trait TransactionalTable<K: KeyType, V: ValueType>: TxParticipant {
+    /// Reads `key` within `tx`, honouring the transaction's own uncommitted
+    /// writes and the protocol's visibility rules (snapshot for MVCC, shared
+    /// lock for S2PL, read-set recording for BOCC).
+    fn read(&self, tx: &Tx, key: &K) -> Result<Option<V>>;
+
+    /// Buffers an insert/update of `key` in the transaction's write set.
+    fn write(&self, tx: &Tx, key: K, value: V) -> Result<()>;
+
+    /// Buffers a delete of `key` in the transaction's write set.
+    fn delete(&self, tx: &Tx, key: K) -> Result<()>;
+
+    /// A whole-table read within `tx`: the committed image visible to the
+    /// transaction overlaid with its own uncommitted writes.
+    ///
+    /// This is the unified replacement for the historical split between
+    /// `MvccTable::scan(tx)` and the baselines' `scan_committed()`: every
+    /// protocol now answers scans through the transaction, with its own
+    /// consistency guarantees (a pinned snapshot for MVCC; the current
+    /// committed image, validated at commit, for BOCC; the committed image
+    /// without per-key locks for S2PL).
+    fn scan(&self, tx: &Tx) -> Result<BTreeMap<K, V>>;
+
+    /// Loads initial rows directly as committed data, outside any transaction
+    /// (benchmark preloading, recovery restore).  Use the more convenient
+    /// [`TransactionalTableExt::preload`] wherever the iterator type is known.
+    fn preload_iter(&self, rows: &mut dyn Iterator<Item = (K, V)>) -> Result<()>;
+
+    /// True if a persistent base table is attached.
+    fn is_persistent(&self) -> bool;
+
+    /// The table's registered state id (alias of [`TxParticipant::state_id`]).
+    fn id(&self) -> StateId {
+        self.state_id()
+    }
+
+    /// The table's name (alias of [`TxParticipant::state_name`]).
+    fn name(&self) -> &str {
+        self.state_name()
+    }
+
+    /// Upcasts the table to its commit-protocol half for registration with a
+    /// transaction manager.
+    fn as_participant(self: Arc<Self>) -> Arc<dyn TxParticipant>;
+}
+
+/// A shared, protocol-erased handle to a transactional table.
+pub type TableHandle<K, V> = Arc<dyn TransactionalTable<K, V>>;
+
+/// Convenience extensions over [`TransactionalTable`] (kept out of the core
+/// trait so it stays object-safe).
+pub trait TransactionalTableExt<K: KeyType, V: ValueType>: TransactionalTable<K, V> {
+    /// Loads initial rows directly as committed data, outside any
+    /// transaction.
+    fn preload<I: IntoIterator<Item = (K, V)>>(&self, rows: I) -> Result<()> {
+        self.preload_iter(&mut rows.into_iter())
+    }
+}
+
+impl<K: KeyType, V: ValueType, T: TransactionalTable<K, V> + ?Sized> TransactionalTableExt<K, V>
+    for T
+{
+}
+
+// ---------------------------------------------------------------------
+// Helpers shared by the three protocol implementations
+// ---------------------------------------------------------------------
+
+/// Rejects writes issued inside read-only transactions (shared guard of every
+/// protocol's write path).
+pub fn reject_read_only(tx: &Tx) -> Result<()> {
+    if tx.is_read_only() {
+        return Err(TspError::protocol(
+            "write attempted in a read-only transaction",
+        ));
+    }
+    Ok(())
+}
+
+/// Looks up the transaction's own buffered modification of `key`
+/// (read-your-own-writes).  `Some(Some(v))` is a buffered put, `Some(None)` a
+/// buffered delete, `None` means the transaction has not touched the key.
+pub fn read_own_write<K: KeyType, V: ValueType>(
+    write_sets: &TxWriteSets<K, V>,
+    tx: &Tx,
+    key: &K,
+) -> Option<Option<V>> {
+    write_sets
+        .with(tx.id(), |ws| ws.get(key).cloned())
+        .flatten()
+        .map(|op| match op {
+            WriteOp::Put(v) => Some(v),
+            WriteOp::Delete => None,
+        })
+}
+
+/// Buffers one modification in the transaction's write set, bumping the
+/// shared write counter (the tail end of every protocol's write path).
+pub fn buffer_write<K: KeyType, V: ValueType>(
+    ctx: &StateContext,
+    write_sets: &TxWriteSets<K, V>,
+    tx: &Tx,
+    key: K,
+    op: WriteOp<V>,
+) {
+    TxStats::bump(&ctx.stats().writes);
+    write_sets.with_mut(tx.id(), |ws| match op {
+        WriteOp::Put(v) => ws.put(key, v),
+        WriteOp::Delete => ws.delete(key),
+    });
+}
+
+/// Number of rows per durable batch used by [`preload_rows`].
+pub const PRELOAD_BATCH: usize = 4096;
+
+/// Loads initial rows as committed data, outside any transaction.
+///
+/// Persistent rows are written to the base table in batches of
+/// [`PRELOAD_BATCH`] so preloading pays one durable write per few thousand
+/// rows instead of one per row; volatile rows are handed to
+/// `install_volatile` (each protocol's in-memory committed representation).
+pub fn preload_rows<K: KeyType, V: ValueType>(
+    backend: &TypedBackend<K, V>,
+    rows: &mut dyn Iterator<Item = (K, V)>,
+    mut install_volatile: impl FnMut(K, V) -> Result<()>,
+) -> Result<()> {
+    let mut chunk: Vec<(K, WriteOp<V>)> = Vec::new();
+    for (k, v) in rows {
+        if backend.is_persistent() {
+            chunk.push((k, WriteOp::Put(v)));
+            if chunk.len() >= PRELOAD_BATCH {
+                backend.apply(&chunk, &[])?;
+                chunk.clear();
+            }
+        } else {
+            install_volatile(k, v)?;
+        }
+    }
+    if !chunk.is_empty() {
+        backend.apply(&chunk, &[])?;
+    }
+    Ok(())
+}
+
+/// The metadata entries persisted with a commit batch: the durable group
+/// commit timestamp marker for persistent tables, nothing for volatile ones.
+pub fn commit_meta<K: KeyType, V: ValueType>(
+    backend: &TypedBackend<K, V>,
+    cts: Timestamp,
+) -> Vec<(Vec<u8>, Vec<u8>)> {
+    if backend.is_persistent() {
+        vec![(last_cts_key(), cts.encode())]
+    } else {
+        Vec::new()
+    }
+}
+
+/// Overlays a transaction's effective write set onto a scanned committed
+/// image (read-your-own-writes for whole-table scans).
+pub fn overlay_write_set<K: KeyType, V: ValueType>(
+    out: &mut BTreeMap<K, V>,
+    ops: Vec<(K, WriteOp<V>)>,
+) {
+    for (k, op) in ops {
+        match op {
+            WriteOp::Put(v) => {
+                out.insert(k, v);
+            }
+            WriteOp::Delete => {
+                out.remove(&k);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -396,10 +590,7 @@ mod tests {
         tb.put_direct(&7, &"seven".to_string()).unwrap();
         assert_eq!(tb.get(&7).unwrap(), Some("seven".to_string()));
         tb.apply(
-            &[
-                (8, WriteOp::Put("eight".into())),
-                (7, WriteOp::Delete),
-            ],
+            &[(8, WriteOp::Put("eight".into())), (7, WriteOp::Delete)],
             &[(last_cts_key(), 42u64.encode())],
         )
         .unwrap();

@@ -45,7 +45,8 @@ impl LockEntry {
                 _ => Vec::new(),
             },
             LockMode::Exclusive => {
-                let mut out: Vec<u64> = self.readers.iter().copied().filter(|r| *r != txn).collect();
+                let mut out: Vec<u64> =
+                    self.readers.iter().copied().filter(|r| *r != txn).collect();
                 if let Some(w) = self.writer {
                     if w != txn {
                         out.push(w);
@@ -130,7 +131,11 @@ impl<K: Clone + Eq + Hash> LockManager<K> {
             if conflicts.is_empty() {
                 entry.grant(id, mode);
                 drop(entries);
-                self.holdings.lock().entry(id).or_default().insert(key.clone());
+                self.holdings
+                    .lock()
+                    .entry(id)
+                    .or_default()
+                    .insert(key.clone());
                 return Ok(());
             }
             // Wait-die: only wait if this transaction is older (smaller

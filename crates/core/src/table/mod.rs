@@ -1,5 +1,21 @@
-//! Transactional table implementations — one per concurrency-control
-//! protocol evaluated in the paper — plus the building blocks they share.
+//! Transactional tables — one implementation per concurrency-control
+//! protocol evaluated in the paper — unified behind the protocol-agnostic
+//! [`TransactionalTable`] trait.
+//!
+//! ## The trait layer
+//!
+//! * [`TransactionalTable`] — the data-plane interface every protocol
+//!   implements: `read` / `write` / `delete` / snapshot-respecting `scan` /
+//!   `preload`, plus the upcast to the commit-protocol half.
+//! * [`TxParticipant`] — the commit-protocol interface (validate / apply /
+//!   rollback / finalize) driven by
+//!   [`crate::manager::TransactionManager`] (§4.3 of the paper).
+//! * [`Protocol`] — runtime protocol selection:
+//!   [`Protocol::create_table`] returns an `Arc<dyn TransactionalTable<K, V>>`
+//!   ([`TableHandle`]), so harnesses, benches and operators never name a
+//!   concrete table type.
+//!
+//! ## The implementations
 //!
 //! * [`MvccTable`] — the paper's contribution: multi-versioned snapshot
 //!   isolation (§4.1/§4.2).
@@ -7,22 +23,26 @@
 //! * [`BoccTable`] — backward-oriented optimistic concurrency control
 //!   baseline.
 //!
-//! All three implement [`TxParticipant`] and are driven by the same
-//! consistency protocol in [`crate::manager::TransactionManager`] (§4.3),
-//! mirroring the paper's evaluation setup ("All concurrency control
-//! protocols use fundamentally the same consistency protocol for multiple
-//! states").
+//! All three are driven by the same consistency protocol (§4.3), mirroring
+//! the paper's evaluation setup ("All concurrency control protocols use
+//! fundamentally the same consistency protocol for multiple states").  The
+//! mechanics they share — write-set buffering, read-your-own-writes,
+//! batched preloading, commit-marker persistence, scan overlays — live in
+//! [`common`] as free helpers rather than being re-implemented per protocol.
 
 pub mod bocc_table;
 pub mod common;
+pub mod factory;
 pub mod locks;
 pub mod mvcc_table;
 pub mod s2pl_table;
 
 pub use bocc_table::BoccTable;
 pub use common::{
-    last_cts_key, KeyType, TxParticipant, TxWriteSets, TypedBackend, ValueType, WriteOp, WriteSet,
+    last_cts_key, KeyType, TableHandle, TransactionalTable, TransactionalTableExt, TxParticipant,
+    TxWriteSets, TypedBackend, ValueType, WriteOp, WriteSet,
 };
+pub use factory::Protocol;
 pub use locks::{LockManager, LockMode};
 pub use mvcc_table::{ConflictCheck, MvccTable, MvccTableOptions};
 pub use s2pl_table::S2plTable;

@@ -25,7 +25,8 @@ use crate::context::{StateContext, Tx};
 use crate::mvcc::{MvccObject, DEFAULT_VERSION_SLOTS};
 use crate::stats::TxStats;
 use crate::table::common::{
-    last_cts_key, KeyType, TxParticipant, TxWriteSets, TypedBackend, ValueType, WriteOp,
+    buffer_write, commit_meta, overlay_write_set, preload_rows, read_own_write, reject_read_only,
+    KeyType, TransactionalTable, TxParticipant, TxWriteSets, TypedBackend, ValueType, WriteOp,
 };
 use parking_lot::RwLock;
 use std::collections::hash_map::DefaultHasher;
@@ -33,7 +34,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::hash::Hasher;
 use std::sync::Arc;
 use tsp_common::{Result, StateId, Timestamp, TspError};
-use tsp_storage::{Codec, StorageBackend};
+use tsp_storage::StorageBackend;
 
 /// When the write-write conflict check runs (§4.2 discusses both choices;
 /// the ablation bench compares them).
@@ -82,7 +83,12 @@ pub struct MvccTable<K, V> {
 impl<K: KeyType, V: ValueType> MvccTable<K, V> {
     /// Creates a volatile (in-memory only) table registered as `name`.
     pub fn volatile(ctx: &Arc<StateContext>, name: impl Into<String>) -> Arc<Self> {
-        Self::build(ctx, name, TypedBackend::volatile(), MvccTableOptions::default())
+        Self::build(
+            ctx,
+            name,
+            TypedBackend::volatile(),
+            MvccTableOptions::default(),
+        )
     }
 
     /// Creates a table persisting committed data to `backend`.
@@ -177,15 +183,8 @@ impl<K: KeyType, V: ValueType> MvccTable<K, V> {
     pub fn read(&self, tx: &Tx, key: &K) -> Result<Option<V>> {
         self.ctx.record_access(tx, self.state_id)?;
         TxStats::bump(&self.ctx.stats().reads);
-        if let Some(op) = self
-            .write_sets
-            .with(tx.id(), |ws| ws.get(key).cloned())
-            .flatten()
-        {
-            return Ok(match op {
-                WriteOp::Put(v) => Some(v),
-                WriteOp::Delete => None,
-            });
+        if let Some(own) = read_own_write(&self.write_sets, tx, key) {
+            return Ok(own);
         }
         let snapshot = self.ctx.read_snapshot(tx, self.state_id)?;
         if let Some(obj) = self.object(key) {
@@ -209,13 +208,8 @@ impl<K: KeyType, V: ValueType> MvccTable<K, V> {
     }
 
     fn write_op(&self, tx: &Tx, key: K, op: WriteOp<V>) -> Result<()> {
-        if tx.is_read_only() {
-            return Err(TspError::protocol(
-                "write attempted in a read-only transaction",
-            ));
-        }
+        reject_read_only(tx)?;
         self.ctx.record_access(tx, self.state_id)?;
-        TxStats::bump(&self.ctx.stats().writes);
         if self.opts.conflict_check == ConflictCheck::Eager {
             if let Some(obj) = self.object(&key) {
                 if obj.latest_cts() > tx.begin_ts() || obj.latest_dts() > tx.begin_ts() {
@@ -227,10 +221,7 @@ impl<K: KeyType, V: ValueType> MvccTable<K, V> {
                 }
             }
         }
-        self.write_sets.with_mut(tx.id(), |ws| match op {
-            WriteOp::Put(v) => ws.put(key, v),
-            WriteOp::Delete => ws.delete(key),
-        });
+        buffer_write(&self.ctx, &self.write_sets, tx, key, op);
         Ok(())
     }
 
@@ -261,16 +252,7 @@ impl<K: KeyType, V: ValueType> MvccTable<K, V> {
         }
         // Overlay the transaction's own writes (read-your-own-writes).
         if let Some(ops) = self.write_sets.with(tx.id(), |ws| ws.effective()) {
-            for (k, op) in ops {
-                match op {
-                    WriteOp::Put(v) => {
-                        out.insert(k, v);
-                    }
-                    WriteOp::Delete => {
-                        out.remove(&k);
-                    }
-                }
-            }
+            overlay_write_set(&mut out, ops);
         }
         Ok(out)
     }
@@ -284,25 +266,16 @@ impl<K: KeyType, V: ValueType> MvccTable<K, V> {
     /// are written in large batches so the base table pays one durable write
     /// per few thousand rows instead of one per row.
     pub fn preload(&self, rows: impl IntoIterator<Item = (K, V)>) -> Result<()> {
+        self.preload_impl(&mut rows.into_iter())
+    }
+
+    fn preload_impl(&self, rows: &mut dyn Iterator<Item = (K, V)>) -> Result<()> {
         use crate::clock::EPOCH_TS;
-        const BATCH: usize = 4096;
-        let mut chunk: Vec<(K, WriteOp<V>)> = Vec::with_capacity(BATCH);
-        for (k, v) in rows {
-            if self.backend.is_persistent() {
-                chunk.push((k, WriteOp::Put(v)));
-                if chunk.len() >= BATCH {
-                    self.backend.apply(&chunk, &[])?;
-                    chunk.clear();
-                }
-            } else {
-                let obj = self.object_or_create(&k);
-                obj.install(v, EPOCH_TS, 0)?;
-            }
-        }
-        if !chunk.is_empty() {
-            self.backend.apply(&chunk, &[])?;
-        }
-        Ok(())
+        preload_rows(&self.backend, rows, |k, v| {
+            let obj = self.object_or_create(&k);
+            obj.install(v, EPOCH_TS, 0)?;
+            Ok(())
+        })
     }
 
     /// Number of keys with in-memory version objects.
@@ -370,17 +343,25 @@ impl<K: KeyType, V: ValueType> TxParticipant for MvccTable<K, V> {
     }
 
     /// First-Committer-Wins: if any key in the write set has a committed
-    /// version newer than this transaction's begin timestamp, a concurrent
+    /// version newer than this transaction's *snapshot floor for this
+    /// state* — the oldest snapshot it may have read through this state's
+    /// groups, never newer than its begin timestamp — a concurrent
     /// transaction won the race and this one must abort (§4.2).
+    ///
+    /// The floor (rather than the begin timestamp alone) closes a
+    /// lost-update window: a transaction can begin *after* a concurrent
+    /// commit drew its timestamp but still pin the pre-commit snapshot,
+    /// in which case its begin timestamp is newer than the version it never
+    /// saw.  The floor is per-state so a stale pin on an unrelated,
+    /// quiescent group does not spuriously abort updates here.
     fn precommit(&self, tx: &Tx) -> Result<()> {
+        let floor = self.ctx.state_snapshot_floor(tx, self.state_id)?;
         let conflict = self
             .write_sets
             .with(tx.id(), |ws| {
                 ws.keys().any(|k| {
                     self.object(k)
-                        .map(|obj| {
-                            obj.latest_cts() > tx.begin_ts() || obj.latest_dts() > tx.begin_ts()
-                        })
+                        .map(|obj| obj.latest_cts() > floor || obj.latest_dts() > floor)
                         .unwrap_or(false)
                 })
             })
@@ -434,12 +415,7 @@ impl<K: KeyType, V: ValueType> TxParticipant for MvccTable<K, V> {
         }
         // Persist the batch (plus the durable commit-timestamp marker) to the
         // base table — failure atomicity comes from the backend's WAL.
-        let meta = if self.backend.is_persistent() {
-            vec![(last_cts_key(), cts.encode())]
-        } else {
-            Vec::new()
-        };
-        self.backend.apply(&ops, &meta)
+        self.backend.apply(&ops, &commit_meta(&self.backend, cts))
     }
 
     fn rollback(&self, tx: &Tx) {
@@ -455,10 +431,41 @@ impl<K: KeyType, V: ValueType> TxParticipant for MvccTable<K, V> {
     }
 }
 
+impl<K: KeyType, V: ValueType> TransactionalTable<K, V> for MvccTable<K, V> {
+    fn read(&self, tx: &Tx, key: &K) -> Result<Option<V>> {
+        MvccTable::read(self, tx, key)
+    }
+
+    fn write(&self, tx: &Tx, key: K, value: V) -> Result<()> {
+        MvccTable::write(self, tx, key, value)
+    }
+
+    fn delete(&self, tx: &Tx, key: K) -> Result<()> {
+        MvccTable::delete(self, tx, key)
+    }
+
+    fn scan(&self, tx: &Tx) -> Result<BTreeMap<K, V>> {
+        MvccTable::scan(self, tx)
+    }
+
+    fn preload_iter(&self, rows: &mut dyn Iterator<Item = (K, V)>) -> Result<()> {
+        self.preload_impl(rows)
+    }
+
+    fn is_persistent(&self) -> bool {
+        MvccTable::is_persistent(self)
+    }
+
+    fn as_participant(self: Arc<Self>) -> Arc<dyn TxParticipant> {
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tsp_storage::BTreeBackend;
+    use crate::table::common::last_cts_key;
+    use tsp_storage::{BTreeBackend, Codec};
 
     fn setup() -> (Arc<StateContext>, Arc<MvccTable<u32, String>>) {
         let ctx = Arc::new(StateContext::new());
@@ -537,7 +544,11 @@ mod tests {
 
         let deleter = ctx.begin(false).unwrap();
         table.delete(&deleter, 5).unwrap();
-        assert_eq!(table.read(&deleter, &5).unwrap(), None, "own delete visible");
+        assert_eq!(
+            table.read(&deleter, &5).unwrap(),
+            None,
+            "own delete visible"
+        );
         commit(&ctx, &table, &deleter);
 
         assert_eq!(table.read(&old_reader, &5).unwrap(), Some("v".into()));
@@ -641,12 +652,43 @@ mod tests {
     }
 
     #[test]
-    fn read_only_transactions_cannot_write() {
-        let (ctx, table) = setup();
-        let t = ctx.begin(true).unwrap();
-        assert!(table.write(&t, 1, "x".into()).is_err());
-        assert!(table.delete(&t, 1).is_err());
-        ctx.finish(&t);
+    fn stale_pin_on_unrelated_group_does_not_abort_commits() {
+        // Regression: the FCW floor must be per-state.  A transaction that
+        // pinned a stale snapshot on a quiescent group must still be able to
+        // update a busy, unrelated group whose data it read fresh.
+        let ctx = Arc::new(StateContext::new());
+        let quiet = MvccTable::<u32, String>::volatile(&ctx, "quiet");
+        let busy = MvccTable::<u32, String>::volatile(&ctx, "busy");
+        ctx.register_group(&[quiet.id()]).unwrap();
+        ctx.register_group(&[busy.id()]).unwrap();
+
+        // Make the busy group's key carry a recent version.
+        let seed = ctx.begin(false).unwrap();
+        busy.write(&seed, 1, "v1".into()).unwrap();
+        commit(&ctx, &busy, &seed);
+
+        // The cross-group transaction reads the quiet group first (pinning
+        // its stale epoch LastCTS), then reads the busy key fresh and
+        // updates it.  With a transaction-global floor this would conflict
+        // against the version it just read; per-state it must commit.
+        let tx = ctx.begin(false).unwrap();
+        assert_eq!(quiet.read(&tx, &9).unwrap(), None);
+        assert_eq!(busy.read(&tx, &1).unwrap(), Some("v1".into()));
+        busy.write(&tx, 1, "v2".into()).unwrap();
+        busy.precommit(&tx)
+            .expect("no conflict: the busy read was fresh");
+        let cts = ctx.clock().next_commit_ts();
+        busy.apply(&tx, cts).unwrap();
+        for g in ctx.groups_of_state(busy.id()) {
+            ctx.publish_group_commit(g, cts).unwrap();
+        }
+        busy.finalize(&tx);
+        quiet.finalize(&tx);
+        ctx.finish(&tx);
+
+        let r = ctx.begin(true).unwrap();
+        assert_eq!(busy.read(&r, &1).unwrap(), Some("v2".into()));
+        ctx.finish(&r);
     }
 
     #[test]
@@ -659,7 +701,11 @@ mod tests {
             .preload((0..100u32).map(|i| (i, format!("pre{i}"))))
             .unwrap();
         assert!(table.is_persistent());
-        assert_eq!(table.versioned_key_count(), 0, "preload goes to the base table");
+        assert_eq!(
+            table.versioned_key_count(),
+            0,
+            "preload goes to the base table"
+        );
         let r = ctx.begin(true).unwrap();
         assert_eq!(table.read(&r, &7).unwrap(), Some("pre7".into()));
         assert_eq!(table.read(&r, &1000).unwrap(), None);
@@ -676,7 +722,10 @@ mod tests {
 
         // Reader pins its snapshot before the update commits.
         let old_reader = ctx.begin(true).unwrap();
-        assert_eq!(table.read(&old_reader, &1).unwrap(), Some("preloaded".into()));
+        assert_eq!(
+            table.read(&old_reader, &1).unwrap(),
+            Some("preloaded".into())
+        );
 
         let w = ctx.begin(false).unwrap();
         table.write(&w, 1, "updated".into()).unwrap();
@@ -691,7 +740,10 @@ mod tests {
 
         // The old reader still sees the preloaded row (promoted to an
         // epoch-timestamped version during the update's apply).
-        assert_eq!(table.read(&old_reader, &1).unwrap(), Some("preloaded".into()));
+        assert_eq!(
+            table.read(&old_reader, &1).unwrap(),
+            Some("preloaded".into())
+        );
         ctx.finish(&old_reader);
         let fresh = ctx.begin(true).unwrap();
         assert_eq!(table.read(&fresh, &1).unwrap(), Some("updated".into()));

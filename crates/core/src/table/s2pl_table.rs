@@ -16,7 +16,8 @@
 use crate::context::{StateContext, Tx};
 use crate::stats::TxStats;
 use crate::table::common::{
-    last_cts_key, KeyType, TxParticipant, TxWriteSets, TypedBackend, ValueType, WriteOp,
+    buffer_write, commit_meta, overlay_write_set, preload_rows, read_own_write, reject_read_only,
+    KeyType, TransactionalTable, TxParticipant, TxWriteSets, TypedBackend, ValueType, WriteOp,
 };
 use crate::table::locks::{LockManager, LockMode};
 use parking_lot::RwLock;
@@ -25,7 +26,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::hash::Hasher;
 use std::sync::Arc;
 use tsp_common::{Result, StateId, Timestamp, TspError};
-use tsp_storage::{Codec, StorageBackend};
+use tsp_storage::StorageBackend;
 
 const SHARDS: usize = 64;
 
@@ -107,15 +108,8 @@ impl<K: KeyType, V: ValueType> S2plTable<K, V> {
     pub fn read(&self, tx: &Tx, key: &K) -> Result<Option<V>> {
         self.ctx.record_access(tx, self.state_id)?;
         TxStats::bump(&self.ctx.stats().reads);
-        if let Some(op) = self
-            .write_sets
-            .with(tx.id(), |ws| ws.get(key).cloned())
-            .flatten()
-        {
-            return Ok(match op {
-                WriteOp::Put(v) => Some(v),
-                WriteOp::Delete => None,
-            });
+        if let Some(own) = read_own_write(&self.write_sets, tx, key) {
+            return Ok(own);
         }
         self.acquire(tx, key, LockMode::Shared)?;
         self.committed_value(key)
@@ -132,18 +126,10 @@ impl<K: KeyType, V: ValueType> S2plTable<K, V> {
     }
 
     fn write_op(&self, tx: &Tx, key: K, op: WriteOp<V>) -> Result<()> {
-        if tx.is_read_only() {
-            return Err(TspError::protocol(
-                "write attempted in a read-only transaction",
-            ));
-        }
+        reject_read_only(tx)?;
         self.ctx.record_access(tx, self.state_id)?;
-        TxStats::bump(&self.ctx.stats().writes);
         self.acquire(tx, &key, LockMode::Exclusive)?;
-        self.write_sets.with_mut(tx.id(), |ws| match op {
-            WriteOp::Put(v) => ws.put(key, v),
-            WriteOp::Delete => ws.delete(key),
-        });
+        buffer_write(&self.ctx, &self.write_sets, tx, key, op);
         Ok(())
     }
 
@@ -156,11 +142,9 @@ impl<K: KeyType, V: ValueType> S2plTable<K, V> {
         })
     }
 
-    /// Full-table read under shared locks is not offered; ad-hoc scans read
-    /// the committed image without locking individual keys (callers that
-    /// need strict consistency should use the MVCC table).  Exposed mainly
-    /// for the FROM operator and tests.
-    pub fn scan_committed(&self) -> Result<BTreeMap<K, V>> {
+    /// The committed image of the whole table (base table overlaid with the
+    /// in-memory committed map).
+    fn committed_image(&self) -> Result<BTreeMap<K, V>> {
         let mut out = BTreeMap::new();
         self.backend.scan(&mut |k, v| {
             out.insert(k, v);
@@ -181,26 +165,33 @@ impl<K: KeyType, V: ValueType> S2plTable<K, V> {
         Ok(out)
     }
 
+    /// A whole-table read within `tx`: the current committed image overlaid
+    /// with the transaction's own uncommitted writes.
+    ///
+    /// Full-table reads under shared locks are not offered; the scan reads
+    /// the committed image without locking individual keys (callers that
+    /// need a strictly consistent whole-table view should use the MVCC
+    /// table, whose scan is snapshot-exact).
+    pub fn scan(&self, tx: &Tx) -> Result<BTreeMap<K, V>> {
+        self.ctx.record_access(tx, self.state_id)?;
+        let mut out = self.committed_image()?;
+        if let Some(ops) = self.write_sets.with(tx.id(), |ws| ws.effective()) {
+            overlay_write_set(&mut out, ops);
+        }
+        Ok(out)
+    }
+
     /// Loads initial data directly as committed rows, outside any
     /// transaction.  Persistent rows are written in large batches.
     pub fn preload(&self, rows: impl IntoIterator<Item = (K, V)>) -> Result<()> {
-        const BATCH: usize = 4096;
-        let mut chunk: Vec<(K, WriteOp<V>)> = Vec::with_capacity(BATCH);
-        for (k, v) in rows {
-            if self.backend.is_persistent() {
-                chunk.push((k, WriteOp::Put(v)));
-                if chunk.len() >= BATCH {
-                    self.backend.apply(&chunk, &[])?;
-                    chunk.clear();
-                }
-            } else {
-                self.shard(&k).write().insert(k, Some(v));
-            }
-        }
-        if !chunk.is_empty() {
-            self.backend.apply(&chunk, &[])?;
-        }
-        Ok(())
+        self.preload_impl(&mut rows.into_iter())
+    }
+
+    fn preload_impl(&self, rows: &mut dyn Iterator<Item = (K, V)>) -> Result<()> {
+        preload_rows(&self.backend, rows, |k, v| {
+            self.shard(&k).write().insert(k, Some(v));
+            Ok(())
+        })
     }
 
     /// Number of transactions currently holding locks on this table.
@@ -238,12 +229,7 @@ impl<K: KeyType, V: ValueType> TxParticipant for S2plTable<K, V> {
             };
             self.shard(key).write().insert(key.clone(), value);
         }
-        let meta = if self.backend.is_persistent() {
-            vec![(last_cts_key(), cts.encode())]
-        } else {
-            Vec::new()
-        };
-        self.backend.apply(&ops, &meta)
+        self.backend.apply(&ops, &commit_meta(&self.backend, cts))
     }
 
     fn rollback(&self, tx: &Tx) {
@@ -260,10 +246,40 @@ impl<K: KeyType, V: ValueType> TxParticipant for S2plTable<K, V> {
     }
 }
 
+impl<K: KeyType, V: ValueType> TransactionalTable<K, V> for S2plTable<K, V> {
+    fn read(&self, tx: &Tx, key: &K) -> Result<Option<V>> {
+        S2plTable::read(self, tx, key)
+    }
+
+    fn write(&self, tx: &Tx, key: K, value: V) -> Result<()> {
+        S2plTable::write(self, tx, key, value)
+    }
+
+    fn delete(&self, tx: &Tx, key: K) -> Result<()> {
+        S2plTable::delete(self, tx, key)
+    }
+
+    fn scan(&self, tx: &Tx) -> Result<BTreeMap<K, V>> {
+        S2plTable::scan(self, tx)
+    }
+
+    fn preload_iter(&self, rows: &mut dyn Iterator<Item = (K, V)>) -> Result<()> {
+        self.preload_impl(rows)
+    }
+
+    fn is_persistent(&self) -> bool {
+        self.backend.is_persistent()
+    }
+
+    fn as_participant(self: Arc<Self>) -> Arc<dyn TxParticipant> {
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tsp_storage::BTreeBackend;
+    use tsp_storage::{BTreeBackend, Codec};
 
     fn setup() -> (Arc<StateContext>, Arc<S2plTable<u32, String>>) {
         let ctx = Arc::new(StateContext::new());
@@ -366,7 +382,9 @@ mod tests {
         let backend = Arc::new(BTreeBackend::new());
         let table = S2plTable::<u32, String>::persistent(&ctx, "p", backend.clone());
         ctx.register_group(&[table.id()]).unwrap();
-        table.preload((0..10u32).map(|i| (i, format!("v{i}")))).unwrap();
+        table
+            .preload((0..10u32).map(|i| (i, format!("v{i}"))))
+            .unwrap();
         let r = ctx.begin(true).unwrap();
         assert_eq!(table.read(&r, &4).unwrap(), Some("v4".into()));
         table.finalize(&r);
@@ -383,17 +401,27 @@ mod tests {
             backend.get(&4u32.encode()).unwrap(),
             Some("updated".to_string().encode())
         );
-        let scan = table.scan_committed().unwrap();
+        let scanner = ctx.begin(true).unwrap();
+        let scan = table.scan(&scanner).unwrap();
         assert_eq!(scan.len(), 10);
         assert_eq!(scan.get(&4), Some(&"updated".to_string()));
+        table.finalize(&scanner);
+        ctx.finish(&scanner);
     }
 
     #[test]
-    fn read_only_transactions_cannot_write() {
+    fn scan_overlays_own_writes() {
         let (ctx, table) = setup();
-        let t = ctx.begin(true).unwrap();
-        assert!(table.write(&t, 1, "x".into()).is_err());
-        assert!(table.delete(&t, 1).is_err());
+        let w = ctx.begin(false).unwrap();
+        table.write(&w, 1, "committed".into()).unwrap();
+        commit(&ctx, &table, &w);
+        let t = ctx.begin(false).unwrap();
+        table.write(&t, 2, "own".into()).unwrap();
+        table.delete(&t, 1).unwrap();
+        let snap = table.scan(&t).unwrap();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap.get(&2), Some(&"own".to_string()));
+        table.rollback(&t);
         table.finalize(&t);
         ctx.finish(&t);
     }

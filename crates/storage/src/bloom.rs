@@ -142,7 +142,10 @@ mod tests {
             bloom.insert(&i.to_be_bytes());
         }
         for i in 0u32..1000 {
-            assert!(bloom.may_contain(&i.to_be_bytes()), "false negative for {i}");
+            assert!(
+                bloom.may_contain(&i.to_be_bytes()),
+                "false negative for {i}"
+            );
         }
         assert_eq!(bloom.entries(), 1000);
     }

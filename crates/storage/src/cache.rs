@@ -406,11 +406,12 @@ mod tests {
         assert_eq!(backend.len(), 1);
         // Scan and sync pass through to the inner backend.
         let mut n = 0;
-        backend.scan(&mut |_, _| {
-            n += 1;
-            true
-        })
-        .unwrap();
+        backend
+            .scan(&mut |_, _| {
+                n += 1;
+                true
+            })
+            .unwrap();
         assert_eq!(n, 1);
         backend.sync().unwrap();
     }

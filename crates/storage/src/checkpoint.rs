@@ -107,7 +107,9 @@ pub fn read_checkpoint_info(dir: impl AsRef<Path>) -> Result<CheckpointInfo> {
     let crc = u32::from_be_bytes(bytes[8..12].try_into().unwrap());
     let meta = &bytes[12..];
     if crc32(meta) != crc {
-        return Err(TspError::corruption("checkpoint metadata checksum mismatch"));
+        return Err(TspError::corruption(
+            "checkpoint metadata checksum mismatch",
+        ));
     }
     if meta.len() < 12 {
         return Err(TspError::corruption("checkpoint metadata truncated"));
@@ -189,7 +191,9 @@ mod tests {
         let dir = tmpdir("roundtrip");
         let source = BTreeBackend::new();
         for i in 0..500u32 {
-            source.put(&i.to_be_bytes(), format!("v{i}").as_bytes()).unwrap();
+            source
+                .put(&i.to_be_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
         }
         let info = create_checkpoint(&source, &dir).unwrap();
         assert_eq!(info.entries, 500);

@@ -100,7 +100,10 @@ impl<const N: usize> Codec for [u8; N] {
 
     fn decode(bytes: &[u8]) -> Result<Self> {
         bytes.try_into().map_err(|_| {
-            TspError::corruption(format!("expected {N} bytes for fixed array, got {}", bytes.len()))
+            TspError::corruption(format!(
+                "expected {N} bytes for fixed array, got {}",
+                bytes.len()
+            ))
         })
     }
 }
@@ -117,7 +120,9 @@ impl<A: Codec, B: Codec> Codec for (A, B) {
 
     fn decode(bytes: &[u8]) -> Result<Self> {
         if bytes.len() < 4 {
-            return Err(TspError::corruption("pair encoding shorter than length prefix"));
+            return Err(TspError::corruption(
+                "pair encoding shorter than length prefix",
+            ));
         }
         let len = u32::from_be_bytes(bytes[..4].try_into().unwrap()) as usize;
         if bytes.len() < 4 + len {

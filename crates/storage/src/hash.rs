@@ -87,8 +87,11 @@ impl StorageBackend for HashBackend {
 
     fn scan(&self, visit: &mut dyn FnMut(&[u8], &[u8]) -> bool) -> Result<()> {
         'outer: for s in &self.shards {
-            let snapshot: Vec<(Vec<u8>, Vec<u8>)> =
-                s.read().iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+            let snapshot: Vec<(Vec<u8>, Vec<u8>)> = s
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
             for (k, v) in snapshot {
                 if !visit(&k, &v) {
                     break 'outer;
@@ -181,7 +184,8 @@ mod tests {
                 let b = Arc::clone(&b);
                 std::thread::spawn(move || {
                     for i in 0..250u32 {
-                        b.put(&(t * 10_000 + i).to_be_bytes(), &t.to_be_bytes()).unwrap();
+                        b.put(&(t * 10_000 + i).to_be_bytes(), &t.to_be_bytes())
+                            .unwrap();
                     }
                 })
             })

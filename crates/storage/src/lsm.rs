@@ -203,7 +203,10 @@ impl LsmStore {
             if mem.map.is_empty() {
                 return Ok(());
             }
-            mem.map.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+            mem.map
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect()
         };
 
         let file_no = self.manifest.lock().allocate_file_no()?;
@@ -409,7 +412,7 @@ mod tests {
         {
             let store = LsmStore::open(&dir, small_opts()).unwrap();
             for i in 0u32..500 {
-                store.put(&i.to_be_bytes(), &vec![i as u8; 20]).unwrap();
+                store.put(&i.to_be_bytes(), &[i as u8; 20]).unwrap();
             }
             store.flush().unwrap();
             assert!(store.sstable_count() >= 1);
@@ -518,8 +521,14 @@ mod tests {
         assert_eq!(seen.len(), 99);
         assert_eq!(seen[0].0, 1);
         assert!(seen.windows(2).all(|w| w[0].0 < w[1].0));
-        assert_eq!(seen.iter().find(|(k, _)| *k == 50).unwrap().1, b"v2".to_vec());
-        assert_eq!(seen.iter().find(|(k, _)| *k == 10).unwrap().1, b"v1".to_vec());
+        assert_eq!(
+            seen.iter().find(|(k, _)| *k == 50).unwrap().1,
+            b"v2".to_vec()
+        );
+        assert_eq!(
+            seen.iter().find(|(k, _)| *k == 10).unwrap().1,
+            b"v1".to_vec()
+        );
         destroy(&dir).unwrap();
     }
 

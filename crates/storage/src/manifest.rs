@@ -122,7 +122,9 @@ impl Manifest {
         let mut tables = Vec::with_capacity(count);
         for i in 0..count {
             let start = 20 + i * 8;
-            tables.push(u64::from_be_bytes(body[start..start + 8].try_into().unwrap()));
+            tables.push(u64::from_be_bytes(
+                body[start..start + 8].try_into().unwrap(),
+            ));
         }
         Ok(ManifestData {
             next_file_no,

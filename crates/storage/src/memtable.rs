@@ -107,7 +107,12 @@ impl StorageBackend for BTreeBackend {
         // visitor observes globally ascending key order.
         let mut snapshots: Vec<Vec<(Vec<u8>, Vec<u8>)>> = Vec::with_capacity(SHARDS);
         for s in &self.shards {
-            snapshots.push(s.read().iter().map(|(k, v)| (k.clone(), v.clone())).collect());
+            snapshots.push(
+                s.read()
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect(),
+            );
         }
         let mut merged: Vec<(Vec<u8>, Vec<u8>)> = snapshots.into_iter().flatten().collect();
         merged.sort_by(|a, b| a.0.cmp(&b.0));

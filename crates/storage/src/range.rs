@@ -152,10 +152,8 @@ pub fn scan_range<B: StorageBackend + ?Sized>(
     backend.scan(&mut |k, v| {
         if range.contains(k) {
             visit(k, v)
-        } else if ordered && range.is_past(k) {
-            false
         } else {
-            true
+            !(ordered && range.is_past(k))
         }
     })
 }
@@ -270,7 +268,10 @@ mod tests {
         assert_eq!(rows[0].0, 10u32.to_be_bytes().to_vec());
         assert_eq!(rows[9].0, 19u32.to_be_bytes().to_vec());
         assert_eq!(count_range(&b, &KeyRange::all()).unwrap(), 100);
-        assert_eq!(count_range(&b, &KeyRange::from(90u32.to_be_bytes().to_vec())).unwrap(), 10);
+        assert_eq!(
+            count_range(&b, &KeyRange::from(90u32.to_be_bytes().to_vec())).unwrap(),
+            10
+        );
         assert_eq!(
             count_range(&b, &KeyRange::half_open(vec![5u8], vec![4u8])).unwrap(),
             0

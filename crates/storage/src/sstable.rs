@@ -68,7 +68,7 @@ impl SsTableBuilder {
                 ));
             }
         }
-        if self.count as usize % INDEX_INTERVAL == 0 {
+        if (self.count as usize).is_multiple_of(INDEX_INTERVAL) {
             self.index.push((key.to_vec(), self.offset));
         }
         self.writer.write_all(&(key.len() as u32).to_be_bytes())?;
@@ -278,7 +278,7 @@ impl SsTable {
 
     /// Visits every entry in ascending key order.  Tombstones are reported
     /// with `value == None`.  Returning `false` stops the scan.
-    pub fn scan(&self, visit: &mut dyn FnMut(&[u8], Option<&[u8]>) -> bool) -> Result<()> {
+    pub fn scan(&self, visit: &mut EntryVisitor<'_>) -> Result<()> {
         let mut pos = 0usize;
         while pos < self.data.len() {
             let (key, value, next) = parse_entry(&self.data, pos)?;
@@ -291,7 +291,7 @@ impl SsTable {
     }
 
     /// Loads all entries into memory (used by compaction).
-    pub fn load_all(&self) -> Result<Vec<(Vec<u8>, Option<Vec<u8>>)>> {
+    pub fn load_all(&self) -> Result<Vec<OwnedEntry>> {
         let mut out = Vec::with_capacity(self.entry_count as usize);
         self.scan(&mut |k, v| {
             out.push((k.to_vec(), v.map(|v| v.to_vec())));
@@ -301,10 +301,19 @@ impl SsTable {
     }
 }
 
+/// Visitor over borrowed entries: key, optional value (`None` = tombstone).
+pub type EntryVisitor<'a> = dyn FnMut(&[u8], Option<&[u8]>) -> bool + 'a;
+
+/// An owned entry: key plus optional value (`None` = tombstone).
+pub type OwnedEntry = (Vec<u8>, Option<Vec<u8>>);
+
+/// A parsed borrowed entry plus the offset of the next entry.
+type ParsedEntry<'a> = (&'a [u8], Option<&'a [u8]>, usize);
+
 /// Parses one entry of the in-memory data region starting at `pos`.  Returns
 /// the key slice, the optional value slice (`None` = tombstone) and the
 /// offset of the next entry.
-fn parse_entry(data: &[u8], pos: usize) -> Result<(&[u8], Option<&[u8]>, usize)> {
+fn parse_entry(data: &[u8], pos: usize) -> Result<ParsedEntry<'_>> {
     let need = |end: usize| -> Result<()> {
         if end > data.len() {
             Err(TspError::corruption("SSTable entry truncated"))
@@ -357,9 +366,18 @@ mod tests {
         let sst = build(&dir, &entries);
         assert_eq!(sst.entry_count(), 200);
         // Present keys.
-        assert_eq!(sst.get(&10u32.to_be_bytes()).unwrap(), Some(Some(b"payload".to_vec())));
-        assert_eq!(sst.get(&0u32.to_be_bytes()).unwrap(), Some(Some(b"payload".to_vec())));
-        assert_eq!(sst.get(&398u32.to_be_bytes()).unwrap(), Some(Some(b"payload".to_vec())));
+        assert_eq!(
+            sst.get(&10u32.to_be_bytes()).unwrap(),
+            Some(Some(b"payload".to_vec()))
+        );
+        assert_eq!(
+            sst.get(&0u32.to_be_bytes()).unwrap(),
+            Some(Some(b"payload".to_vec()))
+        );
+        assert_eq!(
+            sst.get(&398u32.to_be_bytes()).unwrap(),
+            Some(Some(b"payload".to_vec()))
+        );
         // Absent keys: odd, before range, after range.
         assert_eq!(sst.get(&11u32.to_be_bytes()).unwrap(), None);
         assert_eq!(sst.get(&1_000_000u32.to_be_bytes()).unwrap(), None);
@@ -374,7 +392,10 @@ mod tests {
             &[(1, Some(&b"a"[..])), (2, None), (3, Some(&b"c"[..]))],
         );
         assert_eq!(sst.get(&2u32.to_be_bytes()).unwrap(), Some(None));
-        assert_eq!(sst.get(&1u32.to_be_bytes()).unwrap(), Some(Some(b"a".to_vec())));
+        assert_eq!(
+            sst.get(&1u32.to_be_bytes()).unwrap(),
+            Some(Some(b"a".to_vec()))
+        );
         assert_eq!(sst.get(&4u32.to_be_bytes()).unwrap(), None);
         fs::remove_dir_all(dir).unwrap();
     }
@@ -434,7 +455,10 @@ mod tests {
     #[test]
     fn load_all_round_trips() {
         let dir = tmpdir("loadall");
-        let sst = build(&dir, &[(1, Some(&b"a"[..])), (2, None), (7, Some(&b"z"[..]))]);
+        let sst = build(
+            &dir,
+            &[(1, Some(&b"a"[..])), (2, None), (7, Some(&b"z"[..]))],
+        );
         let all = sst.load_all().unwrap();
         assert_eq!(all.len(), 3);
         assert_eq!(all[1], (2u32.to_be_bytes().to_vec(), None));

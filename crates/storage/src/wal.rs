@@ -94,7 +94,8 @@ impl Wal {
         let mut payload = Vec::with_capacity(64 * batch.len() + 8);
         Self::encode_batch(batch, &mut payload);
         let crc = crc32(&payload);
-        self.writer.write_all(&(payload.len() as u32).to_be_bytes())?;
+        self.writer
+            .write_all(&(payload.len() as u32).to_be_bytes())?;
         self.writer.write_all(&crc.to_be_bytes())?;
         self.writer.write_all(&payload)?;
         self.appended += 8 + payload.len() as u64;
@@ -120,7 +121,10 @@ impl Wal {
         file.set_len(0)?;
         file.sync_data()?;
         // Re-open the append cursor at the new end of file.
-        let file = OpenOptions::new().append(true).read(true).open(&self.path)?;
+        let file = OpenOptions::new()
+            .append(true)
+            .read(true)
+            .open(&self.path)?;
         self.writer = BufWriter::new(file);
         self.appended = 0;
         Ok(())
@@ -244,7 +248,8 @@ mod tests {
         let path = dir.join("wal.log");
         {
             let mut wal = Wal::open(&path, SyncPolicy::Never).unwrap();
-            wal.append(&batch(&[(b"k1", Some(b"v1")), (b"k2", Some(b"v2"))])).unwrap();
+            wal.append(&batch(&[(b"k1", Some(b"v1")), (b"k2", Some(b"v2"))]))
+                .unwrap();
             wal.append(&batch(&[(b"k1", None)])).unwrap();
             assert!(wal.size() > 0);
         }
@@ -259,7 +264,12 @@ mod tests {
                 value: b"v1".to_vec()
             }
         );
-        assert_eq!(recovered[1][0], BatchOp::Delete { key: b"k1".to_vec() });
+        assert_eq!(
+            recovered[1][0],
+            BatchOp::Delete {
+                key: b"k1".to_vec()
+            }
+        );
         fs::remove_dir_all(dir).unwrap();
     }
 

@@ -17,6 +17,7 @@ use crate::stream::{Data, Stream};
 use crate::topology::Topology;
 use std::sync::Arc;
 use tsp_common::{Punctuation, Result, StreamElement, Tuple};
+use tsp_core::table::{KeyType, TableHandle, ValueType};
 use tsp_core::{TransactionManager, Tx};
 
 /// A reusable ad-hoc query: every [`run`](AdHocQuery::run) executes the query
@@ -25,9 +26,12 @@ use tsp_core::{TransactionManager, Tx};
 /// the BOCC baseline, where even read-only queries can fail validation).
 pub struct AdHocQuery<R> {
     mgr: Arc<TransactionManager>,
-    query: Box<dyn Fn(&Tx) -> Result<R> + Send + Sync>,
+    query: QueryFn<R>,
     max_retries: usize,
 }
+
+/// Boxed query closure run by an [`AdHocQuery`].
+type QueryFn<R> = Box<dyn Fn(&Tx) -> Result<R> + Send + Sync>;
 
 impl<R> AdHocQuery<R> {
     /// Creates an ad-hoc query with the default retry budget (16 attempts).
@@ -118,6 +122,30 @@ impl Topology {
         self.core().register(handle);
         stream
     }
+
+    /// Runs a whole-table ad-hoc query over any transactional table as a
+    /// source: the table is scanned once in a read-only snapshot transaction
+    /// when the topology starts and each `(key, value)` row becomes one data
+    /// tuple, followed by `EndOfStream`.
+    ///
+    /// Protocol-generic counterpart of [`Topology::from_table`]: the handle
+    /// may wrap an MVCC, S2PL or BOCC table
+    /// (see [`tsp_core::Protocol::create_table`]); the scan respects each
+    /// protocol's consistency rules through
+    /// [`tsp_core::TransactionalTable::scan`].
+    pub fn from_table_rows<K, V>(
+        &self,
+        mgr: Arc<TransactionManager>,
+        table: TableHandle<K, V>,
+    ) -> Stream<(K, V)>
+    where
+        K: KeyType,
+        V: ValueType,
+    {
+        self.from_table(mgr, move |tx| {
+            Ok(table.scan(tx)?.into_iter().collect::<Vec<_>>())
+        })
+    }
 }
 
 #[cfg(test)]
@@ -160,9 +188,7 @@ mod tests {
         mgr.register_group(&[table.id()]).unwrap();
 
         let table_q = Arc::clone(&table);
-        let q = AdHocQuery::new(Arc::clone(&mgr), move |tx| {
-            Ok(table_q.scan(tx)?.len())
-        });
+        let q = AdHocQuery::new(Arc::clone(&mgr), move |tx| Ok(table_q.scan(tx)?.len()));
         assert_eq!(q.run().unwrap(), 0);
 
         let w = mgr.begin().unwrap();

@@ -22,7 +22,7 @@ use std::collections::{HashMap, VecDeque};
 use std::hash::Hash;
 use std::sync::Arc;
 use tsp_common::{Punctuation, PunctuationKind, StreamElement, Tuple};
-use tsp_core::table::{KeyType, MvccTable, ValueType};
+use tsp_core::table::{KeyType, TableHandle, ValueType};
 use tsp_core::TransactionManager;
 
 impl<K, A> Stream<(K, A)>
@@ -33,14 +33,16 @@ where
     /// Enriches every `(key, payload)` element with the table value stored
     /// under `key`, dropping elements whose key has no committed value.
     ///
-    /// Each probe runs in its own read-only snapshot transaction, so a probe
-    /// never observes a torn multi-state commit; elements arriving while an
-    /// update commits see either the old or the new specification, never a
-    /// mix.
+    /// The table may run any concurrency-control protocol (pass a handle
+    /// from [`tsp_core::Protocol::create_table`], or any concrete table —
+    /// `Arc<MvccTable<_, _>>` coerces to the handle).  Each probe runs in its
+    /// own read-only transaction, so under MVCC a probe never observes a torn
+    /// multi-state commit; elements arriving while an update commits see
+    /// either the old or the new specification, never a mix.
     pub fn lookup_join<V>(
         self,
         mgr: Arc<TransactionManager>,
-        table: Arc<MvccTable<K, V>>,
+        table: TableHandle<K, V>,
     ) -> Stream<(K, A, V)>
     where
         K: KeyType,
@@ -54,7 +56,7 @@ where
     pub fn lookup_join_with<V, O>(
         self,
         mgr: Arc<TransactionManager>,
-        table: Arc<MvccTable<K, V>>,
+        table: TableHandle<K, V>,
         combine: impl Fn(K, A, Option<V>) -> Option<O> + Send + 'static,
     ) -> Stream<O>
     where
@@ -241,11 +243,13 @@ mod tests {
     use crate::topology::Topology;
     use tsp_core::prelude::*;
 
-    fn table_setup() -> (Arc<TransactionManager>, Arc<MvccTable<u64, String>>) {
+    fn table_setup() -> (Arc<TransactionManager>, TableHandle<u64, String>) {
         let ctx = Arc::new(StateContext::new());
         let mgr = TransactionManager::new(Arc::clone(&ctx));
-        let spec = MvccTable::<u64, String>::volatile(&ctx, "spec");
-        mgr.register(spec.clone());
+        // Built through the runtime factory: the join layer only ever sees
+        // the protocol-erased handle.
+        let spec = tsp_core::Protocol::Mvcc.create_table::<u64, String>(&ctx, "spec", None);
+        mgr.register(Arc::clone(&spec).as_participant());
         mgr.register_group(&[spec.id()]).unwrap();
         (mgr, spec)
     }
@@ -329,13 +333,7 @@ mod tests {
         let left = topo.source_vec(vec![(1u32, "l1"), (2, "l2"), (3, "l3")]);
         let right = topo.source_vec(vec![(2u32, 20u64), (3, 30), (4, 40)]);
         let sink = left
-            .hash_join(
-                right,
-                16,
-                |l| l.0,
-                |r| r.0,
-                |l, r| (l.0, l.1, r.1),
-            )
+            .hash_join(right, 16, |l| l.0, |r| r.0, |l, r| (l.0, l.1, r.1))
             .collect();
         topo.run();
         let mut out = sink.take();
@@ -349,8 +347,9 @@ mod tests {
         // Left emits key 1 early; the right side's matching element arrives
         // after more than `window` other left elements, so the join buffer no
         // longer holds it.
-        let left_items: Vec<(u32, u32)> =
-            std::iter::once((1u32, 0u32)).chain((100..120).map(|i| (i, i))).collect();
+        let left_items: Vec<(u32, u32)> = std::iter::once((1u32, 0u32))
+            .chain((100..120).map(|i| (i, i)))
+            .collect();
         let left = topo.source_vec(left_items);
         let right = topo.source_with_timestamps(vec![(1000u64, (1u32, 99u32))]);
         let sink = left

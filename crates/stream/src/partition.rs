@@ -65,7 +65,11 @@ impl<T: Data> Stream<T> {
 
     /// Generic router: `route_of(element)` picks the partition for each data
     /// element; punctuations go everywhere.
-    fn route(self, n: usize, mut route_of: impl FnMut(&T) -> usize + Send + 'static) -> Vec<Stream<T>> {
+    fn route(
+        self,
+        n: usize,
+        mut route_of: impl FnMut(&T) -> usize + Send + 'static,
+    ) -> Vec<Stream<T>> {
         let mut senders = Vec::with_capacity(n);
         let mut streams = Vec::with_capacity(n);
         for _ in 0..n {
@@ -98,7 +102,7 @@ impl<T: Data> Stream<T> {
                     }
                     StreamElement::Punctuation(p) => {
                         for s in &senders {
-                            if s.send(StreamElement::Punctuation(p.clone())).is_err() {
+                            if s.send(StreamElement::Punctuation(p)).is_err() {
                                 return;
                             }
                         }

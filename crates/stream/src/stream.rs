@@ -67,14 +67,15 @@ impl Topology {
         let core = Arc::clone(self.core());
         let handle = std::thread::spawn(move || {
             core.wait_for_start();
-            let mut seq = 0u64;
             let mut last_ts = 0;
-            for (ts, payload) in items {
+            for (seq, (ts, payload)) in items.into_iter().enumerate() {
                 last_ts = ts;
-                if tx.send(StreamElement::Data(Tuple::new(ts, seq, payload))).is_err() {
+                if tx
+                    .send(StreamElement::Data(Tuple::new(ts, seq as u64, payload)))
+                    .is_err()
+                {
                     return;
                 }
-                seq += 1;
             }
             let _ = tx.send(Punctuation::end_of_stream(last_ts).into());
         });
@@ -121,7 +122,10 @@ impl Topology {
         let handle = std::thread::spawn(move || {
             core.wait_for_start();
             for i in 0..count {
-                if tx.send(StreamElement::Data(Tuple::new(i, i, next(i)))).is_err() {
+                if tx
+                    .send(StreamElement::Data(Tuple::new(i, i, next(i))))
+                    .is_err()
+                {
                     return;
                 }
             }
@@ -195,10 +199,7 @@ impl<T: Data> Stream<T> {
 
     /// Applies `f` to every data tuple, emitting zero or more outputs per
     /// input; punctuations pass through.
-    pub fn flat_map<U: Data>(
-        self,
-        mut f: impl FnMut(T) -> Vec<U> + Send + 'static,
-    ) -> Stream<U> {
+    pub fn flat_map<U: Data>(self, mut f: impl FnMut(T) -> Vec<U> + Send + 'static) -> Stream<U> {
         self.spawn_operator(move |rx, tx| {
             for el in rx.iter() {
                 match el {
@@ -474,7 +475,8 @@ mod tests {
         let topo = Topology::new();
         let sum = Arc::new(Mutex::new(0u64));
         let sum2 = Arc::clone(&sum);
-        topo.source_generate(100, |i| i).for_each(move |x| *sum2.lock() += x);
+        topo.source_generate(100, |i| i)
+            .for_each(move |x| *sum2.lock() += x);
         topo.run();
         assert_eq!(*sum.lock(), 4950);
     }

@@ -69,13 +69,17 @@ impl<T: Data> Stream<T> {
                         }
                     }
                     StreamElement::Punctuation(p) => match p.kind {
-                        PunctuationKind::Commit if trigger == TriggerPolicy::OnCommit => {
-                            if !emit(p.timestamp, &mut seq) {
+                        // Kept as an explicit body: `emit` sends downstream,
+                        // and side effects must not hide in a match guard.
+                        #[allow(clippy::collapsible_match)]
+                        PunctuationKind::Commit => {
+                            if trigger == TriggerPolicy::OnCommit && !emit(p.timestamp, &mut seq) {
                                 return;
                             }
                         }
                         PunctuationKind::EndOfStream => {
-                            if trigger == TriggerPolicy::OnEndOfStream && !emit(p.timestamp, &mut seq)
+                            if trigger == TriggerPolicy::OnEndOfStream
+                                && !emit(p.timestamp, &mut seq)
                             {
                                 return;
                             }
@@ -178,7 +182,9 @@ mod tests {
         let topo = Topology::new();
         let out = topo
             .source_vec(vec![1u32, 2, 3])
-            .to_stream(Arc::clone(&mgr), TriggerPolicy::EveryTuple, |_tx| Ok(vec![1u8]))
+            .to_stream(Arc::clone(&mgr), TriggerPolicy::EveryTuple, |_tx| {
+                Ok(vec![1u8])
+            })
             .collect();
         topo.run();
         assert_eq!(out.take(), vec![1, 1, 1]);

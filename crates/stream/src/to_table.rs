@@ -21,6 +21,7 @@ use crate::stream::{Data, Stream};
 use crate::txn::{Boundaries, TxCoordinator};
 use std::sync::Arc;
 use tsp_common::{PunctuationKind, Result, StateId, StreamElement, TxnId};
+use tsp_core::table::{KeyType, TableHandle, ValueType};
 use tsp_core::{FlagOutcome, TransactionManager, Tx};
 
 /// Applies one stream payload to a transactional table within a transaction.
@@ -71,6 +72,32 @@ impl<T: Data> ToTable<T> {
     }
 }
 
+impl<K: KeyType, V: ValueType> ToTable<(K, V)> {
+    /// Creates a `TO_TABLE` configuration that upserts `(key, value)` stream
+    /// payloads into any transactional table, regardless of its
+    /// concurrency-control protocol.
+    ///
+    /// This is the protocol-generic fast path for the common "stream of
+    /// keyed tuples into a table" topology: pass a handle obtained from
+    /// [`tsp_core::Protocol::create_table`] and the operator writes through
+    /// the [`tsp_core::TransactionalTable`] interface.
+    pub fn for_table(
+        mgr: Arc<TransactionManager>,
+        coordinator: Arc<TxCoordinator>,
+        table: TableHandle<K, V>,
+        boundaries: Boundaries,
+    ) -> Self {
+        let state = table.id();
+        ToTable::new(
+            mgr,
+            coordinator,
+            state,
+            boundaries,
+            move |tx: &Tx, (k, v): &(K, V)| table.write(tx, k.clone(), v.clone()),
+        )
+    }
+}
+
 struct PunctuatedState {
     marker: TxnId,
     tx: Tx,
@@ -112,8 +139,7 @@ impl<T: Data> Stream<T> {
                                     || p.kind == PunctuationKind::Rollback =>
                             {
                                 if let Some(st) = current.take() {
-                                    let abort =
-                                        st.failed || p.kind == PunctuationKind::Rollback;
+                                    let abort = st.failed || p.kind == PunctuationKind::Rollback;
                                     let outcome = if abort {
                                         mgr.flag_abort(&st.tx, state)
                                     } else {
@@ -231,6 +257,7 @@ mod tests {
     use crate::topology::Topology;
     use tsp_core::{MvccTable, StateContext};
 
+    #[allow(clippy::type_complexity)]
     fn setup() -> (
         Arc<StateContext>,
         Arc<TransactionManager>,

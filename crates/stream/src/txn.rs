@@ -249,7 +249,11 @@ mod tests {
             std::thread::spawn(move || coord.tx_for(m2).unwrap())
         };
         std::thread::sleep(Duration::from_millis(50));
-        assert_eq!(coord.live_count(), 1, "second transaction must not have begun yet");
+        assert_eq!(
+            coord.live_count(),
+            1,
+            "second transaction must not have begun yet"
+        );
         coord.remove(m1);
         ctx.finish(&tx1);
         let tx2 = waiter.join().unwrap();

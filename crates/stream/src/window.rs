@@ -76,13 +76,12 @@ impl<T: Data> Stream<T> {
                         }
                     }
                     StreamElement::Punctuation(p) => {
-                        match p.kind {
-                            PunctuationKind::WindowClose | PunctuationKind::EndOfStream => {
-                                if !flush(&mut buf, start, end, &mut seq) {
-                                    return;
-                                }
-                            }
-                            _ => {}
+                        let closes = matches!(
+                            p.kind,
+                            PunctuationKind::WindowClose | PunctuationKind::EndOfStream
+                        );
+                        if closes && !flush(&mut buf, start, end, &mut seq) {
+                            return;
                         }
                         if tx.send(StreamElement::Punctuation(p)).is_err() {
                             return;
@@ -119,7 +118,10 @@ impl<T: Data> Stream<T> {
                                 end: buf[buf.len() - 1].0,
                                 items: buf.iter().map(|(_, v)| v.clone()).collect(),
                             };
-                            if tx.send(StreamElement::Data(Tuple::new(w.end, seq, w))).is_err() {
+                            if tx
+                                .send(StreamElement::Data(Tuple::new(w.end, seq, w)))
+                                .is_err()
+                            {
                                 return;
                             }
                             seq += 1;
@@ -145,24 +147,23 @@ impl<T: Data> Stream<T> {
             let mut current: Option<(Timestamp, Vec<T>)> = None;
             let mut seq = 0u64;
             let mut last_ts = 0;
-            let flush =
-                |current: &mut Option<(Timestamp, Vec<T>)>, seq: &mut u64| -> bool {
-                    if let Some((win_start, items)) = current.take() {
-                        if !items.is_empty() {
-                            let w = Window {
-                                start: win_start,
-                                end: win_start + width - 1,
-                                items,
-                            };
-                            let ok = tx
-                                .send(StreamElement::Data(Tuple::new(w.end, *seq, w)))
-                                .is_ok();
-                            *seq += 1;
-                            return ok;
-                        }
+            let flush = |current: &mut Option<(Timestamp, Vec<T>)>, seq: &mut u64| -> bool {
+                if let Some((win_start, items)) = current.take() {
+                    if !items.is_empty() {
+                        let w = Window {
+                            start: win_start,
+                            end: win_start + width - 1,
+                            items,
+                        };
+                        let ok = tx
+                            .send(StreamElement::Data(Tuple::new(w.end, *seq, w)))
+                            .is_ok();
+                        *seq += 1;
+                        return ok;
                     }
-                    true
-                };
+                }
+                true
+            };
             for el in rx.iter() {
                 match el {
                     StreamElement::Data(t) => {
@@ -212,37 +213,34 @@ impl<T: Data> Stream<T> {
         self.spawn_operator(move |rx, tx| {
             let mut current: Option<(Timestamp, Timestamp, Vec<T>)> = None;
             let mut seq = 0u64;
-            let flush = |current: &mut Option<(Timestamp, Timestamp, Vec<T>)>,
-                         seq: &mut u64|
-             -> bool {
-                if let Some((start, end, items)) = current.take() {
-                    if !items.is_empty() {
-                        let w = Window { start, end, items };
-                        let ok = tx
-                            .send(StreamElement::Data(Tuple::new(w.end, *seq, w)))
-                            .is_ok();
-                        *seq += 1;
-                        return ok;
-                    }
-                }
-                true
-            };
-            for el in rx.iter() {
-                match el {
-                    StreamElement::Data(t) => {
-                        match &mut current {
-                            Some((_, end, items)) if t.timestamp.saturating_sub(*end) <= gap => {
-                                *end = t.timestamp;
-                                items.push(t.payload);
-                            }
-                            _ => {
-                                if !flush(&mut current, &mut seq) {
-                                    return;
-                                }
-                                current = Some((t.timestamp, t.timestamp, vec![t.payload]));
-                            }
+            let flush =
+                |current: &mut Option<(Timestamp, Timestamp, Vec<T>)>, seq: &mut u64| -> bool {
+                    if let Some((start, end, items)) = current.take() {
+                        if !items.is_empty() {
+                            let w = Window { start, end, items };
+                            let ok = tx
+                                .send(StreamElement::Data(Tuple::new(w.end, *seq, w)))
+                                .is_ok();
+                            *seq += 1;
+                            return ok;
                         }
                     }
+                    true
+                };
+            for el in rx.iter() {
+                match el {
+                    StreamElement::Data(t) => match &mut current {
+                        Some((_, end, items)) if t.timestamp.saturating_sub(*end) <= gap => {
+                            *end = t.timestamp;
+                            items.push(t.payload);
+                        }
+                        _ => {
+                            if !flush(&mut current, &mut seq) {
+                                return;
+                            }
+                            current = Some((t.timestamp, t.timestamp, vec![t.payload]));
+                        }
+                    },
                     StreamElement::Punctuation(p) => {
                         if matches!(
                             p.kind,
@@ -313,7 +311,11 @@ mod tests {
         assert_eq!(windows.len(), 3);
         assert_eq!(windows[0].items, vec![1, 2, 3]);
         assert_eq!(windows[1].items, vec![4, 5, 6]);
-        assert_eq!(windows[2].items, vec![7], "partial tail window flushed at EOS");
+        assert_eq!(
+            windows[2].items,
+            vec![7],
+            "partial tail window flushed at EOS"
+        );
         assert_eq!(windows[0].len(), 3);
         assert!(!windows[0].is_empty());
     }
@@ -403,13 +405,7 @@ mod tests {
     fn session_window_splits_on_gap() {
         let topo = Topology::new();
         // Two bursts separated by a long quiet period.
-        let items = vec![
-            (0u64, 1u32),
-            (2, 2),
-            (4, 3),
-            (100, 10),
-            (101, 11),
-        ];
+        let items = vec![(0u64, 1u32), (2, 2), (4, 3), (100, 10), (101, 11)];
         let sink = topo
             .source_with_timestamps(items)
             .session_window(5)

@@ -21,38 +21,14 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
-use tsp_common::{Result, StateId, TspError};
+use tsp_common::{Result, TspError};
 use tsp_core::{
-    BoccTable, MvccTable, S2plTable, StateContext, TransactionManager, Tx, TxParticipant,
-    TxStatsSnapshot,
+    StateContext, TableHandle, TransactionManager, TransactionalTableExt, TxStatsSnapshot,
+    MAX_ACTIVE_TXNS,
 };
 use tsp_storage::{LsmOptions, LsmStore, StorageBackend, SyncPolicy};
 
-/// Concurrency-control protocol under test (§5 compares all three).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Protocol {
-    /// Multi-version concurrency control with snapshot isolation (the
-    /// paper's contribution).
-    Mvcc,
-    /// Strict two-phase locking baseline.
-    S2pl,
-    /// Backward-oriented optimistic concurrency control baseline.
-    Bocc,
-}
-
-impl Protocol {
-    /// All protocols, in the order the paper lists them.
-    pub const ALL: [Protocol; 3] = [Protocol::Mvcc, Protocol::S2pl, Protocol::Bocc];
-
-    /// Short display name used in reports.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Protocol::Mvcc => "MVCC",
-            Protocol::S2pl => "S2PL",
-            Protocol::Bocc => "BOCC",
-        }
-    }
-}
+pub use tsp_core::Protocol;
 
 /// Base-table storage configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -200,90 +176,18 @@ impl RunResult {
     }
 }
 
-/// A protocol-erased handle to one of the two benchmark states.
-///
-/// The harness (and the examples / benches built on it) need to drive all
-/// three table flavours through one interface; this enum is that interface
-/// for the benchmark's `u32 → Vec<u8>` schema.
-pub enum AnyTable {
-    /// Snapshot-isolation table.
-    Mvcc(Arc<MvccTable<u32, Vec<u8>>>),
-    /// Strict two-phase-locking table.
-    S2pl(Arc<S2plTable<u32, Vec<u8>>>),
-    /// Backward-oriented optimistic table.
-    Bocc(Arc<BoccTable<u32, Vec<u8>>>),
-}
-
-impl AnyTable {
-    /// Creates a table of the given protocol flavour.
-    pub fn create(
-        protocol: Protocol,
-        ctx: &Arc<StateContext>,
-        name: &str,
-        backend: Option<Arc<dyn StorageBackend>>,
-    ) -> Self {
-        match (protocol, backend) {
-            (Protocol::Mvcc, Some(b)) => AnyTable::Mvcc(MvccTable::persistent(ctx, name, b)),
-            (Protocol::Mvcc, None) => AnyTable::Mvcc(MvccTable::volatile(ctx, name)),
-            (Protocol::S2pl, Some(b)) => AnyTable::S2pl(S2plTable::persistent(ctx, name, b)),
-            (Protocol::S2pl, None) => AnyTable::S2pl(S2plTable::volatile(ctx, name)),
-            (Protocol::Bocc, Some(b)) => AnyTable::Bocc(BoccTable::persistent(ctx, name, b)),
-            (Protocol::Bocc, None) => AnyTable::Bocc(BoccTable::volatile(ctx, name)),
-        }
-    }
-
-    /// The table's state id.
-    pub fn id(&self) -> StateId {
-        match self {
-            AnyTable::Mvcc(t) => t.id(),
-            AnyTable::S2pl(t) => t.id(),
-            AnyTable::Bocc(t) => t.id(),
-        }
-    }
-
-    /// The table as a consistency-protocol participant (for registration).
-    pub fn participant(&self) -> Arc<dyn TxParticipant> {
-        match self {
-            AnyTable::Mvcc(t) => Arc::clone(t) as Arc<dyn TxParticipant>,
-            AnyTable::S2pl(t) => Arc::clone(t) as Arc<dyn TxParticipant>,
-            AnyTable::Bocc(t) => Arc::clone(t) as Arc<dyn TxParticipant>,
-        }
-    }
-
-    /// Transactional read.
-    pub fn read(&self, tx: &Tx, key: &u32) -> Result<Option<Vec<u8>>> {
-        match self {
-            AnyTable::Mvcc(t) => t.read(tx, key),
-            AnyTable::S2pl(t) => t.read(tx, key),
-            AnyTable::Bocc(t) => t.read(tx, key),
-        }
-    }
-
-    /// Transactional write.
-    pub fn write(&self, tx: &Tx, key: u32, value: Vec<u8>) -> Result<()> {
-        match self {
-            AnyTable::Mvcc(t) => t.write(tx, key, value),
-            AnyTable::S2pl(t) => t.write(tx, key, value),
-            AnyTable::Bocc(t) => t.write(tx, key, value),
-        }
-    }
-
-    /// Non-transactional preload of initial rows.
-    pub fn preload(&self, rows: impl IntoIterator<Item = (u32, Vec<u8>)>) -> Result<()> {
-        match self {
-            AnyTable::Mvcc(t) => t.preload(rows),
-            AnyTable::S2pl(t) => t.preload(rows),
-            AnyTable::Bocc(t) => t.preload(rows),
-        }
-    }
-}
-
 /// One fully wired benchmark environment (context, manager, the two states).
+///
+/// The states are protocol-erased [`TableHandle`]s produced by the
+/// [`Protocol::create_table`] factory, so the whole harness — and the benches
+/// and examples built on it — is protocol-independent: the paper's benchmark
+/// schema is `u32 → Vec<u8>` (4-byte keys, 20-byte values) regardless of the
+/// concurrency-control protocol under test.
 pub struct BenchEnv {
     /// The transaction manager.
     pub mgr: Arc<TransactionManager>,
     /// The two states written by the stream and read by ad-hoc queries.
-    pub states: [Arc<AnyTable>; 2],
+    pub states: [TableHandle<u32, Vec<u8>>; 2],
     /// Directory holding the persistent base tables, if any (removed on drop).
     data_dir: Option<PathBuf>,
 }
@@ -301,7 +205,10 @@ static RUN_COUNTER: AtomicU64 = AtomicU64::new(0);
 impl BenchEnv {
     /// Builds and preloads the benchmark environment described by `config`.
     pub fn build(config: &WorkloadConfig) -> Result<Self> {
-        let ctx = Arc::new(StateContext::new());
+        // Size the transaction-slot table for the configured thread count so
+        // high-concurrency sweeps aren't capped by the default of 64.
+        let capacity = MAX_ACTIVE_TXNS.max(config.readers + config.writers + 2);
+        let ctx = Arc::new(StateContext::with_capacity(capacity));
         let mgr = TransactionManager::new(Arc::clone(&ctx));
 
         let (backends, data_dir): (Vec<Option<Arc<dyn StorageBackend>>>, Option<PathBuf>) =
@@ -335,16 +242,15 @@ impl BenchEnv {
 
         let mut states = Vec::with_capacity(2);
         for (i, backend) in backends.into_iter().enumerate() {
-            let table = Arc::new(AnyTable::create(
-                config.protocol,
-                &ctx,
-                &format!("measurements{}", i + 1),
-                backend,
-            ));
-            mgr.register(table.participant());
+            let table: TableHandle<u32, Vec<u8>> =
+                config
+                    .protocol
+                    .create_table(&ctx, format!("measurements{}", i + 1), backend);
+            mgr.register(Arc::clone(&table).as_participant());
             states.push(table);
         }
-        let states: [Arc<AnyTable>; 2] = [Arc::clone(&states[0]), Arc::clone(&states[1])];
+        let states: [TableHandle<u32, Vec<u8>>; 2] =
+            [Arc::clone(&states[0]), Arc::clone(&states[1])];
         mgr.register_group(&[states[0].id(), states[1].id()])?;
 
         // Preload both states: 4-byte keys, `value_size`-byte values.
@@ -370,10 +276,10 @@ pub fn run(config: &WorkloadConfig) -> Result<RunResult> {
 /// Runs one benchmark cell against an already-built environment (lets the
 /// ablation benches reuse an expensive preload across sweeps).
 pub fn run_in(config: &WorkloadConfig, env: &BenchEnv) -> Result<RunResult> {
-    if config.readers + config.writers + 1 > tsp_core::MAX_ACTIVE_TXNS {
+    let capacity = env.mgr.context().max_active_txns();
+    if config.readers + config.writers + 1 > capacity {
         return Err(TspError::config(format!(
-            "readers + writers must stay below {} concurrent transactions",
-            tsp_core::MAX_ACTIVE_TXNS
+            "readers + writers must stay below the context's {capacity} transaction slots",
         )));
     }
     let zipf = ZipfTable::new(config.table_size.max(1), config.theta, true);
@@ -408,7 +314,11 @@ pub fn run_in(config: &WorkloadConfig, env: &BenchEnv) -> Result<RunResult> {
                         break;
                     }
                 }
-                let outcome = if failed { Err(()) } else { mgr.commit(&tx).map_err(|_| ()) };
+                let outcome = if failed {
+                    Err(())
+                } else {
+                    mgr.commit(&tx).map_err(|_| ())
+                };
                 match outcome {
                     Ok(_) => committed += 1,
                     Err(()) => {
@@ -427,8 +337,10 @@ pub fn run_in(config: &WorkloadConfig, env: &BenchEnv) -> Result<RunResult> {
         let states = [Arc::clone(&env.states[0]), Arc::clone(&env.states[1])];
         let stop = Arc::clone(&stop);
         let barrier = Arc::clone(&barrier);
-        let mut sampler =
-            ZipfSampler::new(Arc::clone(&zipf), config.seed ^ 0xDEAD_BEEF ^ (r as u64 * 31 + 7));
+        let mut sampler = ZipfSampler::new(
+            Arc::clone(&zipf),
+            config.seed ^ 0xDEAD_BEEF ^ (r as u64 * 31 + 7),
+        );
         let tx_ops = config.tx_ops;
         reader_handles.push(std::thread::spawn(
             move || -> (u64, u64, LatencyRecorder) {
@@ -572,12 +484,29 @@ mod tests {
     }
 
     #[test]
-    fn config_rejects_too_many_threads() {
+    fn run_in_rejects_more_threads_than_the_context_holds() {
+        // The environment is sized for the small config; re-running it with
+        // far more readers than transaction slots must be rejected up front.
+        let small = WorkloadConfig::quick(Protocol::Mvcc);
+        let env = BenchEnv::build(&small).unwrap();
+        let big = WorkloadConfig {
+            readers: env.mgr.context().max_active_txns() + 1,
+            ..small
+        };
+        assert!(run_in(&big, &env).is_err());
+    }
+
+    #[test]
+    fn build_sizes_the_context_for_high_concurrency() {
         let config = WorkloadConfig {
-            readers: 200,
+            readers: 100,
+            duration: Duration::from_millis(100),
             ..WorkloadConfig::quick(Protocol::Mvcc)
         };
-        assert!(run(&config).is_err());
+        let env = BenchEnv::build(&config).unwrap();
+        assert!(env.mgr.context().max_active_txns() >= 102);
+        let result = run_in(&config, &env).unwrap();
+        assert!(result.reader_committed > 0);
     }
 
     #[test]

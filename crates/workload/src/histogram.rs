@@ -110,9 +110,7 @@ impl Histogram {
         if n == 0 {
             return None;
         }
-        Some(Duration::from_nanos(
-            self.sum.load(Ordering::Relaxed) / n,
-        ))
+        Some(Duration::from_nanos(self.sum.load(Ordering::Relaxed) / n))
     }
 
     /// The `q`-quantile (0.0 ..= 1.0) with the histogram's bucket resolution.
@@ -220,7 +218,17 @@ mod tests {
     fn bucket_error_is_bounded() {
         // Every recorded value must land in a bucket whose representative
         // value is within ~2/64 of the original.
-        for v in [1u64, 7, 63, 64, 65, 1_000, 123_456, 9_999_999, u32::MAX as u64] {
+        for v in [
+            1u64,
+            7,
+            63,
+            64,
+            65,
+            1_000,
+            123_456,
+            9_999_999,
+            u32::MAX as u64,
+        ] {
             let h = Histogram::new();
             h.record_nanos(v);
             let q = h.quantile(1.0).unwrap().as_nanos() as u64;

@@ -25,7 +25,7 @@ pub mod smartmeter;
 pub mod ycsb;
 pub mod zipf;
 
-pub use harness::{AnyTable, BenchEnv, Protocol, RunResult, StorageKind, WorkloadConfig};
+pub use harness::{BenchEnv, Protocol, RunResult, StorageKind, WorkloadConfig};
 pub use histogram::Histogram;
 pub use metrics::{throughput_ktps, LatencyRecorder};
 pub use smartmeter::{MeterReading, MeterSpec, SmartMeterConfig, SmartMeterGenerator};
@@ -35,7 +35,7 @@ pub use zipf::{ZipfSampler, ZipfTable};
 /// Frequently used items, re-exported for `use tsp_workload::prelude::*`.
 pub mod prelude {
     pub use crate::harness::{
-        run, run_in, AnyTable, BenchEnv, Protocol, RunResult, StorageKind, WorkloadConfig,
+        run, run_in, BenchEnv, Protocol, RunResult, StorageKind, WorkloadConfig,
     };
     pub use crate::histogram::Histogram;
     pub use crate::metrics::{throughput_ktps, LatencyRecorder};
@@ -45,4 +45,5 @@ pub mod prelude {
     };
     pub use crate::ycsb::{run_ycsb, YcsbConfig, YcsbMix, YcsbOp, YcsbResult};
     pub use crate::zipf::{ZipfSampler, ZipfTable};
+    pub use tsp_core::{TableHandle, TransactionalTable, TransactionalTableExt};
 }

@@ -65,7 +65,9 @@ impl LatencyRecorder {
             return None;
         }
         let sum: u128 = self.samples.iter().map(|s| *s as u128).sum();
-        Some(Duration::from_nanos((sum / self.samples.len() as u128) as u64))
+        Some(Duration::from_nanos(
+            (sum / self.samples.len() as u128) as u64,
+        ))
     }
 
     /// Merges another recorder's samples into this one.
@@ -107,7 +109,10 @@ mod tests {
         let p99 = r.quantile(0.99).unwrap();
         assert!(p99 >= Duration::from_micros(98));
         let mean = r.mean().unwrap();
-        assert!((50..=52).contains(&(mean.as_micros() as u64)), "mean={mean:?}");
+        assert!(
+            (50..=52).contains(&(mean.as_micros() as u64)),
+            "mean={mean:?}"
+        );
         assert!(r.quantile(0.0).unwrap() <= r.quantile(1.0).unwrap());
     }
 

@@ -76,7 +76,9 @@ pub fn figure4_table(results: &[RunResult]) -> String {
             out.push_str(&format!("{theta:>6.2} "));
             for p in &unique_protocols {
                 let cell = results.iter().find(|r| {
-                    r.readers == readers && (r.theta - theta).abs() < 1e-9 && r.protocol.name() == *p
+                    r.readers == readers
+                        && (r.theta - theta).abs() < 1e-9
+                        && r.protocol.name() == *p
                 });
                 match cell {
                     Some(r) => out.push_str(&format!("{:>10.1} ", r.throughput_ktps)),
@@ -142,7 +144,10 @@ mod tests {
     #[test]
     fn write_csv_creates_file() {
         let path = std::env::temp_dir().join(format!("tsp-report-{}.csv", std::process::id()));
-        let results = vec![fake(Protocol::Mvcc, 4, 0.0, 10.0), fake(Protocol::S2pl, 4, 0.0, 5.0)];
+        let results = vec![
+            fake(Protocol::Mvcc, 4, 0.0, 10.0),
+            fake(Protocol::S2pl, 4, 0.0, 5.0),
+        ];
         write_csv(&path, &results).unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
         assert_eq!(content.lines().count(), 3);

@@ -159,9 +159,9 @@ impl SmartMeterGenerator {
         // Two consumption peaks (morning, evening) approximated with a
         // piecewise curve; values in watts.
         let curve = match seconds_of_day {
-            s if (21_600..32_400).contains(&s) => 900,  // 06:00–09:00
+            s if (21_600..32_400).contains(&s) => 900,   // 06:00–09:00
             s if (61_200..79_200).contains(&s) => 1_400, // 17:00–22:00
-            s if (32_400..61_200).contains(&s) => 400,  // daytime
+            s if (32_400..61_200).contains(&s) => 400,   // daytime
             _ => 100,                                    // night
         };
         let noise = self.rng.gen_range(0..300);
@@ -208,7 +208,9 @@ mod tests {
             ..Default::default()
         })
         .readings();
-        assert!(readings.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+        assert!(readings
+            .windows(2)
+            .all(|w| w[0].timestamp <= w[1].timestamp));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! DESIGN.md's ablation table).  The contention knob is the same Zipfian
 //! sampler the Figure-4 harness uses, so results are directly comparable.
 
-use crate::harness::{AnyTable, Protocol};
+use crate::harness::Protocol;
 use crate::histogram::Histogram;
 use crate::zipf::{ZipfSampler, ZipfTable};
 use rand::rngs::StdRng;
@@ -217,10 +217,12 @@ impl YcsbResult {
 /// Runs one YCSB configuration against a freshly built, volatile state.
 pub fn run_ycsb(config: &YcsbConfig) -> Result<YcsbResult> {
     assert!(config.mix.is_normalised(), "mix proportions must sum to 1");
-    let ctx = Arc::new(StateContext::new());
+    let ctx = Arc::new(StateContext::with_capacity(
+        tsp_core::MAX_ACTIVE_TXNS.max(config.clients + 2),
+    ));
     let mgr = TransactionManager::new(Arc::clone(&ctx));
-    let table = Arc::new(AnyTable::create(config.protocol, &ctx, "ycsb", None));
-    mgr.register(table.participant());
+    let table: TableHandle<u32, Vec<u8>> = config.protocol.create_table(&ctx, "ycsb", None);
+    mgr.register(Arc::clone(&table).as_participant());
     mgr.register_group(&[table.id()])?;
     table.preload((0..config.table_size).map(|i| (i as u32, vec![0u8; config.value_size])))?;
 
@@ -329,7 +331,6 @@ mod tests {
             value_size: 8,
             scan_length: 4,
             seed: 7,
-            ..Default::default()
         }
     }
 

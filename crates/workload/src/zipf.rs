@@ -160,7 +160,10 @@ mod tests {
         assert!(freq.len() > 95);
         let max = *freq.values().max().unwrap();
         let min = *freq.values().min().unwrap();
-        assert!(max < 3 * min, "uniform draw too skewed: min={min} max={max}");
+        assert!(
+            max < 3 * min,
+            "uniform draw too skewed: min={min} max={max}"
+        );
     }
 
     #[test]
@@ -173,7 +176,10 @@ mod tests {
         // Empirically as well.
         let freq = frequency(2.9, 10_000, 50_000);
         let hottest = *freq.get(&0).unwrap_or(&0) as f64 / 50_000.0;
-        assert!((0.79..=0.85).contains(&hottest), "empirical share {hottest}");
+        assert!(
+            (0.79..=0.85).contains(&hottest),
+            "empirical share {hottest}"
+        );
     }
 
     #[test]
@@ -213,7 +219,10 @@ mod tests {
         let table = ZipfTable::new(10_000, 1.0, true);
         let mut seen = std::collections::HashSet::new();
         for rank in 0..10_000u64 {
-            assert!(seen.insert(table.rank_to_key(rank)), "collision at rank {rank}");
+            assert!(
+                seen.insert(table.rank_to_key(rank)),
+                "collision at rank {rank}"
+            );
         }
     }
 

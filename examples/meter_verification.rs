@@ -68,18 +68,23 @@ fn main() -> tsp::common::Result<()> {
     let topo = Topology::new();
     let writer_table = Arc::clone(&violations);
     let verify_mgr = Arc::clone(&mgr);
+    // The lookup join is protocol-generic: it probes through the
+    // `TransactionalTable` trait, so any protocol's table handle works.
+    let spec_handle: TableHandle<u32, MeterSpec> = spec_table.clone();
 
     topo.source_with_timestamps(readings.into_iter().map(|r| (r.timestamp, r)))
         // Key the stream by meter id so the join knows what to probe.
         .key_by(|r: &MeterReading| r.meter_id)
         // Verify against the specification under snapshot isolation; keep
         // only violations.
-        .lookup_join_with(Arc::clone(&verify_mgr), Arc::clone(&spec_table), |meter, r, spec| {
-            match spec {
+        .lookup_join_with(
+            Arc::clone(&verify_mgr),
+            spec_handle,
+            |meter, r, spec| match spec {
                 Some(spec) if violates_spec(&r, &spec) => Some((meter, r)),
                 _ => None,
-            }
-        })
+            },
+        )
         // One transaction per 100 violations (data-centric boundaries).
         .punctuate_every(100, Arc::clone(&coord))
         .to_table(ToTable::new(

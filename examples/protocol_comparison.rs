@@ -14,7 +14,10 @@ fn main() -> tsp::common::Result<()> {
     let readers = 4;
     let mut results = Vec::new();
 
-    println!("running {} cells (scaled down: 20k rows, 1 s per cell, in-memory base tables)\n", thetas.len() * Protocol::ALL.len());
+    println!(
+        "running {} cells (scaled down: 20k rows, 1 s per cell, in-memory base tables)\n",
+        thetas.len() * Protocol::ALL.len()
+    );
     for theta in thetas {
         for protocol in Protocol::ALL {
             let config = WorkloadConfig {

@@ -2,7 +2,9 @@
 //!
 //! This example walks through the core API in five minutes:
 //!
-//! 1. create a persistent transactional table (MVCC / snapshot isolation),
+//! 1. create a persistent transactional table through the runtime
+//!    [`Protocol`] factory (MVCC / snapshot isolation here — swap the enum
+//!    value to run the same program under S2PL or BOCC),
 //! 2. write to it from a "stream" of transactions,
 //! 3. run ad-hoc snapshot queries that never block the writer,
 //! 4. demonstrate that aborted transactions leave no trace,
@@ -12,22 +14,34 @@
 
 use std::sync::Arc;
 use tsp::core::prelude::*;
-use tsp::storage::{LsmOptions, LsmStore};
+use tsp::storage::{LsmOptions, LsmStore, StorageBackend};
 
 fn main() -> tsp::common::Result<()> {
     let dir = std::env::temp_dir().join(format!("tsp-quickstart-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
 
     // ------------------------------------------------------------------
-    // 1. Set up the transaction context and a persistent table.
+    // 1. Set up the transaction context and a persistent table.  The
+    //    protocol is a runtime value: every API below goes through the
+    //    protocol-agnostic `TransactionalTable` handle.
     // ------------------------------------------------------------------
-    let backend = Arc::new(LsmStore::open(dir.join("meter_readings"), LsmOptions::paper_default())?);
+    let protocol = Protocol::Mvcc;
+    let backend: Arc<dyn StorageBackend> = Arc::new(LsmStore::open(
+        dir.join("meter_readings"),
+        LsmOptions::paper_default(),
+    )?);
     let ctx = Arc::new(StateContext::new());
     let mgr = TransactionManager::new(Arc::clone(&ctx));
-    let readings = MvccTable::<u64, String>::persistent(&ctx, "meter_readings", backend.clone());
-    mgr.register(readings.clone());
+    let readings: TableHandle<u64, String> =
+        protocol.create_table(&ctx, "meter_readings", Some(backend.clone()));
+    mgr.register(Arc::clone(&readings).as_participant());
     mgr.register_group(&[readings.id()])?;
-    println!("created persistent state '{}' (state id {})", readings.name(), readings.id());
+    println!(
+        "created persistent {} state '{}' (state id {})",
+        protocol.name(),
+        readings.name(),
+        readings.id()
+    );
 
     // ------------------------------------------------------------------
     // 2. A stream of transactions writes measurements.
@@ -35,9 +49,15 @@ fn main() -> tsp::common::Result<()> {
     for batch in 0..3u64 {
         let tx = mgr.begin()?;
         for meter in 0..5u64 {
-            readings.write(&tx, meter, format!("batch {batch}: {} kWh", 10 * batch + meter))?;
+            readings.write(
+                &tx,
+                meter,
+                format!("batch {batch}: {} kWh", 10 * batch + meter),
+            )?;
         }
-        let cts = mgr.commit(&tx)?.expect("writer transactions carry a commit timestamp");
+        let cts = mgr
+            .commit(&tx)?
+            .expect("writer transactions carry a commit timestamp");
         println!("committed batch {batch} at logical time {cts}");
     }
 
@@ -59,8 +79,14 @@ fn main() -> tsp::common::Result<()> {
     readings.write(&tx, 0, "OVERWRITTEN".to_string())?;
     mgr.commit(&tx)?;
     let still_before = readings.read(&long_query, &0)?;
-    assert_eq!(before, still_before, "snapshot must not move under the query");
-    println!("\nlong-running query still sees: {:?}", still_before.as_deref());
+    assert_eq!(
+        before, still_before,
+        "snapshot must not move under the query"
+    );
+    println!(
+        "\nlong-running query still sees: {:?}",
+        still_before.as_deref()
+    );
     mgr.commit(&long_query)?;
 
     // ------------------------------------------------------------------
@@ -82,12 +108,16 @@ fn main() -> tsp::common::Result<()> {
     drop(ctx);
     drop(backend);
 
-    let backend = Arc::new(LsmStore::open(dir.join("meter_readings"), LsmOptions::paper_default())?);
+    let backend: Arc<dyn StorageBackend> = Arc::new(LsmStore::open(
+        dir.join("meter_readings"),
+        LsmOptions::paper_default(),
+    )?);
     let clock = resume_clock(&[&*backend])?;
     let ctx = Arc::new(StateContext::with_clock(clock));
     let mgr = TransactionManager::new(Arc::clone(&ctx));
-    let readings = MvccTable::<u64, String>::persistent(&ctx, "meter_readings", backend.clone());
-    mgr.register(readings.clone());
+    let readings: TableHandle<u64, String> =
+        protocol.create_table(&ctx, "meter_readings", Some(backend.clone()));
+    mgr.register(Arc::clone(&readings).as_participant());
     let group = mgr.register_group(&[readings.id()])?;
     let report = restore_group(&ctx, group, &[&*backend])?;
     println!(

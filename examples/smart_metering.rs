@@ -143,7 +143,10 @@ fn main() -> tsp::common::Result<()> {
 
     println!("=== smart metering run complete ===");
     let flagged = violations.take();
-    println!("verify query flagged {} specification-violation snapshots", flagged.len());
+    println!(
+        "verify query flagged {} specification-violation snapshots",
+        flagged.len()
+    );
     for (meter, total, limit) in flagged.iter().take(5) {
         println!("  meter {meter}: accumulated {total} Wh exceeds limit {limit} Wh");
     }
@@ -173,7 +176,10 @@ fn main() -> tsp::common::Result<()> {
         move |tx| Ok((home.scan(tx)?.len(), local.scan(tx)?.len()))
     });
     let (home_rows, local_rows) = consistency_check.run()?;
-    assert_eq!(home_rows, local_rows, "both states of the group commit together");
+    assert_eq!(
+        home_rows, local_rows,
+        "both states of the group commit together"
+    );
     println!("\nconsistency check passed: {home_rows} meters present in both grouped states");
 
     let stats = ctx.stats().snapshot();

@@ -1,0 +1,200 @@
+//! Offline stand-in for the subset of `rand` this workspace uses.
+//!
+//! The container this repository builds in has no access to crates.io, so the
+//! workspace vendors API-compatible shims for its few external dependencies.
+//! `StdRng` here is a deterministic xoshiro256** generator seeded via
+//! SplitMix64 — not the real `rand` StdRng, but statistically fine for the
+//! workload generators and property tests that consume it.
+
+use std::ops::Range;
+
+/// Types that can be seeded from a `u64` (shim of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Random-value sampling (shim of `rand::Rng`).
+pub trait Rng {
+    /// The raw 64-bit output of the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value of type `T` from its full/standard range.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self.next_u64())
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        f64::sample(self.next_u64()) < p
+    }
+
+    /// Samples uniformly from a half-open integer range.
+    fn gen_range<T: UniformInt>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self.next_u64(), range)
+    }
+}
+
+/// Value types supported by [`Rng::gen`].
+pub trait Standard {
+    /// Derives a sample from one raw 64-bit generator output.
+    fn sample(raw: u64) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample(raw: u64) -> f64 {
+        // 53 random mantissa bits → uniform in [0, 1).
+        (raw >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn sample(raw: u64) -> u64 {
+        raw
+    }
+}
+
+impl Standard for u32 {
+    fn sample(raw: u64) -> u32 {
+        (raw >> 32) as u32
+    }
+}
+
+impl Standard for u16 {
+    fn sample(raw: u64) -> u16 {
+        (raw >> 48) as u16
+    }
+}
+
+impl Standard for u8 {
+    fn sample(raw: u64) -> u8 {
+        (raw >> 56) as u8
+    }
+}
+
+impl Standard for bool {
+    fn sample(raw: u64) -> bool {
+        raw & 1 == 1
+    }
+}
+
+/// Integer types supported by [`Rng::gen_range`].
+pub trait UniformInt: Copy {
+    /// Derives a uniform sample in `range` from one raw generator output.
+    fn sample_range(raw: u64, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample_range(raw: u64, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty gen_range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                // Modulo bias is ≤ span/2^64 — irrelevant for the small spans
+                // the workspace draws.
+                let offset = (raw as u128) % span;
+                (range.start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Concrete generators (shim of `rand::rngs`).
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (stand-in for `rand::rngs::StdRng`).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn f64_samples_are_unit_interval_and_spread() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut below_half = 0;
+        for _ in 0..10_000 {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+            if u < 0.5 {
+                below_half += 1;
+            }
+        }
+        assert!((4_000..6_000).contains(&below_half), "{below_half}");
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1_000 {
+            let v = rng.gen_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.02)).count();
+        assert!((100..350).contains(&hits), "{hits}");
+    }
+}

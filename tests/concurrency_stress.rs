@@ -107,6 +107,58 @@ fn contended_writers_preserve_committed_increments() {
     let _ = ctx.stats().snapshot().write_conflicts;
 }
 
+/// BOCC writers racing on the same key: backward validation may abort
+/// transactions, but the total of committed increments must equal the final
+/// counter value (no lost updates among committed read-modify-writes).
+#[test]
+fn bocc_contended_writers_preserve_committed_increments() {
+    let ctx = Arc::new(StateContext::new());
+    let mgr = TransactionManager::new(Arc::clone(&ctx));
+    let table = BoccTable::<u32, u64>::volatile(&ctx, "occ-hot");
+    mgr.register(table.clone());
+    mgr.register_group(&[table.id()]).unwrap();
+
+    let init = mgr.begin().unwrap();
+    table.write(&init, 0, 0).unwrap();
+    mgr.commit(&init).unwrap();
+
+    let committed_increments = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let mgr = Arc::clone(&mgr);
+            let table = Arc::clone(&table);
+            let committed = Arc::clone(&committed_increments);
+            std::thread::spawn(move || {
+                for _ in 0..400 {
+                    let tx = match mgr.begin() {
+                        Ok(tx) => tx,
+                        Err(_) => continue,
+                    };
+                    let current = table.read(&tx, &0).unwrap().unwrap_or(0);
+                    if table.write(&tx, 0, current + 1).is_err() {
+                        let _ = mgr.abort(&tx);
+                        continue;
+                    }
+                    if mgr.commit(&tx).is_ok() {
+                        committed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let q = mgr.begin_read_only().unwrap();
+    let final_value = table.read(&q, &0).unwrap().unwrap();
+    let _ = mgr.commit(&q);
+    assert_eq!(
+        final_value,
+        committed_increments.load(Ordering::Relaxed),
+        "every committed BOCC increment must be reflected exactly once"
+    );
+}
+
 /// S2PL under reader/writer contention: wait-die may abort transactions but
 /// must never deadlock permanently, and committed data stays consistent.
 #[test]
@@ -162,7 +214,11 @@ fn s2pl_contention_never_hangs() {
                     break;
                 }
             }
-            let result = if ok { mgr.commit(&tx).map(|_| ()) } else { Err(tsp::common::TspError::Deadlock { txn: 0 }) };
+            let result = if ok {
+                mgr.commit(&tx).map(|_| ())
+            } else {
+                Err(tsp::common::TspError::Deadlock { txn: 0 })
+            };
             match result {
                 Ok(()) => {
                     committed_rounds += 1;
@@ -178,7 +234,10 @@ fn s2pl_contention_never_hangs() {
     let total_reads: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
 
     assert_eq!(committed_rounds, 200);
-    assert!(total_reads > 0, "readers must make progress despite locking");
+    assert!(
+        total_reads > 0,
+        "readers must make progress despite locking"
+    );
     let q = mgr.begin_read_only().unwrap();
     for k in 0..16u32 {
         assert_eq!(table.read(&q, &k).unwrap(), Some(200));

@@ -91,8 +91,16 @@ fn stream_to_two_states_is_atomic_under_all_protocols() {
             assert_eq!(a, b, "{protocol}: states disagree on key {k}");
         }
         mgr.commit(&q).unwrap();
-        assert_eq!(coord.live_count(), 0, "{protocol}: leaked stream transactions");
-        assert_eq!(ctx.active_count(), 0, "{protocol}: leaked transaction slots");
+        assert_eq!(
+            coord.live_count(),
+            0,
+            "{protocol}: leaked stream transactions"
+        );
+        assert_eq!(
+            ctx.active_count(),
+            0,
+            "{protocol}: leaked transaction slots"
+        );
     }
 }
 
@@ -213,7 +221,11 @@ fn crash_recovery_preserves_exactly_the_committed_prefix() {
             assert_eq!(b.read(&q, &(batch * 10 + i)).unwrap(), Some(batch));
         }
     }
-    assert_eq!(a.read(&q, &9_999).unwrap(), None, "uncommitted write must be gone");
+    assert_eq!(
+        a.read(&q, &9_999).unwrap(),
+        None,
+        "uncommitted write must be gone"
+    );
     assert_eq!(b.read(&q, &9_999).unwrap(), None);
     mgr.commit(&q).unwrap();
 

@@ -54,7 +54,11 @@ fn partitioned_stream_writes_are_complete_and_consistent() {
     let q = mgr.begin_read_only().unwrap();
     let snapshot = sums.scan(&q).unwrap();
     let total: u64 = snapshot.values().sum();
-    assert_eq!(total, (0..2_000u64).sum::<u64>(), "no element lost or duplicated");
+    assert_eq!(
+        total,
+        (0..2_000u64).sum::<u64>(),
+        "no element lost or duplicated"
+    );
     assert_eq!(snapshot.len(), 16, "one row per key");
     mgr.commit(&q).unwrap();
 }
@@ -100,9 +104,10 @@ fn lookup_join_sees_only_committed_specifications() {
     };
 
     let topo = Topology::new();
+    let spec_handle: TableHandle<u32, u64> = spec.clone();
     let sink = topo
         .source_vec((0..4_000u32).map(|i| (i % 8, i)).collect::<Vec<_>>())
-        .lookup_join(Arc::clone(&mgr), Arc::clone(&spec))
+        .lookup_join(Arc::clone(&mgr), spec_handle)
         .collect();
     topo.run();
     stop.store(1, Ordering::Relaxed);
@@ -111,7 +116,8 @@ fn lookup_join_sees_only_committed_specifications() {
     let rows = sink.take();
     assert_eq!(rows.len(), 4_000, "every element must be joined");
     assert!(
-        rows.iter().all(|(_, _, limit)| *limit == 100 || *limit == 200),
+        rows.iter()
+            .all(|(_, _, limit)| *limit == 100 || *limit == 200),
         "only committed specification values may appear"
     );
 }
@@ -165,7 +171,9 @@ fn stream_maintained_index_stays_consistent_under_gc_and_readers() {
             std::thread::spawn(move || {
                 for _ in 0..100 {
                     let q = mgr.begin_read_only().unwrap();
-                    table.check_consistency(&q).expect("index and data must agree");
+                    table
+                        .check_consistency(&q)
+                        .expect("index and data must agree");
                     mgr.commit(&q).unwrap();
                 }
             })
@@ -223,5 +231,8 @@ fn ycsb_harness_accounting_is_consistent() {
         seed: 12,
     })
     .unwrap();
-    assert_eq!(read_only.aborted, 0, "read-only snapshot queries never abort");
+    assert_eq!(
+        read_only.aborted, 0,
+        "read-only snapshot queries never abort"
+    );
 }

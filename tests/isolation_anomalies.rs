@@ -148,7 +148,11 @@ fn read_skew_across_two_states_is_prevented_by_the_consistency_protocol() {
     // … and the reader finishes with state `b`: it must see the version
     // matching its pinned snapshot, keeping the invariant intact.
     let read_b = b.read(&reader, &0).unwrap().unwrap();
-    assert_eq!(read_a + read_b, 0, "read skew observed: {read_a} + {read_b}");
+    assert_eq!(
+        read_a + read_b,
+        0,
+        "read skew observed: {read_a} + {read_b}"
+    );
     mgr.commit(&reader).unwrap();
 
     // A fresh reader sees the post-transfer pair, which also balances.
@@ -209,7 +213,10 @@ fn scans_are_snapshot_stable_no_phantoms_within_a_transaction() {
     mgr.commit(&w).unwrap();
 
     let second = t.scan(&q).unwrap();
-    assert_eq!(second, first, "repeated scan must not see phantoms or losses");
+    assert_eq!(
+        second, first,
+        "repeated scan must not see phantoms or losses"
+    );
     mgr.commit(&q).unwrap();
 
     let fresh = mgr.begin_read_only().unwrap();
@@ -250,7 +257,8 @@ fn read_only_transactions_never_abort_under_churn() {
         let q = mgr.begin_read_only().unwrap();
         let v = t.read(&q, &1).unwrap();
         assert!(v.is_some());
-        mgr.commit(&q).expect("read-only snapshot transactions never abort");
+        mgr.commit(&q)
+            .expect("read-only snapshot transactions never abort");
         reads += 1;
     }
     writer.join().unwrap();

@@ -14,9 +14,7 @@ use proptest::prelude::*;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use tsp::core::prelude::*;
-use tsp::storage::{
-    Codec, LsmOptions, LsmStore, StorageBackend, SyncPolicy, WriteBatch,
-};
+use tsp::storage::{Codec, LsmOptions, LsmStore, StorageBackend, SyncPolicy, WriteBatch};
 use tsp::workload::{ZipfSampler, ZipfTable};
 
 // ---------------------------------------------------------------------

@@ -69,7 +69,11 @@ fn wal_only_commits_survive_restart() {
             p.b.write(&tx, i, (i as u64) * 2).unwrap();
             p.mgr.commit(&tx).unwrap();
         }
-        assert_eq!(p.backend_a.sstable_count(), 0, "nothing may have been flushed");
+        assert_eq!(
+            p.backend_a.sstable_count(),
+            0,
+            "nothing may have been flushed"
+        );
     }
     let p = open_pair(&dir, &opts, true);
     let report = restore_group(&p.ctx, p.group, &[&*p.backend_a, &*p.backend_b]).unwrap();
@@ -124,7 +128,11 @@ fn recovery_after_flushes_and_compactions() {
         assert_eq!(p.a.read(&q, &probe).unwrap(), Some(round));
         assert_eq!(p.b.read(&q, &probe).unwrap(), Some(round + 1000));
     }
-    assert_eq!(p.a.read(&q, &0).unwrap(), Some(rounds - 1), "newest overwrite wins");
+    assert_eq!(
+        p.a.read(&q, &0).unwrap(),
+        Some(rounds - 1),
+        "newest overwrite wins"
+    );
     p.mgr.commit(&q).unwrap();
 
     // The resumed clock hands out strictly newer commit timestamps.
