@@ -19,12 +19,14 @@
 
 pub mod error;
 pub mod ids;
+pub mod pad;
 pub mod punctuation;
 pub mod time;
 pub mod tuple;
 
 pub use error::{Result, TspError};
 pub use ids::{GroupId, OperatorId, StateId, TxnId};
+pub use pad::CachePadded;
 pub use punctuation::{Punctuation, PunctuationKind};
 pub use time::{Timestamp, TxTimestamp, INFINITY_TS, NO_TS};
 pub use tuple::{StreamElement, Tuple};

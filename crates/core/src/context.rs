@@ -1,4 +1,4 @@
-//! The global state context (§4.1, Fig. 3).
+//! The global state context (§4.1, Fig. 3) with a latch-free read fast path.
 //!
 //! The context is the shared runtime metadata of the transaction layer:
 //!
@@ -6,26 +6,66 @@
 //!   its name and optional physical location,
 //! * **Topologies/Groups** — which states are written together atomically by
 //!   one continuous query (`GroupID → List<StateID>, LastCTS`),
-//! * **Active transactions** — a fixed array of transaction slots whose
-//!   occupancy is managed by a CAS-updated 64-bit bitmap (the paper's bit
-//!   vector); each slot tracks the accessed states with their status
-//!   (`Active` / `Commit` / `Abort`) and the pinned `ReadCTS` per group,
+//! * **Active transactions** — a fixed array of cache-line-padded transaction
+//!   slots whose occupancy is managed by a CAS-updated bitmap (the paper's
+//!   bit vector, one 64-bit word per 64 slots); each slot tracks the accessed
+//!   states with their status (`Active` / `Commit` / `Abort`) and the pinned
+//!   `ReadCTS` per group,
 //! * the **global atomic clock** issuing all timestamps, and
 //! * `OldestActiveVersion` — the oldest snapshot any in-flight transaction
 //!   may still read, used by on-demand garbage collection.
 //!
-//! Hot-path operations (slot allocation, snapshot-floor maintenance, LastCTS
-//! publication) use atomics only.  Per-slot detail lists (accessed states,
-//! pinned groups) sit behind a short-critical-section mutex per slot; the
-//! registries of states and groups are read-mostly and behind an `RwLock`
-//! because they are only written during topology setup.
+//! # Hot-path design
+//!
+//! The table layer calls [`StateContext::access_snapshot`] (record the
+//! access + resolve the pinned snapshot) on **every read**, so that call
+//! must not serialise on anything shared:
+//!
+//! * Each [`TxSlot`] carries a one-entry *(state → snapshot)* cache guarded
+//!   by a tiny per-slot seqlock (`cache_seq`): once a transaction has pinned
+//!   a state, every further read of that state is ~5 atomic loads — no
+//!   mutex, no registry `RwLock`.  The cache is sound because a pinned
+//!   snapshot for a state never changes within a transaction (pins are
+//!   created once per group and only *created*, never updated), and because
+//!   transaction ids are never reused (the owner check
+//!   `slot.txn == tx.id` therefore proves the cache entry was written by
+//!   this very transaction — `begin` resets the cache before publishing the
+//!   new owner).
+//! * [`record_access`](StateContext::record_access) has the same shape with
+//!   a single-field cache (`last_access_state`), validated under the same
+//!   per-slot seqlock so a racer can never combine stale cache words with
+//!   the fresh resets `begin` performs when the slot is reused.
+//! * Slot claiming ([`begin`](StateContext::begin)) starts scanning at a
+//!   rotor-advanced bit so concurrent claimants do not all CAS word 0.
+//! * [`oldest_active`](StateContext::oldest_active) is cached behind a
+//!   generation counter bumped on begin/finish/pin; on-demand GC therefore
+//!   only rescans the slot array when the active-transaction population
+//!   actually changed.  [`oldest_active_fresh`](StateContext::oldest_active_fresh)
+//!   always rescans — it is the `refresh` bound of the version-reclaim
+//!   protocol.
+//!
+//! # Memory-ordering contract with the version layer
+//!
+//! [`crate::mvcc`] documents the Dekker-style fence pairing that makes the
+//! latch-free value clone sound.  The context provides the reader half: the
+//! snapshot floor of a slot is *announced* — stored and followed by
+//! `fence(SeqCst)` — in `begin` (floor = begin timestamp) and in
+//! `lower_snapshot_floor` (every new pin), always **before** the transaction
+//! can issue its first version scan at that floor.  The garbage collector's
+//! half re-reads the floors after its own `SeqCst` fence via
+//! `oldest_active_fresh`.  Per-slot detail lists (accessed states, pinned
+//! groups) sit behind a short-critical-section mutex per slot — taken only
+//! on the *first* access of a state; the registries of states and groups are
+//! read-mostly, behind an `RwLock`, and consulted only on that same slow
+//! path.
 
 use crate::clock::{GlobalClock, EPOCH_TS};
 use crate::stats::TxStats;
 use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
-use tsp_common::{GroupId, Result, StateId, Timestamp, TspError, TxnId};
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+use tsp_common::{CachePadded, GroupId, Result, StateId, Timestamp, TspError, TxnId};
 
 /// Default maximum number of concurrently active transactions.
 ///
@@ -34,6 +74,14 @@ use tsp_common::{GroupId, Result, StateId, Timestamp, TspError, TxnId};
 /// [`StateContext::with_capacity`] (the slot table uses one bitmap word per
 /// 64 slots, so any capacity is supported).
 pub const MAX_ACTIVE_TXNS: usize = 64;
+
+/// Accessed-state lists up to this length are searched linearly; longer
+/// lists maintain a hash index (transactions touching many states would
+/// otherwise go quadratic in `record_access`).
+const LINEAR_SCAN_MAX: usize = 8;
+
+/// Sentinel for the per-slot caches: no state cached.
+const NO_CACHED_STATE: u64 = u64::MAX;
 
 /// Commit status of one state within one transaction (the paper's
 /// `List<StateID, Status>`).
@@ -88,21 +136,76 @@ pub type TxDetailSnapshot = (
     Vec<(StateId, StateStatus)>,
 );
 
-/// Per-transaction bookkeeping stored in a slot.
+/// Per-transaction bookkeeping stored in a slot (behind the slot mutex).
 #[derive(Clone, Debug, Default)]
 struct TxDetail {
     /// Accessed states and their commit status.
     states: Vec<(StateId, StateStatus)>,
     /// Pinned read snapshot per group (`List<GroupID, ReadCTS>`).
     read_cts: Vec<(GroupId, Timestamp)>,
+    /// Secondary index into `states`, maintained lazily once the list
+    /// outgrows [`LINEAR_SCAN_MAX`].
+    state_index: HashMap<StateId, usize>,
 }
 
+impl TxDetail {
+    fn clear(&mut self) {
+        self.states.clear();
+        self.read_cts.clear();
+        self.state_index.clear();
+    }
+
+    /// Index of `state` in `states`, if recorded.  Small lists scan
+    /// linearly; large ones consult (and lazily rebuild) the hash index.
+    fn position(&mut self, state: StateId) -> Option<usize> {
+        if self.states.len() <= LINEAR_SCAN_MAX {
+            return self.states.iter().position(|(s, _)| *s == state);
+        }
+        if self.state_index.len() < self.states.len() {
+            self.state_index = self
+                .states
+                .iter()
+                .enumerate()
+                .map(|(i, (s, _))| (*s, i))
+                .collect();
+        }
+        self.state_index.get(&state).copied()
+    }
+
+    /// Records `state` (keeping an existing entry), returning its index.
+    fn record(&mut self, state: StateId, status: StateStatus) -> usize {
+        if let Some(i) = self.position(state) {
+            return i;
+        }
+        self.states.push((state, status));
+        let i = self.states.len() - 1;
+        if self.states.len() > LINEAR_SCAN_MAX {
+            self.state_index.insert(state, i);
+        }
+        i
+    }
+}
+
+/// One active-transaction slot, padded to its own cache line(s) so
+/// concurrent transactions do not false-share floor updates.
 struct TxSlot {
     /// Transaction id occupying the slot (0 = free).
     txn: AtomicU64,
     /// Lower bound of the snapshots this transaction may read; feeds the
-    /// OldestActiveVersion computation.
+    /// OldestActiveVersion computation.  Stores are *announced* with a
+    /// `SeqCst` fence (see module docs).
     snapshot_floor: AtomicU64,
+    /// Seqlock guarding the (`last_pin_state`, `last_pin_ts`) pair below
+    /// (odd while a slow path updates them).
+    cache_seq: AtomicU64,
+    /// Most recently accessed state ([`NO_CACHED_STATE`] = none) — the
+    /// `record_access` fast path.
+    last_access_state: AtomicU64,
+    /// State whose pinned snapshot is cached ([`NO_CACHED_STATE`] = none).
+    last_pin_state: AtomicU64,
+    /// The pinned snapshot for `last_pin_state`.
+    last_pin_ts: AtomicU64,
+    /// Accessed states and pinned groups (slow path only).
     detail: Mutex<TxDetail>,
 }
 
@@ -111,6 +214,10 @@ impl TxSlot {
         TxSlot {
             txn: AtomicU64::new(0),
             snapshot_floor: AtomicU64::new(u64::MAX),
+            cache_seq: AtomicU64::new(0),
+            last_access_state: AtomicU64::new(NO_CACHED_STATE),
+            last_pin_state: AtomicU64::new(NO_CACHED_STATE),
+            last_pin_ts: AtomicU64::new(0),
             detail: Mutex::new(TxDetail::default()),
         }
     }
@@ -155,11 +262,19 @@ pub struct StateContext {
     clock: GlobalClock,
     states: RwLock<Vec<StateInfo>>,
     groups: RwLock<Vec<GroupInfo>>,
-    slots: Vec<TxSlot>,
+    slots: Vec<CachePadded<TxSlot>>,
     /// Occupancy bitmap of the active-transaction slots (CAS-updated), one
-    /// word per 64 slots.  Bits beyond `slots.len()` in the last word are
-    /// permanently set so `claim_slot` never hands them out.
-    slot_bitmap: Vec<AtomicU64>,
+    /// padded word per 64 slots.  Bits beyond `slots.len()` in the last word
+    /// are permanently set so `claim_slot` never hands them out.
+    slot_bitmap: Vec<CachePadded<AtomicU64>>,
+    /// Rotor spreading concurrent `claim_slot` scans over the bitmap.
+    slot_rotor: CachePadded<AtomicUsize>,
+    /// Bumped whenever the active-transaction population (or a floor)
+    /// changes; tags the `oldest_active` cache.
+    active_gen: CachePadded<AtomicU64>,
+    /// Cached `oldest_active` value and the generation it was computed at.
+    oldest_cache: AtomicU64,
+    oldest_cache_gen: AtomicU64,
     stats: TxStats,
 }
 
@@ -194,15 +309,15 @@ impl StateContext {
     pub fn with_clock_and_capacity(clock: GlobalClock, capacity: usize) -> Self {
         let capacity = capacity.max(1);
         let words = capacity.div_ceil(64);
-        let slot_bitmap: Vec<AtomicU64> = (0..words)
+        let slot_bitmap: Vec<CachePadded<AtomicU64>> = (0..words)
             .map(|w| {
                 // Mark the out-of-range tail of the last word as occupied.
                 let first_slot = w * 64;
                 let usable = capacity.saturating_sub(first_slot).min(64);
                 if usable == 64 {
-                    AtomicU64::new(0)
+                    CachePadded::new(AtomicU64::new(0))
                 } else {
-                    AtomicU64::new(!0u64 << usable)
+                    CachePadded::new(AtomicU64::new(!0u64 << usable))
                 }
             })
             .collect();
@@ -210,8 +325,14 @@ impl StateContext {
             clock,
             states: RwLock::new(Vec::new()),
             groups: RwLock::new(Vec::new()),
-            slots: (0..capacity).map(|_| TxSlot::new()).collect(),
+            slots: (0..capacity)
+                .map(|_| CachePadded::new(TxSlot::new()))
+                .collect(),
             slot_bitmap,
+            slot_rotor: CachePadded::new(AtomicUsize::new(0)),
+            active_gen: CachePadded::new(AtomicU64::new(0)),
+            oldest_cache: AtomicU64::new(0),
+            oldest_cache_gen: AtomicU64::new(u64::MAX),
             stats: TxStats::new(),
         }
     }
@@ -353,16 +474,33 @@ impl StateContext {
     /// slot in the active-transaction table via CAS on the occupancy bitmap.
     pub fn begin(&self, read_only: bool) -> Result<Tx> {
         let slot = self.claim_slot()?;
+        let s = &self.slots[slot];
+        // Reset the per-slot caches *before* publishing the new owner, and
+        // *inside* a `cache_seq` window: this transaction's handle only
+        // exists after `begin` returns, but a stale handle of a previous
+        // occupant may be racing its fast path right now, and without the
+        // window it could combine its old (matching) cache words with a
+        // freshly reset one (e.g. return the reset `last_pin_ts` of 0).
+        // Inside the window such a racer retries and lands on the slow
+        // path's owner check.
+        let c = s.cache_seq.load(Ordering::Relaxed);
+        s.cache_seq.store(c + 1, Ordering::Relaxed);
+        fence(Ordering::Release);
+        s.last_access_state
+            .store(NO_CACHED_STATE, Ordering::Relaxed);
+        s.last_pin_state.store(NO_CACHED_STATE, Ordering::Relaxed);
+        s.last_pin_ts.store(0, Ordering::Relaxed);
+        s.cache_seq.store(c + 2, Ordering::Release);
+        s.detail.lock().clear();
         let id = self.clock.next_txn();
         let begin_ts = id.as_u64();
-        let s = &self.slots[slot];
         s.txn.store(begin_ts, Ordering::Release);
         s.snapshot_floor.store(begin_ts, Ordering::Release);
-        {
-            let mut detail = s.detail.lock();
-            detail.states.clear();
-            detail.read_cts.clear();
-        }
+        // Announce the floor before this transaction's first version scan
+        // (Dekker pairing with the GC reclaim fence, see mvcc.rs), and
+        // invalidate the cached OldestActiveVersion.
+        fence(Ordering::SeqCst);
+        self.active_gen.fetch_add(1, Ordering::Release);
         TxStats::bump(&self.stats.begun);
         Ok(Tx {
             id,
@@ -372,16 +510,62 @@ impl StateContext {
         })
     }
 
+    /// Claims a free slot bit.
+    ///
+    /// Fast path: each thread remembers the slot it used last and tries to
+    /// re-claim it with a single CAS.  That keeps a thread's transaction
+    /// bookkeeping (slot, write-set cell, detail lists) cache-hot *and*
+    /// makes concurrent claimants converge on disjoint slots — no CAS
+    /// collisions at all in steady state, which is strictly better than
+    /// spreading scans.  A global rotor only seeds the scan start when the
+    /// hint misses (first claim per thread, or the hinted slot was taken),
+    /// so claimants that do scan don't all hammer word 0.
     fn claim_slot(&self) -> Result<usize> {
-        loop {
-            let mut all_full = true;
-            for (w, word) in self.slot_bitmap.iter().enumerate() {
+        thread_local! {
+            static SLOT_HINT: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+        }
+        let hint = SLOT_HINT.with(|h| h.get());
+        if hint < self.slots.len() {
+            let word = &self.slot_bitmap[hint / 64];
+            let bit = 1u64 << (hint % 64);
+            let bitmap = word.load(Ordering::Acquire);
+            if bitmap & bit == 0
+                && word
+                    .compare_exchange(bitmap, bitmap | bit, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            {
+                return Ok(hint);
+            }
+        }
+        let slot = self.claim_slot_scan()?;
+        SLOT_HINT.with(|h| h.set(slot));
+        Ok(slot)
+    }
+
+    /// Scan fallback of [`claim_slot`](Self::claim_slot), rotor-seeded.
+    fn claim_slot_scan(&self) -> Result<usize> {
+        let words = self.slot_bitmap.len();
+        let start = self.slot_rotor.fetch_add(1, Ordering::Relaxed);
+        let start_word = (start / 64) % words;
+        let start_bit = (start % 64) as u32;
+        for k in 0..words {
+            let w = (start_word + k) % words;
+            let word = &self.slot_bitmap[w];
+            loop {
                 let bitmap = word.load(Ordering::Acquire);
                 if bitmap == u64::MAX {
-                    continue;
+                    break; // word full — move on
                 }
-                all_full = false;
-                let free = (!bitmap).trailing_zeros() as usize;
+                let candidates = !bitmap;
+                // Prefer a free bit at or after the rotor hint in the first
+                // word scanned, so claimants fan out within the word too.
+                let hinted = if k == 0 {
+                    candidates & (u64::MAX << start_bit)
+                } else {
+                    0
+                };
+                let pick = if hinted != 0 { hinted } else { candidates };
+                let free = pick.trailing_zeros() as usize;
                 let new = bitmap | (1u64 << free);
                 if word
                     .compare_exchange(bitmap, new, Ordering::AcqRel, Ordering::Acquire)
@@ -389,15 +573,12 @@ impl StateContext {
                 {
                     return Ok(w * 64 + free);
                 }
-                // CAS raced; rescan from the start.
-                break;
-            }
-            if all_full {
-                return Err(TspError::CapacityExhausted {
-                    what: "active transaction slots",
-                });
+                // CAS raced; re-read this word and retry.
             }
         }
+        Err(TspError::CapacityExhausted {
+            what: "active transaction slots",
+        })
     }
 
     /// Releases a transaction's slot.  Idempotent: releasing an already
@@ -412,6 +593,7 @@ impl StateContext {
         }
         s.snapshot_floor.store(u64::MAX, Ordering::Release);
         self.slot_bitmap[tx.slot / 64].fetch_and(!(1u64 << (tx.slot % 64)), Ordering::AcqRel);
+        self.active_gen.fetch_add(1, Ordering::Release);
     }
 
     /// The occupancy bits of word `w` with the permanently set out-of-range
@@ -447,13 +629,11 @@ impl StateContext {
         }
     }
 
-    /// The oldest snapshot any in-flight transaction may still read
-    /// (`OldestActiveVersion`).  When no transaction is active, the current
-    /// clock value is returned — everything older than "now" is reclaimable.
-    pub fn oldest_active(&self) -> Timestamp {
+    /// Scans every occupied slot's snapshot floor (no caching).
+    fn scan_oldest(&self) -> Timestamp {
         let mut min = u64::MAX;
         self.for_each_occupied_slot(|i| {
-            let floor = self.slots[i].snapshot_floor.load(Ordering::Acquire);
+            let floor = self.slots[i].snapshot_floor.load(Ordering::SeqCst);
             min = min.min(floor);
         });
         if min == u64::MAX {
@@ -461,6 +641,37 @@ impl StateContext {
         } else {
             min
         }
+    }
+
+    /// The oldest snapshot any in-flight transaction may still read
+    /// (`OldestActiveVersion`).  When no transaction is active, the current
+    /// clock value is returned — everything older than "now" is reclaimable.
+    ///
+    /// The value is cached behind a generation counter bumped on every
+    /// begin/finish/pin, so repeated calls (e.g. per-commit on-demand GC)
+    /// do not rescan the slot array while the population is unchanged.  Use
+    /// [`oldest_active_fresh`](Self::oldest_active_fresh) where the reclaim
+    /// protocol requires an uncached scan.
+    pub fn oldest_active(&self) -> Timestamp {
+        let gen = self.active_gen.load(Ordering::Acquire);
+        if self.oldest_cache_gen.load(Ordering::Acquire) == gen {
+            // The cached value may at worst be *fresher* than its tag (a
+            // concurrent recompute); both are valid advisory bounds — the
+            // safety-critical reclaim path rescans via `oldest_active_fresh`.
+            return self.oldest_cache.load(Ordering::Relaxed);
+        }
+        let min = self.scan_oldest();
+        self.oldest_cache.store(min, Ordering::Relaxed);
+        self.oldest_cache_gen.store(gen, Ordering::Release);
+        min
+    }
+
+    /// Uncached [`oldest_active`](Self::oldest_active): always rescans the
+    /// announced snapshot floors.  This is the `refresh` bound of the
+    /// version-reclaim fence protocol (see `mvcc.rs`); garbage collectors
+    /// must call it *after* their `SeqCst` fence.
+    pub fn oldest_active_fresh(&self) -> Timestamp {
+        self.scan_oldest()
     }
 
     /// Diagnostic snapshot of the active-transaction table: one entry per
@@ -480,19 +691,27 @@ impl StateContext {
 
     /// Extended diagnostic snapshot including each active transaction's
     /// pinned (group, ReadCTS) list and accessed states.
+    ///
+    /// The per-slot mutex is held only long enough to copy the lists into
+    /// reused buffers; the per-row allocations happen outside the lock so a
+    /// monitoring scrape cannot stall transactions on the allocator.
     pub fn active_transaction_details(&self) -> Vec<TxDetailSnapshot> {
         let mut out = Vec::new();
+        let mut pins_buf: Vec<(GroupId, Timestamp)> = Vec::new();
+        let mut states_buf: Vec<(StateId, StateStatus)> = Vec::new();
         self.for_each_occupied_slot(|i| {
-            let txn = self.slots[i].txn.load(Ordering::Acquire);
-            let floor = self.slots[i].snapshot_floor.load(Ordering::Acquire);
-            let detail = self.slots[i].detail.lock();
+            let (txn, floor) = {
+                let detail = self.slots[i].detail.lock();
+                let txn = self.slots[i].txn.load(Ordering::Acquire);
+                let floor = self.slots[i].snapshot_floor.load(Ordering::Acquire);
+                pins_buf.clear();
+                pins_buf.extend_from_slice(&detail.read_cts);
+                states_buf.clear();
+                states_buf.extend_from_slice(&detail.states);
+                (txn, floor)
+            };
             if txn != 0 {
-                out.push((
-                    TxnId(txn),
-                    floor,
-                    detail.read_cts.clone(),
-                    detail.states.clone(),
-                ));
+                out.push((TxnId(txn), floor, pins_buf.clone(), states_buf.clone()));
             }
         });
         out
@@ -508,12 +727,33 @@ impl StateContext {
     }
 
     /// Records that `tx` accessed `state` (status `Active` if not yet seen).
+    ///
+    /// Fast path: a single-entry cache of the most recently recorded state
+    /// — repeat accesses cost two atomic loads and no lock.
     pub fn record_access(&self, tx: &Tx, state: StateId) -> Result<()> {
-        self.check_owner(tx)?;
-        let mut detail = self.slots[tx.slot].detail.lock();
-        if !detail.states.iter().any(|(s, _)| *s == state) {
-            detail.states.push((state, StateStatus::Active));
+        let s = &self.slots[tx.slot];
+        // The owner check proves the cache entry was written by this very
+        // transaction (ids are never reused; `begin` resets the cache
+        // inside a `cache_seq` window before publishing the new owner), and
+        // the seqlock validation rejects views that mix pre- and post-reset
+        // words.
+        let c1 = s.cache_seq.load(Ordering::Acquire);
+        if c1 & 1 == 0 {
+            let owner = s.txn.load(Ordering::Acquire);
+            let seen = s.last_access_state.load(Ordering::Relaxed);
+            fence(Ordering::Acquire);
+            if s.cache_seq.load(Ordering::Relaxed) == c1
+                && owner == tx.id.as_u64()
+                && seen == u64::from(state.0)
+            {
+                return Ok(());
+            }
         }
+        self.check_owner(tx)?;
+        let mut detail = s.detail.lock();
+        detail.record(state, StateStatus::Active);
+        s.last_access_state
+            .store(u64::from(state.0), Ordering::Relaxed);
         Ok(())
     }
 
@@ -523,8 +763,54 @@ impl StateContext {
         Ok(self.slots[tx.slot].detail.lock().states.clone())
     }
 
+    /// Records the access *and* resolves the snapshot timestamp `tx` must
+    /// use when reading `state` — the combined per-read entry point of the
+    /// table layer.
+    ///
+    /// Fast path: once a state has been pinned, the (state → snapshot) pair
+    /// is served from a seqlock-guarded per-slot cache — no mutex, no
+    /// registry lock.  This is sound because the snapshot for a given state
+    /// never changes within a transaction: the first access pins *all* of
+    /// the state's groups, and pins are only ever created, never updated.
+    pub fn access_snapshot(&self, tx: &Tx, state: StateId) -> Result<Timestamp> {
+        let s = &self.slots[tx.slot];
+        let c1 = s.cache_seq.load(Ordering::Acquire);
+        if c1 & 1 == 0 {
+            let owner = s.txn.load(Ordering::Acquire);
+            let pin_state = s.last_pin_state.load(Ordering::Relaxed);
+            let pin_ts = s.last_pin_ts.load(Ordering::Relaxed);
+            fence(Ordering::Acquire);
+            if s.cache_seq.load(Ordering::Relaxed) == c1
+                && owner == tx.id.as_u64()
+                && pin_state == u64::from(state.0)
+            {
+                return Ok(pin_ts);
+            }
+        }
+        // Slow path: record the access, pin the state's groups, cache.
+        self.check_owner(tx)?;
+        let groups = self.groups_of_state(state);
+        let mut detail = s.detail.lock();
+        detail.record(state, StateStatus::Active);
+        let result = self.pin_groups_locked(&mut detail, tx, state, &groups)?;
+        // Publish the one-entry (state → snapshot) cache.  The seqlock
+        // window keeps the pair tear-free for concurrent fast-path readers
+        // of the same transaction; writers are serialised by the detail
+        // mutex held here.
+        let c = s.cache_seq.load(Ordering::Relaxed);
+        s.cache_seq.store(c + 1, Ordering::Relaxed);
+        fence(Ordering::Release);
+        s.last_access_state
+            .store(u64::from(state.0), Ordering::Relaxed);
+        s.last_pin_ts.store(result, Ordering::Relaxed);
+        s.last_pin_state
+            .store(u64::from(state.0), Ordering::Relaxed);
+        s.cache_seq.store(c + 2, Ordering::Release);
+        Ok(result)
+    }
+
     /// Returns (pinning it on first use) the snapshot timestamp `tx` must use
-    /// when reading `state`.
+    /// when reading `state`, without recording the access.
     ///
     /// The first read of a group pins `ReadCTS = LastCTS(group)`.  If the
     /// state belongs to several groups, or the transaction has already pinned
@@ -535,7 +821,19 @@ impl StateContext {
         self.check_owner(tx)?;
         let groups = self.groups_of_state(state);
         let mut detail = self.slots[tx.slot].detail.lock();
-        let mut result = u64::MAX;
+        self.pin_groups_locked(&mut detail, tx, state, &groups)
+    }
+
+    /// Pin resolution shared by [`read_snapshot`](Self::read_snapshot) and
+    /// [`access_snapshot`](Self::access_snapshot); caller holds the slot's
+    /// detail mutex.
+    fn pin_groups_locked(
+        &self,
+        detail: &mut TxDetail,
+        tx: &Tx,
+        _state: StateId,
+        groups: &[GroupId],
+    ) -> Result<Timestamp> {
         if groups.is_empty() {
             // A state outside any group reads the freshest committed data but
             // still pins a per-transaction snapshot so repeated reads agree.
@@ -547,7 +845,8 @@ impl StateContext {
             self.lower_snapshot_floor(tx.slot, ts);
             return Ok(ts);
         }
-        for g in &groups {
+        let mut result = u64::MAX;
+        for g in groups {
             if let Some((_, ts)) = detail.read_cts.iter().find(|(pg, _)| pg == g) {
                 result = result.min(*ts);
             } else {
@@ -613,10 +912,17 @@ impl StateContext {
         Ok(floor)
     }
 
+    /// Lowers a slot's snapshot floor to `ts` and *announces* it: the
+    /// `SeqCst` fence pairs with the garbage collector's reclaim fence so
+    /// that either the GC's floor rescan observes this pin, or this
+    /// transaction's subsequent version scans observe the GC's write window
+    /// (see the `mvcc.rs` module docs).
     fn lower_snapshot_floor(&self, slot: usize, ts: Timestamp) {
         self.slots[slot]
             .snapshot_floor
             .fetch_min(ts, Ordering::AcqRel);
+        fence(Ordering::SeqCst);
+        self.active_gen.fetch_add(1, Ordering::Release);
     }
 
     // ------------------------------------------------------------------
@@ -631,15 +937,11 @@ impl StateContext {
     pub fn flag_commit(&self, tx: &Tx, state: StateId) -> Result<CommitVote> {
         self.check_owner(tx)?;
         let mut detail = self.slots[tx.slot].detail.lock();
-        if !detail.states.iter().any(|(s, _)| *s == state) {
-            detail.states.push((state, StateStatus::Active));
-        }
         // Record this state's vote first so that "all states have decided"
         // can be observed even when the overall outcome is an abort.
-        for (s, st) in detail.states.iter_mut() {
-            if *s == state && *st != StateStatus::Abort {
-                *st = StateStatus::Commit;
-            }
+        let i = detail.record(state, StateStatus::Active);
+        if detail.states[i].1 != StateStatus::Abort {
+            detail.states[i].1 = StateStatus::Commit;
         }
         if detail
             .states
@@ -676,11 +978,8 @@ impl StateContext {
     pub fn flag_abort(&self, tx: &Tx, state: StateId) -> Result<()> {
         self.check_owner(tx)?;
         let mut detail = self.slots[tx.slot].detail.lock();
-        if let Some((_, st)) = detail.states.iter_mut().find(|(s, _)| *s == state) {
-            *st = StateStatus::Abort;
-        } else {
-            detail.states.push((state, StateStatus::Abort));
-        }
+        let i = detail.record(state, StateStatus::Abort);
+        detail.states[i].1 = StateStatus::Abort;
         Ok(())
     }
 
@@ -699,6 +998,7 @@ impl StateContext {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicBool;
     use std::sync::Arc;
 
     fn ctx_with_two_states() -> (StateContext, StateId, StateId, GroupId) {
@@ -812,6 +1112,7 @@ mod tests {
         ctx.finish(&t);
         assert!(ctx.record_access(&t, a).is_err());
         assert!(ctx.read_snapshot(&t, a).is_err());
+        assert!(ctx.access_snapshot(&t, a).is_err());
         assert!(ctx.flag_commit(&t, a).is_err());
         assert!(ctx.flag_abort(&t, a).is_err());
         assert!(ctx.accessed_states(&t).is_err());
@@ -836,6 +1137,26 @@ mod tests {
         let t2 = ctx.begin(true).unwrap();
         assert_eq!(ctx.read_snapshot(&t2, a).unwrap(), 100);
         ctx.finish(&t2);
+    }
+
+    #[test]
+    fn access_snapshot_combines_record_and_pin() {
+        let (ctx, a, b, g) = ctx_with_two_states();
+        ctx.publish_group_commit(g, 7).unwrap();
+        let t = ctx.begin(false).unwrap();
+        // First call pins and records; the repeat is served by the cache.
+        assert_eq!(ctx.access_snapshot(&t, a).unwrap(), 7);
+        ctx.publish_group_commit(g, 99).unwrap();
+        assert_eq!(ctx.access_snapshot(&t, a).unwrap(), 7, "pin is stable");
+        // The access was recorded for the commit protocol.
+        let states = ctx.accessed_states(&t).unwrap();
+        assert_eq!(states, vec![(a, StateStatus::Active)]);
+        // Alternating states falls back to the slow path but stays correct:
+        // b shares the group, so it sees the same pinned snapshot.
+        assert_eq!(ctx.access_snapshot(&t, b).unwrap(), 7);
+        assert_eq!(ctx.access_snapshot(&t, a).unwrap(), 7);
+        assert_eq!(ctx.accessed_states(&t).unwrap().len(), 2);
+        ctx.finish(&t);
     }
 
     #[test]
@@ -871,6 +1192,7 @@ mod tests {
         // Snapshot is stable across repeated reads even as the clock advances.
         ctx.clock().tick();
         assert_eq!(ctx.read_snapshot(&t, lone).unwrap(), s1);
+        assert_eq!(ctx.access_snapshot(&t, lone).unwrap(), s1);
         ctx.finish(&t);
     }
 
@@ -891,9 +1213,27 @@ mod tests {
         let t2 = ctx.begin(false).unwrap();
         let oldest = ctx.oldest_active();
         assert_eq!(oldest, 10, "pinned snapshot (10) is older than t2's begin");
+        assert_eq!(ctx.oldest_active_fresh(), 10);
         ctx.finish(&t1);
         assert_eq!(ctx.oldest_active(), t2.begin_ts());
         ctx.finish(&t2);
+    }
+
+    #[test]
+    fn oldest_active_cache_follows_population_changes() {
+        let (ctx, ..) = ctx_with_two_states();
+        let t1 = ctx.begin(false).unwrap();
+        // Repeated calls with an unchanged population hit the cache.
+        let o1 = ctx.oldest_active();
+        assert_eq!(ctx.oldest_active(), o1);
+        assert_eq!(o1, t1.begin_ts());
+        // Any begin/finish invalidates it.
+        let t2 = ctx.begin(false).unwrap();
+        assert_eq!(ctx.oldest_active(), t1.begin_ts());
+        ctx.finish(&t1);
+        assert_eq!(ctx.oldest_active(), t2.begin_ts());
+        ctx.finish(&t2);
+        assert_eq!(ctx.oldest_active(), ctx.clock().now());
     }
 
     #[test]
@@ -945,6 +1285,34 @@ mod tests {
     }
 
     #[test]
+    fn many_states_use_the_indexed_lookup() {
+        // More states than LINEAR_SCAN_MAX: exercises the hash-indexed
+        // lookup path and keeps duplicate recording correct.
+        let ctx = StateContext::new();
+        let states: Vec<StateId> = (0..40)
+            .map(|i| ctx.register_state(format!("s{i}")))
+            .collect();
+        let t = ctx.begin(false).unwrap();
+        for round in 0..3 {
+            for s in &states {
+                ctx.record_access(&t, *s).unwrap();
+                let _ = round;
+            }
+        }
+        let recorded = ctx.accessed_states(&t).unwrap();
+        assert_eq!(recorded.len(), 40, "each state recorded exactly once");
+        // Voting across the large list still elects exactly one coordinator.
+        let mut coordinator = 0;
+        for s in &states {
+            if ctx.flag_commit(&t, *s).unwrap() == CommitVote::Coordinator {
+                coordinator += 1;
+            }
+        }
+        assert_eq!(coordinator, 1);
+        ctx.finish(&t);
+    }
+
+    #[test]
     fn concurrent_begin_finish_has_no_duplicate_slots() {
         let ctx = Arc::new(StateContext::new());
         let handles: Vec<_> = (0..8)
@@ -965,5 +1333,67 @@ mod tests {
         }
         assert_eq!(ctx.active_count(), 0);
         assert_eq!(ctx.stats().snapshot().begun, 4000);
+    }
+
+    /// Satellite: threaded slot churn across a multi-word (>64 slot)
+    /// context.  Asserts that slots never leak and that `oldest_active`
+    /// never exceeds the floor of a continuously live transaction.
+    #[test]
+    fn concurrent_slot_churn_multiword_respects_floors() {
+        const CAPACITY: usize = 130;
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 12; // 8 × 12 + holder = 97 concurrent > 64
+        let ctx = Arc::new(StateContext::with_capacity(CAPACITY));
+        let a = ctx.register_state("a");
+        let g = ctx.register_group(&[a]).unwrap();
+        ctx.publish_group_commit(g, 5).unwrap();
+        while ctx.clock().now() < 50 {
+            ctx.clock().tick();
+        }
+        // The holder pins snapshot 5 and stays alive for the whole run.
+        let holder = ctx.begin(true).unwrap();
+        assert_eq!(ctx.read_snapshot(&holder, a).unwrap(), 5);
+        let failed = Arc::new(AtomicBool::new(false));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let ctx = Arc::clone(&ctx);
+                let failed = Arc::clone(&failed);
+                std::thread::spawn(move || {
+                    for round in 0..150 {
+                        let txs: Vec<Tx> = (0..PER_THREAD)
+                            .map(|_| ctx.begin(round % 2 == 0).unwrap())
+                            .collect();
+                        for tx in &txs {
+                            assert!(tx.slot() < CAPACITY);
+                            ctx.access_snapshot(tx, a).unwrap();
+                        }
+                        // The holder is alive with floor 5: no oldest_active
+                        // result — cached or fresh — may ever exceed it.
+                        if ctx.oldest_active() > 5 || ctx.oldest_active_fresh() > 5 {
+                            failed.store(true, Ordering::Relaxed);
+                        }
+                        for tx in &txs {
+                            ctx.finish(tx);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(
+            !failed.load(Ordering::Relaxed),
+            "oldest_active exceeded a live transaction's floor"
+        );
+        ctx.finish(&holder);
+        // No slot leaked: the table drains completely and can be refilled.
+        assert_eq!(ctx.active_count(), 0);
+        let refill: Vec<Tx> = (0..CAPACITY).map(|_| ctx.begin(false).unwrap()).collect();
+        assert_eq!(ctx.active_count(), CAPACITY);
+        for t in &refill {
+            ctx.finish(t);
+        }
+        assert_eq!(ctx.active_count(), 0);
     }
 }

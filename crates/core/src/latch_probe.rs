@@ -1,0 +1,47 @@
+//! Debug-build latch accounting for the latch-free read-path guarantee.
+//!
+//! The snapshot-isolation read fast path is required to acquire **no**
+//! mutex or read-write latch: `MvccTable::read` of a committed value must
+//! get by on atomic loads alone (seqlock-validated version headers, the
+//! owner-tagged write-buffer probe and the lock-free object index).  That
+//! property is easy to destroy silently — one innocent `self.something.lock()`
+//! added to a helper reintroduces the §4.2 latching the rework removed.
+//!
+//! In debug builds every latch acquisition of the version/table layer calls
+//! [`count_latch`]; tests drive the committed-read path and assert the
+//! counter did not move (`tests in `mvcc_table.rs`).  In release builds the
+//! probe compiles to nothing.
+
+#[cfg(debug_assertions)]
+mod imp {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static LATCH_ACQUISITIONS: AtomicU64 = AtomicU64::new(0);
+
+    /// Records one latch (mutex / rwlock) acquisition.
+    #[inline]
+    pub fn count_latch() {
+        LATCH_ACQUISITIONS.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total latch acquisitions recorded so far in this process.
+    #[inline]
+    pub fn latch_count() -> u64 {
+        LATCH_ACQUISITIONS.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(not(debug_assertions))]
+mod imp {
+    /// Records one latch acquisition (no-op in release builds).
+    #[inline(always)]
+    pub fn count_latch() {}
+
+    /// Total latch acquisitions recorded (always 0 in release builds).
+    #[inline(always)]
+    pub fn latch_count() -> u64 {
+        0
+    }
+}
+
+pub use imp::{count_latch, latch_count};

@@ -61,6 +61,7 @@ pub mod context;
 pub mod gc;
 pub mod index;
 pub mod isolation;
+pub mod latch_probe;
 pub mod manager;
 pub mod mvcc;
 pub mod recovery;

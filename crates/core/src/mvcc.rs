@@ -1,28 +1,86 @@
 //! Multi-versioned value objects — the heart of the snapshot-isolation
-//! design (§4.1, Fig. 3).
+//! design (§4.1, Fig. 3) with a **latch-free committed-read path**.
 //!
 //! Each key of a transactional table maps to one [`MvccObject`].  The object
-//! holds a small, fixed-capacity array of version slots; every slot carries
-//! the classic MVCC header `< [cts, dts], value >` — the commit and deletion
-//! timestamps delimiting the version's lifetime.  Slot occupancy is mirrored
-//! in a 64-bit [`used_slots`](MvccObject::used_slots) bitmap, as in the
-//! paper's `UsedSlots` bit vector (footnote 2: "a 64-bit integer, which is
-//! updated by CAS operations").
+//! holds version slots carrying the classic MVCC header `< [cts, dts],
+//! value >` — the commit and deletion timestamps delimiting the version's
+//! lifetime.  Slot occupancy is mirrored in a 64-bit
+//! [`used_slots`](MvccObject::used_slots) bitmap, as in the paper's
+//! `UsedSlots` bit vector (footnote 2).
 //!
-//! Version visibility follows snapshot isolation: a reader with snapshot
-//! timestamp `read_ts` sees the version whose half-open lifetime
-//! `[cts, dts)` contains `read_ts`.  Garbage collection is performed *on
-//! demand* — when a new version must be installed and no slot is free — and
-//! only reclaims versions whose deletion timestamp is not newer than the
-//! oldest active snapshot (`OldestActiveVersion` in the paper).
+//! §4.2 prescribes a "lightweight locking strategy"; this implementation
+//! goes one step further and removes the read latch entirely:
 //!
-//! Synchronisation uses a lightweight read-write latch per object, exactly
-//! the "lightweight locking strategy with read-write locks (latches)"
-//! described in §4.2; readers never block readers, and writers only hold the
-//! latch for the few instructions needed to stamp headers.
+//! * **Headers are per-slot atomics** (`cts`, `dts`), so readers scan them
+//!   with plain atomic loads.
+//! * **A per-object seqlock** (`seq`, odd while a writer mutates) guards
+//!   against torn multi-header states: [`read_visible`](MvccObject::read_visible)
+//!   re-checks `seq` after the scan and retries if a writer interfered.
+//! * **Version storage grows in chunks that are never freed or moved**
+//!   while the object lives, so readers may hold references across growth.
+//! * Writers (install / delete-stamp / GC) serialise on a per-object mutex
+//!   and mutate only inside odd `seq` windows.
+//!
+//! # Memory-ordering protocol
+//!
+//! The reader runs: `s1 = seq.load(Acquire)` (skip if odd) → header loads
+//! (`Relaxed`) → `fence(Acquire)` → `s2 = seq.load(Relaxed)`; it accepts the
+//! scan only if `s1 == s2` and even.  The writer runs: `seq.store(odd,
+//! Relaxed)` → `fence(Release)` → mutations (`Relaxed` stores, plain value
+//! writes) → `seq.store(even, Release)`.
+//!
+//! * The `Acquire` on `s1` pairs with the `Release` even-store of the window
+//!   that produced the observed state: every header and value written in or
+//!   before that window *happens-before* the reader's scan (writers are
+//!   serialised by the mutex, so earlier windows are ordered through it).
+//! * The `fence(Release)` after the odd-store pairs with the reader's
+//!   `fence(Acquire)`: a reader that observed any in-window store must also
+//!   observe `seq` odd (or changed) at `s2` and retries.  Headers are
+//!   therefore never combined across windows (no "old `cts`, new `dts`").
+//!
+//! # Why cloning the value without a latch is safe
+//!
+//! The only non-atomic read is cloning the winning version's value *after*
+//! validation.  Values of occupied slots are immutable; they are dropped or
+//! overwritten only after the slot is reclaimed by GC.  Reclamation of a
+//! version requires `dts <= oldest_active`, while a reader only clones a
+//! version with `read_ts < dts` — so a reader and a reclaimer can only race
+//! when the reader's snapshot floor is *not yet visible* to the GC's
+//! `oldest_active` scan.  That race is closed with a Dekker-style
+//! `SeqCst`-fence pair:
+//!
+//! * a transaction **announces** its snapshot floor (begin timestamp,
+//!   lowered by every pinned `ReadCTS`) in its context slot and executes
+//!   `fence(SeqCst)` *before* its first version scan
+//!   ([`StateContext`](crate::context::StateContext) does this in `begin`
+//!   and on every new pin), and
+//! * the GC executes `fence(SeqCst)` *after* entering its write window and
+//!   only then **re-reads** the floors (the `refresh` callback of
+//!   [`gc_with`](MvccObject::gc_with) /
+//!   [`install_with`](MvccObject::install_with), backed by
+//!   `StateContext::oldest_active_fresh`), reclaiming only versions whose
+//!   `dts` is at or below the re-read bound.
+//!
+//! For any reader/GC pair, the two fences order: either the GC observes the
+//! reader's floor (and keeps every version that floor can still see), or the
+//! reader observes the GC's odd `seq` (and retries, seeing the slot empty
+//! afterwards).  A reader can therefore never clone a value that is being
+//! dropped.  The plain-`Timestamp` variants ([`gc`](MvccObject::gc),
+//! [`install`](MvccObject::install)) skip the re-read and are only sound
+//! when every concurrent reader's snapshot is at or above the passed bound —
+//! the single-writer unit-test setting; table code always uses the `_with`
+//! variants.
+//!
+//! Version visibility itself is unchanged: a reader with snapshot `read_ts`
+//! sees the version whose half-open lifetime `[cts, dts)` contains
+//! `read_ts`.  Garbage collection is performed *on demand* — when a new
+//! version must be installed and no slot is free — and only reclaims
+//! versions no longer visible at `OldestActiveVersion`.
 
-use parking_lot::RwLock;
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::latch_probe;
+use parking_lot::Mutex;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{fence, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use tsp_common::{Result, Timestamp, TspError, INFINITY_TS, NO_TS};
 
 /// Default number of version slots per object.
@@ -30,6 +88,10 @@ pub const DEFAULT_VERSION_SLOTS: usize = 8;
 
 /// Hard upper bound on version slots (occupancy must fit the 64-bit bitmap).
 pub const MAX_VERSION_SLOTS: usize = 64;
+
+/// Upper bound on storage chunks: capacity doubles per chunk starting from
+/// a minimum initial capacity of 1, so `1 + log2(64)` chunks suffice.
+const MAX_CHUNKS: usize = 7;
 
 /// One version of a value: the MVCC entry `< [cts, dts], value >`.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -57,16 +119,53 @@ impl<V> Version<V> {
     }
 }
 
-struct Slots<V> {
-    versions: Vec<Option<Version<V>>>,
+/// One version slot: atomic lifetime headers plus the (writer-owned) value.
+struct VersionSlot<V> {
+    /// Commit timestamp; [`NO_TS`] while the slot is free.
+    cts: AtomicU64,
+    /// Deletion timestamp; [`INFINITY_TS`] while the version is live.
+    dts: AtomicU64,
+    /// The value.  Written only inside odd-`seq` windows by the single
+    /// writer, on free or reclaimed slots; read (cloned) by readers only
+    /// after seqlock validation plus the floor-announcement protocol above.
+    value: UnsafeCell<Option<V>>,
+}
+
+impl<V> VersionSlot<V> {
+    fn empty() -> Self {
+        VersionSlot {
+            cts: AtomicU64::new(NO_TS),
+            dts: AtomicU64::new(NO_TS),
+            value: UnsafeCell::new(None),
+        }
+    }
 }
 
 /// A multi-versioned object holding all versions of one key.
 pub struct MvccObject<V> {
-    slots: RwLock<Slots<V>>,
+    /// Serialises writers (install, delete-stamp, GC).  Never taken by
+    /// [`read_visible`](Self::read_visible).
+    writer: Mutex<()>,
+    /// Seqlock word: odd while a writer window is open.
+    seq: AtomicU64,
+    /// Occupancy bitmap (bit *i* set ⇔ slot *i* holds a version).
     used: AtomicU64,
+    /// Total slots allocated across chunks (monotone, ≤ 64).
+    allocated: AtomicUsize,
+    /// Version storage.  Chunk `k` holds `chunk_cap(k)` slots; chunks are
+    /// allocated on demand, published with `Release`, and never freed or
+    /// moved until the object drops — readers hold references across growth.
+    chunks: [AtomicPtr<VersionSlot<V>>; MAX_CHUNKS],
+    /// Initial capacity (chunk 0 size); total capacity doubles per grow.
     capacity: usize,
 }
+
+// SAFETY: all shared mutable state is accessed through atomics or through
+// the `UnsafeCell` values, whose cross-thread discipline (single writer
+// inside seq windows; readers clone only validated, reclaim-protected
+// versions) is documented in the module header.
+unsafe impl<V: Send> Send for MvccObject<V> {}
+unsafe impl<V: Send + Sync> Sync for MvccObject<V> {}
 
 impl<V: Clone> Default for MvccObject<V> {
     fn default() -> Self {
@@ -74,18 +173,37 @@ impl<V: Clone> Default for MvccObject<V> {
     }
 }
 
+/// Total slots after `k + 1` chunks for an object of initial capacity `c`.
+fn total_after(c: usize, k: usize) -> usize {
+    (c << k).min(MAX_VERSION_SLOTS)
+}
+
+/// Capacity of chunk `k` for an object of initial capacity `c` (0 when the
+/// chunk is never needed).
+fn chunk_cap(c: usize, k: usize) -> usize {
+    if k == 0 {
+        c
+    } else {
+        total_after(c, k) - total_after(c, k - 1)
+    }
+}
+
 impl<V: Clone> MvccObject<V> {
-    /// Creates an object with `capacity` version slots (clamped to
-    /// `1..=`[`MAX_VERSION_SLOTS`]).
+    /// Creates an object with `capacity` initial version slots (clamped to
+    /// `1..=`[`MAX_VERSION_SLOTS`]); the array grows on demand, doubling up
+    /// to the 64-slot bitmap width.
     pub fn new(capacity: usize) -> Self {
         let capacity = capacity.clamp(1, MAX_VERSION_SLOTS);
-        MvccObject {
-            slots: RwLock::new(Slots {
-                versions: (0..capacity).map(|_| None).collect(),
-            }),
+        let obj = MvccObject {
+            writer: Mutex::new(()),
+            seq: AtomicU64::new(0),
             used: AtomicU64::new(0),
+            allocated: AtomicUsize::new(0),
+            chunks: Default::default(),
             capacity,
-        }
+        };
+        obj.alloc_chunk(0);
+        obj
     }
 
     /// The configured *initial* slot capacity (the array may grow on demand
@@ -97,7 +215,7 @@ impl<V: Clone> MvccObject<V> {
     /// The current size of the version array (initial capacity plus any
     /// on-demand growth).
     pub fn allocated_slots(&self) -> usize {
-        self.slots.read().versions.len()
+        self.allocated.load(Ordering::Acquire)
     }
 
     /// The occupancy bitmap (bit *i* set ⇔ slot *i* holds a version).
@@ -115,172 +233,520 @@ impl<V: Clone> MvccObject<V> {
         self.used_slots() == 0
     }
 
-    /// Returns the value visible at `read_ts`, if any.
+    // ------------------------------------------------------------------
+    // Storage layout
+    // ------------------------------------------------------------------
+
+    /// Allocates chunk `k` and returns the index of its first slot.
+    /// Writer-exclusive (or construction).
+    fn alloc_chunk(&self, k: usize) -> usize {
+        let cap = chunk_cap(self.capacity, k);
+        debug_assert!(
+            cap > 0,
+            "chunk {k} not needed for capacity {}",
+            self.capacity
+        );
+        let chunk: Box<[VersionSlot<V>]> = (0..cap).map(|_| VersionSlot::empty()).collect();
+        let first = self.allocated.load(Ordering::Relaxed);
+        // Publish the fully initialised chunk before bumping `allocated`.
+        self.chunks[k].store(
+            Box::into_raw(chunk) as *mut VersionSlot<V>,
+            Ordering::Release,
+        );
+        self.allocated.store(first + cap, Ordering::Release);
+        first
+    }
+
+    /// Calls `f` with every allocated slot and its global index, in index
+    /// order.  Chunks are immutable once published, so this is safe from
+    /// both readers and the writer.
+    fn for_each_slot(&self, mut f: impl FnMut(usize, &VersionSlot<V>)) {
+        let mut base = 0;
+        for k in 0..MAX_CHUNKS {
+            let ptr = self.chunks[k].load(Ordering::Acquire);
+            if ptr.is_null() {
+                break;
+            }
+            let cap = chunk_cap(self.capacity, k);
+            for i in 0..cap {
+                // SAFETY: the chunk was published fully initialised with
+                // `cap` slots and is never freed while `self` lives.
+                f(base + i, unsafe { &*ptr.add(i) });
+            }
+            base += cap;
+        }
+    }
+
+    /// The slot at global index `idx`, or `None` if the chunk holding it is
+    /// not yet visible to this thread.
+    ///
+    /// `None` is only possible for latch-free readers: a `Relaxed` load of
+    /// `used` may observe a bit set inside a concurrent install window
+    /// without a happens-before edge to the grown chunk's publication, so
+    /// the `Acquire` chunk load here can still legally return null.  Such a
+    /// reader must simply skip the slot — having observed an in-window
+    /// store, its seqlock validation is guaranteed to fail (the writer's
+    /// `Release` window fence pairs with the reader's `Acquire` fence) and
+    /// the retry's fresh `seq` load brings the chunk publication into view.
+    /// Writer-side callers hold the writer mutex and always see their own
+    /// chunks.
+    fn slot(&self, idx: usize) -> Option<&VersionSlot<V>> {
+        let mut base = 0;
+        for k in 0..MAX_CHUNKS {
+            let cap = chunk_cap(self.capacity, k);
+            if idx < base + cap {
+                let ptr = self.chunks[k].load(Ordering::Acquire);
+                if ptr.is_null() {
+                    return None;
+                }
+                // SAFETY: as in `for_each_slot`.
+                return Some(unsafe { &*ptr.add(idx - base) });
+            }
+            base += cap;
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Seqlock windows (writer side; callers hold `self.writer`)
+    // ------------------------------------------------------------------
+
+    /// Opens a write window: `seq` becomes odd, and the `Release` fence
+    /// orders the odd-store before every in-window mutation (pairing with
+    /// the reader's `Acquire` fence).
+    fn enter_window(&self) -> u64 {
+        let s = self.seq.load(Ordering::Relaxed);
+        debug_assert_eq!(s & 1, 0, "window already open");
+        self.seq.store(s + 1, Ordering::Relaxed);
+        fence(Ordering::Release);
+        s
+    }
+
+    /// Closes the window opened at `s`: publishes all in-window mutations
+    /// with the `Release` even-store.
+    fn exit_window(&self, s: u64) {
+        self.seq.store(s + 2, Ordering::Release);
+    }
+
+    // ------------------------------------------------------------------
+    // Latch-free reads
+    // ------------------------------------------------------------------
+
+    /// Returns the value visible at `read_ts`, if any, **without acquiring
+    /// any latch** — the committed-read fast path.
+    ///
+    /// Concurrency contract: the calling transaction must have announced a
+    /// snapshot floor `<= read_ts` to the garbage collector's
+    /// `oldest_active` scan before calling (the context does this in
+    /// `begin`/pinning), or no concurrent GC/install may reclaim versions
+    /// still visible at `read_ts` (the single-writer test setting).
     pub fn read_visible(&self, read_ts: Timestamp) -> Option<V> {
-        let guard = self.slots.read();
-        guard
-            .versions
-            .iter()
-            .flatten()
-            .find(|v| v.visible_at(read_ts))
-            .map(|v| v.value.clone())
+        let mut spins = 0u32;
+        loop {
+            let s1 = self.seq.load(Ordering::Acquire);
+            if s1 & 1 == 0 {
+                let mut hit: Option<&VersionSlot<V>> = None;
+                // Iterate only the *occupied* slots (usually one or two).
+                let mut bits = self.used.load(Ordering::Relaxed);
+                while bits != 0 {
+                    let idx = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    // A not-yet-visible chunk means the bit came from an
+                    // in-progress window; skip — validation below retries.
+                    let Some(slot) = self.slot(idx) else { continue };
+                    let cts = slot.cts.load(Ordering::Relaxed);
+                    let dts = slot.dts.load(Ordering::Relaxed);
+                    if cts != NO_TS && cts <= read_ts && read_ts < dts {
+                        hit = Some(slot);
+                        // At most one version is visible at any timestamp in
+                        // a consistent state — and inconsistent scans are
+                        // rejected by the validation below anyway.
+                        break;
+                    }
+                }
+                fence(Ordering::Acquire);
+                if self.seq.load(Ordering::Relaxed) == s1 {
+                    // SAFETY: the scan was validated as a consistent state
+                    // (seq unchanged and even).  The winning version has
+                    // `dts > read_ts >= announced floor`, so per the module
+                    // protocol no reclaimer may drop or overwrite its value
+                    // concurrently, and the `Acquire` load of `s1`
+                    // happens-after the write that installed it.
+                    return hit.and_then(|slot| unsafe { (*slot.value.get()).clone() });
+                }
+            }
+            spins += 1;
+            if spins > 64 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Like [`read_visible`](Self::read_visible) but serialised against
+    /// writers via the object latch.  For callers that read at snapshots
+    /// *not* covered by an announced floor (relaxed-isolation readers,
+    /// diagnostics) and therefore may not use the latch-free path.
+    pub fn read_visible_latched(&self, read_ts: Timestamp) -> Option<V> {
+        let _g = self.writer.lock();
+        latch_probe::count_latch();
+        let used = self.used.load(Ordering::Relaxed);
+        let mut hit = None;
+        self.for_each_slot(|idx, slot| {
+            if used & (1u64 << idx) == 0 {
+                return;
+            }
+            let cts = slot.cts.load(Ordering::Relaxed);
+            let dts = slot.dts.load(Ordering::Relaxed);
+            if cts != NO_TS && cts <= read_ts && read_ts < dts {
+                // SAFETY: the writer latch excludes every mutator.
+                hit = unsafe { (*slot.value.get()).clone() };
+            }
+        });
+        hit
+    }
+
+    /// Runs `f` over a seqlock-validated consistent view of `(used bitmap,
+    /// header loader)` and returns its result.  Header-only: `f` must not
+    /// touch values.
+    fn validated_header_scan<R>(
+        &self,
+        mut f: impl FnMut(u64, &dyn Fn(usize) -> (Timestamp, Timestamp)) -> R,
+    ) -> R {
+        let mut spins = 0u32;
+        loop {
+            let s1 = self.seq.load(Ordering::Acquire);
+            if s1 & 1 == 0 {
+                let used = self.used.load(Ordering::Relaxed);
+                let load = |idx: usize| {
+                    // Not-yet-visible chunk (see `slot`): report the slot as
+                    // free; the validation below forces a retry.
+                    let Some(slot) = self.slot(idx) else {
+                        return (NO_TS, NO_TS);
+                    };
+                    (
+                        slot.cts.load(Ordering::Relaxed),
+                        slot.dts.load(Ordering::Relaxed),
+                    )
+                };
+                let result = f(used, &load);
+                fence(Ordering::Acquire);
+                if self.seq.load(Ordering::Relaxed) == s1 {
+                    return result;
+                }
+            }
+            spins += 1;
+            if spins > 64 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Folds `fold` over the headers of all occupied slots, latch-free.
+    fn fold_headers<R>(
+        &self,
+        init: R,
+        mut fold: impl FnMut(R, Timestamp, Timestamp) -> R + Copy,
+    ) -> R
+    where
+        R: Copy,
+    {
+        self.validated_header_scan(|used, load| {
+            let mut acc = init;
+            let mut bits = used;
+            while bits != 0 {
+                let idx = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let (cts, dts) = load(idx);
+                if cts != NO_TS {
+                    acc = fold(acc, cts, dts);
+                }
+            }
+            acc
+        })
     }
 
     /// Commit timestamp of the newest version (committed or deleted), or
     /// [`NO_TS`] if the object is empty.  Used by the First-Committer-Wins
-    /// check.
+    /// check.  Latch-free.
     pub fn latest_cts(&self) -> Timestamp {
-        let guard = self.slots.read();
-        guard
-            .versions
-            .iter()
-            .flatten()
-            .map(|v| v.cts)
-            .max()
-            .unwrap_or(NO_TS)
+        self.fold_headers(NO_TS, |acc, cts, _| acc.max(cts))
     }
 
     /// The most recent deletion timestamp stamped on any version, or
     /// [`NO_TS`].  Together with [`latest_cts`](Self::latest_cts) this lets
-    /// the FCW check detect deletes as conflicting writes.
+    /// the FCW check detect deletes as conflicting writes.  Latch-free.
     pub fn latest_dts(&self) -> Timestamp {
-        let guard = self.slots.read();
-        guard
-            .versions
-            .iter()
-            .flatten()
-            .map(|v| if v.dts == INFINITY_TS { NO_TS } else { v.dts })
-            .max()
-            .unwrap_or(NO_TS)
+        self.fold_headers(NO_TS, |acc, _, dts| {
+            if dts == INFINITY_TS {
+                acc
+            } else {
+                acc.max(dts)
+            }
+        })
     }
 
-    /// Smallest commit timestamp stored, or [`NO_TS`] if empty.
+    /// Smallest commit timestamp stored, or [`NO_TS`] if empty.  Latch-free.
     pub fn min_cts(&self) -> Timestamp {
-        let guard = self.slots.read();
-        guard
-            .versions
-            .iter()
-            .flatten()
-            .map(|v| v.cts)
-            .min()
-            .unwrap_or(NO_TS)
+        let min = self.fold_headers(INFINITY_TS, |acc, cts, _| acc.min(cts));
+        if min == INFINITY_TS {
+            NO_TS
+        } else {
+            min
+        }
     }
 
     /// True if a live (not superseded, not deleted) version exists.
+    /// Latch-free.
     pub fn has_live_version(&self) -> bool {
-        let guard = self.slots.read();
-        guard.versions.iter().flatten().any(|v| v.is_live())
+        self.fold_headers(false, |acc, _, dts| acc || dts == INFINITY_TS)
     }
 
     /// Snapshot of all versions, newest first (diagnostics and tests).
+    /// Takes the writer latch — values of non-visible versions are not
+    /// protected by the floor protocol.
     pub fn versions(&self) -> Vec<Version<V>> {
-        let guard = self.slots.read();
-        let mut out: Vec<Version<V>> = guard.versions.iter().flatten().cloned().collect();
+        let _g = self.writer.lock();
+        latch_probe::count_latch();
+        let used = self.used.load(Ordering::Relaxed);
+        let mut out = Vec::with_capacity(used.count_ones() as usize);
+        self.for_each_slot(|idx, slot| {
+            if used & (1u64 << idx) == 0 {
+                return;
+            }
+            // SAFETY: the writer latch excludes every mutator.
+            if let Some(value) = unsafe { (*slot.value.get()).clone() } {
+                out.push(Version {
+                    cts: slot.cts.load(Ordering::Relaxed),
+                    dts: slot.dts.load(Ordering::Relaxed),
+                    value,
+                });
+            }
+        });
         out.sort_by_key(|v| std::cmp::Reverse(v.cts));
         out
     }
 
-    /// Installs a new version committed at `cts`, terminating the lifetime of
-    /// the previously live version (if any).  When no slot is free the
-    /// object's garbage collection runs first, reclaiming versions no longer
-    /// visible to any snapshot at or after `oldest_active`; if nothing can be
-    /// reclaimed (e.g. a long-running ad-hoc query pins an old snapshot) the
-    /// version array grows, up to the 64-slot width of the `UsedSlots`
-    /// bitmap.  Only when all 64 slots hold versions that are still needed
-    /// does the install fail with a retryable [`TspError::CapacityExhausted`].
+    // ------------------------------------------------------------------
+    // Writes (install / delete / GC)
+    // ------------------------------------------------------------------
+
+    /// Installs a new version committed at `cts`, terminating the lifetime
+    /// of the previously live version (if any).  When no slot is free the
+    /// object's on-demand garbage collection runs first, reclaiming
+    /// versions whose lifetime ended at or before the bound returned by
+    /// `refresh` (re-evaluated inside the reclaim fence as described in the
+    /// module docs); if nothing can be reclaimed the version array grows,
+    /// up to the 64-slot width of the `UsedSlots` bitmap.  Only when all 64
+    /// slots hold versions that are still needed does the install fail with
+    /// a retryable [`TspError::CapacityExhausted`].
     ///
-    /// Returns the number of versions reclaimed by the on-demand GC pass (0
-    /// if none was needed).
-    pub fn install(&self, value: V, cts: Timestamp, oldest_active: Timestamp) -> Result<usize> {
+    /// `oldest_hint` is the caller's cheap (possibly cached) bound used to
+    /// select reclaim candidates; `refresh` must return a *fresh*
+    /// `OldestActiveVersion` scan.  Returns the number of versions
+    /// reclaimed by the on-demand GC pass (0 if none ran).
+    pub fn install_with(
+        &self,
+        value: V,
+        cts: Timestamp,
+        oldest_hint: Timestamp,
+        refresh: impl FnMut() -> Timestamp,
+    ) -> Result<usize> {
         debug_assert!(cts != NO_TS);
-        let mut guard = self.slots.write();
+        let _g = self.writer.lock();
+        latch_probe::count_latch();
         // Secure a free slot first (running the on-demand GC if needed) so a
         // failed install leaves the object completely untouched.
         let mut reclaimed = 0;
-        let mut free = Self::find_free(&guard);
+        let mut free = self.find_free_locked();
         if free.is_none() {
-            reclaimed = Self::gc_locked(&mut guard, oldest_active);
-            free = Self::find_free(&guard);
+            reclaimed = self.gc_locked(oldest_hint, refresh);
+            free = self.find_free_locked();
         }
-        if free.is_none() && guard.versions.len() < MAX_VERSION_SLOTS {
-            // Grow geometrically, never beyond the bitmap width.
-            let new_len = (guard.versions.len() * 2).min(MAX_VERSION_SLOTS);
-            free = Some(guard.versions.len());
-            guard.versions.resize_with(new_len, || None);
+        if free.is_none() {
+            free = self.grow_locked();
         }
-        let slot = match free {
-            Some(i) => i,
-            None => {
-                self.rebuild_bitmap(&guard);
-                return Err(TspError::CapacityExhausted {
-                    what: "MVCC version slots",
-                });
-            }
+        let Some(idx) = free else {
+            return Err(TspError::CapacityExhausted {
+                what: "MVCC version slots",
+            });
         };
+        let s = self.enter_window();
         // Terminate the currently live version, then publish the new one.
-        if let Some(live) = guard.versions.iter_mut().flatten().find(|v| v.is_live()) {
-            live.dts = cts;
-        }
-        guard.versions[slot] = Some(Version {
-            cts,
-            dts: INFINITY_TS,
-            value,
+        let used = self.used.load(Ordering::Relaxed);
+        self.for_each_slot(|i, slot| {
+            if used & (1u64 << i) != 0 && slot.dts.load(Ordering::Relaxed) == INFINITY_TS {
+                slot.dts.store(cts, Ordering::Relaxed);
+            }
         });
-        self.rebuild_bitmap(&guard);
+        let slot = self.slot(idx).expect("writer sees its own chunks");
+        // SAFETY: single writer (mutex held), slot is free, and no reader
+        // clones a free slot's value (validated scans skip clear `used`
+        // bits; a reclaimed slot was dropped under the floor protocol).
+        unsafe {
+            *slot.value.get() = Some(value);
+        }
+        slot.cts.store(cts, Ordering::Relaxed);
+        slot.dts.store(INFINITY_TS, Ordering::Relaxed);
+        self.used.store(
+            self.used.load(Ordering::Relaxed) | (1u64 << idx),
+            Ordering::Relaxed,
+        );
+        self.exit_window(s);
         Ok(reclaimed)
+    }
+
+    /// [`install_with`](Self::install_with) with a constant reclaim bound.
+    /// Sound only when every concurrent reader's snapshot is at or above
+    /// `oldest_active` (single-writer tests, preloading); table code uses
+    /// `install_with` with a fresh context scan.
+    pub fn install(&self, value: V, cts: Timestamp, oldest_active: Timestamp) -> Result<usize> {
+        self.install_with(value, cts, oldest_active, || oldest_active)
     }
 
     /// Marks the live version as deleted at `cts` (a committed delete).
     /// Returns `true` if a live version existed.
     pub fn mark_deleted(&self, cts: Timestamp) -> bool {
-        let mut guard = self.slots.write();
-        let deleted = if let Some(live) = guard.versions.iter_mut().flatten().find(|v| v.is_live())
-        {
-            live.dts = cts;
-            true
-        } else {
-            false
+        let _g = self.writer.lock();
+        latch_probe::count_latch();
+        let used = self.used.load(Ordering::Relaxed);
+        let mut live = None;
+        self.for_each_slot(|i, slot| {
+            if used & (1u64 << i) != 0 && slot.dts.load(Ordering::Relaxed) == INFINITY_TS {
+                live = Some(i);
+            }
+        });
+        let Some(idx) = live else {
+            return false;
         };
-        self.rebuild_bitmap(&guard);
-        deleted
+        let s = self.enter_window();
+        self.slot(idx)
+            .expect("writer sees its own chunks")
+            .dts
+            .store(cts, Ordering::Relaxed);
+        self.exit_window(s);
+        true
     }
 
-    /// Runs garbage collection explicitly, reclaiming versions whose deletion
-    /// timestamp is `<= oldest_active`.  Returns the number reclaimed.
+    /// Runs garbage collection explicitly, reclaiming versions whose
+    /// deletion timestamp is at or below the bound returned by `refresh`
+    /// (re-evaluated inside the reclaim fence; `oldest_hint` pre-selects
+    /// candidates cheaply).  Returns the number reclaimed.
+    pub fn gc_with(&self, oldest_hint: Timestamp, refresh: impl FnMut() -> Timestamp) -> usize {
+        let _g = self.writer.lock();
+        latch_probe::count_latch();
+        self.gc_locked(oldest_hint, refresh)
+    }
+
+    /// [`gc_with`](Self::gc_with) with a constant bound — same soundness
+    /// caveat as [`install`](Self::install).
     pub fn gc(&self, oldest_active: Timestamp) -> usize {
-        let mut guard = self.slots.write();
-        let reclaimed = Self::gc_locked(&mut guard, oldest_active);
-        self.rebuild_bitmap(&guard);
-        reclaimed
+        self.gc_with(oldest_active, || oldest_active)
     }
 
-    fn find_free(slots: &Slots<V>) -> Option<usize> {
-        slots.versions.iter().position(|s| s.is_none())
-    }
-
-    fn gc_locked(slots: &mut Slots<V>, oldest_active: Timestamp) -> usize {
+    /// Reclaim pass; caller holds the writer mutex.
+    fn gc_locked(&self, oldest_hint: Timestamp, mut refresh: impl FnMut() -> Timestamp) -> usize {
+        // Candidate pre-scan outside the window (writer-exclusive reads).
+        let used = self.used.load(Ordering::Relaxed);
+        let mut candidates = 0u64;
+        self.for_each_slot(|i, slot| {
+            if used & (1u64 << i) == 0 {
+                return;
+            }
+            let dts = slot.dts.load(Ordering::Relaxed);
+            if dts != INFINITY_TS && dts <= oldest_hint {
+                candidates |= 1u64 << i;
+            }
+        });
+        if candidates == 0 {
+            return 0;
+        }
+        let s = self.enter_window();
+        // Dekker pairing with reader floor announcements (module docs): the
+        // odd `seq` store above is ordered before the floor re-read below,
+        // so any reader whose floor the re-read misses must observe the odd
+        // `seq` and retry (seeing the slot empty afterwards).
+        fence(Ordering::SeqCst);
+        let bound = refresh();
         let mut reclaimed = 0;
-        for slot in slots.versions.iter_mut() {
-            if let Some(v) = slot {
+        let mut new_used = self.used.load(Ordering::Relaxed);
+        self.for_each_slot(|i, slot| {
+            if candidates & (1u64 << i) == 0 {
+                return;
+            }
+            let dts = slot.dts.load(Ordering::Relaxed);
+            if dts != INFINITY_TS && dts <= bound {
                 // A version is dead once its lifetime ended at or before the
                 // oldest snapshot any active or future transaction can hold.
-                if v.dts != INFINITY_TS && v.dts <= oldest_active {
-                    *slot = None;
-                    reclaimed += 1;
+                new_used &= !(1u64 << i);
+                slot.cts.store(NO_TS, Ordering::Relaxed);
+                slot.dts.store(NO_TS, Ordering::Relaxed);
+                // SAFETY: single writer; no reader can be cloning this value
+                // per the fence pairing above.
+                unsafe {
+                    *slot.value.get() = None;
                 }
+                reclaimed += 1;
             }
-        }
+        });
+        self.used.store(new_used, Ordering::Relaxed);
+        self.exit_window(s);
         reclaimed
     }
 
-    fn rebuild_bitmap(&self, slots: &Slots<V>) {
-        let mut bits = 0u64;
-        for (i, s) in slots.versions.iter().enumerate() {
-            if s.is_some() {
-                bits |= 1 << i;
-            }
+    /// First free allocated slot, if any.  Caller holds the writer mutex.
+    fn find_free_locked(&self) -> Option<usize> {
+        let allocated = self.allocated.load(Ordering::Relaxed);
+        let used = self.used.load(Ordering::Relaxed);
+        let mask = if allocated >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << allocated) - 1
+        };
+        let free = !used & mask;
+        if free == 0 {
+            None
+        } else {
+            Some(free.trailing_zeros() as usize)
         }
-        self.used.store(bits, Ordering::Release);
+    }
+
+    /// Grows the version array by one chunk (doubling total capacity, never
+    /// beyond the bitmap width); returns the first new slot index.  Caller
+    /// holds the writer mutex.
+    fn grow_locked(&self) -> Option<usize> {
+        let allocated = self.allocated.load(Ordering::Relaxed);
+        if allocated >= MAX_VERSION_SLOTS {
+            return None;
+        }
+        let mut k = 0;
+        let mut base = 0;
+        while base < allocated {
+            base += chunk_cap(self.capacity, k);
+            k += 1;
+        }
+        Some(self.alloc_chunk(k))
+    }
+}
+
+impl<V> Drop for MvccObject<V> {
+    fn drop(&mut self) {
+        let mut base = 0;
+        for k in 0..MAX_CHUNKS {
+            let ptr = *self.chunks[k].get_mut();
+            if ptr.is_null() {
+                break;
+            }
+            let cap = chunk_cap(self.capacity, k);
+            // SAFETY: the chunk was allocated as a boxed slice of `cap`
+            // slots in `alloc_chunk` and never freed since.
+            drop(unsafe { Box::from_raw(std::ptr::slice_from_raw_parts_mut(ptr, cap)) });
+            base += cap;
+        }
+        let _ = base;
     }
 }
 
@@ -332,6 +798,16 @@ mod tests {
     }
 
     #[test]
+    fn latched_read_matches_latch_free_read() {
+        let obj = MvccObject::new(4);
+        obj.install(1u64, 2, NO_TS).unwrap();
+        obj.install(2u64, 6, NO_TS).unwrap();
+        for ts in [1, 2, 5, 6, 100] {
+            assert_eq!(obj.read_visible(ts), obj.read_visible_latched(ts));
+        }
+    }
+
+    #[test]
     fn bitmap_tracks_occupancy() {
         let obj = MvccObject::new(8);
         assert_eq!(obj.used_slots(), 0);
@@ -360,6 +836,20 @@ mod tests {
         assert_eq!(obj.gc(5), 1);
         assert_eq!(obj.read_visible(5), Some(2));
         assert_eq!(obj.read_visible(9), Some(3));
+    }
+
+    #[test]
+    fn gc_with_refreshed_bound_keeps_late_pins() {
+        let obj = MvccObject::new(4);
+        obj.install(1u64, 2, NO_TS).unwrap();
+        obj.install(2u64, 8, NO_TS).unwrap();
+        // The cheap hint claims everything up to ts=10 is reclaimable, but
+        // the fresh rescan reports a reader pinned at 5: [2,8) must stay.
+        assert_eq!(obj.gc_with(10, || 5), 0);
+        assert_eq!(obj.read_visible(5), Some(1));
+        // With the fresh bound also past the dts, the version goes.
+        assert_eq!(obj.gc_with(10, || 10), 1);
+        assert_eq!(obj.read_visible(10), Some(2));
     }
 
     #[test]
@@ -438,6 +928,20 @@ mod tests {
         assert_eq!(obj.capacity(), MAX_VERSION_SLOTS);
         let obj: MvccObject<u8> = MvccObject::default();
         assert_eq!(obj.capacity(), DEFAULT_VERSION_SLOTS);
+    }
+
+    #[test]
+    fn minimal_capacity_grows_through_all_chunks() {
+        // capacity 1 exercises the deepest chunk chain: 1,1,2,4,8,16,32.
+        let obj = MvccObject::new(1);
+        for i in 0..MAX_VERSION_SLOTS as u64 {
+            obj.install(i, 2 + i, 1).unwrap();
+        }
+        assert_eq!(obj.allocated_slots(), MAX_VERSION_SLOTS);
+        // Every version remains readable at its own snapshot.
+        for i in 0..MAX_VERSION_SLOTS as u64 {
+            assert_eq!(obj.read_visible(2 + i), Some(i));
+        }
     }
 
     #[test]

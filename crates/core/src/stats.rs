@@ -3,32 +3,38 @@
 //! Every table and the transaction manager update these counters with relaxed
 //! atomics; the benchmark harness and the examples read them to report
 //! throughput, abort rates and conflict breakdowns.
+//!
+//! Each counter sits on its own cache line ([`CachePadded`]): the `reads`
+//! and `writes` counters are bumped on *every* table operation, and without
+//! padding a reader thread bumping `reads` would false-share with a writer
+//! thread bumping the adjacent `writes` word.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use tsp_common::CachePadded;
 
 /// Shared counters describing transaction outcomes.
 #[derive(Debug, Default)]
 pub struct TxStats {
     /// Transactions begun.
-    pub begun: AtomicU64,
+    pub begun: CachePadded<AtomicU64>,
     /// Transactions committed successfully.
-    pub committed: AtomicU64,
+    pub committed: CachePadded<AtomicU64>,
     /// Transactions aborted for any reason.
-    pub aborted: AtomicU64,
+    pub aborted: CachePadded<AtomicU64>,
     /// Aborts caused by write-write conflicts (First-Committer-Wins).
-    pub write_conflicts: AtomicU64,
+    pub write_conflicts: CachePadded<AtomicU64>,
     /// Aborts caused by optimistic (BOCC) validation failures.
-    pub validation_failures: AtomicU64,
+    pub validation_failures: CachePadded<AtomicU64>,
     /// Aborts caused by deadlock avoidance (wait-die victims).
-    pub deadlocks: AtomicU64,
+    pub deadlocks: CachePadded<AtomicU64>,
     /// Read operations served.
-    pub reads: AtomicU64,
+    pub reads: CachePadded<AtomicU64>,
     /// Write operations buffered.
-    pub writes: AtomicU64,
+    pub writes: CachePadded<AtomicU64>,
     /// Garbage-collection passes over version arrays.
-    pub gc_runs: AtomicU64,
+    pub gc_runs: CachePadded<AtomicU64>,
     /// Versions reclaimed by garbage collection.
-    pub gc_reclaimed: AtomicU64,
+    pub gc_reclaimed: CachePadded<AtomicU64>,
 }
 
 impl TxStats {

@@ -16,14 +16,15 @@ use crate::context::{StateContext, Tx};
 use crate::stats::TxStats;
 use crate::table::common::{
     buffer_write, commit_meta, overlay_write_set, preload_rows, read_own_write, reject_read_only,
-    KeyType, TransactionalTable, TxParticipant, TxWriteSets, TypedBackend, ValueType, WriteOp,
+    KeyType, SlotLocal, TransactionalTable, TxParticipant, TxWriteSets, TypedBackend, ValueType,
+    WriteOp,
 };
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::hash::Hasher;
 use std::sync::Arc;
-use tsp_common::{Result, StateId, Timestamp, TspError, TxnId};
+use tsp_common::{Result, StateId, Timestamp, TspError};
 use tsp_storage::StorageBackend;
 
 const SHARDS: usize = 64;
@@ -45,7 +46,9 @@ pub struct BoccTable<K, V> {
     /// Committed values overriding the base table (`None` = deleted).
     committed: Vec<RwLock<HashMap<K, Option<V>>>>,
     write_sets: TxWriteSets<K, V>,
-    read_sets: Mutex<HashMap<TxnId, ReadSet<K>>>,
+    /// Per-transaction read sets, stored slot-locally: recording a read
+    /// costs an uncontended per-slot mutex instead of a global one.
+    read_sets: SlotLocal<ReadSet<K>>,
     commit_log: RwLock<Vec<CommitRecord<K>>>,
     backend: TypedBackend<K, V>,
 }
@@ -97,8 +100,8 @@ impl<K: KeyType, V: ValueType> BoccTable<K, V> {
             name,
             ctx: Arc::clone(ctx),
             committed: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
-            write_sets: TxWriteSets::new(),
-            read_sets: Mutex::new(HashMap::new()),
+            write_sets: TxWriteSets::for_context(ctx),
+            read_sets: SlotLocal::for_context(ctx),
             commit_log: RwLock::new(Vec::new()),
             backend,
         })
@@ -152,11 +155,10 @@ impl<K: KeyType, V: ValueType> BoccTable<K, V> {
     /// timestamp before this transaction begins but applies after this read.
     /// Pinning only once keeps the per-read cost at one mutex acquisition.
     fn record_read(&self, tx: &Tx, update: impl FnOnce(&mut ReadSet<K>)) -> Result<()> {
-        let mut read_sets = self.read_sets.lock();
-        if !read_sets.contains_key(&tx.id()) {
+        if !self.read_sets.is_claimed(tx) {
             let _ = self.ctx.read_snapshot(tx, self.state_id)?;
         }
-        update(read_sets.entry(tx.id()).or_default());
+        self.read_sets.with_mut(tx, update);
         Ok(())
     }
 
@@ -214,7 +216,7 @@ impl<K: KeyType, V: ValueType> BoccTable<K, V> {
             rs.whole_table = true;
         })?;
         let mut out = self.committed_image()?;
-        if let Some(ops) = self.write_sets.with(tx.id(), |ws| ws.effective()) {
+        if let Some(ops) = self.write_sets.with(tx, |ws| ws.effective()) {
             overlay_write_set(&mut out, ops);
         }
         Ok(out)
@@ -269,16 +271,13 @@ impl<K: KeyType, V: ValueType> TxParticipant for BoccTable<K, V> {
     /// key this one read or writes — or wrote *anything*, if this one
     /// scanned the whole table.
     fn precommit(&self, tx: &Tx) -> Result<()> {
-        let (read_keys, whole_table) = {
-            let read_sets = self.read_sets.lock();
-            match read_sets.get(&tx.id()) {
-                Some(rs) => (rs.keys.clone(), rs.whole_table),
-                None => (HashSet::new(), false),
-            }
-        };
+        let (read_keys, whole_table) = self
+            .read_sets
+            .with(tx, |rs| (rs.keys.clone(), rs.whole_table))
+            .unwrap_or((HashSet::new(), false));
         let write_keys: HashSet<K> = self
             .write_sets
-            .with(tx.id(), |ws| ws.keys().cloned().collect())
+            .with(tx, |ws| ws.keys().cloned().collect())
             .unwrap_or_default();
         if read_keys.is_empty() && write_keys.is_empty() && !whole_table {
             return Ok(());
@@ -306,7 +305,7 @@ impl<K: KeyType, V: ValueType> TxParticipant for BoccTable<K, V> {
     }
 
     fn apply(&self, tx: &Tx, cts: Timestamp) -> Result<()> {
-        let Some(ops) = self.write_sets.with(tx.id(), |ws| ws.effective()) else {
+        let Some(ops) = self.write_sets.with(tx, |ws| ws.effective()) else {
             return Ok(());
         };
         if ops.is_empty() {
@@ -332,17 +331,17 @@ impl<K: KeyType, V: ValueType> TxParticipant for BoccTable<K, V> {
     }
 
     fn rollback(&self, tx: &Tx) {
-        self.write_sets.clear(tx.id());
-        self.read_sets.lock().remove(&tx.id());
+        self.write_sets.clear(tx);
+        self.read_sets.clear(tx);
     }
 
     fn finalize(&self, tx: &Tx) {
-        self.write_sets.clear(tx.id());
-        self.read_sets.lock().remove(&tx.id());
+        self.write_sets.clear(tx);
+        self.read_sets.clear(tx);
     }
 
     fn has_writes(&self, tx: &Tx) -> bool {
-        self.write_sets.has_writes(tx.id())
+        self.write_sets.has_writes(tx)
     }
 }
 

@@ -9,8 +9,9 @@ use crate::stats::TxStats;
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use tsp_common::{Result, StateId, Timestamp, TspError, TxnId};
+use tsp_common::{CachePadded, Result, StateId, Timestamp, TspError};
 use tsp_storage::{Codec, StorageBackend, WriteBatch};
 
 /// Bound for table keys: hashable, ordered, encodable.
@@ -115,62 +116,181 @@ impl<K: KeyType, V: ValueType> WriteSet<K, V> {
     }
 }
 
-/// All uncommitted write sets of one table, keyed by transaction id — the
-/// "Uncommitted Write Set" box of Fig. 3.
-pub struct TxWriteSets<K, V> {
-    shards: Vec<Mutex<HashMap<TxnId, WriteSet<K, V>>>>,
+/// Transaction-slot-local storage: one `T` per active-transaction slot,
+/// indexed by [`Tx::slot`].
+///
+/// This replaces the historical `Mutex<HashMap<TxnId, T>>` registries that
+/// every table consulted on *every* read (write-buffer lookup, BOCC read
+/// sets) — a shared lock plus a hash probe on the hottest path in the
+/// system.  A transaction's data now lives in the slot it already owns:
+///
+/// * the **owner tag** (an atomic holding the claiming transaction's id)
+///   lets readers decide "this transaction has no data here" with a single
+///   `Acquire` load and **no lock** — the common case for read-dominated
+///   transactions probing their own write buffer;
+/// * the per-slot mutex is only taken when data exists or is being created,
+///   and it is *transaction-private* — uncontended unless one transaction
+///   is genuinely driven from several operator threads;
+/// * slots are cache-line-padded so neighbouring transactions do not
+///   false-share.
+///
+/// Soundness of the owner fast path: transaction ids are never reused, a
+/// slot is exclusively owned between `begin` and `finish`, and the owner tag
+/// is only set (under the slot mutex) by the owning transaction itself —
+/// `owner == tx.id` therefore proves the stored data belongs to `tx`, and
+/// any stale tag from a previous occupant fails the comparison.
+pub struct SlotLocal<T> {
+    slots: Box<[CachePadded<SlotCell<T>>]>,
 }
 
-const WS_SHARDS: usize = 16;
-
-impl<K: KeyType, V: ValueType> Default for TxWriteSets<K, V> {
-    fn default() -> Self {
-        Self::new()
-    }
+struct SlotCell<T> {
+    /// Transaction id that claimed this cell (0 = unclaimed).
+    owner: AtomicU64,
+    data: Mutex<T>,
 }
 
-impl<K: KeyType, V: ValueType> TxWriteSets<K, V> {
-    /// Creates an empty write-set registry.
-    pub fn new() -> Self {
-        TxWriteSets {
-            shards: (0..WS_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+impl<T: Default> SlotLocal<T> {
+    /// Creates storage for `capacity` transaction slots (size it with
+    /// [`StateContext::max_active_txns`]).
+    pub fn new(capacity: usize) -> Self {
+        SlotLocal {
+            slots: (0..capacity.max(1))
+                .map(|_| {
+                    CachePadded::new(SlotCell {
+                        owner: AtomicU64::new(0),
+                        data: Mutex::new(T::default()),
+                    })
+                })
+                .collect(),
         }
     }
 
-    fn shard(&self, txn: TxnId) -> &Mutex<HashMap<TxnId, WriteSet<K, V>>> {
-        &self.shards[(txn.as_u64() as usize) & (WS_SHARDS - 1)]
+    /// Creates storage sized for `ctx`'s active-transaction table.
+    pub fn for_context(ctx: &StateContext) -> Self {
+        Self::new(ctx.max_active_txns())
     }
 
-    /// Runs `f` with the (created on demand) write set of `txn`.
-    pub fn with_mut<R>(&self, txn: TxnId, f: impl FnOnce(&mut WriteSet<K, V>) -> R) -> R {
-        let mut guard = self.shard(txn).lock();
-        f(guard.entry(txn).or_default())
+    fn cell(&self, tx: &Tx) -> &SlotCell<T> {
+        &self.slots[tx.slot() % self.slots.len()]
     }
 
-    /// Runs `f` with the write set of `txn` if one exists.
-    pub fn with<R>(&self, txn: TxnId, f: impl FnOnce(&WriteSet<K, V>) -> R) -> Option<R> {
-        let guard = self.shard(txn).lock();
-        guard.get(&txn).map(f)
+    /// True if `tx` has claimed its cell (i.e. has data here).  Lock-free.
+    pub fn is_claimed(&self, tx: &Tx) -> bool {
+        self.cell(tx).owner.load(Ordering::Acquire) == tx.id().as_u64()
     }
 
-    /// Removes and returns the write set of `txn`.
-    pub fn take(&self, txn: TxnId) -> Option<WriteSet<K, V>> {
-        self.shard(txn).lock().remove(&txn)
+    /// Runs `f` with `tx`'s data, claiming (and resetting) the cell on
+    /// first use.
+    pub fn with_mut<R>(&self, tx: &Tx, f: impl FnOnce(&mut T) -> R) -> R {
+        let cell = self.cell(tx);
+        crate::latch_probe::count_latch();
+        let mut data = cell.data.lock();
+        if cell.owner.load(Ordering::Relaxed) != tx.id().as_u64() {
+            // First use by this transaction (or a stale leftover from a
+            // previous occupant that skipped `finalize`): start fresh.
+            *data = T::default();
+            cell.owner.store(tx.id().as_u64(), Ordering::Release);
+        }
+        f(&mut data)
     }
 
-    /// Drops the write set of `txn` (abort path).
-    pub fn clear(&self, txn: TxnId) {
-        self.shard(txn).lock().remove(&txn);
+    /// Runs `f` with `tx`'s data if the cell is claimed.  Unclaimed cells
+    /// are detected with a single atomic load — no lock.
+    pub fn with<R>(&self, tx: &Tx, f: impl FnOnce(&T) -> R) -> Option<R> {
+        let cell = self.cell(tx);
+        if cell.owner.load(Ordering::Acquire) != tx.id().as_u64() {
+            return None;
+        }
+        crate::latch_probe::count_latch();
+        let data = cell.data.lock();
+        // Re-check under the lock: `take`/`clear` may have released the
+        // cell between the probe and the lock.
+        if cell.owner.load(Ordering::Relaxed) != tx.id().as_u64() {
+            return None;
+        }
+        Some(f(&data))
     }
 
-    /// True if `txn` has buffered at least one modification.
-    pub fn has_writes(&self, txn: TxnId) -> bool {
-        self.with(txn, |ws| !ws.is_empty()).unwrap_or(false)
+    /// Removes and returns `tx`'s data, releasing the cell.
+    pub fn take(&self, tx: &Tx) -> Option<T> {
+        let cell = self.cell(tx);
+        if cell.owner.load(Ordering::Acquire) != tx.id().as_u64() {
+            return None;
+        }
+        crate::latch_probe::count_latch();
+        let mut data = cell.data.lock();
+        if cell.owner.load(Ordering::Relaxed) != tx.id().as_u64() {
+            return None;
+        }
+        cell.owner.store(0, Ordering::Release);
+        Some(std::mem::take(&mut data))
+    }
+
+    /// Drops `tx`'s data (abort/finalize path).
+    pub fn clear(&self, tx: &Tx) {
+        let _ = self.take(tx);
+    }
+
+    /// Number of claimed cells (diagnostics).
+    pub fn claimed_count(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|c| c.owner.load(Ordering::Acquire) != 0)
+            .count()
+    }
+}
+
+/// All uncommitted write sets of one table — the "Uncommitted Write Set"
+/// box of Fig. 3, stored per transaction slot (see [`SlotLocal`]): the
+/// write-buffer probe on the read path costs one atomic load for
+/// transactions that have not written to this table.
+pub struct TxWriteSets<K, V> {
+    sets: SlotLocal<WriteSet<K, V>>,
+}
+
+impl<K: KeyType, V: ValueType> TxWriteSets<K, V> {
+    /// Creates a write-set store for `capacity` transaction slots.
+    pub fn new(capacity: usize) -> Self {
+        TxWriteSets {
+            sets: SlotLocal::new(capacity),
+        }
+    }
+
+    /// Creates a write-set store sized for `ctx`'s transaction table.
+    pub fn for_context(ctx: &StateContext) -> Self {
+        TxWriteSets {
+            sets: SlotLocal::for_context(ctx),
+        }
+    }
+
+    /// Runs `f` with the (created on demand) write set of `tx`.
+    pub fn with_mut<R>(&self, tx: &Tx, f: impl FnOnce(&mut WriteSet<K, V>) -> R) -> R {
+        self.sets.with_mut(tx, f)
+    }
+
+    /// Runs `f` with the write set of `tx` if one exists.
+    pub fn with<R>(&self, tx: &Tx, f: impl FnOnce(&WriteSet<K, V>) -> R) -> Option<R> {
+        self.sets.with(tx, f)
+    }
+
+    /// Removes and returns the write set of `tx`.
+    pub fn take(&self, tx: &Tx) -> Option<WriteSet<K, V>> {
+        self.sets.take(tx)
+    }
+
+    /// Drops the write set of `tx` (abort path).
+    pub fn clear(&self, tx: &Tx) {
+        self.sets.clear(tx);
+    }
+
+    /// True if `tx` has buffered at least one modification.
+    pub fn has_writes(&self, tx: &Tx) -> bool {
+        self.sets.with(tx, |ws| !ws.is_empty()).unwrap_or(false)
     }
 
     /// Number of transactions with live write sets (diagnostics).
     pub fn active_count(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.sets.claimed_count()
     }
 }
 
@@ -429,13 +549,16 @@ pub fn reject_read_only(tx: &Tx) -> Result<()> {
 /// Looks up the transaction's own buffered modification of `key`
 /// (read-your-own-writes).  `Some(Some(v))` is a buffered put, `Some(None)` a
 /// buffered delete, `None` means the transaction has not touched the key.
+///
+/// For transactions that have not written to this table (every read-only
+/// ad-hoc query) this costs one atomic load — no lock (see [`SlotLocal`]).
 pub fn read_own_write<K: KeyType, V: ValueType>(
     write_sets: &TxWriteSets<K, V>,
     tx: &Tx,
     key: &K,
 ) -> Option<Option<V>> {
     write_sets
-        .with(tx.id(), |ws| ws.get(key).cloned())
+        .with(tx, |ws| ws.get(key).cloned())
         .flatten()
         .map(|op| match op {
             WriteOp::Put(v) => Some(v),
@@ -453,7 +576,7 @@ pub fn buffer_write<K: KeyType, V: ValueType>(
     op: WriteOp<V>,
 ) {
     TxStats::bump(&ctx.stats().writes);
-    write_sets.with_mut(tx.id(), |ws| match op {
+    write_sets.with_mut(tx, |ws| match op {
         WriteOp::Put(v) => ws.put(key, v),
         WriteOp::Delete => ws.delete(key),
     });
@@ -548,21 +671,46 @@ mod tests {
 
     #[test]
     fn tx_write_sets_lifecycle() {
-        let sets: TxWriteSets<u32, u64> = TxWriteSets::new();
-        let t1 = TxnId(10);
-        let t2 = TxnId(11);
-        assert!(!sets.has_writes(t1));
-        sets.with_mut(t1, |ws| ws.put(1, 100));
-        sets.with_mut(t2, |ws| ws.put(2, 200));
-        assert!(sets.has_writes(t1));
+        let ctx = StateContext::new();
+        let sets: TxWriteSets<u32, u64> = TxWriteSets::for_context(&ctx);
+        let t1 = ctx.begin(false).unwrap();
+        let t2 = ctx.begin(false).unwrap();
+        assert!(!sets.has_writes(&t1));
+        sets.with_mut(&t1, |ws| ws.put(1, 100));
+        sets.with_mut(&t2, |ws| ws.put(2, 200));
+        assert!(sets.has_writes(&t1));
         assert_eq!(sets.active_count(), 2);
-        assert_eq!(sets.with(t1, |ws| ws.key_count()), Some(1));
-        let taken = sets.take(t1).unwrap();
+        assert_eq!(sets.with(&t1, |ws| ws.key_count()), Some(1));
+        let taken = sets.take(&t1).unwrap();
         assert_eq!(taken.key_count(), 1);
-        assert!(!sets.has_writes(t1));
-        sets.clear(t2);
+        assert!(!sets.has_writes(&t1));
+        sets.clear(&t2);
         assert_eq!(sets.active_count(), 0);
-        assert!(sets.with(TxnId(99), |ws| ws.key_count()).is_none());
+        ctx.finish(&t1);
+        ctx.finish(&t2);
+    }
+
+    #[test]
+    fn slot_local_survives_slot_reuse() {
+        // A new transaction reusing the slot of a finished one must not see
+        // the predecessor's data, even if the predecessor skipped cleanup.
+        let ctx = StateContext::with_capacity(1);
+        let sets: TxWriteSets<u32, u64> = TxWriteSets::for_context(&ctx);
+        let t1 = ctx.begin(false).unwrap();
+        sets.with_mut(&t1, |ws| ws.put(7, 70));
+        ctx.finish(&t1); // no take/clear: stale leftover in the cell
+        let t2 = ctx.begin(false).unwrap();
+        assert_eq!(t1.slot(), t2.slot(), "slot reused");
+        assert!(!sets.has_writes(&t2), "stale owner tag rejected");
+        sets.with_mut(&t2, |ws| ws.put(8, 80));
+        assert_eq!(
+            sets.with(&t2, |ws| ws.get(&7).cloned()),
+            Some(None),
+            "first use reset the leftover write set"
+        );
+        // The finished transaction's handle no longer reaches the cell.
+        assert!(sets.with(&t1, |ws| ws.key_count()).is_none());
+        ctx.finish(&t2);
     }
 
     #[test]

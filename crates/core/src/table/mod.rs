@@ -35,12 +35,13 @@ pub mod common;
 pub mod factory;
 pub mod locks;
 pub mod mvcc_table;
+mod objmap;
 pub mod s2pl_table;
 
 pub use bocc_table::BoccTable;
 pub use common::{
-    last_cts_key, KeyType, TableHandle, TransactionalTable, TransactionalTableExt, TxParticipant,
-    TxWriteSets, TypedBackend, ValueType, WriteOp, WriteSet,
+    last_cts_key, KeyType, SlotLocal, TableHandle, TransactionalTable, TransactionalTableExt,
+    TxParticipant, TxWriteSets, TypedBackend, ValueType, WriteOp, WriteSet,
 };
 pub use factory::Protocol;
 pub use locks::{LockManager, LockMode};

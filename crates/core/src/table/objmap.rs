@@ -1,0 +1,321 @@
+//! Lock-free, insert-only object index: `K → Arc<MvccObject<V>>`.
+//!
+//! The MVCC table historically resolved keys through 64 `RwLock<HashMap>`
+//! shards — a shared read-latch acquisition on *every* committed read.  This
+//! index removes it: version objects are **never removed** once created
+//! (exactly the property the sharded map already relied on), so the index
+//! can be a fixed-size bucket array of lock-free prepend-only chains:
+//!
+//! * **get** — one `Acquire` load of the bucket head plus a short chain
+//!   walk; no latch, no CAS.
+//! * **insert** — allocate a node and CAS it as the new head; on a race,
+//!   re-walk (freeing the loser's node if the key appeared).
+//! * Nodes are immutable after publication and freed only when the map
+//!   drops, so readers may hold references across concurrent inserts.
+//!
+//! The bucket count is fixed at construction (no resizing — resizing is
+//! what forces latches back in).  Chains degrade gracefully: with the
+//! default 2¹⁶ buckets chains stay ~1 deep up to ~64 Ki keys and a
+//! million-key table averages ~15; size it via
+//! [`MvccTableOptions::index_buckets`](crate::table::MvccTableOptions) for
+//! larger (or many-small-table) deployments — chain hops are dependent
+//! cache misses, the most expensive step of the whole read path.
+
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+
+/// Default number of buckets (a power of two).
+///
+/// 2¹⁶ buckets cost ~512 KiB of (lazily paged) bucket array per table, in
+/// exchange for ~1-entry chains up to ~64 Ki keys: chain hops are dependent
+/// cache misses, and a single extra hop costs the read path more than the
+/// whole seqlock scan.  Deployments with many tiny tables can shrink this
+/// via `MvccTableOptions::index_buckets`; key counts far beyond 64 Ki
+/// should raise it (the index never resizes).
+pub(crate) const DEFAULT_INDEX_BUCKETS: usize = 1 << 16;
+
+/// Multiplicative hasher (the FxHash scheme rustc uses internally).  The
+/// index hashes a small fixed-size key on *every* committed read, where
+/// SipHash's DoS resistance buys nothing — FxHash is a rotate, a xor and a
+/// multiply per word.
+#[derive(Default)]
+struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add(n as u64);
+        self.add((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+struct Node<K, T> {
+    key: K,
+    value: T,
+    next: *mut Node<K, T>,
+}
+
+/// Insert-only concurrent hash index with latch-free lookups.
+pub(crate) struct ObjMap<K, T> {
+    buckets: Box<[AtomicPtr<Node<K, T>>]>,
+    mask: usize,
+    len: AtomicUsize,
+}
+
+// SAFETY: nodes are heap-allocated, published via Release CAS, immutable
+// afterwards, and freed only in `drop(&mut self)`.
+unsafe impl<K: Send + Sync, T: Send + Sync> Send for ObjMap<K, T> {}
+unsafe impl<K: Send + Sync, T: Send + Sync> Sync for ObjMap<K, T> {}
+
+impl<K: Eq + Hash + Clone, T: Clone> ObjMap<K, T> {
+    /// Creates an index with `buckets` rounded up to a power of two.
+    pub fn new(buckets: usize) -> Self {
+        let n = buckets.max(16).next_power_of_two();
+        ObjMap {
+            buckets: (0..n)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect(),
+            mask: n - 1,
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    fn bucket(&self, key: &K) -> &AtomicPtr<Node<K, T>> {
+        let mut h = FxHasher::default();
+        key.hash(&mut h);
+        // Multiplicative hashing mixes into the high bits; fold them down
+        // before masking.
+        let hash = h.finish();
+        &self.buckets[((hash ^ (hash >> 32)) as usize) & self.mask]
+    }
+
+    /// Walks a chain looking for `key`.  `head` must come from an `Acquire`
+    /// load of a bucket.
+    fn find_in(head: *mut Node<K, T>, key: &K) -> Option<T> {
+        let mut cur = head;
+        while !cur.is_null() {
+            // SAFETY: nodes are published fully initialised (Release CAS /
+            // Acquire load) and never freed while the map is shared.
+            let node = unsafe { &*cur };
+            if node.key == *key {
+                return Some(node.value.clone());
+            }
+            cur = node.next;
+        }
+        None
+    }
+
+    /// Latch-free lookup.
+    pub fn get(&self, key: &K) -> Option<T> {
+        Self::find_in(self.bucket(key).load(Ordering::Acquire), key)
+    }
+
+    /// Latch-free lookup that borrows the stored value instead of cloning
+    /// it (nodes live until the map drops, so the borrow is tied to
+    /// `&self`) — the committed-read path uses this to skip an `Arc`
+    /// refcount round-trip per read.
+    pub fn with<R>(&self, key: &K, f: impl FnOnce(&T) -> R) -> Option<R> {
+        let mut cur = self.bucket(key).load(Ordering::Acquire);
+        while !cur.is_null() {
+            // SAFETY: published nodes, as in `find_in`.
+            let node = unsafe { &*cur };
+            if node.key == *key {
+                return Some(f(&node.value));
+            }
+            cur = node.next;
+        }
+        None
+    }
+
+    /// Returns the value for `key`, inserting `make()` if absent.  Callers
+    /// racing on the same key converge on the first published value.
+    pub fn get_or_insert_with(&self, key: &K, make: impl FnOnce() -> T) -> T {
+        let bucket = self.bucket(key);
+        let mut head = bucket.load(Ordering::Acquire);
+        if let Some(found) = Self::find_in(head, key) {
+            return found;
+        }
+        let node = Box::into_raw(Box::new(Node {
+            key: key.clone(),
+            value: make(),
+            next: head,
+        }));
+        loop {
+            match bucket.compare_exchange(head, node, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => {
+                    self.len.fetch_add(1, Ordering::Relaxed);
+                    // SAFETY: we still own the published node's contents for
+                    // reading; it will not be freed before the map drops.
+                    return unsafe { (*node).value.clone() };
+                }
+                Err(new_head) => {
+                    // Someone prepended concurrently: if it was our key,
+                    // discard our node and use theirs; otherwise re-link and
+                    // retry.  Only the new prefix can contain the key.
+                    let mut cur = new_head;
+                    while cur != head && !cur.is_null() {
+                        // SAFETY: published nodes, as above.
+                        let n = unsafe { &*cur };
+                        if n.key == *key {
+                            let value = n.value.clone();
+                            // SAFETY: our node was never published.
+                            drop(unsafe { Box::from_raw(node) });
+                            return value;
+                        }
+                        cur = n.next;
+                    }
+                    head = new_head;
+                    // SAFETY: unpublished — we still own it exclusively.
+                    unsafe { (*node).next = head };
+                }
+            }
+        }
+    }
+
+    /// Number of stored keys.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Visits every `(key, value)` pair.  Concurrent inserts may or may not
+    /// be observed (a chain prefix published after the bucket load is
+    /// skipped) — the same guarantee the sharded map gave scans.
+    pub fn for_each(&self, mut f: impl FnMut(&K, &T)) {
+        if self.len.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        for bucket in self.buckets.iter() {
+            let mut cur = bucket.load(Ordering::Acquire);
+            while !cur.is_null() {
+                // SAFETY: published nodes, as above.
+                let node = unsafe { &*cur };
+                f(&node.key, &node.value);
+                cur = node.next;
+            }
+        }
+    }
+}
+
+impl<K, T> Drop for ObjMap<K, T> {
+    fn drop(&mut self) {
+        for bucket in self.buckets.iter_mut() {
+            let mut cur = *bucket.get_mut();
+            while !cur.is_null() {
+                // SAFETY: exclusive access in drop; each node was allocated
+                // with Box::new and never freed before.
+                let node = unsafe { Box::from_raw(cur) };
+                cur = node.next;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn insert_get_and_iterate() {
+        let map: ObjMap<u32, Arc<String>> = ObjMap::new(16);
+        assert_eq!(map.get(&1), None);
+        let a = map.get_or_insert_with(&1, || Arc::new("a".into()));
+        let b = map.get_or_insert_with(&2, || Arc::new("b".into()));
+        assert_eq!(*a, "a");
+        assert_eq!(*b, "b");
+        // Second insert of the same key returns the first value.
+        let a2 = map.get_or_insert_with(&1, || Arc::new("other".into()));
+        assert!(Arc::ptr_eq(&a, &a2));
+        assert_eq!(map.len(), 2);
+        let mut seen: Vec<u32> = Vec::new();
+        map.for_each(|k, _| seen.push(*k));
+        seen.sort_unstable();
+        assert_eq!(seen, vec![1, 2]);
+    }
+
+    #[test]
+    fn chains_handle_many_keys_per_bucket() {
+        // Tiny bucket count forces long chains.
+        let map: ObjMap<u64, Arc<u64>> = ObjMap::new(1);
+        for i in 0..500u64 {
+            map.get_or_insert_with(&i, || Arc::new(i));
+        }
+        assert_eq!(map.len(), 500);
+        for i in 0..500u64 {
+            assert_eq!(*map.get(&i).unwrap(), i);
+        }
+        assert_eq!(map.get(&1000), None);
+    }
+
+    #[test]
+    fn concurrent_inserts_converge() {
+        let map: Arc<ObjMap<u64, Arc<u64>>> = Arc::new(ObjMap::new(64));
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let map = Arc::clone(&map);
+                std::thread::spawn(move || {
+                    for i in 0..2000u64 {
+                        let key = i % 97; // heavy same-key racing
+                        let v = map.get_or_insert_with(&key, || Arc::new(key + t));
+                        // Whatever value won, every thread sees the same one.
+                        assert_eq!(*map.get(&key).unwrap(), *v);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(map.len(), 97);
+    }
+}

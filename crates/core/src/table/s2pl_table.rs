@@ -71,7 +71,7 @@ impl<K: KeyType, V: ValueType> S2plTable<K, V> {
             ctx: Arc::clone(ctx),
             locks: LockManager::new(),
             committed: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
-            write_sets: TxWriteSets::new(),
+            write_sets: TxWriteSets::for_context(ctx),
             backend,
         })
     }
@@ -175,7 +175,7 @@ impl<K: KeyType, V: ValueType> S2plTable<K, V> {
     pub fn scan(&self, tx: &Tx) -> Result<BTreeMap<K, V>> {
         self.ctx.record_access(tx, self.state_id)?;
         let mut out = self.committed_image()?;
-        if let Some(ops) = self.write_sets.with(tx.id(), |ws| ws.effective()) {
+        if let Some(ops) = self.write_sets.with(tx, |ws| ws.effective()) {
             overlay_write_set(&mut out, ops);
         }
         Ok(out)
@@ -216,7 +216,7 @@ impl<K: KeyType, V: ValueType> TxParticipant for S2plTable<K, V> {
     }
 
     fn apply(&self, tx: &Tx, cts: Timestamp) -> Result<()> {
-        let Some(ops) = self.write_sets.with(tx.id(), |ws| ws.effective()) else {
+        let Some(ops) = self.write_sets.with(tx, |ws| ws.effective()) else {
             return Ok(());
         };
         if ops.is_empty() {
@@ -233,16 +233,16 @@ impl<K: KeyType, V: ValueType> TxParticipant for S2plTable<K, V> {
     }
 
     fn rollback(&self, tx: &Tx) {
-        self.write_sets.clear(tx.id());
+        self.write_sets.clear(tx);
     }
 
     fn finalize(&self, tx: &Tx) {
-        self.write_sets.clear(tx.id());
+        self.write_sets.clear(tx);
         self.locks.release_all(tx.id());
     }
 
     fn has_writes(&self, tx: &Tx) -> bool {
-        self.write_sets.has_writes(tx.id())
+        self.write_sets.has_writes(tx)
     }
 }
 
