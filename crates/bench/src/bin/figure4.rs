@@ -7,7 +7,7 @@
 //!
 //! ```text
 //! cargo run --release -p tsp-bench --bin figure4 [--full | --smoke]
-//!     [--readers 4,24] [--thetas 0,0.5,...] [--protocols mvcc,s2pl,bocc]
+//!     [--readers 4,24] [--thetas 0,0.5,...] [--protocols mvcc,s2pl,bocc,ssi]
 //!     [--table-size N] [--duration-secs S] [--storage lsm-sync|lsm-nosync|mem]
 //!     [--csv PATH] [--calibrate]
 //! ```

@@ -18,7 +18,7 @@
 //!
 //! Usage:
 //!   hotpath [--duration-ms N] [--threads 1,2,4,8,16] [--table-size N]
-//!           [--label NAME] [--out PATH] [--protocols mvcc,s2pl,bocc]
+//!           [--label NAME] [--out PATH] [--protocols mvcc,s2pl,bocc,ssi]
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -146,7 +146,7 @@ fn parse_args() -> Options {
                 eprintln!(
                     "hotpath [--duration-ms N] [--threads 1,2,4,8,16] \
                      [--table-size N] [--label NAME] [--out PATH] \
-                     [--protocols mvcc,s2pl,bocc]"
+                     [--protocols mvcc,s2pl,bocc,ssi]"
                 );
                 std::process::exit(0);
             }

@@ -209,11 +209,14 @@ mod tests {
     #[test]
     fn smoke_sweep_produces_all_cells_and_claims() {
         let opts = Figure4Options::smoke();
-        assert_eq!(opts.cell_count(), 6);
+        // 2 θ levels × 1 reader count × every registered protocol: new
+        // protocols added to `Protocol::ALL` join the sweep automatically.
+        let cells = 2 * Protocol::ALL.len();
+        assert_eq!(opts.cell_count(), cells);
         let mut seen = 0;
         let results = run_figure4_sweep(&opts, |_| seen += 1).unwrap();
-        assert_eq!(results.len(), 6);
-        assert_eq!(seen, 6);
+        assert_eq!(results.len(), cells);
+        assert_eq!(seen, cells);
         let claims = evaluate_claims(&results);
         assert!(!claims.is_empty());
         for line in &claims {

@@ -21,7 +21,7 @@
 //! access + resolve the pinned snapshot) on **every read**, so that call
 //! must not serialise on anything shared:
 //!
-//! * Each [`TxSlot`] carries a one-entry *(state → snapshot)* cache guarded
+//! * Each transaction slot (`TxSlot`) carries a one-entry *(state → snapshot)* cache guarded
 //!   by a tiny per-slot seqlock (`cache_seq`): once a transaction has pinned
 //!   a state, every further read of that state is ~5 atomic loads — no
 //!   mutex, no registry `RwLock`.  The cache is sound because a pinned

@@ -1,7 +1,7 @@
 //! Isolation levels for ad-hoc reads.
 //!
 //! §3 of the paper notes that the `FROM` operator should offer "different
-//! isolation levels [that] provide different levels of visibility".  The
+//! isolation levels \[that\] provide different levels of visibility".  The
 //! default — and the level every other module of this crate implements — is
 //! snapshot isolation: the first read pins the topology's `ReadCTS` and all
 //! later reads of the transaction see exactly that snapshot.

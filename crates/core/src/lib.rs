@@ -10,12 +10,12 @@
 //! * [`mvcc`] — multi-versioned data structures: per-key version arrays with
 //!   `[cts, dts]` headers, a `UsedSlots` occupancy bitmap and on-demand
 //!   garbage collection.
-//! * [`table`] — the transactional table layer.  All three concurrency
+//! * [`table`] — the transactional table layer.  All four concurrency
 //!   protocols ([`table::MvccTable`] with snapshot isolation — the paper's
-//!   contribution — plus the [`table::S2plTable`] and [`table::BoccTable`]
-//!   baselines) implement one protocol-agnostic trait,
-//!   [`table::TransactionalTable`]; the [`table::Protocol`] factory turns
-//!   protocol choice into a runtime value
+//!   contribution — the [`table::S2plTable`] and [`table::BoccTable`]
+//!   baselines, and the serializable [`table::SsiTable`] extension) implement
+//!   one protocol-agnostic trait, [`table::TransactionalTable`]; the
+//!   [`table::Protocol`] factory turns protocol choice into a runtime value
 //!   (`protocol.create_table(...) -> Arc<dyn TransactionalTable<K, V>>`).
 //! * [`context`] — the global state context: registered states, topology
 //!   groups with their `LastCTS`, the active-transaction table (a multi-word
@@ -77,7 +77,7 @@ pub use manager::{FlagOutcome, TransactionManager};
 pub use mvcc::{MvccObject, Version, DEFAULT_VERSION_SLOTS, MAX_VERSION_SLOTS};
 pub use stats::{TxStats, TxStatsSnapshot};
 pub use table::{
-    BoccTable, ConflictCheck, KeyType, MvccTable, MvccTableOptions, Protocol, S2plTable,
+    BoccTable, ConflictCheck, KeyType, MvccTable, MvccTableOptions, Protocol, S2plTable, SsiTable,
     TableHandle, TransactionalTable, TransactionalTableExt, TxParticipant, ValueType, WriteOp,
 };
 
@@ -94,6 +94,6 @@ pub mod prelude {
     pub use crate::stats::{TxStats, TxStatsSnapshot};
     pub use crate::table::{
         BoccTable, ConflictCheck, KeyType, MvccTable, MvccTableOptions, Protocol, S2plTable,
-        TableHandle, TransactionalTable, TransactionalTableExt, TxParticipant, ValueType,
+        SsiTable, TableHandle, TransactionalTable, TransactionalTableExt, TxParticipant, ValueType,
     };
 }

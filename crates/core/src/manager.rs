@@ -138,9 +138,10 @@ impl TransactionManager {
 
         // Read-only fast path: nothing to validate, nothing to publish.
         if writers.is_empty() {
-            // BOCC still validates its read set here.
+            // BOCC still validates its read set here; SSI learns from the
+            // hint that the transaction wrote nothing and skips validation.
             for p in &participants {
-                if let Err(e) = p.precommit(tx) {
+                if let Err(e) = p.precommit_coordinated(tx, false) {
                     self.finish_aborted(tx, &participants);
                     return Err(e);
                 }
@@ -152,22 +153,47 @@ impl TransactionManager {
         // Groups whose LastCTS will move; their commit locks serialise
         // concurrent committers of the same group ("only during the commit
         // time, a short synchronization is required", §4.2).
-        let groups: BTreeSet<GroupId> = writers
+        let write_groups: BTreeSet<GroupId> = writers
             .iter()
             .flat_map(|p| self.ctx.groups_of_state(p.state_id()))
             .collect();
+        // Locked groups additionally cover participants whose validation
+        // must be serialized against commits of the groups the transaction
+        // *read* (SSI/BOCC read-set certification) — without the lock, a
+        // concurrent writer of a read key could install its version between
+        // this transaction's certification and its publish, re-admitting
+        // write skew across groups.  Only `write_groups` get their LastCTS
+        // published, though: a read-side lock must not advance a group's
+        // commit timestamp.  The common case (no certifying reads) reuses
+        // `write_groups` directly; locks are always acquired in ascending
+        // group order (BTreeSet iteration), so concurrent committers cannot
+        // deadlock.
+        let read_lock_groups: BTreeSet<GroupId> = participants
+            .iter()
+            .filter(|p| p.validation_requires_commit_lock(tx))
+            .flat_map(|p| self.ctx.groups_of_state(p.state_id()))
+            .filter(|g| !write_groups.contains(g))
+            .collect();
+        let lock_groups: BTreeSet<GroupId>;
+        let lock_set: &BTreeSet<GroupId> = if read_lock_groups.is_empty() {
+            &write_groups
+        } else {
+            lock_groups = write_groups.union(&read_lock_groups).copied().collect();
+            &lock_groups
+        };
         let locks: Vec<Arc<Mutex<()>>> = {
             let registry = self.group_locks.read();
-            groups
+            lock_set
                 .iter()
                 .filter_map(|g| registry.get(g).cloned())
                 .collect()
         };
         let _guards: Vec<_> = locks.iter().map(|l| l.lock()).collect();
 
-        // Phase 1: validation (First-Committer-Wins / BOCC validation).
+        // Phase 1: validation (First-Committer-Wins / BOCC / SSI read-set
+        // certification).
         for p in &participants {
-            if let Err(e) = p.precommit(tx) {
+            if let Err(e) = p.precommit_coordinated(tx, true) {
                 drop(_guards);
                 self.finish_aborted(tx, &participants);
                 return Err(e);
@@ -187,7 +213,7 @@ impl TransactionManager {
                 return Err(e);
             }
         }
-        for g in &groups {
+        for g in &write_groups {
             self.ctx.publish_group_commit(*g, cts)?;
         }
         drop(_guards);

@@ -1,7 +1,7 @@
 //! Backward-oriented optimistic concurrency control (BOCC) baseline table.
 //!
 //! The second comparison protocol of the paper's evaluation (§5, Härder
-//! [8]).  Transactions run without any locks, recording a read set and
+//! \[8\]).  Transactions run without any locks, recording a read set and
 //! buffering writes; at commit time the read (and write) set is validated
 //! *backwards* against the write sets of all transactions that committed
 //! during this transaction's lifetime.  Any overlap forces an abort.
@@ -16,8 +16,8 @@ use crate::context::{StateContext, Tx};
 use crate::stats::TxStats;
 use crate::table::common::{
     buffer_write, commit_meta, overlay_write_set, preload_rows, read_own_write, reject_read_only,
-    KeyType, SlotLocal, TransactionalTable, TxParticipant, TxWriteSets, TypedBackend, ValueType,
-    WriteOp,
+    KeyType, ReadSet, SlotLocal, TransactionalTable, TxParticipant, TxWriteSets, TypedBackend,
+    ValueType, WriteOp,
 };
 use parking_lot::RwLock;
 use std::collections::hash_map::DefaultHasher;
@@ -51,26 +51,6 @@ pub struct BoccTable<K, V> {
     read_sets: SlotLocal<ReadSet<K>>,
     commit_log: RwLock<Vec<CommitRecord<K>>>,
     backend: TypedBackend<K, V>,
-}
-
-/// What one transaction has read from a [`BoccTable`], for backward
-/// validation.
-struct ReadSet<K> {
-    /// Point-read keys.
-    keys: HashSet<K>,
-    /// True if the transaction scanned the whole table; validation then
-    /// treats *every* later commit as conflicting (phantom protection —
-    /// a key-based read set cannot see concurrently inserted keys).
-    whole_table: bool,
-}
-
-impl<K> Default for ReadSet<K> {
-    fn default() -> Self {
-        ReadSet {
-            keys: HashSet::new(),
-            whole_table: false,
-        }
-    }
 }
 
 impl<K: KeyType, V: ValueType> BoccTable<K, V> {
@@ -328,6 +308,17 @@ impl<K: KeyType, V: ValueType> TxParticipant for BoccTable<K, V> {
         self.backend.apply(&ops, &commit_meta(&self.backend, cts))?;
         self.prune_commit_log();
         Ok(())
+    }
+
+    /// Backward validation of a *writing* transaction must be serialized
+    /// against committers of the groups it read: without the read-group
+    /// commit lock, two cross-group read-write transactions could each
+    /// validate before the other appends to the commit log, admitting
+    /// write skew.  (Read-only transactions still validate lock-free in
+    /// the manager's fast path — their failure mode is a missed abort of a
+    /// non-snapshot read, inherent to lockless BOCC reads.)
+    fn validation_requires_commit_lock(&self, tx: &Tx) -> bool {
+        !tx.is_read_only() && self.read_sets.is_claimed(tx)
     }
 
     fn rollback(&self, tx: &Tx) {

@@ -7,7 +7,7 @@
 use crate::context::{StateContext, Tx};
 use crate::stats::TxStats;
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -240,6 +240,39 @@ impl<T: Default> SlotLocal<T> {
     }
 }
 
+/// What one transaction has read from a table, kept for commit-time read
+/// validation (BOCC backward validation, SSI read-set certification).
+///
+/// Stored per transaction slot in [`SlotLocal`] storage, so recording a read
+/// costs an uncontended per-slot mutex instead of a global registry lock,
+/// and the "has this transaction read anything here?" probe at commit is a
+/// single atomic owner-tag load.
+#[derive(Debug)]
+pub struct ReadSet<K> {
+    /// Point-read keys.
+    pub keys: HashSet<K>,
+    /// True if the transaction scanned the whole table; validation then
+    /// treats *every* later commit as conflicting (phantom protection —
+    /// a key-based read set cannot see concurrently inserted keys).
+    pub whole_table: bool,
+}
+
+impl<K> Default for ReadSet<K> {
+    fn default() -> Self {
+        ReadSet {
+            keys: HashSet::new(),
+            whole_table: false,
+        }
+    }
+}
+
+impl<K: KeyType> ReadSet<K> {
+    /// True if the transaction recorded no reads at all.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty() && !self.whole_table
+    }
+}
+
 /// All uncommitted write sets of one table — the "Uncommitted Write Set"
 /// box of Fig. 3, stored per transaction slot (see [`SlotLocal`]): the
 /// write-buffer probe on the read path costs one atomic load for
@@ -429,8 +462,36 @@ pub trait TxParticipant: Send + Sync {
 
     /// Concurrency-control validation before commit.  Returning an error
     /// votes abort for the whole transaction (First-Committer-Wins check for
-    /// MVCC, read-set validation for BOCC, nothing for S2PL).
+    /// MVCC, read-set validation for BOCC and SSI, nothing for S2PL).
     fn precommit(&self, tx: &Tx) -> Result<()>;
+
+    /// [`precommit`](Self::precommit) with the coordinator's knowledge of
+    /// whether the transaction buffered writes against *any* participant.
+    ///
+    /// Protocols whose validation only matters for writing transactions
+    /// (SSI: a transaction that wrote nothing anywhere is trivially
+    /// serializable at its snapshot) override this to skip work a single
+    /// participant cannot prove safe on its own.  The default ignores the
+    /// hint.
+    fn precommit_coordinated(&self, tx: &Tx, txn_has_writes: bool) -> Result<()> {
+        let _ = txn_has_writes;
+        self.precommit(tx)
+    }
+
+    /// True if this participant's commit-time validation must be serialized
+    /// against committers of the groups `tx` *read* through this state (the
+    /// coordinator then holds those group-commit locks across
+    /// validation + apply, not just the written groups' locks).
+    ///
+    /// SSI returns true when `tx` recorded reads here: certifying a read of
+    /// key `k` races with a concurrent commit installing a newer `k` unless
+    /// both sides serialize on the same group lock.  The default is false —
+    /// protocols that only validate their own write sets (MVCC) or that
+    /// never validate (S2PL) need no read-side lock.
+    fn validation_requires_commit_lock(&self, tx: &Tx) -> bool {
+        let _ = tx;
+        false
+    }
 
     /// Applies the transaction's buffered effects with commit timestamp
     /// `cts`, including persisting them to the base table.

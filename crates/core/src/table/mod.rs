@@ -22,8 +22,12 @@
 //! * [`S2plTable`] — strict two-phase locking baseline.
 //! * [`BoccTable`] — backward-oriented optimistic concurrency control
 //!   baseline.
+//! * [`SsiTable`] — serializable snapshot isolation: the MVCC table plus
+//!   commit-time read-set validation (write-snapshot isolation).  The
+//!   worked example of the protocol-extension recipe in
+//!   `docs/ARCHITECTURE.md`.
 //!
-//! All three are driven by the same consistency protocol (§4.3), mirroring
+//! All four are driven by the same consistency protocol (§4.3), mirroring
 //! the paper's evaluation setup ("All concurrency control protocols use
 //! fundamentally the same consistency protocol for multiple states").  The
 //! mechanics they share — write-set buffering, read-your-own-writes,
@@ -37,13 +41,15 @@ pub mod locks;
 pub mod mvcc_table;
 mod objmap;
 pub mod s2pl_table;
+pub mod ssi_table;
 
 pub use bocc_table::BoccTable;
 pub use common::{
-    last_cts_key, KeyType, SlotLocal, TableHandle, TransactionalTable, TransactionalTableExt,
-    TxParticipant, TxWriteSets, TypedBackend, ValueType, WriteOp, WriteSet,
+    last_cts_key, KeyType, ReadSet, SlotLocal, TableHandle, TransactionalTable,
+    TransactionalTableExt, TxParticipant, TxWriteSets, TypedBackend, ValueType, WriteOp, WriteSet,
 };
 pub use factory::Protocol;
 pub use locks::{LockManager, LockMode};
 pub use mvcc_table::{ConflictCheck, MvccTable, MvccTableOptions};
 pub use s2pl_table::S2plTable;
+pub use ssi_table::SsiTable;

@@ -298,6 +298,22 @@ impl<K: KeyType, V: ValueType> MvccTable<K, V> {
         self.object(key).map(|o| o.version_count()).unwrap_or(0)
     }
 
+    /// The newest timestamp at which `key` was written or deleted (0 if the
+    /// key has no in-memory versions).  Latch-free.
+    ///
+    /// This is the primitive behind commit-time read validation: a
+    /// transaction's read of `key` is still serializable at commit iff this
+    /// value does not exceed the snapshot floor the read was served at —
+    /// exactly the comparison [`crate::table::SsiTable`] performs for every
+    /// key in a committing transaction's read set.  Base-table rows without
+    /// in-memory versions predate every running transaction (preload or
+    /// recovery) and therefore never conflict.
+    pub fn newest_version_ts(&self, key: &K) -> Timestamp {
+        self.object(key)
+            .map(|o| o.latest_cts().max(o.latest_dts()))
+            .unwrap_or(0)
+    }
+
     /// Runs a garbage-collection sweep over every version object, reclaiming
     /// versions no longer visible to any active snapshot.  Returns the total
     /// number of versions reclaimed.

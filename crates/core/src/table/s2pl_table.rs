@@ -1,7 +1,7 @@
 //! Strict two-phase-locking (S2PL) baseline table.
 //!
 //! This is the first comparison protocol of the paper's evaluation (§5,
-//! Eswaran et al. [6]).  Reads take shared locks, writes take exclusive
+//! Eswaran et al. \[6\]).  Reads take shared locks, writes take exclusive
 //! locks, all locks are held until the transaction finishes (strict 2PL), and
 //! deadlocks are avoided with wait-die.  Because readers block behind the
 //! single stream writer — which holds its write locks across the synchronous

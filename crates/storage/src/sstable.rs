@@ -125,7 +125,7 @@ impl SsTableBuilder {
 /// A read-only handle to an SSTable file.
 ///
 /// The sparse index lives in memory; point lookups jump to the closest index
-/// entry and scan at most [`INDEX_INTERVAL`] entries forward.  The data
+/// entry and scan at most `INDEX_INTERVAL` (16) entries forward.  The data
 /// region is kept resident in memory (the working sets of the paper's
 /// evaluation are a few tens of megabytes, and RocksDB's block cache plus the
 /// OS page cache give the original system the same memory-speed reads —

@@ -9,7 +9,7 @@
 //! Two operators are provided:
 //!
 //! * [`Stream::lookup_join`] — enrich a keyed stream with the current value
-//!   of an [`MvccTable`]; each probe runs in a read-only snapshot
+//!   of a transactional table; each probe runs in a read-only snapshot
 //!   transaction obtained from the [`TransactionManager`] (the `FROM`-style
 //!   access path of §3).
 //! * [`Stream::hash_join`] — symmetric windowed hash join of two streams: the

@@ -2,7 +2,7 @@
 //!
 //! Everything needed to regenerate the paper's evaluation (§5):
 //!
-//! * [`zipf`] — the Zipfian key-distribution generator (Gray et al. [7])
+//! * [`zipf`] — the Zipfian key-distribution generator (Gray et al. \[7\])
 //!   controlling contention, calibrated so that θ = 2.9 sends ≈ 82 % of all
 //!   accesses to the hottest key, exactly the paper's setting,
 //! * [`harness`] — the micro-benchmark: one continuous stream writer updating

@@ -4,8 +4,8 @@ use std::time::Duration;
 
 /// Collects latency samples (in nanoseconds) and derives percentiles.
 ///
-/// To bound memory for long runs, at most [`LatencyRecorder::capacity`]
-/// samples are kept; once full, new samples overwrite old ones pseudo-
+/// To bound memory for long runs, at most the capacity chosen at
+/// construction is kept; once full, new samples overwrite old ones pseudo-
 /// randomly (simple reservoir-style replacement keyed by the running count).
 #[derive(Debug, Clone)]
 pub struct LatencyRecorder {

@@ -1,5 +1,5 @@
 //! Zipfian key-distribution generator (Gray et al., "Quickly Generating
-//! Billion-Record Synthetic Databases", SIGMOD 1994 — reference [7] of the
+//! Billion-Record Synthetic Databases", SIGMOD 1994 — reference \[7\] of the
 //! paper).
 //!
 //! The paper controls contention with "a Zipfian distribution

@@ -3,7 +3,7 @@
 //! The paper's evaluation fixes one workload shape (a writing stream plus
 //! read-only ad-hoc queries).  This example explores the neighbourhood of
 //! that design point with the standard YCSB core mixes: for each mix (A, B,
-//! C, F) it runs the MVCC, S2PL and BOCC protocols on the same Zipfian key
+//! C, F) it runs the MVCC, S2PL, BOCC and SSI protocols on the same Zipfian key
 //! distribution and prints throughput, abort ratio and commit latency.
 //!
 //! The qualitative expectation mirrors §5.2: under write-heavy, contended

@@ -1,5 +1,3 @@
-//! # tsp — Transactional Stream Processing with Snapshot Isolation
-//!
 //! Umbrella crate re-exporting the workspace crates that together reproduce
 //! *"Snapshot Isolation for Transactional Stream Processing"* (Götze &
 //! Sattler, EDBT 2019).
@@ -8,14 +6,17 @@
 //! * [`storage`] — key-value storage backends (in-memory and persistent
 //!   WAL/LSM store standing in for RocksDB).
 //! * [`core`] — multi-versioned transactional tables, the snapshot-isolation
-//!   (MVCC), S2PL and BOCC concurrency protocols, and the multi-state
-//!   consistency protocol.
+//!   (MVCC), S2PL, BOCC and serializable-SI concurrency protocols, and the
+//!   multi-state consistency protocol.
 //! * [`stream`] — the dataflow framework: topologies, operators and the
 //!   linking operators `TO_TABLE`, `TO_STREAM` and `FROM`.
 //! * [`workload`] — Zipfian workload generation and the micro-benchmark
 //!   harness that regenerates the paper's Figure 4.
 //!
-//! See `examples/quickstart.rs` for a five-minute tour.
+//! See `examples/quickstart.rs` for a five-minute tour.  The README below is
+//! included verbatim so its quickstart compiles as a doctest of this crate.
+//!
+#![doc = include_str!("../README.md")]
 
 pub use tsp_common as common;
 pub use tsp_core as core;

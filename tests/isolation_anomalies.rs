@@ -16,6 +16,19 @@
 //! ¹ "read uncommitted" in this system means reading versions whose group
 //!   commit has not been *published* yet; write sets of running transactions
 //!   are always private, so classic dirty reads cannot happen at any level.
+//!
+//! The second half of the file pins the anomaly boundary *per protocol*,
+//! using the litmus schedules from the SI-semantics literature (Raad et al.,
+//! "On the Semantics of Snapshot Isolation"; Fekete et al.'s read-only
+//! anomaly; the long-fork test separating SI from parallel SI).  Each
+//! schedule is driven through `Protocol::ALL`, so a protocol added to the
+//! factory is automatically placed on the matrix:
+//!
+//! | litmus            | MVCC-SI  | S2PL      | BOCC      | SSI       |
+//! |-------------------|----------|-----------|-----------|-----------|
+//! | write skew        | admitted | prevented | prevented | prevented |
+//! | read-only anomaly | admitted | prevented | prevented | prevented |
+//! | long fork         | prevented everywhere (SI snapshots are prefix-closed) |
 
 use std::sync::Arc;
 use tsp::common::TspError;
@@ -169,7 +182,9 @@ fn write_skew_is_possible_under_si_as_documented() {
     // The classic on-call anomaly: two doctors may both go off duty because
     // each one's snapshot still shows the other on duty and their write sets
     // are disjoint.  Snapshot isolation permits this — the test documents the
-    // boundary of the guarantee rather than a bug.
+    // boundary of the guarantee rather than a bug.  (The per-protocol
+    // boundary, including SSI rejecting this schedule, is pinned down by
+    // `write_skew_boundary_per_protocol` below.)
     let (_ctx, mgr, t) = setup_one();
     let init = mgr.begin().unwrap();
     t.write(&init, 1, 1).unwrap(); // doctor 1 on duty
@@ -263,4 +278,247 @@ fn read_only_transactions_never_abort_under_churn() {
     }
     writer.join().unwrap();
     assert_eq!(reads, 500);
+}
+
+// ---------------------------------------------------------------------
+// The anomaly boundary, per protocol
+// ---------------------------------------------------------------------
+
+fn setup_proto(protocol: Protocol) -> (Arc<TransactionManager>, TableHandle<u32, i64>) {
+    let ctx = Arc::new(StateContext::new());
+    let mgr = TransactionManager::new(Arc::clone(&ctx));
+    let table = protocol.create_table::<u32, i64>(&ctx, "litmus", None);
+    mgr.register(Arc::clone(&table).as_participant());
+    mgr.register_group(&[table.id()]).unwrap();
+    (mgr, table)
+}
+
+fn seed(mgr: &TransactionManager, t: &TableHandle<u32, i64>, rows: &[(u32, i64)]) {
+    let tx = mgr.begin().unwrap();
+    for &(k, v) in rows {
+        t.write(&tx, k, v).unwrap();
+    }
+    mgr.commit(&tx).unwrap();
+}
+
+/// Reads the committed values of `keys` through a fresh transaction.
+fn committed(mgr: &TransactionManager, t: &TableHandle<u32, i64>, keys: &[u32]) -> Vec<i64> {
+    let q = mgr.begin_read_only().unwrap();
+    let out = keys
+        .iter()
+        .map(|k| t.read(&q, k).unwrap().unwrap_or(0))
+        .collect();
+    let _ = mgr.commit(&q);
+    out
+}
+
+/// Write skew (the on-call schedule): both transactions read both duty
+/// flags, then each clears a *different* one.  A serializable execution
+/// leaves at least one doctor on duty; plain SI signs both out.
+///
+/// Expected boundary: **admitted by MVCC-SI only** — SSI's read-set
+/// validation, BOCC's backward validation and S2PL's shared locks all
+/// reject the schedule.
+#[test]
+fn write_skew_boundary_per_protocol() {
+    for protocol in Protocol::ALL {
+        let (mgr, t) = setup_proto(protocol);
+        seed(&mgr, &t, &[(1, 1), (2, 1)]);
+
+        let t1 = mgr.begin().unwrap();
+        let t2 = mgr.begin().unwrap();
+        let seen1 = t.read(&t1, &1).unwrap().unwrap() + t.read(&t1, &2).unwrap().unwrap();
+        let seen2 = t.read(&t2, &1).unwrap().unwrap() + t.read(&t2, &2).unwrap().unwrap();
+        assert_eq!((seen1, seen2), (2, 2), "{protocol}: both snapshots full");
+
+        // The younger transaction writes first so S2PL's wait-die resolves
+        // the lock conflict immediately instead of timing out.
+        let t2_failed = t.write(&t2, 2, 0).is_err() || {
+            t.write(&t1, 1, 0).unwrap();
+            mgr.commit(&t1).unwrap();
+            mgr.commit(&t2).is_err()
+        };
+        if t2_failed {
+            let _ = mgr.abort(&t2);
+            // S2PL kills t2 at the write: the || short-circuits, so t1 may
+            // never have committed — release its slot and locks either way
+            // (aborting an already-finished t1 is a harmless error).
+            let _ = mgr.abort(&t1);
+            let final_sum: i64 = committed(&mgr, &t, &[1, 2]).iter().sum();
+            assert!(
+                final_sum >= 1,
+                "{protocol}: serializable outcome must keep one doctor on duty"
+            );
+            assert_ne!(
+                protocol,
+                Protocol::Mvcc,
+                "plain SI admits write skew; this schedule must not abort under it"
+            );
+        } else {
+            let final_sum: i64 = committed(&mgr, &t, &[1, 2]).iter().sum();
+            assert_eq!(final_sum, 0, "{protocol}: both committed → both off duty");
+            assert_eq!(
+                protocol,
+                Protocol::Mvcc,
+                "{protocol} admitted write skew — only plain MVCC-SI may"
+            );
+        }
+    }
+}
+
+/// Write skew across *two tables in different topology groups*: the same
+/// on-call schedule, but each duty flag lives in its own independently
+/// locked and published group.  Certifying protocols must hold the *read*
+/// groups' commit locks too (`TxParticipant::validation_requires_commit_lock`)
+/// for this to stay rejected — a written-groups-only lock set would let the
+/// two committers race past each other's validation.
+#[test]
+fn cross_group_write_skew_boundary_per_protocol() {
+    for protocol in Protocol::ALL {
+        let ctx = Arc::new(StateContext::new());
+        let mgr = TransactionManager::new(Arc::clone(&ctx));
+        let a = protocol.create_table::<u32, i64>(&ctx, "duty_a", None);
+        let b = protocol.create_table::<u32, i64>(&ctx, "duty_b", None);
+        mgr.register(Arc::clone(&a).as_participant());
+        mgr.register(Arc::clone(&b).as_participant());
+        mgr.register_group(&[a.id()]).unwrap();
+        mgr.register_group(&[b.id()]).unwrap();
+        let init = mgr.begin().unwrap();
+        a.write(&init, 0, 1).unwrap();
+        b.write(&init, 0, 1).unwrap();
+        mgr.commit(&init).unwrap();
+
+        // t1 reads a / clears b; t2 reads b / clears a.
+        let t1 = mgr.begin().unwrap();
+        let t2 = mgr.begin().unwrap();
+        assert_eq!(a.read(&t1, &0).unwrap(), Some(1), "{protocol}");
+        assert_eq!(b.read(&t2, &0).unwrap(), Some(1), "{protocol}");
+        // Younger writer first so S2PL wait-die resolves instantly.
+        let t2_failed = a.write(&t2, 0, 0).is_err() || {
+            b.write(&t1, 0, 0).unwrap();
+            mgr.commit(&t1).unwrap();
+            mgr.commit(&t2).is_err()
+        };
+        if t2_failed {
+            let _ = mgr.abort(&t2);
+            let _ = mgr.abort(&t1); // harmless if t1 already committed
+        }
+        let q = mgr.begin_read_only().unwrap();
+        let on_duty = a.read(&q, &0).unwrap().unwrap_or(0) + b.read(&q, &0).unwrap().unwrap_or(0);
+        mgr.commit(&q).unwrap();
+        if protocol == Protocol::Mvcc {
+            assert!(!t2_failed, "plain SI admits cross-group write skew");
+            assert_eq!(on_duty, 0, "{protocol}: both committed");
+        } else {
+            assert!(t2_failed, "{protocol} must reject cross-group write skew");
+            assert!(on_duty >= 1, "{protocol}: one doctor still on duty");
+        }
+    }
+}
+
+/// Fekete et al.'s read-only transaction anomaly.  Savings `x` and checking
+/// `y` start at 0.  T2 (withdraw) reads both, T1 (deposit) commits `x = 20`,
+/// a read-only T3 then observes `(x, y)`, and finally T2 commits
+/// `y = -11` (10 withdrawn + 1 overdraft fee computed from its stale
+/// snapshot).  The final state says "T2 before T1" (no fee otherwise), but
+/// T3 observed "T1 before T2" — no serial order explains both, even though
+/// T1/T2 alone would be serializable.
+///
+/// Expected boundary: **admitted by MVCC-SI only**.  Under SSI the
+/// *read-write* transaction T2 fails certification (its read of `x` went
+/// stale), so the read-only T3 — which never validates — can no longer
+/// observe a non-serializable state.
+#[test]
+fn read_only_anomaly_boundary_per_protocol() {
+    for protocol in Protocol::ALL {
+        let (mgr, t) = setup_proto(protocol);
+        seed(&mgr, &t, &[(1, 0), (2, 0)]);
+
+        // T2 reads savings and checking.
+        let t2 = mgr.begin().unwrap();
+        let x2 = t.read(&t2, &1).unwrap().unwrap();
+        let y2 = t.read(&t2, &2).unwrap().unwrap();
+
+        // T1 deposits 20 into savings and commits.  (T1 is younger than T2,
+        // so an S2PL conflict with T2's read lock kills T1 instantly.)
+        let t1 = mgr.begin().unwrap();
+        let t1_committed = t.write(&t1, 1, 20).is_ok() && mgr.commit(&t1).is_ok();
+        if !t1_committed {
+            let _ = mgr.abort(&t1);
+        }
+
+        // T3, read-only, observes both accounts.
+        let t3 = mgr.begin_read_only().unwrap();
+        let x3 = t.read(&t3, &1).unwrap().unwrap_or(0);
+        let y3 = t.read(&t3, &2).unwrap().unwrap_or(0);
+        mgr.commit(&t3)
+            .expect("read-only observers never abort under any protocol here");
+
+        // T2 withdraws 10 from checking, charging the fee its stale
+        // snapshot justifies, and tries to commit.
+        let fee = if x2 + y2 - 10 < 0 { 1 } else { 0 };
+        let t2_committed = t.write(&t2, 2, y2 - 10 - fee).is_ok() && mgr.commit(&t2).is_ok();
+        if !t2_committed {
+            let _ = mgr.abort(&t2);
+        }
+
+        let final_xy = committed(&mgr, &t, &[1, 2]);
+        let anomaly =
+            t1_committed && t2_committed && (x3, y3) == (20, 0) && final_xy == vec![20, -11];
+        assert_eq!(
+            anomaly,
+            protocol == Protocol::Mvcc,
+            "{protocol}: read-only anomaly admitted iff plain MVCC-SI \
+             (t1={t1_committed}, t2={t2_committed}, observed=({x3},{y3}), final={final_xy:?})"
+        );
+    }
+}
+
+/// The long-fork litmus (the schedule separating SI from *parallel* SI):
+/// writer A commits `x = 1`, then writer B commits `y = 1`.  Because
+/// snapshots are prefix-closed under every protocol here — a reader pinning
+/// a snapshot that includes B's commit necessarily includes A's earlier one
+/// — no observer may see `y = 1` without `x = 1`.  A system admitting long
+/// forks could show one reader `{x=1, y=0}` and another `{x=0, y=1}`.
+#[test]
+fn long_fork_is_prevented_under_every_protocol() {
+    for protocol in Protocol::ALL {
+        let (mgr, t) = setup_proto(protocol);
+        seed(&mgr, &t, &[(1, 0), (2, 0)]);
+
+        // Writer A commits x = 1.
+        let a = mgr.begin().unwrap();
+        t.write(&a, 1, 1).unwrap();
+        mgr.commit(&a).unwrap();
+
+        // Reader R1 starts between the commits and reads x first.
+        let r1 = mgr.begin_read_only().unwrap();
+        let r1_x = t.read(&r1, &1).unwrap().unwrap();
+
+        // Writer B commits y = 1 (disjoint key: no lock/validation overlap
+        // with R1's snapshot of x under any protocol … except BOCC, whose
+        // read-set validation may later abort R1; the observation itself is
+        // what the litmus checks).
+        let b = mgr.begin().unwrap();
+        t.write(&b, 2, 1).unwrap();
+        mgr.commit(&b).unwrap();
+
+        let r1_y = t.read(&r1, &2).unwrap().unwrap();
+        let _ = mgr.commit(&r1);
+
+        // Reader R2 starts after both commits.
+        let r2 = mgr.begin_read_only().unwrap();
+        let r2_x = t.read(&r2, &1).unwrap().unwrap();
+        let r2_y = t.read(&r2, &2).unwrap().unwrap();
+        let _ = mgr.commit(&r2);
+
+        // Prefix-closedness: whoever observes B's write observes A's too.
+        for (who, x, y) in [("R1", r1_x, r1_y), ("R2", r2_x, r2_y)] {
+            assert!(
+                y == 0 || x == 1,
+                "{protocol}: {who} observed the long fork (x={x}, y={y})"
+            );
+        }
+        assert_eq!((r2_x, r2_y), (1, 1), "{protocol}: R2 sees both commits");
+    }
 }
