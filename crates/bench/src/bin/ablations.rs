@@ -12,6 +12,10 @@
 //! 4. **Group size** — §4.3: overhead of the consistency protocol as the
 //!    number of states written together grows.
 //! 5. **TO_STREAM trigger policy** — §3: per-tuple vs. on-commit emission.
+//! 6. **Dyn-dispatch overhead** — ROADMAP open item: the committed-read hot
+//!    path through `Arc<dyn TransactionalTable>` (how every harness and
+//!    operator holds tables since the PR 1 trait refactor) vs. the
+//!    monomorphized call on the concrete `Arc<MvccTable>`, at θ = 0.
 //!
 //! Run with `cargo run --release -p tsp-bench --bin ablations [--quick]`.
 
@@ -22,6 +26,7 @@ use tsp_core::prelude::*;
 use tsp_core::MvccTableOptions;
 use tsp_stream::prelude::*;
 use tsp_workload::prelude::*;
+use tsp_workload::zipf::{ZipfSampler, ZipfTable};
 
 struct Budget {
     run: Duration,
@@ -300,6 +305,53 @@ fn ablation_trigger(budget: &Budget) {
     }
 }
 
+/// Ablation 6: `Arc<dyn TransactionalTable>` vs. monomorphized reads on the
+/// committed-read fast path (uniform keys, single reader — pure call
+/// overhead, no contention).  Quantifies the ROADMAP's dyn-dispatch open
+/// item: if the ratio is ≈ 1.0, a generic fast path for single-protocol
+/// deployments is not worth its complexity.
+fn ablation_dyn_dispatch(budget: &Budget) {
+    println!("\n--- Ablation 6: dyn-dispatch overhead on the read fast path ---");
+    println!("{:>14} {:>14} {:>14}", "dispatch", "reads/s", "ratio");
+    let table_size = budget.table_size.min(65_536);
+    let ctx = Arc::new(StateContext::new());
+    let mgr = TransactionManager::new(Arc::clone(&ctx));
+    let concrete: Arc<MvccTable<u64, u64>> = MvccTable::volatile(&ctx, "dyn");
+    mgr.register(concrete.clone());
+    mgr.register_group(&[concrete.id()]).unwrap();
+    concrete.preload((0..table_size).map(|k| (k, k))).unwrap();
+    let dynamic: TableHandle<u64, u64> = concrete.clone();
+
+    let zipf = ZipfTable::new(table_size, 0.0, true);
+    let measure = |read: &dyn Fn(&Tx, &u64) -> Option<u64>| -> f64 {
+        let mut sampler = ZipfSampler::new(Arc::clone(&zipf), 0xd15);
+        let tx = mgr.begin_read_only().unwrap();
+        // Warm the per-transaction pin cache so the loop is pure fast path.
+        let _ = read(&tx, &0);
+        let started = Instant::now();
+        let mut reads = 0u64;
+        while started.elapsed() < budget.run {
+            for _ in 0..1024 {
+                let key = sampler.next_key();
+                std::hint::black_box(read(&tx, &key));
+                reads += 1;
+            }
+        }
+        let rate = reads as f64 / started.elapsed().as_secs_f64();
+        mgr.commit(&tx).unwrap();
+        rate
+    };
+    let mono = measure(&|tx, k| MvccTable::read(&concrete, tx, k).unwrap());
+    let dyn_rate = measure(&|tx, k| dynamic.read(tx, k).unwrap());
+    println!("{:>14} {:>14.0} {:>14}", "monomorphized", mono, "1.00");
+    println!(
+        "{:>14} {:>14.0} {:>14.2}",
+        "dyn trait",
+        dyn_rate,
+        dyn_rate / mono
+    );
+}
+
 fn main() {
     let budget = budget();
     println!(
@@ -311,5 +363,6 @@ fn main() {
     ablation_storage(&budget);
     ablation_group_size(&budget);
     ablation_trigger(&budget);
+    ablation_dyn_dispatch(&budget);
     println!("\nAll ablations completed.");
 }

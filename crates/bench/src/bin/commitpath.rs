@@ -1,0 +1,364 @@
+//! `commitpath` — multithreaded write/commit-path throughput sweep.
+//!
+//! The regression bench guarding the two-stage commit pipeline (batched
+//! leader/follower group commit + pipelined persistence): N worker threads
+//! run short read-modify-write transactions against one table through the
+//! protocol-agnostic [`TransactionalTable`] trait, and every commit exercises
+//! the group-commit critical section.  Two mixes are swept:
+//!
+//! * `write_heavy` — θ = 0.0 (uniform keys), 10 % reads: commits dominated by
+//!   apply + persistence, the shape of an ingest-heavy stream deployment;
+//! * `mixed` — θ = 0.8 (skewed keys), 50 % reads: commit batching under
+//!   hot-key conflict pressure (the config PR 3 left on the table).
+//!
+//! Each mix runs on a volatile table and on a persistent one (the LSM store
+//! with synchronous fsync — the paper's §5.1 setting); with the pipeline
+//! enabled, persistent cells commit through the asynchronous batch writer
+//! and the cell additionally reports `flush_ms`, the time to drain the
+//! durability backlog after the timed window (honest accounting for the
+//! deferred I/O).
+//!
+//! Usage:
+//!   commitpath [--duration-ms N] [--threads 1,4,8] [--table-size N]
+//!              [--label NAME] [--out PATH] [--protocols mvcc,...]
+//!              [--dir PATH]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tsp_core::prelude::*;
+use tsp_storage::{lsm, LsmOptions, LsmStore, StorageBackend};
+use tsp_workload::zipf::{ZipfSampler, ZipfTable};
+
+/// Operations attempted per transaction.
+const OPS_PER_TXN: usize = 8;
+
+#[derive(Clone, Copy)]
+struct MixConfig {
+    name: &'static str,
+    theta: f64,
+    read_pct: f64,
+}
+
+const CONFIGS: [MixConfig; 2] = [
+    MixConfig {
+        name: "write_heavy",
+        theta: 0.0,
+        read_pct: 0.10,
+    },
+    MixConfig {
+        name: "mixed",
+        theta: 0.8,
+        read_pct: 0.50,
+    },
+];
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    Volatile,
+    LsmSync,
+}
+
+impl Backend {
+    fn name(self) -> &'static str {
+        match self {
+            Backend::Volatile => "volatile",
+            Backend::LsmSync => "lsm_sync",
+        }
+    }
+}
+
+struct CellResult {
+    protocol: Protocol,
+    config: &'static str,
+    backend: &'static str,
+    threads: usize,
+    committed_txns: u64,
+    ops: u64,
+    aborts: u64,
+    elapsed_ms: u64,
+    flush_ms: u64,
+}
+
+impl CellResult {
+    fn commits_per_sec(&self) -> f64 {
+        if self.elapsed_ms == 0 {
+            return 0.0;
+        }
+        self.committed_txns as f64 * 1000.0 / self.elapsed_ms as f64
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"protocol\":\"{}\",\"config\":\"{}\",\"backend\":\"{}\",",
+                "\"threads\":{},\"committed_txns\":{},\"ops\":{},\"aborts\":{},",
+                "\"elapsed_ms\":{},\"flush_ms\":{},\"commits_per_sec\":{:.0}}}"
+            ),
+            self.protocol.name(),
+            self.config,
+            self.backend,
+            self.threads,
+            self.committed_txns,
+            self.ops,
+            self.aborts,
+            self.elapsed_ms,
+            self.flush_ms,
+            self.commits_per_sec()
+        )
+    }
+}
+
+struct Options {
+    duration: Duration,
+    threads: Vec<usize>,
+    table_size: u64,
+    label: String,
+    out: Option<std::path::PathBuf>,
+    protocols: Vec<Protocol>,
+    dir: std::path::PathBuf,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            duration: Duration::from_millis(1000),
+            threads: vec![1, 4, 8],
+            table_size: 65_536,
+            label: "run".to_string(),
+            out: None,
+            protocols: vec![Protocol::Mvcc],
+            dir: std::env::temp_dir().join(format!("tsp-commitpath-{}", std::process::id())),
+        }
+    }
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--duration-ms" => {
+                opts.duration =
+                    Duration::from_millis(value("--duration-ms").parse().expect("duration in ms"));
+            }
+            "--threads" => {
+                opts.threads = value("--threads")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("thread count"))
+                    .collect();
+            }
+            "--table-size" => {
+                opts.table_size = value("--table-size").parse().expect("table size");
+            }
+            "--label" => opts.label = value("--label"),
+            "--out" => opts.out = Some(value("--out").into()),
+            "--protocols" => {
+                opts.protocols = value("--protocols")
+                    .split(',')
+                    .map(|s| Protocol::parse(s.trim()).expect("protocol name"))
+                    .collect();
+            }
+            "--dir" => opts.dir = value("--dir").into(),
+            "--help" | "-h" => {
+                eprintln!(
+                    "commitpath [--duration-ms N] [--threads 1,4,8] \
+                     [--table-size N] [--label NAME] [--out PATH] \
+                     [--protocols mvcc,s2pl,bocc,ssi] [--dir PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    opts
+}
+
+/// One benchmark cell: `threads` committers over a fresh table.
+fn run_cell(
+    protocol: Protocol,
+    config: MixConfig,
+    backend_kind: Backend,
+    threads: usize,
+    opts: &Options,
+) -> CellResult {
+    let cell_dir = opts.dir.join(format!(
+        "{}-{}-{}-{}",
+        protocol.name(),
+        config.name,
+        backend_kind.name(),
+        threads
+    ));
+    let backend: Option<Arc<dyn StorageBackend>> = match backend_kind {
+        Backend::Volatile => None,
+        Backend::LsmSync => {
+            let _ = std::fs::remove_dir_all(&cell_dir);
+            Some(Arc::new(
+                LsmStore::open(&cell_dir, LsmOptions::default()).expect("open LSM store"),
+            ))
+        }
+    };
+    let ctx = Arc::new(StateContext::with_capacity((threads * 2 + 8).max(64)));
+    ctx.enable_async_persistence(); // NEW-PIPELINE-API
+    let mgr = Arc::new(TransactionManager::new(Arc::clone(&ctx)));
+    let table = protocol.create_table::<u64, u64>(&ctx, "commit", backend);
+    mgr.register(Arc::clone(&table).as_participant());
+    mgr.register_group(&[table.id()]).unwrap();
+    table
+        .preload_iter(&mut (0..opts.table_size).map(|k| (k, k)))
+        .unwrap();
+
+    let zipf = ZipfTable::new(opts.table_size, config.theta, true);
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let mgr = Arc::clone(&mgr);
+            let table = Arc::clone(&table);
+            let zipf = Arc::clone(&zipf);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut sampler = ZipfSampler::new(zipf, 0xc0117 + t as u64);
+                let mut coin = 0x9e3779b97f4a7c15u64 ^ (t as u64).wrapping_mul(0xff51afd7ed558ccd);
+                let mut next_coin = move || {
+                    coin ^= coin << 13;
+                    coin ^= coin >> 7;
+                    coin ^= coin << 17;
+                    (coin >> 11) as f64 / (1u64 << 53) as f64
+                };
+                let (mut committed, mut ops, mut aborts) = (0u64, 0u64, 0u64);
+                while !stop.load(Ordering::Relaxed) {
+                    let tx = match mgr.begin() {
+                        Ok(tx) => tx,
+                        Err(_) => {
+                            std::thread::yield_now();
+                            continue;
+                        }
+                    };
+                    let mut done = 0u64;
+                    let mut failed = false;
+                    for _ in 0..OPS_PER_TXN {
+                        let key = sampler.next_key();
+                        let result = if next_coin() < config.read_pct {
+                            table.read(&tx, &key).map(|_| ())
+                        } else {
+                            table.write(&tx, key, key.wrapping_add(1))
+                        };
+                        match result {
+                            Ok(()) => done += 1,
+                            Err(_) => {
+                                let _ = mgr.abort(&tx);
+                                aborts += 1;
+                                failed = true;
+                                break;
+                            }
+                        }
+                    }
+                    if failed {
+                        continue;
+                    }
+                    match mgr.commit(&tx) {
+                        Ok(_) => {
+                            committed += 1;
+                            ops += done;
+                        }
+                        Err(_) => aborts += 1,
+                    }
+                }
+                (committed, ops, aborts)
+            })
+        })
+        .collect();
+
+    std::thread::sleep(opts.duration);
+    stop.store(true, Ordering::Relaxed);
+    let (mut committed, mut ops, mut aborts) = (0u64, 0u64, 0u64);
+    for h in handles {
+        let (c, o, a) = h.join().unwrap();
+        committed += c;
+        ops += o;
+        aborts += a;
+    }
+    let elapsed_ms = started.elapsed().as_millis() as u64;
+    // Drain the durability backlog and charge it to the cell explicitly.
+    let flush_ms;
+    {
+        let flush_started = Instant::now();
+        mgr.flush().expect("durability flush"); // NEW-PIPELINE-API
+        flush_ms = flush_started.elapsed().as_millis() as u64;
+    }
+    drop(table);
+    drop(mgr);
+    drop(ctx);
+    if backend_kind == Backend::LsmSync {
+        let _ = lsm::destroy(&cell_dir);
+    }
+    CellResult {
+        protocol,
+        config: config.name,
+        backend: backend_kind.name(),
+        threads,
+        committed_txns: committed,
+        ops,
+        aborts,
+        elapsed_ms,
+        flush_ms,
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let mut cells = Vec::new();
+    for config in CONFIGS {
+        for backend in [Backend::Volatile, Backend::LsmSync] {
+            for &protocol in &opts.protocols {
+                for &threads in &opts.threads {
+                    let cell = run_cell(protocol, config, backend, threads, &opts);
+                    eprintln!(
+                        "{:<5} {:<11} {:<8} {:>2} threads: {:>9.0} commits/s \
+                         ({} txns, {} aborts, flush {} ms)",
+                        cell.protocol.name(),
+                        cell.config,
+                        cell.backend,
+                        cell.threads,
+                        cell.commits_per_sec(),
+                        cell.committed_txns,
+                        cell.aborts,
+                        cell.flush_ms
+                    );
+                    cells.push(cell);
+                }
+            }
+        }
+    }
+    let body = cells
+        .iter()
+        .map(|c| format!("    {}", c.to_json()))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        concat!(
+            "{{\n  \"label\": \"{}\",\n  \"available_cpus\": {},\n",
+            "  \"duration_ms\": {},\n  \"table_size\": {},\n",
+            "  \"ops_per_txn\": {},\n  \"cells\": [\n{}\n  ]\n}}\n"
+        ),
+        opts.label,
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        opts.duration.as_millis(),
+        opts.table_size,
+        OPS_PER_TXN,
+        body
+    );
+    print!("{json}");
+    if let Some(path) = &opts.out {
+        std::fs::write(path, &json).expect("write --out file");
+        eprintln!("wrote {}", path.display());
+    }
+    let _ = std::fs::remove_dir_all(&opts.dir);
+}

@@ -64,8 +64,10 @@ use crate::stats::TxStats;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use tsp_common::{CachePadded, GroupId, Result, StateId, Timestamp, TspError, TxnId};
+use tsp_storage::{BatchWriter, StorageBackend};
 
 /// Default maximum number of concurrently active transactions.
 ///
@@ -223,6 +225,113 @@ impl TxSlot {
     }
 }
 
+/// The durability side of the two-watermark commit pipeline: the registry of
+/// asynchronous per-backend persistence writers and the `DurableCTS`
+/// watermark they advance.
+///
+/// The context tracks **two** horizons per deployment:
+///
+/// * **visibility** — each group's `LastCTS`, advanced inside the
+///   group-commit critical section; `commit()` returns when it moves;
+/// * **durability** — `DurableCTS`, the largest timestamp every attached
+///   [`BatchWriter`] has durably applied; `commit_durable()`/`flush()` wait
+///   on it.
+///
+/// With asynchronous persistence *disabled* (the default) commits persist
+/// synchronously inside the commit lock and the two watermarks coincide;
+/// [`durable_cts`](DurabilityHub::durable_cts) then reports `None` (no
+/// writers) and the wait operations return immediately.
+pub struct DurabilityHub {
+    /// Whether tables built against this context should persist through an
+    /// asynchronous writer (set before tables are constructed).
+    async_enabled: AtomicBool,
+    /// One writer per distinct backend, deduplicated by `Arc` identity.
+    writers: RwLock<Vec<(usize, Arc<BatchWriter>)>>,
+}
+
+impl DurabilityHub {
+    fn new() -> Self {
+        DurabilityHub {
+            async_enabled: AtomicBool::new(false),
+            writers: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// True if tables should route base-table persistence through an
+    /// asynchronous [`BatchWriter`].
+    pub fn async_enabled(&self) -> bool {
+        self.async_enabled.load(Ordering::Acquire)
+    }
+
+    /// Returns the writer for `backend`, spawning it on first use.  One
+    /// writer exists per distinct backend (`Arc` identity), so tables
+    /// sharing a base table also share its persistence queue — batches for
+    /// one backend are applied by one thread, in commit-timestamp order.
+    pub fn writer_for(&self, backend: &Arc<dyn StorageBackend>) -> Arc<BatchWriter> {
+        let key = Arc::as_ptr(backend) as *const () as usize;
+        if let Some((_, w)) = self.writers.read().iter().find(|(k, _)| *k == key) {
+            return Arc::clone(w);
+        }
+        let mut writers = self.writers.write();
+        if let Some((_, w)) = writers.iter().find(|(k, _)| *k == key) {
+            return Arc::clone(w);
+        }
+        let writer = BatchWriter::spawn(Arc::clone(backend));
+        writers.push((key, Arc::clone(&writer)));
+        writer
+    }
+
+    /// The global `DurableCTS` watermark: the minimum over all writers'
+    /// durable timestamps, i.e. the largest timestamp known durable on
+    /// *every* backend.  Writers that never received work are vacuously
+    /// durable and are skipped — attaching a fresh table must not collapse
+    /// the watermark to 0.  `None` when no asynchronous writer has ever
+    /// been handed work (synchronous persistence — everything committed is
+    /// durable).
+    pub fn durable_cts(&self) -> Option<Timestamp> {
+        let writers = self.writers.read();
+        writers
+            .iter()
+            .filter(|(_, w)| w.has_work_history())
+            .map(|(_, w)| w.durable_cts())
+            .min()
+    }
+
+    /// Blocks until the commit at `cts` is durable on every backend (or a
+    /// writer reports its sticky failure).
+    pub fn wait_durable(&self, cts: Timestamp) -> Result<()> {
+        let writers: Vec<Arc<BatchWriter>> = self
+            .writers
+            .read()
+            .iter()
+            .map(|(_, w)| Arc::clone(w))
+            .collect();
+        for w in writers {
+            w.wait_durable(cts)?;
+        }
+        Ok(())
+    }
+
+    /// Blocks until every enqueued batch on every backend is durable.
+    pub fn flush(&self) -> Result<()> {
+        let writers: Vec<Arc<BatchWriter>> = self
+            .writers
+            .read()
+            .iter()
+            .map(|(_, w)| Arc::clone(w))
+            .collect();
+        for w in writers {
+            w.sync_barrier()?;
+        }
+        Ok(())
+    }
+
+    /// Number of attached writers (diagnostics).
+    pub fn writer_count(&self) -> usize {
+        self.writers.read().len()
+    }
+}
+
 /// A handle to a running transaction.
 ///
 /// The handle is cheap to clone and carries its slot index so table
@@ -276,6 +385,7 @@ pub struct StateContext {
     oldest_cache: AtomicU64,
     oldest_cache_gen: AtomicU64,
     stats: TxStats,
+    durability: DurabilityHub,
 }
 
 impl Default for StateContext {
@@ -333,7 +443,8 @@ impl StateContext {
             active_gen: CachePadded::new(AtomicU64::new(0)),
             oldest_cache: AtomicU64::new(0),
             oldest_cache_gen: AtomicU64::new(u64::MAX),
-            stats: TxStats::new(),
+            stats: TxStats::striped(capacity),
+            durability: DurabilityHub::new(),
         }
     }
 
@@ -351,6 +462,24 @@ impl StateContext {
     /// Shared transaction statistics.
     pub fn stats(&self) -> &TxStats {
         &self.stats
+    }
+
+    /// The durability hub: asynchronous persistence writers and the
+    /// `DurableCTS` watermark (see [`DurabilityHub`]).
+    pub fn durability(&self) -> &DurabilityHub {
+        &self.durability
+    }
+
+    /// Enables pipelined (asynchronous) base-table persistence for tables
+    /// built against this context *after* this call: commits return when
+    /// visible, durability trails behind the `DurableCTS` watermark, and
+    /// `TransactionManager::commit_durable`/`flush` wait on it.
+    ///
+    /// Call before constructing tables.  The default is synchronous
+    /// persistence inside the commit critical section (visibility implies
+    /// durability), matching the paper's evaluation setting.
+    pub fn enable_async_persistence(&self) {
+        self.durability.async_enabled.store(true, Ordering::Release);
     }
 
     // ------------------------------------------------------------------

@@ -69,7 +69,9 @@ pub mod stats;
 pub mod table;
 
 pub use clock::{GlobalClock, EPOCH_TS};
-pub use context::{CommitVote, StateContext, StateInfo, StateStatus, Tx, MAX_ACTIVE_TXNS};
+pub use context::{
+    CommitVote, DurabilityHub, StateContext, StateInfo, StateStatus, Tx, MAX_ACTIVE_TXNS,
+};
 pub use gc::{GcDriver, GcHandle, GcReport, GcTarget};
 pub use index::{IndexedTable, PostingList};
 pub use isolation::{IsolatedReader, IsolationLevel};
@@ -84,7 +86,7 @@ pub use table::{
 /// Frequently used items, re-exported for `use tsp_core::prelude::*`.
 pub mod prelude {
     pub use crate::clock::{GlobalClock, EPOCH_TS};
-    pub use crate::context::{CommitVote, StateContext, StateStatus, Tx};
+    pub use crate::context::{CommitVote, DurabilityHub, StateContext, StateStatus, Tx};
     pub use crate::gc::{GcDriver, GcReport, GcTarget};
     pub use crate::index::{IndexedTable, PostingList};
     pub use crate::isolation::{IsolatedReader, IsolationLevel};

@@ -16,12 +16,54 @@
 //!
 //! Readers coordinate purely through `LastCTS`/`ReadCTS` in the
 //! [`StateContext`]; they never take part in the 2PC and never block.
+//!
+//! # The two-stage commit pipeline
+//!
+//! Committing writers no longer each take their group's commit mutex and
+//! persist synchronously inside it.  The write path is a pipeline:
+//!
+//! **Stage 1 — batched group commit (leader/follower).**  A committer whose
+//! transaction touches exactly one commit-lock group enqueues a
+//! `CommitSlot` into that group's commit batch and then takes the group
+//! lock.  Whoever holds the lock is the *leader*: it drains the queue and
+//! runs validation + in-memory apply + durable hand-off for **every**
+//! queued transaction under its single lock acquisition, publishes the
+//! group's `LastCTS` once (a `fetch_max` with the batch's largest commit
+//! timestamp — batch leaders can never regress it), and marks each slot's
+//! outcome.  Followers blocked on the mutex wake, observe their decided
+//! outcome and leave immediately — the per-transaction serial section
+//! shrinks from the full validate+apply+persist to a queue push and a
+//! short lock acquisition.  Processing slots in arrival order under one
+//! lock is observably identical to each committer taking the lock in that
+//! order, so the concurrency-control semantics (FCW, BOCC backward
+//! validation, SSI certification) are unchanged.  Transactions that span
+//! several groups — or that need *read*-group locks for certification
+//! (SSI/BOCC) — take the classic multi-lock path, which acquires the same
+//! mutexes in ascending group order and therefore interleaves correctly
+//! with batch leaders.
+//!
+//! **Stage 2 — pipelined persistence.**  [`TxParticipant::apply`] installs
+//! versions in memory only; [`TxParticipant::apply_durable`] hands the
+//! encoded batch to the per-backend asynchronous
+//! [`BatchWriter`](tsp_storage::BatchWriter) (a queue push inside the
+//! lock, preserving commit order), which coalesces bursts into one
+//! `write_batch` — one WAL record, one fsync — and advances the
+//! `DurableCTS` watermark.  [`TransactionManager::commit`] returns when the
+//! transaction is *visible*; [`TransactionManager::commit_durable`] /
+//! [`TransactionManager::flush`] additionally wait until it is *durable*.
+//! Recovery replays exactly up to `DurableCTS` (the `last_cts` marker
+//! travels in the same atomic batch), so a crash loses at most a suffix of
+//! unflushed commits, never a torn prefix.  Asynchronous persistence is
+//! opt-in per context ([`StateContext::enable_async_persistence`]); the
+//! default keeps durability synchronous inside the lock, where the two
+//! watermarks coincide.
 
 use crate::context::{CommitVote, StateContext, Tx};
 use crate::stats::TxStats;
 use crate::table::common::TxParticipant;
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use tsp_common::{GroupId, Result, StateId, Timestamp, TspError};
 
@@ -38,11 +80,67 @@ pub enum FlagOutcome {
     RolledBack,
 }
 
+/// One enqueued commit awaiting (or holding) its group's batch: the
+/// transaction handle, its participants, and the outcome cell the batch
+/// leader fills in.
+struct CommitSlot {
+    tx: Tx,
+    participants: Vec<Arc<dyn TxParticipant>>,
+    /// `Some` once the leader decided; moved out exactly once by the owner.
+    outcome: Mutex<Option<Result<Timestamp>>>,
+    /// Published *after* the group commit is visible (`Release`); the owner
+    /// spins/blocks until it observes the flag (`Acquire`).
+    decided: AtomicBool,
+}
+
+impl CommitSlot {
+    fn new(tx: Tx, participants: Vec<Arc<dyn TxParticipant>>) -> Arc<Self> {
+        Arc::new(CommitSlot {
+            tx,
+            participants,
+            outcome: Mutex::new(None),
+            decided: AtomicBool::new(false),
+        })
+    }
+
+    fn decide(&self, outcome: Result<Timestamp>) {
+        *self.outcome.lock() = Some(outcome);
+        self.decided.store(true, Ordering::Release);
+    }
+
+    fn is_decided(&self) -> bool {
+        self.decided.load(Ordering::Acquire)
+    }
+
+    fn take_outcome(&self) -> Result<Timestamp> {
+        self.outcome
+            .lock()
+            .take()
+            .expect("decided slot carries an outcome")
+    }
+}
+
+/// Per-group commit machinery: the commit mutex (the ordering point shared
+/// with the multi-group path) plus the leader/follower batch queue.
+struct GroupCommit {
+    lock: Mutex<()>,
+    queue: Mutex<Vec<Arc<CommitSlot>>>,
+}
+
+impl GroupCommit {
+    fn new() -> Arc<Self> {
+        Arc::new(GroupCommit {
+            lock: Mutex::new(()),
+            queue: Mutex::new(Vec::new()),
+        })
+    }
+}
+
 /// Coordinates transactions across all registered transactional states.
 pub struct TransactionManager {
     ctx: Arc<StateContext>,
     participants: RwLock<HashMap<StateId, Arc<dyn TxParticipant>>>,
-    group_locks: RwLock<HashMap<GroupId, Arc<Mutex<()>>>>,
+    group_locks: RwLock<HashMap<GroupId, Arc<GroupCommit>>>,
 }
 
 impl TransactionManager {
@@ -71,9 +169,7 @@ impl TransactionManager {
     /// returns its id.
     pub fn register_group(&self, states: &[StateId]) -> Result<GroupId> {
         let group = self.ctx.register_group(states)?;
-        self.group_locks
-            .write()
-            .insert(group, Arc::new(Mutex::new(())));
+        self.group_locks.write().insert(group, GroupCommit::new());
         Ok(group)
     }
 
@@ -131,8 +227,215 @@ impl TransactionManager {
         self.rollback_internal(tx)
     }
 
+    /// Commits `tx` and blocks until it is **durable**: every participating
+    /// base table has persisted the commit (with asynchronous persistence,
+    /// until the `DurableCTS` watermark has passed the commit timestamp).
+    ///
+    /// With the default synchronous persistence this is equivalent to
+    /// [`commit`](Self::commit).  Durability failures of the asynchronous
+    /// writer surface here (and on [`flush`](Self::flush)) — the commit is
+    /// visible but its persistence could not be confirmed.  Only the
+    /// backends of the states `tx` actually accessed are waited on; an
+    /// unrelated table's persistence backlog never delays this commit.
+    pub fn commit_durable(&self, tx: &Tx) -> Result<Option<Timestamp>> {
+        if self.ctx.is_abort_flagged(tx)? {
+            self.rollback_internal(tx)?;
+            return Err(TspError::TxnAborted {
+                txn: tx.id().as_u64(),
+                reason: "a participating state flagged abort".into(),
+            });
+        }
+        // Resolve the participant list once, while the transaction is still
+        // active (after the commit its slot is released); the *writing*
+        // subset is what durability waits on — a state this transaction
+        // only read has no durability to wait for.
+        let participants = self.accessed_participants(tx)?;
+        let writers: Vec<Arc<dyn TxParticipant>> = participants
+            .iter()
+            .filter(|p| p.has_writes(tx))
+            .cloned()
+            .collect();
+        let cts = self.commit_resolved(tx, participants)?;
+        if let Some(cts) = cts {
+            for p in &writers {
+                p.wait_durable(cts)?;
+            }
+        }
+        Ok(cts)
+    }
+
+    /// Blocks until every commit enqueued to the asynchronous persistence
+    /// writers is durable.  A no-op under synchronous persistence.
+    pub fn flush(&self) -> Result<()> {
+        self.ctx.durability().flush()
+    }
+
+    fn group_commit(&self, group: GroupId) -> Option<Arc<GroupCommit>> {
+        self.group_locks.read().get(&group).cloned()
+    }
+
+    /// Validation + in-memory apply + durable hand-off for one transaction,
+    /// with the relevant commit locks held by the caller.  Returns the
+    /// commit timestamp; the caller publishes it.
+    fn commit_one(&self, tx: &Tx, participants: &[Arc<dyn TxParticipant>]) -> Result<Timestamp> {
+        // Phase 1: validation (First-Committer-Wins / BOCC / SSI read-set
+        // certification).
+        for p in participants {
+            p.precommit_coordinated(tx, true)?;
+        }
+        // Phase 2: in-memory apply with a single commit timestamp.  A
+        // failure mid-way (version-array capacity pressure) aborts the
+        // transaction; already-applied participants — including the
+        // partially applied failing one — are *undone* so their
+        // installed-but-never-published versions cannot spuriously trip
+        // First-Committer-Wins / SSI certification for later transactions.
+        let cts = self.ctx.clock().next_commit_ts();
+        let writers: Vec<&Arc<dyn TxParticipant>> =
+            participants.iter().filter(|p| p.has_writes(tx)).collect();
+        // Apply calls run under `catch_unwind` so a panic inside one
+        // participant (a panicking user codec, say) behaves like an apply
+        // error: the already-installed versions are *undone* — crucial when
+        // a batch leader is processing another thread's transaction, where
+        // leaking them would spuriously trip FCW/SSI for everyone else.
+        let guarded = |f: &mut dyn FnMut() -> Result<()>| -> Result<()> {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+                .unwrap_or_else(|_| Err(TspError::protocol("participant panicked during apply")))
+        };
+        for (i, p) in writers.iter().enumerate() {
+            if let Err(e) = guarded(&mut || p.apply(tx, cts)) {
+                for q in &writers[..=i] {
+                    q.undo_apply(tx, cts);
+                }
+                return Err(e);
+            }
+        }
+        // Phase 3: durable hand-off, only after every in-memory apply
+        // succeeded — the common abort cause (capacity) therefore persists
+        // nothing.  A durable failure here (an I/O error, a dead async
+        // writer, a panic) aborts too, but participants whose hand-off
+        // already happened — a synchronous batch written, or an enqueue
+        // accepted by a *healthy* asynchronous writer — leave this aborted
+        // commit's batch on (its way to) disk.  The recovery minimum rule
+        // fences that orphan only until later commits advance every state's
+        // marker past it; fully repairing a torn multi-state group (a
+        // limitation shared with the pre-pipeline code, where a mid-`apply`
+        // persistence failure stranded the same orphan) needs the
+        // group-wide redo log tracked in ROADMAP.md.  When the *failing*
+        // backend's own writer is sticky-failed, that backend's marker can
+        // never advance, which keeps the fence in place for the common
+        // failed-device case.
+        for p in &writers {
+            if let Err(e) = guarded(&mut || p.apply_durable(tx, cts)) {
+                for q in &writers {
+                    q.undo_apply(tx, cts);
+                }
+                return Err(e);
+            }
+        }
+        Ok(cts)
+    }
+
+    /// Drains and processes `group`'s commit batch; caller holds the group
+    /// lock.  One `LastCTS` publish covers the whole batch: `LastCTS` is a
+    /// `fetch_max`, so a leader that raced a larger timestamp can never
+    /// regress it.
+    fn drain_batch(&self, group: GroupId, gc: &GroupCommit) {
+        let batch: Vec<Arc<CommitSlot>> = std::mem::take(&mut *gc.queue.lock());
+        if batch.is_empty() {
+            return;
+        }
+        let mut max_cts = 0;
+        let mut outcomes = Vec::with_capacity(batch.len());
+        for s in &batch {
+            // The leader processes *other* transactions: a panic inside one
+            // of them must not unwind past the undecided slots — their
+            // owners would spin on `is_decided` forever.  Convert it to an
+            // abort of that transaction alone.  (Apply-phase panics are
+            // already caught *inside* `commit_one`, which also undoes the
+            // partial apply; this outer net covers validation and
+            // bookkeeping panics, where nothing was installed yet.)
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.commit_one(&s.tx, &s.participants)
+            }))
+            .unwrap_or_else(|_| {
+                Err(TspError::protocol(
+                    "commit processing panicked in the batch leader",
+                ))
+            });
+            if let Ok(cts) = outcome {
+                max_cts = max_cts.max(cts);
+            }
+            outcomes.push(outcome);
+        }
+        if max_cts > 0 {
+            // The group was registered (its GroupCommit exists), so the
+            // publish cannot fail; unwinding here would leave followers
+            // undecided.
+            self.ctx
+                .publish_group_commit(group, max_cts)
+                .expect("registered group publishes");
+        }
+        // Owners may only observe success after the publish.
+        for (s, outcome) in batch.iter().zip(outcomes) {
+            s.decide(outcome);
+        }
+    }
+
+    /// Stage-1 batched group commit for transactions whose only commit lock
+    /// is `group` (see the module docs).
+    ///
+    /// Uncontended fast path: if the group lock is free, commit directly
+    /// under it — no slot allocation, no queue traffic — and drain anything
+    /// that queued meanwhile on the way out.  Contended path: enqueue a
+    /// [`CommitSlot`], then whoever holds the lock drains and processes the
+    /// whole batch — one lock acquisition and one `LastCTS` publish for the
+    /// entire burst.
+    fn commit_batched(
+        &self,
+        tx: &Tx,
+        group: GroupId,
+        gc: &GroupCommit,
+        participants: &[Arc<dyn TxParticipant>],
+    ) -> Result<Timestamp> {
+        if let Some(guard) = gc.lock.try_lock() {
+            let outcome = self.commit_one(tx, participants);
+            if let Ok(cts) = outcome {
+                self.ctx
+                    .publish_group_commit(group, cts)
+                    .expect("registered group publishes");
+            }
+            // Serve committers that queued while we worked, under the lock
+            // acquisition we already hold.
+            self.drain_batch(group, gc);
+            drop(guard);
+            return outcome;
+        }
+        let slot = CommitSlot::new(tx.clone(), participants.to_vec());
+        gc.queue.lock().push(Arc::clone(&slot));
+        while !slot.is_decided() {
+            let guard = gc.lock.lock();
+            // Our slot was pushed before this acquisition, so after one pass
+            // under the lock it is guaranteed decided (by us or a prior
+            // leader).
+            self.drain_batch(group, gc);
+            drop(guard);
+        }
+        slot.take_outcome()
+    }
+
     fn commit_internal(&self, tx: &Tx) -> Result<Option<Timestamp>> {
         let participants = self.accessed_participants(tx)?;
+        self.commit_resolved(tx, participants)
+    }
+
+    /// [`commit_internal`](Self::commit_internal) with the participant list
+    /// already resolved (callers that need the list themselves, like
+    /// [`commit_durable`](Self::commit_durable), avoid resolving it twice).
+    fn commit_resolved(
+        &self,
+        tx: &Tx,
+        participants: Vec<Arc<dyn TxParticipant>>,
+    ) -> Result<Option<Timestamp>> {
         let writers: Vec<&Arc<dyn TxParticipant>> =
             participants.iter().filter(|p| p.has_writes(tx)).collect();
 
@@ -174,6 +477,28 @@ impl TransactionManager {
             .flat_map(|p| self.ctx.groups_of_state(p.state_id()))
             .filter(|g| !write_groups.contains(g))
             .collect();
+
+        // The hot shape — all commit ordering confined to one group — goes
+        // through the leader/follower batch; everything else (multi-group
+        // writes, cross-group read certification) takes the classic
+        // multi-lock path below.
+        if read_lock_groups.is_empty() && write_groups.len() == 1 {
+            let group = *write_groups.iter().next().expect("one write group");
+            if let Some(gc) = self.group_commit(group) {
+                let outcome = self.commit_batched(tx, group, &gc, &participants);
+                return match outcome {
+                    Ok(cts) => {
+                        self.finish_committed(tx, &participants);
+                        Ok(Some(cts))
+                    }
+                    Err(e) => {
+                        self.finish_aborted(tx, &participants);
+                        Err(e)
+                    }
+                };
+            }
+        }
+
         let lock_groups: BTreeSet<GroupId>;
         let lock_set: &BTreeSet<GroupId> = if read_lock_groups.is_empty() {
             &write_groups
@@ -181,44 +506,30 @@ impl TransactionManager {
             lock_groups = write_groups.union(&read_lock_groups).copied().collect();
             &lock_groups
         };
-        let locks: Vec<Arc<Mutex<()>>> = {
+        let locks: Vec<Arc<GroupCommit>> = {
             let registry = self.group_locks.read();
             lock_set
                 .iter()
                 .filter_map(|g| registry.get(g).cloned())
                 .collect()
         };
-        let _guards: Vec<_> = locks.iter().map(|l| l.lock()).collect();
+        let _guards: Vec<_> = locks.iter().map(|l| l.lock.lock()).collect();
 
-        // Phase 1: validation (First-Committer-Wins / BOCC / SSI read-set
-        // certification).
-        for p in &participants {
-            if let Err(e) = p.precommit_coordinated(tx, true) {
+        match self.commit_one(tx, &participants) {
+            Ok(cts) => {
+                for g in &write_groups {
+                    self.ctx.publish_group_commit(*g, cts)?;
+                }
+                drop(_guards);
+                self.finish_committed(tx, &participants);
+                Ok(Some(cts))
+            }
+            Err(e) => {
                 drop(_guards);
                 self.finish_aborted(tx, &participants);
-                return Err(e);
+                Err(e)
             }
         }
-
-        // Phase 2: apply with a single commit timestamp, then publish.
-        let cts = self.ctx.clock().next_commit_ts();
-        for p in &writers {
-            if let Err(e) = p.apply(tx, cts) {
-                // Apply failures (e.g. version-array capacity pressure) abort
-                // the transaction.  Versions already installed by earlier
-                // participants never become visible because the group's
-                // LastCTS is not published.
-                drop(_guards);
-                self.finish_aborted(tx, &participants);
-                return Err(e);
-            }
-        }
-        for g in &write_groups {
-            self.ctx.publish_group_commit(*g, cts)?;
-        }
-        drop(_guards);
-        self.finish_committed(tx, &participants);
-        Ok(Some(cts))
     }
 
     fn rollback_internal(&self, tx: &Tx) -> Result<()> {

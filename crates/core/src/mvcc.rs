@@ -631,6 +631,73 @@ impl<V: Clone> MvccObject<V> {
         true
     }
 
+    /// Undoes the effects of an install/delete committed at exactly `cts`
+    /// whose commit was **never published**: the version installed at `cts`
+    /// is unlinked and the version it superseded (the one whose lifetime was
+    /// terminated at `cts`) becomes live again.  Returns `true` if anything
+    /// was undone.
+    ///
+    /// This is the uninstall path of the commit protocol: a transaction
+    /// whose `apply` fails mid-way (e.g. version-array capacity pressure in
+    /// a later participant) has already installed versions that no reader
+    /// can ever see — their `cts` exceeds every published `LastCTS` — but
+    /// whose headers would spuriously trip First-Committer-Wins and SSI
+    /// certification for every later transaction with an older snapshot
+    /// floor.  The coordinator therefore undoes the applied participants.
+    ///
+    /// Safety: no latch-free reader can be cloning the removed value — a
+    /// reader only clones a version with `cts <= read_ts`, and every
+    /// snapshot in the system is bounded by a published `LastCTS < cts`
+    /// (the commit was never published, and the caller still holds the
+    /// group-commit lock, so no later commit can have published a larger
+    /// timestamp that a reader could have pinned).
+    pub fn undo_commit(&self, cts: Timestamp) -> bool {
+        debug_assert!(cts != NO_TS);
+        let _g = self.writer.lock();
+        latch_probe::count_latch();
+        let used = self.used.load(Ordering::Relaxed);
+        let mut installed = None;
+        let mut superseded = None;
+        self.for_each_slot(|i, slot| {
+            if used & (1u64 << i) == 0 {
+                return;
+            }
+            if slot.cts.load(Ordering::Relaxed) == cts {
+                installed = Some(i);
+            }
+            if slot.dts.load(Ordering::Relaxed) == cts {
+                superseded = Some(i);
+            }
+        });
+        if installed.is_none() && superseded.is_none() {
+            return false;
+        }
+        let s = self.enter_window();
+        if let Some(idx) = installed {
+            let slot = self.slot(idx).expect("writer sees its own chunks");
+            self.used.store(
+                self.used.load(Ordering::Relaxed) & !(1u64 << idx),
+                Ordering::Relaxed,
+            );
+            slot.cts.store(NO_TS, Ordering::Relaxed);
+            slot.dts.store(NO_TS, Ordering::Relaxed);
+            // SAFETY: single writer; no reader clones a version whose cts
+            // was never covered by a published snapshot (see doc comment).
+            unsafe {
+                *slot.value.get() = None;
+            }
+        }
+        if let Some(idx) = superseded {
+            // Header-only: the previously live version becomes live again.
+            self.slot(idx)
+                .expect("writer sees its own chunks")
+                .dts
+                .store(INFINITY_TS, Ordering::Relaxed);
+        }
+        self.exit_window(s);
+        true
+    }
+
     /// Runs garbage collection explicitly, reclaiming versions whose
     /// deletion timestamp is at or below the bound returned by `refresh`
     /// (re-evaluated inside the reclaim fence; `oldest_hint` pre-selects
@@ -904,6 +971,28 @@ mod tests {
         assert!(obj.gc(2 + MAX_VERSION_SLOTS as u64) >= MAX_VERSION_SLOTS - 1);
         obj.install(1000u64, 2000, 2000).unwrap();
         assert_eq!(obj.read_visible(u64::MAX - 1), Some(1000));
+    }
+
+    #[test]
+    fn undo_commit_unlinks_the_version_and_revives_the_predecessor() {
+        let obj = MvccObject::new(4);
+        obj.install(1u64, 5, NO_TS).unwrap();
+        obj.install(2u64, 9, NO_TS).unwrap();
+        assert_eq!(obj.latest_cts(), 9);
+        // Undo the commit at 9: the object must look as if it never happened.
+        assert!(obj.undo_commit(9));
+        assert_eq!(obj.latest_cts(), 5);
+        assert_eq!(obj.latest_dts(), NO_TS, "no terminated version remains");
+        assert!(obj.has_live_version(), "the predecessor is live again");
+        assert_eq!(obj.read_visible(100), Some(1));
+        assert_eq!(obj.version_count(), 1);
+        // Undoing an unknown cts is a no-op.
+        assert!(!obj.undo_commit(42));
+        // Undoing a delete restores the live version without freeing slots.
+        obj.mark_deleted(12);
+        assert_eq!(obj.read_visible(100), None);
+        assert!(obj.undo_commit(12));
+        assert_eq!(obj.read_visible(100), Some(1));
     }
 
     #[test]

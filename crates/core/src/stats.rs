@@ -4,13 +4,82 @@
 //! atomics; the benchmark harness and the examples read them to report
 //! throughput, abort rates and conflict breakdowns.
 //!
-//! Each counter sits on its own cache line ([`CachePadded`]): the `reads`
-//! and `writes` counters are bumped on *every* table operation, and without
-//! padding a reader thread bumping `reads` would false-share with a writer
-//! thread bumping the adjacent `writes` word.
+//! Counters fall into two classes:
+//!
+//! * **Per-transaction events** (begun, committed, aborted, conflict
+//!   breakdowns, GC work) happen at most a few times per transaction; each
+//!   sits on its own cache line ([`CachePadded`]) so unrelated counters do
+//!   not false-share.
+//! * **Per-operation events** (`reads`, `writes`) are bumped on *every*
+//!   table access — with a single shared word they were the last
+//!   always-shared `fetch_add`s on the hot path.  They are therefore
+//!   **striped** ([`StripedCounter`]): each transaction bumps the stripe of
+//!   its own slot (already cache-hot — the slot index is in the `Tx`
+//!   handle), and [`TxStats::snapshot`] aggregates the stripes.  Two
+//!   concurrent transactions never contend on a stats word.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use tsp_common::CachePadded;
+
+/// Default stripe count used by [`TxStats::new`]; contexts size their stats
+/// to the transaction-slot capacity via [`TxStats::striped`].
+const DEFAULT_STRIPES: usize = 64;
+
+/// A sharded event counter: per-slot stripes bumped with relaxed atomics and
+/// summed on read.  Writes index by transaction slot, so concurrent
+/// transactions (distinct slots) never share a cache line.
+#[derive(Debug)]
+pub struct StripedCounter {
+    /// Power-of-two stripe array; slot indexes wrap with a mask.
+    stripes: Box<[CachePadded<AtomicU64>]>,
+    mask: usize,
+}
+
+impl StripedCounter {
+    /// Creates a counter with `min_stripes` stripes, rounded up to a power
+    /// of two and capped at 1024 (stripes are cache-line padded; the cap
+    /// bounds memory at 1024 lines per counter).  Beyond the cap, slot
+    /// indexes wrap and distant slots share stripes.
+    pub fn new(min_stripes: usize) -> Self {
+        let n = min_stripes.clamp(1, 1024).next_power_of_two();
+        StripedCounter {
+            stripes: (0..n)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            mask: n - 1,
+        }
+    }
+
+    /// Increments the stripe selected by `slot` (a transaction's slot index).
+    #[inline]
+    pub fn bump(&self, slot: usize) {
+        self.stripes[slot & self.mask].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` to the stripe selected by `slot`.
+    #[inline]
+    pub fn add(&self, slot: usize, n: u64) {
+        self.stripes[slot & self.mask].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Sum over all stripes.
+    pub fn sum(&self) -> u64 {
+        self.stripes.iter().map(|s| s.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Resets every stripe to zero.
+    pub fn reset(&self) {
+        for s in self.stripes.iter() {
+            s.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for StripedCounter {
+    fn default() -> Self {
+        Self::new(DEFAULT_STRIPES)
+    }
+}
 
 /// Shared counters describing transaction outcomes.
 #[derive(Debug, Default)]
@@ -27,10 +96,12 @@ pub struct TxStats {
     pub validation_failures: CachePadded<AtomicU64>,
     /// Aborts caused by deadlock avoidance (wait-die victims).
     pub deadlocks: CachePadded<AtomicU64>,
-    /// Read operations served.
-    pub reads: CachePadded<AtomicU64>,
-    /// Write operations buffered.
-    pub writes: CachePadded<AtomicU64>,
+    /// Read operations served — striped per transaction slot (bump with
+    /// [`TxStats::bump_read`]).
+    pub reads: StripedCounter,
+    /// Write operations buffered — striped per transaction slot (bump with
+    /// [`TxStats::bump_write`]).
+    pub writes: StripedCounter,
     /// Garbage-collection passes over version arrays.
     pub gc_runs: CachePadded<AtomicU64>,
     /// Versions reclaimed by garbage collection.
@@ -38,9 +109,22 @@ pub struct TxStats {
 }
 
 impl TxStats {
-    /// Creates zeroed counters.
+    /// Creates zeroed counters with the default stripe count.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates zeroed counters whose per-operation stripes cover `capacity`
+    /// transaction slots 1:1 — up to the 1024-stripe cap of
+    /// [`StripedCounter::new`]; contexts larger than that wrap, so a pair
+    /// of slots 1024 apart shares a stripe (a deliberate memory bound:
+    /// stripes are cache-line padded).
+    pub fn striped(capacity: usize) -> Self {
+        TxStats {
+            reads: StripedCounter::new(capacity),
+            writes: StripedCounter::new(capacity),
+            ..Self::default()
+        }
     }
 
     /// Increments a counter by one.
@@ -55,6 +139,19 @@ impl TxStats {
         counter.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Counts one read performed by the transaction occupying `slot`.
+    #[inline]
+    pub fn bump_read(&self, slot: usize) {
+        self.reads.bump(slot);
+    }
+
+    /// Counts one buffered write performed by the transaction occupying
+    /// `slot`.
+    #[inline]
+    pub fn bump_write(&self, slot: usize) {
+        self.writes.bump(slot);
+    }
+
     /// Snapshot of all counters as plain numbers.
     pub fn snapshot(&self) -> TxStatsSnapshot {
         TxStatsSnapshot {
@@ -64,8 +161,8 @@ impl TxStats {
             write_conflicts: self.write_conflicts.load(Ordering::Relaxed),
             validation_failures: self.validation_failures.load(Ordering::Relaxed),
             deadlocks: self.deadlocks.load(Ordering::Relaxed),
-            reads: self.reads.load(Ordering::Relaxed),
-            writes: self.writes.load(Ordering::Relaxed),
+            reads: self.reads.sum(),
+            writes: self.writes.sum(),
             gc_runs: self.gc_runs.load(Ordering::Relaxed),
             gc_reclaimed: self.gc_reclaimed.load(Ordering::Relaxed),
         }
@@ -80,13 +177,13 @@ impl TxStats {
             &self.write_conflicts,
             &self.validation_failures,
             &self.deadlocks,
-            &self.reads,
-            &self.writes,
             &self.gc_runs,
             &self.gc_reclaimed,
         ] {
             c.store(0, Ordering::Relaxed);
         }
+        self.reads.reset();
+        self.writes.reset();
     }
 }
 
@@ -136,7 +233,7 @@ mod tests {
         let s = TxStats::new();
         TxStats::bump(&s.begun);
         TxStats::bump(&s.begun);
-        TxStats::add(&s.reads, 10);
+        s.reads.add(0, 10);
         TxStats::bump(&s.committed);
         let snap = s.snapshot();
         assert_eq!(snap.begun, 2);
@@ -144,6 +241,25 @@ mod tests {
         assert_eq!(snap.committed, 1);
         s.reset();
         assert_eq!(s.snapshot(), TxStatsSnapshot::default());
+    }
+
+    #[test]
+    fn striped_counter_aggregates_across_stripes() {
+        let s = TxStats::striped(130);
+        // Distinct slots land on distinct stripes and all count.
+        for slot in 0..130 {
+            s.bump_read(slot);
+            s.bump_write(slot);
+            s.bump_write(slot);
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.reads, 130);
+        assert_eq!(snap.writes, 260);
+        // Slot indexes beyond the stripe count wrap instead of panicking.
+        s.bump_read(1 << 20);
+        assert_eq!(s.snapshot().reads, 131);
+        s.reset();
+        assert_eq!(s.snapshot().reads, 0);
     }
 
     #[test]
@@ -162,11 +278,12 @@ mod tests {
         use std::sync::Arc;
         let s = Arc::new(TxStats::new());
         let handles: Vec<_> = (0..4)
-            .map(|_| {
+            .map(|t| {
                 let s = Arc::clone(&s);
                 std::thread::spawn(move || {
                     for _ in 0..1000 {
                         TxStats::bump(&s.committed);
+                        s.bump_read(t);
                     }
                 })
             })
@@ -175,5 +292,6 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(s.snapshot().committed, 4000);
+        assert_eq!(s.snapshot().reads, 4000);
     }
 }

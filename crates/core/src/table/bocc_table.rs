@@ -15,9 +15,9 @@
 use crate::context::{StateContext, Tx};
 use crate::stats::TxStats;
 use crate::table::common::{
-    buffer_write, commit_meta, overlay_write_set, preload_rows, read_own_write, reject_read_only,
-    KeyType, ReadSet, SlotLocal, TransactionalTable, TxParticipant, TxWriteSets, TypedBackend,
-    ValueType, WriteOp,
+    buffer_write, overlay_write_set, persist_pending, preload_rows, read_own_write,
+    reject_read_only, KeyType, PendingDurable, ReadSet, SlotLocal, TransactionalTable,
+    TxParticipant, TxWriteSets, TypedBackend, ValueType, WriteOp,
 };
 use parking_lot::RwLock;
 use std::collections::hash_map::DefaultHasher;
@@ -51,12 +51,14 @@ pub struct BoccTable<K, V> {
     read_sets: SlotLocal<ReadSet<K>>,
     commit_log: RwLock<Vec<CommitRecord<K>>>,
     backend: TypedBackend<K, V>,
+    /// Effective ops computed by `apply`, handed to `apply_durable`.
+    pending_durable: PendingDurable<K, V>,
 }
 
 impl<K: KeyType, V: ValueType> BoccTable<K, V> {
     /// Creates a volatile (in-memory only) table registered as `name`.
     pub fn volatile(ctx: &Arc<StateContext>, name: impl Into<String>) -> Arc<Self> {
-        Self::build(ctx, name, TypedBackend::volatile())
+        Self::build(ctx, name, TypedBackend::for_context(ctx, None))
     }
 
     /// Creates a table persisting committed data to `backend`.
@@ -65,7 +67,7 @@ impl<K: KeyType, V: ValueType> BoccTable<K, V> {
         name: impl Into<String>,
         backend: Arc<dyn StorageBackend>,
     ) -> Arc<Self> {
-        Self::build(ctx, name, TypedBackend::persistent(backend))
+        Self::build(ctx, name, TypedBackend::for_context(ctx, Some(backend)))
     }
 
     fn build(
@@ -84,6 +86,7 @@ impl<K: KeyType, V: ValueType> BoccTable<K, V> {
             read_sets: SlotLocal::for_context(ctx),
             commit_log: RwLock::new(Vec::new()),
             backend,
+            pending_durable: PendingDurable::for_context(ctx),
         })
     }
 
@@ -117,7 +120,7 @@ impl<K: KeyType, V: ValueType> BoccTable<K, V> {
     /// Reads `key`, recording it in the transaction's read set.
     pub fn read(&self, tx: &Tx, key: &K) -> Result<Option<V>> {
         self.ctx.record_access(tx, self.state_id)?;
-        TxStats::bump(&self.ctx.stats().reads);
+        self.ctx.stats().bump_read(tx.slot());
         if let Some(own) = read_own_write(&self.write_sets, tx, key) {
             return Ok(own);
         }
@@ -284,6 +287,8 @@ impl<K: KeyType, V: ValueType> TxParticipant for BoccTable<K, V> {
         Ok(())
     }
 
+    /// In-memory apply: publishes the commit-log footprint, then the values.
+    /// Persistence happens in [`apply_durable`](TxParticipant::apply_durable).
     fn apply(&self, tx: &Tx, cts: Timestamp) -> Result<()> {
         let Some(ops) = self.write_sets.with(tx, |ws| ws.effective()) else {
             return Ok(());
@@ -305,9 +310,39 @@ impl<K: KeyType, V: ValueType> TxParticipant for BoccTable<K, V> {
             };
             self.shard(key).write().insert(key.clone(), value);
         }
-        self.backend.apply(&ops, &commit_meta(&self.backend, cts))?;
+        if self.backend.is_persistent() {
+            self.pending_durable.store(tx, ops);
+        }
         self.prune_commit_log();
         Ok(())
+    }
+
+    fn apply_durable(&self, tx: &Tx, cts: Timestamp) -> Result<()> {
+        persist_pending(
+            &self.backend,
+            &self.pending_durable,
+            &self.write_sets,
+            tx,
+            cts,
+        )
+    }
+
+    fn wait_durable(&self, cts: Timestamp) -> Result<()> {
+        self.backend.wait_durable(cts)
+    }
+
+    /// Removes the commit-log record published at `cts`: the commit will
+    /// never be visible, and a lingering record would spuriously fail
+    /// backward validation for every overlapping transaction.  (The shard
+    /// values updated by `apply` cannot be restored — an in-place
+    /// single-version limitation shared with S2PL and documented on
+    /// [`TxParticipant::undo_apply`].)
+    fn undo_apply(&self, tx: &Tx, cts: Timestamp) {
+        let _ = tx;
+        let mut log = self.commit_log.write();
+        if let Some(pos) = log.iter().rposition(|r| r.cts == cts) {
+            log.remove(pos);
+        }
     }
 
     /// Backward validation of a *writing* transaction must be serialized
@@ -324,11 +359,13 @@ impl<K: KeyType, V: ValueType> TxParticipant for BoccTable<K, V> {
     fn rollback(&self, tx: &Tx) {
         self.write_sets.clear(tx);
         self.read_sets.clear(tx);
+        self.pending_durable.clear(tx);
     }
 
     fn finalize(&self, tx: &Tx) {
         self.write_sets.clear(tx);
         self.read_sets.clear(tx);
+        self.pending_durable.clear(tx);
     }
 
     fn has_writes(&self, tx: &Tx) -> bool {
@@ -381,6 +418,7 @@ mod tests {
         table.precommit(tx)?;
         let cts = ctx.clock().next_commit_ts();
         table.apply(tx, cts)?;
+        table.apply_durable(tx, cts)?;
         for g in ctx.groups_of_state(table.id()) {
             ctx.publish_group_commit(g, cts)?;
         }

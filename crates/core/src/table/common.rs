@@ -5,14 +5,13 @@
 //! for keys and values.
 
 use crate::context::{StateContext, Tx};
-use crate::stats::TxStats;
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use tsp_common::{CachePadded, Result, StateId, Timestamp, TspError};
-use tsp_storage::{Codec, StorageBackend, WriteBatch};
+use tsp_storage::{BatchWriter, Codec, StorageBackend, WriteBatch};
 
 /// Bound for table keys: hashable, ordered, encodable.
 pub trait KeyType: Clone + Eq + Hash + Ord + Codec + Send + Sync + 'static {}
@@ -335,6 +334,9 @@ impl<K: KeyType, V: ValueType> TxWriteSets<K, V> {
 /// atomic [`WriteBatch`].
 pub struct TypedBackend<K, V> {
     backend: Option<Arc<dyn StorageBackend>>,
+    /// Asynchronous persistence writer (stage 2 of the commit pipeline).
+    /// `None` = synchronous durability inside the commit critical section.
+    writer: Option<Arc<BatchWriter>>,
     _marker: std::marker::PhantomData<fn() -> (K, V)>,
 }
 
@@ -343,16 +345,45 @@ impl<K: KeyType, V: ValueType> TypedBackend<K, V> {
     pub fn volatile() -> Self {
         TypedBackend {
             backend: None,
+            writer: None,
             _marker: std::marker::PhantomData,
         }
     }
 
-    /// A view over `backend`.
+    /// A view over `backend` with synchronous durability.
     pub fn persistent(backend: Arc<dyn StorageBackend>) -> Self {
         TypedBackend {
             backend: Some(backend),
+            writer: None,
             _marker: std::marker::PhantomData,
         }
+    }
+
+    /// Builds the view a table needs for `ctx`: volatile when `backend` is
+    /// `None`, otherwise persistent — attaching the context's per-backend
+    /// asynchronous [`BatchWriter`] when the commit pipeline is enabled
+    /// ([`StateContext::enable_async_persistence`]).
+    pub fn for_context(ctx: &StateContext, backend: Option<Arc<dyn StorageBackend>>) -> Self {
+        match backend {
+            None => Self::volatile(),
+            Some(b) => {
+                let writer = if ctx.durability().async_enabled() {
+                    Some(ctx.durability().writer_for(&b))
+                } else {
+                    None
+                };
+                TypedBackend {
+                    backend: Some(b),
+                    writer,
+                    _marker: std::marker::PhantomData,
+                }
+            }
+        }
+    }
+
+    /// The attached asynchronous persistence writer, if any.
+    pub fn writer(&self) -> Option<&Arc<BatchWriter>> {
+        self.writer.as_ref()
     }
 
     /// True if a backend is attached.
@@ -385,15 +416,9 @@ impl<K: KeyType, V: ValueType> TypedBackend<K, V> {
         Ok(())
     }
 
-    /// Applies the effective modifications of a write set (plus optional
-    /// metadata entries) as one atomic batch.
-    pub fn apply(&self, ops: &[(K, WriteOp<V>)], meta: &[(Vec<u8>, Vec<u8>)]) -> Result<()> {
-        let Some(b) = &self.backend else {
-            return Ok(());
-        };
-        if ops.is_empty() && meta.is_empty() {
-            return Ok(());
-        }
+    /// Encodes the effective modifications of a write set (plus optional
+    /// metadata entries) as one [`WriteBatch`].
+    fn build_batch(ops: &[(K, WriteOp<V>)], meta: &[(Vec<u8>, Vec<u8>)]) -> WriteBatch {
         let mut batch = WriteBatch::with_capacity(ops.len() + meta.len());
         for (k, op) in ops {
             match op {
@@ -408,7 +433,54 @@ impl<K: KeyType, V: ValueType> TypedBackend<K, V> {
         for (k, v) in meta {
             batch.put(k.clone(), v.clone());
         }
-        b.write_batch(&batch)
+        batch
+    }
+
+    /// Applies the effective modifications of a write set (plus optional
+    /// metadata entries) as one atomic batch, synchronously — preloading and
+    /// recovery restores use this; transactional commits go through
+    /// [`apply_at`](Self::apply_at).
+    pub fn apply(&self, ops: &[(K, WriteOp<V>)], meta: &[(Vec<u8>, Vec<u8>)]) -> Result<()> {
+        let Some(b) = &self.backend else {
+            return Ok(());
+        };
+        if ops.is_empty() && meta.is_empty() {
+            return Ok(());
+        }
+        b.write_batch(&Self::build_batch(ops, meta))
+    }
+
+    /// Persists the durable work of the commit at `cts`: hands the encoded
+    /// batch to the asynchronous [`BatchWriter`] when one is attached (a
+    /// queue push — no I/O on the commit path; durability trails behind the
+    /// `DurableCTS` watermark), otherwise writes it synchronously.
+    pub fn apply_at(
+        &self,
+        ops: &[(K, WriteOp<V>)],
+        meta: &[(Vec<u8>, Vec<u8>)],
+        cts: Timestamp,
+    ) -> Result<()> {
+        let Some(b) = &self.backend else {
+            return Ok(());
+        };
+        if ops.is_empty() && meta.is_empty() {
+            return Ok(());
+        }
+        let batch = Self::build_batch(ops, meta);
+        match &self.writer {
+            Some(w) => w.enqueue(cts, batch),
+            None => b.write_batch(&batch),
+        }
+    }
+
+    /// Blocks until the commit at `cts` is durable on this backend: waits on
+    /// the attached asynchronous writer's `DurableCTS` watermark, or returns
+    /// immediately under synchronous (or no) persistence.
+    pub fn wait_durable(&self, cts: Timestamp) -> Result<()> {
+        match &self.writer {
+            Some(w) => w.wait_durable(cts),
+            None => Ok(()),
+        }
     }
 
     /// Scans all committed entries, decoding keys and values.  Entries whose
@@ -434,6 +506,51 @@ impl<K: KeyType, V: ValueType> TypedBackend<K, V> {
             Some(e) => Err(e),
             None => Ok(()),
         }
+    }
+}
+
+/// Per-slot stash of the effective write-set ops computed by a table's
+/// in-memory `apply`, consumed by its `apply_durable`.
+///
+/// The two pipeline stages run back to back inside the commit critical
+/// section; without the stash each would materialize
+/// [`WriteSet::effective`] — a full clone of every key and value — twice
+/// per commit, lengthening the serial section the batch leader holds for
+/// all its followers.  `apply` stores the ops it already computed,
+/// `apply_durable` takes them (recomputing only if called standalone), and
+/// rollback/finalize clear the cell.
+pub struct PendingDurable<K, V> {
+    ops: SlotLocal<Vec<(K, WriteOp<V>)>>,
+}
+
+impl<K: KeyType, V: ValueType> PendingDurable<K, V> {
+    /// Creates a stash sized for `ctx`'s transaction table.
+    pub fn for_context(ctx: &StateContext) -> Self {
+        PendingDurable {
+            ops: SlotLocal::for_context(ctx),
+        }
+    }
+
+    /// Stores the effective ops `apply` computed for `tx`.
+    pub fn store(&self, tx: &Tx, ops: Vec<(K, WriteOp<V>)>) {
+        self.ops.with_mut(tx, |cell| *cell = ops);
+    }
+
+    /// Takes the stashed ops, falling back to recomputing them from the
+    /// write set (standalone `apply_durable` calls, e.g. in tests).
+    pub fn take_or_recompute(
+        &self,
+        tx: &Tx,
+        write_sets: &TxWriteSets<K, V>,
+    ) -> Option<Vec<(K, WriteOp<V>)>> {
+        self.ops
+            .take(tx)
+            .or_else(|| write_sets.with(tx, |ws| ws.effective()))
+    }
+
+    /// Drops any stashed ops (abort/finalize path).
+    pub fn clear(&self, tx: &Tx) {
+        self.ops.clear(tx);
     }
 }
 
@@ -493,9 +610,53 @@ pub trait TxParticipant: Send + Sync {
         false
     }
 
-    /// Applies the transaction's buffered effects with commit timestamp
-    /// `cts`, including persisting them to the base table.
+    /// Applies the transaction's buffered effects **in memory** with commit
+    /// timestamp `cts`: installs versions / updates the committed image so
+    /// the transaction becomes visible once the coordinator publishes the
+    /// group's `LastCTS`.  Runs inside the group-commit critical section.
+    ///
+    /// Base-table persistence is *not* part of this step — the coordinator
+    /// calls [`apply_durable`](Self::apply_durable) afterwards (stage 2 of
+    /// the commit pipeline), while the write set is still alive.
     fn apply(&self, tx: &Tx, cts: Timestamp) -> Result<()>;
+
+    /// Persists the transaction's buffered effects to the base table for the
+    /// commit at `cts`.  Still called inside the commit critical section so
+    /// the per-backend persistence order matches the commit order, but with
+    /// an asynchronous writer attached this is only a queue push; the actual
+    /// I/O happens on the writer thread and `commit_durable`/`flush` wait on
+    /// the `DurableCTS` watermark.  The default is a no-op (volatile
+    /// states).
+    fn apply_durable(&self, tx: &Tx, cts: Timestamp) -> Result<()> {
+        let _ = (tx, cts);
+        Ok(())
+    }
+
+    /// Blocks until the commit at `cts` is durable in this participant's
+    /// base table.  With an asynchronous persistence writer attached this
+    /// waits on its `DurableCTS` watermark; the default (volatile tables,
+    /// synchronous persistence) returns immediately — durability already
+    /// happened inside [`apply_durable`](Self::apply_durable).
+    fn wait_durable(&self, cts: Timestamp) -> Result<()> {
+        let _ = cts;
+        Ok(())
+    }
+
+    /// Undoes a *successful* [`apply`](Self::apply) whose commit will never
+    /// be published (a later participant of the same transaction failed).
+    /// Called while the coordinator still holds the group-commit locks.
+    ///
+    /// Multi-version stores unlink the versions installed at `cts` so their
+    /// headers cannot spuriously trip First-Committer-Wins or SSI
+    /// certification for later transactions (the failed-apply version leak).
+    /// The default is a no-op: the single-version baselines update their
+    /// committed image in place and cannot restore the previous value — for
+    /// them a torn multi-participant apply remains visible, a pre-existing
+    /// limitation of those protocols' in-place commit.  Must tolerate a
+    /// partially applied (mid-loop failed) state and be idempotent.
+    fn undo_apply(&self, tx: &Tx, cts: Timestamp) {
+        let _ = (tx, cts);
+    }
 
     /// Discards the transaction's buffered effects.
     fn rollback(&self, tx: &Tx);
@@ -636,7 +797,7 @@ pub fn buffer_write<K: KeyType, V: ValueType>(
     key: K,
     op: WriteOp<V>,
 ) {
-    TxStats::bump(&ctx.stats().writes);
+    ctx.stats().bump_write(tx.slot());
     write_sets.with_mut(tx, |ws| match op {
         WriteOp::Put(v) => ws.put(key, v),
         WriteOp::Delete => ws.delete(key),
@@ -673,6 +834,31 @@ pub fn preload_rows<K: KeyType, V: ValueType>(
         backend.apply(&chunk, &[])?;
     }
     Ok(())
+}
+
+/// The shared `apply_durable` body of every protocol table: persists the
+/// ops stashed by `apply` (recomputing them only for standalone calls)
+/// together with the durable commit-timestamp marker, through
+/// [`TypedBackend::apply_at`] — an asynchronous enqueue when the commit
+/// pipeline is enabled, a synchronous batch write otherwise.  A transaction
+/// with no effective ops persists nothing (not even the marker).
+pub fn persist_pending<K: KeyType, V: ValueType>(
+    backend: &TypedBackend<K, V>,
+    pending: &PendingDurable<K, V>,
+    write_sets: &TxWriteSets<K, V>,
+    tx: &Tx,
+    cts: Timestamp,
+) -> Result<()> {
+    if !backend.is_persistent() {
+        return Ok(());
+    }
+    let Some(ops) = pending.take_or_recompute(tx, write_sets) else {
+        return Ok(());
+    };
+    if ops.is_empty() {
+        return Ok(());
+    }
+    backend.apply_at(&ops, &commit_meta(backend, cts), cts)
 }
 
 /// The metadata entries persisted with a commit batch: the durable group

@@ -41,8 +41,9 @@ use crate::context::{StateContext, Tx};
 use crate::mvcc::{MvccObject, DEFAULT_VERSION_SLOTS};
 use crate::stats::TxStats;
 use crate::table::common::{
-    buffer_write, commit_meta, overlay_write_set, preload_rows, read_own_write, reject_read_only,
-    KeyType, TransactionalTable, TxParticipant, TxWriteSets, TypedBackend, ValueType, WriteOp,
+    buffer_write, overlay_write_set, persist_pending, preload_rows, read_own_write,
+    reject_read_only, KeyType, PendingDurable, TransactionalTable, TxParticipant, TxWriteSets,
+    TypedBackend, ValueType, WriteOp,
 };
 use crate::table::objmap::{ObjMap, DEFAULT_INDEX_BUCKETS};
 use std::collections::BTreeMap;
@@ -95,18 +96,15 @@ pub struct MvccTable<K, V> {
     objects: ObjMap<K, Arc<MvccObject<V>>>,
     write_sets: TxWriteSets<K, V>,
     backend: TypedBackend<K, V>,
+    /// Effective ops computed by `apply`, handed to `apply_durable`.
+    pending_durable: PendingDurable<K, V>,
     opts: MvccTableOptions,
 }
 
 impl<K: KeyType, V: ValueType> MvccTable<K, V> {
     /// Creates a volatile (in-memory only) table registered as `name`.
     pub fn volatile(ctx: &Arc<StateContext>, name: impl Into<String>) -> Arc<Self> {
-        Self::build(
-            ctx,
-            name,
-            TypedBackend::volatile(),
-            MvccTableOptions::default(),
-        )
+        Self::with_options(ctx, name, None, MvccTableOptions::default())
     }
 
     /// Creates a table persisting committed data to `backend`.
@@ -115,12 +113,7 @@ impl<K: KeyType, V: ValueType> MvccTable<K, V> {
         name: impl Into<String>,
         backend: Arc<dyn StorageBackend>,
     ) -> Arc<Self> {
-        Self::build(
-            ctx,
-            name,
-            TypedBackend::persistent(backend),
-            MvccTableOptions::default(),
-        )
+        Self::with_options(ctx, name, Some(backend), MvccTableOptions::default())
     }
 
     /// Creates a table with explicit options.
@@ -130,10 +123,7 @@ impl<K: KeyType, V: ValueType> MvccTable<K, V> {
         backend: Option<Arc<dyn StorageBackend>>,
         opts: MvccTableOptions,
     ) -> Arc<Self> {
-        let typed = match backend {
-            Some(b) => TypedBackend::persistent(b),
-            None => TypedBackend::volatile(),
-        };
+        let typed = TypedBackend::for_context(ctx, backend);
         Self::build(ctx, name, typed, opts)
     }
 
@@ -152,6 +142,7 @@ impl<K: KeyType, V: ValueType> MvccTable<K, V> {
             objects: ObjMap::new(opts.index_buckets),
             write_sets: TxWriteSets::for_context(ctx),
             backend,
+            pending_durable: PendingDurable::for_context(ctx),
             opts,
         })
     }
@@ -191,7 +182,7 @@ impl<K: KeyType, V: ValueType> MvccTable<K, V> {
         // first access of this state — announces the snapshot floor that
         // makes the latch-free version scan below sound.
         let snapshot = self.ctx.access_snapshot(tx, self.state_id)?;
-        TxStats::bump(&self.ctx.stats().reads);
+        self.ctx.stats().bump_read(tx.slot());
         if let Some(own) = read_own_write(&self.write_sets, tx, key) {
             return Ok(own);
         }
@@ -408,6 +399,9 @@ impl<K: KeyType, V: ValueType> TxParticipant for MvccTable<K, V> {
         Ok(())
     }
 
+    /// In-memory apply: installs the write set's versions at `cts`.  The
+    /// base table is untouched here — persistence is
+    /// [`apply_durable`](TxParticipant::apply_durable)'s job.
     fn apply(&self, tx: &Tx, cts: Timestamp) -> Result<()> {
         let Some(ops) = self.write_sets.with(tx, |ws| ws.effective()) else {
             return Ok(());
@@ -446,17 +440,54 @@ impl<K: KeyType, V: ValueType> TxParticipant for MvccTable<K, V> {
                 }
             }
         }
-        // Persist the batch (plus the durable commit-timestamp marker) to the
-        // base table — failure atomicity comes from the backend's WAL.
-        self.backend.apply(&ops, &commit_meta(&self.backend, cts))
+        // Hand the already-materialized ops to `apply_durable` so the
+        // critical section pays for `effective()` only once.
+        if self.backend.is_persistent() {
+            self.pending_durable.store(tx, ops);
+        }
+        Ok(())
+    }
+
+    /// Persists the batch (plus the durable commit-timestamp marker) to the
+    /// base table — synchronously, or as a push onto the asynchronous
+    /// writer's queue when the commit pipeline is enabled.  Failure
+    /// atomicity comes from the backend's WAL.
+    fn apply_durable(&self, tx: &Tx, cts: Timestamp) -> Result<()> {
+        persist_pending(
+            &self.backend,
+            &self.pending_durable,
+            &self.write_sets,
+            tx,
+            cts,
+        )
+    }
+
+    fn wait_durable(&self, cts: Timestamp) -> Result<()> {
+        self.backend.wait_durable(cts)
+    }
+
+    /// Unlinks the versions installed at `cts` (and revives the versions
+    /// they superseded): the commit was never published, and leaving the
+    /// headers in place would spuriously trip First-Committer-Wins / SSI
+    /// certification for later transactions (the failed-apply version leak).
+    fn undo_apply(&self, tx: &Tx, cts: Timestamp) {
+        self.write_sets.with(tx, |ws| {
+            for key in ws.keys() {
+                if let Some(obj) = self.object(key) {
+                    obj.undo_commit(cts);
+                }
+            }
+        });
     }
 
     fn rollback(&self, tx: &Tx) {
         self.write_sets.clear(tx);
+        self.pending_durable.clear(tx);
     }
 
     fn finalize(&self, tx: &Tx) {
         self.write_sets.clear(tx);
+        self.pending_durable.clear(tx);
     }
 
     fn has_writes(&self, tx: &Tx) -> bool {
@@ -513,6 +544,7 @@ mod tests {
         table.precommit(tx).unwrap();
         let cts = ctx.clock().next_commit_ts();
         table.apply(tx, cts).unwrap();
+        table.apply_durable(tx, cts).unwrap();
         for g in ctx.groups_of_state(table.id()) {
             ctx.publish_group_commit(g, cts).unwrap();
         }
@@ -793,6 +825,7 @@ mod tests {
         table.precommit(&w).unwrap();
         let cts = ctx.clock().next_commit_ts();
         table.apply(&w, cts).unwrap();
+        table.apply_durable(&w, cts).unwrap();
         for g in ctx.groups_of_state(table.id()) {
             ctx.publish_group_commit(g, cts).unwrap();
         }
@@ -822,6 +855,7 @@ mod tests {
         table.precommit(&t).unwrap();
         let cts = ctx.clock().next_commit_ts();
         table.apply(&t, cts).unwrap();
+        table.apply_durable(&t, cts).unwrap();
         table.finalize(&t);
         ctx.finish(&t);
         assert_eq!(

@@ -16,8 +16,9 @@
 use crate::context::{StateContext, Tx};
 use crate::stats::TxStats;
 use crate::table::common::{
-    buffer_write, commit_meta, overlay_write_set, preload_rows, read_own_write, reject_read_only,
-    KeyType, TransactionalTable, TxParticipant, TxWriteSets, TypedBackend, ValueType, WriteOp,
+    buffer_write, overlay_write_set, persist_pending, preload_rows, read_own_write,
+    reject_read_only, KeyType, PendingDurable, TransactionalTable, TxParticipant, TxWriteSets,
+    TypedBackend, ValueType, WriteOp,
 };
 use crate::table::locks::{LockManager, LockMode};
 use parking_lot::RwLock;
@@ -41,12 +42,14 @@ pub struct S2plTable<K, V> {
     committed: Vec<RwLock<HashMap<K, Option<V>>>>,
     write_sets: TxWriteSets<K, V>,
     backend: TypedBackend<K, V>,
+    /// Effective ops computed by `apply`, handed to `apply_durable`.
+    pending_durable: PendingDurable<K, V>,
 }
 
 impl<K: KeyType, V: ValueType> S2plTable<K, V> {
     /// Creates a volatile (in-memory only) table registered as `name`.
     pub fn volatile(ctx: &Arc<StateContext>, name: impl Into<String>) -> Arc<Self> {
-        Self::build(ctx, name, TypedBackend::volatile())
+        Self::build(ctx, name, TypedBackend::for_context(ctx, None))
     }
 
     /// Creates a table persisting committed data to `backend`.
@@ -55,7 +58,7 @@ impl<K: KeyType, V: ValueType> S2plTable<K, V> {
         name: impl Into<String>,
         backend: Arc<dyn StorageBackend>,
     ) -> Arc<Self> {
-        Self::build(ctx, name, TypedBackend::persistent(backend))
+        Self::build(ctx, name, TypedBackend::for_context(ctx, Some(backend)))
     }
 
     fn build(
@@ -73,6 +76,7 @@ impl<K: KeyType, V: ValueType> S2plTable<K, V> {
             committed: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
             write_sets: TxWriteSets::for_context(ctx),
             backend,
+            pending_durable: PendingDurable::for_context(ctx),
         })
     }
 
@@ -107,7 +111,7 @@ impl<K: KeyType, V: ValueType> S2plTable<K, V> {
     /// wait-die may abort the younger transaction).
     pub fn read(&self, tx: &Tx, key: &K) -> Result<Option<V>> {
         self.ctx.record_access(tx, self.state_id)?;
-        TxStats::bump(&self.ctx.stats().reads);
+        self.ctx.stats().bump_read(tx.slot());
         if let Some(own) = read_own_write(&self.write_sets, tx, key) {
             return Ok(own);
         }
@@ -215,13 +219,14 @@ impl<K: KeyType, V: ValueType> TxParticipant for S2plTable<K, V> {
         Ok(())
     }
 
+    /// In-memory apply: updates the committed map while the exclusive locks
+    /// are still held.  Persistence happens in
+    /// [`apply_durable`](TxParticipant::apply_durable).
     fn apply(&self, tx: &Tx, cts: Timestamp) -> Result<()> {
+        let _ = cts;
         let Some(ops) = self.write_sets.with(tx, |ws| ws.effective()) else {
             return Ok(());
         };
-        if ops.is_empty() {
-            return Ok(());
-        }
         for (key, op) in &ops {
             let value = match op {
                 WriteOp::Put(v) => Some(v.clone()),
@@ -229,15 +234,34 @@ impl<K: KeyType, V: ValueType> TxParticipant for S2plTable<K, V> {
             };
             self.shard(key).write().insert(key.clone(), value);
         }
-        self.backend.apply(&ops, &commit_meta(&self.backend, cts))
+        if self.backend.is_persistent() {
+            self.pending_durable.store(tx, ops);
+        }
+        Ok(())
+    }
+
+    fn apply_durable(&self, tx: &Tx, cts: Timestamp) -> Result<()> {
+        persist_pending(
+            &self.backend,
+            &self.pending_durable,
+            &self.write_sets,
+            tx,
+            cts,
+        )
+    }
+
+    fn wait_durable(&self, cts: Timestamp) -> Result<()> {
+        self.backend.wait_durable(cts)
     }
 
     fn rollback(&self, tx: &Tx) {
         self.write_sets.clear(tx);
+        self.pending_durable.clear(tx);
     }
 
     fn finalize(&self, tx: &Tx) {
         self.write_sets.clear(tx);
+        self.pending_durable.clear(tx);
         self.locks.release_all(tx.id());
     }
 
@@ -292,6 +316,7 @@ mod tests {
         table.precommit(tx).unwrap();
         let cts = ctx.clock().next_commit_ts();
         table.apply(tx, cts).unwrap();
+        table.apply_durable(tx, cts).unwrap();
         for g in ctx.groups_of_state(table.id()) {
             ctx.publish_group_commit(g, cts).unwrap();
         }
@@ -395,6 +420,7 @@ mod tests {
         table.precommit(&w).unwrap();
         let cts = ctx.clock().next_commit_ts();
         table.apply(&w, cts).unwrap();
+        table.apply_durable(&w, cts).unwrap();
         table.finalize(&w);
         ctx.finish(&w);
         assert_eq!(

@@ -320,7 +320,7 @@ impl<K: KeyType, V: ValueType> TxParticipant for SsiTable<K, V> {
 
     fn apply(&self, tx: &Tx, cts: Timestamp) -> Result<()> {
         let had_writes = self.inner.has_writes(tx);
-        self.inner.apply(tx, cts)?;
+        TxParticipant::apply(&*self.inner, tx, cts)?;
         // Advance the scan watermark only once the versions are actually
         // installed: a failed apply (capacity pressure) aborts the whole
         // transaction, and a watermark for a commit that never happened
@@ -339,6 +339,21 @@ impl<K: KeyType, V: ValueType> TxParticipant for SsiTable<K, V> {
             self.watermark_undo.with_mut(tx, |u| *u = Some((prev, cts)));
         }
         Ok(())
+    }
+
+    fn apply_durable(&self, tx: &Tx, cts: Timestamp) -> Result<()> {
+        self.inner.apply_durable(tx, cts)
+    }
+
+    fn wait_durable(&self, cts: Timestamp) -> Result<()> {
+        self.inner.wait_durable(cts)
+    }
+
+    /// Delegates the version uninstall to the inner MVCC store.  The scan
+    /// watermark is restored separately by [`rollback`](Self::rollback)
+    /// through the undo log, which runs on every abort path.
+    fn undo_apply(&self, tx: &Tx, cts: Timestamp) {
+        self.inner.undo_apply(tx, cts);
     }
 
     fn rollback(&self, tx: &Tx) {

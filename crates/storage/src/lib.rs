@@ -19,6 +19,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod backend;
+pub mod batch_writer;
 pub mod bloom;
 pub mod cache;
 pub mod checkpoint;
@@ -34,6 +35,7 @@ pub mod stats;
 pub mod wal;
 
 pub use backend::{BatchOp, StorageBackend, SyncPolicy, WriteBatch};
+pub use batch_writer::BatchWriter;
 pub use bloom::Bloom;
 pub use cache::{CacheStats, CachedBackend, LruCache};
 pub use checkpoint::{create_checkpoint, read_checkpoint_info, restore_checkpoint, CheckpointInfo};
@@ -47,6 +49,7 @@ pub use stats::{InstrumentedBackend, StorageStats, StorageStatsSnapshot};
 /// Frequently used items, re-exported for `use tsp_storage::prelude::*`.
 pub mod prelude {
     pub use crate::backend::{BatchOp, StorageBackend, SyncPolicy, WriteBatch};
+    pub use crate::batch_writer::BatchWriter;
     pub use crate::bloom::Bloom;
     pub use crate::cache::{CacheStats, CachedBackend, LruCache};
     pub use crate::checkpoint::{

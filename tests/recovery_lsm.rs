@@ -158,8 +158,9 @@ fn torn_group_commit_is_detected_and_fenced_to_the_minimum() {
         p.b.write(&tx, 1, 20).unwrap();
         p.mgr.commit(&tx).unwrap();
 
-        // Now drive a group commit half-way: validate and apply state A, then
-        // "crash" before state B applies and before the group publishes.
+        // Now drive a group commit half-way: validate, apply and persist
+        // state A, then "crash" before state B persists and before the group
+        // publishes.
         let w = p.ctx.begin(false).unwrap();
         p.a.write(&w, 2, 200).unwrap();
         p.b.write(&w, 2, 400).unwrap();
@@ -167,7 +168,8 @@ fn torn_group_commit_is_detected_and_fenced_to_the_minimum() {
         p.b.precommit(&w).unwrap();
         interrupted_cts = p.ctx.clock().next_commit_ts();
         p.a.apply(&w, interrupted_cts).unwrap();
-        // state B never applies; the process dies here.
+        p.a.apply_durable(&w, interrupted_cts).unwrap();
+        // state B never applies or persists; the process dies here.
     }
     let p = open_pair(&dir, &opts, true);
     let report = restore_group(&p.ctx, p.group, &[&*p.backend_a, &*p.backend_b]).unwrap();
