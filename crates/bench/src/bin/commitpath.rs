@@ -18,17 +18,25 @@
 //! durability backlog after the timed window (honest accounting for the
 //! deferred I/O).
 //!
+//! With `--partitions N1,N2,…` each cell additionally sweeps key-space
+//! partition counts: partitions > 1 shard the table over a
+//! [`PartitionedContext`] by contiguous key ranges — one commit lock, one
+//! persistence queue and (for `lsm_sync`) one base table *per partition* —
+//! and the workers draw partition-local keys so every transaction is
+//! single-partition.  This is the scale-out sweep `BENCH_partition.json`
+//! records.
+//!
 //! Usage:
 //!   commitpath [--duration-ms N] [--threads 1,4,8] [--table-size N]
 //!              [--label NAME] [--out PATH] [--protocols mvcc,...]
-//!              [--dir PATH]
+//!              [--dir PATH] [--partitions 1,4]
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tsp_core::prelude::*;
 use tsp_storage::{lsm, LsmOptions, LsmStore, StorageBackend};
-use tsp_workload::zipf::{ZipfSampler, ZipfTable};
+use tsp_workload::zipf::{KeyGen, ZipfTable};
 
 /// Operations attempted per transaction.
 const OPS_PER_TXN: usize = 8;
@@ -73,6 +81,7 @@ struct CellResult {
     config: &'static str,
     backend: &'static str,
     threads: usize,
+    partitions: usize,
     committed_txns: u64,
     ops: u64,
     aborts: u64,
@@ -92,13 +101,15 @@ impl CellResult {
         format!(
             concat!(
                 "{{\"protocol\":\"{}\",\"config\":\"{}\",\"backend\":\"{}\",",
-                "\"threads\":{},\"committed_txns\":{},\"ops\":{},\"aborts\":{},",
+                "\"threads\":{},\"partitions\":{},",
+                "\"committed_txns\":{},\"ops\":{},\"aborts\":{},",
                 "\"elapsed_ms\":{},\"flush_ms\":{},\"commits_per_sec\":{:.0}}}"
             ),
             self.protocol.name(),
             self.config,
             self.backend,
             self.threads,
+            self.partitions,
             self.committed_txns,
             self.ops,
             self.aborts,
@@ -117,6 +128,9 @@ struct Options {
     out: Option<std::path::PathBuf>,
     protocols: Vec<Protocol>,
     dir: std::path::PathBuf,
+    partitions: Vec<usize>,
+    sync_persist: bool,
+    backends: Vec<Backend>,
 }
 
 impl Default for Options {
@@ -129,6 +143,9 @@ impl Default for Options {
             out: None,
             protocols: vec![Protocol::Mvcc],
             dir: std::env::temp_dir().join(format!("tsp-commitpath-{}", std::process::id())),
+            partitions: vec![1],
+            sync_persist: false,
+            backends: vec![Backend::Volatile, Backend::LsmSync],
         }
     }
 }
@@ -164,11 +181,35 @@ fn parse_args() -> Options {
                     .collect();
             }
             "--dir" => opts.dir = value("--dir").into(),
+            // Keep persistence *synchronous* (fsync inside the commit
+            // critical section, the paper's §5.1 configuration) instead of
+            // the PR 5 asynchronous pipeline.  This is the configuration
+            // where per-partition commit locks pay off most visibly: N
+            // partitions fsync N WALs concurrently.
+            "--sync-persist" => opts.sync_persist = true,
+            "--backends" => {
+                opts.backends = value("--backends")
+                    .split(',')
+                    .map(|s| match s.trim() {
+                        "volatile" => Backend::Volatile,
+                        "lsm_sync" | "lsm" => Backend::LsmSync,
+                        other => panic!("unknown backend {other}"),
+                    })
+                    .collect();
+            }
+            "--partitions" => {
+                opts.partitions = value("--partitions")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("partition count"))
+                    .collect();
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "commitpath [--duration-ms N] [--threads 1,4,8] \
                      [--table-size N] [--label NAME] [--out PATH] \
-                     [--protocols mvcc,s2pl,bocc,ssi] [--dir PATH]"
+                     [--protocols mvcc,s2pl,bocc,ssi] [--dir PATH] \
+                     [--partitions 1,4] [--sync-persist] \
+                     [--backends volatile,lsm_sync]"
                 );
                 std::process::exit(0);
             }
@@ -178,41 +219,80 @@ fn parse_args() -> Options {
     opts
 }
 
-/// One benchmark cell: `threads` committers over a fresh table.
+/// One benchmark cell: `threads` committers over a fresh table (sharded
+/// over `partitions` contexts when > 1, with one LSM base table per
+/// partition for the persistent backend).
 fn run_cell(
     protocol: Protocol,
     config: MixConfig,
     backend_kind: Backend,
     threads: usize,
+    partitions: usize,
     opts: &Options,
 ) -> CellResult {
     let cell_dir = opts.dir.join(format!(
-        "{}-{}-{}-{}",
+        "{}-{}-{}-{}-p{}",
         protocol.name(),
         config.name,
         backend_kind.name(),
-        threads
+        threads,
+        partitions
     ));
-    let backend: Option<Arc<dyn StorageBackend>> = match backend_kind {
-        Backend::Volatile => None,
-        Backend::LsmSync => {
-            let _ = std::fs::remove_dir_all(&cell_dir);
-            Some(Arc::new(
-                LsmStore::open(&cell_dir, LsmOptions::default()).expect("open LSM store"),
-            ))
+    if backend_kind == Backend::LsmSync {
+        let _ = std::fs::remove_dir_all(&cell_dir);
+    }
+    let open_backend = |path: std::path::PathBuf| -> Option<Arc<dyn StorageBackend>> {
+        match backend_kind {
+            Backend::Volatile => None,
+            Backend::LsmSync => Some(Arc::new(
+                LsmStore::open(path, LsmOptions::default()).expect("open LSM store"),
+            )),
         }
     };
-    let ctx = Arc::new(StateContext::with_capacity((threads * 2 + 8).max(64)));
-    ctx.enable_async_persistence(); // NEW-PIPELINE-API
-    let mgr = Arc::new(TransactionManager::new(Arc::clone(&ctx)));
-    let table = protocol.create_table::<u64, u64>(&ctx, "commit", backend);
-    mgr.register(Arc::clone(&table).as_participant());
-    mgr.register_group(&[table.id()]).unwrap();
+    let capacity = (threads * 2 + 8).max(64);
+    let (mgr, table, pc): (
+        Arc<TransactionManager>,
+        TableHandle<u64, u64>,
+        Option<Arc<PartitionedContext>>,
+    ) = if partitions > 1 {
+        let pc = PartitionedContext::with_capacity(partitions, capacity);
+        if !opts.sync_persist {
+            pc.enable_async_persistence(); // NEW-PIPELINE-API
+        }
+        let mgr = TransactionManager::new(Arc::clone(pc.router_ctx()));
+        pc.attach(&mgr).unwrap();
+        let chunk = opts.table_size / partitions as u64;
+        let bounds: Vec<u64> = (1..partitions).map(|p| p as u64 * chunk).collect();
+        let table: TableHandle<u64, u64> = pc.create_table_with(
+            protocol,
+            "commit",
+            |p| open_backend(cell_dir.join(format!("p{p}"))),
+            Arc::new(RangePartitioner::new(bounds)),
+        );
+        (mgr, table, Some(pc))
+    } else {
+        let ctx = Arc::new(StateContext::with_capacity(capacity));
+        if !opts.sync_persist {
+            ctx.enable_async_persistence(); // NEW-PIPELINE-API
+        }
+        let mgr = TransactionManager::new(Arc::clone(&ctx));
+        let table =
+            protocol.create_table::<u64, u64>(&ctx, "commit", open_backend(cell_dir.clone()));
+        mgr.register(Arc::clone(&table).as_participant());
+        mgr.register_group(&[table.id()]).unwrap();
+        (mgr, table, None)
+    };
     table
         .preload_iter(&mut (0..opts.table_size).map(|k| (k, k)))
         .unwrap();
 
-    let zipf = ZipfTable::new(opts.table_size, config.theta, true);
+    // Partition-local sampling draws Zipf offsets within one chunk.
+    let chunk = if partitions > 1 {
+        (opts.table_size / partitions as u64).max(1)
+    } else {
+        opts.table_size
+    };
+    let zipf = ZipfTable::new(chunk, config.theta, true);
     let stop = Arc::new(AtomicBool::new(false));
     let started = Instant::now();
     let handles: Vec<_> = (0..threads)
@@ -222,7 +302,7 @@ fn run_cell(
             let zipf = Arc::clone(&zipf);
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || {
-                let mut sampler = ZipfSampler::new(zipf, 0xc0117 + t as u64);
+                let mut sampler = KeyGen::new(zipf, partitions as u64, 0xc0117 + t as u64);
                 let mut coin = 0x9e3779b97f4a7c15u64 ^ (t as u64).wrapping_mul(0xff51afd7ed558ccd);
                 let mut next_coin = move || {
                     coin ^= coin << 13;
@@ -232,6 +312,7 @@ fn run_cell(
                 };
                 let (mut committed, mut ops, mut aborts) = (0u64, 0u64, 0u64);
                 while !stop.load(Ordering::Relaxed) {
+                    sampler.next_txn();
                     let tx = match mgr.begin() {
                         Ok(tx) => tx,
                         Err(_) => {
@@ -288,20 +369,30 @@ fn run_cell(
     let flush_ms;
     {
         let flush_started = Instant::now();
-        mgr.flush().expect("durability flush"); // NEW-PIPELINE-API
+        match &pc {
+            // The router persists nothing; drain every partition's hub.
+            Some(pc) => pc.flush().expect("durability flush"),
+            None => mgr.flush().expect("durability flush"), // NEW-PIPELINE-API
+        }
         flush_ms = flush_started.elapsed().as_millis() as u64;
     }
     drop(table);
     drop(mgr);
-    drop(ctx);
+    drop(pc);
     if backend_kind == Backend::LsmSync {
-        let _ = lsm::destroy(&cell_dir);
+        if partitions > 1 {
+            // The cell dir holds one LSM store per partition.
+            let _ = std::fs::remove_dir_all(&cell_dir);
+        } else {
+            let _ = lsm::destroy(&cell_dir);
+        }
     }
     CellResult {
         protocol,
         config: config.name,
         backend: backend_kind.name(),
         threads,
+        partitions,
         committed_txns: committed,
         ops,
         aborts,
@@ -314,23 +405,26 @@ fn main() {
     let opts = parse_args();
     let mut cells = Vec::new();
     for config in CONFIGS {
-        for backend in [Backend::Volatile, Backend::LsmSync] {
+        for &backend in &opts.backends {
             for &protocol in &opts.protocols {
-                for &threads in &opts.threads {
-                    let cell = run_cell(protocol, config, backend, threads, &opts);
-                    eprintln!(
-                        "{:<5} {:<11} {:<8} {:>2} threads: {:>9.0} commits/s \
-                         ({} txns, {} aborts, flush {} ms)",
-                        cell.protocol.name(),
-                        cell.config,
-                        cell.backend,
-                        cell.threads,
-                        cell.commits_per_sec(),
-                        cell.committed_txns,
-                        cell.aborts,
-                        cell.flush_ms
-                    );
-                    cells.push(cell);
+                for &partitions in &opts.partitions {
+                    for &threads in &opts.threads {
+                        let cell = run_cell(protocol, config, backend, threads, partitions, &opts);
+                        eprintln!(
+                            "{:<5} {:<11} {:<8} {:>2} threads {:>2} parts: {:>9.0} commits/s \
+                             ({} txns, {} aborts, flush {} ms)",
+                            cell.protocol.name(),
+                            cell.config,
+                            cell.backend,
+                            cell.threads,
+                            cell.partitions,
+                            cell.commits_per_sec(),
+                            cell.committed_txns,
+                            cell.aborts,
+                            cell.flush_ms
+                        );
+                        cells.push(cell);
+                    }
                 }
             }
         }

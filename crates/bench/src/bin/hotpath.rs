@@ -16,15 +16,23 @@
 //! so CI can archive the numbers; `BENCH_hotpath.json` at the repo root
 //! keeps a before/after pair for the latch-free read-path rework.
 //!
+//! With `--partitions N1,N2,…` each cell additionally sweeps key-space
+//! partition counts: partitions > 1 shard the table over a
+//! [`PartitionedContext`] by contiguous key ranges and the workers draw
+//! partition-local keys (a home partition per transaction), so every
+//! transaction is single-partition — the scale-out shape
+//! `BENCH_partition.json` records.
+//!
 //! Usage:
 //!   hotpath [--duration-ms N] [--threads 1,2,4,8,16] [--table-size N]
 //!           [--label NAME] [--out PATH] [--protocols mvcc,s2pl,bocc,ssi]
+//!           [--partitions 1,4]
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tsp_core::prelude::*;
-use tsp_workload::zipf::{ZipfSampler, ZipfTable};
+use tsp_workload::zipf::{KeyGen, ZipfTable};
 
 /// Operations attempted per transaction.
 const OPS_PER_TXN: usize = 8;
@@ -55,6 +63,7 @@ struct CellResult {
     theta: f64,
     read_pct: f64,
     threads: usize,
+    partitions: usize,
     committed_txns: u64,
     ops: u64,
     aborts: u64,
@@ -73,7 +82,8 @@ impl CellResult {
         format!(
             concat!(
                 "{{\"protocol\":\"{}\",\"config\":\"{}\",\"theta\":{},",
-                "\"read_pct\":{},\"threads\":{},\"committed_txns\":{},",
+                "\"read_pct\":{},\"threads\":{},\"partitions\":{},",
+                "\"committed_txns\":{},",
                 "\"ops\":{},\"aborts\":{},\"elapsed_ms\":{},\"ops_per_sec\":{:.0}}}"
             ),
             self.protocol.name(),
@@ -81,6 +91,7 @@ impl CellResult {
             self.theta,
             self.read_pct,
             self.threads,
+            self.partitions,
             self.committed_txns,
             self.ops,
             self.aborts,
@@ -97,6 +108,8 @@ struct Options {
     label: String,
     out: Option<std::path::PathBuf>,
     protocols: Vec<Protocol>,
+    custom: Vec<MixConfig>,
+    partitions: Vec<usize>,
 }
 
 impl Default for Options {
@@ -108,6 +121,8 @@ impl Default for Options {
             label: "run".to_string(),
             out: None,
             protocols: Protocol::ALL.to_vec(),
+            custom: Vec::new(),
+            partitions: vec![1],
         }
     }
 }
@@ -142,11 +157,38 @@ fn parse_args() -> Options {
                     .map(|s| Protocol::parse(s.trim()).expect("protocol name"))
                     .collect();
             }
+            "--custom" => {
+                // name:theta:read_pct — replaces the built-in config sweep
+                // (repeatable).  For isolating which workload axis moves a
+                // number without editing the bench.
+                let spec = value("--custom");
+                let mut it = spec.split(':');
+                let name: &'static str = Box::leak(
+                    it.next()
+                        .expect("custom config name")
+                        .to_string()
+                        .into_boxed_str(),
+                );
+                let theta: f64 = it.next().expect("theta").parse().expect("theta");
+                let read_pct: f64 = it.next().expect("read_pct").parse().expect("read_pct");
+                opts.custom.push(MixConfig {
+                    name,
+                    theta,
+                    read_pct,
+                });
+            }
+            "--partitions" => {
+                opts.partitions = value("--partitions")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("partition count"))
+                    .collect();
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "hotpath [--duration-ms N] [--threads 1,2,4,8,16] \
                      [--table-size N] [--label NAME] [--out PATH] \
-                     [--protocols mvcc,s2pl,bocc,ssi]"
+                     [--protocols mvcc,s2pl,bocc,ssi] [--partitions 1,4] \
+                     [--custom name:theta:read_pct]..."
                 );
                 std::process::exit(0);
             }
@@ -156,24 +198,49 @@ fn parse_args() -> Options {
     opts
 }
 
-/// One benchmark cell: `threads` workers over a fresh table.
+/// One benchmark cell: `threads` workers over a fresh table (sharded over
+/// `partitions` contexts when > 1).
 fn run_cell(
     protocol: Protocol,
     config: MixConfig,
     threads: usize,
+    partitions: usize,
     table_size: u64,
     duration: Duration,
 ) -> CellResult {
-    let ctx = Arc::new(StateContext::with_capacity((threads * 2 + 8).max(64)));
-    let mgr = Arc::new(TransactionManager::new(Arc::clone(&ctx)));
-    let table = protocol.create_table::<u64, u64>(&ctx, "hot", None);
-    mgr.register(Arc::clone(&table).as_participant());
-    mgr.register_group(&[table.id()]).unwrap();
+    let capacity = (threads * 2 + 8).max(64);
+    let (mgr, table): (Arc<TransactionManager>, TableHandle<u64, u64>) = if partitions > 1 {
+        let pc = PartitionedContext::with_capacity(partitions, capacity);
+        let mgr = TransactionManager::new(Arc::clone(pc.router_ctx()));
+        pc.attach(&mgr).unwrap();
+        let chunk = table_size / partitions as u64;
+        let bounds: Vec<u64> = (1..partitions).map(|p| p as u64 * chunk).collect();
+        let table: TableHandle<u64, u64> = pc.create_table_with(
+            protocol,
+            "hot",
+            |_| None,
+            Arc::new(RangePartitioner::new(bounds)),
+        );
+        (mgr, table)
+    } else {
+        let ctx = Arc::new(StateContext::with_capacity(capacity));
+        let mgr = TransactionManager::new(Arc::clone(&ctx));
+        let table = protocol.create_table::<u64, u64>(&ctx, "hot", None);
+        mgr.register(Arc::clone(&table).as_participant());
+        mgr.register_group(&[table.id()]).unwrap();
+        (mgr, table)
+    };
     table
         .preload_iter(&mut (0..table_size).map(|k| (k, k)))
         .unwrap();
 
-    let zipf = ZipfTable::new(table_size, config.theta, true);
+    // Partition-local sampling draws Zipf offsets within one chunk.
+    let chunk = if partitions > 1 {
+        (table_size / partitions as u64).max(1)
+    } else {
+        table_size
+    };
+    let zipf = ZipfTable::new(chunk, config.theta, true);
     let stop = Arc::new(AtomicBool::new(false));
     let started = Instant::now();
     let handles: Vec<_> = (0..threads)
@@ -183,7 +250,7 @@ fn run_cell(
             let zipf = Arc::clone(&zipf);
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || {
-                let mut sampler = ZipfSampler::new(zipf, 0x5eed + t as u64);
+                let mut sampler = KeyGen::new(zipf, partitions as u64, 0x5eed + t as u64);
                 // Cheap xorshift for the read/write coin so the Zipf sampler
                 // stays dedicated to key draws.
                 let mut coin = 0x9e3779b97f4a7c15u64 ^ (t as u64).wrapping_mul(0xff51afd7ed558ccd);
@@ -195,6 +262,7 @@ fn run_cell(
                 };
                 let (mut committed, mut ops, mut aborts) = (0u64, 0u64, 0u64);
                 while !stop.load(Ordering::Relaxed) {
+                    sampler.next_txn();
                     let tx = match mgr.begin() {
                         Ok(tx) => tx,
                         Err(_) => {
@@ -254,6 +322,7 @@ fn run_cell(
         theta: config.theta,
         read_pct: config.read_pct,
         threads,
+        partitions,
         committed_txns: committed,
         ops,
         aborts,
@@ -264,20 +333,36 @@ fn run_cell(
 fn main() {
     let opts = parse_args();
     let mut cells = Vec::new();
-    for config in CONFIGS {
+    let configs: Vec<MixConfig> = if opts.custom.is_empty() {
+        CONFIGS.to_vec()
+    } else {
+        opts.custom.clone()
+    };
+    for config in configs {
         for &protocol in &opts.protocols {
-            for &threads in &opts.threads {
-                let cell = run_cell(protocol, config, threads, opts.table_size, opts.duration);
-                eprintln!(
-                    "{:<5} {:<10} {:>2} threads: {:>10.0} ops/s ({} txns, {} aborts)",
-                    cell.protocol.name(),
-                    cell.config,
-                    cell.threads,
-                    cell.ops_per_sec(),
-                    cell.committed_txns,
-                    cell.aborts
-                );
-                cells.push(cell);
+            for &partitions in &opts.partitions {
+                for &threads in &opts.threads {
+                    let cell = run_cell(
+                        protocol,
+                        config,
+                        threads,
+                        partitions,
+                        opts.table_size,
+                        opts.duration,
+                    );
+                    eprintln!(
+                        "{:<5} {:<10} {:>2} threads {:>2} parts: {:>10.0} ops/s \
+                         ({} txns, {} aborts)",
+                        cell.protocol.name(),
+                        cell.config,
+                        cell.threads,
+                        cell.partitions,
+                        cell.ops_per_sec(),
+                        cell.committed_txns,
+                        cell.aborts
+                    );
+                    cells.push(cell);
+                }
             }
         }
     }

@@ -245,16 +245,46 @@ pub struct DurabilityHub {
     /// Whether tables built against this context should persist through an
     /// asynchronous writer (set before tables are constructed).
     async_enabled: AtomicBool,
+    /// Queue bound applied to writers spawned from here on (batches per
+    /// writer; see [`tsp_storage::DEFAULT_QUEUE_CAPACITY`]).
+    queue_capacity: AtomicUsize,
+    /// Depth gauge shared with the owning context's `TxStats`
+    /// (`persist_queue_depth`): the writers keep it equal to the total
+    /// number of queued batches across all backends.
+    depth_gauge: Arc<AtomicU64>,
     /// One writer per distinct backend, deduplicated by `Arc` identity.
     writers: RwLock<Vec<(usize, Arc<BatchWriter>)>>,
 }
 
 impl DurabilityHub {
-    fn new() -> Self {
+    fn new(depth_gauge: Arc<AtomicU64>) -> Self {
         DurabilityHub {
             async_enabled: AtomicBool::new(false),
+            queue_capacity: AtomicUsize::new(tsp_storage::DEFAULT_QUEUE_CAPACITY),
+            depth_gauge,
             writers: RwLock::new(Vec::new()),
         }
+    }
+
+    /// Sets the queue bound (in batches) for persistence writers spawned
+    /// *after* this call; writers already running keep their bound.  Call
+    /// before tables are built (alongside
+    /// [`StateContext::enable_async_persistence`]) to bound the whole
+    /// deployment.  Clamped to at least 1.
+    pub fn set_queue_capacity(&self, capacity: usize) {
+        self.queue_capacity
+            .store(capacity.max(1), Ordering::Release);
+    }
+
+    /// The queue bound applied to newly spawned persistence writers.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity.load(Ordering::Acquire)
+    }
+
+    /// Total batches currently queued across all writers (the same gauge
+    /// surfaced as `TxStats::persist_queue_depth`).
+    pub fn queue_depth(&self) -> u64 {
+        self.depth_gauge.load(Ordering::Relaxed)
     }
 
     /// True if tables should route base-table persistence through an
@@ -276,7 +306,11 @@ impl DurabilityHub {
         if let Some((_, w)) = writers.iter().find(|(k, _)| *k == key) {
             return Arc::clone(w);
         }
-        let writer = BatchWriter::spawn(Arc::clone(backend));
+        let writer = BatchWriter::spawn_with(
+            Arc::clone(backend),
+            self.queue_capacity.load(Ordering::Acquire),
+            Some(Arc::clone(&self.depth_gauge)),
+        );
         writers.push((key, Arc::clone(&writer)));
         writer
     }
@@ -431,6 +465,8 @@ impl StateContext {
                 }
             })
             .collect();
+        let stats = TxStats::striped(capacity);
+        let durability = DurabilityHub::new(Arc::clone(&stats.persist_queue_depth));
         StateContext {
             clock,
             states: RwLock::new(Vec::new()),
@@ -443,8 +479,8 @@ impl StateContext {
             active_gen: CachePadded::new(AtomicU64::new(0)),
             oldest_cache: AtomicU64::new(0),
             oldest_cache_gen: AtomicU64::new(u64::MAX),
-            stats: TxStats::striped(capacity),
-            durability: DurabilityHub::new(),
+            stats,
+            durability,
         }
     }
 
@@ -1524,5 +1560,23 @@ mod tests {
             ctx.finish(t);
         }
         assert_eq!(ctx.active_count(), 0);
+    }
+
+    #[test]
+    fn durability_queue_depth_flows_into_stats() {
+        use tsp_storage::{BTreeBackend, StorageBackend, WriteBatch};
+        let ctx = StateContext::new();
+        ctx.durability().set_queue_capacity(8);
+        let backend: Arc<dyn StorageBackend> = Arc::new(BTreeBackend::new());
+        let writer = ctx.durability().writer_for(&backend);
+        assert_eq!(writer.capacity(), 8);
+        let mut batch = WriteBatch::new();
+        batch.put(vec![1], vec![1]);
+        writer.enqueue(5, batch).unwrap();
+        ctx.durability().flush().unwrap();
+        // Fully drained: the gauge (shared with TxStats) is back to zero.
+        assert_eq!(ctx.durability().queue_depth(), 0);
+        assert_eq!(ctx.stats().snapshot().persist_queue_depth, 0);
+        assert!(ctx.durability().durable_cts().unwrap() >= 5);
     }
 }

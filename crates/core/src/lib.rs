@@ -64,6 +64,7 @@ pub mod isolation;
 pub mod latch_probe;
 pub mod manager;
 pub mod mvcc;
+pub mod partition;
 pub mod recovery;
 pub mod stats;
 pub mod table;
@@ -77,6 +78,9 @@ pub use index::{IndexedTable, PostingList};
 pub use isolation::{IsolatedReader, IsolationLevel};
 pub use manager::{FlagOutcome, TransactionManager};
 pub use mvcc::{MvccObject, Version, DEFAULT_VERSION_SLOTS, MAX_VERSION_SLOTS};
+pub use partition::{
+    HashPartitioner, PartitionedContext, PartitionedTable, Partitioner, RangePartitioner,
+};
 pub use stats::{TxStats, TxStatsSnapshot};
 pub use table::{
     BoccTable, ConflictCheck, KeyType, MvccTable, MvccTableOptions, Protocol, S2plTable, SsiTable,
@@ -92,6 +96,9 @@ pub mod prelude {
     pub use crate::isolation::{IsolatedReader, IsolationLevel};
     pub use crate::manager::{FlagOutcome, TransactionManager};
     pub use crate::mvcc::MvccObject;
+    pub use crate::partition::{
+        HashPartitioner, PartitionedContext, PartitionedTable, Partitioner, RangePartitioner,
+    };
     pub use crate::recovery::{restore_group, resume_clock, RecoveryReport};
     pub use crate::stats::{TxStats, TxStatsSnapshot};
     pub use crate::table::{

@@ -150,6 +150,14 @@ pub struct MvccObject<V> {
     seq: AtomicU64,
     /// Occupancy bitmap (bit *i* set ⇔ slot *i* holds a version).
     used: AtomicU64,
+    /// Index + 1 of the *live* version slot (`dts == INFINITY_TS`), 0 when
+    /// none.  At most one version is ever live, so this single word lets
+    /// the common read (snapshot at or after the newest commit) probe one
+    /// slot instead of scanning the occupancy bitmap, and lets a writer
+    /// terminate its predecessor without a scan.  Mutated only under the
+    /// writer mutex inside seq windows; readers treat it as a seqlock-
+    /// validated hint.
+    live: AtomicU64,
     /// Total slots allocated across chunks (monotone, ≤ 64).
     allocated: AtomicUsize,
     /// Version storage.  Chunk `k` holds `chunk_cap(k)` slots; chunks are
@@ -198,6 +206,7 @@ impl<V: Clone> MvccObject<V> {
             writer: Mutex::new(()),
             seq: AtomicU64::new(0),
             used: AtomicU64::new(0),
+            live: AtomicU64::new(0),
             allocated: AtomicUsize::new(0),
             chunks: Default::default(),
             capacity,
@@ -346,8 +355,26 @@ impl<V: Clone> MvccObject<V> {
             let s1 = self.seq.load(Ordering::Acquire);
             if s1 & 1 == 0 {
                 let mut hit: Option<&VersionSlot<V>> = None;
+                // Fast path: probe the live-slot hint first.  A snapshot at
+                // or after the newest commit — the common case — matches in
+                // one slot probe; any torn or stale observation is rejected
+                // by the seqlock validation below like every other scan.
+                let live = self.live.load(Ordering::Relaxed);
+                if live != 0 {
+                    if let Some(slot) = self.slot(live as usize - 1) {
+                        let cts = slot.cts.load(Ordering::Relaxed);
+                        let dts = slot.dts.load(Ordering::Relaxed);
+                        if cts != NO_TS && cts <= read_ts && read_ts < dts {
+                            hit = Some(slot);
+                        }
+                    }
+                }
                 // Iterate only the *occupied* slots (usually one or two).
-                let mut bits = self.used.load(Ordering::Relaxed);
+                let mut bits = if hit.is_some() {
+                    0
+                } else {
+                    self.used.load(Ordering::Relaxed)
+                };
                 while bits != 0 {
                     let idx = bits.trailing_zeros() as usize;
                     bits &= bits - 1;
@@ -575,13 +602,17 @@ impl<V: Clone> MvccObject<V> {
             });
         };
         let s = self.enter_window();
-        // Terminate the currently live version, then publish the new one.
-        let used = self.used.load(Ordering::Relaxed);
-        self.for_each_slot(|i, slot| {
-            if used & (1u64 << i) != 0 && slot.dts.load(Ordering::Relaxed) == INFINITY_TS {
-                slot.dts.store(cts, Ordering::Relaxed);
-            }
-        });
+        // Terminate the currently live version (the hint is exact: at most
+        // one version is live and only this writer mutates it), then
+        // publish the new one.
+        let prev = self.live.load(Ordering::Relaxed);
+        if prev != 0 {
+            let pslot = self
+                .slot(prev as usize - 1)
+                .expect("writer sees its own chunks");
+            debug_assert_eq!(pslot.dts.load(Ordering::Relaxed), INFINITY_TS);
+            pslot.dts.store(cts, Ordering::Relaxed);
+        }
         let slot = self.slot(idx).expect("writer sees its own chunks");
         // SAFETY: single writer (mutex held), slot is free, and no reader
         // clones a free slot's value (validated scans skip clear `used`
@@ -595,6 +626,7 @@ impl<V: Clone> MvccObject<V> {
             self.used.load(Ordering::Relaxed) | (1u64 << idx),
             Ordering::Relaxed,
         );
+        self.live.store(idx as u64 + 1, Ordering::Relaxed);
         self.exit_window(s);
         Ok(reclaimed)
     }
@@ -612,21 +644,16 @@ impl<V: Clone> MvccObject<V> {
     pub fn mark_deleted(&self, cts: Timestamp) -> bool {
         let _g = self.writer.lock();
         latch_probe::count_latch();
-        let used = self.used.load(Ordering::Relaxed);
-        let mut live = None;
-        self.for_each_slot(|i, slot| {
-            if used & (1u64 << i) != 0 && slot.dts.load(Ordering::Relaxed) == INFINITY_TS {
-                live = Some(i);
-            }
-        });
-        let Some(idx) = live else {
+        let live = self.live.load(Ordering::Relaxed);
+        if live == 0 {
             return false;
-        };
+        }
+        let idx = live as usize - 1;
         let s = self.enter_window();
-        self.slot(idx)
-            .expect("writer sees its own chunks")
-            .dts
-            .store(cts, Ordering::Relaxed);
+        let slot = self.slot(idx).expect("writer sees its own chunks");
+        debug_assert_eq!(slot.dts.load(Ordering::Relaxed), INFINITY_TS);
+        slot.dts.store(cts, Ordering::Relaxed);
+        self.live.store(0, Ordering::Relaxed);
         self.exit_window(s);
         true
     }
@@ -694,6 +721,13 @@ impl<V: Clone> MvccObject<V> {
                 .dts
                 .store(INFINITY_TS, Ordering::Relaxed);
         }
+        // The undone commit either installed the live version (put) or
+        // terminated it (delete); in both cases the restored predecessor —
+        // if any — is now the one live version.
+        self.live.store(
+            superseded.map(|i| i as u64 + 1).unwrap_or(0),
+            Ordering::Relaxed,
+        );
         self.exit_window(s);
         true
     }

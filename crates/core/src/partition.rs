@@ -1,0 +1,917 @@
+//! Key-space partitioned contexts: horizontal scale-out behind the
+//! protocol-agnostic table interface.
+//!
+//! PRs 3 and 5 removed the single-context hotspots (latch-free reads,
+//! batched group commit); what remains shared is the [`StateContext`]
+//! itself — one clock, one slot bitmap, one GC floor, one set of
+//! commit/persistence queues.  This module removes that wall by sharding
+//! the *key space* across N independent contexts:
+//!
+//! * [`PartitionedContext`] owns N inner [`StateContext`]s.  Each inner
+//!   context has its own logical clock, active-transaction slot bitmap,
+//!   `OldestActiveVersion` GC floor and per-backend persistence
+//!   ([`BatchWriter`](tsp_storage::BatchWriter)) queues — nothing is
+//!   shared between partitions on the data path.
+//! * [`PartitionedTable`] is the partition router: it implements
+//!   [`TransactionalTable<K, V>`], so harnesses, the YCSB driver, stream
+//!   operators, benches and examples drive it exactly like an
+//!   unpartitioned table.  Every key routes through a [`Partitioner`] to
+//!   one shard table living on that partition's inner context.
+//!
+//! # How transactions span contexts
+//!
+//! Callers still begin/commit through one outer [`TransactionManager`]
+//! over the *router context*.  The router context holds one **anchor
+//! state** and one singleton **anchor group** per partition; the first
+//! touch of partition *p* records an access on anchor *p* and lazily
+//! begins a *sub-transaction* on *p*'s inner context (stored in
+//! slot-local storage keyed by the outer transaction).  At commit, the
+//! outer manager's existing machinery does all coordination:
+//!
+//! * a **single-partition** transaction has exactly one write group — the
+//!   anchor group of its partition — so it takes the PR 5 batched
+//!   leader/follower commit path *on that partition's lock only*.  The
+//!   per-partition anchor locks are therefore per-partition commit
+//!   pipelines: committers of different partitions never contend, and a
+//!   preempted batch leader only stalls its own partition.
+//! * a **cross-partition** transaction writes several anchor groups and
+//!   takes the classic multi-lock path: the manager acquires every
+//!   involved partition's commit lock in ascending group order, validates
+//!   all partitions (phase 1), then applies and publishes each partition
+//!   (phase 2) — a two-phase cross-partition commit over the existing
+//!   group-commit locks.  All-or-nothing validation holds: no partition
+//!   applies until every partition validated.
+//!
+//! The `PartitionShard` participant registered for each anchor state
+//! translates the outer commit protocol onto the inner context: inner
+//! validation runs in `precommit`, the inner commit timestamp is drawn
+//! and versions installed in `apply`, persistence + the inner `LastCTS`
+//! publish happen in `apply_durable` — all inside the outer anchor
+//! lock(s), which serialize every committer of that partition.  Inner
+//! group-commit locks are never taken; the anchor lock *is* the
+//! partition's commit lock.
+//!
+//! # The consistent-snapshot rule (what NMSI relaxes)
+//!
+//! Each partition is a complete snapshot-isolation domain of its own:
+//! within one partition, reads are served from one pinned snapshot
+//! (`ReadCTS` of the shard's inner group) and First-Committer-Wins /
+//! BOCC / SSI certification run unchanged.  *Across* partitions the
+//! router follows Non-Monotonic Snapshot Isolation (NMSI, see PAPERS.md):
+//! a transaction pins each partition's snapshot independently, at its
+//! first access of that partition.  There is no global clock, so there is
+//! no global total order of snapshots — two partitions' pins may
+//! "straddle" a concurrent cross-partition commit, and a reader may
+//! observe partition *p*'s half of a cross-partition transaction but not
+//! (yet) partition *q*'s.  What *is* guaranteed across partitions:
+//!
+//! * **atomic commitment** — a cross-partition transaction validates on
+//!   every partition under all involved commit locks before any
+//!   partition applies; it either commits everywhere or nowhere;
+//! * **per-partition SI** — every individual read is from a consistent
+//!   partition snapshot; lost updates are impossible on any partition
+//!   (FCW validates under the partition's commit lock);
+//! * **protocol-pinned boundaries** — SSI certifies cross-partition read
+//!   sets under the read-partitions' anchor locks
+//!   ([`TxParticipant::validation_requires_commit_lock`] forwards from
+//!   the inner tables), so cross-partition write skew is still rejected
+//!   under SSI; plain MVCC/SI admits it, exactly as it does within one
+//!   context.  The conformance tests in `tests/partitioned.rs` pin this
+//!   boundary.
+//!
+//! What NMSI gives up relative to one shared context is *snapshot
+//! monotonicity*: there is no single timestamp at which a cross-partition
+//! read set is guaranteed simultaneous.  Deployments that need a
+//! globally consistent point-in-time view should route all involved keys
+//! to one partition (range-partition by the correlated dimension) or run
+//! on a single context.
+//!
+//! # Choosing partition counts
+//!
+//! Partitions scale the *commit pipelines* and the *persistence queues*.
+//! A partition per storage device (or per expected committer thread, when
+//! volatile) is the sweet spot; more partitions than concurrent
+//! committers only add routing cost, and transactions that straddle
+//! partitions pay the multi-lock path.  Routing is cheapest when the
+//! workload is partitionable — each transaction's keys confined to one
+//! partition, as in per-area smart-meter updates or per-shard YCSB
+//! multi-gets.
+
+use crate::context::{StateContext, Tx};
+use crate::manager::TransactionManager;
+use crate::stats::{TxStats, TxStatsSnapshot};
+use crate::table::common::{
+    KeyType, SlotLocal, TableHandle, TransactionalTable, TxParticipant, ValueType,
+};
+use crate::table::factory::Protocol;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use tsp_common::{GroupId, Result, StateId, Timestamp, TspError};
+use tsp_storage::StorageBackend;
+
+// ---------------------------------------------------------------------
+// Partitioners
+// ---------------------------------------------------------------------
+
+/// Maps keys to partitions.  Implementations must be pure: the same key
+/// must always map to the same partition for a given partition count.
+pub trait Partitioner<K: ?Sized>: Send + Sync {
+    /// The partition (`0..partitions`) owning `key`.
+    fn partition_of(&self, key: &K, partitions: usize) -> usize;
+}
+
+/// Hash partitioner (the default): a stable `SipHash-1-3` of the key,
+/// reduced modulo the partition count.  Spreads any key type uniformly;
+/// use [`RangePartitioner`] when transactions touch contiguous key runs
+/// that should stay on one partition.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HashPartitioner;
+
+impl<K: Hash + ?Sized> Partitioner<K> for HashPartitioner {
+    fn partition_of(&self, key: &K, partitions: usize) -> usize {
+        // DefaultHasher::new() uses fixed keys — stable across processes,
+        // which keeps partition assignment recovery-safe.
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() % partitions.max(1) as u64) as usize
+    }
+}
+
+/// Range partitioner: `bounds` holds the partition split points in
+/// ascending order (`bounds.len() == partitions - 1`); keys below
+/// `bounds[0]` go to partition 0, keys in `[bounds[i-1], bounds[i])` to
+/// partition `i`, and so on.  Keeps contiguous key runs — a smart meter's
+/// area, a tenant's id range — on one partition so their transactions
+/// stay single-partition.
+#[derive(Clone, Debug)]
+pub struct RangePartitioner<K> {
+    bounds: Vec<K>,
+}
+
+impl<K: Ord> RangePartitioner<K> {
+    /// Creates a range partitioner from ascending split points.
+    pub fn new(mut bounds: Vec<K>) -> Self {
+        bounds.sort();
+        RangePartitioner { bounds }
+    }
+}
+
+impl<K: Ord + Send + Sync> Partitioner<K> for RangePartitioner<K> {
+    fn partition_of(&self, key: &K, partitions: usize) -> usize {
+        self.bounds
+            .partition_point(|b| b <= key)
+            .min(partitions.saturating_sub(1))
+    }
+}
+
+// ---------------------------------------------------------------------
+// PartitionedContext
+// ---------------------------------------------------------------------
+
+/// One partition's sub-transaction state, stored per *outer* transaction
+/// slot.
+#[derive(Default)]
+struct SubTxn {
+    /// The inner-context transaction, begun on first access.
+    tx: Option<Tx>,
+    /// The inner commit timestamp drawn by `apply`, consumed by
+    /// `apply_durable` / `undo_apply`.
+    pending_cts: Option<Timestamp>,
+}
+
+/// A shard table registered on one partition: the inner participant plus
+/// the inner groups its commits publish.
+struct InnerEntry {
+    participant: Arc<dyn TxParticipant>,
+    groups: Vec<GroupId>,
+}
+
+/// Everything one partition owns.
+struct PartitionCore {
+    /// The partition's independent context: own clock, slot bitmap, GC
+    /// floor, durability hub.
+    ctx: Arc<StateContext>,
+    /// The anchor state registered in the *router* context; recording an
+    /// access on it routes the outer commit protocol to this partition.
+    anchor: StateId,
+    /// Sub-transactions keyed by the outer transaction's slot.
+    subs: SlotLocal<SubTxn>,
+    /// Inner participants, keyed by their inner state id.
+    inner: RwLock<BTreeMap<StateId, InnerEntry>>,
+}
+
+impl PartitionCore {
+    /// The live sub-transaction of `outer`, if this partition was touched.
+    fn sub(&self, outer: &Tx) -> Option<Tx> {
+        self.subs.with(outer, |s| s.tx.clone()).flatten()
+    }
+
+    /// The inner participants `sub` accessed, in state-id order, paired
+    /// with their inner groups.
+    fn accessed(&self, sub: &Tx) -> Vec<(Arc<dyn TxParticipant>, Vec<GroupId>)> {
+        let Ok(states) = self.ctx.accessed_states(sub) else {
+            return Vec::new();
+        };
+        let registry = self.inner.read();
+        let mut out = Vec::with_capacity(states.len());
+        let mut ids: Vec<StateId> = states.into_iter().map(|(s, _)| s).collect();
+        ids.sort();
+        for id in ids {
+            if let Some(e) = registry.get(&id) {
+                out.push((Arc::clone(&e.participant), e.groups.clone()));
+            }
+        }
+        out
+    }
+}
+
+/// N independent [`StateContext`]s behind one router context — the
+/// horizontal scale-out unit.  See the module docs for the architecture.
+///
+/// ```
+/// use std::sync::Arc;
+/// use tsp_core::prelude::*;
+/// use tsp_core::partition::PartitionedContext;
+///
+/// let pc = PartitionedContext::new(4);
+/// let mgr = TransactionManager::new(Arc::clone(pc.router_ctx()));
+/// pc.attach(&mgr).unwrap();
+/// let table = pc.create_table::<u64, u64>(Protocol::Mvcc, "kv", |_p| None);
+///
+/// let tx = mgr.begin().unwrap();
+/// table.write(&tx, 7, 700).unwrap();   // routed to 7's partition
+/// mgr.commit(&tx).unwrap();
+///
+/// let q = mgr.begin_read_only().unwrap();
+/// assert_eq!(table.read(&q, &7).unwrap(), Some(700));
+/// mgr.commit(&q).unwrap();
+/// ```
+pub struct PartitionedContext {
+    router: Arc<StateContext>,
+    parts: Vec<PartitionCore>,
+    attached: AtomicBool,
+}
+
+impl PartitionedContext {
+    /// Creates `partitions` inner contexts (and the router context) with
+    /// the default active-transaction capacity.
+    pub fn new(partitions: usize) -> Arc<Self> {
+        Self::with_capacity(partitions, crate::context::MAX_ACTIVE_TXNS)
+    }
+
+    /// Creates `partitions` inner contexts sized for `capacity` concurrent
+    /// transactions each.  Every outer transaction holds at most one slot
+    /// per inner context, so equal capacities guarantee sub-transaction
+    /// begin can never exhaust an inner slot table.
+    pub fn with_capacity(partitions: usize, capacity: usize) -> Arc<Self> {
+        let partitions = partitions.max(1);
+        let router = Arc::new(StateContext::with_capacity(capacity));
+        let parts = (0..partitions)
+            .map(|p| {
+                let ctx = Arc::new(StateContext::with_capacity(capacity));
+                let anchor = router.register_state(format!("__partition/{p}"));
+                PartitionCore {
+                    ctx,
+                    anchor,
+                    subs: SlotLocal::new(capacity),
+                    inner: RwLock::new(BTreeMap::new()),
+                }
+            })
+            .collect();
+        Arc::new(PartitionedContext {
+            router,
+            parts,
+            attached: AtomicBool::new(false),
+        })
+    }
+
+    /// The router context — pass it to [`TransactionManager::new`]; the
+    /// resulting manager begins and commits all partitioned transactions.
+    pub fn router_ctx(&self) -> &Arc<StateContext> {
+        &self.router
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Partition `p`'s inner context (diagnostics, GC drivers, stats).
+    /// Do **not** run transactions on it directly: partition commit
+    /// ordering is only guaranteed through the router.
+    pub fn partition_ctx(&self, p: usize) -> &Arc<StateContext> {
+        &self.parts[p].ctx
+    }
+
+    /// Registers the per-partition commit machinery with `mgr`: one
+    /// anchor participant and one anchor group (= one commit lock, one
+    /// batched-commit queue) per partition.  Must be called once, before
+    /// the first partitioned transaction commits; `mgr` must drive the
+    /// router context.
+    pub fn attach(self: &Arc<Self>, mgr: &TransactionManager) -> Result<()> {
+        if !Arc::ptr_eq(mgr.context(), &self.router) {
+            return Err(TspError::protocol(
+                "attach: manager does not drive this router context",
+            ));
+        }
+        if self.attached.swap(true, Ordering::AcqRel) {
+            return Err(TspError::protocol("attach: already attached"));
+        }
+        for (p, core) in self.parts.iter().enumerate() {
+            mgr.register(Arc::new(PartitionShard {
+                pc: Arc::clone(self),
+                p,
+                name: format!("__partition/{p}"),
+            }));
+            mgr.register_group(&[core.anchor])?;
+        }
+        Ok(())
+    }
+
+    /// Enables the asynchronous persistence pipeline on every partition
+    /// (see [`StateContext::enable_async_persistence`]).
+    pub fn enable_async_persistence(&self) {
+        for core in &self.parts {
+            core.ctx.enable_async_persistence();
+        }
+    }
+
+    /// Blocks until every partition's persistence backlog is durable — the
+    /// partitioned analogue of [`TransactionManager::flush`], which only
+    /// reaches the router context (the router itself persists nothing).
+    pub fn flush(&self) -> Result<()> {
+        for core in &self.parts {
+            core.ctx.durability().flush()?;
+        }
+        Ok(())
+    }
+
+    /// Per-partition statistics snapshots (index = partition).  Each inner
+    /// context counts its own begins/commits/reads/writes/GC, so skew
+    /// across partitions is directly observable.
+    pub fn partition_stats(&self) -> Vec<TxStatsSnapshot> {
+        self.parts
+            .iter()
+            .map(|c| c.ctx.stats().snapshot())
+            .collect()
+    }
+
+    /// Creates a partitioned table routed by [`HashPartitioner`].
+    /// `backend_for(p)` supplies partition `p`'s storage backend (return
+    /// `None` for volatile partitions) — per-partition backends are what
+    /// make persistence queues scale.
+    pub fn create_table<K: KeyType, V: ValueType>(
+        self: &Arc<Self>,
+        protocol: Protocol,
+        name: impl Into<String>,
+        backend_for: impl FnMut(usize) -> Option<Arc<dyn StorageBackend>>,
+    ) -> Arc<PartitionedTable<K, V>> {
+        self.create_table_with(protocol, name, backend_for, Arc::new(HashPartitioner))
+    }
+
+    /// [`create_table`](Self::create_table) with an explicit
+    /// [`Partitioner`].
+    pub fn create_table_with<K: KeyType, V: ValueType>(
+        self: &Arc<Self>,
+        protocol: Protocol,
+        name: impl Into<String>,
+        mut backend_for: impl FnMut(usize) -> Option<Arc<dyn StorageBackend>>,
+        partitioner: Arc<dyn Partitioner<K>>,
+    ) -> Arc<PartitionedTable<K, V>> {
+        let name = name.into();
+        let mut shards: Vec<TableHandle<K, V>> = Vec::with_capacity(self.parts.len());
+        let mut persistent = false;
+        for (p, core) in self.parts.iter().enumerate() {
+            let backend = backend_for(p);
+            persistent |= backend.is_some();
+            let shard = protocol.create_table::<K, V>(&core.ctx, format!("{name}.p{p}"), backend);
+            let groups = vec![core
+                .ctx
+                .register_group(&[shard.id()])
+                .expect("freshly registered shard state")];
+            core.inner.write().insert(
+                shard.id(),
+                InnerEntry {
+                    participant: Arc::clone(&shard).as_participant(),
+                    groups,
+                },
+            );
+            shards.push(shard);
+        }
+        let facade_id = self.router.register_state(&name);
+        Arc::new(PartitionedTable {
+            pc: Arc::clone(self),
+            shards,
+            partitioner,
+            facade_id,
+            name,
+            persistent,
+        })
+    }
+
+    /// Lazily begins (or returns) `outer`'s sub-transaction on partition
+    /// `p`, recording the anchor access that routes the commit protocol
+    /// here.
+    fn ensure_sub(&self, outer: &Tx, p: usize) -> Result<Tx> {
+        let core = &self.parts[p];
+        // Fast path: the sub-transaction already exists (owner-tagged
+        // probe + transaction-private slot mutex).
+        if let Some(sub) = core.sub(outer) {
+            return Ok(sub);
+        }
+        if !self.attached.load(Ordering::Acquire) {
+            return Err(TspError::protocol(
+                "partitioned table used before PartitionedContext::attach",
+            ));
+        }
+        // Verify the outer transaction is still live before creating inner
+        // state for it, then begin the sub inside the slot mutex so two
+        // operator threads driving the same transaction cannot double-begin.
+        let created = core.subs.with_mut(outer, |s| -> Result<(Tx, bool)> {
+            if let Some(ref sub) = s.tx {
+                return Ok((sub.clone(), false));
+            }
+            let sub = core.ctx.begin(outer.is_read_only())?;
+            s.tx = Some(sub.clone());
+            Ok((sub, true))
+        });
+        let (sub, fresh) = created?;
+        if fresh {
+            // Route the outer commit protocol to this partition.  On
+            // failure (the outer transaction already finished) the inner
+            // transaction must not leak its slot.
+            if let Err(e) = self.router.record_access(outer, core.anchor) {
+                core.ctx.finish(&sub);
+                core.subs.clear(outer);
+                return Err(e);
+            }
+        }
+        Ok(sub)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The per-partition commit participant
+// ---------------------------------------------------------------------
+
+/// The anchor participant of one partition: translates the outer commit
+/// protocol (validate → apply → persist → finalize, under the anchor
+/// group's commit lock) onto the partition's inner context and shard
+/// tables.
+struct PartitionShard {
+    pc: Arc<PartitionedContext>,
+    p: usize,
+    name: String,
+}
+
+impl PartitionShard {
+    fn core(&self) -> &PartitionCore {
+        &self.pc.parts[self.p]
+    }
+}
+
+impl TxParticipant for PartitionShard {
+    fn state_id(&self) -> StateId {
+        self.core().anchor
+    }
+
+    fn state_name(&self) -> &str {
+        &self.name
+    }
+
+    fn precommit(&self, tx: &Tx) -> Result<()> {
+        self.precommit_coordinated(tx, true)
+    }
+
+    /// Phase 1 of the partition commit: inner concurrency-control
+    /// validation, under the outer anchor lock(s) that serialize every
+    /// committer of this partition.  Inner group locks are never taken —
+    /// the anchor lock provides the mutual exclusion inner validation
+    /// normally gets from its own group lock.
+    fn precommit_coordinated(&self, tx: &Tx, txn_has_writes: bool) -> Result<()> {
+        let core = self.core();
+        let Some(sub) = core.sub(tx) else {
+            return Ok(());
+        };
+        for (participant, _) in core.accessed(&sub) {
+            participant.precommit_coordinated(&sub, txn_has_writes)?;
+        }
+        Ok(())
+    }
+
+    /// Forwarded from the inner tables: SSI read-set certification on
+    /// this partition requires the anchor lock even when the transaction
+    /// only read here — the outer manager then holds this partition's
+    /// commit lock across cross-partition certification.
+    fn validation_requires_commit_lock(&self, tx: &Tx) -> bool {
+        let core = self.core();
+        let Some(sub) = core.sub(tx) else {
+            return false;
+        };
+        core.accessed(&sub)
+            .iter()
+            .any(|(p, _)| p.validation_requires_commit_lock(&sub))
+    }
+
+    /// Phase 2: draw the partition's own commit timestamp and install the
+    /// sub-transaction's versions in memory.
+    fn apply(&self, tx: &Tx, _outer_cts: Timestamp) -> Result<()> {
+        let core = self.core();
+        let Some(sub) = core.sub(tx) else {
+            return Ok(());
+        };
+        let cts = core.ctx.clock().next_commit_ts();
+        core.subs.with_mut(tx, |s| s.pending_cts = Some(cts));
+        let writers: Vec<_> = core
+            .accessed(&sub)
+            .into_iter()
+            .filter(|(p, _)| p.has_writes(&sub))
+            .collect();
+        for (i, (participant, _)) in writers.iter().enumerate() {
+            if let Err(e) = participant.apply(&sub, cts) {
+                for (undo, _) in &writers[..=i] {
+                    undo.undo_apply(&sub, cts);
+                }
+                core.subs.with_mut(tx, |s| s.pending_cts = None);
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Phase 3: persist through the partition's own durability hub and
+    /// publish the inner `LastCTS` — the store that makes this
+    /// partition's half of the transaction visible.  Still under the
+    /// anchor lock, so the per-partition publish order matches the
+    /// commit order.
+    fn apply_durable(&self, tx: &Tx, _outer_cts: Timestamp) -> Result<()> {
+        let core = self.core();
+        let Some(sub) = core.sub(tx) else {
+            return Ok(());
+        };
+        let Some(cts) = core.subs.with(tx, |s| s.pending_cts).flatten() else {
+            return Ok(()); // no writes on this partition
+        };
+        let writers: Vec<_> = core
+            .accessed(&sub)
+            .into_iter()
+            .filter(|(p, _)| p.has_writes(&sub))
+            .collect();
+        for (participant, _) in &writers {
+            if let Err(e) = participant.apply_durable(&sub, cts) {
+                for (undo, _) in &writers {
+                    undo.undo_apply(&sub, cts);
+                }
+                core.subs.with_mut(tx, |s| s.pending_cts = None);
+                return Err(e);
+            }
+        }
+        for (_, groups) in &writers {
+            for g in groups {
+                core.ctx.publish_group_commit(*g, cts)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn undo_apply(&self, tx: &Tx, _outer_cts: Timestamp) {
+        let core = self.core();
+        let Some(sub) = core.sub(tx) else {
+            return;
+        };
+        let Some(cts) = core.subs.with(tx, |s| s.pending_cts).flatten() else {
+            return;
+        };
+        for (participant, _) in core.accessed(&sub) {
+            if participant.has_writes(&sub) {
+                participant.undo_apply(&sub, cts);
+            }
+        }
+        core.subs.with_mut(tx, |s| s.pending_cts = None);
+    }
+
+    fn rollback(&self, tx: &Tx) {
+        let core = self.core();
+        if let Some(SubTxn { tx: Some(sub), .. }) = core.subs.take(tx) {
+            for (participant, _) in core.accessed(&sub) {
+                participant.rollback(&sub);
+                participant.finalize(&sub);
+            }
+            core.ctx.finish(&sub);
+            TxStats::bump(&core.ctx.stats().aborted);
+        }
+    }
+
+    fn finalize(&self, tx: &Tx) {
+        let core = self.core();
+        if let Some(SubTxn { tx: Some(sub), .. }) = core.subs.take(tx) {
+            for (participant, _) in core.accessed(&sub) {
+                participant.finalize(&sub);
+            }
+            core.ctx.finish(&sub);
+            TxStats::bump(&core.ctx.stats().committed);
+        }
+    }
+
+    /// Durability of this partition is confirmed through its own hub; the
+    /// outer commit timestamp carries no meaning in inner time, so wait
+    /// for the partition's full backlog (equivalent-or-stronger bound).
+    fn wait_durable(&self, _cts: Timestamp) -> Result<()> {
+        self.core().ctx.durability().flush()
+    }
+
+    fn has_writes(&self, tx: &Tx) -> bool {
+        let core = self.core();
+        let Some(sub) = core.sub(tx) else {
+            return false;
+        };
+        core.accessed(&sub).iter().any(|(p, _)| p.has_writes(&sub))
+    }
+}
+
+// ---------------------------------------------------------------------
+// The partition-router table
+// ---------------------------------------------------------------------
+
+/// The partition router: a [`TransactionalTable`] whose keys are sharded
+/// across the partitions of a [`PartitionedContext`].  Single-partition
+/// transactions coordinate only on their partition; see the module docs
+/// for the cross-partition rules.
+pub struct PartitionedTable<K, V> {
+    pc: Arc<PartitionedContext>,
+    shards: Vec<TableHandle<K, V>>,
+    partitioner: Arc<dyn Partitioner<K>>,
+    facade_id: StateId,
+    name: String,
+    persistent: bool,
+}
+
+impl<K: KeyType, V: ValueType> PartitionedTable<K, V> {
+    /// The partition owning `key`.
+    pub fn partition_of(&self, key: &K) -> usize {
+        self.partitioner
+            .partition_of(key, self.shards.len())
+            .min(self.shards.len() - 1)
+    }
+
+    /// Partition `p`'s shard table (diagnostics; e.g. per-shard GC or
+    /// version counts).
+    pub fn shard(&self, p: usize) -> &TableHandle<K, V> {
+        &self.shards[p]
+    }
+
+    /// The partitioned context this table routes over.
+    pub fn partitioned_ctx(&self) -> &Arc<PartitionedContext> {
+        &self.pc
+    }
+
+    fn with_sub<R>(
+        &self,
+        tx: &Tx,
+        key: &K,
+        f: impl FnOnce(&TableHandle<K, V>, &Tx) -> R,
+    ) -> Result<R> {
+        let p = self.partition_of(key);
+        let sub = self.pc.ensure_sub(tx, p)?;
+        Ok(f(&self.shards[p], &sub))
+    }
+}
+
+impl<K: KeyType, V: ValueType> TxParticipant for PartitionedTable<K, V> {
+    // The facade's own state is never recorded as accessed — all commit
+    // traffic routes through the per-partition anchor participants — so
+    // the manager never invokes these.  They behave sensibly anyway for
+    // direct callers.
+    fn state_id(&self) -> StateId {
+        self.facade_id
+    }
+
+    fn state_name(&self) -> &str {
+        &self.name
+    }
+
+    fn precommit(&self, _tx: &Tx) -> Result<()> {
+        Ok(())
+    }
+
+    fn apply(&self, _tx: &Tx, _cts: Timestamp) -> Result<()> {
+        Ok(())
+    }
+
+    fn rollback(&self, _tx: &Tx) {}
+
+    fn finalize(&self, _tx: &Tx) {}
+
+    fn has_writes(&self, tx: &Tx) -> bool {
+        self.pc.parts.iter().enumerate().any(|(p, core)| {
+            core.sub(tx)
+                .map(|sub| self.shards[p].has_writes(&sub))
+                .unwrap_or(false)
+        })
+    }
+}
+
+impl<K: KeyType, V: ValueType> TransactionalTable<K, V> for PartitionedTable<K, V> {
+    fn read(&self, tx: &Tx, key: &K) -> Result<Option<V>> {
+        self.with_sub(tx, key, |shard, sub| shard.read(sub, key))?
+    }
+
+    fn write(&self, tx: &Tx, key: K, value: V) -> Result<()> {
+        let p = self.partition_of(&key);
+        let sub = self.pc.ensure_sub(tx, p)?;
+        self.shards[p].write(&sub, key, value)
+    }
+
+    fn delete(&self, tx: &Tx, key: K) -> Result<()> {
+        let p = self.partition_of(&key);
+        let sub = self.pc.ensure_sub(tx, p)?;
+        self.shards[p].delete(&sub, key)
+    }
+
+    /// A whole-table scan touches every partition, making the transaction
+    /// cross-partition.  Each partition contributes a consistent snapshot
+    /// of its shard; the union follows the NMSI rule (per-partition
+    /// snapshots pinned at first access — see the module docs).
+    fn scan(&self, tx: &Tx) -> Result<BTreeMap<K, V>> {
+        let mut out = BTreeMap::new();
+        for p in 0..self.shards.len() {
+            let sub = self.pc.ensure_sub(tx, p)?;
+            out.append(&mut self.shards[p].scan(&sub)?);
+        }
+        Ok(out)
+    }
+
+    fn preload_iter(&self, rows: &mut dyn Iterator<Item = (K, V)>) -> Result<()> {
+        let mut buckets: Vec<Vec<(K, V)>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for (k, v) in rows {
+            buckets[self.partition_of(&k)].push((k, v));
+        }
+        for (p, bucket) in buckets.into_iter().enumerate() {
+            if !bucket.is_empty() {
+                self.shards[p].preload_iter(&mut bucket.into_iter())?;
+            }
+        }
+        Ok(())
+    }
+
+    fn is_persistent(&self) -> bool {
+        self.persistent
+    }
+
+    fn as_participant(self: Arc<Self>) -> Arc<dyn TxParticipant> {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::common::TransactionalTableExt;
+
+    fn setup(
+        partitions: usize,
+        protocol: Protocol,
+    ) -> (
+        Arc<PartitionedContext>,
+        Arc<TransactionManager>,
+        Arc<PartitionedTable<u64, u64>>,
+    ) {
+        let pc = PartitionedContext::new(partitions);
+        let mgr = TransactionManager::new(Arc::clone(pc.router_ctx()));
+        pc.attach(&mgr).unwrap();
+        let table = pc.create_table::<u64, u64>(protocol, "kv", |_| None);
+        (pc, mgr, table)
+    }
+
+    #[test]
+    fn basic_read_write_roundtrip_all_protocols() {
+        for protocol in Protocol::ALL {
+            let (_pc, mgr, table) = setup(4, protocol);
+            let tx = mgr.begin().unwrap();
+            for k in 0..32u64 {
+                table.write(&tx, k, k * 10).unwrap();
+            }
+            assert!(mgr.commit(&tx).unwrap().is_some());
+            let q = mgr.begin_read_only().unwrap();
+            for k in 0..32u64 {
+                assert_eq!(table.read(&q, &k).unwrap(), Some(k * 10), "{protocol}");
+            }
+            mgr.commit(&q).unwrap();
+        }
+    }
+
+    #[test]
+    fn single_partition_txn_touches_one_partition() {
+        let pc = PartitionedContext::new(4);
+        let mgr = TransactionManager::new(Arc::clone(pc.router_ctx()));
+        pc.attach(&mgr).unwrap();
+        let table = pc.create_table_with::<u64, u64>(
+            Protocol::Mvcc,
+            "kv",
+            |_| None,
+            Arc::new(RangePartitioner::new(vec![100, 200, 300])),
+        );
+        let tx = mgr.begin().unwrap();
+        table.write(&tx, 150, 1).unwrap(); // partition 1
+        table.write(&tx, 199, 2).unwrap(); // partition 1
+                                           // Only partition 1 carries an active sub-transaction.
+        let active: Vec<usize> = (0..4).map(|p| pc.partition_ctx(p).active_count()).collect();
+        assert_eq!(active, vec![0, 1, 0, 0]);
+        mgr.commit(&tx).unwrap();
+        for p in 0..4 {
+            assert_eq!(pc.partition_ctx(p).active_count(), 0, "slot leak on p{p}");
+        }
+    }
+
+    #[test]
+    fn cross_partition_commit_is_all_or_nothing_on_conflict() {
+        let (_pc, mgr, table) = setup(2, Protocol::Mvcc);
+        let table = table as Arc<PartitionedTable<u64, u64>>;
+        // Find keys on different partitions.
+        let (a, b) = distinct_partition_keys(&table);
+        let t1 = mgr.begin().unwrap();
+        let t2 = mgr.begin().unwrap();
+        table.write(&t1, a, 1).unwrap();
+        table.write(&t1, b, 1).unwrap();
+        table.write(&t2, a, 2).unwrap(); // conflicts with t1 on a's partition
+        table.write(&t2, b, 2).unwrap();
+        mgr.commit(&t1).unwrap();
+        let err = mgr.commit(&t2).unwrap_err();
+        assert!(err.is_retryable());
+        // Nothing of t2 survived on either partition.
+        let q = mgr.begin_read_only().unwrap();
+        assert_eq!(table.read(&q, &a).unwrap(), Some(1));
+        assert_eq!(table.read(&q, &b).unwrap(), Some(1));
+        mgr.commit(&q).unwrap();
+    }
+
+    #[test]
+    fn scan_unions_partitions_and_own_writes() {
+        let (_pc, mgr, table) = setup(3, Protocol::Mvcc);
+        table.preload((0..30u64).map(|k| (k, k))).unwrap();
+        let tx = mgr.begin().unwrap();
+        table.write(&tx, 100, 100).unwrap();
+        table.delete(&tx, 3).unwrap();
+        let snap = table.scan(&tx).unwrap();
+        assert_eq!(snap.len(), 30); // 30 preloaded - 1 deleted + 1 written
+        assert_eq!(snap.get(&100), Some(&100));
+        assert!(!snap.contains_key(&3));
+        mgr.abort(&tx).unwrap();
+    }
+
+    #[test]
+    fn partitioner_routes_stably() {
+        let hp = HashPartitioner;
+        for k in 0u64..1000 {
+            let p1 = hp.partition_of(&k, 8);
+            let p2 = hp.partition_of(&k, 8);
+            assert_eq!(p1, p2);
+            assert!(p1 < 8);
+        }
+        let rp = RangePartitioner::new(vec![10u64, 20]);
+        assert_eq!(rp.partition_of(&5, 3), 0);
+        assert_eq!(rp.partition_of(&10, 3), 1);
+        assert_eq!(rp.partition_of(&25, 3), 2);
+    }
+
+    #[test]
+    fn use_before_attach_is_rejected() {
+        let pc = PartitionedContext::new(2);
+        let mgr = TransactionManager::new(Arc::clone(pc.router_ctx()));
+        let table = pc.create_table::<u64, u64>(Protocol::Mvcc, "kv", |_| None);
+        let tx = mgr.begin().unwrap();
+        assert!(table.write(&tx, 1, 1).is_err());
+        mgr.abort(&tx).unwrap();
+    }
+
+    #[test]
+    fn per_partition_stats_observe_traffic() {
+        let (pc, mgr, table) = setup(2, Protocol::Mvcc);
+        let (a, _b) = distinct_partition_keys(&table);
+        for _ in 0..5 {
+            let tx = mgr.begin().unwrap();
+            table.write(&tx, a, 1).unwrap();
+            mgr.commit(&tx).unwrap();
+        }
+        let stats = pc.partition_stats();
+        let pa = table.partition_of(&a);
+        assert_eq!(stats[pa].committed, 5);
+        assert_eq!(stats[1 - pa].committed, 0);
+    }
+
+    /// Two keys guaranteed to live on different partitions of a 2-way
+    /// hash-partitioned table.
+    fn distinct_partition_keys(table: &PartitionedTable<u64, u64>) -> (u64, u64) {
+        let a = 0u64;
+        let pa = table.partition_of(&a);
+        for b in 1u64..10_000 {
+            if table.partition_of(&b) != pa {
+                return (a, b);
+            }
+        }
+        panic!("hash partitioner never split 10k keys");
+    }
+}

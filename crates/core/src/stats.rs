@@ -19,6 +19,7 @@
 //!   concurrent transactions never contend on a stats word.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use tsp_common::CachePadded;
 
 /// Default stripe count used by [`TxStats::new`]; contexts size their stats
@@ -106,6 +107,13 @@ pub struct TxStats {
     pub gc_runs: CachePadded<AtomicU64>,
     /// Versions reclaimed by garbage collection.
     pub gc_reclaimed: CachePadded<AtomicU64>,
+    /// Batches currently queued in the asynchronous persistence writers —
+    /// a *gauge*, not a counter: the `Arc` is shared with every
+    /// `BatchWriter` of the owning context's durability hub, which
+    /// increments it on enqueue and decrements it on drain.  Always 0 with
+    /// synchronous persistence.  Not touched by [`TxStats::reset`] (zeroing
+    /// a live gauge would corrupt it).
+    pub persist_queue_depth: Arc<AtomicU64>,
 }
 
 impl TxStats {
@@ -165,6 +173,7 @@ impl TxStats {
             writes: self.writes.sum(),
             gc_runs: self.gc_runs.load(Ordering::Relaxed),
             gc_reclaimed: self.gc_reclaimed.load(Ordering::Relaxed),
+            persist_queue_depth: self.persist_queue_depth.load(Ordering::Relaxed),
         }
     }
 
@@ -210,6 +219,9 @@ pub struct TxStatsSnapshot {
     pub gc_runs: u64,
     /// Versions reclaimed.
     pub gc_reclaimed: u64,
+    /// Batches queued in the asynchronous persistence writers at snapshot
+    /// time (0 with synchronous persistence).
+    pub persist_queue_depth: u64,
 }
 
 impl TxStatsSnapshot {

@@ -46,6 +46,18 @@
 //! silently dropped.  [`BatchWriter::kill_and_abandon_queue`] simulates a
 //! crash for recovery tests: the thread stops without draining, losing the
 //! queued suffix exactly like a power failure would.
+//!
+//! # Backpressure
+//!
+//! The queue is **bounded** ([`DEFAULT_QUEUE_CAPACITY`] batches unless
+//! overridden via [`BatchWriter::spawn_with`]).  When commits outpace the
+//! backend, [`BatchWriter::enqueue`] *blocks* inside the group-commit
+//! critical section until the writer thread drains, turning an unbounded
+//! memory backlog (and an unbounded visible-but-not-durable window) into
+//! commit-path latency — the same flow-control shape as a WAL buffer
+//! filling up.  The current depth is observable through
+//! [`BatchWriter::queued_len`] and, when a depth gauge is attached, through
+//! the owning context's `TxStats`.
 
 use crate::backend::{StorageBackend, WriteBatch};
 use parking_lot::{Condvar, Mutex};
@@ -53,6 +65,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use tsp_common::{Result, Timestamp, TspError};
+
+/// Default bound on the number of queued batches per writer.  Each queued
+/// batch is one group-commit's worth of durable work, so the default allows
+/// a deep pipeline before backpressure engages while still bounding both
+/// memory and the visible-but-not-yet-durable window.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
 
 /// Queue and lifecycle state shared with the writer thread.
 struct WriterState {
@@ -71,6 +89,11 @@ struct WriterState {
 struct Shared {
     backend: Arc<dyn StorageBackend>,
     state: Mutex<WriterState>,
+    /// Maximum queued batches before `enqueue` blocks (backpressure).
+    capacity: usize,
+    /// Optional externally owned gauge mirroring the queue depth (wired to
+    /// the owning context's `TxStats` by the durability hub).
+    depth_gauge: Option<Arc<AtomicU64>>,
     /// Wakes the writer thread when work (or shutdown) arrives.
     work: Condvar,
     /// Wakes durability waiters when the watermark (or the error) moves.
@@ -91,8 +114,20 @@ pub struct BatchWriter {
 }
 
 impl BatchWriter {
-    /// Spawns the writer thread for `backend`.
+    /// Spawns the writer thread for `backend` with the default queue bound
+    /// ([`DEFAULT_QUEUE_CAPACITY`]) and no depth gauge.
     pub fn spawn(backend: Arc<dyn StorageBackend>) -> Arc<Self> {
+        Self::spawn_with(backend, DEFAULT_QUEUE_CAPACITY, None)
+    }
+
+    /// Spawns the writer thread for `backend` with an explicit queue bound
+    /// (clamped to at least 1) and an optional depth gauge the writer keeps
+    /// equal to its queue length.
+    pub fn spawn_with(
+        backend: Arc<dyn StorageBackend>,
+        capacity: usize,
+        depth_gauge: Option<Arc<AtomicU64>>,
+    ) -> Arc<Self> {
         let shared = Arc::new(Shared {
             backend,
             state: Mutex::new(WriterState {
@@ -102,6 +137,8 @@ impl BatchWriter {
                 abandoned: false,
                 error: None,
             }),
+            capacity: capacity.max(1),
+            depth_gauge,
             work: Condvar::new(),
             done: Condvar::new(),
             durable: AtomicU64::new(0),
@@ -126,27 +163,48 @@ impl BatchWriter {
     }
 
     /// Enqueues the durable work of one commit.  Called from inside the
-    /// group-commit critical section: a queue push and a wakeup, no I/O.
+    /// group-commit critical section: normally a queue push and a wakeup,
+    /// no I/O — but when the queue is at capacity this **blocks** until the
+    /// writer thread drains (backpressure: the commit path slows to the
+    /// backend's sustained rate instead of growing an unbounded backlog).
     ///
     /// Returns the sticky error if the writer has already failed or been
     /// shut down — the caller must then abort the commit rather than let a
     /// never-persisted transaction become visible.
     pub fn enqueue(&self, cts: Timestamp, batch: WriteBatch) -> Result<()> {
         let mut st = self.shared.state.lock();
-        if let Some(e) = &st.error {
-            return Err(TspError::Io(std::io::Error::other(format!(
-                "persistence writer failed earlier: {e}"
-            ))));
-        }
-        if st.shutdown || st.abandoned {
-            return Err(TspError::Io(std::io::Error::other(
-                "persistence writer is shut down",
-            )));
+        loop {
+            if let Some(e) = &st.error {
+                return Err(TspError::Io(std::io::Error::other(format!(
+                    "persistence writer failed earlier: {e}"
+                ))));
+            }
+            if st.shutdown || st.abandoned {
+                return Err(TspError::Io(std::io::Error::other(
+                    "persistence writer is shut down",
+                )));
+            }
+            if st.queue.len() < self.shared.capacity {
+                break;
+            }
+            // Full: wait for the writer thread to drain.  `done` is
+            // notified after every applied batch (and on failure/abandon),
+            // so this wakes as soon as space exists or progress is
+            // impossible.
+            self.shared.done.wait(&mut st);
         }
         st.queue.push((cts, batch));
+        if let Some(g) = &self.shared.depth_gauge {
+            g.fetch_add(1, Ordering::Relaxed);
+        }
         self.shared.ever_enqueued.store(true, Ordering::Release);
         self.shared.work.notify_one();
         Ok(())
+    }
+
+    /// The queue bound this writer was spawned with.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
     }
 
     /// True once this writer has ever been handed work.  A writer that
@@ -223,6 +281,13 @@ impl BatchWriter {
         {
             let mut st = self.shared.state.lock();
             st.abandoned = true;
+            // The abandoned queue will never drain: take its depth back out
+            // of the gauge so the context-level stat does not stick.  The
+            // entries themselves stay (durability waiters must keep seeing
+            // "abandoned with work pending", not a clean drain).
+            if let Some(g) = &self.shared.depth_gauge {
+                g.fetch_sub(st.queue.len() as u64, Ordering::Relaxed);
+            }
             self.shared.work.notify_all();
             self.shared.done.notify_all();
         }
@@ -279,6 +344,12 @@ fn writer_loop(shared: &Shared) {
             // caveat.
             drained.sort_by_key(|(cts, _)| *cts);
             st.writing = true;
+            if let Some(g) = &shared.depth_gauge {
+                g.fetch_sub(drained.len() as u64, Ordering::Relaxed);
+            }
+            // The queue just went empty: wake any enqueuer blocked on
+            // backpressure so it can refill while we apply this drain.
+            shared.done.notify_all();
             drained
         };
         let max_cts = drained.last().map(|(cts, _)| *cts).unwrap_or(0);
@@ -305,6 +376,11 @@ fn writer_loop(shared: &Shared) {
                 }
                 Err(e) => {
                     st.error = Some(e.to_string());
+                    // Work enqueued during the failed write will never
+                    // drain — keep the gauge honest.
+                    if let Some(g) = &shared.depth_gauge {
+                        g.fetch_sub(st.queue.len() as u64, Ordering::Relaxed);
+                    }
                     shared.done.notify_all();
                     return; // sticky failure: stop consuming work
                 }
@@ -339,11 +415,21 @@ mod tests {
 
     #[test]
     fn coalescing_preserves_last_write_wins() {
-        let backend = Arc::new(BTreeBackend::new());
-        let writer = BatchWriter::spawn(backend.clone());
+        // Park the writer inside `write_batch` on a sentinel batch so the
+        // two out-of-order batches are guaranteed to share one drain — the
+        // re-sort only happens within a drain, and an unparked writer could
+        // race ahead, apply cts 30 alone and let the later-arriving cts 25
+        // win instead.
+        let backend = GatedBackend::new();
+        let writer = BatchWriter::spawn(backend.clone() as Arc<dyn StorageBackend>);
+        writer.enqueue(10, batch(1, 1)).unwrap();
+        while writer.queued_len() > 0 {
+            std::thread::yield_now(); // writer picked the sentinel up and is parked
+        }
         // Enqueue out of cts order on purpose: the drain re-sorts.
         writer.enqueue(30, batch(7, 30)).unwrap();
         writer.enqueue(25, batch(7, 25)).unwrap();
+        backend.release();
         writer.sync_barrier().unwrap();
         assert_eq!(backend.get(&[7]).unwrap(), Some(vec![30]));
     }
@@ -367,6 +453,108 @@ mod tests {
             }
         } // drop joins after draining
         assert_eq!(backend.len(), 50);
+    }
+
+    /// A backend whose `write_batch` blocks until released — for exercising
+    /// backpressure deterministically.
+    struct GatedBackend {
+        inner: BTreeBackend,
+        gate: Mutex<bool>,
+        open: Condvar,
+    }
+
+    impl GatedBackend {
+        fn new() -> Arc<Self> {
+            Arc::new(GatedBackend {
+                inner: BTreeBackend::new(),
+                gate: Mutex::new(false),
+                open: Condvar::new(),
+            })
+        }
+
+        fn release(&self) {
+            *self.gate.lock() = true;
+            self.open.notify_all();
+        }
+    }
+
+    impl StorageBackend for GatedBackend {
+        fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+            self.inner.get(key)
+        }
+        fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+            self.inner.put(key, value)
+        }
+        fn delete(&self, key: &[u8]) -> Result<()> {
+            self.inner.delete(key)
+        }
+        fn write_batch(&self, batch: &WriteBatch) -> Result<()> {
+            let mut open = self.gate.lock();
+            while !*open {
+                self.open.wait(&mut open);
+            }
+            drop(open);
+            self.inner.write_batch(batch)
+        }
+        fn scan(&self, visit: &mut dyn FnMut(&[u8], &[u8]) -> bool) -> Result<()> {
+            self.inner.scan(visit)
+        }
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+        fn sync(&self) -> Result<()> {
+            self.inner.sync()
+        }
+        fn name(&self) -> &'static str {
+            "gated-btree"
+        }
+    }
+
+    #[test]
+    fn enqueue_blocks_at_capacity_and_resumes_after_drain() {
+        let backend = GatedBackend::new();
+        let gauge = Arc::new(AtomicU64::new(0));
+        let writer = BatchWriter::spawn_with(backend.clone(), 2, Some(Arc::clone(&gauge)));
+        assert_eq!(writer.capacity(), 2);
+        // First enqueue is drained immediately into the (blocked) write;
+        // two more fill the bounded queue.
+        writer.enqueue(1, batch(1, 1)).unwrap();
+        while writer.queued_len() > 0 {
+            std::thread::yield_now(); // wait for the writer thread to drain it
+        }
+        writer.enqueue(2, batch(2, 2)).unwrap();
+        writer.enqueue(3, batch(3, 3)).unwrap();
+        assert_eq!(writer.queued_len(), 2);
+        assert_eq!(gauge.load(Ordering::Relaxed), 2);
+
+        // The fourth enqueue must block until the backend is released.
+        let blocked = {
+            let writer = Arc::clone(&writer);
+            std::thread::spawn(move || writer.enqueue(4, batch(4, 4)))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(!blocked.is_finished(), "enqueue should block at capacity");
+
+        backend.release();
+        blocked.join().unwrap().unwrap();
+        writer.sync_barrier().unwrap();
+        assert_eq!(gauge.load(Ordering::Relaxed), 0);
+        for k in 1..=4u8 {
+            assert_eq!(backend.get(&[k]).unwrap(), Some(vec![k]));
+        }
+    }
+
+    #[test]
+    fn depth_gauge_tracks_enqueue_and_drain() {
+        let backend = GatedBackend::new();
+        let gauge = Arc::new(AtomicU64::new(0));
+        let writer = BatchWriter::spawn_with(backend.clone(), 64, Some(Arc::clone(&gauge)));
+        writer.enqueue(1, batch(1, 1)).unwrap();
+        writer.enqueue(2, batch(2, 2)).unwrap();
+        assert!(gauge.load(Ordering::Relaxed) >= 1);
+        backend.release();
+        writer.sync_barrier().unwrap();
+        assert_eq!(gauge.load(Ordering::Relaxed), 0);
     }
 
     #[test]

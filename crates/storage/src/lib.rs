@@ -35,7 +35,7 @@ pub mod stats;
 pub mod wal;
 
 pub use backend::{BatchOp, StorageBackend, SyncPolicy, WriteBatch};
-pub use batch_writer::BatchWriter;
+pub use batch_writer::{BatchWriter, DEFAULT_QUEUE_CAPACITY};
 pub use bloom::Bloom;
 pub use cache::{CacheStats, CachedBackend, LruCache};
 pub use checkpoint::{create_checkpoint, read_checkpoint_info, restore_checkpoint, CheckpointInfo};
@@ -49,7 +49,7 @@ pub use stats::{InstrumentedBackend, StorageStats, StorageStatsSnapshot};
 /// Frequently used items, re-exported for `use tsp_storage::prelude::*`.
 pub mod prelude {
     pub use crate::backend::{BatchOp, StorageBackend, SyncPolicy, WriteBatch};
-    pub use crate::batch_writer::BatchWriter;
+    pub use crate::batch_writer::{BatchWriter, DEFAULT_QUEUE_CAPACITY};
     pub use crate::bloom::Bloom;
     pub use crate::cache::{CacheStats, CachedBackend, LruCache};
     pub use crate::checkpoint::{

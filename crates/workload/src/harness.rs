@@ -16,15 +16,15 @@
 //! Figure 4.
 
 use crate::metrics::{throughput_ktps, LatencyRecorder};
-use crate::zipf::{ZipfSampler, ZipfTable};
+use crate::zipf::{KeyGen, ZipfTable};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 use tsp_common::{Result, TspError};
 use tsp_core::{
-    StateContext, TableHandle, TransactionManager, TransactionalTableExt, TxStatsSnapshot,
-    MAX_ACTIVE_TXNS,
+    PartitionedContext, RangePartitioner, StateContext, TableHandle, TransactionManager,
+    TransactionalTableExt, TxStatsSnapshot, MAX_ACTIVE_TXNS,
 };
 use tsp_storage::{LsmOptions, LsmStore, StorageBackend, SyncPolicy};
 
@@ -79,6 +79,13 @@ pub struct WorkloadConfig {
     /// Directory for persistent base tables (a per-run subdirectory is
     /// created and removed); defaults to the system temp directory.
     pub data_dir: Option<PathBuf>,
+    /// Key-space partitions.  `1` (the default) runs a single
+    /// [`StateContext`] exactly as before; `> 1` shards both states over a
+    /// [`PartitionedContext`] with a [`RangePartitioner`] of contiguous
+    /// `table_size / partitions` chunks and per-partition storage
+    /// backends, and switches the workers to partition-local key
+    /// generation (every transaction stays on one partition).
+    pub partitions: usize,
 }
 
 impl Default for WorkloadConfig {
@@ -95,6 +102,7 @@ impl Default for WorkloadConfig {
             writers: 1,
             seed: 42,
             data_dir: None,
+            partitions: 1,
         }
     }
 }
@@ -124,6 +132,7 @@ impl WorkloadConfig {
             writers: 1,
             seed: 7,
             data_dir: None,
+            partitions: 1,
         }
     }
 }
@@ -159,8 +168,17 @@ pub struct RunResult {
     pub reader_p50: Option<Duration>,
     /// 99th-percentile reader-transaction latency.
     pub reader_p99: Option<Duration>,
-    /// Snapshot of the context-wide counters at the end of the run.
+    /// Snapshot of the context-wide counters at the end of the run.  For a
+    /// partitioned run this is the *router* context's snapshot (outer
+    /// begins/commits/aborts); per-partition detail is in
+    /// [`partition_stats`](Self::partition_stats).
     pub stats: TxStatsSnapshot,
+    /// Key-space partitions the run used (1 = single context).
+    pub partitions: usize,
+    /// Per-partition inner-context snapshots (empty for unpartitioned
+    /// runs); index = partition.  Exposes skew: each inner context counts
+    /// its own sub-transaction commits, reads, writes and GC.
+    pub partition_stats: Vec<TxStatsSnapshot>,
 }
 
 impl RunResult {
@@ -188,6 +206,10 @@ pub struct BenchEnv {
     pub mgr: Arc<TransactionManager>,
     /// The two states written by the stream and read by ad-hoc queries.
     pub states: [TableHandle<u32, Vec<u8>>; 2],
+    /// The partitioned context behind the states when
+    /// [`WorkloadConfig::partitions`] > 1 (per-partition stats, GC floors,
+    /// persistence queues); `None` for the classic single-context setup.
+    pub partitioned: Option<Arc<PartitionedContext>>,
     /// Directory holding the persistent base tables, if any (removed on drop).
     data_dir: Option<PathBuf>,
 }
@@ -208,6 +230,9 @@ impl BenchEnv {
         // Size the transaction-slot table for the configured thread count so
         // high-concurrency sweeps aren't capped by the default of 64.
         let capacity = MAX_ACTIVE_TXNS.max(config.readers + config.writers + 2);
+        if config.partitions > 1 {
+            return Self::build_partitioned(config, capacity);
+        }
         let ctx = Arc::new(StateContext::with_capacity(capacity));
         let mgr = TransactionManager::new(Arc::clone(&ctx));
 
@@ -215,22 +240,8 @@ impl BenchEnv {
             match config.storage {
                 StorageKind::InMemory => (vec![None, None], None),
                 StorageKind::LsmSync | StorageKind::LsmNoSync => {
-                    let base = config
-                        .data_dir
-                        .clone()
-                        .unwrap_or_else(std::env::temp_dir)
-                        .join(format!(
-                            "tsp-bench-{}-{}",
-                            std::process::id(),
-                            RUN_COUNTER.fetch_add(1, Ordering::Relaxed)
-                        ));
-                    let opts = match config.storage {
-                        StorageKind::LsmSync => LsmOptions {
-                            sync: SyncPolicy::Always,
-                            ..LsmOptions::default()
-                        },
-                        _ => LsmOptions::no_sync(),
-                    };
+                    let base = Self::fresh_data_dir(config);
+                    let opts = Self::lsm_options(config);
                     let mut backends: Vec<Option<Arc<dyn StorageBackend>>> = Vec::new();
                     for i in 0..2 {
                         let store = LsmStore::open(base.join(format!("state{i}")), opts.clone())?;
@@ -253,17 +264,114 @@ impl BenchEnv {
             [Arc::clone(&states[0]), Arc::clone(&states[1])];
         mgr.register_group(&[states[0].id(), states[1].id()])?;
 
-        // Preload both states: 4-byte keys, `value_size`-byte values.
-        let value = vec![0xABu8; config.value_size];
-        for table in &states {
-            table.preload((0..config.table_size).map(|k| (k as u32, value.clone())))?;
-        }
+        Self::preload(config, &states)?;
 
         Ok(BenchEnv {
             mgr,
             states,
+            partitioned: None,
             data_dir,
         })
+    }
+
+    /// The scale-out variant of [`build`](Self::build): both states are
+    /// sharded over a [`PartitionedContext`] by contiguous
+    /// `table_size / partitions` key ranges, each partition with its own
+    /// clock, commit lock, GC floor and (for persistent storage) its own
+    /// LSM base table under `state{i}/p{p}`.
+    fn build_partitioned(config: &WorkloadConfig, capacity: usize) -> Result<Self> {
+        let parts = config.partitions;
+        if config.table_size < parts as u64 {
+            return Err(TspError::config(format!(
+                "table_size {} is smaller than the partition count {parts}",
+                config.table_size
+            )));
+        }
+        let pc = PartitionedContext::with_capacity(parts, capacity);
+        let mgr = TransactionManager::new(Arc::clone(pc.router_ctx()));
+        pc.attach(&mgr)?;
+
+        // Per-state × per-partition backends.
+        type PartitionBackends = Vec<Vec<Option<Arc<dyn StorageBackend>>>>;
+        let (backends, data_dir): (PartitionBackends, Option<PathBuf>) = match config.storage {
+            StorageKind::InMemory => (vec![vec![None; parts], vec![None; parts]], None),
+            StorageKind::LsmSync | StorageKind::LsmNoSync => {
+                let base = Self::fresh_data_dir(config);
+                let opts = Self::lsm_options(config);
+                let mut per_state = Vec::with_capacity(2);
+                for i in 0..2 {
+                    let mut per_part: Vec<Option<Arc<dyn StorageBackend>>> =
+                        Vec::with_capacity(parts);
+                    for p in 0..parts {
+                        let store =
+                            LsmStore::open(base.join(format!("state{i}/p{p}")), opts.clone())?;
+                        per_part.push(Some(Arc::new(store) as Arc<dyn StorageBackend>));
+                    }
+                    per_state.push(per_part);
+                }
+                (per_state, Some(base))
+            }
+        };
+
+        // Contiguous chunks: partition p owns [p·chunk, (p+1)·chunk), the
+        // last partition absorbing the remainder.
+        let chunk = config.table_size / parts as u64;
+        let bounds: Vec<u32> = (1..parts).map(|p| (p as u64 * chunk) as u32).collect();
+
+        let mut states = Vec::with_capacity(2);
+        for (i, mut per_part) in backends.into_iter().enumerate() {
+            let table: TableHandle<u32, Vec<u8>> = pc.create_table_with(
+                config.protocol,
+                format!("measurements{}", i + 1),
+                |p| per_part[p].take(),
+                Arc::new(RangePartitioner::new(bounds.clone())),
+            );
+            states.push(table);
+        }
+        let states: [TableHandle<u32, Vec<u8>>; 2] =
+            [Arc::clone(&states[0]), Arc::clone(&states[1])];
+
+        Self::preload(config, &states)?;
+
+        Ok(BenchEnv {
+            mgr,
+            states,
+            partitioned: Some(pc),
+            data_dir,
+        })
+    }
+
+    /// A unique per-run directory for persistent base tables.
+    fn fresh_data_dir(config: &WorkloadConfig) -> PathBuf {
+        config
+            .data_dir
+            .clone()
+            .unwrap_or_else(std::env::temp_dir)
+            .join(format!(
+                "tsp-bench-{}-{}",
+                std::process::id(),
+                RUN_COUNTER.fetch_add(1, Ordering::Relaxed)
+            ))
+    }
+
+    /// LSM options matching the configured [`StorageKind`].
+    fn lsm_options(config: &WorkloadConfig) -> LsmOptions {
+        match config.storage {
+            StorageKind::LsmSync => LsmOptions {
+                sync: SyncPolicy::Always,
+                ..LsmOptions::default()
+            },
+            _ => LsmOptions::no_sync(),
+        }
+    }
+
+    /// Preloads both states: 4-byte keys, `value_size`-byte values.
+    fn preload(config: &WorkloadConfig, states: &[TableHandle<u32, Vec<u8>>; 2]) -> Result<()> {
+        let value = vec![0xABu8; config.value_size];
+        for table in states {
+            table.preload((0..config.table_size).map(|k| (k as u32, value.clone())))?;
+        }
+        Ok(())
     }
 }
 
@@ -282,10 +390,30 @@ pub fn run_in(config: &WorkloadConfig, env: &BenchEnv) -> Result<RunResult> {
             "readers + writers must stay below the context's {capacity} transaction slots",
         )));
     }
-    let zipf = ZipfTable::new(config.table_size.max(1), config.theta, true);
+    let env_partitions = env.partitioned.as_ref().map(|pc| pc.partitions());
+    if env_partitions.unwrap_or(1) != config.partitions.max(1) {
+        return Err(TspError::config(format!(
+            "config wants {} partitions but the environment was built with {}",
+            config.partitions.max(1),
+            env_partitions.unwrap_or(1),
+        )));
+    }
+    // Partitioned runs draw Zipf offsets within one chunk; unpartitioned
+    // runs draw over the full key space.
+    let key_space = if config.partitions > 1 {
+        (config.table_size / config.partitions as u64).max(1)
+    } else {
+        config.table_size.max(1)
+    };
+    let zipf = ZipfTable::new(key_space, config.theta, true);
     let stop = Arc::new(AtomicBool::new(false));
     let barrier = Arc::new(Barrier::new(config.readers + config.writers + 1));
     env.mgr.context().stats().reset();
+    if let Some(pc) = &env.partitioned {
+        for p in 0..pc.partitions() {
+            pc.partition_ctx(p).stats().reset();
+        }
+    }
 
     let mut writer_handles = Vec::new();
     for w in 0..config.writers {
@@ -293,7 +421,11 @@ pub fn run_in(config: &WorkloadConfig, env: &BenchEnv) -> Result<RunResult> {
         let states = [Arc::clone(&env.states[0]), Arc::clone(&env.states[1])];
         let stop = Arc::clone(&stop);
         let barrier = Arc::clone(&barrier);
-        let mut sampler = ZipfSampler::new(Arc::clone(&zipf), config.seed ^ (w as u64 + 1));
+        let mut sampler = KeyGen::new(
+            Arc::clone(&zipf),
+            config.partitions.max(1) as u64,
+            config.seed ^ (w as u64 + 1),
+        );
         let tx_ops = config.tx_ops;
         let value = vec![0xCDu8; config.value_size];
         writer_handles.push(std::thread::spawn(move || -> (u64, u64) {
@@ -301,6 +433,7 @@ pub fn run_in(config: &WorkloadConfig, env: &BenchEnv) -> Result<RunResult> {
             let mut aborted = 0u64;
             barrier.wait();
             while !stop.load(Ordering::Relaxed) {
+                sampler.next_txn();
                 let Ok(tx) = mgr.begin() else {
                     aborted += 1;
                     continue;
@@ -337,8 +470,9 @@ pub fn run_in(config: &WorkloadConfig, env: &BenchEnv) -> Result<RunResult> {
         let states = [Arc::clone(&env.states[0]), Arc::clone(&env.states[1])];
         let stop = Arc::clone(&stop);
         let barrier = Arc::clone(&barrier);
-        let mut sampler = ZipfSampler::new(
+        let mut sampler = KeyGen::new(
             Arc::clone(&zipf),
+            config.partitions.max(1) as u64,
             config.seed ^ 0xDEAD_BEEF ^ (r as u64 * 31 + 7),
         );
         let tx_ops = config.tx_ops;
@@ -350,6 +484,7 @@ pub fn run_in(config: &WorkloadConfig, env: &BenchEnv) -> Result<RunResult> {
                 barrier.wait();
                 while !stop.load(Ordering::Relaxed) {
                     let started = Instant::now();
+                    sampler.next_txn();
                     let Ok(tx) = mgr.begin_read_only() else {
                         aborted += 1;
                         continue;
@@ -425,6 +560,12 @@ pub fn run_in(config: &WorkloadConfig, env: &BenchEnv) -> Result<RunResult> {
         reader_p50: latencies.quantile(0.5),
         reader_p99: latencies.quantile(0.99),
         stats: env.mgr.context().stats().snapshot(),
+        partitions: config.partitions.max(1),
+        partition_stats: env
+            .partitioned
+            .as_ref()
+            .map(|pc| pc.partition_stats())
+            .unwrap_or_default(),
     })
 }
 
@@ -507,6 +648,76 @@ mod tests {
         assert!(env.mgr.context().max_active_txns() >= 102);
         let result = run_in(&config, &env).unwrap();
         assert!(result.reader_committed > 0);
+    }
+
+    #[test]
+    fn partitioned_quick_run_all_protocols_make_progress() {
+        for protocol in Protocol::ALL {
+            let config = WorkloadConfig {
+                partitions: 2,
+                ..WorkloadConfig::quick(protocol)
+            };
+            let result = run(&config).unwrap();
+            assert!(
+                result.reader_committed > 0,
+                "{} partitioned readers made no progress",
+                protocol.name()
+            );
+            assert!(
+                result.writer_committed > 0,
+                "{} partitioned writer made no progress",
+                protocol.name()
+            );
+            assert_eq!(result.partitions, 2);
+            assert_eq!(result.partition_stats.len(), 2);
+            // Partition-local key generation spreads transactions over both
+            // partitions, and each inner context counts its own commits.
+            assert!(
+                result.partition_stats.iter().all(|s| s.committed > 0),
+                "{} left a partition idle: {:?}",
+                protocol.name(),
+                result.partition_stats
+            );
+        }
+    }
+
+    #[test]
+    fn partitioned_lsm_storage_works_end_to_end() {
+        let config = WorkloadConfig {
+            storage: StorageKind::LsmSync,
+            table_size: 500,
+            duration: Duration::from_millis(150),
+            readers: 2,
+            partitions: 2,
+            ..WorkloadConfig::quick(Protocol::Mvcc)
+        };
+        let result = run(&config).unwrap();
+        assert!(result.reader_committed > 0);
+        assert!(result.writer_committed > 0);
+    }
+
+    #[test]
+    fn run_in_rejects_partition_count_mismatch() {
+        let config = WorkloadConfig {
+            partitions: 2,
+            ..WorkloadConfig::quick(Protocol::Mvcc)
+        };
+        let env = BenchEnv::build(&config).unwrap();
+        let wrong = WorkloadConfig {
+            partitions: 1,
+            ..config
+        };
+        assert!(run_in(&wrong, &env).is_err());
+    }
+
+    #[test]
+    fn build_rejects_more_partitions_than_keys() {
+        let config = WorkloadConfig {
+            partitions: 10,
+            table_size: 5,
+            ..WorkloadConfig::quick(Protocol::Mvcc)
+        };
+        assert!(BenchEnv::build(&config).is_err());
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub use histogram::Histogram;
 pub use metrics::{throughput_ktps, LatencyRecorder};
 pub use smartmeter::{MeterReading, MeterSpec, SmartMeterConfig, SmartMeterGenerator};
 pub use ycsb::{run_ycsb, YcsbConfig, YcsbMix, YcsbOp, YcsbResult};
-pub use zipf::{ZipfSampler, ZipfTable};
+pub use zipf::{KeyGen, PartitionLocalSampler, ZipfSampler, ZipfTable};
 
 /// Frequently used items, re-exported for `use tsp_workload::prelude::*`.
 pub mod prelude {
@@ -44,6 +44,6 @@ pub mod prelude {
         violates_spec, MeterReading, MeterSpec, SmartMeterConfig, SmartMeterGenerator,
     };
     pub use crate::ycsb::{run_ycsb, YcsbConfig, YcsbMix, YcsbOp, YcsbResult};
-    pub use crate::zipf::{ZipfSampler, ZipfTable};
+    pub use crate::zipf::{KeyGen, PartitionLocalSampler, ZipfSampler, ZipfTable};
     pub use tsp_core::{TableHandle, TransactionalTable, TransactionalTableExt};
 }

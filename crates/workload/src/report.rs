@@ -130,6 +130,8 @@ mod tests {
             reader_p50: Some(Duration::from_micros(50)),
             reader_p99: Some(Duration::from_micros(900)),
             stats: TxStatsSnapshot::default(),
+            partitions: 1,
+            partition_stats: Vec::new(),
         }
     }
 

@@ -138,6 +138,117 @@ impl ZipfSampler {
     }
 }
 
+/// A partition-local key generator for scale-out sweeps.
+///
+/// With a [`RangePartitioner`](../../tsp_core/partition) over contiguous
+/// key chunks, a transaction stays single-partition exactly when all its
+/// keys fall in one chunk.  This sampler models such *partitionable*
+/// workloads: [`next_txn`](Self::next_txn) picks the transaction's home
+/// partition (uniformly, deterministic per seed), and every subsequent
+/// [`next_key`](Self::next_key) draws a Zipfian offset *within that
+/// partition's chunk* — so skew exists inside each partition but
+/// transactions never straddle two.
+///
+/// The underlying [`ZipfTable`] must be sized to the *chunk*, not the full
+/// key space.
+#[derive(Debug)]
+pub struct PartitionLocalSampler {
+    sampler: ZipfSampler,
+    partitions: u64,
+    chunk: u64,
+    base: u64,
+    /// xorshift state for partition picks, kept separate from the Zipf
+    /// RNG so key sequences within a partition are seed-stable regardless
+    /// of partition count.
+    pick: u64,
+}
+
+impl PartitionLocalSampler {
+    /// Creates a sampler over `partitions` chunks of `chunk` keys each;
+    /// `chunk_table` must satisfy `chunk_table.n() == chunk`.
+    pub fn new(chunk_table: Arc<ZipfTable>, partitions: u64, chunk: u64, seed: u64) -> Self {
+        assert!(partitions >= 1 && chunk >= 1);
+        assert_eq!(chunk_table.n(), chunk, "Zipf table must cover one chunk");
+        PartitionLocalSampler {
+            sampler: ZipfSampler::new(chunk_table, seed),
+            partitions,
+            chunk,
+            base: 0,
+            pick: seed | 1,
+        }
+    }
+
+    /// Starts a new transaction: picks (and returns) its home partition.
+    pub fn next_txn(&mut self) -> usize {
+        self.pick ^= self.pick << 13;
+        self.pick ^= self.pick >> 7;
+        self.pick ^= self.pick << 17;
+        let p = self.pick % self.partitions;
+        self.base = p * self.chunk;
+        p as usize
+    }
+
+    /// Draws the next key from the current transaction's home partition.
+    pub fn next_key(&mut self) -> u64 {
+        self.base + self.sampler.next_key()
+    }
+
+    /// [`next_key`](Self::next_key) as `u32` (the paper's 4-byte keys).
+    pub fn next_key_u32(&mut self) -> u32 {
+        (self.next_key() & 0xFFFF_FFFF) as u32
+    }
+}
+
+/// A per-thread key generator that is either a global [`ZipfSampler`]
+/// (one partition) or a [`PartitionLocalSampler`] (scale-out runs): the
+/// shared abstraction the harness and the benches thread their key draws
+/// through, so a single `--partitions` knob flips the workload between
+/// the two shapes.
+#[derive(Debug)]
+pub enum KeyGen {
+    /// Global Zipf draw over the whole key space.
+    Global(ZipfSampler),
+    /// Partition-local draw: a home partition per transaction, Zipfian
+    /// offsets within its chunk.
+    PartitionLocal(PartitionLocalSampler),
+}
+
+impl KeyGen {
+    /// Creates a generator for `partitions` key-space partitions.  With
+    /// `partitions > 1` the `table` must cover one *chunk* (`table.n()` =
+    /// chunk size) and keys range over `partitions · table.n()`; with one
+    /// partition the `table` covers the full key space.
+    pub fn new(table: Arc<ZipfTable>, partitions: u64, seed: u64) -> Self {
+        if partitions > 1 {
+            let chunk = table.n();
+            KeyGen::PartitionLocal(PartitionLocalSampler::new(table, partitions, chunk, seed))
+        } else {
+            KeyGen::Global(ZipfSampler::new(table, seed))
+        }
+    }
+
+    /// Marks a transaction boundary (the home-partition pick, for
+    /// partition-local generators).
+    pub fn next_txn(&mut self) {
+        if let KeyGen::PartitionLocal(s) = self {
+            s.next_txn();
+        }
+    }
+
+    /// Draws the next key.
+    pub fn next_key(&mut self) -> u64 {
+        match self {
+            KeyGen::Global(s) => s.next_key(),
+            KeyGen::PartitionLocal(s) => s.next_key(),
+        }
+    }
+
+    /// [`next_key`](Self::next_key) as `u32` (the paper's 4-byte keys).
+    pub fn next_key_u32(&mut self) -> u32 {
+        (self.next_key() & 0xFFFF_FFFF) as u32
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,5 +356,26 @@ mod tests {
         let table = ZipfTable::new(1, 2.0, true);
         let mut s = ZipfSampler::new(table, 1);
         assert_eq!(s.next_key(), 0);
+    }
+
+    #[test]
+    fn partition_local_keys_stay_in_the_home_chunk() {
+        let chunk = 250u64;
+        let table = ZipfTable::new(chunk, 1.2, true);
+        let mut s = PartitionLocalSampler::new(table, 4, chunk, 99);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let p = s.next_txn();
+            seen[p] = true;
+            for _ in 0..10 {
+                let key = s.next_key();
+                assert!(
+                    key >= p as u64 * chunk && key < (p as u64 + 1) * chunk,
+                    "key {key} escaped partition {p}"
+                );
+            }
+        }
+        // 200 uniform picks over 4 partitions hit every partition.
+        assert!(seen.iter().all(|&b| b), "partition never picked: {seen:?}");
     }
 }
