@@ -332,6 +332,17 @@ impl TransactionManager {
                 return Err(e);
             }
         }
+        // Phase 4: participant-managed publish.  Participants fronting
+        // their own visibility domain (partition anchors publish their
+        // inner context's `LastCTS`) make the commit visible only now,
+        // after *every* participant's durable hand-off succeeded — so a
+        // durable failure above can never undo versions a reader already
+        // saw.  Base tables are no-ops here; their visibility is the outer
+        // group publish performed by the caller.  Infallible: the commit
+        // is decided once phase 3 completes.
+        for p in &writers {
+            p.publish_commit(tx, cts);
+        }
         Ok(cts)
     }
 

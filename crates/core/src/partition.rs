@@ -45,11 +45,15 @@
 //! The `PartitionShard` participant registered for each anchor state
 //! translates the outer commit protocol onto the inner context: inner
 //! validation runs in `precommit`, the inner commit timestamp is drawn
-//! and versions installed in `apply`, persistence + the inner `LastCTS`
-//! publish happen in `apply_durable` — all inside the outer anchor
-//! lock(s), which serialize every committer of that partition.  Inner
-//! group-commit locks are never taken; the anchor lock *is* the
-//! partition's commit lock.
+//! and versions installed in `apply`, persistence happens in
+//! `apply_durable`, and the inner `LastCTS` publish — the store that
+//! makes the partition's half visible — happens in `publish_commit`,
+//! which the manager only reaches after **every** partition's durable
+//! hand-off succeeded (so a late partition's I/O failure can still undo
+//! all partitions' never-published versions without racing readers) —
+//! all inside the outer anchor lock(s), which serialize every committer
+//! of that partition.  Inner group-commit locks are never taken; the
+//! anchor lock *is* the partition's commit lock.
 //!
 //! # The consistent-snapshot rule (what NMSI relaxes)
 //!
@@ -118,23 +122,91 @@ use tsp_storage::StorageBackend;
 
 /// Maps keys to partitions.  Implementations must be pure: the same key
 /// must always map to the same partition for a given partition count.
+///
+/// **On-disk stability.**  With persistent per-partition backends the
+/// assignment is baked into which backend holds which key, so it must
+/// also be stable across *process restarts, toolchain upgrades and
+/// platforms* — recovery routes each key back to the partition whose
+/// backend persisted it, and a drifted assignment silently makes
+/// recovered data unreachable (reads route to the wrong, empty
+/// partition) or misrouted (new writes land beside stale twins).  Do
+/// not build partitioners on hashes whose algorithm is unspecified
+/// (e.g. `DefaultHasher`, documented as free to change between Rust
+/// releases); [`HashPartitioner`] uses a pinned FNV-1a for this reason.
 pub trait Partitioner<K: ?Sized>: Send + Sync {
     /// The partition (`0..partitions`) owning `key`.
     fn partition_of(&self, key: &K, partitions: usize) -> usize;
 }
 
-/// Hash partitioner (the default): a stable `SipHash-1-3` of the key,
-/// reduced modulo the partition count.  Spreads any key type uniformly;
-/// use [`RangePartitioner`] when transactions touch contiguous key runs
-/// that should stay on one partition.
+/// 64-bit FNV-1a over the key's `Hash::hash` byte stream — a fixed,
+/// explicitly versioned algorithm (offset basis `0xcbf29ce484222325`,
+/// prime `0x100000001b3`), vendored so partition assignment can never
+/// drift with the standard library's hasher.  Stability caveat: the
+/// hashed byte stream is whatever the key's `Hash` impl feeds in, so
+/// persistent deployments should stick to keys whose `Hash` is
+/// layout-stable (integers, strings, byte arrays — the std impls write
+/// their value bytes and are stable in practice).
+struct Fnv1aHasher(u64);
+
+impl Fnv1aHasher {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv1aHasher(Self::OFFSET_BASIS)
+    }
+}
+
+impl Hasher for Fnv1aHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    // The default integer methods hash native-endian (and, for usize,
+    // native-width) bytes; pin little-endian 64-bit forms so the
+    // assignment is identical on every platform.
+    fn write_u16(&mut self, i: u16) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_u32(&mut self, i: u32) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_u128(&mut self, i: u128) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_usize(&mut self, i: usize) {
+        self.write_u64(i as u64);
+    }
+}
+
+/// Hash partitioner (the default): a pinned 64-bit FNV-1a of the key,
+/// reduced modulo the partition count.  The algorithm is vendored (not
+/// `DefaultHasher`, whose internals may change between Rust releases)
+/// so the key→partition assignment is stable across processes,
+/// toolchains and platforms — with persistent per-partition backends
+/// the assignment is on-disk state (see [`Partitioner`]).  Spreads any
+/// key type uniformly; use [`RangePartitioner`] when transactions touch
+/// contiguous key runs that should stay on one partition.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct HashPartitioner;
 
 impl<K: Hash + ?Sized> Partitioner<K> for HashPartitioner {
     fn partition_of(&self, key: &K, partitions: usize) -> usize {
-        // DefaultHasher::new() uses fixed keys — stable across processes,
-        // which keeps partition assignment recovery-safe.
-        let mut h = std::collections::hash_map::DefaultHasher::new();
+        let mut h = Fnv1aHasher::new();
         key.hash(&mut h);
         (h.finish() % partitions.max(1) as u64) as usize
     }
@@ -189,6 +261,10 @@ struct InnerEntry {
     groups: Vec<GroupId>,
 }
 
+/// The inner participants a sub-transaction accessed, each paired with
+/// the inner groups its commits publish.
+type AccessedInner = Vec<(Arc<dyn TxParticipant>, Vec<GroupId>)>;
+
 /// Everything one partition owns.
 struct PartitionCore {
     /// The partition's independent context: own clock, slot bitmap, GC
@@ -211,10 +287,14 @@ impl PartitionCore {
 
     /// The inner participants `sub` accessed, in state-id order, paired
     /// with their inner groups.
-    fn accessed(&self, sub: &Tx) -> Vec<(Arc<dyn TxParticipant>, Vec<GroupId>)> {
-        let Ok(states) = self.ctx.accessed_states(sub) else {
-            return Vec::new();
-        };
+    ///
+    /// Errors (the sub-transaction is no longer live on the inner context)
+    /// are propagated, never mapped to "no participants": a swallowed
+    /// error here would skip inner validation and version installation
+    /// while the outer commit still reports success, silently dropping the
+    /// sub-transaction's writes.
+    fn accessed(&self, sub: &Tx) -> Result<AccessedInner> {
+        let states = self.ctx.accessed_states(sub)?;
         let registry = self.inner.read();
         let mut out = Vec::with_capacity(states.len());
         let mut ids: Vec<StateId> = states.into_iter().map(|(s, _)| s).collect();
@@ -224,7 +304,7 @@ impl PartitionCore {
                 out.push((Arc::clone(&e.participant), e.groups.clone()));
             }
         }
-        out
+        Ok(out)
     }
 }
 
@@ -496,7 +576,7 @@ impl TxParticipant for PartitionShard {
         let Some(sub) = core.sub(tx) else {
             return Ok(());
         };
-        for (participant, _) in core.accessed(&sub) {
+        for (participant, _) in core.accessed(&sub)? {
             participant.precommit_coordinated(&sub, txn_has_writes)?;
         }
         Ok(())
@@ -511,9 +591,17 @@ impl TxParticipant for PartitionShard {
         let Some(sub) = core.sub(tx) else {
             return false;
         };
-        core.accessed(&sub)
-            .iter()
-            .any(|(p, _)| p.validation_requires_commit_lock(&sub))
+        match core.accessed(&sub) {
+            Ok(accessed) => accessed
+                .iter()
+                .any(|(p, _)| p.validation_requires_commit_lock(&sub)),
+            Err(_) => {
+                // The sub-transaction is broken; precommit will surface the
+                // error and abort.  Claim the lock conservatively meanwhile.
+                debug_assert!(false, "accessed_states failed for a live sub-transaction");
+                true
+            }
+        }
     }
 
     /// Phase 2: draw the partition's own commit timestamp and install the
@@ -523,10 +611,10 @@ impl TxParticipant for PartitionShard {
         let Some(sub) = core.sub(tx) else {
             return Ok(());
         };
+        let accessed = core.accessed(&sub)?;
         let cts = core.ctx.clock().next_commit_ts();
         core.subs.with_mut(tx, |s| s.pending_cts = Some(cts));
-        let writers: Vec<_> = core
-            .accessed(&sub)
+        let writers: Vec<_> = accessed
             .into_iter()
             .filter(|(p, _)| p.has_writes(&sub))
             .collect();
@@ -542,11 +630,15 @@ impl TxParticipant for PartitionShard {
         Ok(())
     }
 
-    /// Phase 3: persist through the partition's own durability hub and
-    /// publish the inner `LastCTS` — the store that makes this
-    /// partition's half of the transaction visible.  Still under the
-    /// anchor lock, so the per-partition publish order matches the
-    /// commit order.
+    /// Phase 3: persist through the partition's own durability hub.  Still
+    /// under the anchor lock, so the per-partition persistence order
+    /// matches the commit order.  Deliberately does **not** publish the
+    /// inner `LastCTS`: in a cross-partition commit a *later* partition's
+    /// durable failure must still be able to undo this partition's apply,
+    /// and undo is only safe while the versions were never visible.  The
+    /// publish happens in [`publish_commit`](Self::publish_commit), which
+    /// the outer manager calls only after every partition's durable
+    /// hand-off succeeded.
     fn apply_durable(&self, tx: &Tx, _outer_cts: Timestamp) -> Result<()> {
         let core = self.core();
         let Some(sub) = core.sub(tx) else {
@@ -556,7 +648,7 @@ impl TxParticipant for PartitionShard {
             return Ok(()); // no writes on this partition
         };
         let writers: Vec<_> = core
-            .accessed(&sub)
+            .accessed(&sub)?
             .into_iter()
             .filter(|(p, _)| p.has_writes(&sub))
             .collect();
@@ -569,12 +661,39 @@ impl TxParticipant for PartitionShard {
                 return Err(e);
             }
         }
-        for (_, groups) in &writers {
+        Ok(())
+    }
+
+    /// Phase 4: publish the inner `LastCTS` — the store that makes this
+    /// partition's half of the transaction visible.  Runs after *every*
+    /// partition's `apply_durable` succeeded (the commit is decided), so
+    /// the versions published here can never be undone; still under the
+    /// anchor lock(s), so the per-partition publish order matches the
+    /// commit order.
+    fn publish_commit(&self, tx: &Tx, _outer_cts: Timestamp) {
+        let core = self.core();
+        let Some(sub) = core.sub(tx) else {
+            return;
+        };
+        let Some(cts) = core.subs.with(tx, |s| s.pending_cts).flatten() else {
+            return; // no writes on this partition
+        };
+        let writers = core
+            .accessed(&sub)
+            .expect("sub-transaction is live through commit");
+        for (participant, groups) in &writers {
+            if !participant.has_writes(&sub) {
+                continue;
+            }
             for g in groups {
-                core.ctx.publish_group_commit(*g, cts)?;
+                // Inner groups were registered at table creation; the
+                // publish cannot fail, and the decided commit must not
+                // unwind here.
+                core.ctx
+                    .publish_group_commit(*g, cts)
+                    .expect("registered inner group publishes");
             }
         }
-        Ok(())
     }
 
     fn undo_apply(&self, tx: &Tx, _outer_cts: Timestamp) {
@@ -585,7 +704,13 @@ impl TxParticipant for PartitionShard {
         let Some(cts) = core.subs.with(tx, |s| s.pending_cts).flatten() else {
             return;
         };
-        for (participant, _) in core.accessed(&sub) {
+        let accessed = core.accessed(&sub).unwrap_or_else(|_| {
+            // Undo cannot propagate; a live sub-transaction (pending_cts is
+            // still set) must always enumerate.
+            debug_assert!(false, "accessed_states failed for a live sub-transaction");
+            Vec::new()
+        });
+        for (participant, _) in accessed {
             if participant.has_writes(&sub) {
                 participant.undo_apply(&sub, cts);
             }
@@ -596,7 +721,11 @@ impl TxParticipant for PartitionShard {
     fn rollback(&self, tx: &Tx) {
         let core = self.core();
         if let Some(SubTxn { tx: Some(sub), .. }) = core.subs.take(tx) {
-            for (participant, _) in core.accessed(&sub) {
+            let accessed = core.accessed(&sub).unwrap_or_else(|_| {
+                debug_assert!(false, "accessed_states failed for a live sub-transaction");
+                Vec::new()
+            });
+            for (participant, _) in accessed {
                 participant.rollback(&sub);
                 participant.finalize(&sub);
             }
@@ -608,7 +737,11 @@ impl TxParticipant for PartitionShard {
     fn finalize(&self, tx: &Tx) {
         let core = self.core();
         if let Some(SubTxn { tx: Some(sub), .. }) = core.subs.take(tx) {
-            for (participant, _) in core.accessed(&sub) {
+            let accessed = core.accessed(&sub).unwrap_or_else(|_| {
+                debug_assert!(false, "accessed_states failed for a live sub-transaction");
+                Vec::new()
+            });
+            for (participant, _) in accessed {
                 participant.finalize(&sub);
             }
             core.ctx.finish(&sub);
@@ -628,7 +761,17 @@ impl TxParticipant for PartitionShard {
         let Some(sub) = core.sub(tx) else {
             return false;
         };
-        core.accessed(&sub).iter().any(|(p, _)| p.has_writes(&sub))
+        match core.accessed(&sub) {
+            Ok(accessed) => accessed.iter().any(|(p, _)| p.has_writes(&sub)),
+            Err(_) => {
+                // Treating the error as "no writes" would let the commit
+                // take the read-only path and silently drop this
+                // partition's writes; claiming writes keeps the commit on
+                // the path where precommit surfaces the error and aborts.
+                debug_assert!(false, "accessed_states failed for a live sub-transaction");
+                true
+            }
+        }
     }
 }
 
@@ -860,6 +1003,88 @@ mod tests {
         assert_eq!(snap.get(&100), Some(&100));
         assert!(!snap.contains_key(&3));
         mgr.abort(&tx).unwrap();
+    }
+
+    /// A storage backend whose `write_batch` always fails — simulates a
+    /// dead device on one partition.
+    struct FailingBackend;
+
+    impl StorageBackend for FailingBackend {
+        fn get(&self, _key: &[u8]) -> Result<Option<Vec<u8>>> {
+            Ok(None)
+        }
+        fn put(&self, _key: &[u8], _value: &[u8]) -> Result<()> {
+            Err(TspError::Io(std::io::Error::other("device failed")))
+        }
+        fn delete(&self, _key: &[u8]) -> Result<()> {
+            Err(TspError::Io(std::io::Error::other("device failed")))
+        }
+        fn write_batch(&self, _batch: &tsp_storage::WriteBatch) -> Result<()> {
+            Err(TspError::Io(std::io::Error::other("device failed")))
+        }
+        fn scan(&self, _visit: &mut dyn FnMut(&[u8], &[u8]) -> bool) -> Result<()> {
+            Ok(())
+        }
+        fn len(&self) -> usize {
+            0
+        }
+        fn sync(&self) -> Result<()> {
+            Ok(())
+        }
+        fn name(&self) -> &'static str {
+            "failing"
+        }
+    }
+
+    /// Pins the ordering fix for the cross-partition durable-failure hole:
+    /// partition 0 (applied and persisted first) must **not** publish its
+    /// inner `LastCTS` before partition 1's durable hand-off runs.  With a
+    /// failing backend on partition 1, the commit must abort with nothing
+    /// visible on *either* partition — previously partition 0 published in
+    /// `apply_durable`, so its half was visible (and then undone under
+    /// readers' feet) when partition 1 failed.
+    #[test]
+    fn cross_partition_durable_failure_publishes_nothing() {
+        let pc = PartitionedContext::new(2);
+        let mgr = TransactionManager::new(Arc::clone(pc.router_ctx()));
+        pc.attach(&mgr).unwrap();
+        let table = pc.create_table::<u64, u64>(Protocol::Mvcc, "kv", |p| {
+            (p == 1).then(|| Arc::new(FailingBackend) as Arc<dyn StorageBackend>)
+        });
+        // a on the healthy partition 0, b on the failing partition 1.
+        let a = (0..10_000u64).find(|k| table.partition_of(k) == 0).unwrap();
+        let b = (0..10_000u64).find(|k| table.partition_of(k) == 1).unwrap();
+        let tx = mgr.begin().unwrap();
+        table.write(&tx, a, 1).unwrap();
+        table.write(&tx, b, 2).unwrap();
+        assert!(mgr.commit(&tx).is_err());
+        // Nothing became visible anywhere — commits everywhere or nowhere.
+        let q = mgr.begin_read_only().unwrap();
+        assert_eq!(table.read(&q, &a).unwrap(), None);
+        assert_eq!(table.read(&q, &b).unwrap(), None);
+        mgr.commit(&q).unwrap();
+        // The healthy partition is fully functional afterwards.
+        let tx = mgr.begin().unwrap();
+        table.write(&tx, a, 3).unwrap();
+        mgr.commit(&tx).unwrap();
+        let q = mgr.begin_read_only().unwrap();
+        assert_eq!(table.read(&q, &a).unwrap(), Some(3));
+        mgr.commit(&q).unwrap();
+    }
+
+    /// The vendored FNV-1a must match the published reference vectors —
+    /// partition assignment is on-disk state, so the algorithm may never
+    /// drift.
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        fn fnv(bytes: &[u8]) -> u64 {
+            let mut h = Fnv1aHasher::new();
+            h.write(bytes);
+            h.finish()
+        }
+        assert_eq!(fnv(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv(b"foobar"), 0x8594_4171_f739_67e8);
     }
 
     #[test]

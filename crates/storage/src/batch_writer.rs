@@ -84,6 +84,11 @@ struct WriterState {
     abandoned: bool,
     /// Sticky failure description from a failed `write_batch`.
     error: Option<String>,
+    /// True once the depth gauge was reconciled for entries that will
+    /// never drain (sticky failure or abandon).  Those entries stay in
+    /// `queue` for waiters to observe, so the dead paths must subtract
+    /// them from the gauge exactly once between them.
+    gauge_reconciled: bool,
 }
 
 struct Shared {
@@ -136,6 +141,7 @@ impl BatchWriter {
                 shutdown: false,
                 abandoned: false,
                 error: None,
+                gauge_reconciled: false,
             }),
             capacity: capacity.max(1),
             depth_gauge,
@@ -285,9 +291,7 @@ impl BatchWriter {
             // of the gauge so the context-level stat does not stick.  The
             // entries themselves stay (durability waiters must keep seeing
             // "abandoned with work pending", not a clean drain).
-            if let Some(g) = &self.shared.depth_gauge {
-                g.fetch_sub(st.queue.len() as u64, Ordering::Relaxed);
-            }
+            reconcile_dead_queue_gauge(&self.shared, &mut st);
             self.shared.work.notify_all();
             self.shared.done.notify_all();
         }
@@ -312,6 +316,21 @@ impl Drop for BatchWriter {
         if let Some(handle) = self.thread.lock().take() {
             let _ = handle.join();
         }
+    }
+}
+
+/// Subtracts the dead queue's depth from the gauge, at most once across
+/// the sticky-failure and abandon paths.  The entries stay in the queue
+/// (waiters must keep observing the pending work), so letting both paths
+/// subtract — a writer thread failing after a kill, or killed after a
+/// failure — would underflow the `u64` gauge to a huge value.
+fn reconcile_dead_queue_gauge(shared: &Shared, st: &mut WriterState) {
+    if st.gauge_reconciled {
+        return;
+    }
+    st.gauge_reconciled = true;
+    if let Some(g) = &shared.depth_gauge {
+        g.fetch_sub(st.queue.len() as u64, Ordering::Relaxed);
     }
 }
 
@@ -378,9 +397,7 @@ fn writer_loop(shared: &Shared) {
                     st.error = Some(e.to_string());
                     // Work enqueued during the failed write will never
                     // drain — keep the gauge honest.
-                    if let Some(g) = &shared.depth_gauge {
-                        g.fetch_sub(st.queue.len() as u64, Ordering::Relaxed);
-                    }
+                    reconcile_dead_queue_gauge(shared, &mut st);
                     shared.done.notify_all();
                     return; // sticky failure: stop consuming work
                 }
@@ -555,6 +572,86 @@ mod tests {
         backend.release();
         writer.sync_barrier().unwrap();
         assert_eq!(gauge.load(Ordering::Relaxed), 0);
+    }
+
+    /// A backend whose `write_batch` blocks until released and then fails —
+    /// for queueing work behind a write that is about to sticky-fail.
+    struct GatedFailingBackend {
+        gate: Mutex<bool>,
+        open: Condvar,
+    }
+
+    impl GatedFailingBackend {
+        fn new() -> Arc<Self> {
+            Arc::new(GatedFailingBackend {
+                gate: Mutex::new(false),
+                open: Condvar::new(),
+            })
+        }
+
+        fn release(&self) {
+            *self.gate.lock() = true;
+            self.open.notify_all();
+        }
+    }
+
+    impl StorageBackend for GatedFailingBackend {
+        fn get(&self, _key: &[u8]) -> Result<Option<Vec<u8>>> {
+            Ok(None)
+        }
+        fn put(&self, _key: &[u8], _value: &[u8]) -> Result<()> {
+            Err(TspError::Io(std::io::Error::other("device failed")))
+        }
+        fn delete(&self, _key: &[u8]) -> Result<()> {
+            Err(TspError::Io(std::io::Error::other("device failed")))
+        }
+        fn write_batch(&self, _batch: &WriteBatch) -> Result<()> {
+            let mut open = self.gate.lock();
+            while !*open {
+                self.open.wait(&mut open);
+            }
+            Err(TspError::Io(std::io::Error::other("device failed")))
+        }
+        fn scan(&self, _visit: &mut dyn FnMut(&[u8], &[u8]) -> bool) -> Result<()> {
+            Ok(())
+        }
+        fn len(&self) -> usize {
+            0
+        }
+        fn sync(&self) -> Result<()> {
+            Ok(())
+        }
+        fn name(&self) -> &'static str {
+            "gated-failing"
+        }
+    }
+
+    /// Sticky failure reconciles the gauge for the dead queue; a
+    /// subsequent `kill_and_abandon_queue` must not subtract the same
+    /// entries again (the double-subtract underflowed the `u64` gauge).
+    #[test]
+    fn gauge_does_not_underflow_on_failure_then_abandon() {
+        let backend = GatedFailingBackend::new();
+        let gauge = Arc::new(AtomicU64::new(0));
+        let writer = BatchWriter::spawn_with(backend.clone(), 64, Some(Arc::clone(&gauge)));
+        // First batch is drained into the parked (soon-failing) write …
+        writer.enqueue(1, batch(1, 1)).unwrap();
+        while writer.queued_len() > 0 {
+            std::thread::yield_now();
+        }
+        // … and two more queue up behind it.
+        writer.enqueue(2, batch(2, 2)).unwrap();
+        writer.enqueue(3, batch(3, 3)).unwrap();
+        assert_eq!(gauge.load(Ordering::Relaxed), 2);
+        backend.release();
+        // The failure is sticky: waiters see it, the gauge is reconciled.
+        assert!(writer.sync_barrier().is_err());
+        assert_eq!(gauge.load(Ordering::Relaxed), 0);
+        // Abandoning afterwards must not subtract the still-queued
+        // entries a second time.
+        writer.kill_and_abandon_queue();
+        assert_eq!(gauge.load(Ordering::Relaxed), 0);
+        assert_eq!(writer.queued_len(), 2, "dead entries stay observable");
     }
 
     #[test]
