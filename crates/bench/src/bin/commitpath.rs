@@ -26,14 +26,22 @@
 //! single-partition.  This is the scale-out sweep `BENCH_partition.json`
 //! records.
 //!
+//! Every committed transaction's latency is recorded (commits run in the
+//! microsecond-to-millisecond range, so two clock reads are noise here) and
+//! each cell reports p50/p99/p999.  `--metrics-json PATH` additionally dumps
+//! each cell's [`TelemetrySnapshot`] — stage timings for validate / apply /
+//! durable-handoff, leader drain and follower wait, the persistence queue
+//! histograms and the abort taxonomy (see `docs/ARCHITECTURE.md`).
+//!
 //! Usage:
 //!   commitpath [--duration-ms N] [--threads 1,4,8] [--table-size N]
-//!              [--label NAME] [--out PATH] [--protocols mvcc,...]
-//!              [--dir PATH] [--partitions 1,4]
+//!              [--label NAME] [--out PATH] [--metrics-json PATH]
+//!              [--protocols mvcc,...] [--dir PATH] [--partitions 1,4]
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use tsp_common::Histogram;
 use tsp_core::prelude::*;
 use tsp_storage::{lsm, LsmOptions, LsmStore, StorageBackend};
 use tsp_workload::zipf::{KeyGen, ZipfTable};
@@ -87,6 +95,12 @@ struct CellResult {
     aborts: u64,
     elapsed_ms: u64,
     flush_ms: u64,
+    /// Committed-transaction latency (nanoseconds).
+    txn_p50_ns: u64,
+    txn_p99_ns: u64,
+    txn_p999_ns: u64,
+    /// The cell context's [`TelemetrySnapshot`] as JSON (for `--metrics-json`).
+    telemetry_json: String,
 }
 
 impl CellResult {
@@ -103,7 +117,8 @@ impl CellResult {
                 "{{\"protocol\":\"{}\",\"config\":\"{}\",\"backend\":\"{}\",",
                 "\"threads\":{},\"partitions\":{},",
                 "\"committed_txns\":{},\"ops\":{},\"aborts\":{},",
-                "\"elapsed_ms\":{},\"flush_ms\":{},\"commits_per_sec\":{:.0}}}"
+                "\"elapsed_ms\":{},\"flush_ms\":{},\"commits_per_sec\":{:.0},",
+                "\"txn_p50_ns\":{},\"txn_p99_ns\":{},\"txn_p999_ns\":{}}}"
             ),
             self.protocol.name(),
             self.config,
@@ -115,7 +130,26 @@ impl CellResult {
             self.aborts,
             self.elapsed_ms,
             self.flush_ms,
-            self.commits_per_sec()
+            self.commits_per_sec(),
+            self.txn_p50_ns,
+            self.txn_p99_ns,
+            self.txn_p999_ns
+        )
+    }
+
+    /// The cell identity plus its internal telemetry, for `--metrics-json`.
+    fn to_metrics_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"protocol\":\"{}\",\"config\":\"{}\",\"backend\":\"{}\",",
+                "\"threads\":{},\"partitions\":{},\"telemetry\":{}}}"
+            ),
+            self.protocol.name(),
+            self.config,
+            self.backend,
+            self.threads,
+            self.partitions,
+            self.telemetry_json
         )
     }
 }
@@ -126,6 +160,7 @@ struct Options {
     table_size: u64,
     label: String,
     out: Option<std::path::PathBuf>,
+    metrics_json: Option<std::path::PathBuf>,
     protocols: Vec<Protocol>,
     dir: std::path::PathBuf,
     partitions: Vec<usize>,
@@ -141,6 +176,7 @@ impl Default for Options {
             table_size: 65_536,
             label: "run".to_string(),
             out: None,
+            metrics_json: None,
             protocols: vec![Protocol::Mvcc],
             dir: std::env::temp_dir().join(format!("tsp-commitpath-{}", std::process::id())),
             partitions: vec![1],
@@ -174,6 +210,7 @@ fn parse_args() -> Options {
             }
             "--label" => opts.label = value("--label"),
             "--out" => opts.out = Some(value("--out").into()),
+            "--metrics-json" => opts.metrics_json = Some(value("--metrics-json").into()),
             "--protocols" => {
                 opts.protocols = value("--protocols")
                     .split(',')
@@ -207,6 +244,7 @@ fn parse_args() -> Options {
                 eprintln!(
                     "commitpath [--duration-ms N] [--threads 1,4,8] \
                      [--table-size N] [--label NAME] [--out PATH] \
+                     [--metrics-json PATH] \
                      [--protocols mvcc,s2pl,bocc,ssi] [--dir PATH] \
                      [--partitions 1,4] [--sync-persist] \
                      [--backends volatile,lsm_sync]"
@@ -294,6 +332,7 @@ fn run_cell(
     };
     let zipf = ZipfTable::new(chunk, config.theta, true);
     let stop = Arc::new(AtomicBool::new(false));
+    let latency = Arc::new(Histogram::new());
     let started = Instant::now();
     let handles: Vec<_> = (0..threads)
         .map(|t| {
@@ -301,6 +340,7 @@ fn run_cell(
             let table = Arc::clone(&table);
             let zipf = Arc::clone(&zipf);
             let stop = Arc::clone(&stop);
+            let latency = Arc::clone(&latency);
             std::thread::spawn(move || {
                 let mut sampler = KeyGen::new(zipf, partitions as u64, 0xc0117 + t as u64);
                 let mut coin = 0x9e3779b97f4a7c15u64 ^ (t as u64).wrapping_mul(0xff51afd7ed558ccd);
@@ -312,6 +352,7 @@ fn run_cell(
                 };
                 let (mut committed, mut ops, mut aborts) = (0u64, 0u64, 0u64);
                 while !stop.load(Ordering::Relaxed) {
+                    let t0 = Instant::now();
                     sampler.next_txn();
                     let tx = match mgr.begin() {
                         Ok(tx) => tx,
@@ -346,6 +387,7 @@ fn run_cell(
                         Ok(_) => {
                             committed += 1;
                             ops += done;
+                            latency.record(t0.elapsed());
                         }
                         Err(_) => aborts += 1,
                     }
@@ -376,6 +418,12 @@ fn run_cell(
         }
         flush_ms = flush_started.elapsed().as_millis() as u64;
     }
+    // Internal view of the same run, captured after the flush so the
+    // persistence histograms cover the drained backlog too.
+    let telemetry = match &pc {
+        Some(pc) => pc.telemetry_rollup(),
+        None => mgr.context().telemetry_snapshot(),
+    };
     drop(table);
     drop(mgr);
     drop(pc);
@@ -398,6 +446,10 @@ fn run_cell(
         aborts,
         elapsed_ms,
         flush_ms,
+        txn_p50_ns: latency.quantile_value(0.5).unwrap_or(0),
+        txn_p99_ns: latency.quantile_value(0.99).unwrap_or(0),
+        txn_p999_ns: latency.quantile_value(0.999).unwrap_or(0),
+        telemetry_json: telemetry.to_json(),
     }
 }
 
@@ -452,6 +504,19 @@ fn main() {
     print!("{json}");
     if let Some(path) = &opts.out {
         std::fs::write(path, &json).expect("write --out file");
+        eprintln!("wrote {}", path.display());
+    }
+    if let Some(path) = &opts.metrics_json {
+        let body = cells
+            .iter()
+            .map(|c| format!("    {}", c.to_metrics_json()))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let metrics = format!(
+            "{{\n  \"label\": \"{}\",\n  \"cells\": [\n{}\n  ]\n}}\n",
+            opts.label, body
+        );
+        std::fs::write(path, &metrics).expect("write --metrics-json file");
         eprintln!("wrote {}", path.display());
     }
     let _ = std::fs::remove_dir_all(&opts.dir);

@@ -23,14 +23,22 @@
 //! transaction is single-partition — the scale-out shape
 //! `BENCH_partition.json` records.
 //!
+//! Each cell also samples transaction latency (1-in-16 transactions, so the
+//! clock reads stay far below the bench's noise floor) and reports
+//! p50/p99/p999 next to the throughput numbers.  `--metrics-json PATH`
+//! additionally dumps each cell's [`TelemetrySnapshot`] — the commit-pipeline
+//! stage timings and abort taxonomy described in `docs/ARCHITECTURE.md` —
+//! so CI can archive the internal view alongside the external one.
+//!
 //! Usage:
 //!   hotpath [--duration-ms N] [--threads 1,2,4,8,16] [--table-size N]
-//!           [--label NAME] [--out PATH] [--protocols mvcc,s2pl,bocc,ssi]
-//!           [--partitions 1,4]
+//!           [--label NAME] [--out PATH] [--metrics-json PATH]
+//!           [--protocols mvcc,s2pl,bocc,ssi] [--partitions 1,4]
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use tsp_common::Histogram;
 use tsp_core::prelude::*;
 use tsp_workload::zipf::{KeyGen, ZipfTable};
 
@@ -68,6 +76,12 @@ struct CellResult {
     ops: u64,
     aborts: u64,
     elapsed_ms: u64,
+    /// Sampled committed-transaction latency (nanoseconds).
+    txn_p50_ns: u64,
+    txn_p99_ns: u64,
+    txn_p999_ns: u64,
+    /// The cell context's [`TelemetrySnapshot`] as JSON (for `--metrics-json`).
+    telemetry_json: String,
 }
 
 impl CellResult {
@@ -84,7 +98,8 @@ impl CellResult {
                 "{{\"protocol\":\"{}\",\"config\":\"{}\",\"theta\":{},",
                 "\"read_pct\":{},\"threads\":{},\"partitions\":{},",
                 "\"committed_txns\":{},",
-                "\"ops\":{},\"aborts\":{},\"elapsed_ms\":{},\"ops_per_sec\":{:.0}}}"
+                "\"ops\":{},\"aborts\":{},\"elapsed_ms\":{},\"ops_per_sec\":{:.0},",
+                "\"txn_p50_ns\":{},\"txn_p99_ns\":{},\"txn_p999_ns\":{}}}"
             ),
             self.protocol.name(),
             self.config,
@@ -96,7 +111,25 @@ impl CellResult {
             self.ops,
             self.aborts,
             self.elapsed_ms,
-            self.ops_per_sec()
+            self.ops_per_sec(),
+            self.txn_p50_ns,
+            self.txn_p99_ns,
+            self.txn_p999_ns
+        )
+    }
+
+    /// The cell identity plus its internal telemetry, for `--metrics-json`.
+    fn to_metrics_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"protocol\":\"{}\",\"config\":\"{}\",\"threads\":{},",
+                "\"partitions\":{},\"telemetry\":{}}}"
+            ),
+            self.protocol.name(),
+            self.config,
+            self.threads,
+            self.partitions,
+            self.telemetry_json
         )
     }
 }
@@ -107,6 +140,7 @@ struct Options {
     table_size: u64,
     label: String,
     out: Option<std::path::PathBuf>,
+    metrics_json: Option<std::path::PathBuf>,
     protocols: Vec<Protocol>,
     custom: Vec<MixConfig>,
     partitions: Vec<usize>,
@@ -120,6 +154,7 @@ impl Default for Options {
             table_size: 65_536,
             label: "run".to_string(),
             out: None,
+            metrics_json: None,
             protocols: Protocol::ALL.to_vec(),
             custom: Vec::new(),
             partitions: vec![1],
@@ -151,6 +186,7 @@ fn parse_args() -> Options {
             }
             "--label" => opts.label = value("--label"),
             "--out" => opts.out = Some(value("--out").into()),
+            "--metrics-json" => opts.metrics_json = Some(value("--metrics-json").into()),
             "--protocols" => {
                 opts.protocols = value("--protocols")
                     .split(',')
@@ -187,6 +223,7 @@ fn parse_args() -> Options {
                 eprintln!(
                     "hotpath [--duration-ms N] [--threads 1,2,4,8,16] \
                      [--table-size N] [--label NAME] [--out PATH] \
+                     [--metrics-json PATH] \
                      [--protocols mvcc,s2pl,bocc,ssi] [--partitions 1,4] \
                      [--custom name:theta:read_pct]..."
                 );
@@ -209,7 +246,12 @@ fn run_cell(
     duration: Duration,
 ) -> CellResult {
     let capacity = (threads * 2 + 8).max(64);
-    let (mgr, table): (Arc<TransactionManager>, TableHandle<u64, u64>) = if partitions > 1 {
+    type Cell = (
+        Arc<TransactionManager>,
+        TableHandle<u64, u64>,
+        Option<Arc<PartitionedContext>>,
+    );
+    let (mgr, table, pc): Cell = if partitions > 1 {
         let pc = PartitionedContext::with_capacity(partitions, capacity);
         let mgr = TransactionManager::new(Arc::clone(pc.router_ctx()));
         pc.attach(&mgr).unwrap();
@@ -221,14 +263,14 @@ fn run_cell(
             |_| None,
             Arc::new(RangePartitioner::new(bounds)),
         );
-        (mgr, table)
+        (mgr, table, Some(pc))
     } else {
         let ctx = Arc::new(StateContext::with_capacity(capacity));
         let mgr = TransactionManager::new(Arc::clone(&ctx));
         let table = protocol.create_table::<u64, u64>(&ctx, "hot", None);
         mgr.register(Arc::clone(&table).as_participant());
         mgr.register_group(&[table.id()]).unwrap();
-        (mgr, table)
+        (mgr, table, None)
     };
     table
         .preload_iter(&mut (0..table_size).map(|k| (k, k)))
@@ -242,6 +284,7 @@ fn run_cell(
     };
     let zipf = ZipfTable::new(chunk, config.theta, true);
     let stop = Arc::new(AtomicBool::new(false));
+    let latency = Arc::new(Histogram::new());
     let started = Instant::now();
     let handles: Vec<_> = (0..threads)
         .map(|t| {
@@ -249,6 +292,7 @@ fn run_cell(
             let table = Arc::clone(&table);
             let zipf = Arc::clone(&zipf);
             let stop = Arc::clone(&stop);
+            let latency = Arc::clone(&latency);
             std::thread::spawn(move || {
                 let mut sampler = KeyGen::new(zipf, partitions as u64, 0x5eed + t as u64);
                 // Cheap xorshift for the read/write coin so the Zipf sampler
@@ -261,7 +305,14 @@ fn run_cell(
                     (coin >> 11) as f64 / (1u64 << 53) as f64
                 };
                 let (mut committed, mut ops, mut aborts) = (0u64, 0u64, 0u64);
+                let mut attempts = 0u64;
                 while !stop.load(Ordering::Relaxed) {
+                    // Sample 1-in-16 transactions for latency: two clock
+                    // reads per sampled txn keep the recording overhead far
+                    // below the read path's noise floor while still giving
+                    // tens of thousands of samples per second.
+                    let t0 = (attempts & 0xF == 0).then(Instant::now);
+                    attempts += 1;
                     sampler.next_txn();
                     let tx = match mgr.begin() {
                         Ok(tx) => tx,
@@ -298,6 +349,9 @@ fn run_cell(
                         Ok(_) => {
                             committed += 1;
                             ops += done;
+                            if let Some(t0) = t0 {
+                                latency.record(t0.elapsed());
+                            }
                         }
                         Err(_) => aborts += 1,
                     }
@@ -316,6 +370,12 @@ fn run_cell(
         ops += o;
         aborts += a;
     }
+    // Internal view of the same run: commit-pipeline stage timings, abort
+    // taxonomy, persistence gauges — rolled up across partitions when sharded.
+    let telemetry = match &pc {
+        Some(pc) => pc.telemetry_rollup(),
+        None => mgr.context().telemetry_snapshot(),
+    };
     CellResult {
         protocol,
         config: config.name,
@@ -327,6 +387,10 @@ fn run_cell(
         ops,
         aborts,
         elapsed_ms: started.elapsed().as_millis() as u64,
+        txn_p50_ns: latency.quantile_value(0.5).unwrap_or(0),
+        txn_p99_ns: latency.quantile_value(0.99).unwrap_or(0),
+        txn_p999_ns: latency.quantile_value(0.999).unwrap_or(0),
+        telemetry_json: telemetry.to_json(),
     }
 }
 
@@ -389,6 +453,19 @@ fn main() {
     print!("{json}");
     if let Some(path) = &opts.out {
         std::fs::write(path, &json).expect("write --out file");
+        eprintln!("wrote {}", path.display());
+    }
+    if let Some(path) = &opts.metrics_json {
+        let body = cells
+            .iter()
+            .map(|c| format!("    {}", c.to_metrics_json()))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let metrics = format!(
+            "{{\n  \"label\": \"{}\",\n  \"cells\": [\n{}\n  ]\n}}\n",
+            opts.label, body
+        );
+        std::fs::write(path, &metrics).expect("write --metrics-json file");
         eprintln!("wrote {}", path.display());
     }
 }

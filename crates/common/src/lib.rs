@@ -18,6 +18,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod error;
+pub mod histogram;
 pub mod ids;
 pub mod pad;
 pub mod punctuation;
@@ -25,6 +26,7 @@ pub mod time;
 pub mod tuple;
 
 pub use error::{Result, TspError};
+pub use histogram::Histogram;
 pub use ids::{GroupId, OperatorId, StateId, TxnId};
 pub use pad::CachePadded;
 pub use punctuation::{Punctuation, PunctuationKind};
@@ -34,6 +36,7 @@ pub use tuple::{StreamElement, Tuple};
 /// Frequently used items, re-exported for `use tsp_common::prelude::*`.
 pub mod prelude {
     pub use crate::error::{Result, TspError};
+    pub use crate::histogram::Histogram;
     pub use crate::ids::{GroupId, OperatorId, StateId, TxnId};
     pub use crate::punctuation::{Punctuation, PunctuationKind};
     pub use crate::time::{Timestamp, INFINITY_TS, NO_TS};

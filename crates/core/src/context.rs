@@ -61,12 +61,13 @@
 
 use crate::clock::{GlobalClock, EPOCH_TS};
 use crate::stats::TxStats;
+use crate::telemetry::{AbortReason, Telemetry, TelemetrySnapshot};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use tsp_common::{CachePadded, GroupId, Result, StateId, Timestamp, TspError, TxnId};
+use tsp_common::{CachePadded, GroupId, Histogram, Result, StateId, Timestamp, TspError, TxnId};
 use tsp_storage::{BatchWriter, StorageBackend};
 
 /// Default maximum number of concurrently active transactions.
@@ -364,6 +365,23 @@ impl DurabilityHub {
     pub fn writer_count(&self) -> usize {
         self.writers.read().len()
     }
+
+    /// Merges every writer's queue-dwell and coalesced-batch-size
+    /// histograms into `dwell` / `coalesce` and returns
+    /// `(writer_count, failed_writer_count)` — the persistence leg of
+    /// [`StateContext::telemetry_snapshot`].
+    pub fn collect_writer_telemetry(&self, dwell: &Histogram, coalesce: &Histogram) -> (u64, u64) {
+        let writers = self.writers.read();
+        let mut failed = 0u64;
+        for (_, w) in writers.iter() {
+            dwell.merge(w.queue_dwell());
+            coalesce.merge(w.coalesced_batch());
+            if w.is_failed() {
+                failed += 1;
+            }
+        }
+        (writers.len() as u64, failed)
+    }
 }
 
 /// A handle to a running transaction.
@@ -419,6 +437,7 @@ pub struct StateContext {
     oldest_cache: AtomicU64,
     oldest_cache_gen: AtomicU64,
     stats: TxStats,
+    telemetry: Telemetry,
     durability: DurabilityHub,
 }
 
@@ -480,6 +499,7 @@ impl StateContext {
             oldest_cache: AtomicU64::new(0),
             oldest_cache_gen: AtomicU64::new(u64::MAX),
             stats,
+            telemetry: Telemetry::new(),
             durability,
         }
     }
@@ -498,6 +518,29 @@ impl StateContext {
     /// Shared transaction statistics.
     pub fn stats(&self) -> &TxStats {
         &self.stats
+    }
+
+    /// The telemetry registry: commit-pipeline stage histograms and GC
+    /// gauges (see [`crate::telemetry`]).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Assembles a [`TelemetrySnapshot`] covering this context: counter
+    /// snapshot, stage histograms and the persistence aggregates collected
+    /// from every attached writer.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        let dwell = Histogram::new();
+        let coalesce = Histogram::new();
+        let (writers, failed) = self.durability.collect_writer_telemetry(&dwell, &coalesce);
+        TelemetrySnapshot::collect(
+            &self.telemetry,
+            self.stats.snapshot(),
+            &dwell,
+            &coalesce,
+            writers,
+            failed,
+        )
     }
 
     /// The durability hub: asynchronous persistence writers and the
@@ -638,7 +681,10 @@ impl StateContext {
     /// Begins a new transaction: draws a TxnId from the clock and claims a
     /// slot in the active-transaction table via CAS on the occupancy bitmap.
     pub fn begin(&self, read_only: bool) -> Result<Tx> {
-        let slot = self.claim_slot()?;
+        let slot = self.claim_slot().inspect_err(|_| {
+            // The only failure is a full slot table — taxonomy it.
+            self.stats.record_abort(AbortReason::SlotExhaustion);
+        })?;
         let s = &self.slots[slot];
         // Reset the per-slot caches *before* publishing the new owner, and
         // *inside* a `cache_seq` window: this transaction's handle only

@@ -14,7 +14,6 @@
 //! begin timestamp of the oldest still-running transaction.
 
 use crate::context::StateContext;
-use crate::stats::TxStats;
 use crate::table::{KeyType, MvccTable, ValueType};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -114,6 +113,13 @@ impl GcDriver {
             .fetch_add(report.reclaimed as u64, Ordering::Relaxed);
         self.commits_at_last_sweep
             .store(self.committed_count(), Ordering::Relaxed);
+        // The swept tables record reclaim counters (`gc_runs` /
+        // `gc_reclaimed`) into the context stats themselves; the driver
+        // only refreshes the floor-lag gauge — how far the oldest active
+        // snapshot trails the clock, i.e. the history GC must keep.
+        self.ctx
+            .telemetry()
+            .set_gc_floor_lag(self.ctx.clock().now().saturating_sub(horizon));
         report
     }
 
@@ -161,10 +167,9 @@ impl GcDriver {
                     if stop_flag.load(Ordering::Relaxed) {
                         break;
                     }
-                    let report = driver.run_once();
-                    if report.reclaimed > 0 {
-                        TxStats::bump(&driver.ctx.stats().gc_runs);
-                    }
+                    // Swept tables record reclaim stats; `run_once` itself
+                    // refreshes the floor-lag gauge.
+                    let _ = driver.run_once();
                 }
             })
             .expect("spawning the GC thread cannot fail");
@@ -269,6 +274,30 @@ mod tests {
         // Once the pin is gone, a sweep can shrink down to one version.
         driver.run_once();
         assert_eq!(table.version_count(&1), 1);
+    }
+
+    #[test]
+    fn sweeps_surface_in_stats_and_floor_lag_gauge() {
+        let (ctx, mgr, table) = setup();
+        let driver = GcDriver::new(Arc::clone(&ctx));
+        driver.register(table.clone());
+        churn(&mgr, &table, 5);
+        let report = driver.run_once();
+        assert_eq!(report.reclaimed, 4);
+        // The swept table records the reclaim into the context stats
+        // (exactly once — the driver must not double-count it).
+        let snap = ctx.stats().snapshot();
+        assert_eq!(snap.gc_runs, 1);
+        assert_eq!(snap.gc_reclaimed, 4);
+
+        // A pinned snapshot holds the floor back while commits advance the
+        // clock — the gauge must report the widening gap.
+        let pinned = mgr.begin_read_only().unwrap();
+        assert_eq!(table.read(&pinned, &1).unwrap(), Some("v4".into()));
+        churn(&mgr, &table, 3);
+        driver.run_once();
+        assert!(ctx.telemetry().gc_floor_lag() > 0, "pinned snapshot lags");
+        mgr.commit(&pinned).unwrap();
     }
 
     #[test]

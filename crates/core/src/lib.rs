@@ -29,6 +29,10 @@
 //! * [`recovery`] — restoring group `LastCTS` and resuming the clock after a
 //!   restart.
 //! * [`stats`] — shared counters (commits, aborts, conflicts, GC work).
+//! * [`telemetry`] — the metrics registry: commit-pipeline stage timing
+//!   histograms, the labeled [`telemetry::AbortReason`] taxonomy, GC and
+//!   persistence gauges, and JSON / Prometheus exposition via
+//!   [`telemetry::TelemetrySnapshot`].
 //!
 //! ## Quick example
 //!
@@ -68,6 +72,7 @@ pub mod partition;
 pub mod recovery;
 pub mod stats;
 pub mod table;
+pub mod telemetry;
 
 pub use clock::{GlobalClock, EPOCH_TS};
 pub use context::{
@@ -86,6 +91,7 @@ pub use table::{
     BoccTable, ConflictCheck, KeyType, MvccTable, MvccTableOptions, Protocol, S2plTable, SsiTable,
     TableHandle, TransactionalTable, TransactionalTableExt, TxParticipant, ValueType, WriteOp,
 };
+pub use telemetry::{AbortReason, HistogramSummary, Telemetry, TelemetrySnapshot};
 
 /// Frequently used items, re-exported for `use tsp_core::prelude::*`.
 pub mod prelude {
@@ -105,4 +111,5 @@ pub mod prelude {
         BoccTable, ConflictCheck, KeyType, MvccTable, MvccTableOptions, Protocol, S2plTable,
         SsiTable, TableHandle, TransactionalTable, TransactionalTableExt, TxParticipant, ValueType,
     };
+    pub use crate::telemetry::{AbortReason, HistogramSummary, Telemetry, TelemetrySnapshot};
 }

@@ -61,10 +61,12 @@
 use crate::context::{CommitVote, StateContext, Tx};
 use crate::stats::TxStats;
 use crate::table::common::TxParticipant;
+use crate::telemetry::AbortReason;
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 use tsp_common::{GroupId, Result, StateId, Timestamp, TspError};
 
 /// Outcome reported to an operator that flagged its state (operator-style
@@ -278,11 +280,19 @@ impl TransactionManager {
     /// with the relevant commit locks held by the caller.  Returns the
     /// commit timestamp; the caller publishes it.
     fn commit_one(&self, tx: &Tx, participants: &[Arc<dyn TxParticipant>]) -> Result<Timestamp> {
+        // Stage timings record on success *and* failure (an abort's
+        // validation time is exactly what a conflict investigation needs).
+        // Cost: a handful of `Instant::now()` calls and relaxed histogram
+        // bumps per *write* commit — nothing here runs on the read path.
+        let telemetry = self.ctx.telemetry();
         // Phase 1: validation (First-Committer-Wins / BOCC / SSI read-set
         // certification).
-        for p in participants {
-            p.precommit_coordinated(tx, true)?;
-        }
+        let t_validate = Instant::now();
+        let validated: Result<()> = participants
+            .iter()
+            .try_for_each(|p| p.precommit_coordinated(tx, true).map(|_| ()));
+        telemetry.validate_nanos().record(t_validate.elapsed());
+        validated?;
         // Phase 2: in-memory apply with a single commit timestamp.  A
         // failure mid-way (version-array capacity pressure) aborts the
         // transaction; already-applied participants — including the
@@ -301,14 +311,18 @@ impl TransactionManager {
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
                 .unwrap_or_else(|_| Err(TspError::protocol("participant panicked during apply")))
         };
+        let t_apply = Instant::now();
         for (i, p) in writers.iter().enumerate() {
             if let Err(e) = guarded(&mut || p.apply(tx, cts)) {
                 for q in &writers[..=i] {
                     q.undo_apply(tx, cts);
                 }
+                telemetry.apply_nanos().record(t_apply.elapsed());
+                self.ctx.stats().record_abort(AbortReason::FailedApply);
                 return Err(e);
             }
         }
+        telemetry.apply_nanos().record(t_apply.elapsed());
         // Phase 3: durable hand-off, only after every in-memory apply
         // succeeded — the common abort cause (capacity) therefore persists
         // nothing.  A durable failure here (an I/O error, a dead async
@@ -324,14 +338,22 @@ impl TransactionManager {
         // backend's own writer is sticky-failed, that backend's marker can
         // never advance, which keeps the fence in place for the common
         // failed-device case.
+        let t_durable = Instant::now();
         for p in &writers {
             if let Err(e) = guarded(&mut || p.apply_durable(tx, cts)) {
                 for q in &writers {
                     q.undo_apply(tx, cts);
                 }
+                telemetry
+                    .durable_handoff_nanos()
+                    .record(t_durable.elapsed());
+                self.ctx.stats().record_abort(AbortReason::FailedApply);
                 return Err(e);
             }
         }
+        telemetry
+            .durable_handoff_nanos()
+            .record(t_durable.elapsed());
         // Phase 4: participant-managed publish.  Participants fronting
         // their own visibility domain (partition anchors publish their
         // inner context's `LastCTS`) make the commit visible only now,
@@ -355,6 +377,11 @@ impl TransactionManager {
         if batch.is_empty() {
             return;
         }
+        let telemetry = self.ctx.telemetry();
+        telemetry
+            .commit_batch_size()
+            .record_value(batch.len() as u64);
+        let t_drain = Instant::now();
         let mut max_cts = 0;
         let mut outcomes = Vec::with_capacity(batch.len());
         for s in &batch {
@@ -369,6 +396,9 @@ impl TransactionManager {
                 self.commit_one(&s.tx, &s.participants)
             }))
             .unwrap_or_else(|_| {
+                // `commit_one` records its own taxonomy entries on regular
+                // errors; this net only catches panics, so no double count.
+                self.ctx.stats().record_abort(AbortReason::FailedApply);
                 Err(TspError::protocol(
                     "commit processing panicked in the batch leader",
                 ))
@@ -390,6 +420,7 @@ impl TransactionManager {
         for (s, outcome) in batch.iter().zip(outcomes) {
             s.decide(outcome);
         }
+        telemetry.leader_drain_nanos().record(t_drain.elapsed());
     }
 
     /// Stage-1 batched group commit for transactions whose only commit lock
@@ -423,6 +454,9 @@ impl TransactionManager {
         }
         let slot = CommitSlot::new(tx.clone(), participants.to_vec());
         gc.queue.lock().push(Arc::clone(&slot));
+        // Contended path only: the try-lock fast path above pays no
+        // telemetry beyond `commit_one`'s own stage timings.
+        let t_wait = Instant::now();
         while !slot.is_decided() {
             let guard = gc.lock.lock();
             // Our slot was pushed before this acquisition, so after one pass
@@ -431,6 +465,10 @@ impl TransactionManager {
             self.drain_batch(group, gc);
             drop(guard);
         }
+        self.ctx
+            .telemetry()
+            .follower_wait_nanos()
+            .record(t_wait.elapsed());
         slot.take_outcome()
     }
 

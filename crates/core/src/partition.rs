@@ -108,12 +108,14 @@ use crate::table::common::{
     KeyType, SlotLocal, TableHandle, TransactionalTable, TxParticipant, ValueType,
 };
 use crate::table::factory::Protocol;
+use crate::telemetry::{Telemetry, TelemetrySnapshot};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use tsp_common::{GroupId, Result, StateId, Timestamp, TspError};
+use std::time::Instant;
+use tsp_common::{GroupId, Histogram, Result, StateId, Timestamp, TspError};
 use tsp_storage::StorageBackend;
 
 // ---------------------------------------------------------------------
@@ -439,6 +441,43 @@ impl PartitionedContext {
             .collect()
     }
 
+    /// Per-partition telemetry snapshots (index = partition) — the
+    /// partition-resolved companion of [`Self::partition_stats`].
+    pub fn partition_telemetry(&self) -> Vec<TelemetrySnapshot> {
+        self.parts
+            .iter()
+            .map(|c| c.ctx.telemetry_snapshot())
+            .collect()
+    }
+
+    /// One deployment-wide [`TelemetrySnapshot`] rolling up the router and
+    /// every partition: counters sum, stage and persistence histograms
+    /// merge bucket-wise, the GC floor-lag gauge takes the maximum (the
+    /// laggiest partition bounds reclaimable garbage everywhere it
+    /// matters).
+    pub fn telemetry_rollup(&self) -> TelemetrySnapshot {
+        let merged = Telemetry::new();
+        let dwell = Histogram::new();
+        let coalesce = Histogram::new();
+        merged.merge(self.router.telemetry());
+        let mut stats = self.router.stats().snapshot();
+        let (mut writers, mut failed) = self
+            .router
+            .durability()
+            .collect_writer_telemetry(&dwell, &coalesce);
+        for core in &self.parts {
+            merged.merge(core.ctx.telemetry());
+            stats = stats.merged_with(&core.ctx.stats().snapshot());
+            let (w, f) = core
+                .ctx
+                .durability()
+                .collect_writer_telemetry(&dwell, &coalesce);
+            writers += w;
+            failed += f;
+        }
+        TelemetrySnapshot::collect(&merged, stats, &dwell, &coalesce, writers, failed)
+    }
+
     /// Creates a partitioned table routed by [`HashPartitioner`].
     /// `backend_for(p)` supplies partition `p`'s storage backend (return
     /// `None` for volatile partitions) — per-partition backends are what
@@ -618,16 +657,24 @@ impl TxParticipant for PartitionShard {
             .into_iter()
             .filter(|(p, _)| p.has_writes(&sub))
             .collect();
+        // The shard drives the inner pipeline itself (no inner
+        // `TransactionManager`), so it also records the inner context's
+        // stage timing — this is what makes per-partition telemetry
+        // partition-resolved instead of router-only.
+        let t_apply = Instant::now();
+        let mut result = Ok(());
         for (i, (participant, _)) in writers.iter().enumerate() {
             if let Err(e) = participant.apply(&sub, cts) {
                 for (undo, _) in &writers[..=i] {
                     undo.undo_apply(&sub, cts);
                 }
                 core.subs.with_mut(tx, |s| s.pending_cts = None);
-                return Err(e);
+                result = Err(e);
+                break;
             }
         }
-        Ok(())
+        core.ctx.telemetry().apply_nanos().record(t_apply.elapsed());
+        result
     }
 
     /// Phase 3: persist through the partition's own durability hub.  Still
@@ -652,16 +699,23 @@ impl TxParticipant for PartitionShard {
             .into_iter()
             .filter(|(p, _)| p.has_writes(&sub))
             .collect();
+        let t_durable = Instant::now();
+        let mut result = Ok(());
         for (participant, _) in &writers {
             if let Err(e) = participant.apply_durable(&sub, cts) {
                 for (undo, _) in &writers {
                     undo.undo_apply(&sub, cts);
                 }
                 core.subs.with_mut(tx, |s| s.pending_cts = None);
-                return Err(e);
+                result = Err(e);
+                break;
             }
         }
-        Ok(())
+        core.ctx
+            .telemetry()
+            .durable_handoff_nanos()
+            .record(t_durable.elapsed());
+        result
     }
 
     /// Phase 4: publish the inner `LastCTS` — the store that makes this
@@ -1125,6 +1179,45 @@ mod tests {
         let pa = table.partition_of(&a);
         assert_eq!(stats[pa].committed, 5);
         assert_eq!(stats[1 - pa].committed, 0);
+    }
+
+    #[test]
+    fn telemetry_rollup_merges_partition_histograms_and_sums_counters() {
+        let (pc, mgr, table) = setup(2, Protocol::Mvcc);
+        let (a, b) = distinct_partition_keys(&table);
+        for i in 0..4 {
+            let tx = mgr.begin().unwrap();
+            table.write(&tx, a, i).unwrap();
+            mgr.commit(&tx).unwrap();
+        }
+        let tx = mgr.begin().unwrap();
+        table.write(&tx, b, 9).unwrap();
+        mgr.commit(&tx).unwrap();
+
+        // Per-partition snapshots see only their own commits …
+        let per_part = pc.partition_telemetry();
+        let pa = table.partition_of(&a);
+        assert_eq!(per_part[pa].stats.committed, 4);
+        assert_eq!(per_part[1 - pa].stats.committed, 1);
+        assert!(per_part[pa].apply_nanos.count >= 4);
+
+        // … and the roll-up merges both plus the router: counters sum,
+        // histogram counts accumulate across partitions.
+        let rollup = pc.telemetry_rollup();
+        assert_eq!(
+            rollup.stats.committed,
+            per_part[0].stats.committed
+                + per_part[1].stats.committed
+                + pc.router_ctx().stats().snapshot().committed
+        );
+        assert_eq!(
+            rollup.apply_nanos.count,
+            per_part[0].apply_nanos.count
+                + per_part[1].apply_nanos.count
+                + pc.router_ctx().telemetry_snapshot().apply_nanos.count
+        );
+        assert!(rollup.apply_nanos.count >= 5);
+        assert_eq!(rollup.failed_writers, 0);
     }
 
     /// Two keys guaranteed to live on different partitions of a 2-way

@@ -22,6 +22,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use tsp_common::CachePadded;
 
+use crate::telemetry::AbortReason;
+
 /// Default stripe count used by [`TxStats::new`]; contexts size their stats
 /// to the transaction-slot capacity via [`TxStats::striped`].
 const DEFAULT_STRIPES: usize = 64;
@@ -91,12 +93,12 @@ pub struct TxStats {
     pub committed: CachePadded<AtomicU64>,
     /// Transactions aborted for any reason.
     pub aborted: CachePadded<AtomicU64>,
-    /// Aborts caused by write-write conflicts (First-Committer-Wins).
-    pub write_conflicts: CachePadded<AtomicU64>,
-    /// Aborts caused by optimistic (BOCC) validation failures.
-    pub validation_failures: CachePadded<AtomicU64>,
-    /// Aborts caused by deadlock avoidance (wait-die victims).
-    pub deadlocks: CachePadded<AtomicU64>,
+    /// Aborts classified by the labeled taxonomy, indexed by
+    /// [`AbortReason::index`].  Record through [`TxStats::record_abort`];
+    /// the old ad-hoc `write_conflicts` / `validation_failures` /
+    /// `deadlocks` counters are now views over this array in
+    /// [`TxStatsSnapshot`].
+    pub abort_reasons: [CachePadded<AtomicU64>; AbortReason::COUNT],
     /// Read operations served — striped per transaction slot (bump with
     /// [`TxStats::bump_read`]).
     pub reads: StripedCounter,
@@ -160,15 +162,34 @@ impl TxStats {
         self.writes.bump(slot);
     }
 
+    /// Records an abort classified by the taxonomy (the reason counter
+    /// only — the aggregate `aborted` counter is bumped where the
+    /// transaction actually finishes).
+    #[inline]
+    pub fn record_abort(&self, reason: AbortReason) {
+        self.abort_reasons[reason.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Aborts recorded for one taxonomy reason.
+    pub fn abort_reason_count(&self, reason: AbortReason) -> u64 {
+        self.abort_reasons[reason.index()].load(Ordering::Relaxed)
+    }
+
     /// Snapshot of all counters as plain numbers.
     pub fn snapshot(&self) -> TxStatsSnapshot {
+        let mut abort_reasons = [0u64; AbortReason::COUNT];
+        for (i, c) in self.abort_reasons.iter().enumerate() {
+            abort_reasons[i] = c.load(Ordering::Relaxed);
+        }
         TxStatsSnapshot {
             begun: self.begun.load(Ordering::Relaxed),
             committed: self.committed.load(Ordering::Relaxed),
             aborted: self.aborted.load(Ordering::Relaxed),
-            write_conflicts: self.write_conflicts.load(Ordering::Relaxed),
-            validation_failures: self.validation_failures.load(Ordering::Relaxed),
-            deadlocks: self.deadlocks.load(Ordering::Relaxed),
+            write_conflicts: abort_reasons[AbortReason::FcwConflict.index()],
+            validation_failures: abort_reasons[AbortReason::Certification.index()],
+            deadlocks: abort_reasons[AbortReason::LockConflict.index()],
+            slot_exhaustions: abort_reasons[AbortReason::SlotExhaustion.index()],
+            failed_applies: abort_reasons[AbortReason::FailedApply.index()],
             reads: self.reads.sum(),
             writes: self.writes.sum(),
             gc_runs: self.gc_runs.load(Ordering::Relaxed),
@@ -183,12 +204,12 @@ impl TxStats {
             &self.begun,
             &self.committed,
             &self.aborted,
-            &self.write_conflicts,
-            &self.validation_failures,
-            &self.deadlocks,
             &self.gc_runs,
             &self.gc_reclaimed,
         ] {
+            c.store(0, Ordering::Relaxed);
+        }
+        for c in &self.abort_reasons {
             c.store(0, Ordering::Relaxed);
         }
         self.reads.reset();
@@ -205,12 +226,21 @@ pub struct TxStatsSnapshot {
     pub committed: u64,
     /// Transactions aborted.
     pub aborted: u64,
-    /// First-Committer-Wins conflicts.
+    /// First-Committer-Wins conflicts
+    /// ([`AbortReason::FcwConflict`]).
     pub write_conflicts: u64,
-    /// BOCC validation failures.
+    /// BOCC / SSI certification failures
+    /// ([`AbortReason::Certification`]).
     pub validation_failures: u64,
-    /// Wait-die deadlock victims.
+    /// Wait-die lock-conflict victims
+    /// ([`AbortReason::LockConflict`]).
     pub deadlocks: u64,
+    /// `begin` refusals for want of a transaction slot
+    /// ([`AbortReason::SlotExhaustion`]).
+    pub slot_exhaustions: u64,
+    /// Apply / durable-handoff failures
+    /// ([`AbortReason::FailedApply`]).
+    pub failed_applies: u64,
     /// Read operations.
     pub reads: u64,
     /// Write operations.
@@ -232,6 +262,38 @@ impl TxStatsSnapshot {
             0.0
         } else {
             self.aborted as f64 / finished as f64
+        }
+    }
+
+    /// Aborts recorded for one taxonomy reason.
+    pub fn abort_reason(&self, reason: AbortReason) -> u64 {
+        match reason {
+            AbortReason::FcwConflict => self.write_conflicts,
+            AbortReason::Certification => self.validation_failures,
+            AbortReason::LockConflict => self.deadlocks,
+            AbortReason::SlotExhaustion => self.slot_exhaustions,
+            AbortReason::FailedApply => self.failed_applies,
+        }
+    }
+
+    /// Element-wise sum with another snapshot — the partition roll-up
+    /// primitive.  `persist_queue_depth` sums too: partitions own disjoint
+    /// writer sets, so depths add.
+    pub fn merged_with(&self, other: &TxStatsSnapshot) -> TxStatsSnapshot {
+        TxStatsSnapshot {
+            begun: self.begun + other.begun,
+            committed: self.committed + other.committed,
+            aborted: self.aborted + other.aborted,
+            write_conflicts: self.write_conflicts + other.write_conflicts,
+            validation_failures: self.validation_failures + other.validation_failures,
+            deadlocks: self.deadlocks + other.deadlocks,
+            slot_exhaustions: self.slot_exhaustions + other.slot_exhaustions,
+            failed_applies: self.failed_applies + other.failed_applies,
+            reads: self.reads + other.reads,
+            writes: self.writes + other.writes,
+            gc_runs: self.gc_runs + other.gc_runs,
+            gc_reclaimed: self.gc_reclaimed + other.gc_reclaimed,
+            persist_queue_depth: self.persist_queue_depth + other.persist_queue_depth,
         }
     }
 }
@@ -272,6 +334,32 @@ mod tests {
         assert_eq!(s.snapshot().reads, 131);
         s.reset();
         assert_eq!(s.snapshot().reads, 0);
+    }
+
+    #[test]
+    fn abort_taxonomy_counts_and_legacy_views_agree() {
+        let s = TxStats::new();
+        s.record_abort(AbortReason::FcwConflict);
+        s.record_abort(AbortReason::FcwConflict);
+        s.record_abort(AbortReason::Certification);
+        s.record_abort(AbortReason::LockConflict);
+        s.record_abort(AbortReason::SlotExhaustion);
+        s.record_abort(AbortReason::FailedApply);
+        assert_eq!(s.abort_reason_count(AbortReason::FcwConflict), 2);
+        let snap = s.snapshot();
+        assert_eq!(snap.write_conflicts, 2);
+        assert_eq!(snap.validation_failures, 1);
+        assert_eq!(snap.deadlocks, 1);
+        assert_eq!(snap.slot_exhaustions, 1);
+        assert_eq!(snap.failed_applies, 1);
+        for r in AbortReason::ALL {
+            assert_eq!(snap.abort_reason(r), s.abort_reason_count(r));
+        }
+        let doubled = snap.merged_with(&snap);
+        assert_eq!(doubled.write_conflicts, 4);
+        assert_eq!(doubled.slot_exhaustions, 2);
+        s.reset();
+        assert_eq!(s.snapshot(), TxStatsSnapshot::default());
     }
 
     #[test]

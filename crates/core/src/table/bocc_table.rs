@@ -13,12 +13,12 @@
 //! abort and redo its work.
 
 use crate::context::{StateContext, Tx};
-use crate::stats::TxStats;
 use crate::table::common::{
     buffer_write, overlay_write_set, persist_pending, preload_rows, read_own_write,
     reject_read_only, KeyType, PendingDurable, ReadSet, SlotLocal, TransactionalTable,
     TxParticipant, TxWriteSets, TypedBackend, ValueType, WriteOp,
 };
+use crate::telemetry::AbortReason;
 use parking_lot::RwLock;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -278,7 +278,7 @@ impl<K: KeyType, V: ValueType> TxParticipant for BoccTable<K, V> {
                     .iter()
                     .any(|k| read_keys.contains(k) || write_keys.contains(k))
             {
-                TxStats::bump(&self.ctx.stats().validation_failures);
+                self.ctx.stats().record_abort(AbortReason::Certification);
                 return Err(TspError::ValidationFailed {
                     txn: tx.id().as_u64(),
                 });

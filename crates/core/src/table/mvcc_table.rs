@@ -46,6 +46,7 @@ use crate::table::common::{
     TypedBackend, ValueType, WriteOp,
 };
 use crate::table::objmap::{ObjMap, DEFAULT_INDEX_BUCKETS};
+use crate::telemetry::AbortReason;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use tsp_common::{Result, StateId, Timestamp, TspError};
@@ -217,7 +218,7 @@ impl<K: KeyType, V: ValueType> MvccTable<K, V> {
         if self.opts.conflict_check == ConflictCheck::Eager {
             if let Some(obj) = self.object(&key) {
                 if obj.latest_cts() > tx.begin_ts() || obj.latest_dts() > tx.begin_ts() {
-                    TxStats::bump(&self.ctx.stats().write_conflicts);
+                    self.ctx.stats().record_abort(AbortReason::FcwConflict);
                     return Err(TspError::WriteConflict {
                         txn: tx.id().as_u64(),
                         detail: format!("eager check on state '{}'", self.name),
@@ -390,7 +391,7 @@ impl<K: KeyType, V: ValueType> TxParticipant for MvccTable<K, V> {
             })
             .unwrap_or(false);
         if conflict {
-            TxStats::bump(&self.ctx.stats().write_conflicts);
+            self.ctx.stats().record_abort(AbortReason::FcwConflict);
             return Err(TspError::WriteConflict {
                 txn: tx.id().as_u64(),
                 detail: format!("first-committer-wins on state '{}'", self.name),
@@ -600,6 +601,49 @@ mod tests {
             "committed-read fast path acquired a latch"
         );
         ctx.finish(&reader);
+    }
+
+    /// The telemetry overhead guard: with the full instrumented commit
+    /// pipeline live (the `TransactionManager` has recorded stage timings
+    /// into this context's registry), the committed-read fast path must
+    /// *still* acquire zero latches — proof that recording stayed off the
+    /// read path, not just a code-review promise.
+    #[test]
+    #[cfg(debug_assertions)]
+    fn committed_read_path_stays_latch_free_with_telemetry_enabled() {
+        use crate::manager::TransactionManager;
+        let ctx = Arc::new(StateContext::new());
+        let mgr = TransactionManager::new(Arc::clone(&ctx));
+        let table = MvccTable::<u32, String>::volatile(&ctx, "t");
+        mgr.register(Arc::clone(&table) as Arc<dyn TxParticipant>);
+        mgr.register_group(&[table.id()]).unwrap();
+
+        // Commit through the instrumented pipeline so every stage histogram
+        // has recordings before the reads run.
+        for i in 0..8u32 {
+            let tx = mgr.begin().unwrap();
+            table.write(&tx, i, format!("v{i}")).unwrap();
+            mgr.commit(&tx).unwrap();
+        }
+        let snap = ctx.telemetry_snapshot();
+        assert!(snap.validate_nanos.count >= 8, "pipeline not instrumented?");
+        assert!(snap.apply_nanos.count >= 8);
+
+        let reader = mgr.begin_read_only().unwrap();
+        // Warm the slot's snapshot cache (the one legitimate slow path).
+        assert_eq!(table.read(&reader, &0).unwrap(), Some("v0".into()));
+        let before = crate::latch_probe::latch_count();
+        for _ in 0..1000 {
+            for i in 0..8u32 {
+                assert_eq!(table.read(&reader, &i).unwrap(), Some(format!("v{i}")));
+            }
+        }
+        assert_eq!(
+            crate::latch_probe::latch_count(),
+            before,
+            "telemetry recording leaked a latch onto the committed-read path"
+        );
+        mgr.commit(&reader).unwrap();
     }
 
     #[test]

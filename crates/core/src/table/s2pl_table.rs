@@ -14,13 +14,13 @@
 //! transaction can observe the key between the write and the commit.
 
 use crate::context::{StateContext, Tx};
-use crate::stats::TxStats;
 use crate::table::common::{
     buffer_write, overlay_write_set, persist_pending, preload_rows, read_own_write,
     reject_read_only, KeyType, PendingDurable, TransactionalTable, TxParticipant, TxWriteSets,
     TypedBackend, ValueType, WriteOp,
 };
 use crate::table::locks::{LockManager, LockMode};
+use crate::telemetry::AbortReason;
 use parking_lot::RwLock;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap};
@@ -140,7 +140,7 @@ impl<K: KeyType, V: ValueType> S2plTable<K, V> {
     fn acquire(&self, tx: &Tx, key: &K, mode: LockMode) -> Result<()> {
         self.locks.lock(tx.id(), key, mode).map_err(|e| {
             if matches!(e, TspError::Deadlock { .. }) {
-                TxStats::bump(&self.ctx.stats().deadlocks);
+                self.ctx.stats().record_abort(AbortReason::LockConflict);
             }
             e
         })

@@ -67,11 +67,11 @@
 //! `LastCTS`; always register SSI tables in a group.
 
 use crate::context::{StateContext, Tx};
-use crate::stats::TxStats;
 use crate::table::common::{
     KeyType, ReadSet, SlotLocal, TransactionalTable, TxParticipant, ValueType,
 };
 use crate::table::mvcc_table::{MvccTable, MvccTableOptions};
+use crate::telemetry::AbortReason;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -264,7 +264,7 @@ impl<K: KeyType, V: ValueType> SsiTable<K, V> {
             })
             .unwrap_or(false);
         if conflict {
-            TxStats::bump(&self.ctx.stats().validation_failures);
+            self.ctx.stats().record_abort(AbortReason::Certification);
             return Err(TspError::ValidationFailed {
                 txn: tx.id().as_u64(),
             });

@@ -1,0 +1,813 @@
+//! Engine-native telemetry: commit-pipeline stage timings, the labeled
+//! abort-reason taxonomy, GC/persistence gauges, and exposition.
+//!
+//! Every layer of the engine records into one per-context registry:
+//!
+//! * **Commit pipeline** (`manager.rs`): validate / apply / durable-handoff
+//!   splits per commit, leader drain time, commit batch-size distribution
+//!   and follower wait time for the stage-1 leader/follower batch.
+//! * **Persistence** (`storage::BatchWriter` via the durability hub):
+//!   queue-dwell time per batch, coalesced-batch-size distribution, the
+//!   `persist_queue_depth` gauge and each writer's sticky-failure state.
+//! * **Abort taxonomy** ([`AbortReason`], counters in
+//!   [`TxStats`](crate::stats::TxStats)): every abort classified by *why* —
+//!   First-Committer-Wins conflict, SSI/BOCC certification failure, S2PL
+//!   lock conflict, transaction-slot exhaustion, or a failed apply.
+//! * **GC** (`gc.rs`): sweep and reclaim counters plus the *floor lag* —
+//!   how far the oldest active snapshot trails the clock, the quantity that
+//!   bounds reclaimable garbage.
+//!
+//! Recording is deliberately boring: relaxed atomic bumps into
+//! [`Histogram`]s and counters, no locks, nothing on the latch-free
+//! committed-read path (reads record *nothing* here; only commit-side and
+//! background paths do).  The overhead budget and the rules for adding a
+//! metric live in the "Observability" section of `docs/ARCHITECTURE.md`.
+//!
+//! Two exposition formats come for free from [`TelemetrySnapshot`]:
+//! [`to_json`](TelemetrySnapshot::to_json) (the bench binaries'
+//! `--metrics-json` flag) and Prometheus text format
+//! ([`to_prometheus`](TelemetrySnapshot::to_prometheus), golden-tested), so
+//! a future network layer can serve `/metrics` by calling one method.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use tsp_common::{Histogram, TspError};
+
+use crate::stats::TxStatsSnapshot;
+
+/// Why a transaction aborted — the labeled taxonomy replacing the old
+/// ad-hoc conflict counters.
+///
+/// Protocols map onto the taxonomy as follows: MVCC/SSI First-Committer-Wins
+/// failures are [`FcwConflict`](Self::FcwConflict); BOCC backward validation
+/// and SSI read-set certification failures are
+/// [`Certification`](Self::Certification); S2PL wait-die victims are
+/// [`LockConflict`](Self::LockConflict); `begin` failing to claim a
+/// transaction slot is [`SlotExhaustion`](Self::SlotExhaustion); apply or
+/// durable-handoff failures (version-array capacity, I/O errors, participant
+/// panics) are [`FailedApply`](Self::FailedApply).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AbortReason {
+    /// First-Committer-Wins write-write conflict (MVCC, SSI write sets).
+    FcwConflict,
+    /// Commit-time certification failure (BOCC backward validation, SSI
+    /// read-set certification).
+    Certification,
+    /// Lock conflict resolved by wait-die (S2PL).
+    LockConflict,
+    /// No free transaction slot at `begin`.
+    SlotExhaustion,
+    /// In-memory apply or durable hand-off failed (capacity pressure, I/O
+    /// error, participant panic); the partial apply was undone.
+    FailedApply,
+}
+
+impl AbortReason {
+    /// Number of taxonomy entries (the size of per-reason counter arrays).
+    pub const COUNT: usize = 5;
+
+    /// Every reason, in stable exposition order.
+    pub const ALL: [AbortReason; Self::COUNT] = [
+        AbortReason::FcwConflict,
+        AbortReason::Certification,
+        AbortReason::LockConflict,
+        AbortReason::SlotExhaustion,
+        AbortReason::FailedApply,
+    ];
+
+    /// Stable index into per-reason counter arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            AbortReason::FcwConflict => 0,
+            AbortReason::Certification => 1,
+            AbortReason::LockConflict => 2,
+            AbortReason::SlotExhaustion => 3,
+            AbortReason::FailedApply => 4,
+        }
+    }
+
+    /// The snake_case label used in JSON and Prometheus exposition.
+    pub fn label(self) -> &'static str {
+        match self {
+            AbortReason::FcwConflict => "fcw_conflict",
+            AbortReason::Certification => "certification",
+            AbortReason::LockConflict => "lock_conflict",
+            AbortReason::SlotExhaustion => "slot_exhaustion",
+            AbortReason::FailedApply => "failed_apply",
+        }
+    }
+
+    /// Classifies an error into the taxonomy.
+    ///
+    /// Every error a commit path can surface maps to exactly one reason;
+    /// errors that do not describe a concurrency-control abort (unknown ids,
+    /// corruption, I/O) fall into [`FailedApply`](Self::FailedApply) — if
+    /// they abort a transaction at all, it died applying.
+    pub fn from_error(e: &TspError) -> AbortReason {
+        match e {
+            TspError::WriteConflict { .. } => AbortReason::FcwConflict,
+            TspError::ValidationFailed { .. } => AbortReason::Certification,
+            TspError::Deadlock { .. } => AbortReason::LockConflict,
+            TspError::CapacityExhausted { .. } => AbortReason::SlotExhaustion,
+            _ => AbortReason::FailedApply,
+        }
+    }
+}
+
+impl std::fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The per-context metrics registry: commit-pipeline stage histograms and
+/// GC gauges.  Counters live next door in [`TxStats`](crate::stats::TxStats)
+/// (including the per-[`AbortReason`] array); persistence histograms live in
+/// each [`BatchWriter`](tsp_storage::BatchWriter) and are aggregated at
+/// snapshot time —
+/// [`StateContext::telemetry_snapshot`](crate::context::StateContext::telemetry_snapshot)
+/// stitches all three sources into one [`TelemetrySnapshot`].
+///
+/// All recording is relaxed-atomic and lock-free; nothing here is touched
+/// by the latch-free committed-read path.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    /// Validation phase (FCW / BOCC / SSI certification) per commit.
+    validate_nanos: Histogram,
+    /// In-memory apply phase per commit.
+    apply_nanos: Histogram,
+    /// Durable hand-off phase (synchronous write or queue push) per commit.
+    durable_handoff_nanos: Histogram,
+    /// Whole-batch drain time per leader drain (stage-1 group commit).
+    leader_drain_nanos: Histogram,
+    /// Time a follower waits for its enqueued commit to be decided.
+    follower_wait_nanos: Histogram,
+    /// Commits per drained batch.
+    commit_batch_size: Histogram,
+    /// Gauge: clock distance between `now` and the oldest active snapshot
+    /// floor at the last GC sweep (logical-timestamp units).
+    gc_floor_lag: AtomicU64,
+}
+
+impl Telemetry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Validation-phase timings (nanoseconds per commit).
+    pub fn validate_nanos(&self) -> &Histogram {
+        &self.validate_nanos
+    }
+
+    /// In-memory-apply-phase timings (nanoseconds per commit).
+    pub fn apply_nanos(&self) -> &Histogram {
+        &self.apply_nanos
+    }
+
+    /// Durable-handoff-phase timings (nanoseconds per commit).
+    pub fn durable_handoff_nanos(&self) -> &Histogram {
+        &self.durable_handoff_nanos
+    }
+
+    /// Leader batch-drain timings (nanoseconds per drain).
+    pub fn leader_drain_nanos(&self) -> &Histogram {
+        &self.leader_drain_nanos
+    }
+
+    /// Follower wait timings (nanoseconds per batched commit that waited).
+    pub fn follower_wait_nanos(&self) -> &Histogram {
+        &self.follower_wait_nanos
+    }
+
+    /// Commit batch-size distribution (commits per leader drain).
+    pub fn commit_batch_size(&self) -> &Histogram {
+        &self.commit_batch_size
+    }
+
+    /// Updates the GC floor-lag gauge (clock `now` minus the oldest active
+    /// snapshot floor, in logical-timestamp units).
+    pub fn set_gc_floor_lag(&self, lag: u64) {
+        self.gc_floor_lag.store(lag, Ordering::Relaxed);
+    }
+
+    /// The GC floor-lag gauge.
+    pub fn gc_floor_lag(&self) -> u64 {
+        self.gc_floor_lag.load(Ordering::Relaxed)
+    }
+
+    /// Merges another registry's recordings into this one (per-partition
+    /// roll-ups).  Histograms merge bucket-wise; the floor-lag gauge takes
+    /// the maximum (the laggiest partition bounds reclaimable garbage).
+    pub fn merge(&self, other: &Telemetry) {
+        self.validate_nanos.merge(&other.validate_nanos);
+        self.apply_nanos.merge(&other.apply_nanos);
+        self.durable_handoff_nanos
+            .merge(&other.durable_handoff_nanos);
+        self.leader_drain_nanos.merge(&other.leader_drain_nanos);
+        self.follower_wait_nanos.merge(&other.follower_wait_nanos);
+        self.commit_batch_size.merge(&other.commit_batch_size);
+        self.gc_floor_lag.fetch_max(
+            other.gc_floor_lag.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Clears every histogram and gauge (between benchmark phases).
+    pub fn reset(&self) {
+        self.validate_nanos.reset();
+        self.apply_nanos.reset();
+        self.durable_handoff_nanos.reset();
+        self.leader_drain_nanos.reset();
+        self.follower_wait_nanos.reset();
+        self.commit_batch_size.reset();
+        self.gc_floor_lag.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time summary of one [`Histogram`]: count, sum and the
+/// percentiles the evaluation reports (p50/p99/p999), plus min/max.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 if empty).
+    pub min: u64,
+    /// Largest recorded value (0 if empty).
+    pub max: u64,
+    /// 50th percentile (0 if empty).
+    pub p50: u64,
+    /// 99th percentile (0 if empty).
+    pub p99: u64,
+    /// 99.9th percentile (0 if empty).
+    pub p999: u64,
+}
+
+impl HistogramSummary {
+    /// Summarizes a histogram.
+    pub fn of(h: &Histogram) -> Self {
+        HistogramSummary {
+            count: h.count(),
+            sum: h.sum_value(),
+            min: h.min_value(),
+            max: h.max_value(),
+            p50: h.quantile_value(0.5).unwrap_or(0),
+            p99: h.quantile_value(0.99).unwrap_or(0),
+            p999: h.quantile_value(0.999).unwrap_or(0),
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p99\":{},\"p999\":{}}}",
+            self.count, self.sum, self.min, self.max, self.p50, self.p99, self.p999
+        )
+    }
+}
+
+/// A structured point-in-time copy of every metric a context (or a
+/// partitioned roll-up) exposes — counters from
+/// [`TxStats`](crate::stats::TxStats), stage histograms from [`Telemetry`],
+/// persistence histograms and gauges from the durability hub's writers.
+///
+/// Serialize with [`to_json`](Self::to_json) or
+/// [`to_prometheus`](Self::to_prometheus).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    /// Transactions begun / committed / aborted and operation counts.
+    pub stats: TxStatsSnapshot,
+    /// Aborts per [`AbortReason`], indexed by [`AbortReason::index`].
+    pub aborts_by_reason: [u64; AbortReason::COUNT],
+    /// Commit validation phase (ns).
+    pub validate_nanos: HistogramSummary,
+    /// Commit in-memory apply phase (ns).
+    pub apply_nanos: HistogramSummary,
+    /// Commit durable hand-off phase (ns).
+    pub durable_handoff_nanos: HistogramSummary,
+    /// Leader batch drain (ns).
+    pub leader_drain_nanos: HistogramSummary,
+    /// Follower wait for a batched commit decision (ns).
+    pub follower_wait_nanos: HistogramSummary,
+    /// Commits per drained batch.
+    pub commit_batch_size: HistogramSummary,
+    /// Time batches dwell in persistence queues before being drained (ns).
+    pub queue_dwell_nanos: HistogramSummary,
+    /// Enqueued batches coalesced per backend `write_batch`.
+    pub coalesced_batch_size: HistogramSummary,
+    /// Attached asynchronous persistence writers.
+    pub persist_writers: u64,
+    /// Writers wedged in the sticky-failed state (a wedged writer never
+    /// confirms durability again; non-zero here demands attention).
+    pub failed_writers: u64,
+    /// GC floor lag at the last sweep (logical-timestamp units).
+    pub gc_floor_lag: u64,
+}
+
+impl TelemetrySnapshot {
+    /// Assembles a snapshot from its three sources: the stage-histogram
+    /// registry, a counter snapshot, and the writer-level aggregates the
+    /// durability hub collected (`dwell`/`coalesce` merged across writers).
+    pub fn collect(
+        telemetry: &Telemetry,
+        stats: TxStatsSnapshot,
+        dwell: &Histogram,
+        coalesce: &Histogram,
+        persist_writers: u64,
+        failed_writers: u64,
+    ) -> Self {
+        let mut aborts = [0u64; AbortReason::COUNT];
+        for r in AbortReason::ALL {
+            aborts[r.index()] = stats.abort_reason(r);
+        }
+        TelemetrySnapshot {
+            stats,
+            aborts_by_reason: aborts,
+            validate_nanos: HistogramSummary::of(&telemetry.validate_nanos),
+            apply_nanos: HistogramSummary::of(&telemetry.apply_nanos),
+            durable_handoff_nanos: HistogramSummary::of(&telemetry.durable_handoff_nanos),
+            leader_drain_nanos: HistogramSummary::of(&telemetry.leader_drain_nanos),
+            follower_wait_nanos: HistogramSummary::of(&telemetry.follower_wait_nanos),
+            commit_batch_size: HistogramSummary::of(&telemetry.commit_batch_size),
+            queue_dwell_nanos: HistogramSummary::of(dwell),
+            coalesced_batch_size: HistogramSummary::of(coalesce),
+            persist_writers,
+            failed_writers,
+            gc_floor_lag: telemetry.gc_floor_lag(),
+        }
+    }
+
+    /// Aborts recorded for one reason.
+    pub fn abort_count(&self, reason: AbortReason) -> u64 {
+        self.aborts_by_reason[reason.index()]
+    }
+
+    /// Serializes the snapshot as one JSON object (hand-rolled; the
+    /// workspace carries no serialization dependency).
+    pub fn to_json(&self) -> String {
+        let s = &self.stats;
+        let aborts = AbortReason::ALL
+            .iter()
+            .map(|r| format!("\"{}\":{}", r.label(), self.abort_count(*r)))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            concat!(
+                "{{\"txns\":{{\"begun\":{},\"committed\":{},\"aborted\":{}}},",
+                "\"ops\":{{\"reads\":{},\"writes\":{}}},",
+                "\"aborts\":{{{}}},",
+                "\"commit_pipeline\":{{",
+                "\"validate_nanos\":{},",
+                "\"apply_nanos\":{},",
+                "\"durable_handoff_nanos\":{},",
+                "\"leader_drain_nanos\":{},",
+                "\"follower_wait_nanos\":{},",
+                "\"commit_batch_size\":{}}},",
+                "\"persistence\":{{\"queue_depth\":{},\"writers\":{},",
+                "\"failed_writers\":{},",
+                "\"queue_dwell_nanos\":{},",
+                "\"coalesced_batch_size\":{}}},",
+                "\"gc\":{{\"runs\":{},\"reclaimed_versions\":{},\"floor_lag\":{}}}}}"
+            ),
+            s.begun,
+            s.committed,
+            s.aborted,
+            s.reads,
+            s.writes,
+            aborts,
+            self.validate_nanos.json(),
+            self.apply_nanos.json(),
+            self.durable_handoff_nanos.json(),
+            self.leader_drain_nanos.json(),
+            self.follower_wait_nanos.json(),
+            self.commit_batch_size.json(),
+            s.persist_queue_depth,
+            self.persist_writers,
+            self.failed_writers,
+            self.queue_dwell_nanos.json(),
+            self.coalesced_batch_size.json(),
+            s.gc_runs,
+            s.gc_reclaimed,
+            self.gc_floor_lag,
+        )
+    }
+
+    /// Serializes the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4): counters as `_total`, histograms as summaries with
+    /// `quantile` labels, gauges plain.  Durations are exported in
+    /// nanoseconds (integer-exact, which keeps the format golden-testable).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        let s = &self.stats;
+        for (name, help, value) in [
+            ("tsp_txns_begun_total", "Transactions begun.", s.begun),
+            (
+                "tsp_txns_committed_total",
+                "Transactions committed.",
+                s.committed,
+            ),
+            ("tsp_txns_aborted_total", "Transactions aborted.", s.aborted),
+            ("tsp_reads_total", "Read operations served.", s.reads),
+            ("tsp_writes_total", "Write operations buffered.", s.writes),
+            (
+                "tsp_gc_runs_total",
+                "Garbage-collection passes over version arrays.",
+                s.gc_runs,
+            ),
+            (
+                "tsp_gc_reclaimed_versions_total",
+                "Versions reclaimed by garbage collection.",
+                s.gc_reclaimed,
+            ),
+        ] {
+            prom_counter(&mut out, name, help, value);
+        }
+        out.push_str("# HELP tsp_aborts_total Aborts by reason.\n");
+        out.push_str("# TYPE tsp_aborts_total counter\n");
+        for r in AbortReason::ALL {
+            out.push_str(&format!(
+                "tsp_aborts_total{{reason=\"{}\"}} {}\n",
+                r.label(),
+                self.abort_count(r)
+            ));
+        }
+        for (name, help, summary) in [
+            (
+                "tsp_commit_validate_nanos",
+                "Commit validation phase (ns).",
+                &self.validate_nanos,
+            ),
+            (
+                "tsp_commit_apply_nanos",
+                "Commit in-memory apply phase (ns).",
+                &self.apply_nanos,
+            ),
+            (
+                "tsp_commit_durable_handoff_nanos",
+                "Commit durable hand-off phase (ns).",
+                &self.durable_handoff_nanos,
+            ),
+            (
+                "tsp_commit_leader_drain_nanos",
+                "Leader batch drain (ns).",
+                &self.leader_drain_nanos,
+            ),
+            (
+                "tsp_commit_follower_wait_nanos",
+                "Follower wait for a batched commit decision (ns).",
+                &self.follower_wait_nanos,
+            ),
+            (
+                "tsp_commit_batch_size",
+                "Commits per drained batch.",
+                &self.commit_batch_size,
+            ),
+            (
+                "tsp_persist_queue_dwell_nanos",
+                "Time batches dwell in persistence queues (ns).",
+                &self.queue_dwell_nanos,
+            ),
+            (
+                "tsp_persist_coalesced_batch_size",
+                "Enqueued batches coalesced per backend write.",
+                &self.coalesced_batch_size,
+            ),
+        ] {
+            prom_summary(&mut out, name, help, summary);
+        }
+        for (name, help, value) in [
+            (
+                "tsp_persist_queue_depth",
+                "Batches queued in asynchronous persistence writers.",
+                s.persist_queue_depth,
+            ),
+            (
+                "tsp_persist_writers",
+                "Attached asynchronous persistence writers.",
+                self.persist_writers,
+            ),
+            (
+                "tsp_persist_failed_writers",
+                "Writers in the sticky-failed state.",
+                self.failed_writers,
+            ),
+            (
+                "tsp_gc_floor_lag",
+                "Clock distance from the oldest active snapshot floor at the last GC sweep.",
+                self.gc_floor_lag,
+            ),
+        ] {
+            prom_gauge(&mut out, name, help, value);
+        }
+        out
+    }
+}
+
+fn prom_counter(out: &mut String, name: &str, help: &str, value: u64) {
+    out.push_str(&format!(
+        "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+    ));
+}
+
+fn prom_gauge(out: &mut String, name: &str, help: &str, value: u64) {
+    out.push_str(&format!(
+        "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+    ));
+}
+
+fn prom_summary(out: &mut String, name: &str, help: &str, s: &HistogramSummary) {
+    out.push_str(&format!(
+        concat!(
+            "# HELP {n} {h}\n# TYPE {n} summary\n",
+            "{n}{{quantile=\"0.5\"}} {p50}\n",
+            "{n}{{quantile=\"0.99\"}} {p99}\n",
+            "{n}{{quantile=\"0.999\"}} {p999}\n",
+            "{n}_sum {sum}\n{n}_count {count}\n"
+        ),
+        n = name,
+        h = help,
+        p50 = s.p50,
+        p99 = s.p99,
+        p999 = s.p999,
+        sum = s.sum,
+        count = s.count,
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn abort_reason_classification_covers_the_error_hierarchy() {
+        assert_eq!(
+            AbortReason::from_error(&TspError::WriteConflict {
+                txn: 1,
+                detail: "k".into()
+            }),
+            AbortReason::FcwConflict
+        );
+        assert_eq!(
+            AbortReason::from_error(&TspError::ValidationFailed { txn: 1 }),
+            AbortReason::Certification
+        );
+        assert_eq!(
+            AbortReason::from_error(&TspError::Deadlock { txn: 1 }),
+            AbortReason::LockConflict
+        );
+        assert_eq!(
+            AbortReason::from_error(&TspError::CapacityExhausted { what: "slots" }),
+            AbortReason::SlotExhaustion
+        );
+        assert_eq!(
+            AbortReason::from_error(&TspError::protocol("boom")),
+            AbortReason::FailedApply
+        );
+        // Index/label round-trips stay stable (the exposition order).
+        for (i, r) in AbortReason::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(format!("{r}"), r.label());
+        }
+    }
+
+    #[test]
+    fn merge_rolls_up_histograms_and_takes_max_floor_lag() {
+        let a = Telemetry::new();
+        let b = Telemetry::new();
+        a.validate_nanos().record(Duration::from_micros(10));
+        b.validate_nanos().record(Duration::from_micros(1000));
+        a.commit_batch_size().record_value(4);
+        b.commit_batch_size().record_value(16);
+        a.set_gc_floor_lag(5);
+        b.set_gc_floor_lag(9);
+        a.merge(&b);
+        assert_eq!(a.validate_nanos().count(), 2);
+        assert_eq!(a.commit_batch_size().count(), 2);
+        assert_eq!(a.commit_batch_size().max_value(), 16);
+        assert_eq!(a.gc_floor_lag(), 9);
+        a.reset();
+        assert_eq!(a.validate_nanos().count(), 0);
+        assert_eq!(a.gc_floor_lag(), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_is_consistent_with_snapshots() {
+        // Recorders hammer the registry while a reader repeatedly snapshots;
+        // every snapshot must be internally sane (count monotone, quantiles
+        // present once non-empty) and the final state exact.
+        let t = Arc::new(Telemetry::new());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writers: Vec<_> = (0..4)
+            .map(|w| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        t.validate_nanos().record_nanos(100 + (w * 10 + i % 7));
+                        t.commit_batch_size().record_value(1 + i % 5);
+                    }
+                })
+            })
+            .collect();
+        let reader = {
+            let t = Arc::clone(&t);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut last = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let summary = HistogramSummary::of(t.validate_nanos());
+                    assert!(summary.count >= last, "count regressed");
+                    if summary.count > 0 {
+                        // All recorded values are >= 100ns, so any
+                        // mid-flight quantile must be non-zero.  (Ordering
+                        // *between* quantiles is not asserted: each one
+                        // rescans the live buckets, so two quantile reads
+                        // see two different distributions.)
+                        assert!(summary.p50 > 0);
+                        assert!(summary.p999 > 0);
+                    }
+                    last = summary.count;
+                }
+            })
+        };
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        reader.join().unwrap();
+        assert_eq!(t.validate_nanos().count(), 40_000);
+        assert_eq!(t.commit_batch_size().count(), 40_000);
+    }
+
+    /// Golden test of the Prometheus text exposition: the snapshot is built
+    /// as a struct literal (no histogram bucket math involved), so the
+    /// output is fully deterministic and compared byte-for-byte.  If this
+    /// fails because the format deliberately changed, update the golden —
+    /// and treat it as the API break it is for anything scraping us.
+    #[test]
+    fn prometheus_exposition_matches_golden() {
+        let snap = TelemetrySnapshot {
+            stats: TxStatsSnapshot {
+                begun: 10,
+                committed: 7,
+                aborted: 3,
+                reads: 40,
+                writes: 12,
+                gc_runs: 2,
+                gc_reclaimed: 5,
+                persist_queue_depth: 1,
+                ..Default::default()
+            },
+            aborts_by_reason: [1, 0, 2, 0, 0],
+            validate_nanos: HistogramSummary {
+                count: 7,
+                sum: 700,
+                min: 50,
+                max: 200,
+                p50: 100,
+                p99: 200,
+                p999: 200,
+            },
+            persist_writers: 2,
+            failed_writers: 1,
+            gc_floor_lag: 4,
+            ..Default::default()
+        };
+        let golden = "\
+# HELP tsp_txns_begun_total Transactions begun.
+# TYPE tsp_txns_begun_total counter
+tsp_txns_begun_total 10
+# HELP tsp_txns_committed_total Transactions committed.
+# TYPE tsp_txns_committed_total counter
+tsp_txns_committed_total 7
+# HELP tsp_txns_aborted_total Transactions aborted.
+# TYPE tsp_txns_aborted_total counter
+tsp_txns_aborted_total 3
+# HELP tsp_reads_total Read operations served.
+# TYPE tsp_reads_total counter
+tsp_reads_total 40
+# HELP tsp_writes_total Write operations buffered.
+# TYPE tsp_writes_total counter
+tsp_writes_total 12
+# HELP tsp_gc_runs_total Garbage-collection passes over version arrays.
+# TYPE tsp_gc_runs_total counter
+tsp_gc_runs_total 2
+# HELP tsp_gc_reclaimed_versions_total Versions reclaimed by garbage collection.
+# TYPE tsp_gc_reclaimed_versions_total counter
+tsp_gc_reclaimed_versions_total 5
+# HELP tsp_aborts_total Aborts by reason.
+# TYPE tsp_aborts_total counter
+tsp_aborts_total{reason=\"fcw_conflict\"} 1
+tsp_aborts_total{reason=\"certification\"} 0
+tsp_aborts_total{reason=\"lock_conflict\"} 2
+tsp_aborts_total{reason=\"slot_exhaustion\"} 0
+tsp_aborts_total{reason=\"failed_apply\"} 0
+# HELP tsp_commit_validate_nanos Commit validation phase (ns).
+# TYPE tsp_commit_validate_nanos summary
+tsp_commit_validate_nanos{quantile=\"0.5\"} 100
+tsp_commit_validate_nanos{quantile=\"0.99\"} 200
+tsp_commit_validate_nanos{quantile=\"0.999\"} 200
+tsp_commit_validate_nanos_sum 700
+tsp_commit_validate_nanos_count 7
+# HELP tsp_commit_apply_nanos Commit in-memory apply phase (ns).
+# TYPE tsp_commit_apply_nanos summary
+tsp_commit_apply_nanos{quantile=\"0.5\"} 0
+tsp_commit_apply_nanos{quantile=\"0.99\"} 0
+tsp_commit_apply_nanos{quantile=\"0.999\"} 0
+tsp_commit_apply_nanos_sum 0
+tsp_commit_apply_nanos_count 0
+# HELP tsp_commit_durable_handoff_nanos Commit durable hand-off phase (ns).
+# TYPE tsp_commit_durable_handoff_nanos summary
+tsp_commit_durable_handoff_nanos{quantile=\"0.5\"} 0
+tsp_commit_durable_handoff_nanos{quantile=\"0.99\"} 0
+tsp_commit_durable_handoff_nanos{quantile=\"0.999\"} 0
+tsp_commit_durable_handoff_nanos_sum 0
+tsp_commit_durable_handoff_nanos_count 0
+# HELP tsp_commit_leader_drain_nanos Leader batch drain (ns).
+# TYPE tsp_commit_leader_drain_nanos summary
+tsp_commit_leader_drain_nanos{quantile=\"0.5\"} 0
+tsp_commit_leader_drain_nanos{quantile=\"0.99\"} 0
+tsp_commit_leader_drain_nanos{quantile=\"0.999\"} 0
+tsp_commit_leader_drain_nanos_sum 0
+tsp_commit_leader_drain_nanos_count 0
+# HELP tsp_commit_follower_wait_nanos Follower wait for a batched commit decision (ns).
+# TYPE tsp_commit_follower_wait_nanos summary
+tsp_commit_follower_wait_nanos{quantile=\"0.5\"} 0
+tsp_commit_follower_wait_nanos{quantile=\"0.99\"} 0
+tsp_commit_follower_wait_nanos{quantile=\"0.999\"} 0
+tsp_commit_follower_wait_nanos_sum 0
+tsp_commit_follower_wait_nanos_count 0
+# HELP tsp_commit_batch_size Commits per drained batch.
+# TYPE tsp_commit_batch_size summary
+tsp_commit_batch_size{quantile=\"0.5\"} 0
+tsp_commit_batch_size{quantile=\"0.99\"} 0
+tsp_commit_batch_size{quantile=\"0.999\"} 0
+tsp_commit_batch_size_sum 0
+tsp_commit_batch_size_count 0
+# HELP tsp_persist_queue_dwell_nanos Time batches dwell in persistence queues (ns).
+# TYPE tsp_persist_queue_dwell_nanos summary
+tsp_persist_queue_dwell_nanos{quantile=\"0.5\"} 0
+tsp_persist_queue_dwell_nanos{quantile=\"0.99\"} 0
+tsp_persist_queue_dwell_nanos{quantile=\"0.999\"} 0
+tsp_persist_queue_dwell_nanos_sum 0
+tsp_persist_queue_dwell_nanos_count 0
+# HELP tsp_persist_coalesced_batch_size Enqueued batches coalesced per backend write.
+# TYPE tsp_persist_coalesced_batch_size summary
+tsp_persist_coalesced_batch_size{quantile=\"0.5\"} 0
+tsp_persist_coalesced_batch_size{quantile=\"0.99\"} 0
+tsp_persist_coalesced_batch_size{quantile=\"0.999\"} 0
+tsp_persist_coalesced_batch_size_sum 0
+tsp_persist_coalesced_batch_size_count 0
+# HELP tsp_persist_queue_depth Batches queued in asynchronous persistence writers.
+# TYPE tsp_persist_queue_depth gauge
+tsp_persist_queue_depth 1
+# HELP tsp_persist_writers Attached asynchronous persistence writers.
+# TYPE tsp_persist_writers gauge
+tsp_persist_writers 2
+# HELP tsp_persist_failed_writers Writers in the sticky-failed state.
+# TYPE tsp_persist_failed_writers gauge
+tsp_persist_failed_writers 1
+# HELP tsp_gc_floor_lag Clock distance from the oldest active snapshot floor at the last GC sweep.
+# TYPE tsp_gc_floor_lag gauge
+tsp_gc_floor_lag 4
+";
+        assert_eq!(snap.to_prometheus(), golden);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let telemetry = Telemetry::new();
+        telemetry.validate_nanos().record_nanos(1_000);
+        let stats = TxStatsSnapshot {
+            begun: 2,
+            committed: 1,
+            aborted: 1,
+            write_conflicts: 1,
+            ..Default::default()
+        };
+        let snap = TelemetrySnapshot::collect(
+            &telemetry,
+            stats,
+            &Histogram::new(),
+            &Histogram::new(),
+            0,
+            0,
+        );
+        let json = snap.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"begun\":2"));
+        assert!(json.contains("\"fcw_conflict\":1"));
+        assert!(json.contains("\"validate_nanos\":{\"count\":1"));
+        assert!(json.contains("\"failed_writers\":0"));
+        assert_eq!(snap.abort_count(AbortReason::FcwConflict), 1);
+        // Balanced braces — the cheapest structural check without a parser.
+        let depth = json.chars().fold(0i64, |d, c| match c {
+            '{' => d + 1,
+            '}' => d - 1,
+            _ => d,
+        });
+        assert_eq!(depth, 0);
+    }
+}

@@ -64,7 +64,8 @@ use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use tsp_common::{Result, Timestamp, TspError};
+use std::time::Instant;
+use tsp_common::{Histogram, Result, Timestamp, TspError};
 
 /// Default bound on the number of queued batches per writer.  Each queued
 /// batch is one group-commit's worth of durable work, so the default allows
@@ -74,8 +75,9 @@ pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
 
 /// Queue and lifecycle state shared with the writer thread.
 struct WriterState {
-    /// Pending `(cts, batch)` pairs, in enqueue order.
-    queue: Vec<(Timestamp, WriteBatch)>,
+    /// Pending `(cts, batch, enqueued_at)` entries, in enqueue order.  The
+    /// enqueue instant feeds the queue-dwell histogram at drain time.
+    queue: Vec<(Timestamp, WriteBatch, Instant)>,
     /// True while the thread is applying a drained batch.
     writing: bool,
     /// Graceful shutdown: drain everything, then exit.
@@ -110,6 +112,12 @@ struct Shared {
     /// received work is vacuously durable and must not drag aggregate
     /// watermarks down to 0.
     ever_enqueued: std::sync::atomic::AtomicBool,
+    /// Telemetry: how long batches sat in the queue before being drained
+    /// (nanoseconds; recorded by the writer thread, off the commit path).
+    dwell: Histogram,
+    /// Telemetry: how many enqueued batches each drain coalesced into one
+    /// backend `write_batch`.
+    coalesce: Histogram,
 }
 
 /// Asynchronous, coalescing persistence writer for one storage backend.
@@ -149,6 +157,8 @@ impl BatchWriter {
             done: Condvar::new(),
             durable: AtomicU64::new(0),
             ever_enqueued: std::sync::atomic::AtomicBool::new(false),
+            dwell: Histogram::new(),
+            coalesce: Histogram::new(),
         });
         let thread = {
             let shared = Arc::clone(&shared);
@@ -199,7 +209,7 @@ impl BatchWriter {
             // impossible.
             self.shared.done.wait(&mut st);
         }
-        st.queue.push((cts, batch));
+        st.queue.push((cts, batch, Instant::now()));
         if let Some(g) = &self.shared.depth_gauge {
             g.fetch_add(1, Ordering::Relaxed);
         }
@@ -304,6 +314,24 @@ impl BatchWriter {
     pub fn queued_len(&self) -> usize {
         self.shared.state.lock().queue.len()
     }
+
+    /// True if the writer is in the sticky-failed state: a `write_batch`
+    /// failed, no further work will ever drain, and every durability wait
+    /// reports the error.
+    pub fn is_failed(&self) -> bool {
+        self.shared.state.lock().error.is_some()
+    }
+
+    /// Telemetry: time batches dwelled in the queue before being drained
+    /// (nanoseconds).
+    pub fn queue_dwell(&self) -> &Histogram {
+        &self.shared.dwell
+    }
+
+    /// Telemetry: enqueued batches coalesced per backend `write_batch`.
+    pub fn coalesced_batch(&self) -> &Histogram {
+        &self.shared.coalesce
+    }
 }
 
 impl Drop for BatchWriter {
@@ -361,7 +389,7 @@ fn writer_loop(shared: &Shared) {
             // under one commit-lock domain (the normal one-backend-per-table
             // deployment) — see the module docs for the shared-backend
             // caveat.
-            drained.sort_by_key(|(cts, _)| *cts);
+            drained.sort_by_key(|(cts, _, _)| *cts);
             st.writing = true;
             if let Some(g) = &shared.depth_gauge {
                 g.fetch_sub(drained.len() as u64, Ordering::Relaxed);
@@ -371,9 +399,18 @@ fn writer_loop(shared: &Shared) {
             shared.done.notify_all();
             drained
         };
-        let max_cts = drained.last().map(|(cts, _)| *cts).unwrap_or(0);
-        let mut merged = WriteBatch::with_capacity(drained.iter().map(|(_, b)| b.len()).sum());
-        for (_, batch) in drained {
+        // Telemetry, on the writer thread (never the commit path): one
+        // coalesce sample per drain, one dwell sample per drained batch.
+        shared.coalesce.record_value(drained.len() as u64);
+        let drain_instant = Instant::now();
+        for (_, _, enqueued_at) in &drained {
+            shared
+                .dwell
+                .record_nanos(drain_instant.duration_since(*enqueued_at).as_nanos() as u64);
+        }
+        let max_cts = drained.last().map(|(cts, _, _)| *cts).unwrap_or(0);
+        let mut merged = WriteBatch::with_capacity(drained.iter().map(|(_, b, _)| b.len()).sum());
+        for (_, batch, _) in drained {
             for op in batch.into_ops() {
                 match op {
                     crate::backend::BatchOp::Put { key, value } => {
@@ -562,6 +599,28 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_tracks_dwell_and_coalescing() {
+        let backend = GatedBackend::new();
+        let writer = BatchWriter::spawn_with(backend.clone(), 64, None);
+        // First batch drains alone into the parked write …
+        writer.enqueue(1, batch(1, 1)).unwrap();
+        while writer.queued_len() > 0 {
+            std::thread::yield_now();
+        }
+        // … while two more queue up and must coalesce into one drain.
+        writer.enqueue(2, batch(2, 2)).unwrap();
+        writer.enqueue(3, batch(3, 3)).unwrap();
+        backend.release();
+        writer.sync_barrier().unwrap();
+        assert_eq!(writer.queue_dwell().count(), 3);
+        let coalesce = writer.coalesced_batch();
+        assert_eq!(coalesce.count(), 2);
+        assert_eq!(coalesce.sum_value(), 3);
+        assert_eq!(coalesce.max_value(), 2);
+        assert!(!writer.is_failed());
+    }
+
+    #[test]
     fn depth_gauge_tracks_enqueue_and_drain() {
         let backend = GatedBackend::new();
         let gauge = Arc::new(AtomicU64::new(0));
@@ -646,6 +705,7 @@ mod tests {
         backend.release();
         // The failure is sticky: waiters see it, the gauge is reconciled.
         assert!(writer.sync_barrier().is_err());
+        assert!(writer.is_failed());
         assert_eq!(gauge.load(Ordering::Relaxed), 0);
         // Abandoning afterwards must not subtract the still-queued
         // entries a second time.

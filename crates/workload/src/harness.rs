@@ -15,16 +15,16 @@
 //! throughput in K transactions per second — the quantity plotted in
 //! Figure 4.
 
-use crate::metrics::{throughput_ktps, LatencyRecorder};
+use crate::metrics::throughput_ktps;
 use crate::zipf::{KeyGen, ZipfTable};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
-use tsp_common::{Result, TspError};
+use tsp_common::{Histogram, Result, TspError};
 use tsp_core::{
-    PartitionedContext, RangePartitioner, StateContext, TableHandle, TransactionManager,
-    TransactionalTableExt, TxStatsSnapshot, MAX_ACTIVE_TXNS,
+    HistogramSummary, PartitionedContext, RangePartitioner, StateContext, TableHandle,
+    TransactionManager, TransactionalTableExt, TxStatsSnapshot, MAX_ACTIVE_TXNS,
 };
 use tsp_storage::{LsmOptions, LsmStore, StorageBackend, SyncPolicy};
 
@@ -168,6 +168,8 @@ pub struct RunResult {
     pub reader_p50: Option<Duration>,
     /// 99th-percentile reader-transaction latency.
     pub reader_p99: Option<Duration>,
+    /// 99.9th-percentile reader-transaction latency.
+    pub reader_p999: Option<Duration>,
     /// Snapshot of the context-wide counters at the end of the run.  For a
     /// partitioned run this is the *router* context's snapshot (outer
     /// begins/commits/aborts); per-partition detail is in
@@ -179,6 +181,11 @@ pub struct RunResult {
     /// runs); index = partition.  Exposes skew: each inner context counts
     /// its own sub-transaction commits, reads, writes and GC.
     pub partition_stats: Vec<TxStatsSnapshot>,
+    /// Per-partition reader-transaction latency (nanoseconds; empty for
+    /// unpartitioned runs); index = the transaction's home partition.
+    /// Together with [`partition_stats`](Self::partition_stats) this shows
+    /// whether a hot partition also pays a latency penalty.
+    pub partition_reader_latency: Vec<HistogramSummary>,
 }
 
 impl RunResult {
@@ -476,15 +483,24 @@ pub fn run_in(config: &WorkloadConfig, env: &BenchEnv) -> Result<RunResult> {
             config.seed ^ 0xDEAD_BEEF ^ (r as u64 * 31 + 7),
         );
         let tx_ops = config.tx_ops;
+        // Per-partition latency only makes sense (and only costs anything)
+        // for partitioned runs.
+        let latency_parts = if config.partitions > 1 {
+            config.partitions
+        } else {
+            0
+        };
         reader_handles.push(std::thread::spawn(
-            move || -> (u64, u64, LatencyRecorder) {
+            move || -> (u64, u64, Histogram, Vec<Histogram>) {
                 let mut committed = 0u64;
                 let mut aborted = 0u64;
-                let mut latencies = LatencyRecorder::new(64 * 1024);
+                let latencies = Histogram::new();
+                let per_part: Vec<Histogram> =
+                    (0..latency_parts).map(|_| Histogram::new()).collect();
                 barrier.wait();
                 while !stop.load(Ordering::Relaxed) {
                     let started = Instant::now();
-                    sampler.next_txn();
+                    let part = sampler.next_txn();
                     let Ok(tx) = mgr.begin_read_only() else {
                         aborted += 1;
                         continue;
@@ -506,7 +522,11 @@ pub fn run_in(config: &WorkloadConfig, env: &BenchEnv) -> Result<RunResult> {
                     match outcome {
                         Ok(_) => {
                             committed += 1;
-                            latencies.record(started.elapsed());
+                            let took = started.elapsed();
+                            latencies.record(took);
+                            if let Some(h) = per_part.get(part) {
+                                h.record(took);
+                            }
                         }
                         Err(()) => {
                             let _ = mgr.abort(&tx);
@@ -514,7 +534,7 @@ pub fn run_in(config: &WorkloadConfig, env: &BenchEnv) -> Result<RunResult> {
                         }
                     }
                 }
-                (committed, aborted, latencies)
+                (committed, aborted, latencies, per_part)
             },
         ));
     }
@@ -535,12 +555,20 @@ pub fn run_in(config: &WorkloadConfig, env: &BenchEnv) -> Result<RunResult> {
     }
     let mut reader_committed = 0;
     let mut reader_aborted = 0;
-    let mut latencies = LatencyRecorder::new(1 << 20);
+    let latencies = Histogram::new();
+    let partition_latencies: Vec<Histogram> = if config.partitions > 1 {
+        (0..config.partitions).map(|_| Histogram::new()).collect()
+    } else {
+        Vec::new()
+    };
     for h in reader_handles {
-        let (c, a, l) = h.join().expect("reader thread panicked");
+        let (c, a, l, pl) = h.join().expect("reader thread panicked");
         reader_committed += c;
         reader_aborted += a;
         latencies.merge(&l);
+        for (acc, part) in partition_latencies.iter().zip(pl.iter()) {
+            acc.merge(part);
+        }
     }
 
     let total = reader_committed + writer_committed;
@@ -559,6 +587,7 @@ pub fn run_in(config: &WorkloadConfig, env: &BenchEnv) -> Result<RunResult> {
         writer_tps: writer_committed as f64 / elapsed.as_secs_f64(),
         reader_p50: latencies.quantile(0.5),
         reader_p99: latencies.quantile(0.99),
+        reader_p999: latencies.quantile(0.999),
         stats: env.mgr.context().stats().snapshot(),
         partitions: config.partitions.max(1),
         partition_stats: env
@@ -566,6 +595,10 @@ pub fn run_in(config: &WorkloadConfig, env: &BenchEnv) -> Result<RunResult> {
             .as_ref()
             .map(|pc| pc.partition_stats())
             .unwrap_or_default(),
+        partition_reader_latency: partition_latencies
+            .iter()
+            .map(HistogramSummary::of)
+            .collect(),
     })
 }
 
@@ -590,6 +623,8 @@ mod tests {
             );
             assert!(result.throughput_ktps > 0.0);
             assert!(result.reader_p50.is_some());
+            assert!(result.reader_p999 >= result.reader_p50);
+            assert!(result.partition_reader_latency.is_empty());
             assert!(result.abort_ratio() >= 0.0);
         }
     }
@@ -678,6 +713,20 @@ mod tests {
                 protocol.name(),
                 result.partition_stats
             );
+            // Reader latency is resolved per home partition as well.
+            assert_eq!(result.partition_reader_latency.len(), 2);
+            assert!(
+                result.partition_reader_latency.iter().all(|s| s.count > 0),
+                "{} recorded no per-partition latency: {:?}",
+                protocol.name(),
+                result.partition_reader_latency
+            );
+            let recorded: u64 = result
+                .partition_reader_latency
+                .iter()
+                .map(|s| s.count)
+                .sum();
+            assert_eq!(recorded, result.reader_committed);
         }
     }
 

@@ -1,284 +1,9 @@
-//! Log-bucketed latency histograms.
+//! Re-export of the shared log-bucketed histogram.
 //!
-//! The [`crate::metrics::LatencyRecorder`] keeps raw samples, which is fine
-//! for one reporting thread but becomes awkward when dozens of ad-hoc reader
-//! threads record concurrently.  [`Histogram`] trades a bounded relative
-//! error (~ 1/64 per bucket) for fixed memory and lock-free recording: values
-//! are bucketed by their power-of-two magnitude with 64 linear sub-buckets
-//! per magnitude, the same layout HdrHistogram-style recorders use.
+//! The histogram started life here as a harness-only latency recorder; it
+//! was hoisted into `tsp_common` so the engine's telemetry layer
+//! (`tsp_core::telemetry`) records into the same type and per-partition
+//! histograms merge into roll-ups.  This module remains as a path-stable
+//! re-export for harness code and downstream users.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
-
-/// Sub-buckets per power-of-two magnitude (relative error ≈ 1/SUB_BUCKETS).
-const SUB_BUCKETS: usize = 64;
-/// Number of magnitudes covered (2^0 .. 2^39 ns ≈ 9 minutes — plenty).
-const MAGNITUDES: usize = 40;
-const BUCKETS: usize = SUB_BUCKETS * MAGNITUDES;
-
-/// A fixed-memory, thread-safe latency histogram over nanosecond values.
-#[derive(Debug)]
-pub struct Histogram {
-    buckets: Vec<AtomicU64>,
-    count: AtomicU64,
-    sum: AtomicU64,
-    max: AtomicU64,
-    min: AtomicU64,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Histogram {
-    /// Creates an empty histogram.
-    pub fn new() -> Self {
-        Histogram {
-            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
-            count: AtomicU64::new(0),
-            sum: AtomicU64::new(0),
-            max: AtomicU64::new(0),
-            min: AtomicU64::new(u64::MAX),
-        }
-    }
-
-    fn bucket_index(value: u64) -> usize {
-        let v = value.max(1);
-        let magnitude = (63 - v.leading_zeros()) as usize; // floor(log2 v)
-        if magnitude >= MAGNITUDES {
-            return BUCKETS - 1;
-        }
-        let sub = if magnitude == 0 {
-            0
-        } else {
-            // Position within the magnitude, scaled to SUB_BUCKETS slots.
-            (((v - (1 << magnitude)) * SUB_BUCKETS as u64) >> magnitude) as usize
-        };
-        magnitude * SUB_BUCKETS + sub.min(SUB_BUCKETS - 1)
-    }
-
-    /// Representative (upper-bound) value of bucket `idx`.
-    fn bucket_value(idx: usize) -> u64 {
-        let magnitude = idx / SUB_BUCKETS;
-        let sub = (idx % SUB_BUCKETS) as u64;
-        let base = 1u64 << magnitude;
-        base + ((sub + 1) * base) / SUB_BUCKETS as u64
-    }
-
-    /// Records one duration.
-    pub fn record(&self, d: Duration) {
-        self.record_nanos(d.as_nanos().min(u64::MAX as u128) as u64);
-    }
-
-    /// Records one raw nanosecond value.
-    pub fn record_nanos(&self, nanos: u64) {
-        self.buckets[Self::bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(nanos, Ordering::Relaxed);
-        self.max.fetch_max(nanos, Ordering::Relaxed);
-        self.min.fetch_min(nanos, Ordering::Relaxed);
-    }
-
-    /// Number of recorded values.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Largest recorded value (0 if empty).
-    pub fn max(&self) -> Duration {
-        if self.count() == 0 {
-            Duration::ZERO
-        } else {
-            Duration::from_nanos(self.max.load(Ordering::Relaxed))
-        }
-    }
-
-    /// Smallest recorded value (0 if empty).
-    pub fn min(&self) -> Duration {
-        if self.count() == 0 {
-            Duration::ZERO
-        } else {
-            Duration::from_nanos(self.min.load(Ordering::Relaxed))
-        }
-    }
-
-    /// Mean of all recorded values.
-    pub fn mean(&self) -> Option<Duration> {
-        let n = self.count();
-        if n == 0 {
-            return None;
-        }
-        Some(Duration::from_nanos(self.sum.load(Ordering::Relaxed) / n))
-    }
-
-    /// The `q`-quantile (0.0 ..= 1.0) with the histogram's bucket resolution.
-    pub fn quantile(&self, q: f64) -> Option<Duration> {
-        let total = self.count();
-        if total == 0 {
-            return None;
-        }
-        let target = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (idx, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= target {
-                // Never report beyond the true observed maximum.
-                let v = Self::bucket_value(idx).min(self.max.load(Ordering::Relaxed));
-                return Some(Duration::from_nanos(v));
-            }
-        }
-        Some(self.max())
-    }
-
-    /// Merges another histogram's counts into this one.
-    pub fn merge(&self, other: &Histogram) {
-        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
-            let n = theirs.load(Ordering::Relaxed);
-            if n > 0 {
-                mine.fetch_add(n, Ordering::Relaxed);
-            }
-        }
-        self.count
-            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
-        self.sum
-            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
-        self.max
-            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
-        self.min
-            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
-    }
-
-    /// Clears all recorded data.
-    pub fn reset(&self) {
-        for b in &self.buckets {
-            b.store(0, Ordering::Relaxed);
-        }
-        self.count.store(0, Ordering::Relaxed);
-        self.sum.store(0, Ordering::Relaxed);
-        self.max.store(0, Ordering::Relaxed);
-        self.min.store(u64::MAX, Ordering::Relaxed);
-    }
-
-    /// One-line summary (`count / mean / p50 / p99 / max`) for reports.
-    pub fn summary(&self) -> String {
-        match self.mean() {
-            None => "no samples".to_string(),
-            Some(mean) => format!(
-                "n={} mean={:.1}µs p50={:.1}µs p99={:.1}µs max={:.1}µs",
-                self.count(),
-                mean.as_secs_f64() * 1e6,
-                self.quantile(0.5).unwrap_or_default().as_secs_f64() * 1e6,
-                self.quantile(0.99).unwrap_or_default().as_secs_f64() * 1e6,
-                self.max().as_secs_f64() * 1e6,
-            ),
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::sync::Arc;
-
-    #[test]
-    fn empty_histogram() {
-        let h = Histogram::new();
-        assert_eq!(h.count(), 0);
-        assert!(h.mean().is_none());
-        assert!(h.quantile(0.5).is_none());
-        assert_eq!(h.max(), Duration::ZERO);
-        assert_eq!(h.min(), Duration::ZERO);
-        assert_eq!(h.summary(), "no samples");
-    }
-
-    #[test]
-    fn quantiles_track_known_distribution() {
-        let h = Histogram::new();
-        for i in 1..=10_000u64 {
-            h.record_nanos(i * 1_000); // 1µs .. 10ms
-        }
-        assert_eq!(h.count(), 10_000);
-        let p50 = h.quantile(0.5).unwrap().as_nanos() as f64;
-        let expect = 5_000_000.0;
-        assert!(
-            (p50 - expect).abs() / expect < 0.05,
-            "p50 off by more than 5%: {p50}"
-        );
-        let p99 = h.quantile(0.99).unwrap().as_nanos() as f64;
-        assert!((p99 - 9_900_000.0).abs() / 9_900_000.0 < 0.05, "p99={p99}");
-        assert!(h.quantile(1.0).unwrap() <= h.max());
-        assert_eq!(h.min(), Duration::from_nanos(1_000));
-        let mean = h.mean().unwrap().as_nanos() as f64;
-        assert!((mean - 5_000_500.0 * 1.0).abs() / 5_000_000.0 < 0.01);
-    }
-
-    #[test]
-    fn bucket_error_is_bounded() {
-        // Every recorded value must land in a bucket whose representative
-        // value is within ~2/64 of the original.
-        for v in [
-            1u64,
-            7,
-            63,
-            64,
-            65,
-            1_000,
-            123_456,
-            9_999_999,
-            u32::MAX as u64,
-        ] {
-            let h = Histogram::new();
-            h.record_nanos(v);
-            let q = h.quantile(1.0).unwrap().as_nanos() as u64;
-            let err = (q as f64 - v as f64).abs() / v as f64;
-            assert!(err <= 0.05, "value {v} reported as {q} (error {err})");
-        }
-    }
-
-    #[test]
-    fn concurrent_recording() {
-        let h = Arc::new(Histogram::new());
-        let handles: Vec<_> = (0..8)
-            .map(|t| {
-                let h = Arc::clone(&h);
-                std::thread::spawn(move || {
-                    for i in 0..10_000u64 {
-                        h.record_nanos((t + 1) * 1_000 + i % 100);
-                    }
-                })
-            })
-            .collect();
-        for handle in handles {
-            handle.join().unwrap();
-        }
-        assert_eq!(h.count(), 80_000);
-        assert!(h.quantile(0.5).is_some());
-    }
-
-    #[test]
-    fn merge_and_reset() {
-        let a = Histogram::new();
-        let b = Histogram::new();
-        a.record(Duration::from_micros(10));
-        b.record(Duration::from_micros(1000));
-        a.merge(&b);
-        assert_eq!(a.count(), 2);
-        assert!(a.max() >= Duration::from_micros(990));
-        assert!(a.min() <= Duration::from_micros(11));
-        assert!(!a.summary().is_empty());
-        a.reset();
-        assert_eq!(a.count(), 0);
-        assert!(a.quantile(0.9).is_none());
-    }
-
-    #[test]
-    fn huge_values_saturate_into_last_bucket() {
-        let h = Histogram::new();
-        h.record_nanos(u64::MAX);
-        h.record_nanos(u64::MAX / 2);
-        assert_eq!(h.count(), 2);
-        assert!(h.quantile(1.0).is_some());
-    }
-}
+pub use tsp_common::Histogram;

@@ -8,7 +8,8 @@
 //! * [`harness`] — the micro-benchmark: one continuous stream writer updating
 //!   two states under the consistency protocol, N concurrent ad-hoc readers,
 //!   persistent synchronous base tables, 10-operation transactions,
-//! * [`metrics`] — latency recording and throughput math,
+//! * [`metrics`] — throughput math (latency recording uses the shared
+//!   [`histogram`]),
 //! * [`report`] — console tables shaped like Figure 4 plus CSV output.
 //!
 //! The `tsp-bench` crate drives this harness from Criterion benches and the
@@ -27,7 +28,7 @@ pub mod zipf;
 
 pub use harness::{BenchEnv, Protocol, RunResult, StorageKind, WorkloadConfig};
 pub use histogram::Histogram;
-pub use metrics::{throughput_ktps, LatencyRecorder};
+pub use metrics::throughput_ktps;
 pub use smartmeter::{MeterReading, MeterSpec, SmartMeterConfig, SmartMeterGenerator};
 pub use ycsb::{run_ycsb, YcsbConfig, YcsbMix, YcsbOp, YcsbResult};
 pub use zipf::{KeyGen, PartitionLocalSampler, ZipfSampler, ZipfTable};
@@ -38,7 +39,7 @@ pub mod prelude {
         run, run_in, BenchEnv, Protocol, RunResult, StorageKind, WorkloadConfig,
     };
     pub use crate::histogram::Histogram;
-    pub use crate::metrics::{throughput_ktps, LatencyRecorder};
+    pub use crate::metrics::throughput_ktps;
     pub use crate::report::{csv_row, figure4_table, summary_line, write_csv, CSV_HEADER};
     pub use crate::smartmeter::{
         violates_spec, MeterReading, MeterSpec, SmartMeterConfig, SmartMeterGenerator,

@@ -1,89 +1,13 @@
-//! Latency and throughput metrics for the benchmark harness.
+//! Throughput math for the benchmark harness.
+//!
+//! Latency recording lives in the shared log-bucketed
+//! [`Histogram`](crate::histogram::Histogram) (`tsp_common::Histogram`):
+//! the reservoir-replacement `LatencyRecorder` that used to live here
+//! biased tail percentiles once the buffer wrapped, so the harness now
+//! records straight into histograms and merges them across threads and
+//! partitions.
 
 use std::time::Duration;
-
-/// Collects latency samples (in nanoseconds) and derives percentiles.
-///
-/// To bound memory for long runs, at most the capacity chosen at
-/// construction is kept; once full, new samples overwrite old ones pseudo-
-/// randomly (simple reservoir-style replacement keyed by the running count).
-#[derive(Debug, Clone)]
-pub struct LatencyRecorder {
-    samples: Vec<u64>,
-    capacity: usize,
-    observed: u64,
-}
-
-impl Default for LatencyRecorder {
-    fn default() -> Self {
-        Self::new(1 << 20)
-    }
-}
-
-impl LatencyRecorder {
-    /// Creates a recorder keeping at most `capacity` samples.
-    pub fn new(capacity: usize) -> Self {
-        LatencyRecorder {
-            samples: Vec::with_capacity(capacity.min(1 << 20)),
-            capacity: capacity.max(1),
-            observed: 0,
-        }
-    }
-
-    /// Records one latency observation.
-    pub fn record(&mut self, latency: Duration) {
-        let nanos = latency.as_nanos().min(u64::MAX as u128) as u64;
-        self.observed += 1;
-        if self.samples.len() < self.capacity {
-            self.samples.push(nanos);
-        } else {
-            // Deterministic replacement spreads overwrites over the buffer.
-            let idx = (self.observed as usize * 2_654_435_761) % self.capacity;
-            self.samples[idx] = nanos;
-        }
-    }
-
-    /// Total number of observations (including evicted ones).
-    pub fn count(&self) -> u64 {
-        self.observed
-    }
-
-    /// The `q`-quantile (0.0 ..= 1.0) of the retained samples, if any.
-    pub fn quantile(&self, q: f64) -> Option<Duration> {
-        if self.samples.is_empty() {
-            return None;
-        }
-        let mut sorted = self.samples.clone();
-        sorted.sort_unstable();
-        let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
-        Some(Duration::from_nanos(sorted[idx]))
-    }
-
-    /// Mean of the retained samples.
-    pub fn mean(&self) -> Option<Duration> {
-        if self.samples.is_empty() {
-            return None;
-        }
-        let sum: u128 = self.samples.iter().map(|s| *s as u128).sum();
-        Some(Duration::from_nanos(
-            (sum / self.samples.len() as u128) as u64,
-        ))
-    }
-
-    /// Merges another recorder's samples into this one.
-    pub fn merge(&mut self, other: &LatencyRecorder) {
-        self.observed += other.observed;
-        for &s in &other.samples {
-            if self.samples.len() < self.capacity {
-                self.samples.push(s);
-            } else {
-                let idx = (self.observed as usize * 2_654_435_761) % self.capacity;
-                self.samples[idx] = s;
-                self.observed += 1;
-            }
-        }
-    }
-}
 
 /// Throughput helper: committed operations over a wall-clock window.
 pub fn throughput_ktps(committed: u64, elapsed: Duration) -> f64 {
@@ -96,54 +20,6 @@ pub fn throughput_ktps(committed: u64, elapsed: Duration) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn quantiles_and_mean() {
-        let mut r = LatencyRecorder::new(1000);
-        for i in 1..=100u64 {
-            r.record(Duration::from_micros(i));
-        }
-        assert_eq!(r.count(), 100);
-        let p50 = r.quantile(0.5).unwrap();
-        assert!((49..=51).contains(&(p50.as_micros() as u64)), "p50={p50:?}");
-        let p99 = r.quantile(0.99).unwrap();
-        assert!(p99 >= Duration::from_micros(98));
-        let mean = r.mean().unwrap();
-        assert!(
-            (50..=52).contains(&(mean.as_micros() as u64)),
-            "mean={mean:?}"
-        );
-        assert!(r.quantile(0.0).unwrap() <= r.quantile(1.0).unwrap());
-    }
-
-    #[test]
-    fn empty_recorder_has_no_stats() {
-        let r = LatencyRecorder::new(10);
-        assert_eq!(r.count(), 0);
-        assert!(r.quantile(0.5).is_none());
-        assert!(r.mean().is_none());
-    }
-
-    #[test]
-    fn bounded_capacity_keeps_recording() {
-        let mut r = LatencyRecorder::new(16);
-        for i in 0..1000u64 {
-            r.record(Duration::from_nanos(i));
-        }
-        assert_eq!(r.count(), 1000);
-        assert!(r.quantile(0.5).is_some());
-    }
-
-    #[test]
-    fn merge_combines_observations() {
-        let mut a = LatencyRecorder::new(100);
-        let mut b = LatencyRecorder::new(100);
-        a.record(Duration::from_micros(1));
-        b.record(Duration::from_micros(1000));
-        a.merge(&b);
-        assert_eq!(a.count(), 2);
-        assert!(a.quantile(1.0).unwrap() >= Duration::from_micros(1000));
-    }
 
     #[test]
     fn throughput_math() {

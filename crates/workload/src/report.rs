@@ -6,12 +6,12 @@ use std::path::Path;
 use tsp_common::Result;
 
 /// CSV header matching [`csv_row`].
-pub const CSV_HEADER: &str = "protocol,readers,theta,storage,elapsed_s,reader_committed,reader_aborted,writer_committed,writer_aborted,throughput_ktps,reader_ktps,writer_tps,reader_p50_us,reader_p99_us,abort_ratio";
+pub const CSV_HEADER: &str = "protocol,readers,theta,storage,elapsed_s,reader_committed,reader_aborted,writer_committed,writer_aborted,throughput_ktps,reader_ktps,writer_tps,reader_p50_us,reader_p99_us,reader_p999_us,abort_ratio";
 
 /// Serialises one result as a CSV row (without trailing newline).
 pub fn csv_row(r: &RunResult) -> String {
     format!(
-        "{},{},{:.2},{},{:.3},{},{},{},{},{:.3},{:.3},{:.1},{},{},{:.4}",
+        "{},{},{:.2},{},{:.3},{},{},{},{},{:.3},{:.3},{:.1},{},{},{},{:.4}",
         r.protocol.name(),
         r.readers,
         r.theta,
@@ -26,6 +26,7 @@ pub fn csv_row(r: &RunResult) -> String {
         r.writer_tps,
         r.reader_p50.map(|d| d.as_micros()).unwrap_or(0),
         r.reader_p99.map(|d| d.as_micros()).unwrap_or(0),
+        r.reader_p999.map(|d| d.as_micros()).unwrap_or(0),
         r.abort_ratio(),
     )
 }
@@ -129,9 +130,11 @@ mod tests {
             writer_tps: 100.0,
             reader_p50: Some(Duration::from_micros(50)),
             reader_p99: Some(Duration::from_micros(900)),
+            reader_p999: Some(Duration::from_micros(1500)),
             stats: TxStatsSnapshot::default(),
             partitions: 1,
             partition_stats: Vec::new(),
+            partition_reader_latency: Vec::new(),
         }
     }
 

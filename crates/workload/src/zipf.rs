@@ -227,11 +227,13 @@ impl KeyGen {
         }
     }
 
-    /// Marks a transaction boundary (the home-partition pick, for
-    /// partition-local generators).
-    pub fn next_txn(&mut self) {
-        if let KeyGen::PartitionLocal(s) = self {
-            s.next_txn();
+    /// Marks a transaction boundary and returns the transaction's home
+    /// partition (the partition pick for partition-local generators;
+    /// always `0` for a global draw, which is the sole partition).
+    pub fn next_txn(&mut self) -> usize {
+        match self {
+            KeyGen::Global(_) => 0,
+            KeyGen::PartitionLocal(s) => s.next_txn(),
         }
     }
 

@@ -126,9 +126,11 @@ fn scan_overlays_uncommitted_writes() {
 
 /// Two concurrent writers of the same key: exactly one commits, and the
 /// winner's value survives.  *Where* the loser fails differs by protocol —
-/// S2PL kills the younger writer at lock acquisition (wait-die), MVCC fails
+/// S2PL kills the younger writer at lock acquisition (wait-die), MVCC (and
+/// SSI, which delegates its write-set check to MVCC) fails
 /// First-Committer-Wins validation, BOCC fails backward validation — but the
-/// end state is identical.
+/// end state is identical.  The abort-reason taxonomy must attribute the
+/// loser to exactly the protocol's conflict class.
 #[test]
 fn write_write_conflict_admits_exactly_one_winner() {
     for protocol in Protocol::ALL {
@@ -151,6 +153,7 @@ fn write_write_conflict_admits_exactly_one_winner() {
                         "{protocol}: unexpected conflict error {e}"
                     ),
                 }
+                let _ = mgr.abort(&t2);
             }
             Err(e) => {
                 // S2PL: the younger writer dies at the exclusive lock.
@@ -161,6 +164,21 @@ fn write_write_conflict_admits_exactly_one_winner() {
                 mgr.abort(&t2).unwrap();
                 mgr.commit(&t1).unwrap();
             }
+        }
+
+        let expected = match protocol {
+            Protocol::Mvcc | Protocol::Ssi => AbortReason::FcwConflict,
+            Protocol::Bocc => AbortReason::Certification,
+            Protocol::S2pl => AbortReason::LockConflict,
+        };
+        let snap = mgr.context().stats().snapshot();
+        for reason in AbortReason::ALL {
+            let want = u64::from(reason == expected);
+            assert_eq!(
+                snap.abort_reason(reason),
+                want,
+                "{protocol}: {reason} count after a write-write conflict"
+            );
         }
 
         let r = mgr.begin_read_only().unwrap();
@@ -231,6 +249,15 @@ fn snapshot_visibility_during_concurrent_commit() {
                     "BOCC: {err}"
                 );
                 assert!(err.is_retryable());
+                // The taxonomy files the stale read under certification.
+                assert_eq!(
+                    mgr.context()
+                        .stats()
+                        .snapshot()
+                        .abort_reason(AbortReason::Certification),
+                    1,
+                    "BOCC: a failed backward validation is a certification abort"
+                );
             }
         }
     }
