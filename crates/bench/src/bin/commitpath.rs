@@ -37,13 +37,14 @@
 //!   commitpath [--duration-ms N] [--threads 1,4,8] [--table-size N]
 //!              [--label NAME] [--out PATH] [--metrics-json PATH]
 //!              [--protocols mvcc,...] [--dir PATH] [--partitions 1,4]
+//!              \[--fault-profile transient\[:seed\]|nth:N\[:permanent\]|slow\[:seed\]\]
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tsp_common::Histogram;
 use tsp_core::prelude::*;
-use tsp_storage::{lsm, LsmOptions, LsmStore, StorageBackend};
+use tsp_storage::{lsm, FaultInjectingBackend, FaultPlan, LsmOptions, LsmStore, StorageBackend};
 use tsp_workload::zipf::{KeyGen, ZipfTable};
 
 /// Operations attempted per transaction.
@@ -166,6 +167,7 @@ struct Options {
     partitions: Vec<usize>,
     sync_persist: bool,
     backends: Vec<Backend>,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Default for Options {
@@ -182,6 +184,7 @@ impl Default for Options {
             partitions: vec![1],
             sync_persist: false,
             backends: vec![Backend::Volatile, Backend::LsmSync],
+            fault_plan: None,
         }
     }
 }
@@ -240,6 +243,16 @@ fn parse_args() -> Options {
                     .map(|s| s.trim().parse().expect("partition count"))
                     .collect();
             }
+            // Deterministic fault injection on the persistent backend's
+            // batch writes: `transient[:seed]`, `nth:<n>[:permanent]`,
+            // `slow[:seed]` or `none` (see `tsp_storage::FaultPlan`).
+            // Transient faults are absorbed by the writer's retry policy;
+            // sticky failures are healed by a recovery sweep at flush time,
+            // so the cell still reports honest end-to-end numbers.
+            "--fault-profile" => {
+                opts.fault_plan =
+                    FaultPlan::parse(&value("--fault-profile")).expect("fault profile");
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "commitpath [--duration-ms N] [--threads 1,4,8] \
@@ -247,7 +260,8 @@ fn parse_args() -> Options {
                      [--metrics-json PATH] \
                      [--protocols mvcc,s2pl,bocc,ssi] [--dir PATH] \
                      [--partitions 1,4] [--sync-persist] \
-                     [--backends volatile,lsm_sync]"
+                     [--backends volatile,lsm_sync] \
+                     [--fault-profile none|transient[:seed]|nth:N[:permanent]|slow[:seed]]"
                 );
                 std::process::exit(0);
             }
@@ -279,12 +293,26 @@ fn run_cell(
     if backend_kind == Backend::LsmSync {
         let _ = std::fs::remove_dir_all(&cell_dir);
     }
+    // Fault decorators start disarmed so the preload runs clean; they are
+    // armed once the measured window begins.
+    let fault_backends: std::cell::RefCell<Vec<Arc<FaultInjectingBackend>>> =
+        std::cell::RefCell::new(Vec::new());
     let open_backend = |path: std::path::PathBuf| -> Option<Arc<dyn StorageBackend>> {
         match backend_kind {
             Backend::Volatile => None,
-            Backend::LsmSync => Some(Arc::new(
-                LsmStore::open(path, LsmOptions::default()).expect("open LSM store"),
-            )),
+            Backend::LsmSync => {
+                let store: Arc<dyn StorageBackend> =
+                    Arc::new(LsmStore::open(path, LsmOptions::default()).expect("open LSM store"));
+                Some(match opts.fault_plan {
+                    Some(plan) => {
+                        let faulty = FaultInjectingBackend::wrap(store, plan);
+                        faulty.set_armed(false);
+                        fault_backends.borrow_mut().push(Arc::clone(&faulty));
+                        faulty as _
+                    }
+                    None => store,
+                })
+            }
         }
     };
     let capacity = (threads * 2 + 8).max(64);
@@ -323,6 +351,15 @@ fn run_cell(
     table
         .preload_iter(&mut (0..opts.table_size).map(|k| (k, k)))
         .unwrap();
+    // Preload is durable before faults arm: a sticky failure mid-preload
+    // would measure recovery of the load phase, not of the workload.
+    match &pc {
+        Some(pc) => pc.flush().expect("preload flush"),
+        None => mgr.flush().expect("preload flush"),
+    }
+    for faulty in fault_backends.borrow().iter() {
+        faulty.set_armed(true);
+    }
 
     // Partition-local sampling draws Zipf offsets within one chunk.
     let chunk = if partitions > 1 {
@@ -408,14 +445,30 @@ fn run_cell(
     }
     let elapsed_ms = started.elapsed().as_millis() as u64;
     // Drain the durability backlog and charge it to the cell explicitly.
+    // Under an injected fault profile the flush may find sticky-failed
+    // writers; a recovery sweep heals them and the retained backlog is
+    // replayed — the heal-and-retry time is charged to `flush_ms` too.
     let flush_ms;
     {
         let flush_started = Instant::now();
-        match &pc {
+        let flush = || match &pc {
             // The router persists nothing; drain every partition's hub.
-            Some(pc) => pc.flush().expect("durability flush"),
-            None => mgr.flush().expect("durability flush"), // NEW-PIPELINE-API
+            Some(pc) => pc.flush(),
+            None => mgr.flush(), // NEW-PIPELINE-API
+        };
+        let recover = || match &pc {
+            Some(pc) => pc.try_recover_writers(),
+            None => mgr.try_recover_writers(),
+        };
+        let mut result = flush();
+        for _ in 0..100 {
+            if result.is_ok() {
+                break;
+            }
+            let _ = recover();
+            result = flush();
         }
+        result.expect("durability flush (after recovery sweeps)");
         flush_ms = flush_started.elapsed().as_millis() as u64;
     }
     // Internal view of the same run, captured after the flush so the

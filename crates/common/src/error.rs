@@ -11,6 +11,24 @@ use std::io;
 /// Convenience result alias used across the workspace.
 pub type Result<T> = std::result::Result<T, TspError>;
 
+/// Fault-tolerance classification of an error: may the *same* operation be
+/// retried against the same resource, or is the failure final?
+///
+/// This is orthogonal to [`TspError::is_retryable`], which classifies
+/// *transaction* outcomes (retry with a **fresh** transaction).  `ErrorClass`
+/// classifies *operations* — chiefly storage I/O: a transient `write_batch`
+/// failure (timeout, interrupted syscall, device busy) is worth retrying
+/// in place with backoff; a permanent one (corruption, missing file,
+/// permission denied) never heals by itself and must surface immediately.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ErrorClass {
+    /// The failure may heal on its own; retrying the same operation with
+    /// backoff is reasonable.
+    Transient,
+    /// The failure is final; retrying the same operation cannot succeed.
+    Permanent,
+}
+
 /// Errors produced by the storage, transaction and stream layers.
 #[derive(Debug)]
 pub enum TspError {
@@ -113,6 +131,45 @@ impl TspError {
                 | TspError::Deadlock { .. }
                 | TspError::TxnAborted { .. }
         )
+    }
+
+    /// Classifies the error as [`Transient`](ErrorClass::Transient) or
+    /// [`Permanent`](ErrorClass::Permanent) for in-place operation retries.
+    ///
+    /// Storage backends report transient I/O conditions through the
+    /// [`io::ErrorKind`] of a [`TspError::Io`]: `Interrupted`, `TimedOut`
+    /// and `WouldBlock` are the transient kinds (a retry may succeed once
+    /// the device or scheduler recovers); every other kind — and every
+    /// [`Corruption`](TspError::Corruption) — is permanent.  Capacity
+    /// pressure ([`CapacityExhausted`](TspError::CapacityExhausted)) is
+    /// transient by nature: slots free up as in-flight work finishes.
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            TspError::Io(e) => match e.kind() {
+                io::ErrorKind::Interrupted
+                | io::ErrorKind::TimedOut
+                | io::ErrorKind::WouldBlock => ErrorClass::Transient,
+                _ => ErrorClass::Permanent,
+            },
+            TspError::CapacityExhausted { .. } => ErrorClass::Transient,
+            _ => ErrorClass::Permanent,
+        }
+    }
+
+    /// True if [`class`](Self::class) is [`ErrorClass::Transient`].
+    pub fn is_transient(&self) -> bool {
+        self.class() == ErrorClass::Transient
+    }
+
+    /// Constructs a *transient* I/O error (kind `Interrupted`) — the shape
+    /// fault injectors and backends use to signal "retry me".
+    pub fn transient_io(detail: impl Into<String>) -> Self {
+        TspError::Io(io::Error::new(io::ErrorKind::Interrupted, detail.into()))
+    }
+
+    /// Constructs a *permanent* I/O error (kind `Other`).
+    pub fn permanent_io(detail: impl Into<String>) -> Self {
+        TspError::Io(io::Error::other(detail.into()))
     }
 
     /// Shorthand constructor for [`TspError::Corruption`].
@@ -230,6 +287,29 @@ mod tests {
             .contains('3'));
         assert!(TspError::config("bad").to_string().contains("bad"));
         assert!(TspError::protocol("oops").to_string().contains("oops"));
+    }
+
+    #[test]
+    fn transient_permanent_classification() {
+        // Transient I/O kinds heal; everything else is final.
+        assert!(TspError::transient_io("device busy").is_transient());
+        assert!(TspError::Io(io::Error::new(io::ErrorKind::TimedOut, "t")).is_transient());
+        assert!(TspError::Io(io::Error::new(io::ErrorKind::WouldBlock, "w")).is_transient());
+        assert!(!TspError::permanent_io("device failed").is_transient());
+        assert!(!TspError::Io(io::Error::new(io::ErrorKind::NotFound, "gone")).is_transient());
+        assert_eq!(
+            TspError::corruption("bad crc").class(),
+            ErrorClass::Permanent
+        );
+        // Capacity pressure is transient: slots free up on their own.
+        assert!(TspError::CapacityExhausted { what: "slots" }.is_transient());
+        // Concurrency-control outcomes are transaction-level, not
+        // operation-level: retrying the same operation cannot help.
+        assert_eq!(
+            TspError::ValidationFailed { txn: 1 }.class(),
+            ErrorClass::Permanent
+        );
+        assert_eq!(TspError::KeyNotFound.class(), ErrorClass::Permanent);
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod punctuation;
 pub mod time;
 pub mod tuple;
 
-pub use error::{Result, TspError};
+pub use error::{ErrorClass, Result, TspError};
 pub use histogram::Histogram;
 pub use ids::{GroupId, OperatorId, StateId, TxnId};
 pub use pad::CachePadded;
@@ -35,7 +35,7 @@ pub use tuple::{StreamElement, Tuple};
 
 /// Frequently used items, re-exported for `use tsp_common::prelude::*`.
 pub mod prelude {
-    pub use crate::error::{Result, TspError};
+    pub use crate::error::{ErrorClass, Result, TspError};
     pub use crate::histogram::Histogram;
     pub use crate::ids::{GroupId, OperatorId, StateId, TxnId};
     pub use crate::punctuation::{Punctuation, PunctuationKind};

@@ -61,14 +61,15 @@
 
 use crate::clock::{GlobalClock, EPOCH_TS};
 use crate::stats::TxStats;
-use crate::telemetry::{AbortReason, Telemetry, TelemetrySnapshot};
+use crate::telemetry::{AbortReason, Telemetry, TelemetrySnapshot, WriterCounters};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use tsp_common::{CachePadded, GroupId, Histogram, Result, StateId, Timestamp, TspError, TxnId};
-use tsp_storage::{BatchWriter, StorageBackend};
+use tsp_storage::{BatchWriter, RetryPolicy, StorageBackend};
 
 /// Default maximum number of concurrently active transactions.
 ///
@@ -255,6 +256,9 @@ pub struct DurabilityHub {
     depth_gauge: Arc<AtomicU64>,
     /// One writer per distinct backend, deduplicated by `Arc` identity.
     writers: RwLock<Vec<(usize, Arc<BatchWriter>)>>,
+    /// Retry budget applied to writers spawned from here on (transient
+    /// `write_batch` failures are retried in place under it).
+    retry_policy: Mutex<RetryPolicy>,
 }
 
 impl DurabilityHub {
@@ -264,6 +268,7 @@ impl DurabilityHub {
             queue_capacity: AtomicUsize::new(tsp_storage::DEFAULT_QUEUE_CAPACITY),
             depth_gauge,
             writers: RwLock::new(Vec::new()),
+            retry_policy: Mutex::new(RetryPolicy::default()),
         }
     }
 
@@ -280,6 +285,19 @@ impl DurabilityHub {
     /// The queue bound applied to newly spawned persistence writers.
     pub fn queue_capacity(&self) -> usize {
         self.queue_capacity.load(Ordering::Acquire)
+    }
+
+    /// Sets the [`RetryPolicy`] for persistence writers spawned *after*
+    /// this call; writers already running keep their policy.  Call before
+    /// tables are built (alongside
+    /// [`StateContext::enable_async_persistence`]).
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        *self.retry_policy.lock() = policy;
+    }
+
+    /// The retry budget applied to newly spawned persistence writers.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        *self.retry_policy.lock()
     }
 
     /// Total batches currently queued across all writers (the same gauge
@@ -307,10 +325,11 @@ impl DurabilityHub {
         if let Some((_, w)) = writers.iter().find(|(k, _)| *k == key) {
             return Arc::clone(w);
         }
-        let writer = BatchWriter::spawn_with(
+        let writer = BatchWriter::spawn_with_policy(
             Arc::clone(backend),
             self.queue_capacity.load(Ordering::Acquire),
             Some(Arc::clone(&self.depth_gauge)),
+            *self.retry_policy.lock(),
         );
         writers.push((key, Arc::clone(&writer)));
         writer
@@ -347,6 +366,28 @@ impl DurabilityHub {
         Ok(())
     }
 
+    /// Bounded [`wait_durable`](Self::wait_durable): returns `Ok(true)`
+    /// when the commit at `cts` is durable on every backend, `Ok(false)`
+    /// if `timeout` elapsed first, and a writer's sticky error if one
+    /// failed.  The timeout spans *all* writers — each successive writer
+    /// gets whatever remains of the budget.
+    pub fn wait_durable_timeout(&self, cts: Timestamp, timeout: Duration) -> Result<bool> {
+        let deadline = Instant::now() + timeout;
+        let writers: Vec<Arc<BatchWriter>> = self
+            .writers
+            .read()
+            .iter()
+            .map(|(_, w)| Arc::clone(w))
+            .collect();
+        for w in writers {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if !w.wait_durable_timeout(cts, remaining)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
     /// Blocks until every enqueued batch on every backend is durable.
     pub fn flush(&self) -> Result<()> {
         let writers: Vec<Arc<BatchWriter>> = self
@@ -361,26 +402,55 @@ impl DurabilityHub {
         Ok(())
     }
 
+    /// Attempts [`BatchWriter::try_recover`] on every sticky-failed writer
+    /// and returns how many were resurrected.  Healthy writers are
+    /// untouched; the first recovery that fails (the backend is still sick,
+    /// or the writer was abandoned) aborts the sweep with its error.
+    pub fn try_recover_writers(&self) -> Result<usize> {
+        let writers: Vec<Arc<BatchWriter>> = self
+            .writers
+            .read()
+            .iter()
+            .map(|(_, w)| Arc::clone(w))
+            .collect();
+        let mut recovered = 0;
+        for w in writers {
+            if w.try_recover()? {
+                recovered += 1;
+            }
+        }
+        Ok(recovered)
+    }
+
     /// Number of attached writers (diagnostics).
     pub fn writer_count(&self) -> usize {
         self.writers.read().len()
     }
 
     /// Merges every writer's queue-dwell and coalesced-batch-size
-    /// histograms into `dwell` / `coalesce` and returns
-    /// `(writer_count, failed_writer_count)` — the persistence leg of
+    /// histograms into `dwell` / `coalesce` and returns the summed
+    /// [`WriterCounters`] — the persistence leg of
     /// [`StateContext::telemetry_snapshot`].
-    pub fn collect_writer_telemetry(&self, dwell: &Histogram, coalesce: &Histogram) -> (u64, u64) {
+    pub fn collect_writer_telemetry(
+        &self,
+        dwell: &Histogram,
+        coalesce: &Histogram,
+    ) -> WriterCounters {
         let writers = self.writers.read();
-        let mut failed = 0u64;
+        let mut counters = WriterCounters {
+            writers: writers.len() as u64,
+            ..WriterCounters::default()
+        };
         for (_, w) in writers.iter() {
             dwell.merge(w.queue_dwell());
             coalesce.merge(w.coalesced_batch());
             if w.is_failed() {
-                failed += 1;
+                counters.failed += 1;
             }
+            counters.retries += w.persist_retries();
+            counters.recoveries += w.recoveries();
         }
-        (writers.len() as u64, failed)
+        counters
     }
 }
 
@@ -439,6 +509,10 @@ pub struct StateContext {
     stats: TxStats,
     telemetry: Telemetry,
     durability: DurabilityHub,
+    /// Bounded-wait admission budget for `begin` in nanoseconds; 0 means
+    /// immediate-fail admission (`SlotExhaustion` when the slot table is
+    /// full, the historical behaviour).
+    admission_wait_nanos: AtomicU64,
 }
 
 impl Default for StateContext {
@@ -501,6 +575,7 @@ impl StateContext {
             stats,
             telemetry: Telemetry::new(),
             durability,
+            admission_wait_nanos: AtomicU64::new(0),
         }
     }
 
@@ -532,14 +607,13 @@ impl StateContext {
     pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
         let dwell = Histogram::new();
         let coalesce = Histogram::new();
-        let (writers, failed) = self.durability.collect_writer_telemetry(&dwell, &coalesce);
+        let writers = self.durability.collect_writer_telemetry(&dwell, &coalesce);
         TelemetrySnapshot::collect(
             &self.telemetry,
             self.stats.snapshot(),
             &dwell,
             &coalesce,
             writers,
-            failed,
         )
     }
 
@@ -559,6 +633,39 @@ impl StateContext {
     /// durability), matching the paper's evaluation setting.
     pub fn enable_async_persistence(&self) {
         self.durability.async_enabled.store(true, Ordering::Release);
+    }
+
+    /// Configures bounded-wait admission for [`begin`](Self::begin): when
+    /// the slot table is full, `begin` retries slot acquisition with
+    /// backoff for up to `wait` before aborting with an
+    /// [`AbortReason::AdmissionTimeout`], instead of failing immediately
+    /// with `SlotExhaustion`.  `None` restores immediate-fail admission.
+    pub fn set_admission_wait(&self, wait: Option<Duration>) {
+        let nanos = wait.map_or(0, |w| {
+            u64::try_from(w.as_nanos()).unwrap_or(u64::MAX).max(1)
+        });
+        self.admission_wait_nanos.store(nanos, Ordering::Relaxed);
+    }
+
+    /// The configured bounded-wait admission budget (`None` =
+    /// immediate-fail admission).
+    pub fn admission_wait(&self) -> Option<Duration> {
+        match self.admission_wait_nanos.load(Ordering::Relaxed) {
+            0 => None,
+            n => Some(Duration::from_nanos(n)),
+        }
+    }
+
+    /// Bounded [`DurabilityHub::wait_durable`]: `Ok(true)` once the commit
+    /// at `cts` is durable on every backend, `Ok(false)` if `timeout`
+    /// elapsed first (counted in `TxStats::durability_timeouts`), or a
+    /// writer's sticky error.
+    pub fn wait_durable_timeout(&self, cts: Timestamp, timeout: Duration) -> Result<bool> {
+        let durable = self.durability.wait_durable_timeout(cts, timeout)?;
+        if !durable {
+            TxStats::bump(&self.stats.durability_timeouts);
+        }
+        Ok(durable)
     }
 
     // ------------------------------------------------------------------
@@ -680,11 +787,14 @@ impl StateContext {
 
     /// Begins a new transaction: draws a TxnId from the clock and claims a
     /// slot in the active-transaction table via CAS on the occupancy bitmap.
+    ///
+    /// When the slot table is full the outcome depends on the admission
+    /// mode ([`set_admission_wait`](Self::set_admission_wait)): immediate
+    /// `SlotExhaustion` by default, or a bounded backoff wait that either
+    /// wins a freed slot (counted in `TxStats::admission_waits`) or
+    /// expires with an [`AbortReason::AdmissionTimeout`].
     pub fn begin(&self, read_only: bool) -> Result<Tx> {
-        let slot = self.claim_slot().inspect_err(|_| {
-            // The only failure is a full slot table — taxonomy it.
-            self.stats.record_abort(AbortReason::SlotExhaustion);
-        })?;
+        let slot = self.claim_slot_admitted()?;
         let s = &self.slots[slot];
         // Reset the per-slot caches *before* publishing the new owner, and
         // *inside* a `cache_seq` window: this transaction's handle only
@@ -719,6 +829,55 @@ impl StateContext {
             begin_ts,
             read_only,
         })
+    }
+
+    /// [`claim_slot`](Self::claim_slot) plus admission control: applies the
+    /// configured bounded wait when the slot table is full and records the
+    /// abort taxonomy for both failure modes.
+    #[inline]
+    fn claim_slot_admitted(&self) -> Result<usize> {
+        match self.claim_slot() {
+            Ok(slot) => Ok(slot),
+            Err(err) => self.claim_slot_contended(err),
+        }
+    }
+
+    /// The slot table was full at `begin`: wait out the configured admission
+    /// window (or fail immediately when none is set).  Kept out of line so the
+    /// begin fast path stays as small as it was before admission control.
+    #[cold]
+    fn claim_slot_contended(&self, err: TspError) -> Result<usize> {
+        let wait_nanos = self.admission_wait_nanos.load(Ordering::Relaxed);
+        if wait_nanos == 0 {
+            // Immediate-fail admission — the historical behaviour.
+            self.stats.record_abort(AbortReason::SlotExhaustion);
+            return Err(err);
+        }
+        let started = Instant::now();
+        let deadline = started + Duration::from_nanos(wait_nanos);
+        // Doubling backoff between re-scans: slots free up at commit/abort
+        // granularity, so microsecond-scale probing is plenty — tight
+        // spinning would steal cycles from the very transactions whose
+        // completion frees a slot.
+        let mut backoff = Duration::from_micros(5);
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                self.stats.record_abort(AbortReason::AdmissionTimeout);
+                return Err(TspError::CapacityExhausted {
+                    what: "active transaction slots (admission wait expired)",
+                });
+            }
+            std::thread::sleep(backoff.min(deadline - now));
+            if let Ok(slot) = self.claim_slot() {
+                TxStats::bump(&self.stats.admission_waits);
+                self.telemetry
+                    .admission_wait_nanos()
+                    .record_nanos(started.elapsed().as_nanos() as u64);
+                return Ok(slot);
+            }
+            backoff = (backoff * 2).min(Duration::from_micros(500));
+        }
     }
 
     /// Claims a free slot bit.

@@ -91,7 +91,7 @@ pub use table::{
     BoccTable, ConflictCheck, KeyType, MvccTable, MvccTableOptions, Protocol, S2plTable, SsiTable,
     TableHandle, TransactionalTable, TransactionalTableExt, TxParticipant, ValueType, WriteOp,
 };
-pub use telemetry::{AbortReason, HistogramSummary, Telemetry, TelemetrySnapshot};
+pub use telemetry::{AbortReason, HistogramSummary, Telemetry, TelemetrySnapshot, WriterCounters};
 
 /// Frequently used items, re-exported for `use tsp_core::prelude::*`.
 pub mod prelude {

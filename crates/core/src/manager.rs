@@ -66,7 +66,7 @@ use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use tsp_common::{GroupId, Result, StateId, Timestamp, TspError};
 
 /// Outcome reported to an operator that flagged its state (operator-style
@@ -266,10 +266,48 @@ impl TransactionManager {
         Ok(cts)
     }
 
+    /// [`commit_durable`](Self::commit_durable) with a **bounded** durability
+    /// wait: the commit itself is unconditional, but the wait for the
+    /// `DurableCTS` watermark gives up after `timeout`.
+    ///
+    /// Returns `(cts, durable)`.  `durable == false` means the commit is
+    /// visible but its persistence was not confirmed within the timeout —
+    /// the write is still queued and will normally become durable shortly;
+    /// the caller can poll again with [`StateContext::wait_durable_timeout`]
+    /// or escalate.  Each timeout bumps the `durability_timeouts` counter.
+    pub fn commit_durable_timeout(
+        &self,
+        tx: &Tx,
+        timeout: Duration,
+    ) -> Result<(Option<Timestamp>, bool)> {
+        if self.ctx.is_abort_flagged(tx)? {
+            self.rollback_internal(tx)?;
+            return Err(TspError::TxnAborted {
+                txn: tx.id().as_u64(),
+                reason: "a participating state flagged abort".into(),
+            });
+        }
+        let cts = self.commit(tx)?;
+        match cts {
+            Some(cts) => {
+                let durable = self.ctx.wait_durable_timeout(cts, timeout)?;
+                Ok((Some(cts), durable))
+            }
+            None => Ok((None, true)),
+        }
+    }
+
     /// Blocks until every commit enqueued to the asynchronous persistence
     /// writers is durable.  A no-op under synchronous persistence.
     pub fn flush(&self) -> Result<()> {
         self.ctx.durability().flush()
+    }
+
+    /// Sweeps the asynchronous persistence writers and attempts to
+    /// [`recover`](tsp_storage::BatchWriter::try_recover) any that are stuck
+    /// in the sticky-failed state.  Returns the number of writers healed.
+    pub fn try_recover_writers(&self) -> Result<usize> {
+        self.ctx.durability().try_recover_writers()
     }
 
     fn group_commit(&self, group: GroupId) -> Option<Arc<GroupCommit>> {

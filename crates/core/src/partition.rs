@@ -431,6 +431,18 @@ impl PartitionedContext {
         Ok(())
     }
 
+    /// Sweeps every partition's persistence writers and attempts to recover
+    /// any stuck in the sticky-failed state — the partitioned analogue of
+    /// [`TransactionManager::try_recover_writers`].  Returns the total
+    /// number of writers healed.
+    pub fn try_recover_writers(&self) -> Result<usize> {
+        let mut recovered = 0;
+        for core in &self.parts {
+            recovered += core.ctx.durability().try_recover_writers()?;
+        }
+        Ok(recovered)
+    }
+
     /// Per-partition statistics snapshots (index = partition).  Each inner
     /// context counts its own begins/commits/reads/writes/GC, so skew
     /// across partitions is directly observable.
@@ -461,21 +473,21 @@ impl PartitionedContext {
         let coalesce = Histogram::new();
         merged.merge(self.router.telemetry());
         let mut stats = self.router.stats().snapshot();
-        let (mut writers, mut failed) = self
+        let mut writers = self
             .router
             .durability()
             .collect_writer_telemetry(&dwell, &coalesce);
         for core in &self.parts {
             merged.merge(core.ctx.telemetry());
             stats = stats.merged_with(&core.ctx.stats().snapshot());
-            let (w, f) = core
-                .ctx
-                .durability()
-                .collect_writer_telemetry(&dwell, &coalesce);
-            writers += w;
-            failed += f;
+            writers = writers.merged_with(
+                &core
+                    .ctx
+                    .durability()
+                    .collect_writer_telemetry(&dwell, &coalesce),
+            );
         }
-        TelemetrySnapshot::collect(&merged, stats, &dwell, &coalesce, writers, failed)
+        TelemetrySnapshot::collect(&merged, stats, &dwell, &coalesce, writers)
     }
 
     /// Creates a partitioned table routed by [`HashPartitioner`].

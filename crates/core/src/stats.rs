@@ -109,6 +109,13 @@ pub struct TxStats {
     pub gc_runs: CachePadded<AtomicU64>,
     /// Versions reclaimed by garbage collection.
     pub gc_reclaimed: CachePadded<AtomicU64>,
+    /// `begin` calls that found no free slot but obtained one within the
+    /// bounded admission wait (each is a begin that would have aborted with
+    /// `SlotExhaustion` under immediate-fail admission).
+    pub admission_waits: CachePadded<AtomicU64>,
+    /// Bounded durability waits (`wait_durable_timeout`) that elapsed
+    /// before the commit became durable.
+    pub durability_timeouts: CachePadded<AtomicU64>,
     /// Batches currently queued in the asynchronous persistence writers —
     /// a *gauge*, not a counter: the `Arc` is shared with every
     /// `BatchWriter` of the owning context's durability hub, which
@@ -190,10 +197,13 @@ impl TxStats {
             deadlocks: abort_reasons[AbortReason::LockConflict.index()],
             slot_exhaustions: abort_reasons[AbortReason::SlotExhaustion.index()],
             failed_applies: abort_reasons[AbortReason::FailedApply.index()],
+            admission_timeouts: abort_reasons[AbortReason::AdmissionTimeout.index()],
             reads: self.reads.sum(),
             writes: self.writes.sum(),
             gc_runs: self.gc_runs.load(Ordering::Relaxed),
             gc_reclaimed: self.gc_reclaimed.load(Ordering::Relaxed),
+            admission_waits: self.admission_waits.load(Ordering::Relaxed),
+            durability_timeouts: self.durability_timeouts.load(Ordering::Relaxed),
             persist_queue_depth: self.persist_queue_depth.load(Ordering::Relaxed),
         }
     }
@@ -206,6 +216,8 @@ impl TxStats {
             &self.aborted,
             &self.gc_runs,
             &self.gc_reclaimed,
+            &self.admission_waits,
+            &self.durability_timeouts,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -241,6 +253,9 @@ pub struct TxStatsSnapshot {
     /// Apply / durable-handoff failures
     /// ([`AbortReason::FailedApply`]).
     pub failed_applies: u64,
+    /// Bounded admission waits that expired without a slot
+    /// ([`AbortReason::AdmissionTimeout`]).
+    pub admission_timeouts: u64,
     /// Read operations.
     pub reads: u64,
     /// Write operations.
@@ -249,6 +264,10 @@ pub struct TxStatsSnapshot {
     pub gc_runs: u64,
     /// Versions reclaimed.
     pub gc_reclaimed: u64,
+    /// Begins that waited for (and won) a slot under bounded admission.
+    pub admission_waits: u64,
+    /// Bounded durability waits that timed out.
+    pub durability_timeouts: u64,
     /// Batches queued in the asynchronous persistence writers at snapshot
     /// time (0 with synchronous persistence).
     pub persist_queue_depth: u64,
@@ -273,6 +292,7 @@ impl TxStatsSnapshot {
             AbortReason::LockConflict => self.deadlocks,
             AbortReason::SlotExhaustion => self.slot_exhaustions,
             AbortReason::FailedApply => self.failed_applies,
+            AbortReason::AdmissionTimeout => self.admission_timeouts,
         }
     }
 
@@ -289,10 +309,13 @@ impl TxStatsSnapshot {
             deadlocks: self.deadlocks + other.deadlocks,
             slot_exhaustions: self.slot_exhaustions + other.slot_exhaustions,
             failed_applies: self.failed_applies + other.failed_applies,
+            admission_timeouts: self.admission_timeouts + other.admission_timeouts,
             reads: self.reads + other.reads,
             writes: self.writes + other.writes,
             gc_runs: self.gc_runs + other.gc_runs,
             gc_reclaimed: self.gc_reclaimed + other.gc_reclaimed,
+            admission_waits: self.admission_waits + other.admission_waits,
+            durability_timeouts: self.durability_timeouts + other.durability_timeouts,
             persist_queue_depth: self.persist_queue_depth + other.persist_queue_depth,
         }
     }
@@ -309,10 +332,14 @@ mod tests {
         TxStats::bump(&s.begun);
         s.reads.add(0, 10);
         TxStats::bump(&s.committed);
+        TxStats::bump(&s.admission_waits);
+        TxStats::bump(&s.durability_timeouts);
         let snap = s.snapshot();
         assert_eq!(snap.begun, 2);
         assert_eq!(snap.reads, 10);
         assert_eq!(snap.committed, 1);
+        assert_eq!(snap.admission_waits, 1);
+        assert_eq!(snap.durability_timeouts, 1);
         s.reset();
         assert_eq!(s.snapshot(), TxStatsSnapshot::default());
     }
@@ -345,6 +372,7 @@ mod tests {
         s.record_abort(AbortReason::LockConflict);
         s.record_abort(AbortReason::SlotExhaustion);
         s.record_abort(AbortReason::FailedApply);
+        s.record_abort(AbortReason::AdmissionTimeout);
         assert_eq!(s.abort_reason_count(AbortReason::FcwConflict), 2);
         let snap = s.snapshot();
         assert_eq!(snap.write_conflicts, 2);
@@ -352,6 +380,7 @@ mod tests {
         assert_eq!(snap.deadlocks, 1);
         assert_eq!(snap.slot_exhaustions, 1);
         assert_eq!(snap.failed_applies, 1);
+        assert_eq!(snap.admission_timeouts, 1);
         for r in AbortReason::ALL {
             assert_eq!(snap.abort_reason(r), s.abort_reason_count(r));
         }

@@ -59,11 +59,16 @@ pub enum AbortReason {
     /// In-memory apply or durable hand-off failed (capacity pressure, I/O
     /// error, participant panic); the partial apply was undone.
     FailedApply,
+    /// Bounded-wait admission expired: `begin` waited its configured
+    /// deadline for a transaction slot and none freed up.  Distinct from
+    /// [`SlotExhaustion`](Self::SlotExhaustion), which is the immediate
+    /// refusal when no admission wait is configured.
+    AdmissionTimeout,
 }
 
 impl AbortReason {
     /// Number of taxonomy entries (the size of per-reason counter arrays).
-    pub const COUNT: usize = 5;
+    pub const COUNT: usize = 6;
 
     /// Every reason, in stable exposition order.
     pub const ALL: [AbortReason; Self::COUNT] = [
@@ -72,6 +77,7 @@ impl AbortReason {
         AbortReason::LockConflict,
         AbortReason::SlotExhaustion,
         AbortReason::FailedApply,
+        AbortReason::AdmissionTimeout,
     ];
 
     /// Stable index into per-reason counter arrays.
@@ -83,6 +89,7 @@ impl AbortReason {
             AbortReason::LockConflict => 2,
             AbortReason::SlotExhaustion => 3,
             AbortReason::FailedApply => 4,
+            AbortReason::AdmissionTimeout => 5,
         }
     }
 
@@ -94,6 +101,7 @@ impl AbortReason {
             AbortReason::LockConflict => "lock_conflict",
             AbortReason::SlotExhaustion => "slot_exhaustion",
             AbortReason::FailedApply => "failed_apply",
+            AbortReason::AdmissionTimeout => "admission_timeout",
         }
     }
 
@@ -144,6 +152,9 @@ pub struct Telemetry {
     follower_wait_nanos: Histogram,
     /// Commits per drained batch.
     commit_batch_size: Histogram,
+    /// Time `begin` spent waiting for a transaction slot under bounded
+    /// admission (only begins that actually waited record here).
+    admission_wait_nanos: Histogram,
     /// Gauge: clock distance between `now` and the oldest active snapshot
     /// floor at the last GC sweep (logical-timestamp units).
     gc_floor_lag: AtomicU64,
@@ -185,6 +196,11 @@ impl Telemetry {
         &self.commit_batch_size
     }
 
+    /// Bounded-admission wait timings (nanoseconds per begin that waited).
+    pub fn admission_wait_nanos(&self) -> &Histogram {
+        &self.admission_wait_nanos
+    }
+
     /// Updates the GC floor-lag gauge (clock `now` minus the oldest active
     /// snapshot floor, in logical-timestamp units).
     pub fn set_gc_floor_lag(&self, lag: u64) {
@@ -207,6 +223,7 @@ impl Telemetry {
         self.leader_drain_nanos.merge(&other.leader_drain_nanos);
         self.follower_wait_nanos.merge(&other.follower_wait_nanos);
         self.commit_batch_size.merge(&other.commit_batch_size);
+        self.admission_wait_nanos.merge(&other.admission_wait_nanos);
         self.gc_floor_lag.fetch_max(
             other.gc_floor_lag.load(Ordering::Relaxed),
             Ordering::Relaxed,
@@ -221,6 +238,7 @@ impl Telemetry {
         self.leader_drain_nanos.reset();
         self.follower_wait_nanos.reset();
         self.commit_batch_size.reset();
+        self.admission_wait_nanos.reset();
         self.gc_floor_lag.store(0, Ordering::Relaxed);
     }
 }
@@ -267,6 +285,33 @@ impl HistogramSummary {
     }
 }
 
+/// Writer-level aggregates the durability hub collects at snapshot time:
+/// attached/failed writer counts plus the fault-tolerance counters every
+/// writer carries.  Summed across hubs by partition roll-ups.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WriterCounters {
+    /// Attached asynchronous persistence writers.
+    pub writers: u64,
+    /// Writers currently wedged in the sticky-failed state.
+    pub failed: u64,
+    /// In-place `write_batch` retries (transient failures re-attempted).
+    pub retries: u64,
+    /// Successful writer recoveries (`BatchWriter::try_recover`).
+    pub recoveries: u64,
+}
+
+impl WriterCounters {
+    /// Element-wise sum — the partition roll-up primitive.
+    pub fn merged_with(&self, other: &WriterCounters) -> WriterCounters {
+        WriterCounters {
+            writers: self.writers + other.writers,
+            failed: self.failed + other.failed,
+            retries: self.retries + other.retries,
+            recoveries: self.recoveries + other.recoveries,
+        }
+    }
+}
+
 /// A structured point-in-time copy of every metric a context (or a
 /// partitioned roll-up) exposes — counters from
 /// [`TxStats`](crate::stats::TxStats), stage histograms from [`Telemetry`],
@@ -292,15 +337,23 @@ pub struct TelemetrySnapshot {
     pub follower_wait_nanos: HistogramSummary,
     /// Commits per drained batch.
     pub commit_batch_size: HistogramSummary,
+    /// Bounded-admission slot waits at `begin` (ns; only begins that
+    /// actually waited).
+    pub admission_wait_nanos: HistogramSummary,
     /// Time batches dwell in persistence queues before being drained (ns).
     pub queue_dwell_nanos: HistogramSummary,
     /// Enqueued batches coalesced per backend `write_batch`.
     pub coalesced_batch_size: HistogramSummary,
     /// Attached asynchronous persistence writers.
     pub persist_writers: u64,
-    /// Writers wedged in the sticky-failed state (a wedged writer never
-    /// confirms durability again; non-zero here demands attention).
+    /// Writers wedged in the sticky-failed state (a wedged writer confirms
+    /// no durability until recovered; non-zero here demands attention).
     pub failed_writers: u64,
+    /// In-place `write_batch` retries performed by the writers (transient
+    /// failures that healed without going sticky).
+    pub persist_retries: u64,
+    /// Sticky-failed writers successfully resurrected via `try_recover`.
+    pub writer_recoveries: u64,
     /// GC floor lag at the last sweep (logical-timestamp units).
     pub gc_floor_lag: u64,
 }
@@ -314,8 +367,7 @@ impl TelemetrySnapshot {
         stats: TxStatsSnapshot,
         dwell: &Histogram,
         coalesce: &Histogram,
-        persist_writers: u64,
-        failed_writers: u64,
+        writers: WriterCounters,
     ) -> Self {
         let mut aborts = [0u64; AbortReason::COUNT];
         for r in AbortReason::ALL {
@@ -330,10 +382,13 @@ impl TelemetrySnapshot {
             leader_drain_nanos: HistogramSummary::of(&telemetry.leader_drain_nanos),
             follower_wait_nanos: HistogramSummary::of(&telemetry.follower_wait_nanos),
             commit_batch_size: HistogramSummary::of(&telemetry.commit_batch_size),
+            admission_wait_nanos: HistogramSummary::of(&telemetry.admission_wait_nanos),
             queue_dwell_nanos: HistogramSummary::of(dwell),
             coalesced_batch_size: HistogramSummary::of(coalesce),
-            persist_writers,
-            failed_writers,
+            persist_writers: writers.writers,
+            failed_writers: writers.failed,
+            persist_retries: writers.retries,
+            writer_recoveries: writers.recoveries,
             gc_floor_lag: telemetry.gc_floor_lag(),
         }
     }
@@ -364,8 +419,12 @@ impl TelemetrySnapshot {
                 "\"leader_drain_nanos\":{},",
                 "\"follower_wait_nanos\":{},",
                 "\"commit_batch_size\":{}}},",
+                "\"admission\":{{\"waits\":{},\"durability_timeouts\":{},",
+                "\"wait_nanos\":{}}},",
                 "\"persistence\":{{\"queue_depth\":{},\"writers\":{},",
                 "\"failed_writers\":{},",
+                "\"retries\":{},",
+                "\"recoveries\":{},",
                 "\"queue_dwell_nanos\":{},",
                 "\"coalesced_batch_size\":{}}},",
                 "\"gc\":{{\"runs\":{},\"reclaimed_versions\":{},\"floor_lag\":{}}}}}"
@@ -382,9 +441,14 @@ impl TelemetrySnapshot {
             self.leader_drain_nanos.json(),
             self.follower_wait_nanos.json(),
             self.commit_batch_size.json(),
+            s.admission_waits,
+            s.durability_timeouts,
+            self.admission_wait_nanos.json(),
             s.persist_queue_depth,
             self.persist_writers,
             self.failed_writers,
+            self.persist_retries,
+            self.writer_recoveries,
             self.queue_dwell_nanos.json(),
             self.coalesced_batch_size.json(),
             s.gc_runs,
@@ -419,6 +483,26 @@ impl TelemetrySnapshot {
                 "tsp_gc_reclaimed_versions_total",
                 "Versions reclaimed by garbage collection.",
                 s.gc_reclaimed,
+            ),
+            (
+                "tsp_admission_waits_total",
+                "Begins that waited for (and won) a slot under bounded admission.",
+                s.admission_waits,
+            ),
+            (
+                "tsp_durability_timeouts_total",
+                "Bounded durability waits that timed out.",
+                s.durability_timeouts,
+            ),
+            (
+                "tsp_persist_retries_total",
+                "In-place write_batch retries of transient failures.",
+                self.persist_retries,
+            ),
+            (
+                "tsp_writer_recoveries_total",
+                "Sticky-failed persistence writers successfully recovered.",
+                self.writer_recoveries,
             ),
         ] {
             prom_counter(&mut out, name, help, value);
@@ -462,6 +546,11 @@ impl TelemetrySnapshot {
                 "tsp_commit_batch_size",
                 "Commits per drained batch.",
                 &self.commit_batch_size,
+            ),
+            (
+                "tsp_admission_wait_nanos",
+                "Bounded-admission slot wait at begin (ns).",
+                &self.admission_wait_nanos,
             ),
             (
                 "tsp_persist_queue_dwell_nanos",
@@ -657,10 +746,12 @@ mod tests {
                 writes: 12,
                 gc_runs: 2,
                 gc_reclaimed: 5,
+                admission_waits: 6,
+                durability_timeouts: 1,
                 persist_queue_depth: 1,
                 ..Default::default()
             },
-            aborts_by_reason: [1, 0, 2, 0, 0],
+            aborts_by_reason: [1, 0, 2, 0, 0, 4],
             validate_nanos: HistogramSummary {
                 count: 7,
                 sum: 700,
@@ -672,6 +763,8 @@ mod tests {
             },
             persist_writers: 2,
             failed_writers: 1,
+            persist_retries: 3,
+            writer_recoveries: 1,
             gc_floor_lag: 4,
             ..Default::default()
         };
@@ -697,6 +790,18 @@ tsp_gc_runs_total 2
 # HELP tsp_gc_reclaimed_versions_total Versions reclaimed by garbage collection.
 # TYPE tsp_gc_reclaimed_versions_total counter
 tsp_gc_reclaimed_versions_total 5
+# HELP tsp_admission_waits_total Begins that waited for (and won) a slot under bounded admission.
+# TYPE tsp_admission_waits_total counter
+tsp_admission_waits_total 6
+# HELP tsp_durability_timeouts_total Bounded durability waits that timed out.
+# TYPE tsp_durability_timeouts_total counter
+tsp_durability_timeouts_total 1
+# HELP tsp_persist_retries_total In-place write_batch retries of transient failures.
+# TYPE tsp_persist_retries_total counter
+tsp_persist_retries_total 3
+# HELP tsp_writer_recoveries_total Sticky-failed persistence writers successfully recovered.
+# TYPE tsp_writer_recoveries_total counter
+tsp_writer_recoveries_total 1
 # HELP tsp_aborts_total Aborts by reason.
 # TYPE tsp_aborts_total counter
 tsp_aborts_total{reason=\"fcw_conflict\"} 1
@@ -704,6 +809,7 @@ tsp_aborts_total{reason=\"certification\"} 0
 tsp_aborts_total{reason=\"lock_conflict\"} 2
 tsp_aborts_total{reason=\"slot_exhaustion\"} 0
 tsp_aborts_total{reason=\"failed_apply\"} 0
+tsp_aborts_total{reason=\"admission_timeout\"} 4
 # HELP tsp_commit_validate_nanos Commit validation phase (ns).
 # TYPE tsp_commit_validate_nanos summary
 tsp_commit_validate_nanos{quantile=\"0.5\"} 100
@@ -746,6 +852,13 @@ tsp_commit_batch_size{quantile=\"0.99\"} 0
 tsp_commit_batch_size{quantile=\"0.999\"} 0
 tsp_commit_batch_size_sum 0
 tsp_commit_batch_size_count 0
+# HELP tsp_admission_wait_nanos Bounded-admission slot wait at begin (ns).
+# TYPE tsp_admission_wait_nanos summary
+tsp_admission_wait_nanos{quantile=\"0.5\"} 0
+tsp_admission_wait_nanos{quantile=\"0.99\"} 0
+tsp_admission_wait_nanos{quantile=\"0.999\"} 0
+tsp_admission_wait_nanos_sum 0
+tsp_admission_wait_nanos_count 0
 # HELP tsp_persist_queue_dwell_nanos Time batches dwell in persistence queues (ns).
 # TYPE tsp_persist_queue_dwell_nanos summary
 tsp_persist_queue_dwell_nanos{quantile=\"0.5\"} 0
@@ -792,15 +905,23 @@ tsp_gc_floor_lag 4
             stats,
             &Histogram::new(),
             &Histogram::new(),
-            0,
-            0,
+            WriterCounters {
+                writers: 1,
+                failed: 0,
+                retries: 4,
+                recoveries: 2,
+            },
         );
         let json = snap.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"begun\":2"));
         assert!(json.contains("\"fcw_conflict\":1"));
+        assert!(json.contains("\"admission_timeout\":0"));
         assert!(json.contains("\"validate_nanos\":{\"count\":1"));
         assert!(json.contains("\"failed_writers\":0"));
+        assert!(json.contains("\"retries\":4"));
+        assert!(json.contains("\"recoveries\":2"));
+        assert!(json.contains("\"admission\":{\"waits\":0"));
         assert_eq!(snap.abort_count(AbortReason::FcwConflict), 1);
         // Balanced braces — the cheapest structural check without a parser.
         let depth = json.chars().fold(0i64, |d, c| match c {

@@ -120,6 +120,18 @@ pub enum SyncPolicy {
 ///
 /// All methods take `&self`; backends are internally synchronised and shared
 /// across operator threads behind an `Arc`.
+///
+/// # Error-classification contract
+///
+/// Every backend reports failures through `TspError` in a way that makes
+/// `TspError::class()` meaningful: a condition that may heal on its own
+/// (interrupted syscall, timeout, device busy) must surface as a *transient*
+/// I/O error (`io::ErrorKind::Interrupted` / `TimedOut` / `WouldBlock` — see
+/// `TspError::transient_io`); unrecoverable conditions (corruption, missing
+/// files, permission errors) must surface as `TspError::Corruption` or a
+/// permanent I/O kind.  The retrying [`crate::batch_writer::BatchWriter`]
+/// relies on this split: transient `write_batch` failures are retried with
+/// backoff, permanent ones make the writer sticky-failed immediately.
 pub trait StorageBackend: Send + Sync + 'static {
     /// Returns the value stored under `key`, if any.
     fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>>;

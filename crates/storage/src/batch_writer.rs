@@ -40,12 +40,25 @@
 //!
 //! # Failure semantics
 //!
-//! A failed `write_batch` makes the writer *sticky-failed*: the error is
-//! reported to every current and future durability waiter and every further
-//! enqueue, so a commit whose durability was never confirmed can never be
-//! silently dropped.  [`BatchWriter::kill_and_abandon_queue`] simulates a
-//! crash for recovery tests: the thread stops without draining, losing the
-//! queued suffix exactly like a power failure would.
+//! A failed `write_batch` is first retried in place: errors the taxonomy
+//! classifies as *transient* (`TspError::is_transient`) are re-attempted
+//! with capped exponential backoff and jitter under the writer's
+//! [`RetryPolicy`] (attempt count + deadline).  Only a **permanent** error
+//! or an exhausted retry budget makes the writer *sticky-failed*: the error
+//! is reported to every current and future durability waiter and every
+//! further enqueue, so a commit whose durability was never confirmed can
+//! never be silently dropped.
+//!
+//! A sticky-failed writer is no longer failed for the life of the process:
+//! [`BatchWriter::try_recover`] re-applies the retained failed batch,
+//! re-spawns the writer thread to replay the retained queue in
+//! commit-timestamp order, and reconciles the depth gauge and the
+//! `DurableCTS` watermark — one transient blip (a full disk that was
+//! cleaned up, a device that came back) no longer disables durability until
+//! restart.  [`BatchWriter::kill_and_abandon_queue`] simulates a crash for
+//! recovery tests: the thread stops without draining, losing the queued
+//! suffix exactly like a power failure would; an abandoned writer is *not*
+//! recoverable.
 //!
 //! # Backpressure
 //!
@@ -60,11 +73,12 @@
 //! the owning context's `TxStats`.
 
 use crate::backend::{StorageBackend, WriteBatch};
+use crate::retry::RetryPolicy;
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use tsp_common::{Histogram, Result, Timestamp, TspError};
 
 /// Default bound on the number of queued batches per writer.  Each queued
@@ -86,6 +100,13 @@ struct WriterState {
     abandoned: bool,
     /// Sticky failure description from a failed `write_batch`.
     error: Option<String>,
+    /// The coalesced batch whose `write_batch` failed, retained with its
+    /// highest commit timestamp so [`BatchWriter::try_recover`] can replay
+    /// it ahead of the queue.  `None` while healthy.
+    retained: Option<(Timestamp, WriteBatch)>,
+    /// True while a `try_recover` call is replaying the retained batch;
+    /// serialises concurrent recovery attempts.
+    recovering: bool,
     /// True once the depth gauge was reconciled for entries that will
     /// never drain (sticky failure or abandon).  Those entries stay in
     /// `queue` for waiters to observe, so the dead paths must subtract
@@ -112,6 +133,14 @@ struct Shared {
     /// received work is vacuously durable and must not drag aggregate
     /// watermarks down to 0.
     ever_enqueued: std::sync::atomic::AtomicBool,
+    /// Retry budget applied to every `write_batch` (and to recovery
+    /// replays).
+    policy: RetryPolicy,
+    /// In-place `write_batch` retries performed (transient failures that
+    /// were re-attempted rather than going sticky).
+    retries: AtomicU64,
+    /// Successful [`BatchWriter::try_recover`] completions.
+    recoveries: AtomicU64,
     /// Telemetry: how long batches sat in the queue before being drained
     /// (nanoseconds; recorded by the writer thread, off the commit path).
     dwell: Histogram,
@@ -134,12 +163,23 @@ impl BatchWriter {
     }
 
     /// Spawns the writer thread for `backend` with an explicit queue bound
-    /// (clamped to at least 1) and an optional depth gauge the writer keeps
-    /// equal to its queue length.
+    /// (clamped to at least 1), an optional depth gauge the writer keeps
+    /// equal to its queue length, and the default [`RetryPolicy`].
     pub fn spawn_with(
         backend: Arc<dyn StorageBackend>,
         capacity: usize,
         depth_gauge: Option<Arc<AtomicU64>>,
+    ) -> Arc<Self> {
+        Self::spawn_with_policy(backend, capacity, depth_gauge, RetryPolicy::default())
+    }
+
+    /// [`spawn_with`](Self::spawn_with) plus an explicit retry budget for
+    /// transient `write_batch` failures.
+    pub fn spawn_with_policy(
+        backend: Arc<dyn StorageBackend>,
+        capacity: usize,
+        depth_gauge: Option<Arc<AtomicU64>>,
+        policy: RetryPolicy,
     ) -> Arc<Self> {
         let shared = Arc::new(Shared {
             backend,
@@ -149,6 +189,8 @@ impl BatchWriter {
                 shutdown: false,
                 abandoned: false,
                 error: None,
+                retained: None,
+                recovering: false,
                 gauge_reconciled: false,
             }),
             capacity: capacity.max(1),
@@ -157,16 +199,13 @@ impl BatchWriter {
             done: Condvar::new(),
             durable: AtomicU64::new(0),
             ever_enqueued: std::sync::atomic::AtomicBool::new(false),
+            policy,
+            retries: AtomicU64::new(0),
+            recoveries: AtomicU64::new(0),
             dwell: Histogram::new(),
             coalesce: Histogram::new(),
         });
-        let thread = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("tsp-batch-writer".into())
-                .spawn(move || writer_loop(&shared))
-                .expect("spawn batch-writer thread")
-        };
+        let thread = spawn_writer_thread(&shared);
         Arc::new(BatchWriter {
             shared,
             thread: Mutex::new(Some(thread)),
@@ -316,10 +355,137 @@ impl BatchWriter {
     }
 
     /// True if the writer is in the sticky-failed state: a `write_batch`
-    /// failed, no further work will ever drain, and every durability wait
-    /// reports the error.
+    /// failed permanently (or exhausted its retry budget), no further work
+    /// will drain until [`try_recover`](Self::try_recover) succeeds, and
+    /// every durability wait reports the error.
     pub fn is_failed(&self) -> bool {
         self.shared.state.lock().error.is_some()
+    }
+
+    /// The retry budget this writer applies to transient `write_batch`
+    /// failures.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.shared.policy
+    }
+
+    /// In-place `write_batch` retries performed so far (each one a
+    /// transient failure that was re-attempted instead of going sticky).
+    pub fn persist_retries(&self) -> u64 {
+        self.shared.retries.load(Ordering::Relaxed)
+    }
+
+    /// Successful [`try_recover`](Self::try_recover) completions.
+    pub fn recoveries(&self) -> u64 {
+        self.shared.recoveries.load(Ordering::Relaxed)
+    }
+
+    /// Bounded [`wait_durable`](Self::wait_durable): returns `Ok(true)` when
+    /// the commit at `cts` is durable, `Ok(false)` if `timeout` elapsed
+    /// first, and the sticky error if the writer failed.
+    pub fn wait_durable_timeout(&self, cts: Timestamp, timeout: Duration) -> Result<bool> {
+        if self.durable_cts() >= cts {
+            return Ok(true);
+        }
+        let deadline = Instant::now() + timeout;
+        let mut st = self.shared.state.lock();
+        loop {
+            if self.durable_cts() >= cts {
+                return Ok(true);
+            }
+            if let Some(e) = &st.error {
+                return Err(TspError::Io(std::io::Error::other(format!(
+                    "persistence writer failed: {e}"
+                ))));
+            }
+            if st.queue.is_empty() && !st.writing {
+                return Ok(true);
+            }
+            if st.abandoned {
+                return Err(TspError::Io(std::io::Error::other(
+                    "persistence writer was abandoned with work pending",
+                )));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(false);
+            }
+            let _ = self.shared.done.wait_for(&mut st, deadline - now);
+        }
+    }
+
+    /// Attempts to resurrect a sticky-failed writer without a process
+    /// restart.
+    ///
+    /// Returns `Ok(false)` if the writer is healthy (nothing to recover).
+    /// Otherwise: the dead writer thread is joined, the retained failed
+    /// batch is re-applied (under the same [`RetryPolicy`]), the depth
+    /// gauge is reconciled back to the still-queued entries, the
+    /// `DurableCTS` watermark advances over the replayed batch, and a fresh
+    /// writer thread is spawned to drain the retained queue in
+    /// commit-timestamp order — then `Ok(true)`.
+    ///
+    /// If the replay fails again the writer stays sticky-failed (with the
+    /// new error and the batch retained for the next attempt) and the error
+    /// is returned.  An abandoned writer is not recoverable — the abandon
+    /// path models a crash, whose queue is *lost* by definition.
+    pub fn try_recover(&self) -> Result<bool> {
+        {
+            let mut st = self.shared.state.lock();
+            if st.error.is_none() {
+                return Ok(false);
+            }
+            if st.abandoned {
+                return Err(TspError::permanent_io(
+                    "persistence writer was abandoned; its queue is lost",
+                ));
+            }
+            if st.recovering {
+                return Err(TspError::transient_io(
+                    "persistence writer recovery already in progress",
+                ));
+            }
+            st.recovering = true;
+        }
+        // The failed writer thread has returned (it goes sticky by
+        // returning from its loop); reap it so the re-spawn below does not
+        // leak a handle.
+        if let Some(handle) = self.thread.lock().take() {
+            let _ = handle.join();
+        }
+        // Replay the retained batch outside the state lock (it is I/O) —
+        // `recovering` keeps concurrent recoveries out, and the sticky
+        // `error` keeps enqueues and waiters failing fast meanwhile.
+        let retained = self.shared.state.lock().retained.take();
+        if let Some((max_cts, batch)) = retained {
+            if let Err(e) = write_with_retry(&self.shared, &batch) {
+                let mut st = self.shared.state.lock();
+                st.retained = Some((max_cts, batch));
+                st.error = Some(e.to_string());
+                st.recovering = false;
+                return Err(e);
+            }
+            self.shared.durable.fetch_max(max_cts, Ordering::AcqRel);
+        }
+        {
+            let mut st = self.shared.state.lock();
+            st.error = None;
+            st.writing = false;
+            st.recovering = false;
+            // The sticky-failure path subtracted the queued entries from
+            // the gauge (they were dead); they are live again now.
+            if st.gauge_reconciled {
+                st.gauge_reconciled = false;
+                if let Some(g) = &self.shared.depth_gauge {
+                    g.fetch_add(st.queue.len() as u64, Ordering::Relaxed);
+                }
+            }
+        }
+        *self.thread.lock() = Some(spawn_writer_thread(&self.shared));
+        self.shared.recoveries.fetch_add(1, Ordering::Relaxed);
+        // Wake durability waiters: the watermark may have passed them, and
+        // the rest of the queue is draining again.
+        self.shared.done.notify_all();
+        Ok(true)
     }
 
     /// Telemetry: time batches dwelled in the queue before being drained
@@ -362,8 +528,54 @@ fn reconcile_dead_queue_gauge(shared: &Shared, st: &mut WriterState) {
     }
 }
 
-/// The writer thread: drain → coalesce (cts order) → one `write_batch` →
-/// advance `DurableCTS` → wake waiters.
+/// Spawns (or re-spawns, after recovery) the writer thread.
+fn spawn_writer_thread(shared: &Arc<Shared>) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name("tsp-batch-writer".into())
+        .spawn(move || writer_loop(&shared))
+        .expect("spawn batch-writer thread")
+}
+
+/// Applies `batch` under the writer's [`RetryPolicy`]: transient failures
+/// are re-attempted with capped, jittered exponential backoff until the
+/// attempt count or deadline is exhausted; permanent failures (and an
+/// abandon observed mid-retry) return immediately.
+fn write_with_retry(shared: &Shared, batch: &WriteBatch) -> Result<()> {
+    let policy = shared.policy;
+    let max_attempts = policy.max_attempts.max(1);
+    let mut started: Option<Instant> = None;
+    // Deterministic jitter seed, decorrelated across batches by the current
+    // watermark so concurrent writers do not retry in lockstep.
+    let mut rng = 0x5EED_BA7C_u64 ^ shared.durable.load(Ordering::Relaxed);
+    let mut failed = 0u32;
+    loop {
+        match shared.backend.write_batch(batch) {
+            Ok(()) => return Ok(()),
+            Err(e) => {
+                failed += 1;
+                let first_failure = *started.get_or_insert_with(Instant::now);
+                let budget_left = failed < max_attempts
+                    && policy.deadline.is_none_or(|d| first_failure.elapsed() < d);
+                if !e.is_transient() || !budget_left {
+                    return Err(e);
+                }
+                // A kill during retries models a crash: stop pushing.
+                if shared.state.lock().abandoned {
+                    return Err(e);
+                }
+                shared.retries.fetch_add(1, Ordering::Relaxed);
+                let backoff = policy.backoff(failed, &mut rng);
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+            }
+        }
+    }
+}
+
+/// The writer thread: drain → coalesce (cts order) → one `write_batch`
+/// (with in-place retries) → advance `DurableCTS` → wake waiters.
 fn writer_loop(shared: &Shared) {
     loop {
         let drained = {
@@ -422,7 +634,7 @@ fn writer_loop(shared: &Shared) {
                 }
             }
         }
-        let result = shared.backend.write_batch(&merged);
+        let result = write_with_retry(shared, &merged);
         {
             let mut st = shared.state.lock();
             st.writing = false;
@@ -432,8 +644,11 @@ fn writer_loop(shared: &Shared) {
                 }
                 Err(e) => {
                     st.error = Some(e.to_string());
-                    // Work enqueued during the failed write will never
-                    // drain — keep the gauge honest.
+                    // Retain the failed batch for `try_recover` to replay
+                    // ahead of the queue.
+                    st.retained = Some((max_cts, merged));
+                    // Work enqueued during the failed write will not drain
+                    // unless recovery succeeds — keep the gauge honest.
                     reconcile_dead_queue_gauge(shared, &mut st);
                     shared.done.notify_all();
                     return; // sticky failure: stop consuming work
@@ -727,5 +942,241 @@ mod tests {
         // The second batch either made it before the kill or was dropped;
         // either way the writer rejects further work.
         assert!(writer.enqueue(3, batch(3, 3)).is_err());
+    }
+
+    /// Regression for the sticky-failure wakeup path: the transition must
+    /// `notify_all` every class of parked waiter — a backpressured
+    /// `enqueue`, a `wait_durable` and a `sync_barrier` — so none of them
+    /// sleeps forever on a writer that will never make progress.
+    #[test]
+    fn failure_transition_wakes_every_parked_waiter() {
+        let backend = GatedFailingBackend::new();
+        let writer =
+            BatchWriter::spawn_with_policy(backend.clone(), 1, None, RetryPolicy::no_retries());
+        // Drain the first batch into the parked (about-to-fail) write, then
+        // fill the capacity-1 queue.
+        writer.enqueue(1, batch(1, 1)).unwrap();
+        while writer.queued_len() > 0 {
+            std::thread::yield_now();
+        }
+        writer.enqueue(2, batch(2, 2)).unwrap();
+
+        let enq = {
+            let writer = Arc::clone(&writer);
+            std::thread::spawn(move || writer.enqueue(3, batch(3, 3)))
+        };
+        let waiter = {
+            let writer = Arc::clone(&writer);
+            std::thread::spawn(move || writer.wait_durable(2))
+        };
+        let barrier = {
+            let writer = Arc::clone(&writer);
+            std::thread::spawn(move || writer.sync_barrier())
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!enq.is_finished(), "enqueue should be parked on capacity");
+        assert!(!waiter.is_finished(), "wait_durable should be parked");
+        assert!(!barrier.is_finished(), "sync_barrier should be parked");
+
+        backend.release();
+        // All three must observe the sticky failure promptly.
+        assert!(enq.join().unwrap().is_err());
+        assert!(waiter.join().unwrap().is_err());
+        assert!(barrier.join().unwrap().is_err());
+        assert!(writer.is_failed());
+    }
+
+    /// A backend that fails `write_batch` with a *transient* error the first
+    /// `failures_left` times, then behaves normally.  Optionally gated so
+    /// tests can queue work behind the failing write deterministically.
+    struct FlakyBackend {
+        inner: BTreeBackend,
+        failures_left: AtomicU64,
+        gate: Mutex<bool>,
+        open: Condvar,
+        gated: bool,
+    }
+
+    impl FlakyBackend {
+        fn new(failures: u64) -> Arc<Self> {
+            Arc::new(FlakyBackend {
+                inner: BTreeBackend::new(),
+                failures_left: AtomicU64::new(failures),
+                gate: Mutex::new(false),
+                open: Condvar::new(),
+                gated: false,
+            })
+        }
+
+        fn new_gated(failures: u64) -> Arc<Self> {
+            Arc::new(FlakyBackend {
+                inner: BTreeBackend::new(),
+                failures_left: AtomicU64::new(failures),
+                gate: Mutex::new(false),
+                open: Condvar::new(),
+                gated: true,
+            })
+        }
+
+        fn release(&self) {
+            *self.gate.lock() = true;
+            self.open.notify_all();
+        }
+    }
+
+    impl StorageBackend for FlakyBackend {
+        fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+            self.inner.get(key)
+        }
+        fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+            self.inner.put(key, value)
+        }
+        fn delete(&self, key: &[u8]) -> Result<()> {
+            self.inner.delete(key)
+        }
+        fn write_batch(&self, batch: &WriteBatch) -> Result<()> {
+            if self.gated {
+                let mut open = self.gate.lock();
+                while !*open {
+                    self.open.wait(&mut open);
+                }
+            }
+            let left = self.failures_left.load(Ordering::Acquire);
+            if left > 0 {
+                self.failures_left.store(left - 1, Ordering::Release);
+                return Err(TspError::transient_io("flaky device"));
+            }
+            self.inner.write_batch(batch)
+        }
+        fn scan(&self, visit: &mut dyn FnMut(&[u8], &[u8]) -> bool) -> Result<()> {
+            self.inner.scan(visit)
+        }
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+        fn sync(&self) -> Result<()> {
+            self.inner.sync()
+        }
+        fn name(&self) -> &'static str {
+            "flaky-btree"
+        }
+    }
+
+    #[test]
+    fn transient_failures_retry_in_place_until_success() {
+        let backend = FlakyBackend::new(3);
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            initial_backoff: Duration::from_micros(10),
+            max_backoff: Duration::from_micros(100),
+            deadline: Some(Duration::from_secs(5)),
+        };
+        let writer = BatchWriter::spawn_with_policy(backend.clone(), 64, None, policy);
+        writer.enqueue(5, batch(9, 9)).unwrap();
+        writer.wait_durable(5).unwrap();
+        assert!(!writer.is_failed());
+        assert!(writer.durable_cts() >= 5);
+        assert_eq!(backend.get(&[9]).unwrap(), Some(vec![9]));
+        assert_eq!(writer.persist_retries(), 3);
+        assert_eq!(writer.recoveries(), 0);
+    }
+
+    #[test]
+    fn exhausted_budget_goes_sticky_with_permanent_error_untouched_by_retries() {
+        // Permanent failure: no retries happen even with budget remaining.
+        let backend = GatedFailingBackend::new();
+        let writer = BatchWriter::spawn_with(backend.clone(), 64, None);
+        writer.enqueue(1, batch(1, 1)).unwrap();
+        backend.release();
+        assert!(writer.wait_durable(1).is_err());
+        assert!(writer.is_failed());
+        assert_eq!(writer.persist_retries(), 0);
+    }
+
+    #[test]
+    fn try_recover_replays_retained_batch_and_queue() {
+        let backend = FlakyBackend::new_gated(1);
+        let gauge = Arc::new(AtomicU64::new(0));
+        let writer = BatchWriter::spawn_with_policy(
+            backend.clone(),
+            64,
+            Some(Arc::clone(&gauge)),
+            RetryPolicy::no_retries(),
+        );
+        // First batch drains into the parked, about-to-fail write …
+        writer.enqueue(1, batch(1, 1)).unwrap();
+        while writer.queued_len() > 0 {
+            std::thread::yield_now();
+        }
+        // … and two more queue up behind it.
+        writer.enqueue(2, batch(2, 2)).unwrap();
+        writer.enqueue(3, batch(3, 3)).unwrap();
+        assert_eq!(gauge.load(Ordering::Relaxed), 2);
+        backend.release();
+        // One transient failure under a no-retries policy: sticky.
+        assert!(writer.sync_barrier().is_err());
+        assert!(writer.is_failed());
+        assert_eq!(gauge.load(Ordering::Relaxed), 0);
+        assert!(writer.enqueue(4, batch(4, 4)).is_err());
+
+        // The device healed (its single injected failure is spent): recover.
+        assert!(writer.try_recover().unwrap());
+        assert!(!writer.is_failed());
+        assert_eq!(writer.recoveries(), 1);
+        // The retained batch replayed and the queued suffix drains again.
+        writer.enqueue(4, batch(4, 4)).unwrap();
+        writer.sync_barrier().unwrap();
+        assert!(writer.durable_cts() >= 4);
+        for k in 1..=4u8 {
+            assert_eq!(backend.get(&[k]).unwrap(), Some(vec![k]), "key {k}");
+        }
+        assert_eq!(gauge.load(Ordering::Relaxed), 0, "gauge reconciled back");
+    }
+
+    #[test]
+    fn try_recover_is_noop_on_healthy_writer_and_fails_on_abandoned() {
+        let backend = Arc::new(BTreeBackend::new());
+        let writer = BatchWriter::spawn(backend.clone());
+        assert!(!writer.try_recover().unwrap(), "healthy writer: no-op");
+        writer.enqueue(1, batch(1, 1)).unwrap();
+        writer.kill_and_abandon_queue();
+        // An abandoned writer models a crash — its queue is lost, so there
+        // is nothing sticky to recover (error is unset; abandoned is set).
+        assert!(!writer.try_recover().unwrap());
+        assert!(writer.enqueue(2, batch(2, 2)).is_err());
+    }
+
+    #[test]
+    fn try_recover_on_failed_then_abandoned_writer_reports_permanent_error() {
+        let backend = GatedFailingBackend::new();
+        let writer =
+            BatchWriter::spawn_with_policy(backend.clone(), 64, None, RetryPolicy::no_retries());
+        writer.enqueue(1, batch(1, 1)).unwrap();
+        backend.release();
+        assert!(writer.wait_durable(1).is_err());
+        writer.kill_and_abandon_queue();
+        let err = writer.try_recover().unwrap_err();
+        assert!(!err.is_transient(), "abandoned writers never heal");
+    }
+
+    #[test]
+    fn wait_durable_timeout_bounds_the_wait() {
+        let backend = GatedBackend::new();
+        let writer = BatchWriter::spawn(backend.clone() as Arc<dyn StorageBackend>);
+        // Idle writer: vacuously durable, no wait.
+        assert!(writer.wait_durable_timeout(0, Duration::ZERO).unwrap());
+        writer.enqueue(7, batch(1, 1)).unwrap();
+        // Parked behind the gated write: the bounded wait must time out.
+        assert!(
+            !writer
+                .wait_durable_timeout(7, Duration::from_millis(30))
+                .unwrap(),
+            "gated write cannot become durable within the timeout"
+        );
+        backend.release();
+        assert!(writer
+            .wait_durable_timeout(7, Duration::from_secs(10))
+            .unwrap());
+        assert!(writer.durable_cts() >= 7);
     }
 }

@@ -1,0 +1,371 @@
+//! Deterministic fault injection for storage backends.
+//!
+//! [`FaultInjectingBackend`] wraps any [`StorageBackend`] and injects
+//! failures into `write_batch` — the one operation on the durability path —
+//! according to a seeded [`FaultPlan`]: fail every draw below a rate, fail
+//! exactly the n-th call, optionally cap the total number of injected
+//! failures, and optionally add latency spikes.  All randomness comes from
+//! a splitmix64 stream seeded by the plan, so a chaos run replays
+//! identically for a fixed seed — the property the `fault_injection`
+//! integration suite and the `chaos-smoke` CI step rely on.
+//!
+//! Injected errors honour the error-classification contract of
+//! [`StorageBackend`]: transient injections surface as
+//! `TspError::transient_io` (retryable in place by the
+//! [`crate::batch_writer::BatchWriter`]), permanent ones as
+//! `TspError::permanent_io` (immediately sticky).
+//!
+//! Read-side operations (`get`, `scan`, …) pass through untouched: the
+//! failure model under test is "the durable device misbehaves", not "memory
+//! reads fail".
+
+use crate::backend::{StorageBackend, WriteBatch};
+use crate::retry::splitmix64;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tsp_common::{Result, TspError};
+
+/// Default probability a `write_batch` fails under the `transient` profile.
+pub const DEFAULT_FAIL_RATE: f64 = 0.05;
+
+/// Default seed for named profiles that do not specify one.
+pub const DEFAULT_SEED: u64 = 0xC0FF_EE11;
+
+/// A seeded description of which `write_batch` calls fail and how.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the deterministic fault stream.
+    pub seed: u64,
+    /// Probability in `[0, 1]` that any given `write_batch` call fails
+    /// (ignored when `fail_nth` is set).
+    pub fail_rate: f64,
+    /// Fail exactly the n-th `write_batch` call (1-based) instead of
+    /// sampling by rate.
+    pub fail_nth: Option<u64>,
+    /// Injected failures are transient (`io::ErrorKind::Interrupted`) when
+    /// true, permanent otherwise.
+    pub transient: bool,
+    /// Upper bound on the total number of injected failures (`None` =
+    /// unlimited).
+    pub max_failures: Option<u64>,
+    /// With probability `.0`, sleep `.1` before serving the call — models
+    /// a device with tail-latency spikes.
+    pub latency_spike: Option<(f64, Duration)>,
+}
+
+impl FaultPlan {
+    /// A plan that injects transient failures at `fail_rate`, unlimited.
+    pub fn transient(seed: u64, fail_rate: f64) -> Self {
+        FaultPlan {
+            seed,
+            fail_rate,
+            fail_nth: None,
+            transient: true,
+            max_failures: None,
+            latency_spike: None,
+        }
+    }
+
+    /// A plan that fails exactly the `nth` `write_batch` call (1-based),
+    /// once.
+    pub fn fail_nth(nth: u64, transient: bool) -> Self {
+        FaultPlan {
+            seed: DEFAULT_SEED,
+            fail_rate: 0.0,
+            fail_nth: Some(nth),
+            transient,
+            max_failures: Some(1),
+            latency_spike: None,
+        }
+    }
+
+    /// Parses a named fault profile as accepted by the benches'
+    /// `--fault-profile` flag.  Returns `None` for the `none` profile.
+    ///
+    /// Accepted shapes:
+    ///
+    /// * `none` — no faults,
+    /// * `transient` / `transient:<seed>` — transient failures at the
+    ///   default rate ([`DEFAULT_FAIL_RATE`]),
+    /// * `nth:<n>` — one transient failure at the n-th write,
+    /// * `nth:<n>:permanent` — one permanent failure at the n-th write,
+    /// * `slow` / `slow:<seed>` — no failures, 5% of writes sleep 2 ms.
+    pub fn parse(profile: &str) -> Result<Option<FaultPlan>> {
+        let parts: Vec<&str> = profile.split(':').collect();
+        let parse_seed = |s: &str| {
+            s.parse::<u64>()
+                .map_err(|_| TspError::config(format!("bad fault-profile seed: {s}")))
+        };
+        match parts.as_slice() {
+            ["none"] => Ok(None),
+            ["transient"] => Ok(Some(FaultPlan::transient(DEFAULT_SEED, DEFAULT_FAIL_RATE))),
+            ["transient", seed] => Ok(Some(FaultPlan::transient(
+                parse_seed(seed)?,
+                DEFAULT_FAIL_RATE,
+            ))),
+            ["nth", n] => Ok(Some(FaultPlan::fail_nth(parse_seed(n)?, true))),
+            ["nth", n, "permanent"] => Ok(Some(FaultPlan::fail_nth(parse_seed(n)?, false))),
+            ["slow"] | ["slow", _] => {
+                let seed = if let ["slow", s] = parts.as_slice() {
+                    parse_seed(s)?
+                } else {
+                    DEFAULT_SEED
+                };
+                Ok(Some(FaultPlan {
+                    seed,
+                    fail_rate: 0.0,
+                    fail_nth: None,
+                    transient: true,
+                    max_failures: None,
+                    latency_spike: Some((0.05, Duration::from_millis(2))),
+                }))
+            }
+            _ => Err(TspError::config(format!(
+                "unknown fault profile '{profile}' \
+                 (expected none | transient[:seed] | nth:<n>[:permanent] | slow[:seed])"
+            ))),
+        }
+    }
+}
+
+/// A [`StorageBackend`] decorator that injects deterministic faults into
+/// `write_batch` according to a [`FaultPlan`].
+pub struct FaultInjectingBackend {
+    inner: Arc<dyn StorageBackend>,
+    plan: FaultPlan,
+    /// Total `write_batch` calls observed (1-based numbering for
+    /// `fail_nth`).
+    writes: AtomicU64,
+    /// Failures injected so far.
+    injected: AtomicU64,
+    /// splitmix64 state for rate draws and latency spikes.
+    rng: Mutex<u64>,
+    /// While disarmed, writes pass through uncounted — lets a harness
+    /// preload cleanly and start the fault stream at the measured window.
+    armed: AtomicBool,
+}
+
+impl FaultInjectingBackend {
+    /// Wraps `inner` with the given plan.
+    pub fn wrap(inner: Arc<dyn StorageBackend>, plan: FaultPlan) -> Arc<Self> {
+        Arc::new(FaultInjectingBackend {
+            inner,
+            plan,
+            writes: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+            rng: Mutex::new(plan.seed),
+            armed: AtomicBool::new(true),
+        })
+    }
+
+    /// Arms or disarms injection.  Disarmed, `write_batch` delegates
+    /// directly without counting the call or drawing from the fault
+    /// stream, so the plan stays deterministic relative to the writes
+    /// issued *while armed* (preload traffic doesn't shift `fail_nth`).
+    pub fn set_armed(&self, armed: bool) {
+        self.armed.store(armed, Ordering::Release);
+    }
+
+    /// The plan this decorator injects.
+    pub fn plan(&self) -> FaultPlan {
+        self.plan
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &Arc<dyn StorageBackend> {
+        &self.inner
+    }
+
+    /// Total `write_batch` calls observed (including failed ones).
+    pub fn write_calls(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Failures injected so far.
+    pub fn injected_failures(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// A uniform draw in `[0, 1)` from the seeded stream.
+    fn draw(&self) -> f64 {
+        let mut rng = self.rng.lock();
+        (splitmix64(&mut rng) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn should_fail(&self, call: u64) -> bool {
+        if self
+            .plan
+            .max_failures
+            .is_some_and(|cap| self.injected.load(Ordering::Relaxed) >= cap)
+        {
+            return false;
+        }
+        match self.plan.fail_nth {
+            Some(nth) => call == nth,
+            None => self.plan.fail_rate > 0.0 && self.draw() < self.plan.fail_rate,
+        }
+    }
+}
+
+impl StorageBackend for FaultInjectingBackend {
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.inner.get(key)
+    }
+
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.inner.put(key, value)
+    }
+
+    fn delete(&self, key: &[u8]) -> Result<()> {
+        self.inner.delete(key)
+    }
+
+    fn write_batch(&self, batch: &WriteBatch) -> Result<()> {
+        if !self.armed.load(Ordering::Acquire) {
+            return self.inner.write_batch(batch);
+        }
+        let call = self.writes.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some((p, spike)) = self.plan.latency_spike {
+            if self.draw() < p {
+                std::thread::sleep(spike);
+            }
+        }
+        if self.should_fail(call) {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return Err(if self.plan.transient {
+                TspError::transient_io(format!("injected transient fault at write {call}"))
+            } else {
+                TspError::permanent_io(format!("injected permanent fault at write {call}"))
+            });
+        }
+        self.inner.write_batch(batch)
+    }
+
+    fn scan(&self, visit: &mut dyn FnMut(&[u8], &[u8]) -> bool) -> Result<()> {
+        self.inner.scan(visit)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.inner.sync()
+    }
+
+    fn name(&self) -> &'static str {
+        "fault-injecting"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memtable::BTreeBackend;
+
+    fn one_op_batch() -> WriteBatch {
+        let mut b = WriteBatch::new();
+        b.put(vec![1], vec![1]);
+        b
+    }
+
+    #[test]
+    fn fail_nth_fails_exactly_once_at_the_nth_write() {
+        let inner = Arc::new(BTreeBackend::new());
+        let faulty = FaultInjectingBackend::wrap(inner, FaultPlan::fail_nth(3, true));
+        for call in 1..=5u64 {
+            let r = faulty.write_batch(&one_op_batch());
+            if call == 3 {
+                let e = r.unwrap_err();
+                assert!(e.is_transient());
+            } else {
+                r.unwrap();
+            }
+        }
+        assert_eq!(faulty.injected_failures(), 1);
+        assert_eq!(faulty.write_calls(), 5);
+    }
+
+    #[test]
+    fn rate_based_failures_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let inner = Arc::new(BTreeBackend::new());
+            let faulty = FaultInjectingBackend::wrap(inner, FaultPlan::transient(seed, 0.3));
+            (0..100)
+                .map(|_| faulty.write_batch(&one_op_batch()).is_err())
+                .collect::<Vec<_>>()
+        };
+        let a = run(7);
+        assert_eq!(a, run(7), "same seed, same fault stream");
+        assert_ne!(a, run(8), "different seed, different stream");
+        assert!(a.iter().any(|f| *f), "rate 0.3 over 100 calls must fire");
+        assert!(!a.iter().all(|f| *f), "rate 0.3 must not fail everything");
+    }
+
+    #[test]
+    fn max_failures_caps_the_injections() {
+        let inner = Arc::new(BTreeBackend::new());
+        let mut plan = FaultPlan::transient(1, 1.0); // would fail every call
+        plan.max_failures = Some(2);
+        let faulty = FaultInjectingBackend::wrap(inner, plan);
+        let failures = (0..10)
+            .filter(|_| faulty.write_batch(&one_op_batch()).is_err())
+            .count();
+        assert_eq!(failures, 2);
+        assert_eq!(faulty.injected_failures(), 2);
+    }
+
+    #[test]
+    fn disarmed_writes_pass_through_uncounted() {
+        let inner = Arc::new(BTreeBackend::new());
+        let faulty = FaultInjectingBackend::wrap(inner, FaultPlan::fail_nth(1, true));
+        faulty.set_armed(false);
+        faulty.write_batch(&one_op_batch()).unwrap();
+        assert_eq!(faulty.write_calls(), 0, "disarmed calls are not numbered");
+        faulty.set_armed(true);
+        // The very first *armed* write is call 1 and takes the fault.
+        assert!(faulty.write_batch(&one_op_batch()).is_err());
+        assert_eq!(faulty.injected_failures(), 1);
+    }
+
+    #[test]
+    fn permanent_injections_are_permanent() {
+        let inner = Arc::new(BTreeBackend::new());
+        let faulty = FaultInjectingBackend::wrap(inner, FaultPlan::fail_nth(1, false));
+        let e = faulty.write_batch(&one_op_batch()).unwrap_err();
+        assert!(!e.is_transient());
+    }
+
+    #[test]
+    fn reads_pass_through_unharmed() {
+        let inner = Arc::new(BTreeBackend::new());
+        inner.put(&[1], &[9]).unwrap();
+        let faulty = FaultInjectingBackend::wrap(inner.clone(), FaultPlan::transient(1, 1.0));
+        assert_eq!(faulty.get(&[1]).unwrap(), Some(vec![9]));
+        assert_eq!(faulty.len(), 1);
+        faulty.sync().unwrap();
+    }
+
+    #[test]
+    fn profile_parsing_round_trips() {
+        assert_eq!(FaultPlan::parse("none").unwrap(), None);
+        let t = FaultPlan::parse("transient").unwrap().unwrap();
+        assert_eq!(t.seed, DEFAULT_SEED);
+        assert!(t.transient);
+        assert!(t.fail_rate > 0.0);
+        let seeded = FaultPlan::parse("transient:42").unwrap().unwrap();
+        assert_eq!(seeded.seed, 42);
+        let nth = FaultPlan::parse("nth:7").unwrap().unwrap();
+        assert_eq!(nth.fail_nth, Some(7));
+        assert!(nth.transient);
+        let nthp = FaultPlan::parse("nth:7:permanent").unwrap().unwrap();
+        assert!(!nthp.transient);
+        let slow = FaultPlan::parse("slow").unwrap().unwrap();
+        assert!(slow.latency_spike.is_some());
+        assert_eq!(slow.fail_rate, 0.0);
+        assert!(FaultPlan::parse("bogus").is_err());
+        assert!(FaultPlan::parse("nth:x").is_err());
+    }
+}

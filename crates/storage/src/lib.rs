@@ -25,11 +25,13 @@ pub mod cache;
 pub mod checkpoint;
 pub mod checksum;
 pub mod codec;
+pub mod fault;
 pub mod hash;
 pub mod lsm;
 pub mod manifest;
 pub mod memtable;
 pub mod range;
+pub mod retry;
 pub mod sstable;
 pub mod stats;
 pub mod wal;
@@ -40,10 +42,12 @@ pub use bloom::Bloom;
 pub use cache::{CacheStats, CachedBackend, LruCache};
 pub use checkpoint::{create_checkpoint, read_checkpoint_info, restore_checkpoint, CheckpointInfo};
 pub use codec::Codec;
+pub use fault::{FaultInjectingBackend, FaultPlan};
 pub use hash::HashBackend;
 pub use lsm::{LsmOptions, LsmStore};
 pub use memtable::BTreeBackend;
 pub use range::{collect_range, count_range, scan_prefix, scan_range, KeyRange};
+pub use retry::RetryPolicy;
 pub use stats::{InstrumentedBackend, StorageStats, StorageStatsSnapshot};
 
 /// Frequently used items, re-exported for `use tsp_storage::prelude::*`.
@@ -56,9 +60,11 @@ pub mod prelude {
         create_checkpoint, read_checkpoint_info, restore_checkpoint, CheckpointInfo,
     };
     pub use crate::codec::Codec;
+    pub use crate::fault::{FaultInjectingBackend, FaultPlan};
     pub use crate::hash::HashBackend;
     pub use crate::lsm::{LsmOptions, LsmStore};
     pub use crate::memtable::BTreeBackend;
     pub use crate::range::{collect_range, count_range, scan_prefix, scan_range, KeyRange};
+    pub use crate::retry::RetryPolicy;
     pub use crate::stats::{InstrumentedBackend, StorageStats, StorageStatsSnapshot};
 }

@@ -186,6 +186,20 @@ pub struct RunResult {
     /// Together with [`partition_stats`](Self::partition_stats) this shows
     /// whether a hot partition also pays a latency penalty.
     pub partition_reader_latency: Vec<HistogramSummary>,
+    /// Degraded-mode persistence: in-place `write_batch` retries of
+    /// transient backend failures over the run (0 on a healthy device).
+    pub persist_retries: u64,
+    /// Sticky-failed persistence writers healed by `try_recover` over the
+    /// run.
+    pub writer_recoveries: u64,
+    /// Begins that waited for (and won) a transaction slot under bounded
+    /// admission (0 unless an admission wait is configured).
+    pub admission_waits: u64,
+    /// 99th-percentile bounded-admission slot wait, when any wait happened.
+    pub admission_wait_p99: Option<Duration>,
+    /// Commits whose bounded durability wait timed out — visible but not
+    /// confirmed durable within the deadline.
+    pub timed_out_commits: u64,
 }
 
 impl RunResult {
@@ -572,6 +586,16 @@ pub fn run_in(config: &WorkloadConfig, env: &BenchEnv) -> Result<RunResult> {
     }
 
     let total = reader_committed + writer_committed;
+    let stats = env.mgr.context().stats().snapshot();
+    // Degraded-mode persistence counters come from the telemetry roll-up
+    // (the writer counters live on the per-backend BatchWriters, which the
+    // router context alone cannot see in a partitioned run).
+    let telemetry = match &env.partitioned {
+        Some(pc) => pc.telemetry_rollup(),
+        None => env.mgr.context().telemetry_snapshot(),
+    };
+    let admission_wait_p99 = (telemetry.admission_wait_nanos.count > 0)
+        .then(|| Duration::from_nanos(telemetry.admission_wait_nanos.p99));
     Ok(RunResult {
         protocol: config.protocol,
         readers: config.readers,
@@ -588,7 +612,12 @@ pub fn run_in(config: &WorkloadConfig, env: &BenchEnv) -> Result<RunResult> {
         reader_p50: latencies.quantile(0.5),
         reader_p99: latencies.quantile(0.99),
         reader_p999: latencies.quantile(0.999),
-        stats: env.mgr.context().stats().snapshot(),
+        persist_retries: telemetry.persist_retries,
+        writer_recoveries: telemetry.writer_recoveries,
+        admission_waits: stats.admission_waits,
+        admission_wait_p99,
+        timed_out_commits: stats.durability_timeouts,
+        stats,
         partitions: config.partitions.max(1),
         partition_stats: env
             .partitioned

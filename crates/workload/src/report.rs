@@ -6,12 +6,12 @@ use std::path::Path;
 use tsp_common::Result;
 
 /// CSV header matching [`csv_row`].
-pub const CSV_HEADER: &str = "protocol,readers,theta,storage,elapsed_s,reader_committed,reader_aborted,writer_committed,writer_aborted,throughput_ktps,reader_ktps,writer_tps,reader_p50_us,reader_p99_us,reader_p999_us,abort_ratio";
+pub const CSV_HEADER: &str = "protocol,readers,theta,storage,elapsed_s,reader_committed,reader_aborted,writer_committed,writer_aborted,throughput_ktps,reader_ktps,writer_tps,reader_p50_us,reader_p99_us,reader_p999_us,abort_ratio,persist_retries";
 
 /// Serialises one result as a CSV row (without trailing newline).
 pub fn csv_row(r: &RunResult) -> String {
     format!(
-        "{},{},{:.2},{},{:.3},{},{},{},{},{:.3},{:.3},{:.1},{},{},{},{:.4}",
+        "{},{},{:.2},{},{:.3},{},{},{},{},{:.3},{:.3},{:.1},{},{},{},{:.4},{}",
         r.protocol.name(),
         r.readers,
         r.theta,
@@ -28,6 +28,7 @@ pub fn csv_row(r: &RunResult) -> String {
         r.reader_p99.map(|d| d.as_micros()).unwrap_or(0),
         r.reader_p999.map(|d| d.as_micros()).unwrap_or(0),
         r.abort_ratio(),
+        r.persist_retries,
     )
 }
 
@@ -135,6 +136,11 @@ mod tests {
             partitions: 1,
             partition_stats: Vec::new(),
             partition_reader_latency: Vec::new(),
+            persist_retries: 2,
+            writer_recoveries: 0,
+            admission_waits: 0,
+            admission_wait_p99: None,
+            timed_out_commits: 0,
         }
     }
 
@@ -144,6 +150,7 @@ mod tests {
         let row = csv_row(&r);
         assert_eq!(row.split(',').count(), CSV_HEADER.split(',').count());
         assert!(row.starts_with("MVCC,4,1.50,mem"));
+        assert!(row.ends_with(",2"), "persist_retries is the last column");
     }
 
     #[test]
