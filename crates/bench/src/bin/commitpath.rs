@@ -37,7 +37,7 @@
 //!   commitpath [--duration-ms N] [--threads 1,4,8] [--table-size N]
 //!              [--label NAME] [--out PATH] [--metrics-json PATH]
 //!              [--protocols mvcc,...] [--dir PATH] [--partitions 1,4]
-//!              \[--fault-profile transient\[:seed\]|nth:N\[:permanent\]|slow\[:seed\]\]
+//!              \[--fault-profile transient\[:seed\]|nth:N\[:permanent\]|crash_after:N|slow\[:seed\]\]
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -261,7 +261,7 @@ fn parse_args() -> Options {
                      [--protocols mvcc,s2pl,bocc,ssi] [--dir PATH] \
                      [--partitions 1,4] [--sync-persist] \
                      [--backends volatile,lsm_sync] \
-                     [--fault-profile none|transient[:seed]|nth:N[:permanent]|slow[:seed]]"
+                     [--fault-profile none|transient[:seed]|nth:N[:permanent]|crash_after:N|slow[:seed]]"
                 );
                 std::process::exit(0);
             }
@@ -444,6 +444,16 @@ fn run_cell(
         aborts += a;
     }
     let elapsed_ms = started.elapsed().as_millis() as u64;
+    // Under `crash_after:N` the backend is permanently dark — the cell
+    // measures commit throughput up to (and error handling after) the
+    // crash point.  Disarm the wrappers before the drain below so the
+    // flush + recovery sweeps measure healing against a live device, not
+    // a 100-iteration spin against a dead one.
+    if matches!(opts.fault_plan, Some(p) if p.crash_after.is_some()) {
+        for faulty in fault_backends.borrow().iter() {
+            faulty.set_armed(false);
+        }
+    }
     // Drain the durability backlog and charge it to the cell explicitly.
     // Under an injected fault profile the flush may find sticky-failed
     // writers; a recovery sweep heals them and the retained backlog is

@@ -61,6 +61,7 @@
 
 use crate::clock::{GlobalClock, EPOCH_TS};
 use crate::stats::TxStats;
+use crate::table::common::SlotLocal;
 use crate::telemetry::{AbortReason, Telemetry, TelemetrySnapshot, WriterCounters};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -509,6 +510,11 @@ pub struct StateContext {
     stats: TxStats,
     telemetry: Telemetry,
     durability: DurabilityHub,
+    /// Per-slot stash of the encoded group redo record the commit
+    /// coordinator assembled for the transaction's in-flight commit; each
+    /// persistent participant appends it to its own commit batch (see
+    /// [`crate::table::common::persist_pending`]).
+    redo_stash: SlotLocal<Option<Arc<Vec<u8>>>>,
     /// Bounded-wait admission budget for `begin` in nanoseconds; 0 means
     /// immediate-fail admission (`SlotExhaustion` when the slot table is
     /// full, the historical behaviour).
@@ -575,6 +581,7 @@ impl StateContext {
             stats,
             telemetry: Telemetry::new(),
             durability,
+            redo_stash: SlotLocal::new(capacity),
             admission_wait_nanos: AtomicU64::new(0),
         }
     }
@@ -951,9 +958,29 @@ impl StateContext {
         })
     }
 
+    /// Attaches the encoded group redo record for `tx`'s in-flight commit.
+    /// Each persistent participant's durable hand-off appends it to its own
+    /// commit batch; cleared in [`finish`](Self::finish).
+    pub fn attach_redo(&self, tx: &Tx, record: Arc<Vec<u8>>) {
+        self.redo_stash.with_mut(tx, |cell| *cell = Some(record));
+    }
+
+    /// The encoded group redo record attached to `tx`'s in-flight commit,
+    /// if any.
+    pub fn pending_redo(&self, tx: &Tx) -> Option<Arc<Vec<u8>>> {
+        self.redo_stash.with(tx, |cell| cell.clone()).flatten()
+    }
+
+    /// Drops any group redo record attached to `tx` (abort path; `finish`
+    /// also clears it).
+    pub fn clear_redo(&self, tx: &Tx) {
+        self.redo_stash.clear(tx);
+    }
+
     /// Releases a transaction's slot.  Idempotent: releasing an already
     /// finished transaction is a no-op.
     pub fn finish(&self, tx: &Tx) {
+        self.redo_stash.clear(tx);
         let s = &self.slots[tx.slot];
         if s.txn
             .compare_exchange(tx.id.as_u64(), 0, Ordering::AcqRel, Ordering::Acquire)

@@ -84,7 +84,11 @@ pub use isolation::{IsolatedReader, IsolationLevel};
 pub use manager::{FlagOutcome, TransactionManager};
 pub use mvcc::{MvccObject, Version, DEFAULT_VERSION_SLOTS, MAX_VERSION_SLOTS};
 pub use partition::{
-    HashPartitioner, PartitionedContext, PartitionedTable, Partitioner, RangePartitioner,
+    HashPartitioner, PartitionRecovery, PartitionedContext, PartitionedTable, Partitioner,
+    RangePartitioner,
+};
+pub use recovery::{
+    recover_table_cts, replay_torn_suffix, restore_group, resume_clock, RecoveryReport,
 };
 pub use stats::{TxStats, TxStatsSnapshot};
 pub use table::{
@@ -103,9 +107,12 @@ pub mod prelude {
     pub use crate::manager::{FlagOutcome, TransactionManager};
     pub use crate::mvcc::MvccObject;
     pub use crate::partition::{
-        HashPartitioner, PartitionedContext, PartitionedTable, Partitioner, RangePartitioner,
+        HashPartitioner, PartitionRecovery, PartitionedContext, PartitionedTable, Partitioner,
+        RangePartitioner,
     };
-    pub use crate::recovery::{restore_group, resume_clock, RecoveryReport};
+    pub use crate::recovery::{
+        recover_table_cts, replay_torn_suffix, restore_group, resume_clock, RecoveryReport,
+    };
     pub use crate::stats::{TxStats, TxStatsSnapshot};
     pub use crate::table::{
         BoccTable, ConflictCheck, KeyType, MvccTable, MvccTableOptions, Protocol, S2plTable,

@@ -60,7 +60,7 @@
 
 use crate::context::{CommitVote, StateContext, Tx};
 use crate::stats::TxStats;
-use crate::table::common::TxParticipant;
+use crate::table::common::{attach_group_redo, TxParticipant};
 use crate::telemetry::AbortReason;
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeSet, HashMap};
@@ -363,19 +363,21 @@ impl TransactionManager {
         telemetry.apply_nanos().record(t_apply.elapsed());
         // Phase 3: durable hand-off, only after every in-memory apply
         // succeeded — the common abort cause (capacity) therefore persists
-        // nothing.  A durable failure here (an I/O error, a dead async
-        // writer, a panic) aborts too, but participants whose hand-off
+        // nothing.  When two or more persistent participants contribute,
+        // the group redo record is assembled first and stashed on the
+        // transaction: each participant's batch then carries a full copy of
+        // the group's write sets, riding that batch's existing WAL record
+        // and fsync.  A durable failure here (an I/O error, a dead async
+        // writer, a panic) aborts too, and participants whose hand-off
         // already happened — a synchronous batch written, or an enqueue
         // accepted by a *healthy* asynchronous writer — leave this aborted
-        // commit's batch on (its way to) disk.  The recovery minimum rule
-        // fences that orphan only until later commits advance every state's
-        // marker past it; fully repairing a torn multi-state group (a
-        // limitation shared with the pre-pipeline code, where a mid-`apply`
-        // persistence failure stranded the same orphan) needs the
-        // group-wide redo log tracked in ROADMAP.md.  When the *failing*
-        // backend's own writer is sticky-failed, that backend's marker can
-        // never advance, which keeps the fence in place for the common
-        // failed-device case.
+        // commit's batch on (its way to) disk.  That orphan is harmless:
+        // recovery treats any redo record it finds as presumed-commit and
+        // rolls the whole group forward to it, which equals this commit's
+        // effects; a *partial* tear (some batches durable, some not) is
+        // likewise rolled forward from any surviving copy of the record —
+        // see `crate::recovery::restore_group`.
+        attach_group_redo(&self.ctx, tx, cts, writers.iter().copied());
         let t_durable = Instant::now();
         for p in &writers {
             if let Err(e) = guarded(&mut || p.apply_durable(tx, cts)) {

@@ -101,11 +101,14 @@
 //! partition, as in per-area smart-meter updates or per-shard YCSB
 //! multi-gets.
 
+use crate::clock::EPOCH_TS;
 use crate::context::{StateContext, Tx};
 use crate::manager::TransactionManager;
+use crate::recovery::{recover_table_cts, replay_torn_suffix};
 use crate::stats::{TxStats, TxStatsSnapshot};
 use crate::table::common::{
-    KeyType, SlotLocal, TableHandle, TransactionalTable, TxParticipant, ValueType,
+    attach_group_redo, KeyType, SlotLocal, TableHandle, TransactionalTable, TxParticipant,
+    ValueType,
 };
 use crate::table::factory::Protocol;
 use crate::telemetry::{Telemetry, TelemetrySnapshot};
@@ -261,11 +264,36 @@ struct SubTxn {
 struct InnerEntry {
     participant: Arc<dyn TxParticipant>,
     groups: Vec<GroupId>,
+    /// Whether this shard persists to a storage backend — recorded at
+    /// creation because [`TxParticipant`] does not expose it.
+    persistent: bool,
 }
 
 /// The inner participants a sub-transaction accessed, each paired with
 /// the inner groups its commits publish.
 type AccessedInner = Vec<(Arc<dyn TxParticipant>, Vec<GroupId>)>;
+
+/// What [`PartitionedContext::restore_partition`] found and repaired for
+/// one partition — the per-partition analogue of
+/// [`crate::recovery::RecoveryReport`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionRecovery {
+    /// The recovered partition.
+    pub partition: usize,
+    /// The partition's restored visibility horizon: the maximum stored
+    /// commit timestamp across its persistent shards, with any torn
+    /// suffix rolled forward from the redo log first.
+    pub last_cts: Timestamp,
+    /// Per-shard stored commit timestamps **as found on disk**, before
+    /// any replay, in table-creation order ([`None`] if a shard never
+    /// persisted a transaction).
+    pub per_state: Vec<Option<Timestamp>>,
+    /// True if a crash tore a multi-state commit inside this partition
+    /// and the lagging shards were repaired from the redo log.
+    pub torn_group_commit: bool,
+    /// Number of commits whose missing per-shard batches were replayed.
+    pub replayed_commits: u64,
+}
 
 /// Everything one partition owns.
 struct PartitionCore {
@@ -443,6 +471,69 @@ impl PartitionedContext {
         Ok(recovered)
     }
 
+    /// Recovers partition `p` after a restart: rolls any torn multi-state
+    /// commit *inside* the partition forward from the per-partition redo
+    /// log ([`crate::recovery::replay_torn_suffix`]), restores each
+    /// persistent shard's inner-group `LastCTS` to its (repaired) stored
+    /// marker, and advances the partition's internal clock past every
+    /// persisted timestamp.
+    ///
+    /// Call after every partitioned table has been re-created on this
+    /// context (re-creation re-registers the shard states in the same
+    /// order).  `backends` are the partition's persistent shard backends
+    /// in **table-creation order** — one per table whose `backend_for(p)`
+    /// returned `Some`, the same instances handed to
+    /// [`create_table`](Self::create_table).
+    ///
+    /// A commit that straddles *partitions* is coordinated by the outer
+    /// two-phase protocol before any partition persists, so per-partition
+    /// recovery composes: each partition independently restores its exact
+    /// committed prefix.
+    pub fn restore_partition(
+        &self,
+        p: usize,
+        backends: &[&dyn StorageBackend],
+    ) -> Result<PartitionRecovery> {
+        let core = self
+            .parts
+            .get(p)
+            .ok_or_else(|| TspError::config(format!("restore_partition: no partition {p}")))?;
+        let inner = core.inner.read();
+        // BTreeMap order == inner state-id order == table-creation order.
+        let persistent: Vec<(StateId, &InnerEntry)> = inner
+            .iter()
+            .filter(|(_, e)| e.persistent)
+            .map(|(s, e)| (*s, e))
+            .collect();
+        if persistent.len() != backends.len() {
+            return Err(TspError::config(format!(
+                "restore_partition: partition {p} has {} persistent shards but {} backends were passed",
+                persistent.len(),
+                backends.len()
+            )));
+        }
+        let states: Vec<StateId> = persistent.iter().map(|(s, _)| *s).collect();
+        let (per_state, replayed_commits) = replay_torn_suffix(&states, backends)?;
+        let mut last_cts = EPOCH_TS;
+        for ((_, entry), b) in persistent.iter().zip(backends) {
+            // Re-read after replay: a repaired shard's marker has advanced.
+            let cts = recover_table_cts(*b)?.unwrap_or(EPOCH_TS);
+            last_cts = last_cts.max(cts);
+            for g in &entry.groups {
+                core.ctx.restore_group_cts(*g, cts)?;
+            }
+        }
+        core.ctx.clock().advance_past(last_cts);
+        core.ctx.telemetry().add_redo_replays(replayed_commits);
+        Ok(PartitionRecovery {
+            partition: p,
+            last_cts,
+            per_state,
+            torn_group_commit: replayed_commits > 0,
+            replayed_commits,
+        })
+    }
+
     /// Per-partition statistics snapshots (index = partition).  Each inner
     /// context counts its own begins/commits/reads/writes/GC, so skew
     /// across partitions is directly observable.
@@ -517,7 +608,8 @@ impl PartitionedContext {
         let mut persistent = false;
         for (p, core) in self.parts.iter().enumerate() {
             let backend = backend_for(p);
-            persistent |= backend.is_some();
+            let shard_persistent = backend.is_some();
+            persistent |= shard_persistent;
             let shard = protocol.create_table::<K, V>(&core.ctx, format!("{name}.p{p}"), backend);
             let groups = vec![core
                 .ctx
@@ -528,6 +620,7 @@ impl PartitionedContext {
                 InnerEntry {
                     participant: Arc::clone(&shard).as_participant(),
                     groups,
+                    persistent: shard_persistent,
                 },
             );
             shards.push(shard);
@@ -711,6 +804,12 @@ impl TxParticipant for PartitionShard {
             .into_iter()
             .filter(|(p, _)| p.has_writes(&sub))
             .collect();
+        // The partition drives its own inner commit pipeline, so it also
+        // assembles the inner group's redo record (the outer manager only
+        // sees this shard as one opaque participant): a crash tearing a
+        // multi-state commit *inside* the partition is rolled forward by
+        // the partition's own recovery, exactly like a top-level group.
+        attach_group_redo(&core.ctx, &sub, cts, writers.iter().map(|(p, _)| p));
         let t_durable = Instant::now();
         let mut result = Ok(());
         for (participant, _) in &writers {

@@ -12,17 +12,34 @@
 //!   extra fsync;
 //! * uncommitted write sets are volatile by design, so nothing needs to be
 //!   undone: after a restart only committed data exists in the base tables;
-//! * on recovery, a group's `LastCTS` is restored as the *minimum* of its
-//!   states' stored timestamps.  If the timestamps disagree, the group commit
-//!   was torn by the crash (some states persisted the last transaction,
-//!   others did not); the report flags this so the caller can reconcile —
-//!   the paper leaves this case open, and resolving it fully would require a
-//!   group-wide redo log shared by all states.
+//! * multi-state group commits additionally fold a **group redo record**
+//!   ([`tsp_storage::redo`]) into *every* participant's batch — the full
+//!   write sets of all participating states, checksummed, riding each
+//!   batch's existing WAL record and fsync.  A crash that tears such a
+//!   commit (some states' batches durable, others lost) therefore always
+//!   leaves at least one intact copy of the record next to the surviving
+//!   marker, and [`restore_group`] rolls the lagging states **forward** to
+//!   the group's maximum logged commit: replay is exact, not a fence.
+//!
+//! Earlier revisions of this module could only *detect* a torn group commit
+//! and fence the group's visibility to the minimum stored timestamp,
+//! hiding durable commits of the states that got their batches down.  With
+//! the redo record that minimum rule is gone: `LastCTS` is restored to the
+//! maximum stored timestamp, and any state behind a logged group commit is
+//! repaired from the record before visibility resumes.
+//!
+//! Redo records accumulate until a checkpoint truncates them
+//! ([`tsp_storage::truncate_redo`] with the checkpoint watermark — see
+//! `tsp_storage::checkpoint`); a stale tail of already-applied records below
+//! every state's marker is ignored by recovery and harmless to replay.
 
 use crate::clock::{GlobalClock, EPOCH_TS};
 use crate::context::StateContext;
 use crate::table::common::last_cts_key;
-use tsp_common::{GroupId, Result, Timestamp};
+use std::collections::BTreeMap;
+use std::ops::Bound::{Excluded, Included};
+use tsp_common::{GroupId, Result, StateId, Timestamp, TspError};
+use tsp_storage::redo::{redo_key, scan_redo, RedoRecord};
 use tsp_storage::{Codec, StorageBackend};
 
 /// What recovery found for one group of states.
@@ -30,14 +47,23 @@ use tsp_storage::{Codec, StorageBackend};
 pub struct RecoveryReport {
     /// The group that was recovered.
     pub group: GroupId,
-    /// The restored `LastCTS` (minimum across the group's states).
+    /// The restored `LastCTS`: the maximum stored timestamp across the
+    /// group's states, with any torn suffix rolled forward from the redo
+    /// log first.
     pub last_cts: Timestamp,
-    /// Per-state stored commit timestamps, in the order the backends were
-    /// passed ([`None`] if a state never persisted a transaction).
+    /// Per-state stored commit timestamps **as found on disk**, before any
+    /// replay, in the order the backends were passed ([`None`] if a state
+    /// never persisted a transaction).
     pub per_state: Vec<Option<Timestamp>>,
-    /// True if the states disagree — the crash interrupted a group commit
-    /// after some (but not all) states persisted it.
+    /// True if the crash tore a multi-state group commit — some states'
+    /// batches were durable, others not — and the torn suffix was rolled
+    /// forward from the redo log.  Unlike earlier revisions, a tear no
+    /// longer fences visibility: by the time this report is returned the
+    /// lagging states have been repaired.
     pub torn_group_commit: bool,
+    /// Number of group commits whose missing per-state batches were
+    /// replayed from the redo log.
+    pub replayed_commits: u64,
 }
 
 /// Reads the commit timestamp of the last transaction a persistent base
@@ -53,28 +79,111 @@ pub fn recover_table_cts(backend: &dyn StorageBackend) -> Result<Option<Timestam
 /// states (passed in the same order as the group's states) and returns a
 /// [`RecoveryReport`].
 ///
-/// The group's visibility horizon is set to the *minimum* stored timestamp:
-/// every transaction at or below it is guaranteed to be present in *all*
-/// states, so readers never observe a torn multi-state commit.
+/// The group's visibility horizon is restored to the **maximum** stored
+/// timestamp.  When the per-state markers disagree, the gap is one of:
+///
+/// * single-state commits that legitimately advanced only some markers —
+///   nothing to repair, the maximum is already consistent;
+/// * a multi-state group commit torn by the crash — its redo record is
+///   found next to every surviving marker (same atomic batch), and each
+///   lagging state's missing ops are replayed into its backend, together
+///   with the advanced marker and a copy of the record, as one atomic
+///   batch.  Replay is idempotent: re-crashing mid-recovery just replays
+///   the remaining suffix on the next restart.
+///
+/// Records are merged from *all* the group's backends, first intact copy
+/// wins — each copy is CRC-guarded, so a corrupt copy on one backend is
+/// skipped in favour of another state's copy.
 pub fn restore_group(
     ctx: &StateContext,
     group: GroupId,
     backends: &[&dyn StorageBackend],
 ) -> Result<RecoveryReport> {
+    let states = ctx.group_states(group)?;
+    if states.len() != backends.len() {
+        return Err(TspError::config(format!(
+            "restore_group: group {} has {} states but {} backends were passed",
+            group.0,
+            states.len(),
+            backends.len()
+        )));
+    }
+    let (per_state, replayed_commits) = replay_torn_suffix(&states, backends)?;
+    let max = per_state
+        .iter()
+        .map(|c| c.unwrap_or(EPOCH_TS))
+        .max()
+        .unwrap_or(EPOCH_TS);
+
+    ctx.restore_group_cts(group, max)?;
+    ctx.telemetry().add_redo_replays(replayed_commits);
+    Ok(RecoveryReport {
+        group,
+        last_cts: max,
+        per_state,
+        torn_group_commit: replayed_commits > 0,
+        replayed_commits,
+    })
+}
+
+/// The replay core shared by [`restore_group`] and the per-partition
+/// recovery driver ([`crate::partition::PartitionedContext::restore_partition`]):
+/// reads each state's stored commit marker, merges the redo logs of every
+/// backend, and rolls any lagging state forward through the logged group
+/// commits in `(min, max]`.
+///
+/// Returns the per-state markers **as found on disk** (before replay, in
+/// input order) and the number of group commits whose missing per-state
+/// batches were replayed.  `states[i]` must be the state persisted in
+/// `backends[i]` — redo record sections are matched by state id.
+pub fn replay_torn_suffix(
+    states: &[StateId],
+    backends: &[&dyn StorageBackend],
+) -> Result<(Vec<Option<Timestamp>>, u64)> {
+    debug_assert_eq!(states.len(), backends.len());
     let mut per_state = Vec::with_capacity(backends.len());
     for b in backends {
         per_state.push(recover_table_cts(*b)?);
     }
-    let stored: Vec<Timestamp> = per_state.iter().map(|c| c.unwrap_or(EPOCH_TS)).collect();
-    let last_cts = stored.iter().copied().min().unwrap_or(EPOCH_TS);
-    let torn = stored.iter().any(|c| *c != last_cts);
-    ctx.restore_group_cts(group, last_cts)?;
-    Ok(RecoveryReport {
-        group,
-        last_cts,
-        per_state,
-        torn_group_commit: torn,
-    })
+    let markers: Vec<Timestamp> = per_state.iter().map(|c| c.unwrap_or(EPOCH_TS)).collect();
+    let min = markers.iter().copied().min().unwrap_or(EPOCH_TS);
+    let max = markers.iter().copied().max().unwrap_or(EPOCH_TS);
+
+    let mut replayed_commits = 0u64;
+    if min < max {
+        // Merge the redo logs of every backend: a state that lost its own
+        // batch recovers the record from any participant that kept it.
+        let mut records: BTreeMap<Timestamp, RedoRecord> = BTreeMap::new();
+        for b in backends {
+            for (cts, rec) in scan_redo(*b)? {
+                records.entry(cts).or_insert(rec);
+            }
+        }
+        // Ascending replay of the torn suffix: each lagging participant of
+        // a logged group commit gets its section's ops, the advanced
+        // marker and a copy of the record in one atomic batch, so a crash
+        // during recovery is just a shorter tear.
+        for (cts, rec) in records.range((Excluded(min), Included(max))) {
+            let mut commit_was_torn = false;
+            for (i, b) in backends.iter().enumerate() {
+                if markers[i] >= *cts {
+                    continue;
+                }
+                let Some(section) = rec.section_for(states[i].as_u32()) else {
+                    continue;
+                };
+                let mut batch = section.to_batch();
+                batch.put(last_cts_key(), cts.encode());
+                batch.put(redo_key(*cts), rec.encode());
+                b.write_batch(&batch)?;
+                commit_was_torn = true;
+            }
+            if commit_was_torn {
+                replayed_commits += 1;
+            }
+        }
+    }
+    Ok((per_state, replayed_commits))
 }
 
 /// Builds a [`GlobalClock`] that resumes strictly after every timestamp any
@@ -96,7 +205,8 @@ mod tests {
     use crate::manager::TransactionManager;
     use crate::table::MvccTable;
     use std::sync::Arc;
-    use tsp_storage::BTreeBackend;
+    use tsp_storage::redo::{RedoOp, StateRedo};
+    use tsp_storage::{BTreeBackend, BatchOp};
 
     fn committed_backend(values: &[(u32, u64)], cts: u64) -> Arc<BTreeBackend> {
         let b = Arc::new(BTreeBackend::new());
@@ -107,6 +217,13 @@ mod tests {
         b
     }
 
+    fn put_op(key: u32, value: u64) -> RedoOp {
+        RedoOp::new(BatchOp::Put {
+            key: key.encode(),
+            value: value.encode(),
+        })
+    }
+
     #[test]
     fn fresh_backend_has_no_cts() {
         let b = BTreeBackend::new();
@@ -114,26 +231,113 @@ mod tests {
     }
 
     #[test]
-    fn restore_group_uses_minimum_and_flags_torn_commits() {
+    fn restore_group_rolls_a_torn_suffix_forward_to_the_maximum() {
         let ctx = StateContext::new();
         let a = ctx.register_state("a");
         let b = ctx.register_state("b");
         let g = ctx.register_group(&[a, b]).unwrap();
 
+        // Group commit 25 touched both states; state `a` lost its batch in
+        // the crash, state `b` kept it — marker, data and redo record.
         let ba = committed_backend(&[(1, 10)], 20);
-        let bb = committed_backend(&[(1, 11)], 25);
-        let report = restore_group(&ctx, g, &[&*ba, &*bb]).unwrap();
-        assert_eq!(report.last_cts, 20);
-        assert!(report.torn_group_commit);
-        assert_eq!(report.per_state, vec![Some(20), Some(25)]);
-        assert_eq!(ctx.last_cts(g).unwrap(), 20);
+        let bb = committed_backend(&[(1, 11), (2, 22)], 25);
+        let record = RedoRecord {
+            cts: 25,
+            states: vec![
+                StateRedo {
+                    state: a.as_u32(),
+                    ops: vec![put_op(2, 21)],
+                },
+                StateRedo {
+                    state: b.as_u32(),
+                    ops: vec![put_op(2, 22)],
+                },
+            ],
+        };
+        bb.put(&redo_key(25), &record.encode()).unwrap();
 
-        // Agreement ⇒ not torn.
+        let report = restore_group(&ctx, g, &[&*ba, &*bb]).unwrap();
+        assert_eq!(
+            report.last_cts, 25,
+            "visibility is rolled forward, not min-fenced"
+        );
+        assert!(report.torn_group_commit);
+        assert_eq!(report.replayed_commits, 1);
+        assert_eq!(report.per_state, vec![Some(20), Some(25)]);
+        assert_eq!(ctx.last_cts(g).unwrap(), 25);
+        // State `a` was repaired exactly: the missing op, the advanced
+        // marker, and its own copy of the record.
+        assert_eq!(recover_table_cts(&*ba).unwrap(), Some(25));
+        assert_eq!(ba.get(&2u32.encode()).unwrap(), Some(21u64.encode()));
+        assert_eq!(ba.get(&redo_key(25)).unwrap(), Some(record.encode()));
+        assert_eq!(ctx.telemetry().redo_replays(), 1);
+    }
+
+    #[test]
+    fn marker_lag_without_a_record_is_single_state_commits_not_a_tear() {
+        let ctx = StateContext::new();
+        let a = ctx.register_state("a2");
+        let b = ctx.register_state("b2");
+        let g = ctx.register_group(&[a, b]).unwrap();
+
+        // `b`'s marker leads because commits 21..=25 touched only `b`
+        // (single-state batches write no redo record).  Nothing to repair.
+        let ba = committed_backend(&[], 20);
+        let bb = committed_backend(&[], 25);
+        let report = restore_group(&ctx, g, &[&*ba, &*bb]).unwrap();
+        assert_eq!(report.last_cts, 25);
+        assert!(!report.torn_group_commit);
+        assert_eq!(report.replayed_commits, 0);
+        assert_eq!(recover_table_cts(&*ba).unwrap(), Some(20));
+
+        // Agreement ⇒ trivially not torn.
         let bc = committed_backend(&[], 25);
         let bd = committed_backend(&[], 25);
         let report = restore_group(&ctx, g, &[&*bc, &*bd]).unwrap();
         assert_eq!(report.last_cts, 25);
         assert!(!report.torn_group_commit);
+    }
+
+    #[test]
+    fn stale_redo_tail_below_every_marker_is_ignored() {
+        let ctx = StateContext::new();
+        let a = ctx.register_state("a3");
+        let b = ctx.register_state("b3");
+        let g = ctx.register_group(&[a, b]).unwrap();
+
+        let ba = committed_backend(&[(1, 1)], 30);
+        let bb = committed_backend(&[(1, 2)], 30);
+        // A record from an already-fully-applied commit (checkpoint hasn't
+        // truncated it yet) must not be replayed or disturb the report.
+        let stale = RedoRecord {
+            cts: 10,
+            states: vec![StateRedo {
+                state: a.as_u32(),
+                ops: vec![put_op(1, 999)],
+            }],
+        };
+        ba.put(&redo_key(10), &stale.encode()).unwrap();
+
+        let report = restore_group(&ctx, g, &[&*ba, &*bb]).unwrap();
+        assert_eq!(report.last_cts, 30);
+        assert!(!report.torn_group_commit);
+        assert_eq!(report.replayed_commits, 0);
+        assert_eq!(
+            ba.get(&1u32.encode()).unwrap(),
+            Some(1u64.encode()),
+            "stale record was not replayed"
+        );
+    }
+
+    #[test]
+    fn backend_count_mismatch_is_rejected() {
+        let ctx = StateContext::new();
+        let a = ctx.register_state("a4");
+        let b = ctx.register_state("b4");
+        let g = ctx.register_group(&[a, b]).unwrap();
+        let ba = BTreeBackend::new();
+        let err = restore_group(&ctx, g, &[&ba]).unwrap_err();
+        assert!(matches!(err, TspError::Config { .. }));
     }
 
     #[test]

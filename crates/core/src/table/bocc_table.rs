@@ -14,9 +14,9 @@
 
 use crate::context::{StateContext, Tx};
 use crate::table::common::{
-    buffer_write, overlay_write_set, persist_pending, preload_rows, read_own_write,
-    reject_read_only, KeyType, PendingDurable, ReadSet, SlotLocal, TransactionalTable,
-    TxParticipant, TxWriteSets, TypedBackend, ValueType, WriteOp,
+    buffer_write, build_state_redo, overlay_write_set, persist_pending, preload_rows,
+    read_own_write, reject_read_only, KeyType, PendingDurable, ReadSet, SlotLocal,
+    TransactionalTable, TxParticipant, TxWriteSets, TypedBackend, ValueType, WriteOp,
 };
 use crate::telemetry::AbortReason;
 use parking_lot::RwLock;
@@ -25,6 +25,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::hash::Hasher;
 use std::sync::Arc;
 use tsp_common::{Result, StateId, Timestamp, TspError};
+use tsp_storage::redo::StateRedo;
 use tsp_storage::StorageBackend;
 
 const SHARDS: usize = 64;
@@ -53,6 +54,10 @@ pub struct BoccTable<K, V> {
     backend: TypedBackend<K, V>,
     /// Effective ops computed by `apply`, handed to `apply_durable`.
     pending_durable: PendingDurable<K, V>,
+    /// Pre-images of the committed-map entries `apply` overwrote
+    /// (`None` = no prior entry), so a failed group commit can be undone
+    /// exactly.
+    undo_images: SlotLocal<Vec<(K, Option<Option<V>>)>>,
 }
 
 impl<K: KeyType, V: ValueType> BoccTable<K, V> {
@@ -87,6 +92,7 @@ impl<K: KeyType, V: ValueType> BoccTable<K, V> {
             commit_log: RwLock::new(Vec::new()),
             backend,
             pending_durable: PendingDurable::for_context(ctx),
+            undo_images: SlotLocal::for_context(ctx),
         })
     }
 
@@ -303,13 +309,16 @@ impl<K: KeyType, V: ValueType> TxParticipant for BoccTable<K, V> {
         self.commit_log
             .write()
             .push(CommitRecord { cts, write_keys });
+        let mut undo = Vec::with_capacity(ops.len());
         for (key, op) in &ops {
             let value = match op {
                 WriteOp::Put(v) => Some(v.clone()),
                 WriteOp::Delete => None,
             };
-            self.shard(key).write().insert(key.clone(), value);
+            let prev = self.shard(key).write().insert(key.clone(), value);
+            undo.push((key.clone(), prev));
         }
+        self.undo_images.with_mut(tx, |cell| *cell = undo);
         if self.backend.is_persistent() {
             self.pending_durable.store(tx, ops);
         }
@@ -319,6 +328,7 @@ impl<K: KeyType, V: ValueType> TxParticipant for BoccTable<K, V> {
 
     fn apply_durable(&self, tx: &Tx, cts: Timestamp) -> Result<()> {
         persist_pending(
+            &self.ctx,
             &self.backend,
             &self.pending_durable,
             &self.write_sets,
@@ -331,18 +341,61 @@ impl<K: KeyType, V: ValueType> TxParticipant for BoccTable<K, V> {
         self.backend.wait_durable(cts)
     }
 
-    /// Removes the commit-log record published at `cts`: the commit will
+    /// Removes the commit-log record published at `cts` — the commit will
     /// never be visible, and a lingering record would spuriously fail
-    /// backward validation for every overlapping transaction.  (The shard
-    /// values updated by `apply` cannot be restored — an in-place
-    /// single-version limitation shared with S2PL and documented on
-    /// [`TxParticipant::undo_apply`].)
+    /// backward validation for every overlapping transaction — then restores
+    /// the committed-map entries `apply` overwrote, from the captured
+    /// pre-images.
     fn undo_apply(&self, tx: &Tx, cts: Timestamp) {
-        let _ = tx;
         let mut log = self.commit_log.write();
         if let Some(pos) = log.iter().rposition(|r| r.cts == cts) {
             log.remove(pos);
         }
+        drop(log);
+        let Some(undo) = self.undo_images.take(tx) else {
+            return;
+        };
+        for (key, prev) in undo.into_iter().rev() {
+            let mut shard = self.shard(&key).write();
+            match prev {
+                Some(entry) => {
+                    shard.insert(key, entry);
+                }
+                None => {
+                    shard.remove(&key);
+                }
+            }
+        }
+    }
+
+    fn redo_eligible(&self, tx: &Tx) -> bool {
+        self.backend.is_persistent() && self.write_sets.has_writes(tx)
+    }
+
+    fn redo_section(&self, tx: &Tx) -> Option<StateRedo> {
+        if !self.backend.is_persistent() {
+            return None;
+        }
+        let ops = self
+            .pending_durable
+            .peek_or_recompute(tx, &self.write_sets)?;
+        if ops.is_empty() {
+            return None;
+        }
+        let images: HashMap<K, Option<V>> = self
+            .undo_images
+            .with(tx, |undo| {
+                undo.iter()
+                    .filter_map(|(k, prev)| prev.clone().map(|entry| (k.clone(), entry)))
+                    .collect()
+            })
+            .unwrap_or_default();
+        Some(build_state_redo(self.state_id, &ops, |k| {
+            match images.get(k) {
+                Some(Some(v)) => Some(Some(v.encode())),
+                _ => Some(None),
+            }
+        }))
     }
 
     /// Backward validation of a *writing* transaction must be serialized
@@ -360,12 +413,14 @@ impl<K: KeyType, V: ValueType> TxParticipant for BoccTable<K, V> {
         self.write_sets.clear(tx);
         self.read_sets.clear(tx);
         self.pending_durable.clear(tx);
+        self.undo_images.clear(tx);
     }
 
     fn finalize(&self, tx: &Tx) {
         self.write_sets.clear(tx);
         self.read_sets.clear(tx);
         self.pending_durable.clear(tx);
+        self.undo_images.clear(tx);
     }
 
     fn has_writes(&self, tx: &Tx) -> bool {

@@ -11,7 +11,8 @@ use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use tsp_common::{CachePadded, Result, StateId, Timestamp, TspError};
-use tsp_storage::{BatchWriter, Codec, StorageBackend, WriteBatch};
+use tsp_storage::redo::{redo_key, RedoOp, RedoRecord, StateRedo};
+use tsp_storage::{BatchOp, BatchWriter, Codec, StorageBackend, WriteBatch};
 
 /// Bound for table keys: hashable, ordered, encodable.
 pub trait KeyType: Clone + Eq + Hash + Ord + Codec + Send + Sync + 'static {}
@@ -548,6 +549,20 @@ impl<K: KeyType, V: ValueType> PendingDurable<K, V> {
             .or_else(|| write_sets.with(tx, |ws| ws.effective()))
     }
 
+    /// Clones the stashed ops without consuming them, falling back to the
+    /// write set.  Used by the redo-record assembly, which runs *before*
+    /// `apply_durable` takes the stash.
+    pub fn peek_or_recompute(
+        &self,
+        tx: &Tx,
+        write_sets: &TxWriteSets<K, V>,
+    ) -> Option<Vec<(K, WriteOp<V>)>> {
+        self.ops
+            .with(tx, |cell| cell.clone())
+            .filter(|ops| !ops.is_empty())
+            .or_else(|| write_sets.with(tx, |ws| ws.effective()))
+    }
+
     /// Drops any stashed ops (abort/finalize path).
     pub fn clear(&self, tx: &Tx) {
         self.ops.clear(tx);
@@ -668,13 +683,40 @@ pub trait TxParticipant: Send + Sync {
     /// Multi-version stores unlink the versions installed at `cts` so their
     /// headers cannot spuriously trip First-Committer-Wins or SSI
     /// certification for later transactions (the failed-apply version leak).
-    /// The default is a no-op: the single-version baselines update their
-    /// committed image in place and cannot restore the previous value — for
-    /// them a torn multi-participant apply remains visible, a pre-existing
-    /// limitation of those protocols' in-place commit.  Must tolerate a
-    /// partially applied (mid-loop failed) state and be idempotent.
+    /// The single-version baselines update their committed image in place,
+    /// so their `apply` captures the overwritten pre-images and this hook
+    /// restores them exactly.  The default is a no-op (volatile states with
+    /// nothing applied).  Must tolerate a partially applied (mid-loop
+    /// failed) state and be idempotent.
     fn undo_apply(&self, tx: &Tx, cts: Timestamp) {
         let _ = (tx, cts);
+    }
+
+    /// This participant's contribution to the group-wide redo record of the
+    /// commit in flight: the encoded effective write set (plus, for in-place
+    /// protocols, the captured pre-images), or `None` if the participant
+    /// persists nothing for this transaction.
+    ///
+    /// Called by the coordinator between [`apply`](Self::apply) and
+    /// [`apply_durable`](Self::apply_durable), so implementations may read
+    /// (but must not consume) the ops `apply` stashed.  The default — used
+    /// by volatile states — contributes nothing.
+    fn redo_section(&self, tx: &Tx) -> Option<StateRedo> {
+        let _ = tx;
+        None
+    }
+
+    /// Cheap pre-check for [`redo_section`](Self::redo_section): could this
+    /// participant contribute a section (persistent backend and buffered
+    /// writes)?  The coordinator counts eligible participants *before*
+    /// serializing any section, so the single-state fast path — the common
+    /// case — never pays the write-set encoding that a group record would
+    /// need.  May over-approximate (eligibility without an actual section
+    /// is fine); must never under-approximate.  The default — volatile
+    /// states — is `false`.
+    fn redo_eligible(&self, tx: &Tx) -> bool {
+        let _ = tx;
+        false
     }
 
     /// Discards the transaction's buffered effects.
@@ -861,7 +903,15 @@ pub fn preload_rows<K: KeyType, V: ValueType>(
 /// [`TypedBackend::apply_at`] — an asynchronous enqueue when the commit
 /// pipeline is enabled, a synchronous batch write otherwise.  A transaction
 /// with no effective ops persists nothing (not even the marker).
+///
+/// When the coordinator attached a group redo record to `tx` (the commit
+/// spans several persistent states — see
+/// [`StateContext::attach_redo`]), the record rides in this participant's
+/// batch too, under [`redo_key`]: every surviving participant then holds a
+/// full copy of the group's write sets, which is what lets recovery roll a
+/// torn suffix forward instead of min-fencing it.
 pub fn persist_pending<K: KeyType, V: ValueType>(
+    ctx: &StateContext,
     backend: &TypedBackend<K, V>,
     pending: &PendingDurable<K, V>,
     write_sets: &TxWriteSets<K, V>,
@@ -877,7 +927,75 @@ pub fn persist_pending<K: KeyType, V: ValueType>(
     if ops.is_empty() {
         return Ok(());
     }
-    backend.apply_at(&ops, &commit_meta(backend, cts), cts)
+    let mut meta = commit_meta(backend, cts);
+    if let Some(record) = ctx.pending_redo(tx) {
+        ctx.telemetry().add_redo_bytes(record.len() as u64);
+        meta.push((redo_key(cts), record.as_ref().clone()));
+    }
+    backend.apply_at(&ops, &meta, cts)
+}
+
+/// Encodes a participant's effective write set as its section of the group
+/// redo record.  `undo_for` supplies the committed pre-image of a key for
+/// the in-place protocols (S2PL, BOCC) — `None` when the protocol does not
+/// capture pre-images (multi-version stores).
+pub fn build_state_redo<K: KeyType, V: ValueType>(
+    state: StateId,
+    ops: &[(K, WriteOp<V>)],
+    mut undo_for: impl FnMut(&K) -> Option<Option<Vec<u8>>>,
+) -> StateRedo {
+    let mut redo_ops = Vec::with_capacity(ops.len());
+    for (k, op) in ops {
+        let op = match op {
+            WriteOp::Put(v) => BatchOp::Put {
+                key: k.encode(),
+                value: v.encode(),
+            },
+            WriteOp::Delete => BatchOp::Delete { key: k.encode() },
+        };
+        redo_ops.push(RedoOp {
+            undo: undo_for(k),
+            op,
+        });
+    }
+    StateRedo {
+        state: state.as_u32(),
+        ops: redo_ops,
+    }
+}
+
+/// Assembles the group redo record for the commit at `cts` and stashes it on
+/// `tx` so every participant's [`persist_pending`] folds a copy into its own
+/// durable batch (riding the batch's existing WAL record and fsync — no
+/// extra sync).
+///
+/// Single-participant commits skip the record: one batch is already
+/// failure-atomic through the backend's WAL, so there is no suffix to tear.
+/// Only when **two or more** persistent participants contribute sections is
+/// the record needed — it is what lets [`crate::recovery::restore_group`]
+/// roll a torn suffix forward to the group's maximum logged commit instead
+/// of fencing visibility to the minimum.
+pub fn attach_group_redo<'a>(
+    ctx: &StateContext,
+    tx: &Tx,
+    cts: Timestamp,
+    writers: impl Iterator<Item = &'a Arc<dyn TxParticipant>> + Clone,
+) {
+    // Count before serializing: a single-state commit (the overwhelmingly
+    // common case) is already batch-atomic, needs no record, and must not
+    // pay the per-op write-set encoding just to find that out.
+    if writers.clone().filter(|p| p.redo_eligible(tx)).count() < 2 {
+        return;
+    }
+    let sections: Vec<StateRedo> = writers.filter_map(|p| p.redo_section(tx)).collect();
+    if sections.len() < 2 {
+        return;
+    }
+    let record = RedoRecord {
+        cts,
+        states: sections,
+    };
+    ctx.attach_redo(tx, Arc::new(record.encode()));
 }
 
 /// The metadata entries persisted with a commit batch: the durable group

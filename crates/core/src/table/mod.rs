@@ -45,7 +45,7 @@ pub mod ssi_table;
 
 pub use bocc_table::BoccTable;
 pub use common::{
-    last_cts_key, KeyType, ReadSet, SlotLocal, TableHandle, TransactionalTable,
+    attach_group_redo, last_cts_key, KeyType, ReadSet, SlotLocal, TableHandle, TransactionalTable,
     TransactionalTableExt, TxParticipant, TxWriteSets, TypedBackend, ValueType, WriteOp, WriteSet,
 };
 pub use factory::Protocol;

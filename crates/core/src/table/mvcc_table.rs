@@ -41,15 +41,16 @@ use crate::context::{StateContext, Tx};
 use crate::mvcc::{MvccObject, DEFAULT_VERSION_SLOTS};
 use crate::stats::TxStats;
 use crate::table::common::{
-    buffer_write, overlay_write_set, persist_pending, preload_rows, read_own_write,
-    reject_read_only, KeyType, PendingDurable, TransactionalTable, TxParticipant, TxWriteSets,
-    TypedBackend, ValueType, WriteOp,
+    buffer_write, build_state_redo, overlay_write_set, persist_pending, preload_rows,
+    read_own_write, reject_read_only, KeyType, PendingDurable, TransactionalTable, TxParticipant,
+    TxWriteSets, TypedBackend, ValueType, WriteOp,
 };
 use crate::table::objmap::{ObjMap, DEFAULT_INDEX_BUCKETS};
 use crate::telemetry::AbortReason;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use tsp_common::{Result, StateId, Timestamp, TspError};
+use tsp_storage::redo::StateRedo;
 use tsp_storage::StorageBackend;
 
 /// When the write-write conflict check runs (§4.2 discusses both choices;
@@ -455,6 +456,7 @@ impl<K: KeyType, V: ValueType> TxParticipant for MvccTable<K, V> {
     /// atomicity comes from the backend's WAL.
     fn apply_durable(&self, tx: &Tx, cts: Timestamp) -> Result<()> {
         persist_pending(
+            &self.ctx,
             &self.backend,
             &self.pending_durable,
             &self.write_sets,
@@ -465,6 +467,26 @@ impl<K: KeyType, V: ValueType> TxParticipant for MvccTable<K, V> {
 
     fn wait_durable(&self, cts: Timestamp) -> Result<()> {
         self.backend.wait_durable(cts)
+    }
+
+    /// Versioned tables undo a torn apply by unlinking the `cts` versions
+    /// (see [`undo_apply`](TxParticipant::undo_apply)), so the redo record
+    /// carries no undo images for them.
+    fn redo_eligible(&self, tx: &Tx) -> bool {
+        self.backend.is_persistent() && self.write_sets.has_writes(tx)
+    }
+
+    fn redo_section(&self, tx: &Tx) -> Option<StateRedo> {
+        if !self.backend.is_persistent() {
+            return None;
+        }
+        let ops = self
+            .pending_durable
+            .peek_or_recompute(tx, &self.write_sets)?;
+        if ops.is_empty() {
+            return None;
+        }
+        Some(build_state_redo(self.state_id, &ops, |_| None))
     }
 
     /// Unlinks the versions installed at `cts` (and revives the versions

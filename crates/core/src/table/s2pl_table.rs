@@ -9,15 +9,20 @@
 //! which is exactly the behaviour Figure 4 shows for S2PL.
 //!
 //! Writes are buffered in a per-transaction write set and applied at commit
-//! while the exclusive locks are still held, so no undo logging is needed;
-//! the semantics are identical to in-place update with undo because no other
-//! transaction can observe the key between the write and the commit.
+//! while the exclusive locks are still held; no other transaction can
+//! observe the key between the write and the commit, so concurrency control
+//! needs no undo logging.  The *commit coordinator* still can: a later
+//! participant of the same multi-state commit may fail after this table
+//! already updated its committed map in place, so `apply` captures the
+//! overwritten pre-images and [`TxParticipant::undo_apply`] restores them
+//! exactly — and the same pre-images travel in the group redo record
+//! ([`tsp_storage::redo`]) as the commit's undo values.
 
 use crate::context::{StateContext, Tx};
 use crate::table::common::{
-    buffer_write, overlay_write_set, persist_pending, preload_rows, read_own_write,
-    reject_read_only, KeyType, PendingDurable, TransactionalTable, TxParticipant, TxWriteSets,
-    TypedBackend, ValueType, WriteOp,
+    buffer_write, build_state_redo, overlay_write_set, persist_pending, preload_rows,
+    read_own_write, reject_read_only, KeyType, PendingDurable, SlotLocal, TransactionalTable,
+    TxParticipant, TxWriteSets, TypedBackend, ValueType, WriteOp,
 };
 use crate::table::locks::{LockManager, LockMode};
 use crate::telemetry::AbortReason;
@@ -27,6 +32,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::hash::Hasher;
 use std::sync::Arc;
 use tsp_common::{Result, StateId, Timestamp, TspError};
+use tsp_storage::redo::StateRedo;
 use tsp_storage::StorageBackend;
 
 const SHARDS: usize = 64;
@@ -44,6 +50,11 @@ pub struct S2plTable<K, V> {
     backend: TypedBackend<K, V>,
     /// Effective ops computed by `apply`, handed to `apply_durable`.
     pending_durable: PendingDurable<K, V>,
+    /// Pre-images of the committed-map entries `apply` overwrote
+    /// (`None` = the key had no entry): the per-commit undo values that let
+    /// [`TxParticipant::undo_apply`] restore the exact previous state after
+    /// a torn multi-participant apply.
+    undo_images: SlotLocal<Vec<(K, Option<Option<V>>)>>,
 }
 
 impl<K: KeyType, V: ValueType> S2plTable<K, V> {
@@ -77,6 +88,7 @@ impl<K: KeyType, V: ValueType> S2plTable<K, V> {
             write_sets: TxWriteSets::for_context(ctx),
             backend,
             pending_durable: PendingDurable::for_context(ctx),
+            undo_images: SlotLocal::for_context(ctx),
         })
     }
 
@@ -227,13 +239,16 @@ impl<K: KeyType, V: ValueType> TxParticipant for S2plTable<K, V> {
         let Some(ops) = self.write_sets.with(tx, |ws| ws.effective()) else {
             return Ok(());
         };
+        let mut undo = Vec::with_capacity(ops.len());
         for (key, op) in &ops {
             let value = match op {
                 WriteOp::Put(v) => Some(v.clone()),
                 WriteOp::Delete => None,
             };
-            self.shard(key).write().insert(key.clone(), value);
+            let prev = self.shard(key).write().insert(key.clone(), value);
+            undo.push((key.clone(), prev));
         }
+        self.undo_images.with_mut(tx, |cell| *cell = undo);
         if self.backend.is_persistent() {
             self.pending_durable.store(tx, ops);
         }
@@ -242,6 +257,7 @@ impl<K: KeyType, V: ValueType> TxParticipant for S2plTable<K, V> {
 
     fn apply_durable(&self, tx: &Tx, cts: Timestamp) -> Result<()> {
         persist_pending(
+            &self.ctx,
             &self.backend,
             &self.pending_durable,
             &self.write_sets,
@@ -254,14 +270,69 @@ impl<K: KeyType, V: ValueType> TxParticipant for S2plTable<K, V> {
         self.backend.wait_durable(cts)
     }
 
+    /// Restores the committed-map entries `apply` overwrote, from the
+    /// captured pre-images.  Taking the stash makes the call idempotent.
+    fn undo_apply(&self, tx: &Tx, cts: Timestamp) {
+        let _ = cts;
+        let Some(undo) = self.undo_images.take(tx) else {
+            return;
+        };
+        for (key, prev) in undo.into_iter().rev() {
+            let mut shard = self.shard(&key).write();
+            match prev {
+                Some(entry) => {
+                    shard.insert(key, entry);
+                }
+                None => {
+                    shard.remove(&key);
+                }
+            }
+        }
+    }
+
+    fn redo_eligible(&self, tx: &Tx) -> bool {
+        self.backend.is_persistent() && self.write_sets.has_writes(tx)
+    }
+
+    fn redo_section(&self, tx: &Tx) -> Option<StateRedo> {
+        if !self.backend.is_persistent() {
+            return None;
+        }
+        let ops = self
+            .pending_durable
+            .peek_or_recompute(tx, &self.write_sets)?;
+        if ops.is_empty() {
+            return None;
+        }
+        let images: std::collections::HashMap<K, Option<V>> = self
+            .undo_images
+            .with(tx, |undo| {
+                undo.iter()
+                    .filter_map(|(k, prev)| prev.clone().map(|entry| (k.clone(), entry)))
+                    .collect()
+            })
+            .unwrap_or_default();
+        Some(build_state_redo(self.state_id, &ops, |k| {
+            // `Some(Some(bytes))` = the committed override value the op
+            // replaced; `Some(None)` = no prior entry (or a tombstone) in
+            // the committed map.
+            match images.get(k) {
+                Some(Some(v)) => Some(Some(v.encode())),
+                _ => Some(None),
+            }
+        }))
+    }
+
     fn rollback(&self, tx: &Tx) {
         self.write_sets.clear(tx);
         self.pending_durable.clear(tx);
+        self.undo_images.clear(tx);
     }
 
     fn finalize(&self, tx: &Tx) {
         self.write_sets.clear(tx);
         self.pending_durable.clear(tx);
+        self.undo_images.clear(tx);
         self.locks.release_all(tx.id());
     }
 

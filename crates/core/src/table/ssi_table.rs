@@ -356,6 +356,14 @@ impl<K: KeyType, V: ValueType> TxParticipant for SsiTable<K, V> {
         self.inner.undo_apply(tx, cts);
     }
 
+    fn redo_eligible(&self, tx: &Tx) -> bool {
+        self.inner.redo_eligible(tx)
+    }
+
+    fn redo_section(&self, tx: &Tx) -> Option<tsp_storage::redo::StateRedo> {
+        self.inner.redo_section(tx)
+    }
+
     fn rollback(&self, tx: &Tx) {
         // If this transaction's apply already advanced the watermark, take
         // it back — unless a newer commit has legitimately raised it since

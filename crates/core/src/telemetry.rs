@@ -158,6 +158,11 @@ pub struct Telemetry {
     /// Gauge: clock distance between `now` and the oldest active snapshot
     /// floor at the last GC sweep (logical-timestamp units).
     gc_floor_lag: AtomicU64,
+    /// Bytes of group redo records handed to persistence (each participant
+    /// persists its own copy; every copy counts).
+    redo_bytes: AtomicU64,
+    /// Torn group commits rolled forward from the redo log at recovery.
+    redo_replays: AtomicU64,
 }
 
 impl Telemetry {
@@ -212,6 +217,26 @@ impl Telemetry {
         self.gc_floor_lag.load(Ordering::Relaxed)
     }
 
+    /// Counts `n` bytes of encoded group redo record handed to persistence.
+    pub fn add_redo_bytes(&self, n: u64) {
+        self.redo_bytes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total bytes of group redo records handed to persistence.
+    pub fn redo_bytes(&self) -> u64 {
+        self.redo_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Counts `n` torn group commits rolled forward from the redo log.
+    pub fn add_redo_replays(&self, n: u64) {
+        self.redo_replays.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total torn group commits rolled forward from the redo log.
+    pub fn redo_replays(&self) -> u64 {
+        self.redo_replays.load(Ordering::Relaxed)
+    }
+
     /// Merges another registry's recordings into this one (per-partition
     /// roll-ups).  Histograms merge bucket-wise; the floor-lag gauge takes
     /// the maximum (the laggiest partition bounds reclaimable garbage).
@@ -228,6 +253,12 @@ impl Telemetry {
             other.gc_floor_lag.load(Ordering::Relaxed),
             Ordering::Relaxed,
         );
+        self.redo_bytes
+            .fetch_add(other.redo_bytes.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.redo_replays.fetch_add(
+            other.redo_replays.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
     }
 
     /// Clears every histogram and gauge (between benchmark phases).
@@ -240,6 +271,8 @@ impl Telemetry {
         self.commit_batch_size.reset();
         self.admission_wait_nanos.reset();
         self.gc_floor_lag.store(0, Ordering::Relaxed);
+        self.redo_bytes.store(0, Ordering::Relaxed);
+        self.redo_replays.store(0, Ordering::Relaxed);
     }
 }
 
@@ -354,6 +387,10 @@ pub struct TelemetrySnapshot {
     pub persist_retries: u64,
     /// Sticky-failed writers successfully resurrected via `try_recover`.
     pub writer_recoveries: u64,
+    /// Bytes of group redo records handed to persistence.
+    pub redo_bytes: u64,
+    /// Torn group commits rolled forward from the redo log at recovery.
+    pub redo_replays: u64,
     /// GC floor lag at the last sweep (logical-timestamp units).
     pub gc_floor_lag: u64,
 }
@@ -389,6 +426,8 @@ impl TelemetrySnapshot {
             failed_writers: writers.failed,
             persist_retries: writers.retries,
             writer_recoveries: writers.recoveries,
+            redo_bytes: telemetry.redo_bytes(),
+            redo_replays: telemetry.redo_replays(),
             gc_floor_lag: telemetry.gc_floor_lag(),
         }
     }
@@ -425,6 +464,8 @@ impl TelemetrySnapshot {
                 "\"failed_writers\":{},",
                 "\"retries\":{},",
                 "\"recoveries\":{},",
+                "\"redo_bytes\":{},",
+                "\"redo_replays\":{},",
                 "\"queue_dwell_nanos\":{},",
                 "\"coalesced_batch_size\":{}}},",
                 "\"gc\":{{\"runs\":{},\"reclaimed_versions\":{},\"floor_lag\":{}}}}}"
@@ -449,6 +490,8 @@ impl TelemetrySnapshot {
             self.failed_writers,
             self.persist_retries,
             self.writer_recoveries,
+            self.redo_bytes,
+            self.redo_replays,
             self.queue_dwell_nanos.json(),
             self.coalesced_batch_size.json(),
             s.gc_runs,
@@ -503,6 +546,16 @@ impl TelemetrySnapshot {
                 "tsp_writer_recoveries_total",
                 "Sticky-failed persistence writers successfully recovered.",
                 self.writer_recoveries,
+            ),
+            (
+                "tsp_redo_bytes_total",
+                "Bytes of group redo records handed to persistence.",
+                self.redo_bytes,
+            ),
+            (
+                "tsp_redo_replays_total",
+                "Torn group commits rolled forward from the redo log at recovery.",
+                self.redo_replays,
             ),
         ] {
             prom_counter(&mut out, name, help, value);
@@ -765,6 +818,8 @@ mod tests {
             failed_writers: 1,
             persist_retries: 3,
             writer_recoveries: 1,
+            redo_bytes: 256,
+            redo_replays: 2,
             gc_floor_lag: 4,
             ..Default::default()
         };
@@ -802,6 +857,12 @@ tsp_persist_retries_total 3
 # HELP tsp_writer_recoveries_total Sticky-failed persistence writers successfully recovered.
 # TYPE tsp_writer_recoveries_total counter
 tsp_writer_recoveries_total 1
+# HELP tsp_redo_bytes_total Bytes of group redo records handed to persistence.
+# TYPE tsp_redo_bytes_total counter
+tsp_redo_bytes_total 256
+# HELP tsp_redo_replays_total Torn group commits rolled forward from the redo log at recovery.
+# TYPE tsp_redo_replays_total counter
+tsp_redo_replays_total 2
 # HELP tsp_aborts_total Aborts by reason.
 # TYPE tsp_aborts_total counter
 tsp_aborts_total{reason=\"fcw_conflict\"} 1
@@ -921,6 +982,8 @@ tsp_gc_floor_lag 4
         assert!(json.contains("\"failed_writers\":0"));
         assert!(json.contains("\"retries\":4"));
         assert!(json.contains("\"recoveries\":2"));
+        assert!(json.contains("\"redo_bytes\":0"));
+        assert!(json.contains("\"redo_replays\":0"));
         assert!(json.contains("\"admission\":{\"waits\":0"));
         assert_eq!(snap.abort_count(AbortReason::FcwConflict), 1);
         // Balanced braces — the cheapest structural check without a parser.

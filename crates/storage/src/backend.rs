@@ -47,7 +47,11 @@ impl BatchOp {
 /// Backends apply a batch as a unit: the persistent [`crate::lsm::LsmStore`]
 /// writes the whole batch as one WAL record, so after a crash either all or
 /// none of the batch is recovered — the failure-atomicity the transactional
-/// layer relies on when it propagates a commit to the base table.
+/// layer relies on when it propagates a commit to the base table.  The
+/// transactional layer exploits this by folding its metadata — the `last_cts`
+/// commit marker and, for multi-state group commits, the [`crate::redo`]
+/// record — into the same batch as the data: marker, redo record and rows
+/// are durable together or not at all.
 #[derive(Clone, Debug, Default)]
 pub struct WriteBatch {
     ops: Vec<BatchOp>,

@@ -26,6 +26,11 @@
 //! `TransactionManager::commit_durable` / `flush`) blocks until it is
 //! *durable*.
 //!
+//! Multi-state group commits additionally piggyback a [`crate::redo`] record
+//! on each participant's batch: the record travels inside the batch the
+//! writer coalesces, so it shares the batch's WAL record and fsync — group
+//! redo durability costs no extra sync on this path.
+//!
 //! **Shared-backend caveat.**  The prefix property holds per commit-lock
 //! domain: commit timestamps are drawn and enqueued inside the group-commit
 //! critical section, so all batches for one table — and for any set of

@@ -53,6 +53,11 @@ pub struct FaultPlan {
     /// With probability `.0`, sleep `.1` before serving the call — models
     /// a device with tail-latency spikes.
     pub latency_spike: Option<(f64, Duration)>,
+    /// From the n-th armed `write_batch` call (1-based) onward, *every*
+    /// call fails permanently — the backend has gone dark, as after a
+    /// process crash or device loss.  Overrides `fail_nth`, `fail_rate`
+    /// and `max_failures`.
+    pub crash_after: Option<u64>,
 }
 
 impl FaultPlan {
@@ -65,6 +70,7 @@ impl FaultPlan {
             transient: true,
             max_failures: None,
             latency_spike: None,
+            crash_after: None,
         }
     }
 
@@ -78,6 +84,22 @@ impl FaultPlan {
             transient,
             max_failures: Some(1),
             latency_spike: None,
+            crash_after: None,
+        }
+    }
+
+    /// A plan under which the backend goes permanently dark at the `nth`
+    /// armed `write_batch` call (1-based): that call and every later one
+    /// fail with a permanent error, as if the process crashed mid-commit.
+    pub fn crash_after(nth: u64) -> Self {
+        FaultPlan {
+            seed: DEFAULT_SEED,
+            fail_rate: 0.0,
+            fail_nth: None,
+            transient: false,
+            max_failures: None,
+            latency_spike: None,
+            crash_after: Some(nth),
         }
     }
 
@@ -91,6 +113,8 @@ impl FaultPlan {
     ///   default rate ([`DEFAULT_FAIL_RATE`]),
     /// * `nth:<n>` — one transient failure at the n-th write,
     /// * `nth:<n>:permanent` — one permanent failure at the n-th write,
+    /// * `crash_after:<n>` — the backend goes permanently dark at the n-th
+    ///   write and stays dark (crash-point model),
     /// * `slow` / `slow:<seed>` — no failures, 5% of writes sleep 2 ms.
     pub fn parse(profile: &str) -> Result<Option<FaultPlan>> {
         let parts: Vec<&str> = profile.split(':').collect();
@@ -107,6 +131,7 @@ impl FaultPlan {
             ))),
             ["nth", n] => Ok(Some(FaultPlan::fail_nth(parse_seed(n)?, true))),
             ["nth", n, "permanent"] => Ok(Some(FaultPlan::fail_nth(parse_seed(n)?, false))),
+            ["crash_after", n] => Ok(Some(FaultPlan::crash_after(parse_seed(n)?))),
             ["slow"] | ["slow", _] => {
                 let seed = if let ["slow", s] = parts.as_slice() {
                     parse_seed(s)?
@@ -120,11 +145,13 @@ impl FaultPlan {
                     transient: true,
                     max_failures: None,
                     latency_spike: Some((0.05, Duration::from_millis(2))),
+                    crash_after: None,
                 }))
             }
             _ => Err(TspError::config(format!(
                 "unknown fault profile '{profile}' \
-                 (expected none | transient[:seed] | nth:<n>[:permanent] | slow[:seed])"
+                 (expected none | transient[:seed] | nth:<n>[:permanent] | \
+                 crash_after:<n> | slow[:seed])"
             ))),
         }
     }
@@ -194,7 +221,17 @@ impl FaultInjectingBackend {
         (splitmix64(&mut rng) >> 11) as f64 / (1u64 << 53) as f64
     }
 
+    /// True once the plan's crash point has been reached: the `call`-th
+    /// armed write and all later ones fail (the backend is dark).
+    fn crashed(&self, call: u64) -> bool {
+        self.plan.crash_after.is_some_and(|nth| call >= nth)
+    }
+
     fn should_fail(&self, call: u64) -> bool {
+        if self.crashed(call) {
+            // A crashed backend never comes back; max_failures is moot.
+            return true;
+        }
         if self
             .plan
             .max_failures
@@ -234,7 +271,9 @@ impl StorageBackend for FaultInjectingBackend {
         }
         if self.should_fail(call) {
             self.injected.fetch_add(1, Ordering::Relaxed);
-            return Err(if self.plan.transient {
+            return Err(if self.crashed(call) {
+                TspError::permanent_io(format!("injected crash: backend dark since write {call}"))
+            } else if self.plan.transient {
                 TspError::transient_io(format!("injected transient fault at write {call}"))
             } else {
                 TspError::permanent_io(format!("injected permanent fault at write {call}"))
@@ -365,7 +404,42 @@ mod tests {
         let slow = FaultPlan::parse("slow").unwrap().unwrap();
         assert!(slow.latency_spike.is_some());
         assert_eq!(slow.fail_rate, 0.0);
+        let crash = FaultPlan::parse("crash_after:5").unwrap().unwrap();
+        assert_eq!(crash.crash_after, Some(5));
+        assert!(!crash.transient);
         assert!(FaultPlan::parse("bogus").is_err());
         assert!(FaultPlan::parse("nth:x").is_err());
+        assert!(FaultPlan::parse("crash_after:x").is_err());
+        assert!(FaultPlan::parse("crash_after").is_err());
+    }
+
+    #[test]
+    fn crash_after_goes_dark_and_stays_dark() {
+        let inner = Arc::new(BTreeBackend::new());
+        let faulty = FaultInjectingBackend::wrap(inner.clone(), FaultPlan::crash_after(3));
+        faulty.write_batch(&one_op_batch()).unwrap();
+        faulty.write_batch(&one_op_batch()).unwrap();
+        for _ in 0..5 {
+            let e = faulty.write_batch(&one_op_batch()).unwrap_err();
+            assert!(!e.is_transient(), "a crashed backend is permanently dark");
+        }
+        assert_eq!(faulty.write_calls(), 7);
+        assert_eq!(faulty.injected_failures(), 5);
+    }
+
+    #[test]
+    fn crash_after_respects_arming() {
+        let inner = Arc::new(BTreeBackend::new());
+        let faulty = FaultInjectingBackend::wrap(inner, FaultPlan::crash_after(1));
+        // Disarmed preload traffic does not advance toward the crash point.
+        faulty.set_armed(false);
+        for _ in 0..4 {
+            faulty.write_batch(&one_op_batch()).unwrap();
+        }
+        faulty.set_armed(true);
+        assert!(faulty.write_batch(&one_op_batch()).is_err());
+        // Disarming again lets a recovery harness reach the inner store.
+        faulty.set_armed(false);
+        faulty.write_batch(&one_op_batch()).unwrap();
     }
 }

@@ -31,6 +31,7 @@ pub mod lsm;
 pub mod manifest;
 pub mod memtable;
 pub mod range;
+pub mod redo;
 pub mod retry;
 pub mod sstable;
 pub mod stats;
@@ -47,6 +48,7 @@ pub use hash::HashBackend;
 pub use lsm::{LsmOptions, LsmStore};
 pub use memtable::BTreeBackend;
 pub use range::{collect_range, count_range, scan_prefix, scan_range, KeyRange};
+pub use redo::{parse_redo_key, redo_key, scan_redo, truncate_redo, RedoOp, RedoRecord, StateRedo};
 pub use retry::RetryPolicy;
 pub use stats::{InstrumentedBackend, StorageStats, StorageStatsSnapshot};
 
@@ -65,6 +67,9 @@ pub mod prelude {
     pub use crate::lsm::{LsmOptions, LsmStore};
     pub use crate::memtable::BTreeBackend;
     pub use crate::range::{collect_range, count_range, scan_prefix, scan_range, KeyRange};
+    pub use crate::redo::{
+        parse_redo_key, redo_key, scan_redo, truncate_redo, RedoOp, RedoRecord, StateRedo,
+    };
     pub use crate::retry::RetryPolicy;
     pub use crate::stats::{InstrumentedBackend, StorageStats, StorageStatsSnapshot};
 }

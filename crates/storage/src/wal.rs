@@ -31,6 +31,64 @@ use tsp_common::{Result, TspError};
 const TAG_PUT: u8 = 0;
 const TAG_DELETE: u8 = 1;
 
+/// Serialises one batch op in the shared WAL op encoding (see the module
+/// docs).  Also used by [`crate::redo`] so redo records stay byte-compatible
+/// with WAL payloads.
+pub(crate) fn encode_batch_op(op: &BatchOp, out: &mut Vec<u8>) {
+    match op {
+        BatchOp::Put { key, value } => {
+            out.push(TAG_PUT);
+            out.extend_from_slice(&(key.len() as u32).to_be_bytes());
+            out.extend_from_slice(key);
+            out.extend_from_slice(&(value.len() as u32).to_be_bytes());
+            out.extend_from_slice(value);
+        }
+        BatchOp::Delete { key } => {
+            out.push(TAG_DELETE);
+            out.extend_from_slice(&(key.len() as u32).to_be_bytes());
+            out.extend_from_slice(key);
+        }
+    }
+}
+
+/// Decodes one batch op from `payload` at `*pos`, advancing the cursor.
+/// Inverse of [`encode_batch_op`]; shared with [`crate::redo`].
+pub(crate) fn decode_batch_op(payload: &[u8], pos: &mut usize) -> Result<BatchOp> {
+    let read_u32 = |buf: &[u8], pos: &mut usize| -> Result<u32> {
+        if *pos + 4 > buf.len() {
+            return Err(TspError::corruption("WAL payload truncated (u32)"));
+        }
+        let v = u32::from_be_bytes(buf[*pos..*pos + 4].try_into().unwrap());
+        *pos += 4;
+        Ok(v)
+    };
+    let read_bytes = |buf: &[u8], pos: &mut usize, n: usize| -> Result<Vec<u8>> {
+        if *pos + n > buf.len() {
+            return Err(TspError::corruption("WAL payload truncated (bytes)"));
+        }
+        let v = buf[*pos..*pos + n].to_vec();
+        *pos += n;
+        Ok(v)
+    };
+
+    if *pos >= payload.len() {
+        return Err(TspError::corruption("WAL payload truncated (op tag)"));
+    }
+    let tag = payload[*pos];
+    *pos += 1;
+    let klen = read_u32(payload, pos)? as usize;
+    let key = read_bytes(payload, pos, klen)?;
+    match tag {
+        TAG_PUT => {
+            let vlen = read_u32(payload, pos)? as usize;
+            let value = read_bytes(payload, pos, vlen)?;
+            Ok(BatchOp::Put { key, value })
+        }
+        TAG_DELETE => Ok(BatchOp::Delete { key }),
+        other => Err(TspError::corruption(format!("unknown WAL op tag {other}"))),
+    }
+}
+
 /// Append-only write-ahead log over a single file.
 pub struct Wal {
     path: PathBuf,
@@ -72,20 +130,7 @@ impl Wal {
     fn encode_batch(batch: &WriteBatch, out: &mut Vec<u8>) {
         out.extend_from_slice(&(batch.len() as u32).to_be_bytes());
         for op in batch.iter() {
-            match op {
-                BatchOp::Put { key, value } => {
-                    out.push(TAG_PUT);
-                    out.extend_from_slice(&(key.len() as u32).to_be_bytes());
-                    out.extend_from_slice(key);
-                    out.extend_from_slice(&(value.len() as u32).to_be_bytes());
-                    out.extend_from_slice(value);
-                }
-                BatchOp::Delete { key } => {
-                    out.push(TAG_DELETE);
-                    out.extend_from_slice(&(key.len() as u32).to_be_bytes());
-                    out.extend_from_slice(key);
-                }
-            }
+            encode_batch_op(op, out);
         }
     }
 
@@ -173,44 +218,19 @@ impl Wal {
 
     fn decode_batch(payload: &[u8]) -> Result<WriteBatch> {
         let mut pos = 0usize;
-        let read_u32 = |buf: &[u8], pos: &mut usize| -> Result<u32> {
-            if *pos + 4 > buf.len() {
-                return Err(TspError::corruption("WAL payload truncated (u32)"));
-            }
-            let v = u32::from_be_bytes(buf[*pos..*pos + 4].try_into().unwrap());
-            *pos += 4;
-            Ok(v)
-        };
-        let read_bytes = |buf: &[u8], pos: &mut usize, n: usize| -> Result<Vec<u8>> {
-            if *pos + n > buf.len() {
-                return Err(TspError::corruption("WAL payload truncated (bytes)"));
-            }
-            let v = buf[*pos..*pos + n].to_vec();
-            *pos += n;
-            Ok(v)
-        };
-
-        let count = read_u32(payload, &mut pos)? as usize;
+        if pos + 4 > payload.len() {
+            return Err(TspError::corruption("WAL payload truncated (u32)"));
+        }
+        let count = u32::from_be_bytes(payload[pos..pos + 4].try_into().unwrap()) as usize;
+        pos += 4;
         let mut batch = WriteBatch::with_capacity(count);
         for _ in 0..count {
-            if pos >= payload.len() {
-                return Err(TspError::corruption("WAL payload truncated (op tag)"));
-            }
-            let tag = payload[pos];
-            pos += 1;
-            let klen = read_u32(payload, &mut pos)? as usize;
-            let key = read_bytes(payload, &mut pos, klen)?;
-            match tag {
-                TAG_PUT => {
-                    let vlen = read_u32(payload, &mut pos)? as usize;
-                    let value = read_bytes(payload, &mut pos, vlen)?;
+            match decode_batch_op(payload, &mut pos)? {
+                BatchOp::Put { key, value } => {
                     batch.put(key, value);
                 }
-                TAG_DELETE => {
+                BatchOp::Delete { key } => {
                     batch.delete(key);
-                }
-                other => {
-                    return Err(TspError::corruption(format!("unknown WAL op tag {other}")));
                 }
             }
         }

@@ -172,10 +172,11 @@ fn killed_async_writer_recovers_a_prefix_up_to_durable_cts() {
 }
 
 /// A two-state group whose backends drain independently: if the crash loses
-/// more on one state than the other, recovery detects the torn suffix and
-/// fences the visibility horizon to the common (minimum) prefix.
+/// more on one state than the other, recovery replays the lagging state's
+/// missing batch from the group redo record carried by the surviving one —
+/// the horizon is the maximum prefix, not a fence to the minimum.
 #[test]
-fn async_writers_torn_across_states_are_fenced_to_the_minimum() {
+fn async_writers_torn_across_states_are_rolled_forward() {
     let dir = temp_dir("asynctorn");
     let opts = LsmOptions::no_sync();
     let last_cts;
@@ -226,14 +227,32 @@ fn async_writers_torn_across_states_are_fenced_to_the_minimum() {
     let group = mgr.register_group(&[a.id(), b.id()]).unwrap();
     let report = restore_group(&ctx, group, &[&*store_a, &*store_b]).unwrap();
     // Whether the second commit reached A depends on drain timing, but the
-    // invariant is unconditional: the visibility horizon is the minimum of
-    // the per-state prefixes, and B never holds key 2.
+    // invariant is unconditional: after recovery both states expose the
+    // *same* prefix — A's durable batch carried the whole group's redo
+    // record, so if A holds commit 2, B was repaired to hold it too.
+    assert_eq!(
+        report.last_cts,
+        report
+            .per_state
+            .iter()
+            .map(|c| c.unwrap_or_default())
+            .max()
+            .unwrap(),
+        "the horizon is the maximum stored prefix, never a min-fence"
+    );
     let q = mgr.begin_read_only().unwrap();
     assert_eq!(a.read(&q, &1).unwrap(), Some(1));
     assert_eq!(b.read(&q, &1).unwrap(), Some(1));
-    assert_eq!(b.read(&q, &2).unwrap(), None);
+    let a2 = a.read(&q, &2).unwrap();
+    let b2 = b.read(&q, &2).unwrap();
+    assert_eq!(a2, b2, "recovery leaves no torn suffix between the states");
     if report.per_state[0] != report.per_state[1] {
-        assert!(report.torn_group_commit, "unequal prefixes must be flagged");
+        assert!(
+            report.torn_group_commit,
+            "unequal prefixes must be repaired"
+        );
+        assert!(report.replayed_commits >= 1);
+        assert_eq!(b2, Some(2), "the lagging state was rolled forward");
     }
     mgr.commit(&q).unwrap();
     lsm::destroy(dir.join("a")).unwrap();

@@ -288,6 +288,7 @@ fn commit_durable_timeout_bounds_the_wait_under_latency_spikes() {
         transient: true,
         max_failures: None,
         latency_spike: Some((1.0, Duration::from_millis(150))),
+        crash_after: None,
     };
     let fault = FaultInjectingBackend::wrap(Arc::clone(&inner), plan);
     let ctx = Arc::new(StateContext::new());
