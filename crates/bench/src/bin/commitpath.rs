@@ -37,6 +37,7 @@
 //!   commitpath [--duration-ms N] [--threads 1,4,8] [--table-size N]
 //!              [--label NAME] [--out PATH] [--metrics-json PATH]
 //!              [--protocols mvcc,...] [--dir PATH] [--partitions 1,4]
+//!              [--lease-ms N] [--zombies N]
 //!              \[--fault-profile transient\[:seed\]|nth:N\[:permanent\]|crash_after:N|slow\[:seed\]\]
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -94,6 +95,9 @@ struct CellResult {
     committed_txns: u64,
     ops: u64,
     aborts: u64,
+    /// Zombie transactions force-aborted by the lease reaper (0 unless
+    /// `--lease-ms` is set).
+    lease_reaps: u64,
     elapsed_ms: u64,
     flush_ms: u64,
     /// Committed-transaction latency (nanoseconds).
@@ -117,7 +121,7 @@ impl CellResult {
             concat!(
                 "{{\"protocol\":\"{}\",\"config\":\"{}\",\"backend\":\"{}\",",
                 "\"threads\":{},\"partitions\":{},",
-                "\"committed_txns\":{},\"ops\":{},\"aborts\":{},",
+                "\"committed_txns\":{},\"ops\":{},\"aborts\":{},\"lease_reaps\":{},",
                 "\"elapsed_ms\":{},\"flush_ms\":{},\"commits_per_sec\":{:.0},",
                 "\"txn_p50_ns\":{},\"txn_p99_ns\":{},\"txn_p999_ns\":{}}}"
             ),
@@ -129,6 +133,7 @@ impl CellResult {
             self.committed_txns,
             self.ops,
             self.aborts,
+            self.lease_reaps,
             self.elapsed_ms,
             self.flush_ms,
             self.commits_per_sec(),
@@ -168,6 +173,8 @@ struct Options {
     sync_persist: bool,
     backends: Vec<Backend>,
     fault_plan: Option<FaultPlan>,
+    lease: Option<Duration>,
+    zombies: usize,
 }
 
 impl Default for Options {
@@ -185,6 +192,8 @@ impl Default for Options {
             sync_persist: false,
             backends: vec![Backend::Volatile, Backend::LsmSync],
             fault_plan: None,
+            lease: None,
+            zombies: 0,
         }
     }
 }
@@ -253,6 +262,22 @@ fn parse_args() -> Options {
                 opts.fault_plan =
                     FaultPlan::parse(&value("--fault-profile")).expect("fault profile");
             }
+            // Transaction lease (see "Transaction lifecycle & leases" in
+            // docs/ARCHITECTURE.md): expired transactions are force-aborted
+            // by a background reaper.  Off by default — the bench then
+            // measures the exact pre-lease commit path.
+            "--lease-ms" => {
+                opts.lease = Some(Duration::from_millis(
+                    value("--lease-ms").parse().expect("lease in ms"),
+                ));
+            }
+            // Zombie clients: N transactions begun at the start of the
+            // measured window and abandoned (handle leaked) — the
+            // degraded-mode cell showing throughput recovering once the
+            // reaper collects them.  Requires --lease-ms to ever recover.
+            "--zombies" => {
+                opts.zombies = value("--zombies").parse().expect("zombie count");
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "commitpath [--duration-ms N] [--threads 1,4,8] \
@@ -261,6 +286,7 @@ fn parse_args() -> Options {
                      [--protocols mvcc,s2pl,bocc,ssi] [--dir PATH] \
                      [--partitions 1,4] [--sync-persist] \
                      [--backends volatile,lsm_sync] \
+                     [--lease-ms N] [--zombies N] \
                      [--fault-profile none|transient[:seed]|nth:N[:permanent]|crash_after:N|slow[:seed]]"
                 );
                 std::process::exit(0);
@@ -359,6 +385,32 @@ fn run_cell(
     }
     for faulty in fault_backends.borrow().iter() {
         faulty.set_armed(true);
+    }
+
+    // Lease + reaper: armed after the preload so loading never races a
+    // sweep.  Zombie clients begin, buffer a few writes and leak their
+    // handle — slots, GC pins and (S2PL) locks stay wedged until the
+    // reaper collects them, which is exactly the degraded-mode window the
+    // cell measures.
+    if let Some(lease) = opts.lease {
+        match &pc {
+            Some(pc) => pc.set_transaction_lease(Some(lease)),
+            None => mgr.context().set_transaction_lease(Some(lease)),
+        }
+    }
+    let reaper = opts
+        .lease
+        .map(|lease| mgr.spawn_reaper((lease / 4).max(Duration::from_millis(5))));
+    for z in 0..opts.zombies {
+        if let Ok(tx) = mgr.begin() {
+            for i in 0..4u64 {
+                let _ = table.write(&tx, (z as u64 * 7 + i) % opts.table_size, 0);
+            }
+            // `Tx` has no Drop impl — leaking the handle without abort is
+            // how an abandoned client looks to the engine.
+            #[allow(clippy::forget_non_drop)]
+            std::mem::forget(tx);
+        }
     }
 
     // Partition-local sampling draws Zipf offsets within one chunk.
@@ -487,6 +539,9 @@ fn run_cell(
         Some(pc) => pc.telemetry_rollup(),
         None => mgr.context().telemetry_snapshot(),
     };
+    if let Some(reaper) = reaper {
+        reaper.stop();
+    }
     drop(table);
     drop(mgr);
     drop(pc);
@@ -507,6 +562,7 @@ fn run_cell(
         committed_txns: committed,
         ops,
         aborts,
+        lease_reaps: telemetry.lease_reaps,
         elapsed_ms,
         flush_ms,
         txn_p50_ns: latency.quantile_value(0.5).unwrap_or(0),
@@ -527,7 +583,7 @@ fn main() {
                         let cell = run_cell(protocol, config, backend, threads, partitions, &opts);
                         eprintln!(
                             "{:<5} {:<11} {:<8} {:>2} threads {:>2} parts: {:>9.0} commits/s \
-                             ({} txns, {} aborts, flush {} ms)",
+                             ({} txns, {} aborts, {} reaps, flush {} ms)",
                             cell.protocol.name(),
                             cell.config,
                             cell.backend,
@@ -536,6 +592,7 @@ fn main() {
                             cell.commits_per_sec(),
                             cell.committed_txns,
                             cell.aborts,
+                            cell.lease_reaps,
                             cell.flush_ms
                         );
                         cells.push(cell);

@@ -9,7 +9,7 @@
 //! cargo run --release -p tsp-bench --bin figure4 [--full | --smoke]
 //!     [--readers 4,24] [--thetas 0,0.5,...] [--protocols mvcc,s2pl,bocc,ssi]
 //!     [--table-size N] [--duration-secs S] [--storage lsm-sync|lsm-nosync|mem]
-//!     [--csv PATH] [--calibrate]
+//!     [--csv PATH] [--lease-ms N] [--calibrate]
 //! ```
 //!
 //! The default run uses 100 000 rows per state and 2 s per cell so the whole
@@ -37,12 +37,14 @@ fn parse_args() -> Result<(Figure4Options, bool), String> {
             "--full" => {
                 opts = Figure4Options {
                     csv: opts.csv.clone(),
+                    lease: opts.lease,
                     ..Figure4Options::full()
                 }
             }
             "--smoke" => {
                 opts = Figure4Options {
                     csv: opts.csv.clone(),
+                    lease: opts.lease,
                     ..Figure4Options::smoke()
                 }
             }
@@ -93,6 +95,12 @@ fn parse_args() -> Result<(Figure4Options, bool), String> {
             }
             "--csv" => {
                 opts.csv = Some(value(&args, &mut i, "--csv")?.into());
+            }
+            "--lease-ms" => {
+                let ms: u64 = value(&args, &mut i, "--lease-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad lease: {e}"))?;
+                opts.lease = Some(Duration::from_millis(ms));
             }
             "--help" | "-h" => {
                 println!("see the module documentation at the top of figure4.rs for usage");

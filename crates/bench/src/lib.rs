@@ -38,6 +38,9 @@ pub struct Figure4Options {
     pub storage: StorageKind,
     /// Optional CSV output path.
     pub csv: Option<std::path::PathBuf>,
+    /// Transaction lease forwarded to [`WorkloadConfig::lease`] (`None` =
+    /// leases off, the default).
+    pub lease: Option<Duration>,
 }
 
 impl Default for Figure4Options {
@@ -52,6 +55,7 @@ impl Default for Figure4Options {
             duration: Duration::from_secs(2),
             storage: StorageKind::LsmSync,
             csv: None,
+            lease: None,
         }
     }
 }
@@ -76,6 +80,7 @@ impl Figure4Options {
             duration: Duration::from_millis(150),
             storage: StorageKind::InMemory,
             csv: None,
+            lease: None,
         }
     }
 
@@ -102,6 +107,7 @@ pub fn run_figure4_sweep(
                     table_size: opts.table_size,
                     duration: opts.duration,
                     storage: opts.storage,
+                    lease: opts.lease,
                     ..Default::default()
                 };
                 let result = run(&config)?;

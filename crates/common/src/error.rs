@@ -67,6 +67,13 @@ pub enum TspError {
         /// The offending transaction id.
         txn: u64,
     },
+    /// The transaction's lease expired and a reaper force-aborted it; the
+    /// slot may already be serving a new transaction.  The client's work was
+    /// rolled back — retry with a fresh transaction.
+    LeaseExpired {
+        /// The reaped transaction.
+        txn: u64,
+    },
     /// A state id was used that has not been registered in the context.
     UnknownState {
         /// The offending state id.
@@ -118,6 +125,7 @@ impl TspError {
                 | TspError::ValidationFailed { .. }
                 | TspError::Deadlock { .. }
                 | TspError::CapacityExhausted { .. }
+                | TspError::LeaseExpired { .. }
         )
     }
 
@@ -130,6 +138,7 @@ impl TspError {
                 | TspError::ValidationFailed { .. }
                 | TspError::Deadlock { .. }
                 | TspError::TxnAborted { .. }
+                | TspError::LeaseExpired { .. }
         )
     }
 
@@ -206,6 +215,9 @@ impl fmt::Display for TspError {
             TspError::Deadlock { txn } => write!(f, "txn {txn} aborted to avoid deadlock"),
             TspError::TxnAborted { txn, reason } => write!(f, "txn {txn} aborted: {reason}"),
             TspError::UnknownTxn { txn } => write!(f, "unknown transaction id {txn}"),
+            TspError::LeaseExpired { txn } => {
+                write!(f, "txn {txn} lease expired: force-aborted by the reaper")
+            }
             TspError::UnknownState { state } => write!(f, "unknown state id {state}"),
             TspError::UnknownGroup { group } => write!(f, "unknown group id {group}"),
             TspError::CapacityExhausted { what } => write!(f, "capacity exhausted: {what}"),
@@ -247,6 +259,7 @@ mod tests {
         assert!(TspError::ValidationFailed { txn: 1 }.is_retryable());
         assert!(TspError::Deadlock { txn: 1 }.is_retryable());
         assert!(TspError::CapacityExhausted { what: "slots" }.is_retryable());
+        assert!(TspError::LeaseExpired { txn: 1 }.is_retryable());
         assert!(!TspError::KeyNotFound.is_retryable());
         assert!(!TspError::corruption("bad crc").is_retryable());
         assert!(!TspError::TxnAborted {
@@ -268,6 +281,7 @@ mod tests {
             reason: String::new()
         }
         .is_cc_abort());
+        assert!(TspError::LeaseExpired { txn: 1 }.is_cc_abort());
         assert!(!TspError::KeyNotFound.is_cc_abort());
         assert!(!TspError::Io(io::Error::other("x")).is_cc_abort());
     }

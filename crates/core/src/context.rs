@@ -210,6 +210,31 @@ struct TxSlot {
     last_pin_state: AtomicU64,
     /// The pinned snapshot for `last_pin_state`.
     last_pin_ts: AtomicU64,
+    /// Slot generation ("epoch"), bumped once by every claim (`begin`) and
+    /// once by every fate decision (owner commit/abort *or* reap).  A `Tx`
+    /// captures the post-claim value; whoever CASes `epoch → epoch + 1`
+    /// first owns the slot's fate — the loser learns it lost and must not
+    /// touch slot-local state (see [`StateContext::claim_fate`]).
+    ///
+    /// Parity invariant: **odd = active and undecided, even = decided or
+    /// free**.  `begin` always claims from an even epoch (`finish` restores
+    /// parity for transactions that bypass fate claiming), so a reaper can
+    /// tell an undecided occupant (odd — reapable) from one whose owner
+    /// already claimed its fate (even — the reap CAS would wrongly "win" a
+    /// settled race, so even epochs are never reaped).
+    epoch: AtomicU64,
+    /// Epoch of the most recent occupant whose fate a *reaper* claimed
+    /// (`u64::MAX` = never reaped).  Lets a reaped owner's late operations
+    /// report `LeaseExpired` instead of the generic `UnknownTxn`.
+    last_reaped_epoch: AtomicU64,
+    /// Lease deadline on the coarse lease clock, in nanoseconds since the
+    /// context's anchor (`u64::MAX` = no lease).  Written on `begin` and
+    /// renewed by slow-path activity; never touched by the latch-free read
+    /// fast path.
+    lease_deadline: AtomicU64,
+    /// Coarse-clock nanoseconds at which the slot was claimed; feeds the
+    /// `oldest_active_age_nanos` gauge (0 when no lease clock runs).
+    claimed_at_nanos: AtomicU64,
     /// Accessed states and pinned groups (slow path only).
     detail: Mutex<TxDetail>,
 }
@@ -223,9 +248,28 @@ impl TxSlot {
             last_access_state: AtomicU64::new(NO_CACHED_STATE),
             last_pin_state: AtomicU64::new(NO_CACHED_STATE),
             last_pin_ts: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+            last_reaped_epoch: AtomicU64::new(u64::MAX),
+            lease_deadline: AtomicU64::new(u64::MAX),
+            claimed_at_nanos: AtomicU64::new(0),
             detail: Mutex::new(TxDetail::default()),
         }
     }
+}
+
+/// Outcome of [`StateContext::claim_fate`]: who gets to decide (and clean
+/// up after) a transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum FateClaim {
+    /// The caller won the epoch CAS and now owns the slot's fate; it must
+    /// run the commit or rollback machinery exactly once.
+    Won,
+    /// A reaper claimed the fate first: the transaction was force-aborted
+    /// and its slot-local state already cleaned up.
+    Reaped,
+    /// The fate was already decided by the owner itself (double
+    /// commit/abort) — the slot may even be serving a new transaction.
+    Gone,
 }
 
 /// The durability side of the two-watermark commit pipeline: the registry of
@@ -465,12 +509,22 @@ pub struct Tx {
     slot: usize,
     begin_ts: Timestamp,
     read_only: bool,
+    /// Slot epoch captured at `begin`; the fencing token of the lease
+    /// protocol (see [`TxSlot::epoch`]).
+    epoch: u64,
 }
 
 impl Tx {
     /// The transaction id (== begin timestamp).
     pub fn id(&self) -> TxnId {
         self.id
+    }
+
+    /// The slot epoch captured at `begin` — the fencing token a reaper and
+    /// the owner race on (diagnostics; protocol code goes through
+    /// `StateContext`).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The begin timestamp.
@@ -519,6 +573,21 @@ pub struct StateContext {
     /// immediate-fail admission (`SlotExhaustion` when the slot table is
     /// full, the historical behaviour).
     admission_wait_nanos: AtomicU64,
+    /// Transaction lease duration in nanoseconds; 0 disables leases (no
+    /// deadline stamping, no reaping — the historical behaviour).
+    lease_nanos: AtomicU64,
+    /// Wall-clock anchor of the coarse lease clock.
+    lease_anchor: Instant,
+    /// Cached nanoseconds-since-anchor, refreshed by `begin` (one
+    /// `Instant::now` per transaction, only while leases are enabled) and
+    /// by the reaper's candidate scan.  Lease stamping and renewal read
+    /// this with a relaxed load instead of taking a timestamp — deadline
+    /// precision is inter-begin granularity, plenty for millisecond leases.
+    coarse_clock_nanos: CachePadded<AtomicU64>,
+    /// Reap entry point installed by the owning `TransactionManager`; the
+    /// admission slow path invokes it when the slot table is exhausted so a
+    /// herd of zombies cannot wedge `begin` (no-op until installed).
+    reaper: RwLock<Option<Arc<dyn Fn() -> usize + Send + Sync>>>,
 }
 
 impl Default for StateContext {
@@ -583,6 +652,10 @@ impl StateContext {
             durability,
             redo_stash: SlotLocal::new(capacity),
             admission_wait_nanos: AtomicU64::new(0),
+            lease_nanos: AtomicU64::new(0),
+            lease_anchor: Instant::now(),
+            coarse_clock_nanos: CachePadded::new(AtomicU64::new(0)),
+            reaper: RwLock::new(None),
         }
     }
 
@@ -612,6 +685,7 @@ impl StateContext {
     /// snapshot, stage histograms and the persistence aggregates collected
     /// from every attached writer.
     pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        self.refresh_oldest_active_age();
         let dwell = Histogram::new();
         let coalesce = Histogram::new();
         let writers = self.durability.collect_writer_telemetry(&dwell, &coalesce);
@@ -658,6 +732,33 @@ impl StateContext {
     /// immediate-fail admission).
     pub fn admission_wait(&self) -> Option<Duration> {
         match self.admission_wait_nanos.load(Ordering::Relaxed) {
+            0 => None,
+            n => Some(Duration::from_nanos(n)),
+        }
+    }
+
+    /// Configures a transaction lease: every transaction begun after this
+    /// call carries a wall-clock deadline of `lease` from its last observed
+    /// activity (begin, and renewal on every slow-path owner check).  A
+    /// transaction past its deadline may be force-aborted by
+    /// `TransactionManager::reap_expired` — choose a lease comfortably
+    /// larger than the longest transaction you expect, including stalls.
+    /// `None` (the default) disables leases: nothing is stamped, nothing is
+    /// reaped, behaviour is exactly the pre-lease engine.
+    ///
+    /// The deadline lives on a *coarse* cached clock refreshed once per
+    /// `begin`, so stamping and renewal are a relaxed load + store; the
+    /// latch-free committed-read fast path never touches it.
+    pub fn set_transaction_lease(&self, lease: Option<Duration>) {
+        let nanos = lease.map_or(0, |l| {
+            u64::try_from(l.as_nanos()).unwrap_or(u64::MAX).max(1)
+        });
+        self.lease_nanos.store(nanos, Ordering::Relaxed);
+    }
+
+    /// The configured transaction lease (`None` = leases disabled).
+    pub fn transaction_lease(&self) -> Option<Duration> {
+        match self.lease_nanos.load(Ordering::Relaxed) {
             0 => None,
             n => Some(Duration::from_nanos(n)),
         }
@@ -820,6 +921,27 @@ impl StateContext {
         s.last_pin_ts.store(0, Ordering::Relaxed);
         s.cache_seq.store(c + 2, Ordering::Release);
         s.detail.lock().clear();
+        // Stamp the lease deadline (and refresh the coarse clock) before
+        // publishing the new owner, so a reaper scan that sees this txn id
+        // sees *its* deadline, never the previous occupant's.  With leases
+        // disabled this is two relaxed stores and no timestamp call.
+        let lease = self.lease_nanos.load(Ordering::Relaxed);
+        if lease != 0 {
+            let now = self.coarse_now_fresh();
+            s.lease_deadline
+                .store(now.saturating_add(lease), Ordering::Relaxed);
+            s.claimed_at_nanos.store(now, Ordering::Relaxed);
+        } else {
+            s.lease_deadline.store(u64::MAX, Ordering::Relaxed);
+            s.claimed_at_nanos.store(0, Ordering::Relaxed);
+        }
+        // Advance the slot epoch (the fencing token): the fetch_add
+        // serialises against any in-flight reaper CAS on this slot, so a
+        // stale reap claim can never hit the new occupant's epoch.  The
+        // slot's epoch is even here (finish restores parity), so the new
+        // occupant's epoch is odd — the "active, undecided" parity a reaper
+        // is allowed to claim.
+        let epoch = s.epoch.fetch_add(1, Ordering::AcqRel) + 1;
         let id = self.clock.next_txn();
         let begin_ts = id.as_u64();
         s.txn.store(begin_ts, Ordering::Release);
@@ -835,7 +957,16 @@ impl StateContext {
             slot,
             begin_ts,
             read_only,
+            epoch,
         })
+    }
+
+    /// Takes a fresh wall-clock reading, publishes it as the coarse lease
+    /// clock, and returns it (nanoseconds since the context's anchor).
+    fn coarse_now_fresh(&self) -> u64 {
+        let now = u64::try_from(self.lease_anchor.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.coarse_clock_nanos.store(now, Ordering::Relaxed);
+        now
     }
 
     /// [`claim_slot`](Self::claim_slot) plus admission control: applies the
@@ -854,6 +985,14 @@ impl StateContext {
     /// begin fast path stays as small as it was before admission control.
     #[cold]
     fn claim_slot_contended(&self, err: TspError) -> Result<usize> {
+        // A full slot table is exactly where abandoned transactions hurt:
+        // reap expired leases inline (no-op while leases are disabled or no
+        // manager is attached) and retry once before waiting or failing.
+        if self.lease_nanos.load(Ordering::Relaxed) != 0 && self.try_reap() > 0 {
+            if let Ok(slot) = self.claim_slot() {
+                return Ok(slot);
+            }
+        }
         let wait_nanos = self.admission_wait_nanos.load(Ordering::Relaxed);
         if wait_nanos == 0 {
             // Immediate-fail admission — the historical behaviour.
@@ -876,6 +1015,9 @@ impl StateContext {
                 });
             }
             std::thread::sleep(backoff.min(deadline - now));
+            if self.lease_nanos.load(Ordering::Relaxed) != 0 {
+                self.try_reap();
+            }
             if let Ok(slot) = self.claim_slot() {
                 TxStats::bump(&self.stats.admission_waits);
                 self.telemetry
@@ -987,6 +1129,20 @@ impl StateContext {
             .is_err()
         {
             return; // slot already reused or released
+        }
+        s.lease_deadline.store(u64::MAX, Ordering::Relaxed);
+        // Restore the epoch parity invariant (even = free/decided, odd =
+        // active and undecided) for transactions that bypass fate claiming
+        // and release their slot directly.  A concurrent reaper may race
+        // this CAS on the same odd epoch; exactly one bump wins and the
+        // loser's claim fails, so the epoch always lands even.  (The reaper
+        // cannot proceed past a won CAS either: its occupant re-check sees
+        // the `txn` word this function just cleared.)
+        let e = s.epoch.load(Ordering::Acquire);
+        if e & 1 == 1 {
+            let _ = s
+                .epoch
+                .compare_exchange(e, e + 1, Ordering::AcqRel, Ordering::Acquire);
         }
         s.snapshot_floor.store(u64::MAX, Ordering::Release);
         self.slot_bitmap[tx.slot / 64].fetch_and(!(1u64 << (tx.slot % 64)), Ordering::AcqRel);
@@ -1115,12 +1271,186 @@ impl StateContext {
     }
 
     fn check_owner(&self, tx: &Tx) -> Result<()> {
-        if self.slots[tx.slot].txn.load(Ordering::Acquire) != tx.id.as_u64() {
+        let s = &self.slots[tx.slot];
+        if s.txn.load(Ordering::Acquire) != tx.id.as_u64() {
+            // Distinguish "a reaper killed you" from "you already finished"
+            // so abandoned-then-resumed clients get an actionable error.
+            if s.last_reaped_epoch.load(Ordering::Acquire) == tx.epoch {
+                return Err(TspError::LeaseExpired {
+                    txn: tx.id.as_u64(),
+                });
+            }
             return Err(TspError::UnknownTxn {
                 txn: tx.id.as_u64(),
             });
         }
+        // Owner confirmed on a slow path — renew the lease from the coarse
+        // clock (a relaxed load + store; no timestamp call).
+        let lease = self.lease_nanos.load(Ordering::Relaxed);
+        if lease != 0 {
+            s.lease_deadline.store(
+                self.coarse_clock_nanos
+                    .load(Ordering::Relaxed)
+                    .saturating_add(lease),
+                Ordering::Relaxed,
+            );
+        }
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Leases, epoch fencing and reaping
+    // ------------------------------------------------------------------
+
+    /// Claims the right to decide `tx`'s fate (commit or rollback) by
+    /// CASing the slot epoch forward.  Exactly one claimant per transaction
+    /// wins: the owner's commit/abort, or a reaper.  The commit and abort
+    /// paths call this *before* touching participants; on anything but
+    /// [`FateClaim::Won`] they must not run validation or cleanup (a reaper
+    /// already rolled the transaction back, or it was already finished).
+    pub(crate) fn claim_fate(&self, tx: &Tx) -> FateClaim {
+        let s = &self.slots[tx.slot];
+        match s
+            .epoch
+            .compare_exchange(tx.epoch, tx.epoch + 1, Ordering::AcqRel, Ordering::Acquire)
+        {
+            Ok(_) => FateClaim::Won,
+            Err(_) => {
+                if s.last_reaped_epoch.load(Ordering::Acquire) == tx.epoch {
+                    FateClaim::Reaped
+                } else {
+                    FateClaim::Gone
+                }
+            }
+        }
+    }
+
+    /// Verifies that nobody has claimed `tx`'s fate yet — the epoch-fence
+    /// check guarding first-touch claims of slot-local state (see
+    /// `SlotLocal::with_mut_checked`).  Errors with `LeaseExpired` when a
+    /// reaper won, `UnknownTxn` when the transaction already finished.
+    pub(crate) fn check_fate(&self, tx: &Tx) -> Result<()> {
+        let s = &self.slots[tx.slot];
+        if s.epoch.load(Ordering::Acquire) == tx.epoch {
+            return Ok(());
+        }
+        if s.last_reaped_epoch.load(Ordering::Acquire) == tx.epoch {
+            Err(TspError::LeaseExpired {
+                txn: tx.id.as_u64(),
+            })
+        } else {
+            Err(TspError::UnknownTxn {
+                txn: tx.id.as_u64(),
+            })
+        }
+    }
+
+    /// Scans the slot table for transactions whose lease deadline has
+    /// passed, refreshing the coarse clock with a fresh reading first.
+    /// Returns `(slot, txn, epoch)` candidates; each must still be
+    /// confirmed via [`claim_reap`](Self::claim_reap) — the scan is racy by
+    /// design and a candidate may commit or finish at any moment.
+    pub(crate) fn expired_candidates(&self) -> Vec<(usize, TxnId, u64)> {
+        if self.lease_nanos.load(Ordering::Relaxed) == 0 {
+            return Vec::new();
+        }
+        let now = self.coarse_now_fresh();
+        let mut out = Vec::new();
+        self.for_each_occupied_slot(|i| {
+            let s = &self.slots[i];
+            if s.lease_deadline.load(Ordering::Relaxed) >= now {
+                return;
+            }
+            // Read the id before the epoch: `begin` bumps the epoch before
+            // publishing the id, so a non-zero id implies the epoch we read
+            // afterwards is at least that occupant's (a *newer* epoch makes
+            // the reap CAS fail harmlessly).
+            let txn = s.txn.load(Ordering::Acquire);
+            if txn == 0 {
+                return;
+            }
+            // Parity gate: an even epoch means the occupant already claimed
+            // its fate (commit or abort in flight) — or the slot is being
+            // recycled.  CASing an even epoch forward would let the reaper
+            // "win" a race the owner already won, so only odd (active,
+            // undecided) epochs are reap candidates.
+            let epoch = s.epoch.load(Ordering::Acquire);
+            if epoch & 1 == 1 {
+                out.push((i, TxnId(txn), epoch));
+            }
+        });
+        out
+    }
+
+    /// Attempts to claim an expired candidate's fate for reaping.  On
+    /// success the caller (the manager's `reap_expired`) owns the
+    /// transaction's cleanup and receives a reconstructed handle to drive
+    /// the regular rollback machinery; `None` means the owner finished or
+    /// decided first — nothing to do.
+    pub(crate) fn claim_reap(&self, slot: usize, txn: TxnId, epoch: u64) -> Option<Tx> {
+        let s = &self.slots[slot];
+        if epoch & 1 == 0 {
+            return None; // defensive: only undecided (odd) epochs are reapable
+        }
+        if s.txn.load(Ordering::Acquire) != txn.as_u64() {
+            return None; // occupant changed since the scan
+        }
+        if s.epoch
+            .compare_exchange(epoch, epoch + 1, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return None; // the owner (or a newer claim) won the race
+        }
+        // Record which epoch was reaped *before* the occupant re-check: if
+        // the CAS hit the right occupant, its late operations must observe
+        // the marker.  (If the occupant changed between the pre-check and
+        // the CAS — only possible when a transaction bypassed fate claiming
+        // via a bare `finish` — the marker is stale but harmless: that
+        // transaction is already gone.)
+        s.last_reaped_epoch.store(epoch, Ordering::Release);
+        if s.txn.load(Ordering::Acquire) != txn.as_u64() {
+            return None;
+        }
+        Some(Tx {
+            id: txn,
+            slot,
+            begin_ts: txn.as_u64(),
+            read_only: false,
+            epoch,
+        })
+    }
+
+    /// Installs the reap entry point the admission slow path calls when the
+    /// slot table is exhausted.  `TransactionManager::new` installs its
+    /// `reap_expired`; a later install (second manager over the same
+    /// context) replaces the hook.
+    pub(crate) fn install_reaper(&self, f: impl Fn() -> usize + Send + Sync + 'static) {
+        *self.reaper.write() = Some(Arc::new(f));
+    }
+
+    /// Invokes the installed reap hook (0 when none is installed).
+    pub(crate) fn try_reap(&self) -> usize {
+        let hook = self.reaper.read().clone();
+        hook.map_or(0, |f| f())
+    }
+
+    /// Age of the oldest active transaction in wall nanoseconds, measured
+    /// on the lease clock (0 when idle or when leases are disabled — the
+    /// coarse clock only runs while a lease is configured).  Also publishes
+    /// the value to the telemetry gauge.
+    pub fn refresh_oldest_active_age(&self) -> u64 {
+        let mut age = 0u64;
+        if self.lease_nanos.load(Ordering::Relaxed) != 0 {
+            let now = u64::try_from(self.lease_anchor.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.for_each_occupied_slot(|i| {
+                let claimed = self.slots[i].claimed_at_nanos.load(Ordering::Relaxed);
+                if claimed != 0 && self.slots[i].txn.load(Ordering::Acquire) != 0 {
+                    age = age.max(now.saturating_sub(claimed));
+                }
+            });
+        }
+        self.telemetry.set_oldest_active_age_nanos(age);
+        age
     }
 
     /// Records that `tx` accessed `state` (status `Active` if not yet seen).
@@ -1147,6 +1477,10 @@ impl StateContext {
             }
         }
         self.check_owner(tx)?;
+        // Epoch fence: a reaped transaction must not record new accesses
+        // (its slot's detail may already belong to the reap in progress).
+        // Slow path only — the cache hit above stays latch- and fence-free.
+        self.check_fate(tx)?;
         let mut detail = s.detail.lock();
         detail.record(state, StateStatus::Active);
         s.last_access_state
@@ -1186,6 +1520,10 @@ impl StateContext {
         }
         // Slow path: record the access, pin the state's groups, cache.
         self.check_owner(tx)?;
+        // Epoch fence (slow path only; cache hits stay latch-free): a
+        // reaped transaction must not pin new groups — the reaper is
+        // concurrently *unpinning* them to release the snapshot floor.
+        self.check_fate(tx)?;
         let groups = self.groups_of_state(state);
         let mut detail = s.detail.lock();
         detail.record(state, StateStatus::Active);
@@ -1441,6 +1779,85 @@ mod tests {
         ctx.finish(&t2);
         ctx.finish(&t3);
         assert_eq!(ctx.active_count(), 0);
+    }
+
+    #[test]
+    fn lease_config_round_trips_and_defaults_off() {
+        let ctx = StateContext::new();
+        assert_eq!(ctx.transaction_lease(), None);
+        ctx.set_transaction_lease(Some(Duration::from_millis(250)));
+        assert_eq!(ctx.transaction_lease(), Some(Duration::from_millis(250)));
+        ctx.set_transaction_lease(None);
+        assert_eq!(ctx.transaction_lease(), None);
+        // A sub-nanosecond-rounding lease still counts as enabled.
+        ctx.set_transaction_lease(Some(Duration::from_nanos(0)));
+        assert!(ctx.transaction_lease().is_some());
+    }
+
+    #[test]
+    fn fate_claim_parity_exactly_one_winner() {
+        let (ctx, ..) = ctx_with_two_states();
+        let tx = ctx.begin(false).unwrap();
+        // Epochs captured at begin are odd: active and undecided.
+        assert_eq!(tx.epoch() & 1, 1);
+        assert!(ctx.check_fate(&tx).is_ok());
+        // First claim wins; every later claim (double commit/abort) loses.
+        assert_eq!(ctx.claim_fate(&tx), FateClaim::Won);
+        assert_eq!(ctx.claim_fate(&tx), FateClaim::Gone);
+        assert!(matches!(
+            ctx.check_fate(&tx),
+            Err(TspError::UnknownTxn { .. })
+        ));
+        ctx.finish(&tx);
+        // The next occupant of the slot gets a fresh odd epoch.
+        let t2 = ctx.begin(false).unwrap();
+        if t2.slot() == tx.slot() {
+            assert!(t2.epoch() > tx.epoch());
+            assert_eq!(t2.epoch() & 1, 1);
+        }
+        ctx.finish(&t2);
+    }
+
+    #[test]
+    fn expired_candidates_skip_decided_and_live_leases() {
+        let (ctx, ..) = ctx_with_two_states();
+        ctx.set_transaction_lease(Some(Duration::from_millis(1)));
+        let zombie = ctx.begin(false).unwrap();
+        let deciding = ctx.begin(false).unwrap();
+        let fresh_lease = Duration::from_secs(600);
+        ctx.set_transaction_lease(Some(fresh_lease));
+        let live = ctx.begin(false).unwrap();
+        ctx.set_transaction_lease(Some(Duration::from_millis(1)));
+        std::thread::sleep(Duration::from_millis(20));
+        // `deciding`'s owner claimed its fate — even epoch, not reapable.
+        assert_eq!(ctx.claim_fate(&deciding), FateClaim::Won);
+        let candidates = ctx.expired_candidates();
+        assert_eq!(candidates.len(), 1);
+        let (slot, txn, epoch) = candidates[0];
+        assert_eq!(txn, zombie.id());
+        // An even (decided) epoch is rejected defensively.
+        assert!(ctx
+            .claim_reap(deciding.slot(), deciding.id(), deciding.epoch() + 1)
+            .is_none());
+        // The real candidate is claimed exactly once.
+        let reaped = ctx
+            .claim_reap(slot, txn, epoch)
+            .expect("zombie is reapable");
+        assert_eq!(reaped.id(), zombie.id());
+        assert!(ctx.claim_reap(slot, txn, epoch).is_none(), "double reap");
+        // The reaped owner's late checks surface LeaseExpired.
+        assert!(matches!(
+            ctx.check_fate(&zombie),
+            Err(TspError::LeaseExpired { .. })
+        ));
+        ctx.finish(&reaped);
+        assert!(matches!(
+            ctx.check_owner(&zombie),
+            Err(TspError::LeaseExpired { .. })
+        ));
+        ctx.finish(&deciding);
+        ctx.finish(&live);
+        let _ = fresh_lease;
     }
 
     #[test]

@@ -97,6 +97,12 @@ impl GcDriver {
 
     /// Sweeps every registered table once and returns what was reclaimed.
     pub fn run_once(&self) -> GcReport {
+        // Reap lease-expired transactions before reading the floor: an
+        // abandoned client pins `OldestActiveVersion`, and reclaiming its
+        // slot here is what lets this very sweep advance past the garbage
+        // it was holding live.  Free when leases are disabled (no
+        // candidates) or no manager installed a reap hook.
+        self.ctx.try_reap();
         let horizon = self.ctx.oldest_active();
         let targets: Vec<Arc<dyn GcTarget>> = self.targets.read().clone();
         let mut report = GcReport {
@@ -298,6 +304,33 @@ mod tests {
         driver.run_once();
         assert!(ctx.telemetry().gc_floor_lag() > 0, "pinned snapshot lags");
         mgr.commit(&pinned).unwrap();
+    }
+
+    /// An abandoned client's pinned snapshot wedges the GC floor; with a
+    /// lease configured, `run_once` reaps it first and the same sweep
+    /// reclaims the garbage it was holding live.
+    #[test]
+    fn run_once_reaps_expired_pins_before_sweeping() {
+        let (ctx, mgr, table) = setup();
+        ctx.set_transaction_lease(Some(Duration::from_millis(1)));
+        let driver = GcDriver::new(Arc::clone(&ctx));
+        driver.register(table.clone());
+
+        churn(&mgr, &table, 1);
+        // A client pins "v0" and then disappears without aborting.
+        let zombie = mgr.begin_read_only().unwrap();
+        assert_eq!(table.read(&zombie, &1).unwrap(), Some("v0".into()));
+        churn(&mgr, &table, 4);
+        assert_eq!(table.version_count(&1), 5);
+
+        std::thread::sleep(Duration::from_millis(20));
+        let report = driver.run_once();
+        // The zombie was reaped, the floor advanced, and everything but
+        // the live version was reclaimed in the same sweep.
+        assert_eq!(ctx.active_count(), 0);
+        assert_eq!(report.reclaimed, 4);
+        assert_eq!(table.version_count(&1), 1);
+        assert_eq!(ctx.stats().snapshot().lease_expirations, 1);
     }
 
     #[test]

@@ -81,7 +81,7 @@ pub use context::{
 pub use gc::{GcDriver, GcHandle, GcReport, GcTarget};
 pub use index::{IndexedTable, PostingList};
 pub use isolation::{IsolatedReader, IsolationLevel};
-pub use manager::{FlagOutcome, TransactionManager};
+pub use manager::{FlagOutcome, ReaperHandle, TransactionManager, TxGuard};
 pub use mvcc::{MvccObject, Version, DEFAULT_VERSION_SLOTS, MAX_VERSION_SLOTS};
 pub use partition::{
     HashPartitioner, PartitionRecovery, PartitionedContext, PartitionedTable, Partitioner,
@@ -104,7 +104,7 @@ pub mod prelude {
     pub use crate::gc::{GcDriver, GcReport, GcTarget};
     pub use crate::index::{IndexedTable, PostingList};
     pub use crate::isolation::{IsolatedReader, IsolationLevel};
-    pub use crate::manager::{FlagOutcome, TransactionManager};
+    pub use crate::manager::{FlagOutcome, ReaperHandle, TransactionManager, TxGuard};
     pub use crate::mvcc::MvccObject;
     pub use crate::partition::{
         HashPartitioner, PartitionRecovery, PartitionedContext, PartitionedTable, Partitioner,

@@ -58,7 +58,7 @@
 //! default keeps durability synchronous inside the lock, where the two
 //! watermarks coincide.
 
-use crate::context::{CommitVote, StateContext, Tx};
+use crate::context::{CommitVote, FateClaim, StateContext, Tx};
 use crate::stats::TxStats;
 use crate::table::common::{attach_group_redo, TxParticipant};
 use crate::telemetry::AbortReason;
@@ -147,12 +147,22 @@ pub struct TransactionManager {
 
 impl TransactionManager {
     /// Creates a manager over `ctx`.
+    ///
+    /// Also installs this manager's [`reap_expired`](Self::reap_expired) as
+    /// the context's reap hook, so the admission slow path can free wedged
+    /// slots inline when the transaction table is exhausted and a lease is
+    /// configured.  The hook holds only a weak reference — dropping the
+    /// manager disarms it.
     pub fn new(ctx: Arc<StateContext>) -> Arc<Self> {
-        Arc::new(TransactionManager {
+        let mgr = Arc::new(TransactionManager {
             ctx,
             participants: RwLock::new(HashMap::new()),
             group_locks: RwLock::new(HashMap::new()),
-        })
+        });
+        let weak = Arc::downgrade(&mgr);
+        mgr.ctx
+            .install_reaper(move || weak.upgrade().map_or(0, |m| m.reap_expired()));
+        mgr
     }
 
     /// The shared state context.
@@ -525,6 +535,25 @@ impl TransactionManager {
         tx: &Tx,
         participants: Vec<Arc<dyn TxParticipant>>,
     ) -> Result<Option<Timestamp>> {
+        // Claim the transaction's fate before touching any participant: the
+        // slot-epoch CAS is the single arbitration point between this commit
+        // and a concurrent lease reaper.  Losing means a reaper (or an
+        // earlier commit/abort) already settled the transaction — its
+        // buffers are gone and its slot may belong to someone else, so
+        // nothing below may run.
+        match self.ctx.claim_fate(tx) {
+            FateClaim::Won => {}
+            FateClaim::Reaped => {
+                return Err(TspError::LeaseExpired {
+                    txn: tx.id().as_u64(),
+                })
+            }
+            FateClaim::Gone => {
+                return Err(TspError::UnknownTxn {
+                    txn: tx.id().as_u64(),
+                })
+            }
+        }
         let writers: Vec<&Arc<dyn TxParticipant>> =
             participants.iter().filter(|p| p.has_writes(tx)).collect();
 
@@ -622,6 +651,16 @@ impl TransactionManager {
     }
 
     fn rollback_internal(&self, tx: &Tx) -> Result<()> {
+        // Fate arbitration makes `abort` idempotent and race-safe: a second
+        // abort, an abort after a failed commit, or an abort racing (or
+        // trailing) a lease reaper finds the epoch already moved on and
+        // simply succeeds — the slot, possibly recycled by now, is never
+        // touched.  The transaction ends up aborted either way, which is
+        // exactly what the caller asked for.
+        match self.ctx.claim_fate(tx) {
+            FateClaim::Won => {}
+            FateClaim::Reaped | FateClaim::Gone => return Ok(()),
+        }
         let participants = self.accessed_participants(tx)?;
         self.finish_aborted(tx, &participants);
         Ok(())
@@ -683,6 +722,199 @@ impl TransactionManager {
             Ok(FlagOutcome::RolledBack)
         } else {
             Ok(FlagOutcome::Pending)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Lease reaping (abandoned-transaction supervision)
+    // ------------------------------------------------------------------
+
+    /// Force-aborts every transaction whose lease has expired and returns
+    /// how many were reaped.  A no-op (returning 0) when no lease is
+    /// configured ([`StateContext::set_transaction_lease`]).
+    ///
+    /// Each candidate's fate is claimed through the slot-epoch CAS before
+    /// anything is touched, so the sweep races safely against a
+    /// concurrently-committing owner: whoever wins the CAS owns the slot's
+    /// fate, and the loser — this sweep, or the owner's late
+    /// commit/abort/read/write — backs off cleanly (`LeaseExpired` on the
+    /// owner's side).  A won claim is rolled back through the regular
+    /// participant machinery: write buffers dropped, S2PL locks released,
+    /// BOCC/SSI read sets retracted, the snapshot floor un-announced (so
+    /// `oldest_active` and MVCC GC advance), and the slot freed for reuse.
+    ///
+    /// Callable from anywhere: inline, from the admission slow path (wired
+    /// up by [`new`](Self::new) — a full slot table triggers a sweep before
+    /// backing off), or from the background supervisor thread
+    /// ([`spawn_reaper`](Self::spawn_reaper)).
+    pub fn reap_expired(&self) -> usize {
+        let mut reaped = 0;
+        for (slot, txn, epoch) in self.ctx.expired_candidates() {
+            let Some(tx) = self.ctx.claim_reap(slot, txn, epoch) else {
+                continue; // the owner finished or decided first
+            };
+            // From here the sweep owns the transaction's cleanup.  The
+            // participant list comes from the slot's access record — still
+            // readable: the slot is not released until `finish` below.
+            let participants = self.accessed_participants(&tx).unwrap_or_default();
+            for p in &participants {
+                // A panicking participant (poisoned user codec, say) must
+                // not wedge the sweep — the remaining participants and the
+                // slot itself still get cleaned.  Slot-local rollback is
+                // tag-checked, so a partially cleaned participant is safe.
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    p.rollback(&tx);
+                    p.finalize(&tx);
+                }));
+            }
+            self.ctx.finish(&tx);
+            TxStats::bump(&self.ctx.stats().aborted);
+            self.ctx.stats().record_abort(AbortReason::LeaseExpired);
+            self.ctx.telemetry().add_lease_reaps(1);
+            reaped += 1;
+        }
+        reaped
+    }
+
+    /// Starts a background supervisor thread that sweeps expired leases
+    /// every `interval` until the handle is stopped or dropped.
+    ///
+    /// The thread holds only a weak reference to the manager: dropping the
+    /// last strong handle ends the thread at its next tick even if the
+    /// [`ReaperHandle`] leaks.
+    pub fn spawn_reaper(self: &Arc<Self>, interval: Duration) -> ReaperHandle {
+        let weak = Arc::downgrade(self);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("tsp-reaper".into())
+            .spawn(move || {
+                while !stop_flag.load(Ordering::Relaxed) {
+                    std::thread::sleep(interval);
+                    if stop_flag.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    match weak.upgrade() {
+                        Some(mgr) => {
+                            let _ = mgr.reap_expired();
+                        }
+                        None => break,
+                    }
+                }
+            })
+            .expect("spawning the reaper thread cannot fail");
+        ReaperHandle {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Scoped transactions (RAII)
+    // ------------------------------------------------------------------
+
+    /// Begins a read-write transaction wrapped in a [`TxGuard`] that aborts
+    /// on drop unless explicitly committed — the leak-proof way to run a
+    /// transaction from in-process code:
+    ///
+    /// ```ignore
+    /// let guard = mgr.scoped()?;
+    /// table.write(&guard, key, value)?;
+    /// let cts = guard.commit()?;          // or: drop(guard) aborts
+    /// ```
+    pub fn scoped(self: &Arc<Self>) -> Result<TxGuard> {
+        Ok(TxGuard {
+            mgr: Arc::clone(self),
+            tx: Some(self.begin()?),
+        })
+    }
+
+    /// [`scoped`](Self::scoped) for a read-only transaction.
+    pub fn scoped_read_only(self: &Arc<Self>) -> Result<TxGuard> {
+        Ok(TxGuard {
+            mgr: Arc::clone(self),
+            tx: Some(self.begin_read_only()?),
+        })
+    }
+}
+
+/// Handle to a background lease-reaper thread ([`TransactionManager::
+/// spawn_reaper`]); stops the thread when dropped.
+pub struct ReaperHandle {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ReaperHandle {
+    /// Signals the thread to stop and waits for it to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ReaperHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A transaction that cannot leak: created by
+/// [`TransactionManager::scoped`], aborted on drop unless consumed by
+/// [`commit`](Self::commit) / [`commit_durable`](Self::commit_durable) /
+/// [`abort`](Self::abort).
+///
+/// Dereferences to the underlying [`Tx`], so it passes directly to every
+/// table operation.  The drop-abort goes through the same fate-claiming
+/// rollback as an explicit abort, so it is safe even if a lease reaper got
+/// to the transaction first.
+pub struct TxGuard {
+    mgr: Arc<TransactionManager>,
+    tx: Option<Tx>,
+}
+
+impl TxGuard {
+    /// The guarded transaction handle.
+    pub fn tx(&self) -> &Tx {
+        self.tx.as_ref().expect("guard holds a transaction")
+    }
+
+    /// Commits the transaction, consuming the guard.
+    pub fn commit(mut self) -> Result<Option<Timestamp>> {
+        let tx = self.tx.take().expect("guard holds a transaction");
+        self.mgr.commit(&tx)
+    }
+
+    /// Commits and waits for durability, consuming the guard.
+    pub fn commit_durable(mut self) -> Result<Option<Timestamp>> {
+        let tx = self.tx.take().expect("guard holds a transaction");
+        self.mgr.commit_durable(&tx)
+    }
+
+    /// Aborts the transaction explicitly, consuming the guard.
+    pub fn abort(mut self) -> Result<()> {
+        let tx = self.tx.take().expect("guard holds a transaction");
+        self.mgr.abort(&tx)
+    }
+}
+
+impl std::ops::Deref for TxGuard {
+    type Target = Tx;
+    fn deref(&self) -> &Tx {
+        self.tx()
+    }
+}
+
+impl Drop for TxGuard {
+    fn drop(&mut self) {
+        if let Some(tx) = self.tx.take() {
+            let _ = self.mgr.abort(&tx);
         }
     }
 }
@@ -902,5 +1134,159 @@ mod tests {
         let ctx = Arc::new(StateContext::new());
         let mgr = TransactionManager::new(ctx);
         assert!(mgr.register_group(&[StateId(42)]).is_err());
+    }
+
+    #[test]
+    fn abort_is_idempotent() {
+        let (mgr, a, _) = mvcc_pair();
+        let w = mgr.begin().unwrap();
+        a.write(&w, 9, 90).unwrap();
+        mgr.abort(&w).unwrap();
+        // Double abort, and abort after a (failed) commit, both succeed
+        // without touching the recycled slot.
+        mgr.abort(&w).unwrap();
+        assert!(mgr.commit(&w).is_err());
+        mgr.abort(&w).unwrap();
+        assert_eq!(mgr.context().stats().snapshot().aborted, 1);
+    }
+
+    #[test]
+    fn abort_after_commit_is_ok_and_preserves_the_commit() {
+        let (mgr, a, _) = mvcc_pair();
+        let w = mgr.begin().unwrap();
+        a.write(&w, 10, 1).unwrap();
+        mgr.commit(&w).unwrap();
+        mgr.abort(&w).unwrap();
+        let r = mgr.begin_read_only().unwrap();
+        assert_eq!(a.read(&r, &10).unwrap(), Some(1));
+        mgr.commit(&r).unwrap();
+    }
+
+    #[test]
+    fn reap_expired_frees_wedged_slots_and_fences_the_owner() {
+        let (mgr, a, b) = mvcc_pair();
+        let ctx = Arc::clone(mgr.context());
+        ctx.set_transaction_lease(Some(Duration::from_millis(1)));
+        // A well-behaved writer commits first so the zombie pins a floor
+        // below the head of the version chain.
+        let w = mgr.begin().unwrap();
+        a.write(&w, 1, 1).unwrap();
+        mgr.commit(&w).unwrap();
+
+        let zombie = mgr.begin().unwrap();
+        a.write(&zombie, 1, 2).unwrap();
+        b.write(&zombie, 2, 2).unwrap();
+        let floor_before = ctx.oldest_active_fresh();
+        assert_eq!(floor_before, zombie.id().as_u64());
+
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(mgr.reap_expired(), 1);
+        // The zombie no longer pins the floor (with nothing active the
+        // fresh scan returns the clock head), its slot is free, and its
+        // buffered writes are gone.
+        assert_eq!(ctx.active_count(), 0);
+        assert!(ctx.oldest_active_fresh() >= floor_before);
+        let err = mgr.commit(&zombie).unwrap_err();
+        assert!(matches!(err, TspError::LeaseExpired { .. }));
+        let r = mgr.begin_read_only().unwrap();
+        assert_eq!(a.read(&r, &1).unwrap(), Some(1));
+        assert_eq!(b.read(&r, &2).unwrap(), None);
+        mgr.commit(&r).unwrap();
+        // Later transactions drew fresh timestamps, so the floor has now
+        // strictly advanced past the reaped zombie's snapshot.
+        assert!(ctx.oldest_active_fresh() > floor_before);
+
+        let snap = ctx.stats().snapshot();
+        assert_eq!(snap.lease_expirations, 1);
+        assert_eq!(ctx.telemetry_snapshot().lease_reaps, 1);
+    }
+
+    #[test]
+    fn reap_expired_without_a_lease_is_a_noop() {
+        let (mgr, a, _) = mvcc_pair();
+        let w = mgr.begin().unwrap();
+        a.write(&w, 1, 1).unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(mgr.reap_expired(), 0);
+        mgr.commit(&w).unwrap();
+    }
+
+    #[test]
+    fn renewed_leases_survive_the_sweep() {
+        let (mgr, a, _) = mvcc_pair();
+        let ctx = Arc::clone(mgr.context());
+        ctx.set_transaction_lease(Some(Duration::from_secs(60)));
+        let w = mgr.begin().unwrap();
+        a.write(&w, 3, 3).unwrap();
+        assert_eq!(mgr.reap_expired(), 0, "active lease is not reaped");
+        mgr.commit(&w).unwrap();
+    }
+
+    #[test]
+    fn background_reaper_sweeps_and_stops_cleanly() {
+        let (mgr, a, _) = mvcc_pair();
+        let ctx = Arc::clone(mgr.context());
+        ctx.set_transaction_lease(Some(Duration::from_millis(1)));
+        let handle = mgr.spawn_reaper(Duration::from_millis(2));
+        let zombie = mgr.begin().unwrap();
+        a.write(&zombie, 1, 1).unwrap();
+        let mut waited = 0;
+        while ctx.telemetry().lease_reaps() == 0 && waited < 500 {
+            std::thread::sleep(Duration::from_millis(2));
+            waited += 1;
+        }
+        assert_eq!(ctx.telemetry().lease_reaps(), 1, "zombie was reaped");
+        handle.stop();
+        assert!(matches!(
+            mgr.commit(&zombie).unwrap_err(),
+            TspError::LeaseExpired { .. }
+        ));
+    }
+
+    #[test]
+    fn admission_slow_path_reaps_when_slots_are_exhausted() {
+        let ctx = Arc::new(StateContext::with_capacity(2));
+        ctx.set_transaction_lease(Some(Duration::from_millis(1)));
+        let mgr = TransactionManager::new(Arc::clone(&ctx));
+        let a = MvccTable::<u32, u64>::volatile(&ctx, "a");
+        mgr.register(a.clone());
+        mgr.register_group(&[a.id()]).unwrap();
+        // Two zombies fill the table.
+        let z1 = mgr.begin().unwrap();
+        let z2 = mgr.begin().unwrap();
+        a.write(&z1, 1, 1).unwrap();
+        a.write(&z2, 2, 2).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        // No admission wait configured: the contended path still reaps
+        // inline before giving up, so this begin succeeds.
+        let w = mgr.begin().expect("slot freed by the inline reap");
+        a.write(&w, 3, 3).unwrap();
+        mgr.commit(&w).unwrap();
+        assert_eq!(ctx.stats().snapshot().lease_expirations, 2);
+    }
+
+    #[test]
+    fn tx_guard_aborts_on_drop_and_commits_on_demand() {
+        let (mgr, a, _) = mvcc_pair();
+        {
+            let g = mgr.scoped().unwrap();
+            a.write(&g, 1, 10).unwrap();
+        } // dropped without commit: aborted
+        assert_eq!(mgr.context().stats().snapshot().aborted, 1);
+
+        let g = mgr.scoped().unwrap();
+        a.write(&g, 1, 11).unwrap();
+        g.commit().unwrap().expect("write commit has a timestamp");
+
+        let r = mgr.scoped_read_only().unwrap();
+        assert_eq!(a.read(&r, &1).unwrap(), Some(11));
+        assert_eq!(r.commit().unwrap(), None);
+
+        let g = mgr.scoped().unwrap();
+        a.write(&g, 1, 12).unwrap();
+        g.abort().unwrap();
+        let r = mgr.scoped_read_only().unwrap();
+        assert_eq!(a.read(&r, &1).unwrap(), Some(11));
+        drop(r);
     }
 }

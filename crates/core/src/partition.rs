@@ -449,6 +449,35 @@ impl PartitionedContext {
         }
     }
 
+    /// Configures the transaction lease on the router *and* every inner
+    /// context (see [`StateContext::set_transaction_lease`]).
+    ///
+    /// Only the router's lease drives reaping — the outer manager's reaper
+    /// force-aborts an expired outer transaction and the [`PartitionShard`]
+    /// rollback cascade finishes its sub-transactions on every partition,
+    /// so inner slots can never outlive the outer lease.  The inner
+    /// contexts still get the lease configured so their
+    /// `oldest_active_age_nanos` gauges (and hence
+    /// [`Self::telemetry_rollup`]) report per-partition transaction age.
+    pub fn set_transaction_lease(&self, lease: Option<std::time::Duration>) {
+        self.router.set_transaction_lease(lease);
+        for core in &self.parts {
+            core.ctx.set_transaction_lease(lease);
+        }
+    }
+
+    /// Force-aborts every expired outer transaction through the attached
+    /// manager's reaper (the hook [`TransactionManager::new`] installs on
+    /// the router context).  Each reaped outer transaction's rollback
+    /// cascades through its [`PartitionShard`]s, finishing the inner
+    /// sub-transactions and releasing every partition's slot — so one
+    /// sweep here unwedges GC floors on all partitions at once.  Returns
+    /// the number of outer transactions reaped; 0 before `attach` or when
+    /// no manager was created over the router context.
+    pub fn reap_expired(&self) -> usize {
+        self.router.try_reap()
+    }
+
     /// Blocks until every partition's persistence backlog is durable — the
     /// partitioned analogue of [`TransactionManager::flush`], which only
     /// reaches the router context (the router itself persists nothing).
@@ -562,6 +591,13 @@ impl PartitionedContext {
         let merged = Telemetry::new();
         let dwell = Histogram::new();
         let coalesce = Histogram::new();
+        // Freshen every context's oldest-active-age gauge first; merge
+        // takes the max, so the roll-up reports the oldest transaction
+        // anywhere in the deployment.
+        self.router.refresh_oldest_active_age();
+        for core in &self.parts {
+            core.ctx.refresh_oldest_active_age();
+        }
         merged.merge(self.router.telemetry());
         let mut stats = self.router.stats().snapshot();
         let mut writers = self
@@ -1329,6 +1365,39 @@ mod tests {
         );
         assert!(rollup.apply_nanos.count >= 5);
         assert_eq!(rollup.failed_writers, 0);
+    }
+
+    /// A reaped cross-partition zombie releases its slot on the router
+    /// *and* on every inner context (the rollback cascade finishes the
+    /// sub-transactions), and its writes never become visible anywhere.
+    #[test]
+    fn reaping_an_outer_transaction_frees_every_partition() {
+        let (pc, mgr, table) = setup(2, Protocol::Mvcc);
+        pc.set_transaction_lease(Some(std::time::Duration::from_millis(1)));
+        let (a, b) = distinct_partition_keys(&table);
+        let zombie = mgr.begin().unwrap();
+        table.write(&zombie, a, 1).unwrap();
+        table.write(&zombie, b, 2).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(pc.reap_expired(), 1);
+        assert_eq!(pc.router_ctx().active_count(), 0);
+        for p in 0..2 {
+            assert_eq!(
+                pc.partition_ctx(p).active_count(),
+                0,
+                "inner slot leak on p{p}"
+            );
+        }
+        // The zombie's late commit is fenced off, and nothing it wrote is
+        // visible on either partition.
+        assert!(matches!(
+            mgr.commit(&zombie),
+            Err(TspError::LeaseExpired { .. })
+        ));
+        let q = mgr.begin_read_only().unwrap();
+        assert_eq!(table.read(&q, &a).unwrap(), None);
+        assert_eq!(table.read(&q, &b).unwrap(), None);
+        mgr.commit(&q).unwrap();
     }
 
     /// Two keys guaranteed to live on different partitions of a 2-way

@@ -198,6 +198,7 @@ impl TxStats {
             slot_exhaustions: abort_reasons[AbortReason::SlotExhaustion.index()],
             failed_applies: abort_reasons[AbortReason::FailedApply.index()],
             admission_timeouts: abort_reasons[AbortReason::AdmissionTimeout.index()],
+            lease_expirations: abort_reasons[AbortReason::LeaseExpired.index()],
             reads: self.reads.sum(),
             writes: self.writes.sum(),
             gc_runs: self.gc_runs.load(Ordering::Relaxed),
@@ -256,6 +257,9 @@ pub struct TxStatsSnapshot {
     /// Bounded admission waits that expired without a slot
     /// ([`AbortReason::AdmissionTimeout`]).
     pub admission_timeouts: u64,
+    /// Expired transactions force-aborted by the lease reaper
+    /// ([`AbortReason::LeaseExpired`]).
+    pub lease_expirations: u64,
     /// Read operations.
     pub reads: u64,
     /// Write operations.
@@ -293,6 +297,7 @@ impl TxStatsSnapshot {
             AbortReason::SlotExhaustion => self.slot_exhaustions,
             AbortReason::FailedApply => self.failed_applies,
             AbortReason::AdmissionTimeout => self.admission_timeouts,
+            AbortReason::LeaseExpired => self.lease_expirations,
         }
     }
 
@@ -310,6 +315,7 @@ impl TxStatsSnapshot {
             slot_exhaustions: self.slot_exhaustions + other.slot_exhaustions,
             failed_applies: self.failed_applies + other.failed_applies,
             admission_timeouts: self.admission_timeouts + other.admission_timeouts,
+            lease_expirations: self.lease_expirations + other.lease_expirations,
             reads: self.reads + other.reads,
             writes: self.writes + other.writes,
             gc_runs: self.gc_runs + other.gc_runs,
@@ -373,6 +379,7 @@ mod tests {
         s.record_abort(AbortReason::SlotExhaustion);
         s.record_abort(AbortReason::FailedApply);
         s.record_abort(AbortReason::AdmissionTimeout);
+        s.record_abort(AbortReason::LeaseExpired);
         assert_eq!(s.abort_reason_count(AbortReason::FcwConflict), 2);
         let snap = s.snapshot();
         assert_eq!(snap.write_conflicts, 2);
@@ -381,6 +388,7 @@ mod tests {
         assert_eq!(snap.slot_exhaustions, 1);
         assert_eq!(snap.failed_applies, 1);
         assert_eq!(snap.admission_timeouts, 1);
+        assert_eq!(snap.lease_expirations, 1);
         for r in AbortReason::ALL {
             assert_eq!(snap.abort_reason(r), s.abort_reason_count(r));
         }

@@ -147,7 +147,10 @@ impl<K: KeyType, V: ValueType> BoccTable<K, V> {
         if !self.read_sets.is_claimed(tx) {
             let _ = self.ctx.read_snapshot(tx, self.state_id)?;
         }
-        self.read_sets.with_mut(tx, update);
+        // Epoch fence on the first-touch claim: a lease-reaped transaction
+        // must not re-register a read set the reaper already retracted.
+        self.read_sets
+            .with_mut_checked(tx, || self.ctx.check_fate(tx), update)?;
         Ok(())
     }
 
@@ -164,8 +167,7 @@ impl<K: KeyType, V: ValueType> BoccTable<K, V> {
     fn write_op(&self, tx: &Tx, key: K, op: WriteOp<V>) -> Result<()> {
         reject_read_only(tx)?;
         self.ctx.record_access(tx, self.state_id)?;
-        buffer_write(&self.ctx, &self.write_sets, tx, key, op);
-        Ok(())
+        buffer_write(&self.ctx, &self.write_sets, tx, key, op)
     }
 
     /// The committed image of the whole table (base table overlaid with the

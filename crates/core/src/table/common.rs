@@ -194,6 +194,38 @@ impl<T: Default> SlotLocal<T> {
         f(&mut data)
     }
 
+    /// [`with_mut`](Self::with_mut) with an epoch-fence check on first use.
+    ///
+    /// Claiming a cell is the moment a transaction starts depending on
+    /// slot-local state, so it is where a *reaped* transaction must be
+    /// stopped: once the reaper has force-aborted the slot's occupant, a
+    /// late write from the zombie owner would otherwise claim-and-reset the
+    /// cell and plant a stale owner tag for the slot's next occupant to
+    /// trip over.  `check` (typically `StateContext::check_fate`) runs
+    /// **under the cell mutex** and only on the claim path — repeat touches
+    /// by an already-claimed owner skip it, keeping the hot path one lock +
+    /// one relaxed load.  The ordering argument: the reaper clears cells
+    /// through [`take`](Self::take)/[`clear`](Self::clear) under the same
+    /// mutex *after* winning the epoch CAS, so if this claim observes the
+    /// pre-reap owner tag as already cleared (or a new occupant's tag), the
+    /// epoch bump is visible too and `check` fails deterministically.
+    pub fn with_mut_checked<R>(
+        &self,
+        tx: &Tx,
+        check: impl FnOnce() -> Result<()>,
+        f: impl FnOnce(&mut T) -> R,
+    ) -> Result<R> {
+        let cell = self.cell(tx);
+        crate::latch_probe::count_latch();
+        let mut data = cell.data.lock();
+        if cell.owner.load(Ordering::Relaxed) != tx.id().as_u64() {
+            check()?;
+            *data = T::default();
+            cell.owner.store(tx.id().as_u64(), Ordering::Release);
+        }
+        Ok(f(&mut data))
+    }
+
     /// Runs `f` with `tx`'s data if the cell is claimed.  Unclaimed cells
     /// are detected with a single atomic load — no lock.
     pub fn with<R>(&self, tx: &Tx, f: impl FnOnce(&T) -> R) -> Option<R> {
@@ -299,6 +331,17 @@ impl<K: KeyType, V: ValueType> TxWriteSets<K, V> {
     /// Runs `f` with the (created on demand) write set of `tx`.
     pub fn with_mut<R>(&self, tx: &Tx, f: impl FnOnce(&mut WriteSet<K, V>) -> R) -> R {
         self.sets.with_mut(tx, f)
+    }
+
+    /// [`with_mut`](Self::with_mut) with an epoch-fence check on first use
+    /// (see [`SlotLocal::with_mut_checked`]).
+    pub fn with_mut_checked<R>(
+        &self,
+        tx: &Tx,
+        check: impl FnOnce() -> Result<()>,
+        f: impl FnOnce(&mut WriteSet<K, V>) -> R,
+    ) -> Result<R> {
+        self.sets.with_mut_checked(tx, check, f)
     }
 
     /// Runs `f` with the write set of `tx` if one exists.
@@ -851,18 +894,27 @@ pub fn read_own_write<K: KeyType, V: ValueType>(
 
 /// Buffers one modification in the transaction's write set, bumping the
 /// shared write counter (the tail end of every protocol's write path).
+///
+/// The first write a transaction buffers claims its slot-local cell; that
+/// claim is epoch-fenced, so a transaction the reaper force-aborted gets
+/// [`TspError::LeaseExpired`] here instead of planting state in a cell the
+/// slot's next occupant will inherit.
 pub fn buffer_write<K: KeyType, V: ValueType>(
     ctx: &StateContext,
     write_sets: &TxWriteSets<K, V>,
     tx: &Tx,
     key: K,
     op: WriteOp<V>,
-) {
+) -> Result<()> {
     ctx.stats().bump_write(tx.slot());
-    write_sets.with_mut(tx, |ws| match op {
-        WriteOp::Put(v) => ws.put(key, v),
-        WriteOp::Delete => ws.delete(key),
-    });
+    write_sets.with_mut_checked(
+        tx,
+        || ctx.check_fate(tx),
+        |ws| match op {
+            WriteOp::Put(v) => ws.put(key, v),
+            WriteOp::Delete => ws.delete(key),
+        },
+    )
 }
 
 /// Number of rows per durable batch used by [`preload_rows`].
@@ -1095,6 +1147,33 @@ mod tests {
         // The finished transaction's handle no longer reaches the cell.
         assert!(sets.with(&t1, |ws| ws.key_count()).is_none());
         ctx.finish(&t2);
+    }
+
+    #[test]
+    fn checked_claim_runs_the_check_only_on_first_use() {
+        let ctx = StateContext::new();
+        let sets: TxWriteSets<u32, u64> = TxWriteSets::for_context(&ctx);
+        let tx = ctx.begin(false).unwrap();
+        // A failing check blocks the claim and leaves the cell unclaimed.
+        let err = sets
+            .with_mut_checked(&tx, || Err(TspError::LeaseExpired { txn: 1 }), |_| ())
+            .unwrap_err();
+        assert!(matches!(err, TspError::LeaseExpired { .. }));
+        assert!(!sets.has_writes(&tx));
+        assert_eq!(sets.active_count(), 0);
+        // A passing check claims the cell …
+        sets.with_mut_checked(&tx, || Ok(()), |ws| ws.put(1, 10))
+            .unwrap();
+        assert!(sets.has_writes(&tx));
+        // … and repeat touches skip the check entirely.
+        sets.with_mut_checked(
+            &tx,
+            || panic!("check must not run for an already-claimed cell"),
+            |ws| ws.put(2, 20),
+        )
+        .unwrap();
+        assert_eq!(sets.with(&tx, |ws| ws.key_count()), Some(2));
+        ctx.finish(&tx);
     }
 
     #[test]

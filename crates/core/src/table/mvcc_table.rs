@@ -227,8 +227,7 @@ impl<K: KeyType, V: ValueType> MvccTable<K, V> {
                 }
             }
         }
-        buffer_write(&self.ctx, &self.write_sets, tx, key, op);
-        Ok(())
+        buffer_write(&self.ctx, &self.write_sets, tx, key, op)
     }
 
     /// A consistent snapshot of the whole table as of the transaction's

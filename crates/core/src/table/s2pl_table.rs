@@ -128,6 +128,7 @@ impl<K: KeyType, V: ValueType> S2plTable<K, V> {
             return Ok(own);
         }
         self.acquire(tx, key, LockMode::Shared)?;
+        self.fence_acquired(tx)?;
         self.committed_value(key)
     }
 
@@ -145,8 +146,8 @@ impl<K: KeyType, V: ValueType> S2plTable<K, V> {
         reject_read_only(tx)?;
         self.ctx.record_access(tx, self.state_id)?;
         self.acquire(tx, &key, LockMode::Exclusive)?;
-        buffer_write(&self.ctx, &self.write_sets, tx, key, op);
-        Ok(())
+        self.fence_acquired(tx)?;
+        buffer_write(&self.ctx, &self.write_sets, tx, key, op)
     }
 
     fn acquire(&self, tx: &Tx, key: &K, mode: LockMode) -> Result<()> {
@@ -156,6 +157,21 @@ impl<K: KeyType, V: ValueType> S2plTable<K, V> {
             }
             e
         })
+    }
+
+    /// Epoch fence after every lock acquisition: a lease-reaped transaction
+    /// must not walk away holding a fresh lock the reaper's `release_all`
+    /// already missed.  The lock manager's global holdings mutex totally
+    /// orders this transaction's insert against the reaper's sweep, so
+    /// either this fence observes the epoch bump and self-releases, or the
+    /// reaper's `release_all` (which runs after its epoch claim) sweeps the
+    /// lock just inserted — no leak either way.
+    fn fence_acquired(&self, tx: &Tx) -> Result<()> {
+        if let Err(e) = self.ctx.check_fate(tx) {
+            self.locks.release_all(tx.id());
+            return Err(e);
+        }
+        Ok(())
     }
 
     /// The committed image of the whole table (base table overlaid with the

@@ -169,13 +169,20 @@ impl<K: KeyType, V: ValueType> SsiTable<K, V> {
         // context bookkeeping is paid exactly once per read.
         let value = self.inner.read(tx, key)?;
         if !tx.is_read_only() {
-            self.read_sets.with_mut(tx, |rs| {
-                // A whole-table mark subsumes point keys, and repeat reads
-                // of a hot key need no second clone.
-                if !rs.whole_table && !rs.keys.contains(key) {
-                    rs.keys.insert(key.clone());
-                }
-            });
+            // Epoch-fenced on the first-touch claim: a lease-reaped
+            // transaction must not re-register a read set the reaper
+            // already retracted from certification.
+            self.read_sets.with_mut_checked(
+                tx,
+                || self.ctx.check_fate(tx),
+                |rs| {
+                    // A whole-table mark subsumes point keys, and repeat
+                    // reads of a hot key need no second clone.
+                    if !rs.whole_table && !rs.keys.contains(key) {
+                        rs.keys.insert(key.clone());
+                    }
+                },
+            )?;
         }
         Ok(value)
     }
@@ -200,9 +207,13 @@ impl<K: KeyType, V: ValueType> SsiTable<K, V> {
         // touched (see `read`).
         let image = self.inner.scan(tx)?;
         if !tx.is_read_only() {
-            self.read_sets.with_mut(tx, |rs| {
-                rs.whole_table = true;
-            });
+            self.read_sets.with_mut_checked(
+                tx,
+                || self.ctx.check_fate(tx),
+                |rs| {
+                    rs.whole_table = true;
+                },
+            )?;
         }
         Ok(image)
     }

@@ -64,11 +64,15 @@ pub enum AbortReason {
     /// [`SlotExhaustion`](Self::SlotExhaustion), which is the immediate
     /// refusal when no admission wait is configured.
     AdmissionTimeout,
+    /// The transaction outlived its lease and a reaper force-aborted it
+    /// (abandoned client, hung worker).  Recorded by
+    /// `TransactionManager::reap_expired`.
+    LeaseExpired,
 }
 
 impl AbortReason {
     /// Number of taxonomy entries (the size of per-reason counter arrays).
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 7;
 
     /// Every reason, in stable exposition order.
     pub const ALL: [AbortReason; Self::COUNT] = [
@@ -78,6 +82,7 @@ impl AbortReason {
         AbortReason::SlotExhaustion,
         AbortReason::FailedApply,
         AbortReason::AdmissionTimeout,
+        AbortReason::LeaseExpired,
     ];
 
     /// Stable index into per-reason counter arrays.
@@ -90,6 +95,7 @@ impl AbortReason {
             AbortReason::SlotExhaustion => 3,
             AbortReason::FailedApply => 4,
             AbortReason::AdmissionTimeout => 5,
+            AbortReason::LeaseExpired => 6,
         }
     }
 
@@ -102,6 +108,7 @@ impl AbortReason {
             AbortReason::SlotExhaustion => "slot_exhaustion",
             AbortReason::FailedApply => "failed_apply",
             AbortReason::AdmissionTimeout => "admission_timeout",
+            AbortReason::LeaseExpired => "lease_expired",
         }
     }
 
@@ -117,6 +124,7 @@ impl AbortReason {
             TspError::ValidationFailed { .. } => AbortReason::Certification,
             TspError::Deadlock { .. } => AbortReason::LockConflict,
             TspError::CapacityExhausted { .. } => AbortReason::SlotExhaustion,
+            TspError::LeaseExpired { .. } => AbortReason::LeaseExpired,
             _ => AbortReason::FailedApply,
         }
     }
@@ -163,6 +171,12 @@ pub struct Telemetry {
     redo_bytes: AtomicU64,
     /// Torn group commits rolled forward from the redo log at recovery.
     redo_replays: AtomicU64,
+    /// Expired transactions force-aborted by the lease reaper.
+    lease_reaps: AtomicU64,
+    /// Gauge: age of the oldest active transaction in wall-clock
+    /// nanoseconds (0 when no transaction is active or no lease clock is
+    /// configured).  Refreshed at snapshot time.
+    oldest_active_age_nanos: AtomicU64,
 }
 
 impl Telemetry {
@@ -237,6 +251,26 @@ impl Telemetry {
         self.redo_replays.load(Ordering::Relaxed)
     }
 
+    /// Counts `n` expired transactions force-aborted by the lease reaper.
+    pub fn add_lease_reaps(&self, n: u64) {
+        self.lease_reaps.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total expired transactions force-aborted by the lease reaper.
+    pub fn lease_reaps(&self) -> u64 {
+        self.lease_reaps.load(Ordering::Relaxed)
+    }
+
+    /// Updates the oldest-active-transaction age gauge (wall nanoseconds).
+    pub fn set_oldest_active_age_nanos(&self, age: u64) {
+        self.oldest_active_age_nanos.store(age, Ordering::Relaxed);
+    }
+
+    /// The oldest-active-transaction age gauge (wall nanoseconds).
+    pub fn oldest_active_age_nanos(&self) -> u64 {
+        self.oldest_active_age_nanos.load(Ordering::Relaxed)
+    }
+
     /// Merges another registry's recordings into this one (per-partition
     /// roll-ups).  Histograms merge bucket-wise; the floor-lag gauge takes
     /// the maximum (the laggiest partition bounds reclaimable garbage).
@@ -259,6 +293,13 @@ impl Telemetry {
             other.redo_replays.load(Ordering::Relaxed),
             Ordering::Relaxed,
         );
+        self.lease_reaps
+            .fetch_add(other.lease_reaps.load(Ordering::Relaxed), Ordering::Relaxed);
+        // The oldest transaction across partitions bounds the roll-up.
+        self.oldest_active_age_nanos.fetch_max(
+            other.oldest_active_age_nanos.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
     }
 
     /// Clears every histogram and gauge (between benchmark phases).
@@ -273,6 +314,8 @@ impl Telemetry {
         self.gc_floor_lag.store(0, Ordering::Relaxed);
         self.redo_bytes.store(0, Ordering::Relaxed);
         self.redo_replays.store(0, Ordering::Relaxed);
+        self.lease_reaps.store(0, Ordering::Relaxed);
+        self.oldest_active_age_nanos.store(0, Ordering::Relaxed);
     }
 }
 
@@ -391,6 +434,12 @@ pub struct TelemetrySnapshot {
     pub redo_bytes: u64,
     /// Torn group commits rolled forward from the redo log at recovery.
     pub redo_replays: u64,
+    /// Expired transactions force-aborted by the lease reaper.
+    pub lease_reaps: u64,
+    /// Age of the oldest active transaction in wall nanoseconds (0 when
+    /// idle or when no lease clock is configured; per-partition maximum in
+    /// roll-ups).
+    pub oldest_active_age_nanos: u64,
     /// GC floor lag at the last sweep (logical-timestamp units).
     pub gc_floor_lag: u64,
 }
@@ -428,6 +477,8 @@ impl TelemetrySnapshot {
             writer_recoveries: writers.recoveries,
             redo_bytes: telemetry.redo_bytes(),
             redo_replays: telemetry.redo_replays(),
+            lease_reaps: telemetry.lease_reaps(),
+            oldest_active_age_nanos: telemetry.oldest_active_age_nanos(),
             gc_floor_lag: telemetry.gc_floor_lag(),
         }
     }
@@ -468,6 +519,7 @@ impl TelemetrySnapshot {
                 "\"redo_replays\":{},",
                 "\"queue_dwell_nanos\":{},",
                 "\"coalesced_batch_size\":{}}},",
+                "\"lease\":{{\"reaps\":{},\"oldest_active_age_nanos\":{}}},",
                 "\"gc\":{{\"runs\":{},\"reclaimed_versions\":{},\"floor_lag\":{}}}}}"
             ),
             s.begun,
@@ -494,6 +546,8 @@ impl TelemetrySnapshot {
             self.redo_replays,
             self.queue_dwell_nanos.json(),
             self.coalesced_batch_size.json(),
+            self.lease_reaps,
+            self.oldest_active_age_nanos,
             s.gc_runs,
             s.gc_reclaimed,
             self.gc_floor_lag,
@@ -556,6 +610,11 @@ impl TelemetrySnapshot {
                 "tsp_redo_replays_total",
                 "Torn group commits rolled forward from the redo log at recovery.",
                 self.redo_replays,
+            ),
+            (
+                "tsp_lease_reaps_total",
+                "Expired transactions force-aborted by the lease reaper.",
+                self.lease_reaps,
             ),
         ] {
             prom_counter(&mut out, name, help, value);
@@ -635,6 +694,11 @@ impl TelemetrySnapshot {
                 self.failed_writers,
             ),
             (
+                "tsp_oldest_active_age_nanos",
+                "Age of the oldest active transaction (wall nanoseconds).",
+                self.oldest_active_age_nanos,
+            ),
+            (
                 "tsp_gc_floor_lag",
                 "Clock distance from the oldest active snapshot floor at the last GC sweep.",
                 self.gc_floor_lag,
@@ -705,6 +769,10 @@ mod tests {
             AbortReason::SlotExhaustion
         );
         assert_eq!(
+            AbortReason::from_error(&TspError::LeaseExpired { txn: 1 }),
+            AbortReason::LeaseExpired
+        );
+        assert_eq!(
             AbortReason::from_error(&TspError::protocol("boom")),
             AbortReason::FailedApply
         );
@@ -725,14 +793,23 @@ mod tests {
         b.commit_batch_size().record_value(16);
         a.set_gc_floor_lag(5);
         b.set_gc_floor_lag(9);
+        a.add_lease_reaps(2);
+        b.add_lease_reaps(3);
+        a.set_oldest_active_age_nanos(100);
+        b.set_oldest_active_age_nanos(700);
         a.merge(&b);
         assert_eq!(a.validate_nanos().count(), 2);
         assert_eq!(a.commit_batch_size().count(), 2);
         assert_eq!(a.commit_batch_size().max_value(), 16);
         assert_eq!(a.gc_floor_lag(), 9);
+        // Counters add; the age gauge takes the laggiest partition.
+        assert_eq!(a.lease_reaps(), 5);
+        assert_eq!(a.oldest_active_age_nanos(), 700);
         a.reset();
         assert_eq!(a.validate_nanos().count(), 0);
         assert_eq!(a.gc_floor_lag(), 0);
+        assert_eq!(a.lease_reaps(), 0);
+        assert_eq!(a.oldest_active_age_nanos(), 0);
     }
 
     #[test]
@@ -804,7 +881,7 @@ mod tests {
                 persist_queue_depth: 1,
                 ..Default::default()
             },
-            aborts_by_reason: [1, 0, 2, 0, 0, 4],
+            aborts_by_reason: [1, 0, 2, 0, 0, 4, 3],
             validate_nanos: HistogramSummary {
                 count: 7,
                 sum: 700,
@@ -820,6 +897,8 @@ mod tests {
             writer_recoveries: 1,
             redo_bytes: 256,
             redo_replays: 2,
+            lease_reaps: 3,
+            oldest_active_age_nanos: 1500,
             gc_floor_lag: 4,
             ..Default::default()
         };
@@ -863,6 +942,9 @@ tsp_redo_bytes_total 256
 # HELP tsp_redo_replays_total Torn group commits rolled forward from the redo log at recovery.
 # TYPE tsp_redo_replays_total counter
 tsp_redo_replays_total 2
+# HELP tsp_lease_reaps_total Expired transactions force-aborted by the lease reaper.
+# TYPE tsp_lease_reaps_total counter
+tsp_lease_reaps_total 3
 # HELP tsp_aborts_total Aborts by reason.
 # TYPE tsp_aborts_total counter
 tsp_aborts_total{reason=\"fcw_conflict\"} 1
@@ -871,6 +953,7 @@ tsp_aborts_total{reason=\"lock_conflict\"} 2
 tsp_aborts_total{reason=\"slot_exhaustion\"} 0
 tsp_aborts_total{reason=\"failed_apply\"} 0
 tsp_aborts_total{reason=\"admission_timeout\"} 4
+tsp_aborts_total{reason=\"lease_expired\"} 3
 # HELP tsp_commit_validate_nanos Commit validation phase (ns).
 # TYPE tsp_commit_validate_nanos summary
 tsp_commit_validate_nanos{quantile=\"0.5\"} 100
@@ -943,6 +1026,9 @@ tsp_persist_writers 2
 # HELP tsp_persist_failed_writers Writers in the sticky-failed state.
 # TYPE tsp_persist_failed_writers gauge
 tsp_persist_failed_writers 1
+# HELP tsp_oldest_active_age_nanos Age of the oldest active transaction (wall nanoseconds).
+# TYPE tsp_oldest_active_age_nanos gauge
+tsp_oldest_active_age_nanos 1500
 # HELP tsp_gc_floor_lag Clock distance from the oldest active snapshot floor at the last GC sweep.
 # TYPE tsp_gc_floor_lag gauge
 tsp_gc_floor_lag 4
@@ -984,6 +1070,8 @@ tsp_gc_floor_lag 4
         assert!(json.contains("\"recoveries\":2"));
         assert!(json.contains("\"redo_bytes\":0"));
         assert!(json.contains("\"redo_replays\":0"));
+        assert!(json.contains("\"lease\":{\"reaps\":0,\"oldest_active_age_nanos\":0}"));
+        assert!(json.contains("\"lease_expired\":0"));
         assert!(json.contains("\"admission\":{\"waits\":0"));
         assert_eq!(snap.abort_count(AbortReason::FcwConflict), 1);
         // Balanced braces — the cheapest structural check without a parser.

@@ -86,6 +86,12 @@ pub struct WorkloadConfig {
     /// backends, and switches the workers to partition-local key
     /// generation (every transaction stays on one partition).
     pub partitions: usize,
+    /// Transaction lease (`None` = leases off, the default).  When set, a
+    /// background reaper force-aborts transactions that outlive the lease
+    /// — the degraded-mode knob for measuring recovery from abandoned
+    /// clients (see "Transaction lifecycle & leases" in
+    /// `docs/ARCHITECTURE.md`).
+    pub lease: Option<Duration>,
 }
 
 impl Default for WorkloadConfig {
@@ -103,6 +109,7 @@ impl Default for WorkloadConfig {
             seed: 42,
             data_dir: None,
             partitions: 1,
+            lease: None,
         }
     }
 }
@@ -133,6 +140,7 @@ impl WorkloadConfig {
             seed: 7,
             data_dir: None,
             partitions: 1,
+            lease: None,
         }
     }
 }
@@ -200,6 +208,10 @@ pub struct RunResult {
     /// Commits whose bounded durability wait timed out — visible but not
     /// confirmed durable within the deadline.
     pub timed_out_commits: u64,
+    /// Degraded-mode leases: expired transactions force-aborted by the
+    /// lease reaper over the run (0 unless [`WorkloadConfig::lease`] is
+    /// set).
+    pub lease_reaps: u64,
 }
 
 impl RunResult {
@@ -286,6 +298,8 @@ impl BenchEnv {
         mgr.register_group(&[states[0].id(), states[1].id()])?;
 
         Self::preload(config, &states)?;
+        // Armed after the preload so loading never races a reap sweep.
+        ctx.set_transaction_lease(config.lease);
 
         Ok(BenchEnv {
             mgr,
@@ -353,6 +367,7 @@ impl BenchEnv {
             [Arc::clone(&states[0]), Arc::clone(&states[1])];
 
         Self::preload(config, &states)?;
+        pc.set_transaction_lease(config.lease);
 
         Ok(BenchEnv {
             mgr,
@@ -435,6 +450,14 @@ pub fn run_in(config: &WorkloadConfig, env: &BenchEnv) -> Result<RunResult> {
             pc.partition_ctx(p).stats().reset();
         }
     }
+
+    // With a lease configured, a background reaper collects expired
+    // transactions for the whole measured window (interval: a quarter
+    // lease, floored so short smoke leases don't busy-spin).
+    let reaper = config.lease.map(|lease| {
+        env.mgr
+            .spawn_reaper((lease / 4).max(Duration::from_millis(5)))
+    });
 
     let mut writer_handles = Vec::new();
     for w in 0..config.writers {
@@ -594,6 +617,9 @@ pub fn run_in(config: &WorkloadConfig, env: &BenchEnv) -> Result<RunResult> {
         Some(pc) => pc.telemetry_rollup(),
         None => env.mgr.context().telemetry_snapshot(),
     };
+    if let Some(reaper) = reaper {
+        reaper.stop();
+    }
     let admission_wait_p99 = (telemetry.admission_wait_nanos.count > 0)
         .then(|| Duration::from_nanos(telemetry.admission_wait_nanos.p99));
     Ok(RunResult {
@@ -617,6 +643,7 @@ pub fn run_in(config: &WorkloadConfig, env: &BenchEnv) -> Result<RunResult> {
         admission_waits: stats.admission_waits,
         admission_wait_p99,
         timed_out_commits: stats.durability_timeouts,
+        lease_reaps: telemetry.lease_reaps,
         stats,
         partitions: config.partitions.max(1),
         partition_stats: env

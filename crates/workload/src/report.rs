@@ -6,12 +6,12 @@ use std::path::Path;
 use tsp_common::Result;
 
 /// CSV header matching [`csv_row`].
-pub const CSV_HEADER: &str = "protocol,readers,theta,storage,elapsed_s,reader_committed,reader_aborted,writer_committed,writer_aborted,throughput_ktps,reader_ktps,writer_tps,reader_p50_us,reader_p99_us,reader_p999_us,abort_ratio,persist_retries";
+pub const CSV_HEADER: &str = "protocol,readers,theta,storage,elapsed_s,reader_committed,reader_aborted,writer_committed,writer_aborted,throughput_ktps,reader_ktps,writer_tps,reader_p50_us,reader_p99_us,reader_p999_us,abort_ratio,persist_retries,lease_reaps";
 
 /// Serialises one result as a CSV row (without trailing newline).
 pub fn csv_row(r: &RunResult) -> String {
     format!(
-        "{},{},{:.2},{},{:.3},{},{},{},{},{:.3},{:.3},{:.1},{},{},{},{:.4},{}",
+        "{},{},{:.2},{},{:.3},{},{},{},{},{:.3},{:.3},{:.1},{},{},{},{:.4},{},{}",
         r.protocol.name(),
         r.readers,
         r.theta,
@@ -29,6 +29,7 @@ pub fn csv_row(r: &RunResult) -> String {
         r.reader_p999.map(|d| d.as_micros()).unwrap_or(0),
         r.abort_ratio(),
         r.persist_retries,
+        r.lease_reaps,
     )
 }
 
@@ -141,6 +142,7 @@ mod tests {
             admission_waits: 0,
             admission_wait_p99: None,
             timed_out_commits: 0,
+            lease_reaps: 3,
         }
     }
 
@@ -150,7 +152,10 @@ mod tests {
         let row = csv_row(&r);
         assert_eq!(row.split(',').count(), CSV_HEADER.split(',').count());
         assert!(row.starts_with("MVCC,4,1.50,mem"));
-        assert!(row.ends_with(",2"), "persist_retries is the last column");
+        assert!(
+            row.ends_with(",2,3"),
+            "persist_retries then lease_reaps are the last columns"
+        );
     }
 
     #[test]

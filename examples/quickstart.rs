@@ -100,6 +100,18 @@ fn main() -> tsp::common::Result<()> {
     mgr.commit(&check)?;
     println!("aborted transaction left no trace (key 99 absent)");
 
+    // The RAII variant: a scoped transaction aborts when its guard drops,
+    // so an early return or panic can never leak a half-done transaction.
+    {
+        let tx = mgr.scoped()?;
+        readings.write(&tx, 99, "also never visible".to_string())?;
+        // no commit — dropping the guard aborts
+    }
+    let check = mgr.begin_read_only()?;
+    assert_eq!(readings.read(&check, &99)?, None);
+    mgr.commit(&check)?;
+    println!("dropped TxGuard aborted automatically (key 99 still absent)");
+
     // ------------------------------------------------------------------
     // 5. Restart: rebuild everything from the persistent base table.
     // ------------------------------------------------------------------
